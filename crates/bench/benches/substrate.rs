@@ -1,0 +1,89 @@
+//! Substrate costs: the DES kernel's event throughput (which bounds how
+//! fast figures regenerate), workload generators, and Pilaf's CRC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use prism_kv::crc::crc32;
+use prism_rdma::arena::MemoryArena;
+use prism_simnet::engine::{Actor, Context, Simulation};
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::SimDuration;
+use prism_workload::dist::ZipfGen;
+
+struct PingPong {
+    peer_offset: isize,
+    remaining: u32,
+}
+
+impl Actor<u32> for PingPong {
+    fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+        if self.remaining == 0 {
+            ctx.stop();
+            return;
+        }
+        self.remaining -= 1;
+        let me = ctx.self_id().index() as isize;
+        let dst = prism_simnet::engine::ActorId::from_index((me + self.peer_offset) as usize);
+        ctx.send_in(dst, SimDuration::from_nanos(100), msg + 1);
+    }
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.bench_function("100k_events_ping_pong", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u32> = Simulation::new(1);
+            let a = sim.add_actor(Box::new(PingPong {
+                peer_offset: 1,
+                remaining: 50_000,
+            }));
+            sim.add_actor(Box::new(PingPong {
+                peer_offset: -1,
+                remaining: 50_000,
+            }));
+            sim.post(a, 0);
+            sim.run();
+            sim.now()
+        });
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    let zipf = ZipfGen::new(8_000_000, 0.99);
+    let mut rng = SimRng::new(7);
+    g.bench_function("zipf_sample_8M", |b| b.iter(|| zipf.sample(&mut rng)));
+    g.bench_function("splitmix_next", |b| b.iter(|| rng.next_u64()));
+    g.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory");
+    let arena = MemoryArena::new(1 << 20);
+    let base = MemoryArena::BASE;
+    arena.write(base, &[1u8; 4096]).unwrap();
+    g.bench_function("arena_read_512", |b| {
+        let mut buf = [0u8; 512];
+        b.iter(|| arena.read_into(base, &mut buf).unwrap());
+    });
+    g.bench_function("arena_write_512", |b| {
+        let data = [7u8; 512];
+        b.iter(|| arena.write(base + 8192, &data).unwrap());
+    });
+    g.bench_function("arena_atomic_16", |b| {
+        b.iter(|| {
+            arena
+                .atomic(base + 4096, 16, |bytes| bytes[0] = bytes[0].wrapping_add(1))
+                .unwrap()
+        });
+    });
+    let payload = vec![3u8; 512];
+    g.bench_function("crc32_512", |b| {
+        b.iter(|| crc32(std::hint::black_box(&payload)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_des, bench_workload, bench_memory);
+criterion_main!(benches);

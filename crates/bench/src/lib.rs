@@ -1,0 +1,9 @@
+//! Criterion benchmark crate for the PRISM reproduction (see the
+//! `benches/` directory). The library itself is empty; everything lives
+//! in the bench targets:
+//!
+//! * `primitives` — per-op CPU cost of the PRISM software data plane.
+//! * `protocols` — full application operations (KV GET/PUT, ABD rounds,
+//!   transaction commits) in live mode.
+//! * `substrate` — the simulator itself: event throughput, Zipf
+//!   sampling, wire codec, CRC.

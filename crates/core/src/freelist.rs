@@ -1,0 +1,208 @@
+//! Free-list management for the ALLOCATE primitive (§3.2, §4.2).
+//!
+//! Servers register one buffer queue per size class. The data plane pops
+//! buffers while holding the *read* side of a posting gate; the CPU-side
+//! repost path takes the *write* side, guaranteeing that "recycled buffers
+//! only be added back to the free list when concurrent NIC operations are
+//! complete" (§3.2). This is the one synchronization point between the
+//! server CPU and the (simulated) NIC, deliberately off the regular path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard};
+use prism_rdma::{BufferQueue, RdmaError};
+
+use crate::op::FreeListId;
+
+/// All free lists of one server, plus the posting gate.
+#[derive(Debug, Default)]
+pub struct FreeLists {
+    gate: RwLock<()>,
+    queues: RwLock<HashMap<FreeListId, Arc<BufferQueue>>>,
+}
+
+impl FreeLists {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FreeLists::default()
+    }
+
+    /// Registers a free list whose buffers are `buf_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered — size classes are fixed at
+    /// server setup.
+    pub fn register(&self, id: FreeListId, buf_len: u64) {
+        let mut queues = self.queues.write();
+        let prev = queues.insert(id, Arc::new(BufferQueue::new(buf_len)));
+        assert!(prev.is_none(), "free list {id:?} registered twice");
+    }
+
+    /// Acquires the data-plane side of the posting gate. The PRISM engine
+    /// holds this for the duration of a chain so reposts cannot interleave
+    /// with in-flight allocations.
+    pub fn gate_read(&self) -> RwLockReadGuard<'_, ()> {
+        self.gate.read()
+    }
+
+    /// Pops a buffer from `id`, returning its address and size class.
+    ///
+    /// Caller must hold the read gate (the engine does).
+    pub fn pop(&self, id: FreeListId) -> Result<(u64, u64), RdmaError> {
+        let queues = self.queues.read();
+        let q = queues.get(&id).ok_or(RdmaError::UnknownFreeList(id.0))?;
+        let addr = q.pop()?;
+        Ok((addr, q.buf_len()))
+    }
+
+    /// CPU-side repost: blocks until all in-flight chains finish, then
+    /// returns the buffers to the queue.
+    pub fn post(
+        &self,
+        id: FreeListId,
+        addrs: impl IntoIterator<Item = u64>,
+    ) -> Result<(), RdmaError> {
+        let _excl = self.gate.write();
+        let queues = self.queues.read();
+        let q = queues.get(&id).ok_or(RdmaError::UnknownFreeList(id.0))?;
+        q.post_many(addrs);
+        Ok(())
+    }
+
+    /// Engine-internal undo: returns a just-popped buffer without taking
+    /// the posting gate. Only the engine may call this — it already holds
+    /// the read side as the in-flight operation whose pop it is undoing,
+    /// so taking the write gate here would deadlock.
+    pub(crate) fn repush_internal(&self, id: FreeListId, addr: u64) {
+        if let Some(q) = self.queues.read().get(&id) {
+            q.post(addr);
+        }
+    }
+
+    /// Buffers currently available in `id`.
+    pub fn available(&self, id: FreeListId) -> usize {
+        self.queues
+            .read()
+            .get(&id)
+            .map(|q| q.available())
+            .unwrap_or(0)
+    }
+
+    /// Size class of `id`, if registered.
+    pub fn buf_len(&self, id: FreeListId) -> Option<u64> {
+        self.queues.read().get(&id).map(|q| q.buf_len())
+    }
+
+    /// Reposts a buffer while the caller holds [`FreeLists::gate_write`]
+    /// (taking the gate again would self-deadlock). Posting is
+    /// idempotent, so racing a late client free is harmless.
+    pub fn repush_gc(&self, id: FreeListId, addr: u64) {
+        if let Some(q) = self.queues.read().get(&id) {
+            q.post(addr);
+        }
+    }
+
+    /// Snapshot of `id`'s free addresses (for GC sweeps).
+    pub fn snapshot(&self, id: FreeListId) -> Vec<u64> {
+        self.queues
+            .read()
+            .get(&id)
+            .map(|q| q.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Acquires the exclusive side of the posting gate: blocks until all
+    /// in-flight chains complete and holds off new ones. GC sweeps run
+    /// under this guard so that "allocated but not yet installed" cannot
+    /// exist while they scan (§3.2's GC alternative).
+    pub fn gate_write(&self) -> parking_lot::RwLockWriteGuard<'_, ()> {
+        self.gate.write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_pop_post_cycle() {
+        let fl = FreeLists::new();
+        let id = FreeListId(1);
+        fl.register(id, 128);
+        fl.post(id, [0x1000, 0x2000]).unwrap();
+        assert_eq!(fl.available(id), 2);
+        let _g = fl.gate_read();
+        assert_eq!(fl.pop(id).unwrap(), (0x1000, 128));
+        assert_eq!(fl.available(id), 1);
+    }
+
+    #[test]
+    fn unknown_free_list_errors() {
+        let fl = FreeLists::new();
+        {
+            let _g = fl.gate_read();
+            assert_eq!(
+                fl.pop(FreeListId(9)).unwrap_err(),
+                RdmaError::UnknownFreeList(9)
+            );
+            // The guard must drop before posting: `post` takes the write
+            // side of the gate, exactly like a real repost waiting for
+            // in-flight chains.
+        }
+        assert_eq!(
+            fl.post(FreeListId(9), [1]).unwrap_err(),
+            RdmaError::UnknownFreeList(9)
+        );
+        assert_eq!(fl.buf_len(FreeListId(9)), None);
+    }
+
+    #[test]
+    fn empty_queue_is_receiver_not_ready() {
+        let fl = FreeLists::new();
+        fl.register(FreeListId(1), 64);
+        let _g = fl.gate_read();
+        assert_eq!(
+            fl.pop(FreeListId(1)).unwrap_err(),
+            RdmaError::ReceiverNotReady
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let fl = FreeLists::new();
+        fl.register(FreeListId(1), 64);
+        fl.register(FreeListId(1), 128);
+    }
+
+    #[test]
+    fn post_waits_for_inflight_chains() {
+        // The write gate must block while a read guard (an in-flight
+        // chain) is held.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let fl = Arc::new(FreeLists::new());
+        fl.register(FreeListId(1), 64);
+        let posted = Arc::new(AtomicBool::new(false));
+        let guard = fl.gate_read();
+        let t = {
+            let fl = Arc::clone(&fl);
+            let posted = Arc::clone(&posted);
+            std::thread::spawn(move || {
+                fl.post(FreeListId(1), [0x1000]).unwrap();
+                posted.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !posted.load(Ordering::SeqCst),
+            "post must wait for the chain to finish"
+        );
+        drop(guard);
+        t.join().unwrap();
+        assert!(posted.load(Ordering::SeqCst));
+        assert_eq!(fl.available(FreeListId(1)), 1);
+    }
+}

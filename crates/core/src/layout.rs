@@ -1,0 +1,92 @@
+//! Server-side memory carving.
+//!
+//! Applications lay out their registered structures (hash tables,
+//! metadata arrays, buffer pools, per-connection scratch space) inside
+//! the host arena. [`Carver`] is the bump allocator that hands out
+//! non-overlapping, aligned extents at setup time — it is control-plane
+//! code, run by the server CPU, not part of the remote data path.
+
+use prism_rdma::arena::MemoryArena;
+
+/// A bump allocator over the arena's address space.
+#[derive(Debug)]
+pub struct Carver {
+    next: u64,
+    end: u64,
+}
+
+impl Carver {
+    /// Creates a carver spanning the whole arena.
+    pub fn new(arena: &MemoryArena) -> Self {
+        Carver {
+            next: MemoryArena::BASE,
+            end: arena.end(),
+        }
+    }
+
+    /// Reserves `len` bytes aligned to `align` and returns the base
+    /// address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or the arena is exhausted —
+    /// both are setup-time configuration errors.
+    pub fn carve(&mut self, len: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = self.next.next_multiple_of(align);
+        let end = base.checked_add(len).expect("address overflow");
+        assert!(
+            end <= self.end,
+            "arena exhausted: need [{base:#x}, {end:#x}) but arena ends at {:#x}",
+            self.end
+        );
+        self.next = end;
+        base
+    }
+
+    /// Bytes still available (ignoring alignment padding).
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carves_are_disjoint_and_aligned() {
+        let arena = MemoryArena::new(4096);
+        let mut c = Carver::new(&arena);
+        let a = c.carve(100, 8);
+        let b = c.carve(100, 64);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100, "extents must not overlap");
+    }
+
+    #[test]
+    fn remaining_shrinks() {
+        let arena = MemoryArena::new(4096);
+        let mut c = Carver::new(&arena);
+        let before = c.remaining();
+        c.carve(128, 8);
+        assert_eq!(c.remaining(), before - 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn exhaustion_panics() {
+        let arena = MemoryArena::new(128);
+        let mut c = Carver::new(&arena);
+        c.carve(4096, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let arena = MemoryArena::new(128);
+        let mut c = Carver::new(&arena);
+        c.carve(8, 3);
+    }
+}

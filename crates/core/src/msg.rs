@@ -1,0 +1,260 @@
+//! Transport-neutral request/reply messages.
+//!
+//! The application protocols (PRISM-KV, PRISM-RS, PRISM-TX and their
+//! baselines) are written sans-I/O: client state machines emit
+//! [`Request`]s and consume [`Reply`]s without knowing whether the
+//! transport is a direct function call (live mode, unit tests), worker
+//! threads, or the discrete-event simulator (figure regeneration). A
+//! request is either a PRISM chain, a classic one-sided verb, or a
+//! two-sided RPC — the three kinds of traffic in the paper's systems.
+
+use crate::engine::{OpResult, OpStatus};
+use crate::op::PrismOp;
+use crate::wire;
+use prism_rdma::RdmaError;
+
+/// A classic one-sided RDMA verb (the baselines' vocabulary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verb {
+    /// One-sided READ of `len` bytes.
+    Read {
+        /// Target address.
+        addr: u64,
+        /// Bytes to read.
+        len: u32,
+        /// Region key.
+        rkey: u32,
+    },
+    /// One-sided WRITE.
+    Write {
+        /// Target address.
+        addr: u64,
+        /// Data to store.
+        data: Vec<u8>,
+        /// Region key.
+        rkey: u32,
+    },
+    /// Classic 8-byte compare-and-swap.
+    Cas64 {
+        /// Target address (8-byte aligned).
+        addr: u64,
+        /// Expected value.
+        compare: u64,
+        /// Replacement value.
+        swap: u64,
+        /// Region key.
+        rkey: u32,
+    },
+}
+
+impl Verb {
+    /// Request bytes on the wire (header + inline payload).
+    pub fn request_len(&self) -> u64 {
+        match self {
+            Verb::Read { .. } => 28,
+            Verb::Write { data, .. } => 28 + data.len() as u64,
+            Verb::Cas64 { .. } => 44,
+        }
+    }
+
+    /// Response payload bytes.
+    pub fn response_len(&self) -> u64 {
+        match self {
+            Verb::Read { len, .. } => *len as u64,
+            Verb::Write { .. } => 4,
+            Verb::Cas64 { .. } => 8,
+        }
+    }
+}
+
+/// One message from a client to a server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// A PRISM chain, executed by the PRISM data plane.
+    Chain(Vec<PrismOp>),
+    /// A classic one-sided verb, executed by the (simulated) NIC.
+    Verb(Verb),
+    /// A two-sided RPC, executed by a server CPU core.
+    Rpc(Vec<u8>),
+}
+
+impl Request {
+    /// Request size for link-bandwidth accounting.
+    pub fn wire_len(&self) -> u64 {
+        match self {
+            Request::Chain(c) => wire::request_len(c),
+            Request::Verb(v) => v.request_len(),
+            Request::Rpc(b) => b.len() as u64 + 8,
+        }
+    }
+
+    /// Number of PRISM primitives (for dispatch-core occupancy); zero for
+    /// verbs and RPCs.
+    pub fn chain_ops(&self) -> u64 {
+        match self {
+            Request::Chain(c) => c.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// The server's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Per-op results of a chain.
+    Chain(Vec<OpResult>),
+    /// Verb outcome: returned bytes (READ data, CAS old value) or error.
+    Verb(Result<Vec<u8>, RdmaError>),
+    /// RPC response bytes.
+    Rpc(Vec<u8>),
+}
+
+impl Reply {
+    /// Response size for link-bandwidth accounting.
+    pub fn wire_len(&self) -> u64 {
+        match self {
+            Reply::Chain(r) => wire::response_len(r),
+            Reply::Verb(Ok(d)) => d.len() as u64 + 8,
+            Reply::Verb(Err(_)) => 8,
+            Reply::Rpc(b) => b.len() as u64 + 8,
+        }
+    }
+
+    /// The chain results, panicking on a type mismatch (protocol bugs,
+    /// not runtime conditions).
+    pub fn into_chain(self) -> Vec<OpResult> {
+        match self {
+            Reply::Chain(r) => r,
+            other => panic!("expected chain reply, got {other:?}"),
+        }
+    }
+
+    /// The RPC payload, panicking on a type mismatch.
+    pub fn into_rpc(self) -> Vec<u8> {
+        match self {
+            Reply::Rpc(b) => b,
+            other => panic!("expected RPC reply, got {other:?}"),
+        }
+    }
+
+    /// The verb outcome, panicking on a type mismatch.
+    pub fn into_verb(self) -> Result<Vec<u8>, RdmaError> {
+        match self {
+            Reply::Verb(r) => r,
+            other => panic!("expected verb reply, got {other:?}"),
+        }
+    }
+}
+
+/// Executes a request against a local server — the live-mode transport,
+/// also used by every unit and integration test.
+pub fn execute_local(server: &crate::server::PrismServer, req: &Request) -> Reply {
+    match req {
+        Request::Chain(chain) => Reply::Chain(server.execute_chain(chain)),
+        Request::Verb(v) => Reply::Verb(match v {
+            Verb::Read { addr, len, rkey } => {
+                server
+                    .nic()
+                    .read(prism_rdma::Rkey(*rkey), *addr, *len as u64)
+            }
+            Verb::Write { addr, data, rkey } => server
+                .nic()
+                .write(prism_rdma::Rkey(*rkey), *addr, data)
+                .map(|()| Vec::new()),
+            Verb::Cas64 {
+                addr,
+                compare,
+                swap,
+                rkey,
+            } => server
+                .nic()
+                .cas64(prism_rdma::Rkey(*rkey), *addr, *compare, *swap)
+                .map(|old| old.to_le_bytes().to_vec()),
+        }),
+        Request::Rpc(bytes) => Reply::Rpc(server.handle_rpc(bytes)),
+    }
+}
+
+/// Whether every op in a chain reply succeeded.
+pub fn chain_all_ok(results: &[OpResult]) -> bool {
+    !results.is_empty() && results.iter().all(|r| r.status == OpStatus::Ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ops;
+    use crate::server::PrismServer;
+    use prism_rdma::region::AccessFlags;
+
+    #[test]
+    fn verb_sizes() {
+        let w = Verb::Write {
+            addr: 0,
+            data: vec![0; 512],
+            rkey: 1,
+        };
+        assert_eq!(w.request_len(), 540);
+        assert_eq!(
+            Verb::Read {
+                addr: 0,
+                len: 512,
+                rkey: 1
+            }
+            .response_len(),
+            512
+        );
+    }
+
+    #[test]
+    fn local_execution_of_all_request_kinds() {
+        let s = PrismServer::new(1 << 20);
+        let (addr, rkey) = s.carve_region(64, 64, AccessFlags::FULL);
+        s.set_rpc_handler(std::sync::Arc::new(|req: &[u8]| req.to_vec()));
+
+        // Verb write then chain read.
+        let w = execute_local(
+            &s,
+            &Request::Verb(Verb::Write {
+                addr,
+                data: b"12345678".to_vec(),
+                rkey: rkey.0,
+            }),
+        );
+        assert!(w.into_verb().is_ok());
+        let r = execute_local(&s, &Request::Chain(vec![ops::read(addr, 8, rkey.0)]));
+        assert_eq!(r.into_chain()[0].data, b"12345678");
+
+        // Classic CAS through the same memory.
+        s.arena().write_u64(addr, 5).unwrap();
+        let c = execute_local(
+            &s,
+            &Request::Verb(Verb::Cas64 {
+                addr,
+                compare: 5,
+                swap: 6,
+                rkey: rkey.0,
+            }),
+        );
+        assert_eq!(c.into_verb().unwrap(), 5u64.to_le_bytes());
+
+        // RPC echo.
+        let rpc = execute_local(&s, &Request::Rpc(b"ping".to_vec()));
+        assert_eq!(rpc.into_rpc(), b"ping");
+    }
+
+    #[test]
+    fn chain_all_ok_semantics() {
+        assert!(!chain_all_ok(&[]));
+        let ok = OpResult {
+            status: OpStatus::Ok,
+            data: vec![],
+        };
+        let failed = OpResult {
+            status: OpStatus::CasFailed,
+            data: vec![],
+        };
+        assert!(chain_all_ok(&[ok.clone()]));
+        assert!(!chain_all_ok(&[ok, failed]));
+    }
+}

@@ -1,0 +1,241 @@
+//! The PRISM operation descriptors — a direct transcription of Table 1.
+//!
+//! A client request is a *chain* of [`PrismOp`]s executed in order on the
+//! server's data plane. Each op names a target address, an rkey, and the
+//! flag bits the paper adds to the RDMA base transport header: two
+//! indirection flags, a bounded-pointer flag, a conditional flag, and an
+//! output-redirection flag (§4.2, "Wire Protocol Extensions").
+
+use crate::value::CasMode;
+
+/// Maximum operand length for the enhanced CAS (§3.3, matching Mellanox
+/// extended atomics).
+pub const MAX_CAS_LEN: usize = 32;
+
+/// Identifies a free list (one per buffer size class) registered for
+/// ALLOCATE (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FreeListId(pub u32);
+
+/// Where a chained op's output goes instead of the response (§3.4,
+/// "Output redirection").
+///
+/// The address is usually a per-connection scratch slot in on-NIC memory
+/// (§4.2 sizes it at 32 B per connection). It carries its own rkey because
+/// the scratch region is registered separately from application data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Redirect {
+    /// Destination address for the op's output bytes.
+    pub addr: u64,
+    /// Key of the region covering `addr`.
+    pub rkey: u32,
+}
+
+/// Source of the data argument for WRITE and CAS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataArg {
+    /// Data carried in the request itself.
+    Inline(Vec<u8>),
+    /// `data_indirect` (§3.1): the argument is a server-side address; the
+    /// operand is loaded from there. The rkey validates the load — the
+    /// per-connection scratch region in the chained-op pattern.
+    Remote {
+        /// Server-side address holding the operand bytes.
+        addr: u64,
+        /// Key of the region covering `addr`.
+        rkey: u32,
+    },
+}
+
+impl DataArg {
+    /// Bytes this argument contributes to the request message (inline data
+    /// travels on the wire; a remote pointer is 12 bytes of header).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            DataArg::Inline(d) => d.len(),
+            DataArg::Remote { .. } => 12,
+        }
+    }
+}
+
+/// One PRISM primitive, with its chaining flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrismOp {
+    /// `READ(ptr addr, size len, bool indirect, bool bounded)` (Table 1).
+    Read {
+        /// Target address — the data itself, or a pointer to it when
+        /// `indirect` is set.
+        addr: u64,
+        /// Number of bytes requested.
+        len: u32,
+        /// Region key for `addr` (and, for indirect reads, for the
+        /// pointed-to target as well — §3.1's security rule).
+        rkey: u32,
+        /// Treat `addr` as the address of a pointer to the real target.
+        indirect: bool,
+        /// Treat the pointer as a `(ptr, bound)` pair and clamp the read
+        /// length to `bound`.
+        bounded: bool,
+        /// Skip unless the previous op in the chain succeeded (§3.4).
+        conditional: bool,
+        /// Write the output to this server-side location instead of
+        /// returning it (§3.4).
+        redirect: Option<Redirect>,
+    },
+    /// `WRITE(ptr addr, byte[] data, size len, ...)` (Table 1).
+    Write {
+        /// Target address — direct, or a pointer when `addr_indirect`.
+        addr: u64,
+        /// Region key for `addr`.
+        rkey: u32,
+        /// The data to store (inline or loaded from a server-side
+        /// address when `data_indirect` is set).
+        data: DataArg,
+        /// Number of bytes to write.
+        len: u32,
+        /// Treat `addr` as a pointer to the real target.
+        addr_indirect: bool,
+        /// Clamp the write length with the pointer's `bound` field.
+        addr_bounded: bool,
+        /// Skip unless the previous op succeeded.
+        conditional: bool,
+    },
+    /// `ALLOCATE(qp freelist, byte[] data, size len) -> ptr` (Table 1).
+    Allocate {
+        /// Which free list (size class) to pop from.
+        freelist: FreeListId,
+        /// Data written into the fresh buffer.
+        data: Vec<u8>,
+        /// Skip unless the previous op succeeded.
+        conditional: bool,
+        /// Write the returned address here instead of to the response.
+        redirect: Option<Redirect>,
+    },
+    /// `CAS(mode, ptr target, byte[] data, bitmask compare_mask,
+    /// bitmask swap_mask, ...)` (Table 1).
+    ///
+    /// Table 1 abbreviates the operand as a single `data[]`; we follow
+    /// the Mellanox extended-atomics interface the paper adopts (§3.3),
+    /// which supplies *separate* compare and swap operands with their own
+    /// masks. The paper's own applications require this: PRISM-KV's PUT
+    /// (§6.1) compares the slot against the *old* address (known to the
+    /// client) while swapping in the *new* address staged by ALLOCATE —
+    /// two different values over the same bytes.
+    Cas {
+        /// Comparison operator (equality or arithmetic, §3.3).
+        mode: CasMode,
+        /// Target address — direct, or a pointer when `target_indirect`.
+        target: u64,
+        /// Region key for `target`.
+        rkey: u32,
+        /// Comparand: `(*target & compare_mask)` is compared with
+        /// `(compare & compare_mask)` under `mode`.
+        compare: DataArg,
+        /// Swap value: on success,
+        /// `*target = (*target & !swap_mask) | (swap & swap_mask)`.
+        swap: DataArg,
+        /// Operand length in bytes (≤ 32).
+        len: u32,
+        /// Bits of the operand that participate in the comparison.
+        compare_mask: [u8; MAX_CAS_LEN],
+        /// Bits of the target that are replaced on success.
+        swap_mask: [u8; MAX_CAS_LEN],
+        /// Treat `target` as a pointer to the real target (deref not
+        /// atomic; only the CAS is — §3.3).
+        target_indirect: bool,
+        /// Skip unless the previous op succeeded.
+        conditional: bool,
+    },
+}
+
+impl PrismOp {
+    /// Whether this op has the conditional flag set.
+    pub fn is_conditional(&self) -> bool {
+        match self {
+            PrismOp::Read { conditional, .. }
+            | PrismOp::Write { conditional, .. }
+            | PrismOp::Allocate { conditional, .. }
+            | PrismOp::Cas { conditional, .. } => *conditional,
+        }
+    }
+
+    /// Short opcode name for logs and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrismOp::Read { .. } => "READ",
+            PrismOp::Write { .. } => "WRITE",
+            PrismOp::Allocate { .. } => "ALLOCATE",
+            PrismOp::Cas { .. } => "CAS",
+        }
+    }
+}
+
+/// An all-ones mask covering the first `len` bytes — the common "compare
+/// (or swap) the whole operand" case.
+pub fn full_mask(len: usize) -> [u8; MAX_CAS_LEN] {
+    assert!(len <= MAX_CAS_LEN, "mask longer than CAS operand maximum");
+    let mut m = [0u8; MAX_CAS_LEN];
+    m[..len].fill(0xFF);
+    m
+}
+
+/// A mask covering `[start, start+len)` within the operand — for comparing
+/// one field of a structure and swapping another (§3.3).
+pub fn field_mask(start: usize, len: usize) -> [u8; MAX_CAS_LEN] {
+    assert!(
+        start + len <= MAX_CAS_LEN,
+        "field extends past CAS operand maximum"
+    );
+    let mut m = [0u8; MAX_CAS_LEN];
+    m[start..start + len].fill(0xFF);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_cover_requested_bytes() {
+        let m = full_mask(8);
+        assert!(m[..8].iter().all(|&b| b == 0xFF));
+        assert!(m[8..].iter().all(|&b| b == 0));
+        let f = field_mask(8, 8);
+        assert!(f[..8].iter().all(|&b| b == 0));
+        assert!(f[8..16].iter().all(|&b| b == 0xFF));
+        assert!(f[16..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than CAS operand")]
+    fn oversized_full_mask_panics() {
+        full_mask(33);
+    }
+
+    #[test]
+    #[should_panic(expected = "past CAS operand")]
+    fn oversized_field_mask_panics() {
+        field_mask(30, 3);
+    }
+
+    #[test]
+    fn conditional_flag_reported() {
+        let op = PrismOp::Read {
+            addr: 0,
+            len: 8,
+            rkey: 1,
+            indirect: false,
+            bounded: false,
+            conditional: true,
+            redirect: None,
+        };
+        assert!(op.is_conditional());
+        assert_eq!(op.name(), "READ");
+    }
+
+    #[test]
+    fn data_arg_wire_len() {
+        assert_eq!(DataArg::Inline(vec![0; 100]).wire_len(), 100);
+        assert_eq!(DataArg::Remote { addr: 0, rkey: 0 }.wire_len(), 12);
+    }
+}

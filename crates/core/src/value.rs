@@ -1,0 +1,224 @@
+//! Value semantics of the enhanced compare-and-swap (§3.3).
+//!
+//! The enhanced CAS compares `(*target & compare_mask)` against
+//! `(data & compare_mask)` under an operator that may be bitwise equality
+//! or an arithmetic inequality, then on success sets
+//! `*target = (*target & !swap_mask) | (data & swap_mask)`.
+//!
+//! For the arithmetic modes the masked operand is interpreted as an
+//! unsigned **big-endian** integer: the byte at the lowest address is most
+//! significant. This convention makes field concatenation lexicographic —
+//! PRISM-TX's single-CAS read validation compares `RC|TS` against `PW|PR`
+//! (§8.2) simply by laying PW out at a lower address than PR — and it is
+//! how applications in this repository store all CAS-visible metadata
+//! (see [`be64`]/[`read_be64`]).
+
+use std::cmp::Ordering;
+
+/// Comparison operator for the enhanced CAS (§3.3: equality plus
+/// "arithmetic comparison operators (greater/less than)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CasMode {
+    /// Bitwise equality of the masked operands.
+    Eq,
+    /// Bitwise inequality.
+    Ne,
+    /// Masked target < masked data (big-endian unsigned).
+    Lt,
+    /// Masked target <= masked data.
+    Le,
+    /// Masked target > masked data.
+    Gt,
+    /// Masked target >= masked data.
+    Ge,
+}
+
+impl CasMode {
+    /// Stable numeric encoding for the wire format.
+    pub fn code(self) -> u8 {
+        match self {
+            CasMode::Eq => 0,
+            CasMode::Ne => 1,
+            CasMode::Lt => 2,
+            CasMode::Le => 3,
+            CasMode::Gt => 4,
+            CasMode::Ge => 5,
+        }
+    }
+
+    /// Inverse of [`CasMode::code`].
+    pub fn from_code(code: u8) -> Option<CasMode> {
+        Some(match code {
+            0 => CasMode::Eq,
+            1 => CasMode::Ne,
+            2 => CasMode::Lt,
+            3 => CasMode::Le,
+            4 => CasMode::Gt,
+            5 => CasMode::Ge,
+            _ => return None,
+        })
+    }
+}
+
+/// Compares masked byte strings as big-endian unsigned integers.
+///
+/// Both slices must be the same length (the operand length of the CAS).
+fn masked_cmp(target: &[u8], data: &[u8], mask: &[u8]) -> Ordering {
+    debug_assert_eq!(target.len(), data.len());
+    debug_assert!(mask.len() >= target.len());
+    for i in 0..target.len() {
+        let t = target[i] & mask[i];
+        let d = data[i] & mask[i];
+        match t.cmp(&d) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Evaluates the CAS comparison: does the masked `target` satisfy `mode`
+/// with respect to the masked `data`?
+///
+/// The comparison reads as "target MODE data" — e.g. `Gt` succeeds when
+/// the current memory contents are greater than the supplied operand.
+/// (Applications wanting "new value greater than current", like PRISM-RS's
+/// tag install, use `Lt`: *target < data.)
+pub fn cas_compare(mode: CasMode, target: &[u8], data: &[u8], mask: &[u8]) -> bool {
+    let ord = masked_cmp(target, data, mask);
+    match mode {
+        CasMode::Eq => ord == Ordering::Equal,
+        CasMode::Ne => ord != Ordering::Equal,
+        CasMode::Lt => ord == Ordering::Less,
+        CasMode::Le => ord != Ordering::Greater,
+        CasMode::Gt => ord == Ordering::Greater,
+        CasMode::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Applies the swap: `target = (target & !mask) | (data & mask)`.
+pub fn cas_swap(target: &mut [u8], data: &[u8], mask: &[u8]) {
+    debug_assert_eq!(target.len(), data.len());
+    for i in 0..target.len() {
+        target[i] = (target[i] & !mask[i]) | (data[i] & mask[i]);
+    }
+}
+
+/// Encodes a u64 big-endian — the byte order CAS-visible metadata uses.
+pub fn be64(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+/// Decodes a big-endian u64 from the first 8 bytes of `b`.
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than 8 bytes.
+pub fn read_be64(b: &[u8]) -> u64 {
+    u64::from_be_bytes(b[..8].try_into().expect("need 8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_unmasked_bytes() {
+        let mask = [0xFF, 0xFF, 0x00, 0x00];
+        assert!(cas_compare(
+            CasMode::Eq,
+            &[1, 2, 3, 4],
+            &[1, 2, 9, 9],
+            &mask
+        ));
+        assert!(!cas_compare(
+            CasMode::Eq,
+            &[1, 2, 3, 4],
+            &[1, 3, 3, 4],
+            &mask
+        ));
+    }
+
+    #[test]
+    fn big_endian_ordering() {
+        // 0x0100 > 0x00FF as big-endian integers.
+        let full = [0xFF; 2];
+        assert!(cas_compare(CasMode::Gt, &[1, 0], &[0, 0xFF], &full));
+        assert!(cas_compare(CasMode::Lt, &[0, 0xFF], &[1, 0], &full));
+    }
+
+    #[test]
+    fn inequality_modes_are_consistent() {
+        let full = [0xFF; 8];
+        let lo = be64(5);
+        let hi = be64(9);
+        // target=5, data=9
+        assert!(cas_compare(CasMode::Lt, &lo, &hi, &full));
+        assert!(cas_compare(CasMode::Le, &lo, &hi, &full));
+        assert!(!cas_compare(CasMode::Gt, &lo, &hi, &full));
+        assert!(!cas_compare(CasMode::Ge, &lo, &hi, &full));
+        assert!(cas_compare(CasMode::Ne, &lo, &hi, &full));
+        // Equal values.
+        assert!(cas_compare(CasMode::Le, &lo, &lo, &full));
+        assert!(cas_compare(CasMode::Ge, &lo, &lo, &full));
+        assert!(!cas_compare(CasMode::Lt, &lo, &lo, &full));
+    }
+
+    #[test]
+    fn lexicographic_field_concatenation() {
+        // PRISM-TX's read validation: compare RC|TS >= PW|PR with PW at
+        // the lower address. If RC == PW, the second field decides.
+        let mut target = Vec::new();
+        target.extend_from_slice(&be64(10)); // PW
+        target.extend_from_slice(&be64(7)); // PR
+        let mut data = Vec::new();
+        data.extend_from_slice(&be64(10)); // RC
+        data.extend_from_slice(&be64(9)); // TS
+        let full = [0xFF; 16];
+        // target (10|7) < data (10|9): Lt holds.
+        assert!(cas_compare(CasMode::Lt, &target, &data, &full));
+        // If RC < PW the first field dominates regardless of TS.
+        data[..8].copy_from_slice(&be64(9));
+        assert!(cas_compare(CasMode::Gt, &target, &data, &full));
+    }
+
+    #[test]
+    fn swap_respects_mask() {
+        let mut target = [0xAAu8; 4];
+        let data = [0x55u8; 4];
+        let mask = [0xFF, 0x00, 0x0F, 0xFF];
+        cas_swap(&mut target, &data, &mask);
+        assert_eq!(target, [0x55, 0xAA, 0xA5, 0x55]);
+    }
+
+    #[test]
+    fn mode_codes_round_trip() {
+        for mode in [
+            CasMode::Eq,
+            CasMode::Ne,
+            CasMode::Lt,
+            CasMode::Le,
+            CasMode::Gt,
+            CasMode::Ge,
+        ] {
+            assert_eq!(CasMode::from_code(mode.code()), Some(mode));
+        }
+        assert_eq!(CasMode::from_code(99), None);
+    }
+
+    #[test]
+    fn be64_round_trip() {
+        assert_eq!(
+            read_be64(&be64(0x0123_4567_89AB_CDEF)),
+            0x0123_4567_89AB_CDEF
+        );
+    }
+
+    #[test]
+    fn be64_orders_like_integers() {
+        let full = [0xFF; 8];
+        for (a, b) in [(0u64, 1u64), (255, 256), (u64::MAX - 1, u64::MAX)] {
+            assert!(cas_compare(CasMode::Lt, &be64(a), &be64(b), &full));
+        }
+    }
+}

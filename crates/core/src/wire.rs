@@ -1,0 +1,501 @@
+//! Wire encoding of PRISM chains and responses.
+//!
+//! The paper adds five flag bits to the RDMA base transport header
+//! (§4.2): two indirection flags, a bounded-pointer flag, and the
+//! conditional and redirection flags. This module defines the concrete
+//! request format the reproduction uses — one header per op, flags in a
+//! single byte — plus the response format. Besides round-tripping chains
+//! between client and server, the encoders give the experiment harness
+//! exact request/response byte counts for link-bandwidth accounting.
+
+use bytes::{Buf, BufMut};
+
+use crate::engine::{OpResult, OpStatus};
+use crate::op::{DataArg, FreeListId, PrismOp, Redirect, MAX_CAS_LEN};
+use crate::value::CasMode;
+use prism_rdma::RdmaError;
+
+/// Decoding failure: the buffer is truncated or malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const OP_READ: u8 = 0;
+const OP_WRITE: u8 = 1;
+const OP_ALLOCATE: u8 = 2;
+const OP_CAS: u8 = 3;
+
+// Flag bits (the paper's five BTH flags, plus one distinguishing the two
+// operand sources of our Mellanox-style CAS).
+const F_INDIRECT: u8 = 1 << 0;
+const F_BOUNDED: u8 = 1 << 1;
+const F_CONDITIONAL: u8 = 1 << 2;
+const F_REDIRECT: u8 = 1 << 3;
+const F_COMPARE_REMOTE: u8 = 1 << 4;
+const F_SWAP_REMOTE: u8 = 1 << 5;
+
+fn put_data_arg(buf: &mut Vec<u8>, arg: &DataArg) {
+    match arg {
+        DataArg::Inline(d) => {
+            buf.put_u32_le(d.len() as u32);
+            buf.put_slice(d);
+        }
+        DataArg::Remote { addr, rkey } => {
+            buf.put_u64_le(*addr);
+            buf.put_u32_le(*rkey);
+        }
+    }
+}
+
+fn get_inline(buf: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError("truncated inline length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(WireError("truncated inline data"));
+    }
+    let mut v = vec![0u8; len];
+    buf.copy_to_slice(&mut v);
+    Ok(v)
+}
+
+fn get_data_arg(buf: &mut &[u8], remote: bool) -> Result<DataArg, WireError> {
+    if remote {
+        if buf.remaining() < 12 {
+            return Err(WireError("truncated remote data arg"));
+        }
+        let addr = buf.get_u64_le();
+        let rkey = buf.get_u32_le();
+        Ok(DataArg::Remote { addr, rkey })
+    } else {
+        Ok(DataArg::Inline(get_inline(buf)?))
+    }
+}
+
+fn put_redirect(buf: &mut Vec<u8>, r: &Redirect) {
+    buf.put_u64_le(r.addr);
+    buf.put_u32_le(r.rkey);
+}
+
+fn get_redirect(buf: &mut &[u8]) -> Result<Redirect, WireError> {
+    if buf.remaining() < 12 {
+        return Err(WireError("truncated redirect"));
+    }
+    let addr = buf.get_u64_le();
+    let rkey = buf.get_u32_le();
+    Ok(Redirect { addr, rkey })
+}
+
+/// Encodes a chain into a request message.
+pub fn encode_chain(chain: &[PrismOp]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 * chain.len());
+    buf.put_u16_le(chain.len() as u16);
+    for op in chain {
+        match op {
+            PrismOp::Read {
+                addr,
+                len,
+                rkey,
+                indirect,
+                bounded,
+                conditional,
+                redirect,
+            } => {
+                buf.put_u8(OP_READ);
+                let mut flags = 0;
+                if *indirect {
+                    flags |= F_INDIRECT;
+                }
+                if *bounded {
+                    flags |= F_BOUNDED;
+                }
+                if *conditional {
+                    flags |= F_CONDITIONAL;
+                }
+                if redirect.is_some() {
+                    flags |= F_REDIRECT;
+                }
+                buf.put_u8(flags);
+                buf.put_u64_le(*addr);
+                buf.put_u32_le(*len);
+                buf.put_u32_le(*rkey);
+                if let Some(r) = redirect {
+                    put_redirect(&mut buf, r);
+                }
+            }
+            PrismOp::Write {
+                addr,
+                rkey,
+                data,
+                len,
+                addr_indirect,
+                addr_bounded,
+                conditional,
+            } => {
+                buf.put_u8(OP_WRITE);
+                let mut flags = 0;
+                if *addr_indirect {
+                    flags |= F_INDIRECT;
+                }
+                if *addr_bounded {
+                    flags |= F_BOUNDED;
+                }
+                if *conditional {
+                    flags |= F_CONDITIONAL;
+                }
+                if matches!(data, DataArg::Remote { .. }) {
+                    flags |= F_SWAP_REMOTE;
+                }
+                buf.put_u8(flags);
+                buf.put_u64_le(*addr);
+                buf.put_u32_le(*len);
+                buf.put_u32_le(*rkey);
+                put_data_arg(&mut buf, data);
+            }
+            PrismOp::Allocate {
+                freelist,
+                data,
+                conditional,
+                redirect,
+            } => {
+                buf.put_u8(OP_ALLOCATE);
+                let mut flags = 0;
+                if *conditional {
+                    flags |= F_CONDITIONAL;
+                }
+                if redirect.is_some() {
+                    flags |= F_REDIRECT;
+                }
+                buf.put_u8(flags);
+                buf.put_u32_le(freelist.0);
+                buf.put_u32_le(data.len() as u32);
+                buf.put_slice(data);
+                if let Some(r) = redirect {
+                    put_redirect(&mut buf, r);
+                }
+            }
+            PrismOp::Cas {
+                mode,
+                target,
+                rkey,
+                compare,
+                swap,
+                len,
+                compare_mask,
+                swap_mask,
+                target_indirect,
+                conditional,
+            } => {
+                buf.put_u8(OP_CAS);
+                let mut flags = 0;
+                if *target_indirect {
+                    flags |= F_INDIRECT;
+                }
+                if *conditional {
+                    flags |= F_CONDITIONAL;
+                }
+                if matches!(compare, DataArg::Remote { .. }) {
+                    flags |= F_COMPARE_REMOTE;
+                }
+                if matches!(swap, DataArg::Remote { .. }) {
+                    flags |= F_SWAP_REMOTE;
+                }
+                buf.put_u8(flags);
+                buf.put_u8(mode.code());
+                buf.put_u64_le(*target);
+                buf.put_u32_le(*len);
+                buf.put_u32_le(*rkey);
+                put_data_arg(&mut buf, compare);
+                put_data_arg(&mut buf, swap);
+                buf.put_slice(compare_mask);
+                buf.put_slice(swap_mask);
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a request message back into a chain.
+pub fn decode_chain(mut buf: &[u8]) -> Result<Vec<PrismOp>, WireError> {
+    if buf.remaining() < 2 {
+        return Err(WireError("truncated chain header"));
+    }
+    let count = buf.get_u16_le() as usize;
+    let mut chain = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 2 {
+            return Err(WireError("truncated op header"));
+        }
+        let opcode = buf.get_u8();
+        let flags = buf.get_u8();
+        let conditional = flags & F_CONDITIONAL != 0;
+        let op = match opcode {
+            OP_READ => {
+                if buf.remaining() < 16 {
+                    return Err(WireError("truncated READ"));
+                }
+                let addr = buf.get_u64_le();
+                let len = buf.get_u32_le();
+                let rkey = buf.get_u32_le();
+                let redirect = if flags & F_REDIRECT != 0 {
+                    Some(get_redirect(&mut buf)?)
+                } else {
+                    None
+                };
+                PrismOp::Read {
+                    addr,
+                    len,
+                    rkey,
+                    indirect: flags & F_INDIRECT != 0,
+                    bounded: flags & F_BOUNDED != 0,
+                    conditional,
+                    redirect,
+                }
+            }
+            OP_WRITE => {
+                if buf.remaining() < 16 {
+                    return Err(WireError("truncated WRITE"));
+                }
+                let addr = buf.get_u64_le();
+                let len = buf.get_u32_le();
+                let rkey = buf.get_u32_le();
+                let data = get_data_arg(&mut buf, flags & F_SWAP_REMOTE != 0)?;
+                PrismOp::Write {
+                    addr,
+                    rkey,
+                    data,
+                    len,
+                    addr_indirect: flags & F_INDIRECT != 0,
+                    addr_bounded: flags & F_BOUNDED != 0,
+                    conditional,
+                }
+            }
+            OP_ALLOCATE => {
+                if buf.remaining() < 4 {
+                    return Err(WireError("truncated ALLOCATE"));
+                }
+                let freelist = FreeListId(buf.get_u32_le());
+                let data = get_inline(&mut buf)?;
+                let redirect = if flags & F_REDIRECT != 0 {
+                    Some(get_redirect(&mut buf)?)
+                } else {
+                    None
+                };
+                PrismOp::Allocate {
+                    freelist,
+                    data,
+                    conditional,
+                    redirect,
+                }
+            }
+            OP_CAS => {
+                if buf.remaining() < 17 {
+                    return Err(WireError("truncated CAS"));
+                }
+                let mode = CasMode::from_code(buf.get_u8()).ok_or(WireError("bad CAS mode"))?;
+                let target = buf.get_u64_le();
+                let len = buf.get_u32_le();
+                let rkey = buf.get_u32_le();
+                let compare = get_data_arg(&mut buf, flags & F_COMPARE_REMOTE != 0)?;
+                let swap = get_data_arg(&mut buf, flags & F_SWAP_REMOTE != 0)?;
+                if buf.remaining() < 2 * MAX_CAS_LEN {
+                    return Err(WireError("truncated CAS masks"));
+                }
+                let mut compare_mask = [0u8; MAX_CAS_LEN];
+                buf.copy_to_slice(&mut compare_mask);
+                let mut swap_mask = [0u8; MAX_CAS_LEN];
+                buf.copy_to_slice(&mut swap_mask);
+                PrismOp::Cas {
+                    mode,
+                    target,
+                    rkey,
+                    compare,
+                    swap,
+                    len,
+                    compare_mask,
+                    swap_mask,
+                    target_indirect: flags & F_INDIRECT != 0,
+                    conditional,
+                }
+            }
+            _ => return Err(WireError("unknown opcode")),
+        };
+        chain.push(op);
+    }
+    Ok(chain)
+}
+
+const ST_OK: u8 = 0;
+const ST_CAS_FAILED: u8 = 1;
+const ST_SKIPPED: u8 = 2;
+const ST_ERROR: u8 = 3;
+
+/// Encodes the per-op results of a chain into a response message.
+pub fn encode_response(results: &[OpResult]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.put_u16_le(results.len() as u16);
+    for r in results {
+        match &r.status {
+            OpStatus::Ok => buf.put_u8(ST_OK),
+            OpStatus::CasFailed => buf.put_u8(ST_CAS_FAILED),
+            OpStatus::Skipped => buf.put_u8(ST_SKIPPED),
+            OpStatus::Error(_) => buf.put_u8(ST_ERROR),
+        }
+        buf.put_u32_le(r.data.len() as u32);
+        buf.put_slice(&r.data);
+    }
+    buf
+}
+
+/// Decodes a response message. Error detail is collapsed to
+/// [`RdmaError::ChainAborted`] — real NACKs carry only a syndrome byte,
+/// and clients only branch on success/failure class.
+pub fn decode_response(mut buf: &[u8]) -> Result<Vec<OpResult>, WireError> {
+    if buf.remaining() < 2 {
+        return Err(WireError("truncated response header"));
+    }
+    let count = buf.get_u16_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 5 {
+            return Err(WireError("truncated result"));
+        }
+        let status = buf.get_u8();
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(WireError("truncated result data"));
+        }
+        let mut data = vec![0u8; len];
+        buf.copy_to_slice(&mut data);
+        let status = match status {
+            ST_OK => OpStatus::Ok,
+            ST_CAS_FAILED => OpStatus::CasFailed,
+            ST_SKIPPED => OpStatus::Skipped,
+            ST_ERROR => OpStatus::Error(RdmaError::ChainAborted),
+            _ => return Err(WireError("bad status byte")),
+        };
+        out.push(OpResult { status, data });
+    }
+    Ok(out)
+}
+
+/// Request size of a chain, for link-bandwidth accounting.
+pub fn request_len(chain: &[PrismOp]) -> u64 {
+    encode_chain(chain).len() as u64
+}
+
+/// Response size of a result set, for link-bandwidth accounting.
+pub fn response_len(results: &[OpResult]) -> u64 {
+    encode_response(results).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ops;
+    use crate::op::full_mask;
+
+    fn sample_chain() -> Vec<PrismOp> {
+        vec![
+            ops::read_indirect_bounded(0x1_0000, 512, 7),
+            ops::write(0x2_0000, vec![1, 2, 3], 7).conditional(),
+            ops::allocate(FreeListId(3), vec![9; 40]).redirect(Redirect {
+                addr: 0x3_0000,
+                rkey: 8,
+            }),
+            ops::cas_args(
+                CasMode::Lt,
+                0x4_0000,
+                7,
+                DataArg::Inline(vec![0xAA; 16]),
+                DataArg::Remote {
+                    addr: 0x3_0000,
+                    rkey: 8,
+                },
+                16,
+                full_mask(8),
+                full_mask(16),
+            )
+            .conditional(),
+        ]
+    }
+
+    #[test]
+    fn chain_round_trips() {
+        let chain = sample_chain();
+        let bytes = encode_chain(&chain);
+        let decoded = decode_chain(&bytes).unwrap();
+        assert_eq!(decoded, chain);
+    }
+
+    #[test]
+    fn empty_chain_round_trips() {
+        let bytes = encode_chain(&[]);
+        assert_eq!(decode_chain(&bytes).unwrap(), Vec::<PrismOp>::new());
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let bytes = encode_chain(&sample_chain());
+        for cut in 0..bytes.len() {
+            // Every prefix must either fail cleanly or decode to a valid
+            // (shorter) chain — never panic.
+            let _ = decode_chain(&bytes[..cut]);
+        }
+        assert!(decode_chain(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut bytes = encode_chain(&sample_chain());
+        bytes[2] = 0x7F; // first opcode byte
+        assert!(decode_chain(&bytes).is_err());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let results = vec![
+            OpResult {
+                status: OpStatus::Ok,
+                data: vec![1, 2, 3],
+            },
+            OpResult {
+                status: OpStatus::CasFailed,
+                data: vec![9; 16],
+            },
+            OpResult {
+                status: OpStatus::Skipped,
+                data: vec![],
+            },
+        ];
+        let bytes = encode_response(&results);
+        let decoded = decode_response(&bytes).unwrap();
+        assert_eq!(decoded, results);
+    }
+
+    #[test]
+    fn sizes_track_payloads() {
+        let small = request_len(&[ops::read(0, 8, 1)]);
+        let big = request_len(&[ops::write(0, vec![0; 512], 1)]);
+        assert!(big > small + 500, "inline data dominates request size");
+        // Remote data args are pointer-sized on the wire.
+        let remote = request_len(&[PrismOp::Write {
+            addr: 0,
+            rkey: 1,
+            data: DataArg::Remote { addr: 0, rkey: 2 },
+            len: 512,
+            addr_indirect: false,
+            addr_bounded: false,
+            conditional: false,
+        }]);
+        assert!(remote < small + 32);
+    }
+}

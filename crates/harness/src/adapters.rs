@@ -1,0 +1,846 @@
+//! Per-system adapters: each wraps a protocol client and its workload
+//! generator behind the closed-loop [`ProtoAdapter`] interface.
+//!
+//! Tags route replies back to the right state machine:
+//! `tag = seq << 32 | phase << 16 | index`, where `seq` identifies the
+//! operation (machines with quorum semantics outlive their completion
+//! point to process stragglers and emit reclamation traffic).
+
+use std::collections::HashMap;
+
+use prism_core::msg::{Reply, Request};
+use prism_kv::pilaf::{PilafClient, PilafGetOp};
+use prism_kv::prism_kv::{GetOp, PrismKvClient, PutOp};
+use prism_kv::{hash::key_bytes, KvOutcome, KvStep};
+use prism_rs::abdlock::{AbdLockClient, AbdLockOp, AbdStep};
+use prism_rs::prism_rs::{RsClient, RsOp, RsStep};
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::SimDuration;
+use prism_tx::farm::{FarmClient, FarmOp, FarmOutcome, FarmStep};
+use prism_tx::prism_tx::{TxClient, TxOp, TxOutcome, TxStep};
+use prism_workload::{KeyDist, KvOp, TxnGen, YcsbConfig, YcsbGen};
+
+use crate::netsim::{AdapterStep, Outbound, ProtoAdapter};
+
+fn tag(seq: u64, phase: u32, idx: u32) -> u64 {
+    (seq << 32) | ((phase as u64) << 16) | idx as u64
+}
+
+fn untag(t: u64) -> (u64, u32, u32) {
+    (t >> 32, ((t >> 16) & 0xFFFF) as u32, (t & 0xFFFF) as u32)
+}
+
+/// Client-side reclamation batching (§3.2: "batching can be employed at
+/// both client and server sides to minimize overhead"): single-buffer
+/// free notifications from the protocol machines are coalesced per
+/// server and flushed as one RPC every [`FreeBatcher::CAP`] buffers.
+struct FreeBatcher {
+    pending: HashMap<usize, Vec<u64>>,
+}
+
+impl FreeBatcher {
+    /// Buffers per flush.
+    const CAP: usize = 16;
+
+    fn new() -> Self {
+        FreeBatcher {
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Absorbs one background request. Single-free messages
+    /// (`[0x01, addr u64]`) are coalesced; anything else passes through.
+    /// Returns a request to send now, if any.
+    fn absorb(&mut self, server: usize, req: Request) -> Option<(usize, Request)> {
+        if let Request::Rpc(bytes) = &req {
+            if bytes.len() == 9 && bytes[0] == 0x01 {
+                let addr = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+                let pending = self.pending.entry(server).or_default();
+                pending.push(addr);
+                if pending.len() >= Self::CAP {
+                    let addrs = std::mem::take(pending);
+                    return Some((server, Self::batch_request(&addrs)));
+                }
+                return None;
+            }
+        }
+        Some((server, req))
+    }
+
+    fn batch_request(addrs: &[u64]) -> Request {
+        let mut msg = Vec::with_capacity(3 + addrs.len() * 8);
+        msg.push(0x04);
+        msg.extend_from_slice(&(addrs.len() as u16).to_le_bytes());
+        for a in addrs {
+            msg.extend_from_slice(&a.to_le_bytes());
+        }
+        Request::Rpc(msg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// PRISM-KV (Figures 3-4)
+// ---------------------------------------------------------------------
+
+enum KvMachine {
+    Get(GetOp),
+    Put(PutOp),
+}
+
+/// Closed-loop YCSB client over PRISM-KV.
+pub struct PrismKvAdapter {
+    client: PrismKvClient,
+    gen: YcsbGen,
+    current: Option<KvMachine>,
+    frees: FreeBatcher,
+}
+
+impl PrismKvAdapter {
+    /// Creates the adapter.
+    pub fn new(client: PrismKvClient, config: YcsbConfig, rng: SimRng) -> Self {
+        PrismKvAdapter {
+            client,
+            gen: YcsbGen::new(config, rng),
+            current: None,
+            frees: FreeBatcher::new(),
+        }
+    }
+
+    fn bg_sends(&mut self, background: Option<prism_core::msg::Request>) -> Vec<Outbound> {
+        background
+            .and_then(|b| self.frees.absorb(0, b))
+            .map(|(server, req)| {
+                vec![Outbound {
+                    server,
+                    tag: 0,
+                    req,
+                    background: true,
+                }]
+            })
+            .unwrap_or_default()
+    }
+
+    fn step_to_adapter(&mut self, step: KvStep) -> AdapterStep {
+        match step {
+            KvStep::Send {
+                request,
+                background,
+            } => {
+                let mut sends = vec![Outbound {
+                    server: 0,
+                    tag: 0,
+                    req: request,
+                    background: false,
+                }];
+                sends.extend(self.bg_sends(background));
+                AdapterStep::Wait(sends)
+            }
+            KvStep::Done {
+                outcome,
+                background,
+            } => {
+                self.current = None;
+                let sends = self.bg_sends(background);
+                AdapterStep::Done {
+                    sends,
+                    client_compute: SimDuration::ZERO,
+                    failed: matches!(outcome, KvOutcome::Failed(_)),
+                }
+            }
+        }
+    }
+}
+
+impl ProtoAdapter for PrismKvAdapter {
+    fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+        let op = self.gen.next_op();
+        let key = key_bytes(op.key());
+        let (machine, req) = match op {
+            KvOp::Get(_) => {
+                let (m, r) = self.client.get(&key);
+                (KvMachine::Get(m), r)
+            }
+            KvOp::Put(k) => {
+                let value = self.gen.value_for(k);
+                let (m, r) = self.client.put(&key, &value);
+                (KvMachine::Put(m), r)
+            }
+        };
+        self.current = Some(machine);
+        vec![Outbound {
+            server: 0,
+            tag: 0,
+            req,
+            background: false,
+        }]
+    }
+
+    fn resume(&mut self) -> Vec<Outbound> {
+        unreachable!("PRISM-KV never backs off")
+    }
+
+    fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        let mut machine = self.current.take().expect("op in flight");
+        let step = match &mut machine {
+            KvMachine::Get(m) => m.on_reply(&self.client, reply),
+            KvMachine::Put(m) => m.on_reply(&self.client, reply),
+        };
+        self.current = Some(machine);
+        self.step_to_adapter(step)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pilaf (Figures 3-4 baselines)
+// ---------------------------------------------------------------------
+
+/// Client-side CRC verification cost per Pilaf GET: the paper measures
+/// ~2 µs of Pilaf's read latency as CRC work (§6.2).
+pub const PILAF_CRC_COST: SimDuration = SimDuration::from_nanos(2_000);
+
+enum PilafMachine {
+    Get(PilafGetOp),
+    Put,
+}
+
+/// Closed-loop YCSB client over Pilaf.
+pub struct PilafAdapter {
+    client: PilafClient,
+    gen: YcsbGen,
+    current: Option<PilafMachine>,
+}
+
+impl PilafAdapter {
+    /// Creates the adapter.
+    pub fn new(client: PilafClient, config: YcsbConfig, rng: SimRng) -> Self {
+        PilafAdapter {
+            client,
+            gen: YcsbGen::new(config, rng),
+            current: None,
+        }
+    }
+}
+
+impl ProtoAdapter for PilafAdapter {
+    fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+        let op = self.gen.next_op();
+        let key = key_bytes(op.key());
+        let (machine, req) = match op {
+            KvOp::Get(_) => {
+                let (m, r) = self.client.get(&key);
+                (PilafMachine::Get(m), r)
+            }
+            KvOp::Put(k) => {
+                let value = self.gen.value_for(k);
+                (PilafMachine::Put, self.client.put_request(&key, &value))
+            }
+        };
+        self.current = Some(machine);
+        vec![Outbound {
+            server: 0,
+            tag: 0,
+            req,
+            background: false,
+        }]
+    }
+
+    fn resume(&mut self) -> Vec<Outbound> {
+        unreachable!("Pilaf never backs off")
+    }
+
+    fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        match self.current.take().expect("op in flight") {
+            PilafMachine::Put => {
+                let outcome = self.client.put_outcome(reply);
+                AdapterStep::Done {
+                    sends: Vec::new(),
+                    client_compute: SimDuration::ZERO,
+                    failed: matches!(outcome, KvOutcome::Failed(_)),
+                }
+            }
+            PilafMachine::Get(mut m) => match m.on_reply(&self.client, reply) {
+                KvStep::Send { request, .. } => {
+                    self.current = Some(PilafMachine::Get(m));
+                    AdapterStep::Wait(vec![Outbound {
+                        server: 0,
+                        tag: 0,
+                        req: request,
+                        background: false,
+                    }])
+                }
+                KvStep::Done { outcome, .. } => AdapterStep::Done {
+                    sends: Vec::new(),
+                    client_compute: PILAF_CRC_COST,
+                    failed: matches!(outcome, KvOutcome::Failed(_)),
+                },
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PRISM-RS (Figures 6-7)
+// ---------------------------------------------------------------------
+
+/// Closed-loop block-store client over PRISM-RS: 50 % reads / 50 %
+/// writes (§7.4).
+pub struct PrismRsAdapter {
+    client: RsClient,
+    dist: KeyDist,
+    block_size: usize,
+    write_fraction: f64,
+    seq: u64,
+    current: Option<RsOp>,
+    lingering: HashMap<u64, (RsOp, usize)>,
+    outstanding: usize,
+    frees: FreeBatcher,
+}
+
+impl PrismRsAdapter {
+    /// Creates the adapter.
+    pub fn new(client: RsClient, dist: KeyDist, block_size: usize, write_fraction: f64) -> Self {
+        PrismRsAdapter {
+            client,
+            dist,
+            block_size,
+            write_fraction,
+            seq: 0,
+            current: None,
+            lingering: HashMap::new(),
+            outstanding: 0,
+            frees: FreeBatcher::new(),
+        }
+    }
+
+    fn absorb(&mut self, step: RsStep) -> (Vec<Outbound>, Option<bool>) {
+        let mut sends = Vec::new();
+        for (replica, phase, req) in step.send {
+            self.outstanding += 1;
+            sends.push(Outbound {
+                server: replica,
+                tag: tag(self.seq, phase, replica as u32),
+                req,
+                background: false,
+            });
+        }
+        for (replica, req) in step.background {
+            if let Some((server, req)) = self.frees.absorb(replica, req) {
+                sends.push(Outbound {
+                    server,
+                    tag: 0,
+                    req,
+                    background: true,
+                });
+            }
+        }
+        let done = step
+            .done
+            .map(|o| matches!(o, prism_rs::RsOutcome::Failed(_)));
+        (sends, done)
+    }
+}
+
+impl ProtoAdapter for PrismRsAdapter {
+    fn start(&mut self, rng: &mut SimRng) -> Vec<Outbound> {
+        self.seq += 1;
+        self.outstanding = 0;
+        let block = self.dist.sample(rng);
+        let (op, step) = if rng.gen_bool(self.write_fraction) {
+            let mut value = vec![0u8; self.block_size];
+            let nonce = rng.next_u64().to_le_bytes();
+            value[..8].copy_from_slice(&nonce);
+            self.client.put(block, value)
+        } else {
+            self.client.get(block)
+        };
+        self.current = Some(op);
+        let (sends, _) = self.absorb(step);
+        sends
+    }
+
+    fn resume(&mut self) -> Vec<Outbound> {
+        unreachable!("PRISM-RS never backs off")
+    }
+
+    fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
+        let (seq, phase, replica) = untag(t);
+        if seq != self.seq || self.current.is_none() {
+            // Straggler for a completed op: feed it for reclamation.
+            let mut finished = false;
+            let mut sends = Vec::new();
+            let mut raw = Vec::new();
+            if let Some((op, remaining)) = self.lingering.get_mut(&seq) {
+                let step = op.on_reply(&self.client, phase, replica as usize, reply);
+                raw = step.background;
+                *remaining -= 1;
+                finished = *remaining == 0;
+            }
+            for (r, req) in raw {
+                if let Some((server, req)) = self.frees.absorb(r, req) {
+                    sends.push(Outbound {
+                        server,
+                        tag: 0,
+                        req,
+                        background: true,
+                    });
+                }
+            }
+            if finished {
+                self.lingering.remove(&seq);
+            }
+            return AdapterStep::Wait(sends);
+        }
+        let mut op = self.current.take().expect("op in flight");
+        self.outstanding -= 1;
+        let step = op.on_reply(&self.client, phase, replica as usize, reply);
+        let (sends, done) = self.absorb(step);
+        match done {
+            Some(failed) => {
+                if self.outstanding > 0 {
+                    self.lingering.insert(self.seq, (op, self.outstanding));
+                } else {
+                    drop(op);
+                }
+                AdapterStep::Done {
+                    sends,
+                    client_compute: SimDuration::ZERO,
+                    failed,
+                }
+            }
+            None => {
+                self.current = Some(op);
+                AdapterStep::Wait(sends)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ABDLOCK (Figures 6-7 baseline)
+// ---------------------------------------------------------------------
+
+/// Closed-loop block-store client over the lock-based ABD baseline.
+pub struct AbdLockAdapter {
+    client: AbdLockClient,
+    dist: KeyDist,
+    block_size: usize,
+    write_fraction: f64,
+    seq: u64,
+    current: Option<AbdLockOp>,
+    lingering: HashMap<u64, AbdLockOp>,
+}
+
+impl AbdLockAdapter {
+    /// Creates the adapter.
+    pub fn new(
+        client: AbdLockClient,
+        dist: KeyDist,
+        block_size: usize,
+        write_fraction: f64,
+    ) -> Self {
+        AbdLockAdapter {
+            client,
+            dist,
+            block_size,
+            write_fraction,
+            seq: 0,
+            current: None,
+            lingering: HashMap::new(),
+        }
+    }
+
+    fn absorb(&mut self, step: AbdStep) -> (Vec<Outbound>, Option<bool>, Option<SimDuration>) {
+        let sends = step
+            .send
+            .into_iter()
+            .map(|(replica, phase, req)| Outbound {
+                server: replica,
+                tag: tag(self.seq, phase, replica as u32),
+                req,
+                background: false,
+            })
+            .collect();
+        let done = step
+            .done
+            .map(|o| matches!(o, prism_rs::RsOutcome::Failed(_)));
+        let backoff = step.backoff_ns.map(SimDuration::from_nanos);
+        (sends, done, backoff)
+    }
+
+    fn to_step(
+        &mut self,
+        sends: Vec<Outbound>,
+        done: Option<bool>,
+        backoff: Option<SimDuration>,
+    ) -> AdapterStep {
+        if let Some(failed) = done {
+            if let Some(op) = self.current.take() {
+                // Keep completed machines around briefly for stale lock
+                // rollbacks; bounded by replacing on reuse of the map
+                // slot.
+                self.lingering.insert(self.seq, op);
+                if self.lingering.len() > 64 {
+                    let oldest = *self.lingering.keys().min().expect("nonempty");
+                    self.lingering.remove(&oldest);
+                }
+            }
+            return AdapterStep::Done {
+                sends,
+                client_compute: SimDuration::ZERO,
+                failed,
+            };
+        }
+        if let Some(wait) = backoff {
+            return AdapterStep::Backoff {
+                sends: Vec::new(),
+                wait,
+            };
+        }
+        AdapterStep::Wait(sends)
+    }
+}
+
+impl ProtoAdapter for AbdLockAdapter {
+    fn start(&mut self, rng: &mut SimRng) -> Vec<Outbound> {
+        self.seq += 1;
+        let block = self.dist.sample(rng);
+        let (op, step) = if rng.gen_bool(self.write_fraction) {
+            let mut value = vec![0u8; self.block_size];
+            value[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+            self.client.put(block, value)
+        } else {
+            self.client.get(block)
+        };
+        self.current = Some(op);
+        let (sends, _, _) = self.absorb(step);
+        sends
+    }
+
+    fn resume(&mut self) -> Vec<Outbound> {
+        let mut op = self.current.take().expect("op backing off");
+        let step = op.resume(&mut self.client);
+        self.current = Some(op);
+        let (sends, _, _) = self.absorb(step);
+        sends
+    }
+
+    fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
+        let (seq, phase, replica) = untag(t);
+        if seq != self.seq {
+            // Straggler (e.g. a stale lock success needing rollback).
+            let mut sends = Vec::new();
+            if let Some(op) = self.lingering.get_mut(&seq) {
+                let step = op.on_reply(&mut self.client, phase, replica as usize, reply);
+                for (r, p, req) in step.send {
+                    sends.push(Outbound {
+                        server: r,
+                        tag: tag(seq, p, r as u32),
+                        req,
+                        background: true,
+                    });
+                }
+            }
+            return AdapterStep::Wait(sends);
+        }
+        let mut op = self.current.take().expect("op in flight");
+        let step = op.on_reply(&mut self.client, phase, replica as usize, reply);
+        self.current = Some(op);
+        let (sends, done, backoff) = self.absorb(step);
+        self.to_step(sends, done, backoff)
+    }
+}
+
+// ---------------------------------------------------------------------
+// PRISM-TX (Figures 9-10)
+// ---------------------------------------------------------------------
+
+/// Abort backoff: base wait, doubled per consecutive abort (capped).
+/// Without pacing, a contended key's losing transactions flood the
+/// dispatch cores with futile validation chains — unlike FaRM, whose
+/// waiting clients poll locked objects through the NIC for free. Backoff
+/// is the standard OCC client policy and is applied to both systems.
+const TX_BACKOFF_BASE_NS: u64 = 4_000;
+const TX_BACKOFF_CAP_NS: u64 = 32_000;
+
+fn tx_backoff(consecutive_aborts: u32, rng: &mut SimRng) -> SimDuration {
+    // Immediate retries livelock at high skew (synchronized stampedes
+    // re-collide with the in-flight winner's prepared-write window), so
+    // even the first abort waits ~one round trip. The cap stays small:
+    // an idle hot key wastes its serialization slot.
+    let exp = consecutive_aborts.saturating_sub(1).min(7);
+    let base = (TX_BACKOFF_BASE_NS << exp).min(TX_BACKOFF_CAP_NS);
+    SimDuration::from_nanos(base + rng.gen_range(base))
+}
+
+/// Closed-loop YCSB-T client over PRISM-TX: each operation is a short
+/// read-modify-write transaction retried (with backoff) until it
+/// commits (§8.3).
+pub struct PrismTxAdapter {
+    client: TxClient,
+    gen: TxnGen,
+    seq: u64,
+    keys: Vec<u64>,
+    current: Option<TxOp>,
+    lingering: HashMap<u64, (TxOp, usize)>,
+    outstanding: usize,
+    aborts: u64,
+    consecutive_aborts: u32,
+    rng: SimRng,
+    frees: FreeBatcher,
+}
+
+impl PrismTxAdapter {
+    /// Creates the adapter.
+    pub fn new(client: TxClient, gen: TxnGen) -> Self {
+        let seed = (client.cid() as u64) << 17 | 0x5A5A;
+        PrismTxAdapter {
+            client,
+            gen,
+            seq: 0,
+            keys: Vec::new(),
+            current: None,
+            lingering: HashMap::new(),
+            outstanding: 0,
+            aborts: 0,
+            consecutive_aborts: 0,
+            rng: SimRng::new(seed),
+            frees: FreeBatcher::new(),
+        }
+    }
+
+    /// Total aborted attempts (diagnostics).
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    fn begin_attempt(&mut self) -> Vec<Outbound> {
+        self.seq += 1;
+        self.outstanding = 0;
+        let keys = self.keys.clone();
+        let writes: Vec<(u64, Vec<u8>)> =
+            keys.iter().map(|&k| (k, self.gen.value_for(k))).collect();
+        let (op, step) = self.client.begin(keys, writes);
+        self.current = Some(op);
+        let (sends, _) = self.absorb_tx(step);
+        sends
+    }
+
+    fn absorb_tx(&mut self, step: TxStep) -> (Vec<Outbound>, Option<TxOutcome>) {
+        let mut sends = Vec::new();
+        for (shard, phase, idx, req) in step.send {
+            self.outstanding += 1;
+            sends.push(Outbound {
+                server: shard,
+                tag: tag(self.seq, phase, idx),
+                req,
+                background: false,
+            });
+        }
+        for (shard, req) in step.background {
+            if let Some((server, req)) = self.frees.absorb(shard, req) {
+                sends.push(Outbound {
+                    server,
+                    tag: 0,
+                    req,
+                    background: true,
+                });
+            }
+        }
+        (sends, step.done)
+    }
+}
+
+impl ProtoAdapter for PrismTxAdapter {
+    fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+        self.keys = self.gen.next_txn().keys;
+        self.consecutive_aborts = 0;
+        self.begin_attempt()
+    }
+
+    fn resume(&mut self) -> Vec<Outbound> {
+        // Retry the same transaction after an abort backoff.
+        self.begin_attempt()
+    }
+
+    fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
+        let (seq, phase, idx) = untag(t);
+        if seq != self.seq || self.current.is_none() {
+            let mut finished = false;
+            let mut sends = Vec::new();
+            let mut raw = Vec::new();
+            if let Some((op, remaining)) = self.lingering.get_mut(&seq) {
+                let step = op.on_reply(&mut self.client, phase, idx, reply);
+                raw = step.background;
+                *remaining -= 1;
+                finished = *remaining == 0;
+            }
+            for (s, req) in raw {
+                if let Some((server, req)) = self.frees.absorb(s, req) {
+                    sends.push(Outbound {
+                        server,
+                        tag: 0,
+                        req,
+                        background: true,
+                    });
+                }
+            }
+            if finished {
+                self.lingering.remove(&seq);
+            }
+            return AdapterStep::Wait(sends);
+        }
+        let mut op = self.current.take().expect("txn in flight");
+        self.outstanding -= 1;
+        let step = op.on_reply(&mut self.client, phase, idx, reply);
+        let (sends, done) = self.absorb_tx(step);
+        match done {
+            Some(TxOutcome::Committed(_)) => {
+                self.park(op);
+                AdapterStep::Done {
+                    sends,
+                    client_compute: SimDuration::ZERO,
+                    failed: false,
+                }
+            }
+            Some(TxOutcome::Aborted) => {
+                self.aborts += 1;
+                self.consecutive_aborts += 1;
+                self.park(op);
+                // Flush reclamation traffic, back off, then retry the
+                // same transaction with fresh reads; latency keeps
+                // accumulating on the same closed-loop op.
+                debug_assert!(sends.iter().all(|o| o.background));
+                AdapterStep::Backoff {
+                    sends,
+                    wait: tx_backoff(self.consecutive_aborts, &mut self.rng),
+                }
+            }
+            Some(TxOutcome::Failed(_)) => {
+                self.park(op);
+                AdapterStep::Done {
+                    sends,
+                    client_compute: SimDuration::ZERO,
+                    failed: true,
+                }
+            }
+            None => {
+                self.current = Some(op);
+                AdapterStep::Wait(sends)
+            }
+        }
+    }
+}
+
+impl PrismTxAdapter {
+    fn park(&mut self, op: TxOp) {
+        if self.outstanding > 0 {
+            self.lingering.insert(self.seq, (op, self.outstanding));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaRM (Figures 9-10 baseline)
+// ---------------------------------------------------------------------
+
+/// Closed-loop YCSB-T client over FaRM.
+pub struct FarmAdapter {
+    client: FarmClient,
+    gen: TxnGen,
+    seq: u64,
+    keys: Vec<u64>,
+    current: Option<FarmOp>,
+    aborts: u64,
+    consecutive_aborts: u32,
+    rng: SimRng,
+}
+
+impl FarmAdapter {
+    /// Creates the adapter.
+    pub fn new(client: FarmClient, gen: TxnGen) -> Self {
+        FarmAdapter {
+            client,
+            gen,
+            seq: 0,
+            keys: Vec::new(),
+            current: None,
+            aborts: 0,
+            consecutive_aborts: 0,
+            rng: SimRng::new(0xFA12),
+        }
+    }
+
+    /// Total aborted attempts (diagnostics).
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    fn begin_attempt(&mut self) -> Vec<Outbound> {
+        self.seq += 1;
+        let keys = self.keys.clone();
+        let writes: Vec<(u64, Vec<u8>)> =
+            keys.iter().map(|&k| (k, self.gen.value_for(k))).collect();
+        let (op, step) = self.client.begin(keys, writes);
+        self.current = Some(op);
+        self.absorb_farm(step).0
+    }
+
+    fn absorb_farm(&mut self, step: FarmStep) -> (Vec<Outbound>, Option<FarmOutcome>) {
+        let sends = step
+            .send
+            .into_iter()
+            .map(|(shard, phase, idx, req)| Outbound {
+                server: shard,
+                tag: tag(self.seq, phase, idx),
+                req,
+                background: false,
+            })
+            .collect();
+        (sends, step.done)
+    }
+}
+
+impl ProtoAdapter for FarmAdapter {
+    fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+        self.keys = self.gen.next_txn().keys;
+        self.consecutive_aborts = 0;
+        self.begin_attempt()
+    }
+
+    fn resume(&mut self) -> Vec<Outbound> {
+        self.begin_attempt()
+    }
+
+    fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
+        let (seq, phase, idx) = untag(t);
+        if seq != self.seq {
+            return AdapterStep::Wait(Vec::new());
+        }
+        let mut op = self.current.take().expect("txn in flight");
+        let step = op.on_reply(&self.client, phase, idx, reply);
+        self.current = Some(op);
+        let (sends, done) = self.absorb_farm(step);
+        match done {
+            Some(FarmOutcome::Committed(_)) => AdapterStep::Done {
+                sends,
+                client_compute: SimDuration::ZERO,
+                failed: false,
+            },
+            Some(FarmOutcome::Aborted) => {
+                self.aborts += 1;
+                self.consecutive_aborts += 1;
+                debug_assert!(sends.is_empty(), "FaRM aborts send nothing");
+                AdapterStep::Backoff {
+                    sends,
+                    wait: tx_backoff(self.consecutive_aborts, &mut self.rng),
+                }
+            }
+            Some(FarmOutcome::Failed(_)) => AdapterStep::Done {
+                sends,
+                client_compute: SimDuration::ZERO,
+                failed: true,
+            },
+            None => AdapterStep::Wait(sends),
+        }
+    }
+}

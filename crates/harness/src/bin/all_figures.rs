@@ -1,0 +1,52 @@
+//! Regenerates every figure of the paper in one run.
+//!
+//! Usage: `cargo run --release -p prism-harness --bin all_figures [--quick]`
+//!
+//! Output is the EXPERIMENTS.md measurement section.
+
+use prism_harness::{kv_exp, micro, rs_exp, tx_exp};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "# PRISM reproduction: all figures ({} scale)\n",
+        if quick { "quick" } else { "paper" }
+    );
+
+    for t in [
+        micro::figure1(),
+        micro::figure2(),
+        micro::section2(),
+        micro::chaining_ablation(),
+    ] {
+        println!("{}", t.render());
+    }
+
+    for f in [1.0, 0.5] {
+        let cfg = if quick {
+            kv_exp::KvExpConfig::quick(f)
+        } else {
+            kv_exp::KvExpConfig::paper(f)
+        };
+        let (t, _) = kv_exp::run(&cfg);
+        println!("{}", t.render());
+    }
+
+    let cfg = if quick {
+        rs_exp::RsExpConfig::quick()
+    } else {
+        rs_exp::RsExpConfig::paper()
+    };
+    let (t6, _) = rs_exp::figure6(&cfg);
+    println!("{}", t6.render());
+    println!("{}", rs_exp::figure7(&cfg).render());
+
+    let cfg = if quick {
+        tx_exp::TxExpConfig::quick()
+    } else {
+        tx_exp::TxExpConfig::paper()
+    };
+    let (t9, _) = tx_exp::figure9(&cfg);
+    println!("{}", t9.render());
+    println!("{}", tx_exp::figure10(&cfg).render());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 1, Figure 2, and the §2.1 motivation numbers.
+//!
+//! Usage: `cargo run --release -p prism-harness --bin fig_micro [--csv]`
+
+use prism_harness::micro;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    for t in [
+        micro::figure1(),
+        micro::figure2(),
+        micro::section2(),
+        micro::chaining_ablation(),
+    ] {
+        if csv {
+            println!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    }
+}

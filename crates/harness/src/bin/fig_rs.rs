@@ -1,0 +1,35 @@
+//! Regenerates Figures 6 and 7 (PRISM-RS vs ABDLOCK).
+//!
+//! Usage: `cargo run --release -p prism-harness --bin fig_rs [--quick] [--csv] [--zipf-sweep]`
+
+use prism_harness::rs_exp::{self, RsExpConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let only_zipf = args.iter().any(|a| a == "--zipf-sweep");
+    let cfg = if quick {
+        RsExpConfig::quick()
+    } else {
+        RsExpConfig::paper()
+    };
+    let print = |t: &prism_harness::table::Table| {
+        if csv {
+            println!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    };
+    if !only_zipf {
+        let (t, peaks) = rs_exp::figure6(&cfg);
+        print(&t);
+        eprintln!(
+            "peaks (Mops): PRISM-RS {:.3}  ABDLOCK {:.3}  ABDLOCK-sw {:.3}",
+            peaks[0] / 1e6,
+            peaks[1] / 1e6,
+            peaks[2] / 1e6
+        );
+    }
+    print(&rs_exp::figure7(&cfg));
+}

@@ -1,0 +1,271 @@
+//! Figures 3 and 4: PRISM-KV vs Pilaf throughput-latency curves.
+//!
+//! Figure 3 is YCSB-C (100 % reads); Figure 4 is YCSB-A (50/50). Both
+//! use uniform key popularity, 8-byte keys, 512-byte values, and a
+//! collisionless hash (§6.2). Three systems run: PRISM-KV (chains on
+//! the software data plane), Pilaf over hardware RDMA (one-sided READs
+//! on the NIC, PUT RPCs on the CPU), and Pilaf over software RDMA
+//! (READs also executed by dispatch cores).
+
+use std::sync::Arc;
+
+use prism_core::msg::execute_local;
+use prism_kv::hash::key_bytes;
+use prism_kv::pilaf::{PilafConfig, PilafServer};
+use prism_kv::prism_kv::{PrismKvConfig, PrismKvServer};
+use prism_kv::KvStep;
+use prism_simnet::latency::CostModel;
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::SimDuration;
+use prism_workload::ycsb::{value_bytes, YcsbConfig};
+use prism_workload::KeyDist;
+
+use crate::adapters::{PilafAdapter, PrismKvAdapter};
+use crate::netsim::{run_closed_loop, RunResult, VerbPath};
+use crate::table::{f2, mops, Table};
+
+/// Experiment parameters (defaults mirror §6.2 at reduced key count;
+/// see EXPERIMENTS.md for the scaling note).
+#[derive(Debug, Clone)]
+pub struct KvExpConfig {
+    /// Key count (the paper uses 8 M; we default lower to fit RAM).
+    pub n_keys: u64,
+    /// Value bytes (512 in the paper).
+    pub value_len: usize,
+    /// Fraction of GETs (1.0 = YCSB-C, 0.5 = YCSB-A).
+    pub read_fraction: f64,
+    /// Closed-loop client counts to sweep.
+    pub clients: Vec<usize>,
+    /// Warm-up time per point.
+    pub warmup: SimDuration,
+    /// Measurement time per point.
+    pub measure: SimDuration,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl KvExpConfig {
+    /// Full-scale run (several seconds of wall clock in release mode).
+    pub fn paper(read_fraction: f64) -> Self {
+        KvExpConfig {
+            n_keys: 262_144,
+            value_len: 512,
+            read_fraction,
+            clients: vec![1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256],
+            warmup: SimDuration::millis(2),
+            measure: SimDuration::millis(20),
+            seed: 42,
+        }
+    }
+
+    /// Reduced run for smoke tests.
+    pub fn quick(read_fraction: f64) -> Self {
+        KvExpConfig {
+            n_keys: 1_024,
+            value_len: 512,
+            read_fraction,
+            clients: vec![1, 16, 64],
+            warmup: SimDuration::micros(500),
+            measure: SimDuration::millis(4),
+            seed: 42,
+        }
+    }
+}
+
+/// Preloads every key so GETs always hit (the YCSB load phase).
+pub fn preload_prism(server: &PrismKvServer, n_keys: u64, value_len: usize) {
+    let client = server.open_client();
+    for k in 0..n_keys {
+        let key = key_bytes(k);
+        let value = value_bytes(k, 0, value_len);
+        let (mut op, req) = client.put(&key, &value);
+        let mut reply = execute_local(server.server(), &req);
+        loop {
+            match op.on_reply(&client, reply) {
+                KvStep::Send {
+                    request,
+                    background,
+                } => {
+                    if let Some(b) = background {
+                        execute_local(server.server(), &b);
+                    }
+                    reply = execute_local(server.server(), &request);
+                }
+                KvStep::Done { background, .. } => {
+                    if let Some(b) = background {
+                        execute_local(server.server(), &b);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Preloads a Pilaf store the same way.
+pub fn preload_pilaf(server: &PilafServer, n_keys: u64, value_len: usize) {
+    let client = server.open_client();
+    for k in 0..n_keys {
+        let req = client.put_request(&key_bytes(k), &value_bytes(k, 0, value_len));
+        execute_local(server.server(), &req);
+    }
+}
+
+/// One system's sweep.
+fn sweep(
+    label: &str,
+    cfg: &KvExpConfig,
+    servers: &[Arc<prism_core::PrismServer>],
+    verb_path: VerbPath,
+    mk: &mut dyn FnMut(usize) -> Box<dyn crate::netsim::ProtoAdapter>,
+    t: &mut Table,
+) -> Vec<RunResult> {
+    let model = CostModel::testbed();
+    let mut out = Vec::new();
+    for &n in &cfg.clients {
+        let r = run_closed_loop(
+            servers,
+            &model,
+            verb_path,
+            n,
+            mk,
+            cfg.warmup,
+            cfg.measure,
+            cfg.seed ^ n as u64,
+        );
+        t.row(&[
+            label.to_string(),
+            n.to_string(),
+            mops(r.tput_ops),
+            f2(r.mean_us),
+            f2(r.p99_us),
+        ]);
+        out.push(r);
+    }
+    out
+}
+
+/// Runs the full experiment; returns the results table and the peak
+/// throughput per system (PRISM-KV, Pilaf, Pilaf-sw).
+pub fn run(cfg: &KvExpConfig) -> (Table, [f64; 3]) {
+    let title = format!(
+        "Figure {}: PRISM-KV vs Pilaf, {:.0}% reads, uniform ({} keys x {} B)",
+        if cfg.read_fraction >= 1.0 { "3" } else { "4" },
+        cfg.read_fraction * 100.0,
+        cfg.n_keys,
+        cfg.value_len
+    );
+    let mut t = Table::new(
+        &title,
+        &["system", "clients", "tput_Mops", "mean_us", "p99_us"],
+    );
+
+    let ycsb = YcsbConfig {
+        dist: KeyDist::uniform(cfg.n_keys),
+        read_fraction: cfg.read_fraction,
+        value_len: cfg.value_len,
+    };
+
+    // PRISM-KV. Spares must cover client-side free batching (each
+    // client may hold a batch of reclaimed buffers before flushing).
+    let max_clients = cfg.clients.iter().copied().max().unwrap_or(0) as u64;
+    let mut prism_cfg = PrismKvConfig::paper(cfg.n_keys, cfg.value_len);
+    for class in &mut prism_cfg.classes {
+        class.count += 32 * (max_clients + 16);
+    }
+    let prism = PrismKvServer::new(&prism_cfg);
+    preload_prism(&prism, cfg.n_keys, cfg.value_len);
+    let prism_servers = vec![Arc::clone(prism.server())];
+    let ycsb_p = ycsb.clone();
+    let seed = cfg.seed;
+    let prism_res = sweep(
+        "PRISM-KV",
+        cfg,
+        &prism_servers,
+        VerbPath::Nic,
+        &mut |i| {
+            Box::new(PrismKvAdapter::new(
+                prism.open_client(),
+                ycsb_p.clone(),
+                SimRng::new(seed ^ ((i as u64 + 1) * 7919)),
+            ))
+        },
+        &mut t,
+    );
+
+    // Pilaf over hardware RDMA and software RDMA.
+    let pilaf = PilafServer::new(&PilafConfig::paper(cfg.n_keys, cfg.value_len));
+    preload_pilaf(&pilaf, cfg.n_keys, cfg.value_len);
+    let pilaf_servers = vec![Arc::clone(pilaf.server())];
+    let mut peaks = [0.0f64; 3];
+    peaks[0] = prism_res.iter().map(|r| r.tput_ops).fold(0.0, f64::max);
+    for (slot, (label, path)) in [
+        ("Pilaf", VerbPath::Nic),
+        ("Pilaf (software RDMA)", VerbPath::Cpu),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let ycsb_c = ycsb.clone();
+        let res = sweep(
+            label,
+            cfg,
+            &pilaf_servers,
+            path,
+            &mut |i| {
+                Box::new(PilafAdapter::new(
+                    pilaf.open_client(),
+                    ycsb_c.clone(),
+                    SimRng::new(seed ^ ((i as u64 + 1) * 104_729)),
+                ))
+            },
+            &mut t,
+        );
+        peaks[slot + 1] = res.iter().map(|r| r.tput_ops).fold(0.0, f64::max);
+    }
+    (t, peaks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape_prism_beats_pilaf_on_reads() {
+        let cfg = KvExpConfig::quick(1.0);
+        let (_t, peaks) = run(&cfg);
+        // Single-client latency comparison happens inside sweep results;
+        // here we assert the throughput ordering the paper reports:
+        // PRISM-KV > Pilaf-HW > Pilaf-SW at saturation (Figure 3).
+        assert!(
+            peaks[0] > peaks[1],
+            "PRISM {} vs Pilaf {}",
+            peaks[0],
+            peaks[1]
+        );
+        assert!(peaks[1] > peaks[2], "Pilaf HW vs SW");
+    }
+
+    #[test]
+    fn figure3_latency_ordering_at_low_load() {
+        // One client: PRISM GET (1 indirect read) must beat Pilaf
+        // (2 reads + CRC) — the paper's "75% of Pilaf" claim.
+        let mut cfg = KvExpConfig::quick(1.0);
+        cfg.clients = vec![1];
+        let (t, _) = run(&cfg);
+        let csv = t.to_csv();
+        let mut lat = std::collections::HashMap::new();
+        for line in csv.lines().skip(1) {
+            let c: Vec<&str> = line.split(',').collect();
+            lat.insert(c[0].to_string(), c[3].parse::<f64>().unwrap());
+        }
+        let prism = lat["PRISM-KV"];
+        let pilaf = lat["Pilaf"];
+        assert!(prism < pilaf, "PRISM {prism} vs Pilaf {pilaf}");
+        let ratio = prism / pilaf;
+        assert!(
+            (0.5..0.95).contains(&ratio),
+            "PRISM/Pilaf latency ratio {ratio} (paper: ~0.75)"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harness for the PRISM reproduction.
+//!
+//! This crate regenerates every figure of the paper's evaluation by
+//! running the *real* protocol implementations (the same state machines
+//! and server memory the unit tests exercise) inside the discrete-event
+//! simulator, with the calibrated cost model of
+//! [`prism_simnet::latency`] attaching time to each message and each
+//! server resource (link serialization, dispatch cores, PCIe).
+//!
+//! * [`netsim`] — the simulation glue: one [`netsim::ServerActor`] per
+//!   host (owning its link shapers and 16-core service pool), one
+//!   [`netsim::ClientActor`] per closed-loop client.
+//! * [`adapters`] — per-system adapters turning each protocol client
+//!   into the common [`netsim::ProtoAdapter`] interface.
+//! * [`micro`] — Figures 1 and 2 plus the §2.1 numbers (closed-form
+//!   from the cost model).
+//! * [`kv_exp`], [`rs_exp`], [`tx_exp`] — the application experiments
+//!   (Figures 3–4, 6–7, 9–10).
+//! * [`vsize_exp`] — an extension sweep (GET cost vs value size).
+//! * [`table`] — plain-text table output shared by the `fig_*` binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod kv_exp;
+pub mod micro;
+pub mod netsim;
+pub mod rs_exp;
+pub mod table;
+pub mod tx_exp;
+pub mod vsize_exp;

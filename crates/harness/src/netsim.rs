@@ -1,0 +1,628 @@
+//! Simulation glue: server and client actors over the DES kernel.
+//!
+//! A request's end-to-end latency decomposes exactly as in the cost
+//! model (`prism_simnet::latency`):
+//!
+//! ```text
+//! client overhead + NICs + wire (pre)
+//!   → server rx link (queue + serialization)
+//!   → processing: PCIe (hardware verbs) or DMA + dispatch core
+//!     (software verbs, PRISM chains, RPCs; 16-core FIFO pool)
+//!   → server tx link (queue + serialization)
+//!   → wire + NICs (post)
+//! ```
+//!
+//! Unloaded, this reproduces the closed-form round trips of
+//! [`CostModel`]; under load, queueing at the two link directions and
+//! the core pool produces the throughput-latency curves of the paper's
+//! figures.
+
+use std::sync::Arc;
+
+use prism_core::msg::{self, Reply, Request};
+use prism_core::PrismServer;
+use prism_simnet::engine::{Actor, ActorId, Context, Simulation};
+use prism_simnet::latency::CostModel;
+use prism_simnet::resources::{LinkShaper, ServiceCenter};
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::{SimDuration, SimTime};
+
+/// One message a protocol adapter wants sent.
+#[derive(Debug)]
+pub struct Outbound {
+    /// Which server (index into the experiment's server list).
+    pub server: usize,
+    /// Opaque routing tag the adapter uses to match the reply.
+    pub tag: u64,
+    /// The request.
+    pub req: Request,
+    /// Fire-and-forget: processed by the server, no reply, not part of
+    /// operation latency (reclamation traffic).
+    pub background: bool,
+}
+
+/// What the adapter wants next after a reply.
+#[derive(Debug)]
+pub enum AdapterStep {
+    /// Waiting for more in-flight replies.
+    Wait(Vec<Outbound>),
+    /// The current operation finished; `client_compute` models
+    /// client-side CPU charged before the next op starts (e.g. Pilaf's
+    /// CRC checks, §6.2). `failed` operations are counted separately
+    /// and not recorded as latency samples.
+    Done {
+        /// Trailing sends (reclamation, cleanup).
+        sends: Vec<Outbound>,
+        /// Client CPU before completion.
+        client_compute: SimDuration,
+        /// Whether the operation failed/aborted (excluded from latency).
+        failed: bool,
+    },
+    /// Back off (lock or validation contention), flushing `sends`
+    /// (reclamation traffic) first, then resume via
+    /// [`ProtoAdapter::resume`].
+    Backoff {
+        /// Fire-and-forget traffic to flush before sleeping.
+        sends: Vec<Outbound>,
+        /// How long to wait.
+        wait: SimDuration,
+    },
+}
+
+/// A closed-loop protocol client, sans I/O.
+pub trait ProtoAdapter {
+    /// Begins the next operation, returning its initial sends.
+    fn start(&mut self, rng: &mut SimRng) -> Vec<Outbound>;
+
+    /// Resumes after a [`AdapterStep::Backoff`].
+    fn resume(&mut self) -> Vec<Outbound>;
+
+    /// Feeds one reply (matched by `tag`).
+    fn on_reply(&mut self, tag: u64, reply: Reply) -> AdapterStep;
+}
+
+/// Messages exchanged between actors.
+pub enum SimMsg {
+    /// A request arriving at a server.
+    Req {
+        /// Replying destination (client actor).
+        from: ActorId,
+        /// Adapter routing tag.
+        tag: u64,
+        /// The request.
+        req: Request,
+        /// Whether a reply is expected.
+        respond: bool,
+    },
+    /// A reply arriving at a client.
+    Reply {
+        /// Adapter routing tag.
+        tag: u64,
+        /// The reply.
+        reply: Reply,
+    },
+    /// Client self-message: start the next closed-loop operation or
+    /// resume after backoff.
+    Kick {
+        /// True when resuming from a backoff rather than starting anew.
+        resume: bool,
+    },
+}
+
+/// Whether one-sided verbs execute on the NIC or on dispatch cores
+/// ("software RDMA" baselines, §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerbPath {
+    /// Hardware NIC: one PCIe round trip, no core occupancy.
+    Nic,
+    /// Software stack: DMA to host plus a dispatch-core execution.
+    Cpu,
+}
+
+/// A host in the simulation: executes requests against its real
+/// [`PrismServer`] and charges simulated time for them.
+pub struct ServerActor {
+    server: Arc<PrismServer>,
+    model: CostModel,
+    verb_path: VerbPath,
+    rx: LinkShaper,
+    tx: LinkShaper,
+    cores: ServiceCenter,
+}
+
+impl ServerActor {
+    /// Creates a host actor.
+    pub fn new(server: Arc<PrismServer>, model: CostModel, verb_path: VerbPath) -> Self {
+        let gbps = model.link_gbps;
+        let cores = ServiceCenter::new(model.server_cores);
+        ServerActor {
+            server,
+            model,
+            verb_path,
+            rx: LinkShaper::new_gbps(gbps),
+            tx: LinkShaper::new_gbps(gbps),
+            cores,
+        }
+    }
+
+    /// Decomposes `req`'s processing into `(dma, occupancy, post)`:
+    /// `dma` precedes core admission, `occupancy` holds a dispatch core
+    /// (None = hardware NIC path), and `post` is latency beyond the
+    /// occupied interval (polling/dispatch slack). Unloaded end-to-end
+    /// latency is `dma + occupancy + post`, matching the closed forms of
+    /// [`CostModel`].
+    fn processing(&self, req: &Request) -> (SimDuration, Option<SimDuration>, SimDuration) {
+        let m = &self.model;
+        match req {
+            Request::Verb(v) => match self.verb_path {
+                // Hardware atomics serialize a read-modify-write on the
+                // NIC and measure slightly slower than READs (Kalia et
+                // al.'s design guidelines; visible in Figure 1's CAS bar).
+                VerbPath::Nic => {
+                    let extra = if matches!(v, msg::Verb::Cas64 { .. }) {
+                        SimDuration::from_nanos(300)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    (m.pcie_rt + extra, None, SimDuration::ZERO)
+                }
+                VerbPath::Cpu => {
+                    // Executed like a 1-op chain on a dispatch core.
+                    let occ = m.prism_chain_occupancy(1);
+                    (m.host_dma, Some(occ), sw_latency(m, 1) - occ)
+                }
+            },
+            Request::Chain(c) => {
+                let n = c.len().max(1) as u64;
+                let occ = m.prism_chain_occupancy(n);
+                (m.host_dma, Some(occ), sw_latency(m, n) - occ)
+            }
+            Request::Rpc(_) => (m.host_dma, Some(m.rpc_core_occupancy), m.rpc_dispatch),
+        }
+    }
+}
+
+/// Total software execution latency of an `n`-op chain: the calibrated
+/// single-primitive cost (≈2.5 µs, §4.3) plus [`sw_per_op`] for each
+/// additional op.
+fn sw_latency(m: &CostModel, n: u64) -> SimDuration {
+    sw_dispatch(m) + sw_per_op(m) * n
+}
+
+/// Dispatch overhead of the software data plane; together with one
+/// [`sw_per_op`] this equals the calibrated single-primitive execution
+/// cost (≈2.5 µs, §4.3).
+fn sw_dispatch(m: &CostModel) -> SimDuration {
+    let single = SimDuration::from_nanos(2_500);
+    single - sw_per_op(m)
+}
+
+/// Marginal cost of each additional chained primitive: small, because a
+/// chain shares one dispatch through the software data plane — the bulk
+/// of the 2.5 us single-primitive cost (§4.3) is per-request, not
+/// per-op.
+fn sw_per_op(m: &CostModel) -> SimDuration {
+    let _ = m;
+    SimDuration::from_nanos(150)
+}
+
+impl Actor<SimMsg> for ServerActor {
+    fn on_message(&mut self, msg: SimMsg, ctx: &mut Context<'_, SimMsg>) {
+        let SimMsg::Req {
+            from,
+            tag,
+            req,
+            respond,
+        } = msg
+        else {
+            unreachable!("servers only receive requests");
+        };
+        let now = ctx.now();
+        // Inbound serialization through this host's rx direction
+        // (payload plus per-message wire headers).
+        let rx_done = self
+            .rx
+            .transmit(now, req.wire_len() + self.model.header_bytes);
+        // Processing: DMA, then (for software paths) a FIFO dispatch-core
+        // occupancy, then post-execution slack.
+        let (dma, occupancy, post) = self.processing(&req);
+        let proc_done = match occupancy {
+            Some(occ) => self.cores.admit(rx_done + dma, occ) + post,
+            None => rx_done + dma + post,
+        };
+        // The real execution against real memory happens "at" the
+        // processing instant; the DES serializes actor callbacks so this
+        // is the operation's linearization point.
+        let reply = msg::execute_local(&self.server, &req);
+        if respond {
+            let tx_done = self
+                .tx
+                .transmit(proc_done, reply.wire_len() + self.model.header_bytes);
+            let post = post_delay(&self.model);
+            ctx.send_at(from, tx_done + post, SimMsg::Reply { tag, reply });
+        }
+    }
+}
+
+/// Client-side fixed delay before a request reaches the server's rx
+/// link: client overhead, two NIC traversals, wire, and half the
+/// deployment surcharge.
+pub fn pre_delay(m: &CostModel) -> SimDuration {
+    m.client_overhead + m.nic_proc * 2 + m.wire_oneway + m.deployment.extra_rtt() / 2
+}
+
+/// Server-to-client fixed delay after tx serialization.
+pub fn post_delay(m: &CostModel) -> SimDuration {
+    m.nic_proc * 2 + m.wire_oneway + m.deployment.extra_rtt() / 2
+}
+
+/// A closed-loop client actor: runs one operation at a time through its
+/// adapter, recording per-op latency and op counts.
+pub struct ClientActor {
+    adapter: Box<dyn ProtoAdapter>,
+    servers: Vec<ActorId>,
+    model: CostModel,
+    rng: SimRng,
+    op_start: SimTime,
+}
+
+impl ClientActor {
+    /// Creates a client over the given server actors.
+    pub fn new(
+        adapter: Box<dyn ProtoAdapter>,
+        servers: Vec<ActorId>,
+        model: CostModel,
+        rng: SimRng,
+    ) -> Self {
+        ClientActor {
+            adapter,
+            servers,
+            model,
+            rng,
+            op_start: SimTime::ZERO,
+        }
+    }
+
+    fn dispatch(&mut self, sends: Vec<Outbound>, ctx: &mut Context<'_, SimMsg>) {
+        let pre = pre_delay(&self.model);
+        let me = ctx.self_id();
+        for out in sends {
+            let dst = self.servers[out.server];
+            ctx.send_in(
+                dst,
+                pre,
+                SimMsg::Req {
+                    from: me,
+                    tag: out.tag,
+                    req: out.req,
+                    respond: !out.background,
+                },
+            );
+        }
+    }
+}
+
+impl Actor<SimMsg> for ClientActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, SimMsg>) {
+        let me = ctx.self_id();
+        // Stagger client start times slightly to avoid lockstep.
+        let jitter = SimDuration::from_nanos(ctx.rng().gen_range(1_000));
+        ctx.send_in(me, jitter, SimMsg::Kick { resume: false });
+    }
+
+    fn on_message(&mut self, msg: SimMsg, ctx: &mut Context<'_, SimMsg>) {
+        match msg {
+            SimMsg::Kick { resume } => {
+                if !resume {
+                    // Backoff waits stay inside the op's latency.
+                    self.op_start = ctx.now();
+                }
+                let sends = if resume {
+                    self.adapter.resume()
+                } else {
+                    self.adapter.start(&mut self.rng)
+                };
+                self.dispatch(sends, ctx);
+            }
+            SimMsg::Reply { tag, reply } => match self.adapter.on_reply(tag, reply) {
+                AdapterStep::Wait(sends) => self.dispatch(sends, ctx),
+                AdapterStep::Done {
+                    sends,
+                    client_compute,
+                    failed,
+                } => {
+                    self.dispatch(sends, ctx);
+                    let end = ctx.now() + client_compute;
+                    if failed {
+                        ctx.metrics().add("failed", 1);
+                    } else {
+                        let latency = end.since(self.op_start);
+                        ctx.metrics().record("lat", latency);
+                        ctx.metrics().add("ops", 1);
+                    }
+                    let me = ctx.self_id();
+                    ctx.send_at(me, end, SimMsg::Kick { resume: false });
+                }
+                AdapterStep::Backoff { sends, wait } => {
+                    self.dispatch(sends, ctx);
+                    ctx.metrics().add("backoffs", 1);
+                    let me = ctx.self_id();
+                    ctx.send_in(me, wait, SimMsg::Kick { resume: true });
+                }
+            },
+            SimMsg::Req { .. } => unreachable!("clients do not receive requests"),
+        }
+    }
+}
+
+/// One point of a throughput-latency curve.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Completed operations per second during the measurement window.
+    pub tput_ops: f64,
+    /// Mean operation latency in microseconds.
+    pub mean_us: f64,
+    /// 99th percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Failed/aborted operation count (retries are internal to ops).
+    pub failed: u64,
+    /// Backoff events (lock conflicts, transaction aborts).
+    pub backoffs: u64,
+}
+
+/// Runs a closed-loop experiment: `n_clients` clients over the given
+/// servers, `warmup` then `measure` of virtual time.
+#[allow(clippy::too_many_arguments)]
+pub fn run_closed_loop(
+    servers: &[Arc<PrismServer>],
+    model: &CostModel,
+    verb_path: VerbPath,
+    n_clients: usize,
+    mk_adapter: &mut dyn FnMut(usize) -> Box<dyn ProtoAdapter>,
+    warmup: SimDuration,
+    measure: SimDuration,
+    seed: u64,
+) -> RunResult {
+    let mut sim: Simulation<SimMsg> = Simulation::new(seed);
+    let server_ids: Vec<ActorId> = servers
+        .iter()
+        .map(|s| {
+            sim.add_actor(Box::new(ServerActor::new(
+                Arc::clone(s),
+                model.clone(),
+                verb_path,
+            )))
+        })
+        .collect();
+    for i in 0..n_clients {
+        let adapter = mk_adapter(i);
+        let rng = SimRng::new(seed ^ ((i as u64 + 1) << 20));
+        sim.add_actor(Box::new(ClientActor::new(
+            adapter,
+            server_ids.clone(),
+            model.clone(),
+            rng,
+        )));
+    }
+    sim.run_for(warmup);
+    sim.metrics_mut().reset();
+    sim.run_for(measure);
+    let metrics = sim.metrics();
+    let ops = metrics.counter("ops");
+    let (mean, p99) = metrics
+        .histogram("lat")
+        .map(|h| (h.mean_micros(), h.quantile_micros(0.99)))
+        .unwrap_or((0.0, 0.0));
+    RunResult {
+        clients: n_clients,
+        tput_ops: ops as f64 / measure.as_micros_f64() * 1e6,
+        mean_us: mean,
+        p99_us: p99,
+        failed: metrics.counter("failed"),
+        backoffs: metrics.counter("backoffs"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_core::builder::ops;
+    use prism_rdma::region::AccessFlags;
+
+    /// An adapter issuing one plain READ per op.
+    struct ReadAdapter {
+        addr: u64,
+        rkey: u32,
+        chain: bool,
+    }
+
+    impl ProtoAdapter for ReadAdapter {
+        fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+            let req = if self.chain {
+                Request::Chain(vec![ops::read(self.addr, 512, self.rkey)])
+            } else {
+                Request::Verb(prism_core::msg::Verb::Read {
+                    addr: self.addr,
+                    len: 512,
+                    rkey: self.rkey,
+                })
+            };
+            vec![Outbound {
+                server: 0,
+                tag: 0,
+                req,
+                background: false,
+            }]
+        }
+
+        fn resume(&mut self) -> Vec<Outbound> {
+            unreachable!()
+        }
+
+        fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+            match reply {
+                Reply::Verb(Ok(d)) => assert_eq!(d.len(), 512),
+                Reply::Chain(r) => assert_eq!(r[0].data.len(), 512),
+                other => panic!("unexpected {other:?}"),
+            }
+            AdapterStep::Done {
+                sends: Vec::new(),
+                client_compute: SimDuration::ZERO,
+                failed: false,
+            }
+        }
+    }
+
+    fn test_server() -> (Arc<PrismServer>, u64, u32) {
+        let s = Arc::new(PrismServer::new(1 << 20));
+        let (addr, rkey) = s.carve_region(4096, 64, AccessFlags::FULL);
+        (s, addr, rkey.0)
+    }
+
+    #[test]
+    fn unloaded_verb_latency_matches_closed_form() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let r = run_closed_loop(
+            &[s],
+            &model,
+            VerbPath::Nic,
+            1,
+            &mut |_| {
+                Box::new(ReadAdapter {
+                    addr,
+                    rkey,
+                    chain: false,
+                })
+            },
+            SimDuration::millis(1),
+            SimDuration::millis(5),
+            1,
+        );
+        let expected = model.rdma_onesided_rtt(512).as_micros_f64();
+        // The DES adds request-side serialization the closed form omits;
+        // allow a small tolerance.
+        assert!(
+            (r.mean_us - expected).abs() < 0.15,
+            "DES {} vs closed form {}",
+            r.mean_us,
+            expected
+        );
+    }
+
+    #[test]
+    fn unloaded_chain_latency_matches_prism_sw() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let r = run_closed_loop(
+            &[s],
+            &model,
+            VerbPath::Nic,
+            1,
+            &mut |_| {
+                Box::new(ReadAdapter {
+                    addr,
+                    rkey,
+                    chain: true,
+                })
+            },
+            SimDuration::millis(1),
+            SimDuration::millis(5),
+            1,
+        );
+        let expected = model
+            .primitive_latency(
+                prism_simnet::latency::Platform::PrismSw,
+                prism_simnet::latency::Primitive::Read,
+            )
+            .as_micros_f64();
+        assert!(
+            (r.mean_us - expected).abs() < 0.3,
+            "DES {} vs closed form {}",
+            r.mean_us,
+            expected
+        );
+    }
+
+    #[test]
+    fn throughput_saturates_with_clients() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let mut last = 0.0;
+        let mut results = Vec::new();
+        for &n in &[1usize, 8, 64] {
+            let r = run_closed_loop(
+                &[s.clone()],
+                &model,
+                VerbPath::Nic,
+                n,
+                &mut |_| {
+                    Box::new(ReadAdapter {
+                        addr,
+                        rkey,
+                        chain: false,
+                    })
+                },
+                SimDuration::millis(1),
+                SimDuration::millis(5),
+                7,
+            );
+            results.push(r);
+            assert!(r.tput_ops > last, "throughput should rise with clients");
+            last = r.tput_ops;
+        }
+        // Latency grows once the link saturates.
+        assert!(results[2].mean_us > results[0].mean_us);
+        // 512-byte reads over a 40 Gb/s link: ceiling ≈ 8-9 Mops.
+        assert!(
+            results[2].tput_ops < 10_000_000.0,
+            "tput {} exceeds link ceiling",
+            results[2].tput_ops
+        );
+    }
+
+    #[test]
+    fn software_verbs_cost_more_and_occupy_cores() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let hw = run_closed_loop(
+            &[s.clone()],
+            &model,
+            VerbPath::Nic,
+            1,
+            &mut |_| {
+                Box::new(ReadAdapter {
+                    addr,
+                    rkey,
+                    chain: false,
+                })
+            },
+            SimDuration::millis(1),
+            SimDuration::millis(4),
+            1,
+        );
+        let sw = run_closed_loop(
+            &[s],
+            &model,
+            VerbPath::Cpu,
+            1,
+            &mut |_| {
+                Box::new(ReadAdapter {
+                    addr,
+                    rkey,
+                    chain: false,
+                })
+            },
+            SimDuration::millis(1),
+            SimDuration::millis(4),
+            1,
+        );
+        let delta = sw.mean_us - hw.mean_us;
+        assert!(
+            (2.0..3.5).contains(&delta),
+            "software RDMA adds ~2.5us (got {delta})"
+        );
+    }
+}

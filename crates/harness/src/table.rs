@@ -1,0 +1,114 @@
+//! Plain-text table output for the `fig_*` binaries.
+
+/// A simple aligned table with a title and column headers.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", c, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as comma-separated values (for plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a throughput in millions of ops/s.
+pub fn mops(x: f64) -> String {
+    format!("{:.3}", x / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("long-header"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["x"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,389 @@
+//! Figures 9 and 10: PRISM-TX vs FaRM.
+//!
+//! YCSB-T short read-modify-write transactions over 512-byte objects
+//! (§8.3); a single shard, like the paper's testbed, but running the
+//! full distributed commit protocol. Figure 9 sweeps clients under
+//! uniform access; Figure 10 sweeps the Zipf coefficient and reports
+//! peak committed-transaction throughput.
+
+use std::sync::Arc;
+
+use prism_simnet::latency::CostModel;
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::SimDuration;
+use prism_tx::farm::{FarmCluster, FarmConfig};
+use prism_tx::prism_tx::{TxCluster, TxConfig};
+use prism_workload::{KeyDist, TxnGen};
+
+use crate::adapters::{FarmAdapter, PrismTxAdapter};
+use crate::netsim::{run_closed_loop, VerbPath};
+use crate::table::{f2, mops, Table};
+
+/// Experiment parameters (§8.3 at reduced key count).
+#[derive(Debug, Clone)]
+pub struct TxExpConfig {
+    /// Keys (the paper uses 8 M 512-byte objects).
+    pub n_keys: u64,
+    /// Value size.
+    pub value_len: u64,
+    /// Distinct keys per transaction. YCSB-T wraps single YCSB
+    /// operations in transactions, so the paper's "short read-modify-
+    /// write transactions" touch one key; multi-key transactions are
+    /// fully supported and exercised by the integration tests.
+    pub keys_per_txn: usize,
+    /// Shards (1 in the paper's testbed).
+    pub n_shards: usize,
+    /// Client counts for Figure 9.
+    pub clients: Vec<usize>,
+    /// Zipf coefficients for Figure 10.
+    pub zipf: Vec<f64>,
+    /// Clients used for the Figure 10 peak-throughput runs.
+    pub zipf_clients: usize,
+    /// Warm-up per point.
+    pub warmup: SimDuration,
+    /// Measurement per point.
+    pub measure: SimDuration,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl TxExpConfig {
+    /// Full-scale run.
+    pub fn paper() -> Self {
+        TxExpConfig {
+            n_keys: 262_144,
+            value_len: 512,
+            keys_per_txn: 1,
+            n_shards: 1,
+            clients: vec![1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256],
+            zipf: vec![0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99, 1.2, 1.4, 1.6],
+            zipf_clients: 128,
+            warmup: SimDuration::millis(2),
+            measure: SimDuration::millis(20),
+            seed: 44,
+        }
+    }
+
+    /// Reduced run for smoke tests. Key count stays high enough that
+    /// the uniform workload is genuinely low-contention (the paper uses
+    /// 8 M keys; with too few keys, concurrent prepares collide and the
+    /// figure's "low contention" premise no longer holds).
+    pub fn quick() -> Self {
+        TxExpConfig {
+            n_keys: 32_768,
+            value_len: 512,
+            keys_per_txn: 1,
+            n_shards: 1,
+            clients: vec![1, 16, 64],
+            zipf: vec![0.0, 0.99],
+            zipf_clients: 32,
+            warmup: SimDuration::micros(500),
+            measure: SimDuration::millis(4),
+            seed: 44,
+        }
+    }
+
+    fn keys_per_shard(&self) -> u64 {
+        self.n_keys / self.n_shards as u64
+    }
+}
+
+struct Systems {
+    prism: TxCluster,
+    farm: FarmCluster,
+}
+
+fn build(cfg: &TxExpConfig) -> Systems {
+    // Spares must cover client-side free batching.
+    let max_clients = cfg
+        .clients
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(cfg.zipf_clients) as u64;
+    let mut tx_config = TxConfig::paper(cfg.keys_per_shard(), cfg.value_len);
+    tx_config.spare_buffers += 32 * (max_clients + 16);
+    Systems {
+        prism: TxCluster::new(cfg.n_shards, &tx_config),
+        farm: FarmCluster::new(
+            cfg.n_shards,
+            &FarmConfig {
+                keys_per_shard: cfg.keys_per_shard(),
+                value_len: cfg.value_len,
+            },
+        ),
+    }
+}
+
+fn prism_servers(s: &Systems, n: usize) -> Vec<Arc<prism_core::PrismServer>> {
+    (0..n)
+        .map(|i| Arc::clone(s.prism.shard(i).server()))
+        .collect()
+}
+
+fn farm_servers(s: &Systems, n: usize) -> Vec<Arc<prism_core::PrismServer>> {
+    (0..n)
+        .map(|i| Arc::clone(s.farm.shard(i).server()))
+        .collect()
+}
+
+fn txn_gen(cfg: &TxExpConfig, zipf: f64, seed: u64) -> TxnGen {
+    let dist = KeyDist::zipf(cfg.n_keys, zipf);
+    TxnGen::new(
+        dist,
+        cfg.keys_per_txn,
+        cfg.value_len as usize,
+        SimRng::new(seed),
+    )
+}
+
+/// Figure 9: throughput-latency sweep, uniform access.
+pub fn figure9(cfg: &TxExpConfig) -> (Table, [f64; 3]) {
+    let model = CostModel::testbed();
+    let mut t = Table::new(
+        &format!(
+            "Figure 9: PRISM-TX vs FaRM, YCSB-T uniform ({} keys x {} B, {} keys/txn)",
+            cfg.n_keys, cfg.value_len, cfg.keys_per_txn
+        ),
+        &["system", "clients", "tput_Mtxn", "mean_us", "p99_us"],
+    );
+    let sys = build(cfg);
+    let mut peaks = [0.0f64; 3];
+    for &n in &cfg.clients {
+        let r = run_closed_loop(
+            &prism_servers(&sys, cfg.n_shards),
+            &model,
+            VerbPath::Nic,
+            n,
+            &mut |i| {
+                Box::new(PrismTxAdapter::new(
+                    sys.prism.open_client(),
+                    txn_gen(cfg, 0.0, cfg.seed ^ ((i as u64 + 1) * 31)),
+                ))
+            },
+            cfg.warmup,
+            cfg.measure,
+            cfg.seed ^ n as u64,
+        );
+        t.row(&[
+            "PRISM-TX".into(),
+            n.to_string(),
+            mops(r.tput_ops),
+            f2(r.mean_us),
+            f2(r.p99_us),
+        ]);
+        peaks[0] = peaks[0].max(r.tput_ops);
+    }
+    for (slot, (label, path)) in [
+        ("FaRM", VerbPath::Nic),
+        ("FaRM (software RDMA)", VerbPath::Cpu),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for &n in &cfg.clients {
+            sys.farm.reset_locks();
+            let r = run_closed_loop(
+                &farm_servers(&sys, cfg.n_shards),
+                &model,
+                path,
+                n,
+                &mut |i| {
+                    Box::new(FarmAdapter::new(
+                        sys.farm.open_client(),
+                        txn_gen(cfg, 0.0, cfg.seed ^ ((i as u64 + 1) * 37)),
+                    ))
+                },
+                cfg.warmup,
+                cfg.measure,
+                cfg.seed ^ ((n as u64) << 9),
+            );
+            t.row(&[
+                label.into(),
+                n.to_string(),
+                mops(r.tput_ops),
+                f2(r.mean_us),
+                f2(r.p99_us),
+            ]);
+            peaks[slot + 1] = peaks[slot + 1].max(r.tput_ops);
+        }
+    }
+    (t, peaks)
+}
+
+/// Figure 10: peak committed throughput vs Zipf coefficient.
+///
+/// "Peak" means over client counts, as the paper's methodology implies:
+/// under skew the throughput-maximizing offered load shrinks (more
+/// clients only add conflict), so each point reports the best of a
+/// small client sweep.
+pub fn figure10(cfg: &TxExpConfig) -> Table {
+    let model = CostModel::testbed();
+    let mut t = Table::new(
+        &format!(
+            "Figure 10: peak throughput vs contention (best of <= {} clients)",
+            cfg.zipf_clients
+        ),
+        &[
+            "system",
+            "zipf",
+            "tput_Mtxn",
+            "mean_us",
+            "aborts_per_commit",
+            "clients_at_peak",
+        ],
+    );
+    let sys = build(cfg);
+    let mut sweep: Vec<usize> = Vec::new();
+    let mut n = cfg.zipf_clients;
+    while n >= 8 {
+        sweep.push(n);
+        n /= 4;
+    }
+    for &z in &cfg.zipf {
+        let mut best: Option<(f64, f64, f64, usize)> = None;
+        for &n in &sweep {
+            let r = run_closed_loop(
+                &prism_servers(&sys, cfg.n_shards),
+                &model,
+                VerbPath::Nic,
+                n,
+                &mut |i| {
+                    Box::new(PrismTxAdapter::new(
+                        sys.prism.open_client(),
+                        txn_gen(cfg, z, cfg.seed ^ ((i as u64 + 1) * 31)),
+                    ))
+                },
+                cfg.warmup,
+                cfg.measure,
+                cfg.seed ^ (z * 100.0) as u64 ^ ((n as u64) << 16),
+            );
+            if best.is_none() || r.tput_ops > best.expect("some").0 {
+                let commits = (r.tput_ops * cfg.measure.as_micros_f64() / 1e6).max(1.0);
+                best = Some((r.tput_ops, r.mean_us, r.backoffs as f64 / commits, n));
+            }
+        }
+        let (tput, mean, apc, n) = best.expect("sweep nonempty");
+        t.row(&[
+            "PRISM-TX".into(),
+            format!("{z:.2}"),
+            mops(tput),
+            f2(mean),
+            f2(apc),
+            n.to_string(),
+        ]);
+    }
+    for &z in &cfg.zipf {
+        let mut best: Option<(f64, f64, f64, usize)> = None;
+        for &n in &sweep {
+            sys.farm.reset_locks();
+            let r = run_closed_loop(
+                &farm_servers(&sys, cfg.n_shards),
+                &model,
+                VerbPath::Nic,
+                n,
+                &mut |i| {
+                    Box::new(FarmAdapter::new(
+                        sys.farm.open_client(),
+                        txn_gen(cfg, z, cfg.seed ^ ((i as u64 + 1) * 37)),
+                    ))
+                },
+                cfg.warmup,
+                cfg.measure,
+                cfg.seed ^ 0x9000 ^ (z * 100.0) as u64 ^ ((n as u64) << 16),
+            );
+            if best.is_none() || r.tput_ops > best.expect("some").0 {
+                let commits = (r.tput_ops * cfg.measure.as_micros_f64() / 1e6).max(1.0);
+                best = Some((r.tput_ops, r.mean_us, r.backoffs as f64 / commits, n));
+            }
+        }
+        let (tput, mean, apc, n) = best.expect("sweep nonempty");
+        t.row(&[
+            "FaRM".into(),
+            format!("{z:.2}"),
+            mops(tput),
+            f2(mean),
+            f2(apc),
+            n.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(t: &Table, system: &str) -> Vec<(f64, f64, f64)> {
+        t.to_csv()
+            .lines()
+            .skip(1)
+            .filter_map(|l| {
+                let c: Vec<&str> = l.split(',').collect();
+                (c[0] == system).then(|| {
+                    (
+                        c[1].parse().unwrap(),
+                        c[2].parse().unwrap(),
+                        c[3].parse().unwrap(),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure9_shape() {
+        let cfg = TxExpConfig::quick();
+        let (t, peaks) = figure9(&cfg);
+        // Paper: PRISM-TX > FaRM in throughput, lower in latency.
+        assert!(
+            peaks[0] > peaks[1],
+            "PRISM {} vs FaRM {}",
+            peaks[0],
+            peaks[1]
+        );
+        assert!(
+            peaks[1] > peaks[2],
+            "FaRM HW {} vs SW {}",
+            peaks[1],
+            peaks[2]
+        );
+        let prism_lat = series(&t, "PRISM-TX")[0].2;
+        let farm_lat = series(&t, "FaRM")[0].2;
+        assert!(
+            prism_lat < farm_lat,
+            "PRISM-TX {prism_lat}us vs FaRM {farm_lat}us at 1 client"
+        );
+    }
+
+    #[test]
+    fn figure10_prism_keeps_advantage_under_skew() {
+        let cfg = TxExpConfig::quick();
+        let t = figure10(&cfg);
+        let prism = series(&t, "PRISM-TX");
+        let farm = series(&t, "FaRM");
+        // Uncontended: strict win (Figure 9's ordering).
+        assert!(
+            prism[0].1 > farm[0].1,
+            "uncontended: PRISM {} vs FaRM {}",
+            prism[0].1,
+            farm[0].1
+        );
+        // Under skew both collapse toward the hot key's serialization
+        // ceiling; PRISM-TX must stay at least competitive. (At extreme
+        // skew our FaRM baseline can edge ahead because its contention
+        // waiting polls locked objects through the NIC, while software
+        // PRISM validation retries occupy dispatch cores — see
+        // EXPERIMENTS.md's Figure 10 discussion.)
+        for (p, f) in prism.iter().zip(farm.iter()) {
+            assert!(
+                p.1 >= 0.75 * f.1,
+                "PRISM-TX fell behind FaRM at zipf {} ({} vs {})",
+                p.0,
+                p.1,
+                f.1
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! On-disk — rather, in-remote-memory — entry format shared by both
+//! stores: `[klen u32 | vlen u32 | key | value]`.
+//!
+//! PRISM-KV stores entries in ALLOCATE'd buffers referenced by
+//! `(ptr, bound)` hash slots; Pilaf stores them in its extents region.
+//! The header makes entries self-describing so a bounded indirect READ
+//! (which may return more bytes than the entry if the request length
+//! exceeds the bound — it returns `min(len, bound)`) can be parsed
+//! without out-of-band length information.
+
+/// Header bytes preceding key and value.
+pub const HEADER: usize = 8;
+
+/// Encodes an entry.
+pub fn encode(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(HEADER + key.len() + value.len());
+    v.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    v.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    v.extend_from_slice(key);
+    v.extend_from_slice(value);
+    v
+}
+
+/// Total encoded length for a key/value pair.
+pub fn encoded_len(key_len: usize, value_len: usize) -> usize {
+    HEADER + key_len + value_len
+}
+
+/// Decodes an entry, tolerating trailing garbage (bounded reads return
+/// exactly the bound, which equals the entry length, but defensive
+/// parsing costs nothing). Returns `(key, value)`.
+pub fn decode(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+    if bytes.len() < HEADER {
+        return None;
+    }
+    let klen = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let vlen = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+    let total = HEADER.checked_add(klen)?.checked_add(vlen)?;
+    if bytes.len() < total {
+        return None;
+    }
+    Some((&bytes[HEADER..HEADER + klen], &bytes[HEADER + klen..total]))
+}
+
+/// Just the key, for probe verification. Unlike [`decode`], this only
+/// needs the header and key bytes to be present — PUT probes read
+/// exactly `HEADER + key_len` bytes of the entry (§6.1), not the value.
+pub fn decode_key(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < HEADER {
+        return None;
+    }
+    let klen = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let end = HEADER.checked_add(klen)?;
+    if bytes.len() < end {
+        return None;
+    }
+    Some(&bytes[HEADER..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let e = encode(b"key-1", b"some value bytes");
+        let (k, v) = decode(&e).unwrap();
+        assert_eq!(k, b"key-1");
+        assert_eq!(v, b"some value bytes");
+        assert_eq!(e.len(), encoded_len(5, 16));
+    }
+
+    #[test]
+    fn empty_key_and_value() {
+        let e = encode(b"", b"");
+        assert_eq!(decode(&e).unwrap(), (&b""[..], &b""[..]));
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        let e = encode(b"abc", b"defgh");
+        for cut in 0..e.len() {
+            if cut < e.len() {
+                let d = decode(&e[..cut]);
+                if cut < encoded_len(3, 5) {
+                    assert!(d.is_none(), "cut={cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_tolerated() {
+        let mut e = encode(b"k", b"v");
+        e.extend_from_slice(&[0xFF; 32]);
+        assert_eq!(decode(&e).unwrap(), (&b"k"[..], &b"v"[..]));
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_overflow() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0; 64]);
+        assert!(decode(&bytes).is_none());
+    }
+}

@@ -1,0 +1,982 @@
+//! PRISM-KV: the paper's one-sided key-value store (§6.1).
+//!
+//! Layout: a hash table of 16-byte `(ptr, bound)` slots in one registered
+//! data region that also contains the ALLOCATE buffer pools, so indirect
+//! operations satisfy the same-rkey rule (§3.1). Entries are
+//! `[klen | vlen | key | value]` ([`crate::entry`]) in write-once
+//! buffers.
+//!
+//! * **GET** — one bounded indirect READ of the slot (§6.1): the engine
+//!   follows the pointer and returns at most `bound` bytes. The client
+//!   verifies the key and linearly probes on a mismatch. An empty slot
+//!   NACKs (null pointer), which the client interprets as absence.
+//! * **PUT** — one probe round trip (slot word + entry key, chained),
+//!   then one install round trip: WRITE the bound into connection
+//!   scratch, ALLOCATE the new entry with its address redirected into
+//!   scratch, then a conditional 16-byte CAS that installs
+//!   `(new_ptr, bound)` if the slot still holds what the probe saw. A
+//!   final unconditional READ of scratch returns the new pointer so the
+//!   client can reclaim the buffer if the CAS lost a race.
+//! * **DELETE** — probe, then CAS the slot to null (footnote 2 of the
+//!   paper discusses slot reuse; we use the same heavy-handed
+//!   compare-the-pointer approach).
+//!
+//! Reclamation is client-driven (§3.2): the winner frees the replaced
+//! buffer, a loser frees its own orphan, via a fire-and-forget RPC the
+//! server CPU turns into a gated repost.
+
+use std::sync::Arc;
+
+use prism_core::builder::ops;
+use prism_core::msg::{Reply, Request};
+use prism_core::op::{full_mask, DataArg, FreeListId, Redirect};
+use prism_core::value::CasMode;
+use prism_core::{OpStatus, PrismServer};
+use prism_rdma::region::AccessFlags;
+use prism_rdma::RdmaError;
+
+use crate::entry;
+use crate::hash::HashScheme;
+use crate::{KvOutcome, KvStep};
+
+/// Slot size: `(ptr u64 LE, bound u64 LE)`.
+pub const SLOT: u64 = 16;
+
+/// Maximum linear-probe attempts before a key is declared absent
+/// (FNV mode only; collisionless mode never probes past attempt 0).
+pub const MAX_PROBES: u64 = 64;
+
+/// Retry budget for PUT/DELETE CAS races.
+pub const MAX_RETRIES: u32 = 32;
+
+/// A buffer size class backing one free list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeClass {
+    /// Buffer length in bytes.
+    pub buf_len: u64,
+    /// Number of buffers to provision.
+    pub count: u64,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct PrismKvConfig {
+    /// Hash table capacity in slots.
+    pub capacity: u64,
+    /// Key-to-slot mapping.
+    pub scheme: HashScheme,
+    /// Largest entry (header + key + value) the store accepts; also the
+    /// GET read length.
+    pub max_entry_len: u32,
+    /// Buffer size classes, ascending (§3.2 recommends powers of two).
+    pub classes: Vec<SizeClass>,
+}
+
+impl PrismKvConfig {
+    /// The paper's evaluation configuration scaled to `n_keys` keys with
+    /// `value_len`-byte values and 8-byte keys (§6.2), collisionless.
+    pub fn paper(n_keys: u64, value_len: usize) -> Self {
+        let entry_len = entry::encoded_len(8, value_len) as u64;
+        PrismKvConfig {
+            capacity: n_keys,
+            scheme: HashScheme::Collisionless,
+            max_entry_len: entry_len as u32,
+            classes: vec![SizeClass {
+                buf_len: entry_len,
+                // Live entries plus headroom for in-flight updates.
+                count: n_keys + (n_keys / 8).max(64),
+            }],
+        }
+    }
+}
+
+/// Everything a client needs to address the store (exchanged at
+/// connection setup in a real deployment).
+#[derive(Debug, Clone)]
+pub struct KvView {
+    /// Base of the slot array.
+    pub table_addr: u64,
+    /// Rkey of the data region (slots + buffer pools).
+    pub data_rkey: u32,
+    /// Slots in the table.
+    pub capacity: u64,
+    /// Key-to-slot mapping.
+    pub scheme: HashScheme,
+    /// GET read length.
+    pub max_entry_len: u32,
+    /// `(freelist id, buffer length)` per class, ascending.
+    pub classes: Vec<(FreeListId, u64)>,
+}
+
+impl KvView {
+    /// Address of slot `i`.
+    pub fn slot_addr(&self, i: u64) -> u64 {
+        self.table_addr + i * SLOT
+    }
+
+    /// Smallest class whose buffers fit `len` bytes.
+    pub fn class_for(&self, len: u64) -> Option<FreeListId> {
+        self.classes
+            .iter()
+            .find(|(_, buf_len)| *buf_len >= len)
+            .map(|(id, _)| *id)
+    }
+}
+
+const RPC_FREE: u8 = 0x01;
+const RPC_FREE_BATCH: u8 = 0x04;
+
+/// The PRISM-KV server: a [`PrismServer`] with the store's layout,
+/// free lists, and reclaim RPC installed.
+pub struct PrismKvServer {
+    server: Arc<PrismServer>,
+    view: KvView,
+    refill: parking_lot::Mutex<Vec<RefillState>>,
+    /// `(next, end)` of the registered headroom the refill daemon carves
+    /// from.
+    headroom: parking_lot::Mutex<(u64, u64)>,
+}
+
+/// Per-class refill bookkeeping for [`PrismKvServer::maybe_refill`].
+#[derive(Debug)]
+struct RefillState {
+    id: FreeListId,
+    stride: u64,
+    /// Refill when availability drops below this many buffers.
+    low_water: usize,
+    /// Buffers added per refill.
+    batch: u64,
+}
+
+struct PoolRange {
+    id: FreeListId,
+    base: u64,
+    stride: u64,
+    count: u64,
+}
+
+impl PrismKvServer {
+    /// Builds a server for `config`, sizing the arena automatically.
+    pub fn new(config: &PrismKvConfig) -> Self {
+        let table_len = (config.capacity * SLOT).next_multiple_of(64);
+        let pools_len: u64 = config
+            .classes
+            .iter()
+            .map(|c| c.buf_len.next_multiple_of(64) * c.count)
+            .sum();
+        // Headroom inside the same registration feeds the refill daemon
+        // (§6.1): new buffers must satisfy the indirect-GET same-rkey
+        // rule, so they have to live inside the data region.
+        let headroom_len = (pools_len / 4).next_multiple_of(64).max(1 << 16);
+        let server = Arc::new(PrismServer::new(
+            table_len + pools_len + headroom_len + (1 << 20),
+        ));
+
+        // One region spanning slots, pools, and refill headroom so
+        // indirect GETs satisfy the same-rkey rule.
+        let (data_base, data_rkey) =
+            server.carve_region(table_len + pools_len + headroom_len, 64, AccessFlags::FULL);
+        let table_addr = data_base;
+
+        let mut off = table_len;
+        let mut classes = Vec::new();
+        let mut ranges = Vec::new();
+        for (i, c) in config.classes.iter().enumerate() {
+            let id = FreeListId(i as u32);
+            let stride = c.buf_len.next_multiple_of(64);
+            let base = data_base + off;
+            server.freelists().register(id, c.buf_len);
+            server
+                .freelists()
+                .post(id, (0..c.count).map(|j| base + j * stride))
+                .expect("fresh free list accepts posts");
+            classes.push((id, c.buf_len));
+            ranges.push(PoolRange {
+                id,
+                base,
+                stride,
+                count: c.count,
+            });
+            off += stride * c.count;
+        }
+
+        // Reclaim RPC: [RPC_FREE, addr u64 LE] or the batched form
+        // [RPC_FREE_BATCH, count u16 LE, addrs...].
+        let freelists = Arc::clone(server.freelists());
+        server.set_rpc_handler(Arc::new(move |req: &[u8]| {
+            let free_one = |addr: u64| -> bool {
+                for r in &ranges {
+                    if addr >= r.base
+                        && addr < r.base + r.stride * r.count
+                        && (addr - r.base) % r.stride == 0
+                    {
+                        freelists.post(r.id, [addr]).expect("class registered");
+                        return true;
+                    }
+                }
+                false
+            };
+            if req.len() == 9 && req[0] == RPC_FREE {
+                let addr = u64::from_le_bytes(req[1..9].try_into().expect("9-byte message"));
+                if free_one(addr) {
+                    return vec![0];
+                }
+            } else if req.len() >= 3 && req[0] == RPC_FREE_BATCH {
+                // Batched reclamation (§3.2: "batching can be employed at
+                // both client and server sides to minimize overhead").
+                let n = u16::from_le_bytes(req[1..3].try_into().expect("2 bytes")) as usize;
+                if req.len() == 3 + n * 8 {
+                    let ok = (0..n).all(|i| {
+                        let off = 3 + i * 8;
+                        free_one(u64::from_le_bytes(
+                            req[off..off + 8].try_into().expect("8 bytes"),
+                        ))
+                    });
+                    return vec![if ok { 0 } else { 0xFF }];
+                }
+            }
+            vec![0xFF]
+        }));
+
+        let refill = classes
+            .iter()
+            .map(|&(id, buf_len)| RefillState {
+                id,
+                stride: buf_len.next_multiple_of(64),
+                low_water: 16,
+                batch: 64,
+            })
+            .collect();
+        let headroom_base = data_base + table_len + pools_len;
+        PrismKvServer {
+            server,
+            refill: parking_lot::Mutex::new(refill),
+            headroom: parking_lot::Mutex::new((headroom_base, headroom_base + headroom_len)),
+            view: KvView {
+                table_addr,
+                data_rkey: data_rkey.0,
+                capacity: config.capacity,
+                scheme: config.scheme,
+                max_entry_len: config.max_entry_len,
+                classes,
+            },
+        }
+    }
+
+    /// The underlying host (for direct execution in tests/live mode).
+    pub fn server(&self) -> &Arc<PrismServer> {
+        &self.server
+    }
+
+    /// The client-visible layout.
+    pub fn view(&self) -> &KvView {
+        &self.view
+    }
+
+    /// The periodic control-plane check of §6.1: the server
+    /// "periodically checks if more buffers are needed" and posts fresh
+    /// ones when a size class runs low. New buffers are carved from the
+    /// registered headroom (they must stay inside the data region to
+    /// satisfy the indirect-GET same-rkey rule); once the headroom is
+    /// exhausted the refill stops and ALLOCATE falls back to
+    /// Receiver-Not-Ready flow control. Returns the number of buffers
+    /// added.
+    pub fn maybe_refill(&self) -> u64 {
+        let mut added = 0;
+        let refill = self.refill.lock();
+        for r in refill.iter() {
+            if self.server.freelists().available(r.id) >= r.low_water {
+                continue;
+            }
+            let Some(base) = self.carve_headroom(r.stride * r.batch) else {
+                continue;
+            };
+            self.server
+                .freelists()
+                .post(r.id, (0..r.batch).map(|j| base + j * r.stride))
+                .expect("class registered");
+            added += r.batch;
+        }
+        added
+    }
+
+    fn carve_headroom(&self, len: u64) -> Option<u64> {
+        let mut hr = self.headroom.lock();
+        if hr.0 + len > hr.1 {
+            return None;
+        }
+        let base = hr.0;
+        hr.0 += len;
+        Some(base)
+    }
+
+    /// Opens a client with its own connection scratch slot.
+    pub fn open_client(&self) -> PrismKvClient {
+        let conn = self.server.open_connection();
+        PrismKvClient {
+            view: self.view.clone(),
+            scratch_addr: conn.scratch_addr,
+            scratch_rkey: conn.scratch_rkey.0,
+        }
+    }
+}
+
+impl std::fmt::Debug for PrismKvServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrismKvServer")
+            .field("capacity", &self.view.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A PRISM-KV client: builds the op state machines.
+#[derive(Debug, Clone)]
+pub struct PrismKvClient {
+    view: KvView,
+    scratch_addr: u64,
+    scratch_rkey: u32,
+}
+
+impl PrismKvClient {
+    /// The store layout this client addresses.
+    pub fn view(&self) -> &KvView {
+        &self.view
+    }
+
+    /// Starts a GET; returns the machine and its first request.
+    pub fn get(&self, key: &[u8]) -> (GetOp, Request) {
+        let op = GetOp {
+            key: key.to_vec(),
+            attempt: 0,
+        };
+        let req = op.probe_request(self);
+        (op, req)
+    }
+
+    /// Starts a PUT.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> (PutOp, Request) {
+        let op = PutOp {
+            key: key.to_vec(),
+            value: value.to_vec(),
+            attempt: 0,
+            retries: 0,
+            state: PutState::Probe,
+            delete: false,
+        };
+        let req = op.probe_request(self);
+        (op, req)
+    }
+
+    /// Starts a DELETE (a PUT machine that installs null).
+    pub fn delete(&self, key: &[u8]) -> (PutOp, Request) {
+        let op = PutOp {
+            key: key.to_vec(),
+            value: Vec::new(),
+            attempt: 0,
+            retries: 0,
+            state: PutState::Probe,
+            delete: true,
+        };
+        let req = op.probe_request(self);
+        (op, req)
+    }
+
+    fn free_request(&self, addr: u64) -> Request {
+        let mut msg = Vec::with_capacity(9);
+        msg.push(RPC_FREE);
+        msg.extend_from_slice(&addr.to_le_bytes());
+        Request::Rpc(msg)
+    }
+}
+
+/// GET state machine: one bounded indirect READ per probe (§6.1).
+#[derive(Debug, Clone)]
+pub struct GetOp {
+    key: Vec<u8>,
+    attempt: u64,
+}
+
+impl GetOp {
+    fn probe_request(&self, c: &PrismKvClient) -> Request {
+        let slot = c.view.scheme.slot(&self.key, self.attempt, c.view.capacity);
+        Request::Chain(vec![ops::read_indirect_bounded(
+            c.view.slot_addr(slot),
+            c.view.max_entry_len,
+            c.view.data_rkey,
+        )])
+    }
+
+    /// Feeds the probe reply; returns the next step.
+    pub fn on_reply(&mut self, c: &PrismKvClient, reply: Reply) -> KvStep {
+        let results = reply.into_chain();
+        let r = &results[0];
+        match &r.status {
+            OpStatus::Ok => match entry::decode(&r.data) {
+                Some((k, v)) if k == self.key => KvStep::done(KvOutcome::Value(Some(v.to_vec()))),
+                _ => self.next_probe(c),
+            },
+            // Null pointer: the slot is empty. Under linear probing an
+            // empty slot terminates the probe sequence.
+            OpStatus::Error(RdmaError::BadIndirectTarget(0)) => {
+                KvStep::done(KvOutcome::Value(None))
+            }
+            _ => KvStep::done(KvOutcome::Failed("GET probe error")),
+        }
+    }
+
+    fn next_probe(&mut self, c: &PrismKvClient) -> KvStep {
+        self.attempt += 1;
+        let limit = match c.view.scheme {
+            HashScheme::Collisionless => 1,
+            HashScheme::Fnv => MAX_PROBES.min(c.view.capacity),
+        };
+        if self.attempt >= limit {
+            KvStep::done(KvOutcome::Value(None))
+        } else {
+            KvStep::send(self.probe_request(c))
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PutState {
+    Probe,
+    Install { old: [u8; 16] },
+}
+
+/// PUT/DELETE state machine: probe round trip, then the install chain
+/// (§6.1). Retries the whole sequence on CAS races.
+#[derive(Debug, Clone)]
+pub struct PutOp {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    attempt: u64,
+    retries: u32,
+    state: PutState,
+    delete: bool,
+}
+
+impl PutOp {
+    fn probe_request(&self, c: &PrismKvClient) -> Request {
+        let slot = c.view.scheme.slot(&self.key, self.attempt, c.view.capacity);
+        let slot_addr = c.view.slot_addr(slot);
+        // Op 1 captures the raw (ptr, bound) word for the CAS compare;
+        // op 2 fetches the entry header + key to verify slot ownership.
+        Request::Chain(vec![
+            ops::read(slot_addr, SLOT as u32, c.view.data_rkey),
+            ops::read_indirect_bounded(
+                slot_addr,
+                (entry::HEADER + self.key.len()) as u32,
+                c.view.data_rkey,
+            ),
+        ])
+    }
+
+    fn install_request(&self, c: &PrismKvClient, slot: u64, old: [u8; 16]) -> Option<Request> {
+        let slot_addr = c.view.slot_addr(slot);
+        if self.delete {
+            return Some(Request::Chain(vec![ops::cas_args(
+                CasMode::Eq,
+                slot_addr,
+                c.view.data_rkey,
+                DataArg::Inline(old.to_vec()),
+                DataArg::Inline(vec![0u8; 16]),
+                16,
+                full_mask(16),
+                full_mask(16),
+            )]));
+        }
+        let e = entry::encode(&self.key, &self.value);
+        let bound = e.len() as u64;
+        let class = c.view.class_for(bound)?;
+        let scratch = Redirect {
+            addr: c.scratch_addr,
+            rkey: c.scratch_rkey,
+        };
+        Some(Request::Chain(vec![
+            // Stage the bound at scratch+8 (the slot's second word).
+            ops::write(
+                c.scratch_addr + 8,
+                bound.to_le_bytes().to_vec(),
+                c.scratch_rkey,
+            ),
+            // Allocate the entry; its address lands at scratch+0.
+            ops::allocate(class, e).redirect(scratch),
+            // Install (new_ptr, bound) if the slot is unchanged.
+            ops::cas_args(
+                CasMode::Eq,
+                slot_addr,
+                c.view.data_rkey,
+                DataArg::Inline(old.to_vec()),
+                DataArg::Remote {
+                    addr: c.scratch_addr,
+                    rkey: c.scratch_rkey,
+                },
+                16,
+                full_mask(16),
+                full_mask(16),
+            )
+            .conditional(),
+            // Recover the new pointer so a losing client can reclaim it.
+            ops::read(c.scratch_addr, 8, c.scratch_rkey),
+        ]))
+    }
+
+    /// Feeds a reply; returns the next step.
+    pub fn on_reply(&mut self, c: &PrismKvClient, reply: Reply) -> KvStep {
+        let results = reply.into_chain();
+        match self.state.clone() {
+            PutState::Probe => {
+                let slot_word = match results[0].expect_data() {
+                    Ok(d) if d.len() == 16 => {
+                        let mut w = [0u8; 16];
+                        w.copy_from_slice(d);
+                        w
+                    }
+                    _ => return KvStep::done(KvOutcome::Failed("PUT probe error")),
+                };
+                let ptr = u64::from_le_bytes(slot_word[0..8].try_into().expect("8 bytes"));
+                let slot = c.view.scheme.slot(&self.key, self.attempt, c.view.capacity);
+                if ptr == 0 {
+                    // Empty slot: claim it (compare against the observed
+                    // empty word).
+                    return self.to_install(c, slot, slot_word);
+                }
+                // Occupied: does it hold our key?
+                match &results[1].status {
+                    OpStatus::Ok => match entry::decode_key(&results[1].data) {
+                        Some(k) if k == self.key => self.to_install(c, slot, slot_word),
+                        _ => self.next_probe(c),
+                    },
+                    // Pointer was non-null at op 1 but null/invalid at
+                    // op 2: a concurrent delete. Retry the probe.
+                    _ => self.retry_probe(c),
+                }
+            }
+            PutState::Install { old } => {
+                if self.delete {
+                    let cas = &results[0];
+                    return match &cas.status {
+                        OpStatus::Ok => {
+                            let old_ptr =
+                                u64::from_le_bytes(old[0..8].try_into().expect("8 bytes"));
+                            KvStep::Done {
+                                outcome: KvOutcome::Written,
+                                background: (old_ptr != 0).then(|| c.free_request(old_ptr)),
+                            }
+                        }
+                        OpStatus::CasFailed => self.retry_probe(c),
+                        _ => KvStep::done(KvOutcome::Failed("DELETE CAS error")),
+                    };
+                }
+                // [write, allocate, cas, read-back]
+                if let OpStatus::Error(e) = &results[1].status {
+                    let _ = e;
+                    return KvStep::done(KvOutcome::Failed("allocation failed"));
+                }
+                let new_ptr = match results[3].expect_data() {
+                    Ok(d) if d.len() == 8 => u64::from_le_bytes(d.try_into().expect("8 bytes")),
+                    _ => return KvStep::done(KvOutcome::Failed("scratch read error")),
+                };
+                match &results[2].status {
+                    OpStatus::Ok => {
+                        let old_ptr = u64::from_le_bytes(old[0..8].try_into().expect("8 bytes"));
+                        KvStep::Done {
+                            outcome: KvOutcome::Written,
+                            background: (old_ptr != 0).then(|| c.free_request(old_ptr)),
+                        }
+                    }
+                    OpStatus::CasFailed => {
+                        // Lost the race: reclaim our orphaned buffer and
+                        // retry from the probe.
+                        let step = self.retry_probe(c);
+                        attach_background(step, c.free_request(new_ptr))
+                    }
+                    _ => KvStep::done(KvOutcome::Failed("install CAS error")),
+                }
+            }
+        }
+    }
+
+    fn to_install(&mut self, c: &PrismKvClient, slot: u64, old: [u8; 16]) -> KvStep {
+        match self.install_request(c, slot, old) {
+            Some(req) => {
+                self.state = PutState::Install { old };
+                KvStep::send(req)
+            }
+            None => KvStep::done(KvOutcome::Failed("entry exceeds all size classes")),
+        }
+    }
+
+    fn next_probe(&mut self, c: &PrismKvClient) -> KvStep {
+        self.attempt += 1;
+        let limit = match c.view.scheme {
+            HashScheme::Collisionless => 1,
+            HashScheme::Fnv => MAX_PROBES.min(c.view.capacity),
+        };
+        if self.attempt >= limit {
+            return KvStep::done(KvOutcome::Failed("hash table full along probe path"));
+        }
+        self.state = PutState::Probe;
+        KvStep::send(self.probe_request(c))
+    }
+
+    fn retry_probe(&mut self, c: &PrismKvClient) -> KvStep {
+        self.retries += 1;
+        if self.retries > MAX_RETRIES {
+            return KvStep::done(KvOutcome::Failed("retry budget exhausted"));
+        }
+        self.attempt = 0;
+        self.state = PutState::Probe;
+        KvStep::send(self.probe_request(c))
+    }
+}
+
+fn attach_background(step: KvStep, extra: Request) -> KvStep {
+    match step {
+        KvStep::Send {
+            request,
+            background: None,
+        } => KvStep::Send {
+            request,
+            background: Some(extra),
+        },
+        KvStep::Done {
+            outcome,
+            background: None,
+        } => KvStep::Done {
+            outcome,
+            background: Some(extra),
+        },
+        other => other, // never stacks two backgrounds in practice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_core::msg::execute_local;
+
+    /// Drives a machine to completion against a local server, sending
+    /// background requests fire-and-forget. Returns the outcome and the
+    /// number of round trips.
+    pub(crate) fn drive_get(
+        server: &PrismKvServer,
+        c: &PrismKvClient,
+        key: &[u8],
+    ) -> (KvOutcome, u32) {
+        let (mut op, req) = c.get(key);
+        let mut rtts = 1;
+        let mut reply = execute_local(server.server(), &req);
+        loop {
+            match op.on_reply(c, reply) {
+                KvStep::Send {
+                    request,
+                    background,
+                } => {
+                    send_bg(server, background);
+                    rtts += 1;
+                    reply = execute_local(server.server(), &request);
+                }
+                KvStep::Done {
+                    outcome,
+                    background,
+                } => {
+                    send_bg(server, background);
+                    return (outcome, rtts);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn drive_put(
+        server: &PrismKvServer,
+        c: &PrismKvClient,
+        key: &[u8],
+        value: &[u8],
+    ) -> (KvOutcome, u32) {
+        let (mut op, req) = c.put(key, value);
+        let mut rtts = 1;
+        let mut reply = execute_local(server.server(), &req);
+        loop {
+            match op.on_reply(c, reply) {
+                KvStep::Send {
+                    request,
+                    background,
+                } => {
+                    send_bg(server, background);
+                    rtts += 1;
+                    reply = execute_local(server.server(), &request);
+                }
+                KvStep::Done {
+                    outcome,
+                    background,
+                } => {
+                    send_bg(server, background);
+                    return (outcome, rtts);
+                }
+            }
+        }
+    }
+
+    fn send_bg(server: &PrismKvServer, bg: Option<Request>) {
+        if let Some(req) = bg {
+            let _ = execute_local(server.server(), &req);
+        }
+    }
+
+    fn small_store() -> (PrismKvServer, PrismKvClient) {
+        let cfg = PrismKvConfig {
+            capacity: 64,
+            scheme: HashScheme::Fnv,
+            max_entry_len: 256,
+            classes: vec![
+                SizeClass {
+                    buf_len: 64,
+                    count: 32,
+                },
+                SizeClass {
+                    buf_len: 256,
+                    count: 32,
+                },
+            ],
+        };
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        (s, c)
+    }
+
+    #[test]
+    fn get_missing_key_is_none() {
+        let (s, c) = small_store();
+        let (outcome, rtts) = drive_get(&s, &c, b"absent");
+        assert_eq!(outcome, KvOutcome::Value(None));
+        assert_eq!(rtts, 1, "a missing key costs one round trip");
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let (s, c) = small_store();
+        let (o, rtts) = drive_put(&s, &c, b"alpha", b"value-one");
+        assert_eq!(o, KvOutcome::Written);
+        assert_eq!(rtts, 2, "PUT = probe + install (§6.1)");
+        let (o, rtts) = drive_get(&s, &c, b"alpha");
+        assert_eq!(o, KvOutcome::Value(Some(b"value-one".to_vec())));
+        assert_eq!(rtts, 1, "GET = one indirect READ (§6.1)");
+    }
+
+    #[test]
+    fn overwrite_replaces_value_and_frees_old_buffer() {
+        let (s, c) = small_store();
+        drive_put(&s, &c, b"k", b"v1");
+        let avail_before = s.server().freelists().available(FreeListId(0));
+        drive_put(&s, &c, b"k", b"v2");
+        let (o, _) = drive_get(&s, &c, b"k");
+        assert_eq!(o, KvOutcome::Value(Some(b"v2".to_vec())));
+        // Old buffer reclaimed: available count unchanged (pop one, free one).
+        assert_eq!(
+            s.server().freelists().available(FreeListId(0)),
+            avail_before
+        );
+    }
+
+    #[test]
+    fn values_pick_smallest_fitting_class() {
+        let (s, c) = small_store();
+        drive_put(&s, &c, b"small", b"x");
+        assert_eq!(s.server().freelists().available(FreeListId(0)), 31);
+        assert_eq!(s.server().freelists().available(FreeListId(1)), 32);
+        drive_put(&s, &c, b"large", &[7u8; 200]);
+        assert_eq!(s.server().freelists().available(FreeListId(1)), 31);
+    }
+
+    #[test]
+    fn oversized_value_fails_cleanly() {
+        let (s, c) = small_store();
+        let (o, _) = drive_put(&s, &c, b"big", &[0u8; 1000]);
+        assert_eq!(o, KvOutcome::Failed("entry exceeds all size classes"));
+    }
+
+    #[test]
+    fn delete_removes_key_and_frees_buffer() {
+        let (s, c) = small_store();
+        drive_put(&s, &c, b"gone", b"soon");
+        let before = s.server().freelists().available(FreeListId(0));
+        let (mut op, req) = c.delete(b"gone");
+        let mut reply = execute_local(s.server(), &req);
+        let mut bg_sent = 0;
+        loop {
+            match op.on_reply(&c, reply) {
+                KvStep::Send {
+                    request,
+                    background,
+                } => {
+                    if let Some(b) = background {
+                        execute_local(s.server(), &b);
+                        bg_sent += 1;
+                    }
+                    reply = execute_local(s.server(), &request);
+                }
+                KvStep::Done {
+                    outcome,
+                    background,
+                } => {
+                    if let Some(b) = background {
+                        execute_local(s.server(), &b);
+                        bg_sent += 1;
+                    }
+                    assert_eq!(outcome, KvOutcome::Written);
+                    break;
+                }
+            }
+        }
+        assert_eq!(bg_sent, 1, "delete frees the old buffer");
+        assert_eq!(s.server().freelists().available(FreeListId(0)), before + 1);
+        let (o, _) = drive_get(&s, &c, b"gone");
+        assert_eq!(o, KvOutcome::Value(None));
+    }
+
+    #[test]
+    fn colliding_keys_coexist_via_probing() {
+        // Force collisions by filling a tiny table.
+        let cfg = PrismKvConfig {
+            capacity: 4,
+            scheme: HashScheme::Fnv,
+            max_entry_len: 64,
+            classes: vec![SizeClass {
+                buf_len: 64,
+                count: 16,
+            }],
+        };
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        for i in 0..4u8 {
+            let (o, _) = drive_put(&s, &c, &[b'k', i], &[b'v', i]);
+            assert_eq!(o, KvOutcome::Written, "key {i}");
+        }
+        for i in 0..4u8 {
+            let (o, _) = drive_get(&s, &c, &[b'k', i]);
+            assert_eq!(o, KvOutcome::Value(Some(vec![b'v', i])), "key {i}");
+        }
+    }
+
+    #[test]
+    fn table_full_put_fails() {
+        let cfg = PrismKvConfig {
+            capacity: 2,
+            scheme: HashScheme::Fnv,
+            max_entry_len: 64,
+            classes: vec![SizeClass {
+                buf_len: 64,
+                count: 16,
+            }],
+        };
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        assert_eq!(drive_put(&s, &c, b"a", b"1").0, KvOutcome::Written);
+        assert_eq!(drive_put(&s, &c, b"b", b"2").0, KvOutcome::Written);
+        let (o, _) = drive_put(&s, &c, b"c", b"3");
+        assert!(matches!(o, KvOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn collisionless_paper_config() {
+        let cfg = PrismKvConfig::paper(128, 32);
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        use crate::hash::key_bytes;
+        for k in 0..128u64 {
+            let (o, rtts) = drive_put(&s, &c, &key_bytes(k), &[k as u8; 32]);
+            assert_eq!(o, KvOutcome::Written);
+            assert_eq!(rtts, 2);
+        }
+        for k in 0..128u64 {
+            let (o, rtts) = drive_get(&s, &c, &key_bytes(k));
+            assert_eq!(o, KvOutcome::Value(Some(vec![k as u8; 32])));
+            assert_eq!(rtts, 1);
+        }
+    }
+
+    #[test]
+    fn exhausted_freelist_fails_put() {
+        let cfg = PrismKvConfig {
+            capacity: 16,
+            scheme: HashScheme::Fnv,
+            max_entry_len: 64,
+            classes: vec![SizeClass {
+                buf_len: 64,
+                count: 2,
+            }],
+        };
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        assert_eq!(drive_put(&s, &c, b"a", b"1").0, KvOutcome::Written);
+        assert_eq!(drive_put(&s, &c, b"b", b"2").0, KvOutcome::Written);
+        let (o, _) = drive_put(&s, &c, b"c", b"3");
+        assert_eq!(o, KvOutcome::Failed("allocation failed"));
+    }
+
+    #[test]
+    fn refill_daemon_extends_a_drained_class() {
+        let cfg = PrismKvConfig {
+            capacity: 64,
+            scheme: HashScheme::Fnv,
+            max_entry_len: 64,
+            classes: vec![SizeClass {
+                buf_len: 64,
+                count: 8,
+            }],
+        };
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        // Fill all 8 buffers; the 9th PUT fails without a refill.
+        for i in 0..8u8 {
+            assert_eq!(drive_put(&s, &c, &[b'k', i], &[i; 8]).0, KvOutcome::Written);
+        }
+        assert_eq!(
+            drive_put(&s, &c, b"k9", b"x").0,
+            KvOutcome::Failed("allocation failed")
+        );
+        // The §6.1 periodic check kicks in.
+        let added = s.maybe_refill();
+        assert!(added > 0, "refill must post new buffers");
+        assert_eq!(drive_put(&s, &c, b"k9", b"x").0, KvOutcome::Written);
+        // Refilled buffers satisfy the same-rkey rule: GET works.
+        assert_eq!(
+            drive_get(&s, &c, b"k9").0,
+            KvOutcome::Value(Some(b"x".to_vec()))
+        );
+        // When availability is healthy, the check is a no-op.
+        assert_eq!(s.maybe_refill(), 0);
+    }
+
+    #[test]
+    fn concurrent_puts_same_key_converge() {
+        use std::thread;
+        let cfg = PrismKvConfig::paper(16, 32);
+        let s = Arc::new(PrismKvServer::new(&cfg));
+        let key = crate::hash::key_bytes(3);
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || {
+                    let c = s.open_client();
+                    for j in 0..50u8 {
+                        let val: Vec<u8> = [i as u8, j].repeat(16);
+                        let (o, _) = drive_put(&s, &c, &crate::hash::key_bytes(3), &val);
+                        assert_eq!(o, KvOutcome::Written);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let c = s.open_client();
+        let (o, _) = drive_get(&s, &c, &key);
+        match o {
+            KvOutcome::Value(Some(v)) => assert_eq!(v.len(), 32),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}

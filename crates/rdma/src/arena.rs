@@ -1,0 +1,336 @@
+//! The simulated host memory: a byte-addressable arena with cache-line
+//! granularity locking.
+//!
+//! The arena reproduces the memory semantics the PRISM protocols depend
+//! on (§6.1, §7.3 of the paper):
+//!
+//! * accesses that fit within one 64-byte cache line are single-copy
+//!   atomic — an indirect read of a hash-table slot "is guaranteed to read
+//!   a well-formed address [because] addresses fit within a cache line";
+//! * larger transfers are performed line by line, so a reader concurrent
+//!   with a writer may observe a *torn* value across lines — exactly why
+//!   the protocols use write-once out-of-place buffers;
+//! * atomics (up to 32 bytes, §3.3) lock the lines they cover in address
+//!   order and are therefore atomic with respect to every other arena
+//!   access, matching "atomic with respect to other PRISM operations".
+//!
+//! Addresses are virtual: the arena starts at [`MemoryArena::BASE`] so
+//! that 0 can serve as a null pointer in application data structures.
+
+use parking_lot::RwLock;
+
+use crate::error::RdmaError;
+
+/// Cache-line size: the single-copy atomicity granularity.
+pub const LINE: usize = 64;
+
+/// Byte-addressable simulated host memory.
+///
+/// Cloneable handles are obtained by wrapping in `Arc`; all methods take
+/// `&self` and are safe for concurrent use from many threads.
+pub struct MemoryArena {
+    lines: Vec<RwLock<[u8; LINE]>>,
+    len: u64,
+}
+
+impl MemoryArena {
+    /// The lowest valid arena address. Nonzero so applications can use 0
+    /// as a null pointer.
+    pub const BASE: u64 = 0x1_0000;
+
+    /// Creates an arena of `len` bytes, rounded up to whole cache lines,
+    /// zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: u64) -> Self {
+        assert!(len > 0, "MemoryArena::new: zero length");
+        let nlines = len.div_ceil(LINE as u64) as usize;
+        let mut lines = Vec::with_capacity(nlines);
+        for _ in 0..nlines {
+            lines.push(RwLock::new([0u8; LINE]));
+        }
+        MemoryArena {
+            lines,
+            len: nlines as u64 * LINE as u64,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the arena has zero capacity (never true; see [`MemoryArena::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the highest valid address.
+    pub fn end(&self) -> u64 {
+        Self::BASE + self.len
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<(), RdmaError> {
+        if addr < Self::BASE || addr.saturating_add(len) > self.end() {
+            return Err(RdmaError::OutOfBounds { addr, len });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// The read is performed line by line: it is atomic within each cache
+    /// line but may observe a concurrent writer's partial update across
+    /// lines (a torn read), as on real hardware.
+    pub fn read_into(&self, addr: u64, buf: &mut [u8]) -> Result<(), RdmaError> {
+        self.check(addr, buf.len() as u64)?;
+        let mut off = (addr - Self::BASE) as usize;
+        let mut filled = 0;
+        while filled < buf.len() {
+            let line = off / LINE;
+            let in_line = off % LINE;
+            let n = (LINE - in_line).min(buf.len() - filled);
+            let guard = self.lines[line].read();
+            buf[filled..filled + n].copy_from_slice(&guard[in_line..in_line + n]);
+            filled += n;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh buffer.
+    pub fn read(&self, addr: u64, len: u64) -> Result<Vec<u8>, RdmaError> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_into(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes `data` starting at `addr`, line by line (same tearing
+    /// semantics as [`MemoryArena::read_into`]).
+    pub fn write(&self, addr: u64, data: &[u8]) -> Result<(), RdmaError> {
+        self.check(addr, data.len() as u64)?;
+        let mut off = (addr - Self::BASE) as usize;
+        let mut written = 0;
+        while written < data.len() {
+            let line = off / LINE;
+            let in_line = off % LINE;
+            let n = (LINE - in_line).min(data.len() - written);
+            let mut guard = self.lines[line].write();
+            guard[in_line..in_line + n].copy_from_slice(&data[written..written + n]);
+            written += n;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` over the `len` bytes at `addr` with exclusive access —
+    /// the implementation primitive behind CAS and FETCH-AND-ADD.
+    ///
+    /// The lines covering the operand are write-locked in address order
+    /// (deadlock-free), so the read-modify-write is atomic with respect to
+    /// every other arena operation. `len` is limited to 32 bytes, the
+    /// enhanced-CAS maximum (§3.3), so at most two lines are held.
+    pub fn atomic<R>(
+        &self,
+        addr: u64,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, RdmaError> {
+        if len > 32 {
+            return Err(RdmaError::OperandTooLong(len));
+        }
+        self.check(addr, len)?;
+        let off = (addr - Self::BASE) as usize;
+        let first = off / LINE;
+        let last = (off + len as usize - 1) / LINE;
+        let mut scratch = [0u8; 32];
+        let operand = &mut scratch[..len as usize];
+        if first == last {
+            let mut guard = self.lines[first].write();
+            let in_line = off % LINE;
+            operand.copy_from_slice(&guard[in_line..in_line + len as usize]);
+            let r = f(operand);
+            guard[in_line..in_line + len as usize].copy_from_slice(operand);
+            Ok(r)
+        } else {
+            // Lock the two lines in address order; release together.
+            let mut g1 = self.lines[first].write();
+            let mut g2 = self.lines[last].write();
+            let in_line = off % LINE;
+            let n1 = LINE - in_line;
+            let n2 = len as usize - n1;
+            operand[..n1].copy_from_slice(&g1[in_line..]);
+            operand[n1..].copy_from_slice(&g2[..n2]);
+            let r = f(operand);
+            g1[in_line..].copy_from_slice(&operand[..n1]);
+            g2[..n2].copy_from_slice(&operand[n1..]);
+            Ok(r)
+        }
+    }
+
+    /// Convenience: reads a little-endian u64 (must not cross a line if
+    /// atomicity is required; an 8-byte aligned address never does).
+    pub fn read_u64(&self, addr: u64) -> Result<u64, RdmaError> {
+        let mut b = [0u8; 8];
+        self.read_into(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Convenience: writes a little-endian u64.
+    pub fn write_u64(&self, addr: u64, v: u64) -> Result<(), RdmaError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+}
+
+impl std::fmt::Debug for MemoryArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryArena")
+            .field("len", &self.len)
+            .field("lines", &self.lines.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trips_at_various_offsets() {
+        let a = MemoryArena::new(4096);
+        for (off, len) in [(0u64, 1usize), (63, 2), (60, 100), (1, 511), (4000, 96)] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let addr = MemoryArena::BASE + off;
+            a.write(addr, &data).unwrap();
+            assert_eq!(
+                a.read(addr, len as u64).unwrap(),
+                data,
+                "off={off} len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let a = MemoryArena::new(128);
+        assert_eq!(a.read(MemoryArena::BASE, 128).unwrap(), vec![0u8; 128]);
+    }
+
+    #[test]
+    fn rounds_up_to_whole_lines() {
+        let a = MemoryArena::new(65);
+        assert_eq!(a.len(), 128);
+        a.write(a.end() - 1, &[9]).unwrap();
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let a = MemoryArena::new(128);
+        assert!(matches!(
+            a.read(MemoryArena::BASE - 1, 4),
+            Err(RdmaError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            a.write(a.end() - 2, &[0; 4]),
+            Err(RdmaError::OutOfBounds { .. })
+        ));
+        // Overflow-safe.
+        assert!(a.read(u64::MAX - 2, 8).is_err());
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let a = MemoryArena::new(64);
+        a.write_u64(MemoryArena::BASE + 8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(a.read_u64(MemoryArena::BASE + 8).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn atomic_modifies_in_place() {
+        let a = MemoryArena::new(128);
+        let addr = MemoryArena::BASE + 16;
+        a.write_u64(addr, 41).unwrap();
+        let old = a
+            .atomic(addr, 8, |bytes| {
+                let old = u64::from_le_bytes(bytes.try_into().unwrap());
+                bytes.copy_from_slice(&(old + 1).to_le_bytes());
+                old
+            })
+            .unwrap();
+        assert_eq!(old, 41);
+        assert_eq!(a.read_u64(addr).unwrap(), 42);
+    }
+
+    #[test]
+    fn atomic_across_line_boundary() {
+        let a = MemoryArena::new(256);
+        let addr = MemoryArena::BASE + 56; // 16-byte operand spanning lines 0 and 1
+        a.write(addr, &[1u8; 16]).unwrap();
+        a.atomic(addr, 16, |b| b.iter_mut().for_each(|x| *x = 2))
+            .unwrap();
+        assert_eq!(a.read(addr, 16).unwrap(), vec![2u8; 16]);
+    }
+
+    #[test]
+    fn atomic_rejects_oversized_operand() {
+        let a = MemoryArena::new(128);
+        assert_eq!(
+            a.atomic(MemoryArena::BASE, 33, |_| ()).unwrap_err(),
+            RdmaError::OperandTooLong(33)
+        );
+    }
+
+    #[test]
+    fn concurrent_fetch_add_loses_no_updates() {
+        let a = Arc::new(MemoryArena::new(64));
+        let addr = MemoryArena::BASE;
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        a.atomic(addr, 8, |b| {
+                            let v = u64::from_le_bytes(b.try_into().unwrap());
+                            b.copy_from_slice(&(v + 1).to_le_bytes());
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(a.read_u64(addr).unwrap(), 8_000);
+    }
+
+    #[test]
+    fn within_line_reads_never_tear() {
+        // A writer flips an aligned 8-byte word between two values; readers
+        // must only ever observe one of the two.
+        let a = Arc::new(MemoryArena::new(64));
+        let addr = MemoryArena::BASE;
+        a.write_u64(addr, u64::MAX).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let a = Arc::clone(&a);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    v = if v == 0 { u64::MAX } else { 0 };
+                    a.write_u64(addr, v).unwrap();
+                }
+            })
+        };
+        for _ in 0..50_000 {
+            let v = a.read_u64(addr).unwrap();
+            assert!(v == 0 || v == u64::MAX, "torn read within a line: {v:#x}");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+}

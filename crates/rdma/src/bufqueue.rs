@@ -1,0 +1,193 @@
+//! Registered buffer queues — the free lists behind PRISM's ALLOCATE.
+//!
+//! The paper represents a free list "the same way as a queue pair — a
+//! standard RDMA structure containing a list of free buffers" (§4.2).
+//! Server code *posts* fixed-size buffers; the data plane *pops* them to
+//! satisfy ALLOCATE requests. All buffers in one queue share a size class;
+//! applications register several queues for different size classes (§3.2,
+//! "using buffers sized as powers of two guarantees a maximum space
+//! overhead of 2x").
+
+use std::collections::{HashSet, VecDeque};
+
+use parking_lot::Mutex;
+
+use crate::error::RdmaError;
+
+/// A FIFO of equally-sized free buffers registered for ALLOCATE.
+///
+/// Posting is idempotent: an address already on the queue is not added
+/// again. This makes client-driven reclamation and server-side GC
+/// sweeps (§3.2's two alternatives) safe to combine — a duplicate free
+/// notification cannot cause double allocation.
+#[derive(Debug)]
+pub struct BufferQueue {
+    bufs: Mutex<(VecDeque<u64>, HashSet<u64>)>,
+    buf_len: u64,
+    posted_total: Mutex<u64>,
+}
+
+impl BufferQueue {
+    /// Creates an empty queue whose buffers are `buf_len` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf_len` is zero.
+    pub fn new(buf_len: u64) -> Self {
+        assert!(buf_len > 0, "BufferQueue::new: zero buffer length");
+        BufferQueue {
+            bufs: Mutex::new((VecDeque::new(), HashSet::new())),
+            buf_len,
+            posted_total: Mutex::new(0),
+        }
+    }
+
+    /// Size class of this queue's buffers.
+    pub fn buf_len(&self) -> u64 {
+        self.buf_len
+    }
+
+    /// Posts one free buffer at `addr`.
+    ///
+    /// The caller (the PRISM engine) is responsible for holding the
+    /// posting gate so that buffers are only recycled once concurrent NIC
+    /// operations have completed (§3.2).
+    pub fn post(&self, addr: u64) {
+        let mut q = self.bufs.lock();
+        if q.1.insert(addr) {
+            q.0.push_back(addr);
+            *self.posted_total.lock() += 1;
+        }
+    }
+
+    /// Posts many buffers at once (duplicates skipped).
+    pub fn post_many(&self, addrs: impl IntoIterator<Item = u64>) {
+        let mut q = self.bufs.lock();
+        let mut n = 0u64;
+        for a in addrs {
+            if q.1.insert(a) {
+                q.0.push_back(a);
+                n += 1;
+            }
+        }
+        *self.posted_total.lock() += n;
+    }
+
+    /// Pops the first free buffer, or fails with Receiver-Not-Ready if the
+    /// queue is empty (the NIC's standard flow-control answer, §4.2).
+    pub fn pop(&self) -> Result<u64, RdmaError> {
+        let mut q = self.bufs.lock();
+        match q.0.pop_front() {
+            Some(addr) => {
+                q.1.remove(&addr);
+                Ok(addr)
+            }
+            None => Err(RdmaError::ReceiverNotReady),
+        }
+    }
+
+    /// Number of buffers currently available.
+    pub fn available(&self) -> usize {
+        self.bufs.lock().0.len()
+    }
+
+    /// Snapshot of the free addresses (for GC sweeps and diagnostics).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.bufs.lock().0.iter().copied().collect()
+    }
+
+    /// Whether `addr` is currently free.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.bufs.lock().1.contains(&addr)
+    }
+
+    /// Total buffers ever posted (for the server's refill heuristic:
+    /// PRISM-KV's server "periodically checks if more buffers are
+    /// needed", §6.1).
+    pub fn posted_total(&self) -> u64 {
+        *self.posted_total.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BufferQueue::new(64);
+        q.post(0x1000);
+        q.post(0x2000);
+        assert_eq!(q.pop().unwrap(), 0x1000);
+        assert_eq!(q.pop().unwrap(), 0x2000);
+    }
+
+    #[test]
+    fn double_post_is_idempotent() {
+        let q = BufferQueue::new(64);
+        q.post(0x1000);
+        q.post(0x1000);
+        assert_eq!(q.available(), 1, "duplicate post must be ignored");
+        assert_eq!(q.pop().unwrap(), 0x1000);
+        assert!(q.pop().is_err());
+        // After popping, the address may legitimately be freed again.
+        q.post(0x1000);
+        assert_eq!(q.available(), 1);
+    }
+
+    #[test]
+    fn snapshot_and_contains() {
+        let q = BufferQueue::new(64);
+        q.post_many([1, 2, 3]);
+        assert_eq!(q.snapshot(), vec![1, 2, 3]);
+        assert!(q.contains(2));
+        q.pop().unwrap();
+        assert!(!q.contains(1));
+    }
+
+    #[test]
+    fn empty_queue_is_rnr() {
+        let q = BufferQueue::new(64);
+        assert_eq!(q.pop().unwrap_err(), RdmaError::ReceiverNotReady);
+    }
+
+    #[test]
+    fn post_many_and_counters() {
+        let q = BufferQueue::new(64);
+        q.post_many([1, 2, 3]);
+        assert_eq!(q.available(), 3);
+        assert_eq!(q.posted_total(), 3);
+        q.pop().unwrap();
+        assert_eq!(q.available(), 2);
+        assert_eq!(q.posted_total(), 3, "posted_total counts posts, not pops");
+    }
+
+    #[test]
+    fn concurrent_pops_never_double_allocate() {
+        let q = Arc::new(BufferQueue::new(64));
+        q.post_many((0..10_000).map(|i| 0x1_0000 + i * 64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(a) = q.pop() {
+                        got.push(a);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all = HashSet::new();
+        let mut total = 0;
+        for h in handles {
+            for a in h.join().unwrap() {
+                total += 1;
+                assert!(all.insert(a), "buffer {a:#x} allocated twice");
+            }
+        }
+        assert_eq!(total, 10_000);
+    }
+}

@@ -1,0 +1,119 @@
+//! Error codes for the simulated RDMA substrate.
+//!
+//! These mirror the NACK classes a real NIC generates: remote access
+//! errors for bad addresses or keys, alignment faults for atomics, and
+//! Receiver-Not-Ready flow control. PRISM's chaining treats any of these
+//! as "operation unsuccessful" (Table 1).
+
+use std::fmt;
+
+/// An error produced by a simulated RDMA or PRISM operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaError {
+    /// The access touches bytes outside the arena.
+    OutOfBounds {
+        /// First byte of the offending access.
+        addr: u64,
+        /// Length of the offending access.
+        len: u64,
+    },
+    /// No registered region carries this rkey.
+    InvalidRkey(u32),
+    /// The target range is not fully covered by the region with this rkey,
+    /// or the region lacks the required access right.
+    AccessDenied {
+        /// The rkey presented with the operation.
+        rkey: u32,
+        /// First byte of the offending access.
+        addr: u64,
+        /// Length of the offending access.
+        len: u64,
+    },
+    /// Atomic operand address not naturally aligned.
+    Misaligned {
+        /// The unaligned address.
+        addr: u64,
+        /// Required alignment in bytes.
+        required: u64,
+    },
+    /// An ALLOCATE found the free list empty (maps to Receiver Not Ready;
+    /// §4.2 uses RNR as the flow-control backstop).
+    ReceiverNotReady,
+    /// Atomic operand longer than the 32-byte maximum (§3.3).
+    OperandTooLong(u64),
+    /// An ALLOCATE payload does not fit the free list's buffer size class.
+    BufferTooSmall {
+        /// Bytes the payload needs.
+        need: u64,
+        /// Bytes the size class provides.
+        have: u64,
+    },
+    /// An ALLOCATE named a free list that was never registered.
+    UnknownFreeList(u32),
+    /// A chained operation was skipped because a previous operation in the
+    /// chain failed or a conditional CAS did not execute (§3.4).
+    ChainAborted,
+    /// An indirect pointer dereference produced an address that failed
+    /// validation (§3.1: both the pointer and its target must be covered
+    /// by the same rkey).
+    BadIndirectTarget(u64),
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RdmaError::OutOfBounds { addr, len } => {
+                write!(f, "access [{addr:#x}, +{len}) outside arena")
+            }
+            RdmaError::InvalidRkey(rkey) => write!(f, "invalid rkey {rkey:#x}"),
+            RdmaError::AccessDenied { rkey, addr, len } => {
+                write!(f, "rkey {rkey:#x} does not permit [{addr:#x}, +{len})")
+            }
+            RdmaError::Misaligned { addr, required } => {
+                write!(f, "address {addr:#x} not {required}-byte aligned")
+            }
+            RdmaError::ReceiverNotReady => write!(f, "receiver not ready (free list empty)"),
+            RdmaError::OperandTooLong(len) => {
+                write!(f, "atomic operand of {len} bytes exceeds 32-byte maximum")
+            }
+            RdmaError::BufferTooSmall { need, have } => {
+                write!(
+                    f,
+                    "payload of {need} bytes exceeds buffer size class {have}"
+                )
+            }
+            RdmaError::UnknownFreeList(id) => write!(f, "free list {id} not registered"),
+            RdmaError::ChainAborted => write!(f, "chained operation skipped"),
+            RdmaError::BadIndirectTarget(addr) => {
+                write!(f, "indirect pointer target {addr:#x} failed validation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RdmaError::AccessDenied {
+            rkey: 0x10,
+            addr: 0x2000,
+            len: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x10") && s.contains("0x2000"));
+        assert!(RdmaError::ReceiverNotReady
+            .to_string()
+            .contains("free list"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(RdmaError::InvalidRkey(1), RdmaError::InvalidRkey(1));
+        assert_ne!(RdmaError::InvalidRkey(1), RdmaError::InvalidRkey(2));
+    }
+}

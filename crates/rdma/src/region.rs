@@ -1,0 +1,210 @@
+//! Memory registration and rkey-based protection.
+//!
+//! RDMA only allows remote access to memory the host has registered; each
+//! registration yields an *rkey* the client must present. PRISM's indirect
+//! operations reuse this mechanism (§3.1): an operation is rejected "if
+//! either the target address or the location pointed to by the target
+//! address is in a memory region with a different rkey (or that has not
+//! been registered at all)".
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::error::RdmaError;
+
+/// A remote key naming one registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rkey(pub u32);
+
+/// Access rights attached to a registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessFlags {
+    /// Remote READ allowed.
+    pub read: bool,
+    /// Remote WRITE allowed.
+    pub write: bool,
+    /// Remote atomics (CAS / FETCH-AND-ADD / enhanced CAS) allowed.
+    pub atomic: bool,
+}
+
+impl AccessFlags {
+    /// Read-only registration.
+    pub const READ_ONLY: AccessFlags = AccessFlags {
+        read: true,
+        write: false,
+        atomic: false,
+    };
+
+    /// Full remote access: read, write, atomics.
+    pub const FULL: AccessFlags = AccessFlags {
+        read: true,
+        write: true,
+        atomic: true,
+    };
+}
+
+/// The kind of access an operation needs, checked against [`AccessFlags`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Remote read.
+    Read,
+    /// Remote write.
+    Write,
+    /// Remote atomic read-modify-write.
+    Atomic,
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    addr: u64,
+    len: u64,
+    flags: AccessFlags,
+}
+
+/// The host's table of registered regions.
+///
+/// Registration is a CPU-side control-plane action (§3.2: "memory
+/// registrations ... are done by the server CPU"); validation happens on
+/// the data plane for every remote operation.
+#[derive(Debug, Default)]
+pub struct RegionTable {
+    regions: RwLock<HashMap<Rkey, Region>>,
+    next_key: RwLock<u32>,
+}
+
+impl RegionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RegionTable {
+            regions: RwLock::new(HashMap::new()),
+            next_key: RwLock::new(1),
+        }
+    }
+
+    /// Registers `[addr, addr+len)` with the given rights and returns the
+    /// new region's rkey.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn register(&self, addr: u64, len: u64, flags: AccessFlags) -> Rkey {
+        assert!(len > 0, "RegionTable::register: empty region");
+        let mut next = self.next_key.write();
+        let key = Rkey(*next);
+        *next = next.checked_add(1).expect("rkey space exhausted");
+        self.regions
+            .write()
+            .insert(key, Region { addr, len, flags });
+        key
+    }
+
+    /// Removes a registration. Returns whether the key existed.
+    pub fn deregister(&self, key: Rkey) -> bool {
+        self.regions.write().remove(&key).is_some()
+    }
+
+    /// Checks that `[addr, addr+len)` lies inside the region named by
+    /// `key` and that the region grants `access`.
+    pub fn validate(
+        &self,
+        key: Rkey,
+        addr: u64,
+        len: u64,
+        access: Access,
+    ) -> Result<(), RdmaError> {
+        let regions = self.regions.read();
+        let region = regions.get(&key).ok_or(RdmaError::InvalidRkey(key.0))?;
+        let inside = addr >= region.addr && addr.saturating_add(len) <= region.addr + region.len;
+        let allowed = match access {
+            Access::Read => region.flags.read,
+            Access::Write => region.flags.write,
+            Access::Atomic => region.flags.atomic,
+        };
+        if !inside || !allowed {
+            return Err(RdmaError::AccessDenied {
+                rkey: key.0,
+                addr,
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    /// The `(addr, len)` extent of a registration, if it exists. Used by
+    /// servers to enumerate their own regions.
+    pub fn extent(&self, key: Rkey) -> Option<(u64, u64)> {
+        self.regions.read().get(&key).map(|r| (r.addr, r.len))
+    }
+
+    /// Number of live registrations.
+    pub fn count(&self) -> usize {
+        self.regions.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_validate_deregister() {
+        let t = RegionTable::new();
+        let k = t.register(0x1000, 0x100, AccessFlags::FULL);
+        assert!(t.validate(k, 0x1000, 0x100, Access::Read).is_ok());
+        assert!(t.validate(k, 0x10ff, 1, Access::Write).is_ok());
+        assert!(t.deregister(k));
+        assert_eq!(
+            t.validate(k, 0x1000, 1, Access::Read).unwrap_err(),
+            RdmaError::InvalidRkey(k.0)
+        );
+        assert!(!t.deregister(k));
+    }
+
+    #[test]
+    fn distinct_keys_per_registration() {
+        let t = RegionTable::new();
+        let a = t.register(0x1000, 8, AccessFlags::FULL);
+        let b = t.register(0x1000, 8, AccessFlags::FULL);
+        assert_ne!(a, b);
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_denied() {
+        let t = RegionTable::new();
+        let k = t.register(0x1000, 0x100, AccessFlags::FULL);
+        for (addr, len) in [(0xfffu64, 2u64), (0x10ff, 2), (0x2000, 1), (u64::MAX, 8)] {
+            assert!(matches!(
+                t.validate(k, addr, len, Access::Read),
+                Err(RdmaError::AccessDenied { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn access_rights_enforced() {
+        let t = RegionTable::new();
+        let k = t.register(0x1000, 64, AccessFlags::READ_ONLY);
+        assert!(t.validate(k, 0x1000, 8, Access::Read).is_ok());
+        assert!(t.validate(k, 0x1000, 8, Access::Write).is_err());
+        assert!(t.validate(k, 0x1000, 8, Access::Atomic).is_err());
+    }
+
+    #[test]
+    fn wrong_key_does_not_grant_neighbor_region() {
+        let t = RegionTable::new();
+        let a = t.register(0x1000, 64, AccessFlags::FULL);
+        let _b = t.register(0x2000, 64, AccessFlags::FULL);
+        // Key `a` must not reach region `b` even though some key covers it.
+        assert!(t.validate(a, 0x2000, 8, Access::Read).is_err());
+    }
+
+    #[test]
+    fn extent_reports_registration() {
+        let t = RegionTable::new();
+        let k = t.register(0x5000, 128, AccessFlags::FULL);
+        assert_eq!(t.extent(k), Some((0x5000, 128)));
+        assert_eq!(t.extent(Rkey(999)), None);
+    }
+}

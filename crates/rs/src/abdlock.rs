@@ -1,0 +1,791 @@
+//! ABDLOCK: the lock-based ABD baseline built from standard RDMA verbs
+//! (§7.2 of the paper, following the DrTM [44] locking pattern).
+//!
+//! Each replica stores each block in place:
+//! `[lock u64 | tag u64 (big-endian) | value]`. A client CASes its id
+//! into the lock word at a majority of replicas, READs tag+value,
+//! decides locally, WRITEs the new tag+value, and CASes the locks back —
+//! four round trips where PRISM-RS needs two, which is exactly the gap
+//! Figure 6 measures. On lock conflict the client releases whatever it
+//! acquired and retries after randomized exponential backoff; the
+//! protocol can livelock under contention (§7.2 "the system may enter a
+//! livelocked state"), which Figure 7 shows as latency collapse at high
+//! Zipf coefficients.
+
+use std::sync::Arc;
+
+use prism_core::msg::{Reply, Request, Verb};
+use prism_core::PrismServer;
+use prism_rdma::region::AccessFlags;
+use prism_simnet::rng::SimRng;
+
+use crate::prism_rs::RsOutcome;
+use crate::tag::Tag;
+
+/// Per-block header: lock word + tag.
+pub const HEADER: u64 = 16;
+
+/// Base backoff after a failed lock acquisition (doubles per retry, with
+/// jitter).
+pub const BACKOFF_BASE_NS: u64 = 4_000;
+
+/// Backoff cap.
+pub const BACKOFF_CAP_NS: u64 = 2_000_000;
+
+/// Retry budget before reporting failure.
+pub const MAX_LOCK_RETRIES: u32 = 5_000;
+
+/// Per-replica configuration.
+#[derive(Debug, Clone)]
+pub struct AbdLockConfig {
+    /// Number of blocks.
+    pub n_blocks: u64,
+    /// Value bytes per block.
+    pub block_size: u64,
+}
+
+/// Client-visible layout of one replica.
+#[derive(Debug, Clone)]
+pub struct AbdLockView {
+    /// Base of the block array.
+    pub base: u64,
+    /// Rkey covering the block array.
+    pub rkey: u32,
+    /// Number of blocks.
+    pub n_blocks: u64,
+    /// Value bytes per block.
+    pub block_size: u64,
+    /// Distance between consecutive blocks.
+    pub stride: u64,
+}
+
+impl AbdLockView {
+    /// Address of block `i` (its lock word).
+    pub fn block(&self, i: u64) -> u64 {
+        self.base + i * self.stride
+    }
+}
+
+/// One ABDLOCK replica: plain registered memory, no server-side logic at
+/// all (the whole protocol is client-driven).
+pub struct AbdLockServer {
+    server: Arc<PrismServer>,
+    view: AbdLockView,
+}
+
+impl AbdLockServer {
+    /// Builds a replica with every block present at tag 0, value zeroed.
+    pub fn new(config: &AbdLockConfig) -> Self {
+        let stride = (HEADER + config.block_size).next_multiple_of(64);
+        let len = stride * config.n_blocks;
+        let server = Arc::new(PrismServer::new(len + (1 << 20)));
+        let (base, rkey) = server.carve_region(len, 64, AccessFlags::FULL);
+        // Arena starts zeroed: lock = 0 (free), tag = 0, value = zeroes.
+        AbdLockServer {
+            server,
+            view: AbdLockView {
+                base,
+                rkey: rkey.0,
+                n_blocks: config.n_blocks,
+                block_size: config.block_size,
+                stride,
+            },
+        }
+    }
+
+    /// The underlying host.
+    pub fn server(&self) -> &Arc<PrismServer> {
+        &self.server
+    }
+
+    /// The client-visible layout.
+    pub fn view(&self) -> &AbdLockView {
+        &self.view
+    }
+}
+
+/// An `n = 2f + 1` ABDLOCK replica group.
+pub struct AbdLockCluster {
+    replicas: Vec<AbdLockServer>,
+    next_client: std::sync::atomic::AtomicU16,
+}
+
+impl AbdLockCluster {
+    /// Builds `n` identical replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is odd and at least 3.
+    pub fn new(n: usize, config: &AbdLockConfig) -> Self {
+        assert!(n >= 3 && n % 2 == 1, "ABD needs n = 2f+1 >= 3 replicas");
+        AbdLockCluster {
+            replicas: (0..n).map(|_| AbdLockServer::new(config)).collect(),
+            next_client: std::sync::atomic::AtomicU16::new(1),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Tolerated failures.
+    pub fn f(&self) -> usize {
+        (self.replicas.len() - 1) / 2
+    }
+
+    /// Replica `i`.
+    pub fn replica(&self, i: usize) -> &AbdLockServer {
+        &self.replicas[i]
+    }
+
+    /// Clears every block's lock word on every replica — the recovery a
+    /// real deployment performs with lock leases when clients die mid-
+    /// operation (§7.2 notes the need for a force-release protocol).
+    /// The experiment harness calls this between measurement windows,
+    /// since a window boundary abandons in-flight operations.
+    pub fn reset_locks(&self) {
+        for r in &self.replicas {
+            let v = r.view().clone();
+            for b in 0..v.n_blocks {
+                r.server()
+                    .arena()
+                    .write_u64(v.block(b), 0)
+                    .expect("in arena");
+            }
+        }
+    }
+
+    /// Opens a client with a fresh nonzero id.
+    pub fn open_client(&self, seed: u64) -> AbdLockClient {
+        let id = self
+            .next_client
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        AbdLockClient {
+            views: self.replicas.iter().map(|r| r.view.clone()).collect(),
+            client_id: id,
+            f: self.f(),
+            rng: SimRng::new(seed ^ ((id as u64) << 32)),
+        }
+    }
+}
+
+/// An ABDLOCK client.
+#[derive(Debug, Clone)]
+pub struct AbdLockClient {
+    views: Vec<AbdLockView>,
+    client_id: u16,
+    f: usize,
+    rng: SimRng,
+}
+
+/// What the driver should do next.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AbdStep {
+    /// Requests to send, tagged with the phase counter they belong to.
+    pub send: Vec<(usize, u32, Request)>,
+    /// Wait this long, then call [`AbdLockOp::resume`] (lock backoff).
+    pub backoff_ns: Option<u64>,
+    /// Set when the operation completes.
+    pub done: Option<RsOutcome>,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Get,
+    Put(Vec<u8>),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Locking,
+    Aborting,
+    Reading,
+    Writing,
+    Unlocking,
+    Backoff,
+    Done,
+}
+
+/// Phase tag on stale-lock-cleanup unlocks; never matches a live round.
+const STALE_UNLOCK: u32 = u32::MAX;
+
+/// A lock-based ABD operation in flight.
+///
+/// The lock phase sends a CAS to every replica and waits for *all*
+/// replies before proceeding (unreachable replicas surface as error
+/// replies — the driver's stand-in for a timeout). Proceeding as soon
+/// as a majority is locked would be an optimization the DrTM-style
+/// baseline does not have: the remaining lock grants are already in
+/// flight, and the client uses every lock it acquired for the read and
+/// write phases.
+#[derive(Debug, Clone)]
+pub struct AbdLockOp {
+    kind: Kind,
+    block: u64,
+    phase: Phase,
+    phase_no: u32,
+    lock_replies: usize,
+    /// Phase numbers that were lock-acquisition rounds, so stale lock
+    /// successes can be rolled back (see `on_reply`).
+    lock_rounds: std::collections::HashSet<u32>,
+    locked: Vec<bool>,
+    lock_ok: usize,
+    lock_fail: usize,
+    retries: u32,
+    max_tag: Tag,
+    max_value: Option<Vec<u8>>,
+    read_replies: usize,
+    write_acks: usize,
+    unlock_acks: usize,
+    abort_acks: usize,
+    write_tag: Tag,
+    result_value: Option<Vec<u8>>,
+}
+
+impl AbdLockClient {
+    /// The client's id.
+    pub fn id(&self) -> u16 {
+        self.client_id
+    }
+
+    /// Quorum size `f + 1`.
+    pub fn quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Replica count.
+    pub fn n(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Starts a GET.
+    pub fn get(&mut self, block: u64) -> (AbdLockOp, AbdStep) {
+        let mut op = AbdLockOp::new(Kind::Get, block, self.n());
+        let step = op.lock_sends(self);
+        (op, step)
+    }
+
+    /// Starts a PUT.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong-sized value.
+    pub fn put(&mut self, block: u64, value: Vec<u8>) -> (AbdLockOp, AbdStep) {
+        assert_eq!(value.len() as u64, self.views[0].block_size);
+        let mut op = AbdLockOp::new(Kind::Put(value), block, self.n());
+        let step = op.lock_sends(self);
+        (op, step)
+    }
+}
+
+impl AbdLockOp {
+    fn new(kind: Kind, block: u64, n: usize) -> Self {
+        AbdLockOp {
+            kind,
+            block,
+            phase: Phase::Locking,
+            phase_no: 0,
+            lock_replies: 0,
+            lock_rounds: std::collections::HashSet::new(),
+            locked: vec![false; n],
+            lock_ok: 0,
+            lock_fail: 0,
+            retries: 0,
+            max_tag: Tag::ZERO,
+            max_value: None,
+            read_replies: 0,
+            write_acks: 0,
+            unlock_acks: 0,
+            abort_acks: 0,
+            write_tag: Tag::ZERO,
+            result_value: None,
+        }
+    }
+
+    fn lock_sends(&mut self, c: &AbdLockClient) -> AbdStep {
+        self.phase = Phase::Locking;
+        self.locked.iter_mut().for_each(|l| *l = false);
+        self.lock_replies = 0;
+        self.lock_ok = 0;
+        self.lock_fail = 0;
+        self.read_replies = 0;
+        self.write_acks = 0;
+        self.unlock_acks = 0;
+        self.abort_acks = 0;
+        self.max_tag = Tag::ZERO;
+        self.max_value = None;
+        self.phase_no += 1;
+        self.lock_rounds.insert(self.phase_no);
+        AbdStep {
+            send: c
+                .views
+                .iter()
+                .enumerate()
+                .map(|(r, v)| {
+                    (
+                        r,
+                        self.phase_no,
+                        Request::Verb(Verb::Cas64 {
+                            addr: v.block(self.block),
+                            compare: 0,
+                            swap: c.client_id as u64,
+                            rkey: v.rkey,
+                        }),
+                    )
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    fn sends_to_locked(
+        &self,
+        c: &AbdLockClient,
+        mk: impl Fn(usize, &AbdLockView) -> Request,
+    ) -> Vec<(usize, u32, Request)> {
+        self.locked
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l)
+            .map(|(r, _)| (r, self.phase_no, mk(r, &c.views[r])))
+            .collect()
+    }
+
+    /// Resumes after a backoff wait.
+    pub fn resume(&mut self, c: &mut AbdLockClient) -> AbdStep {
+        assert_eq!(self.phase, Phase::Backoff, "resume outside backoff");
+        self.lock_sends(c)
+    }
+
+    /// Feeds one replica's reply for the given phase.
+    pub fn on_reply(
+        &mut self,
+        c: &mut AbdLockClient,
+        phase: u32,
+        replica: usize,
+        reply: Reply,
+    ) -> AbdStep {
+        if phase != self.phase_no {
+            // Stale reply from a superseded round. The only stale reply
+            // that needs action is a *successful lock CAS*: the client
+            // has moved on, so the lock must be rolled back or the block
+            // would be wedged for every other client.
+            if self.lock_rounds.contains(&phase) {
+                if let Reply::Verb(Ok(old)) = &reply {
+                    if old.len() == 8
+                        && u64::from_le_bytes(old.as_slice().try_into().expect("8 bytes")) == 0
+                    {
+                        let v = &c.views[replica];
+                        return AbdStep {
+                            send: vec![(
+                                replica,
+                                STALE_UNLOCK,
+                                Request::Verb(Verb::Cas64 {
+                                    addr: v.block(self.block),
+                                    compare: c.client_id as u64,
+                                    swap: 0,
+                                    rkey: v.rkey,
+                                }),
+                            )],
+                            ..Default::default()
+                        };
+                    }
+                }
+            }
+            return AbdStep::default();
+        }
+        match self.phase {
+            Phase::Locking => self.on_lock_reply(c, replica, reply),
+            Phase::Aborting => self.on_abort_reply(c, replica, reply),
+            Phase::Reading => self.on_read_reply(c, replica, reply),
+            Phase::Writing => self.on_write_reply(c, replica, reply),
+            Phase::Unlocking => self.on_unlock_reply(c, replica, reply),
+            Phase::Backoff | Phase::Done => AbdStep::default(),
+        }
+    }
+
+    fn on_lock_reply(&mut self, c: &mut AbdLockClient, replica: usize, reply: Reply) -> AbdStep {
+        self.lock_replies += 1;
+        match reply.into_verb() {
+            Ok(old) if old.len() == 8 => {
+                let prev = u64::from_le_bytes(old.try_into().expect("8 bytes"));
+                if prev == 0 {
+                    self.locked[replica] = true;
+                    self.lock_ok += 1;
+                } else {
+                    self.lock_fail += 1;
+                }
+            }
+            _ => self.lock_fail += 1,
+        }
+        if self.lock_replies < c.n() || self.phase != Phase::Locking {
+            return AbdStep::default();
+        }
+        if self.lock_ok >= c.quorum() {
+            // Locked wherever possible: read tag+value from the whole
+            // locked set.
+            self.phase = Phase::Reading;
+            self.phase_no += 1;
+            let block = self.block;
+            return AbdStep {
+                send: self.sends_to_locked(c, |_, v| {
+                    Request::Verb(Verb::Read {
+                        addr: v.block(block) + 8,
+                        len: (8 + v.block_size) as u32,
+                        rkey: v.rkey,
+                    })
+                }),
+                ..Default::default()
+            };
+        }
+        self.abort_locks(c)
+    }
+
+    /// Releases every lock acquired this round, then backs off.
+    fn abort_locks(&mut self, c: &mut AbdLockClient) -> AbdStep {
+        self.retries += 1;
+        if self.retries > MAX_LOCK_RETRIES {
+            self.phase = Phase::Done;
+            return AbdStep {
+                done: Some(RsOutcome::Failed("lock retries exhausted")),
+                ..Default::default()
+            };
+        }
+        if self.lock_ok == 0 {
+            return self.backoff(c);
+        }
+        self.phase = Phase::Aborting;
+        self.phase_no += 1;
+        self.abort_acks = 0;
+        let id = c.client_id as u64;
+        let block = self.block;
+        AbdStep {
+            send: self.sends_to_locked(c, |_, v| {
+                Request::Verb(Verb::Cas64 {
+                    addr: v.block(block),
+                    compare: id,
+                    swap: 0,
+                    rkey: v.rkey,
+                })
+            }),
+            ..Default::default()
+        }
+    }
+
+    fn on_abort_reply(&mut self, c: &mut AbdLockClient, _replica: usize, _reply: Reply) -> AbdStep {
+        self.abort_acks += 1;
+        if self.abort_acks >= self.lock_ok {
+            return self.backoff(c);
+        }
+        AbdStep::default()
+    }
+
+    fn backoff(&mut self, c: &mut AbdLockClient) -> AbdStep {
+        self.phase = Phase::Backoff;
+        let exp = self.retries.min(9);
+        let base = (BACKOFF_BASE_NS << exp).min(BACKOFF_CAP_NS);
+        let jitter = c.rng.gen_range(base);
+        AbdStep {
+            backoff_ns: Some(base + jitter),
+            ..Default::default()
+        }
+    }
+
+    fn on_read_reply(&mut self, c: &mut AbdLockClient, _replica: usize, reply: Reply) -> AbdStep {
+        if let Ok(data) = reply.into_verb() {
+            if data.len() >= 8 {
+                let tag = Tag::from_bytes(&data[..8]);
+                if tag >= self.max_tag || self.max_value.is_none() {
+                    self.max_tag = tag;
+                    self.max_value = Some(data[8..].to_vec());
+                }
+                self.read_replies += 1;
+            }
+        }
+        if self.read_replies >= self.lock_ok.min(c.quorum()) && self.phase == Phase::Reading {
+            // Decide locally, then propagate.
+            let (tag, value) = match &self.kind {
+                Kind::Get => {
+                    let v = self.max_value.clone().expect("read quorum had a value");
+                    self.result_value = Some(v.clone());
+                    (self.max_tag, v)
+                }
+                Kind::Put(v) => (self.max_tag.successor(c.client_id), v.clone()),
+            };
+            self.write_tag = tag;
+            self.phase = Phase::Writing;
+            self.phase_no += 1;
+            let block = self.block;
+            let mut payload = Vec::with_capacity(8 + value.len());
+            payload.extend_from_slice(&tag.to_bytes());
+            payload.extend_from_slice(&value);
+            return AbdStep {
+                send: self.sends_to_locked(c, |_, v| {
+                    Request::Verb(Verb::Write {
+                        addr: v.block(block) + 8,
+                        data: payload.clone(),
+                        rkey: v.rkey,
+                    })
+                }),
+                ..Default::default()
+            };
+        }
+        AbdStep::default()
+    }
+
+    fn on_write_reply(&mut self, c: &mut AbdLockClient, _replica: usize, reply: Reply) -> AbdStep {
+        if reply.into_verb().is_ok() {
+            self.write_acks += 1;
+        }
+        if self.write_acks >= self.lock_ok.min(c.quorum()) && self.phase == Phase::Writing {
+            self.phase = Phase::Unlocking;
+            self.phase_no += 1;
+            let id = c.client_id as u64;
+            let block = self.block;
+            return AbdStep {
+                send: self.sends_to_locked(c, |_, v| {
+                    Request::Verb(Verb::Cas64 {
+                        addr: v.block(block),
+                        compare: id,
+                        swap: 0,
+                        rkey: v.rkey,
+                    })
+                }),
+                ..Default::default()
+            };
+        }
+        AbdStep::default()
+    }
+
+    fn on_unlock_reply(
+        &mut self,
+        _c: &mut AbdLockClient,
+        _replica: usize,
+        reply: Reply,
+    ) -> AbdStep {
+        let _ = reply;
+        self.unlock_acks += 1;
+        if self.unlock_acks >= self.lock_ok && self.phase == Phase::Unlocking {
+            self.phase = Phase::Done;
+            return AbdStep {
+                done: Some(match &self.kind {
+                    Kind::Get => {
+                        RsOutcome::Value(self.result_value.clone().expect("set before write"))
+                    }
+                    Kind::Put(_) => RsOutcome::Written,
+                }),
+                ..Default::default()
+            };
+        }
+        AbdStep::default()
+    }
+}
+
+/// Drives an operation to completion against local replicas, spinning
+/// through backoffs (live mode / tests). `crashed[r]` drops traffic to
+/// replica `r`.
+pub fn drive(
+    cluster: &AbdLockCluster,
+    client: &mut AbdLockClient,
+    mut op: AbdLockOp,
+    first: AbdStep,
+    crashed: &[bool],
+) -> RsOutcome {
+    use prism_core::msg::execute_local;
+    let mut step = first;
+    loop {
+        if let Some(o) = step.done {
+            return o;
+        }
+        if step.backoff_ns.is_some() {
+            // Live mode: yield instead of sleeping for nanoseconds.
+            std::thread::yield_now();
+            step = op.resume(client);
+            continue;
+        }
+        let sends = std::mem::take(&mut step.send);
+        let mut next = AbdStep::default();
+        for (r, phase, req) in sends {
+            // A crashed replica surfaces as an error reply — the
+            // sequential driver's stand-in for a client-side timeout.
+            let reply = if crashed.get(r).copied().unwrap_or(false) {
+                Reply::Verb(Err(prism_rdma::RdmaError::ReceiverNotReady))
+            } else {
+                execute_local(cluster.replica(r).server(), &req)
+            };
+            let s = op.on_reply(client, phase, r, reply);
+            if s.done.is_some() || s.backoff_ns.is_some() || !s.send.is_empty() {
+                next = s;
+                // Later sends of the superseded phase are simply not
+                // delivered in this sequential driver; the phase counter
+                // makes their replies harmless anyway.
+                break;
+            }
+        }
+        step = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> AbdLockCluster {
+        AbdLockCluster::new(
+            3,
+            &AbdLockConfig {
+                n_blocks: 8,
+                block_size: 64,
+            },
+        )
+    }
+
+    fn get(cl: &AbdLockCluster, c: &mut AbdLockClient, b: u64, crashed: &[bool]) -> RsOutcome {
+        let (op, step) = c.get(b);
+        drive(cl, c, op, step, crashed)
+    }
+
+    fn put(
+        cl: &AbdLockCluster,
+        c: &mut AbdLockClient,
+        b: u64,
+        v: Vec<u8>,
+        crashed: &[bool],
+    ) -> RsOutcome {
+        let (op, step) = c.put(b, v);
+        drive(cl, c, op, step, crashed)
+    }
+
+    #[test]
+    fn fresh_block_reads_zeroes() {
+        let cl = cluster();
+        let mut c = cl.open_client(1);
+        assert_eq!(
+            get(&cl, &mut c, 0, &[false; 3]),
+            RsOutcome::Value(vec![0; 64])
+        );
+    }
+
+    #[test]
+    fn put_then_get() {
+        let cl = cluster();
+        let mut c = cl.open_client(2);
+        assert_eq!(
+            put(&cl, &mut c, 1, vec![3u8; 64], &[false; 3]),
+            RsOutcome::Written
+        );
+        assert_eq!(
+            get(&cl, &mut c, 1, &[false; 3]),
+            RsOutcome::Value(vec![3u8; 64])
+        );
+    }
+
+    #[test]
+    fn locks_are_released_after_each_op() {
+        let cl = cluster();
+        let mut c = cl.open_client(3);
+        put(&cl, &mut c, 0, vec![1u8; 64], &[false; 3]);
+        for r in 0..3 {
+            let v = cl.replica(r).view().clone();
+            let lock = cl.replica(r).server().arena().read_u64(v.block(0)).unwrap();
+            assert_eq!(lock, 0, "replica {r} lock must be free");
+        }
+    }
+
+    #[test]
+    fn survives_one_crash() {
+        let cl = cluster();
+        let mut c = cl.open_client(4);
+        let crashed = [true, false, false];
+        assert_eq!(
+            put(&cl, &mut c, 0, vec![9u8; 64], &crashed),
+            RsOutcome::Written
+        );
+        assert_eq!(
+            get(&cl, &mut c, 0, &crashed),
+            RsOutcome::Value(vec![9u8; 64])
+        );
+    }
+
+    #[test]
+    fn conflicting_clients_serialize_via_locks() {
+        use std::sync::Arc;
+        let cl = Arc::new(cluster());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let cl = Arc::clone(&cl);
+                std::thread::spawn(move || {
+                    let mut c = cl.open_client(100 + t);
+                    for i in 0..20u8 {
+                        let o = put(&cl, &mut c, 0, vec![i; 64], &[false; 3]);
+                        assert_eq!(o, RsOutcome::Written);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut c = cl.open_client(999);
+        match get(&cl, &mut c, 0, &[false; 3]) {
+            RsOutcome::Value(v) => assert!(v.iter().all(|&b| b == v[0]), "torn value"),
+            o => panic!("unexpected {o:?}"),
+        }
+        // All locks free at quiescence.
+        for r in 0..3 {
+            let v = cl.replica(r).view().clone();
+            assert_eq!(
+                cl.replica(r).server().arena().read_u64(v.block(0)).unwrap(),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn held_lock_forces_backoff_and_retry() {
+        let cl = cluster();
+        // Jam replica 0 and 1's locks with a phantom client.
+        for r in 0..2 {
+            let v = cl.replica(r).view().clone();
+            cl.replica(r)
+                .server()
+                .arena()
+                .write_u64(v.block(0), 0xDEAD)
+                .unwrap();
+        }
+        let mut c = cl.open_client(5);
+        let (mut op, mut step) = c.get(0);
+        // Drive manually until the op backs off.
+        let mut backed_off = false;
+        for _ in 0..10 {
+            if step.backoff_ns.is_some() {
+                backed_off = true;
+                break;
+            }
+            let sends = std::mem::take(&mut step.send);
+            let mut next = AbdStep::default();
+            for (r, phase, req) in sends {
+                let reply = prism_core::msg::execute_local(cl.replica(r).server(), &req);
+                let s = op.on_reply(&mut c, phase, r, reply);
+                if s.backoff_ns.is_some() || !s.send.is_empty() || s.done.is_some() {
+                    next = s;
+                    break;
+                }
+            }
+            step = next;
+        }
+        assert!(backed_off, "client must back off when majority unavailable");
+        // Unjam and finish.
+        for r in 0..2 {
+            let v = cl.replica(r).view().clone();
+            cl.replica(r)
+                .server()
+                .arena()
+                .write_u64(v.block(0), 0)
+                .unwrap();
+        }
+        let o = drive(&cl, &mut c, op, step, &[false; 3]);
+        assert_eq!(o, RsOutcome::Value(vec![0u8; 64]));
+    }
+}

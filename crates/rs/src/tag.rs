@@ -1,0 +1,124 @@
+//! ABD tags: `(logical timestamp, client id)` pairs ordered
+//! lexicographically (§7.1).
+//!
+//! A tag is packed into a single u64 — timestamp in the high 48 bits,
+//! client id in the low 16 — and stored **big-endian** in replica
+//! memory, so the enhanced CAS's arithmetic comparison over the raw
+//! bytes (§3.3) orders tags exactly as the protocol requires.
+
+/// A multi-writer ABD tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag {
+    /// Logical timestamp (48 bits used).
+    pub ts: u64,
+    /// Writing client's id (16 bits).
+    pub id: u16,
+}
+
+impl Tag {
+    /// The initial tag of every register.
+    pub const ZERO: Tag = Tag { ts: 0, id: 0 };
+
+    /// Packs into the u64 whose numeric order equals tag order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timestamp exceeds 48 bits — at one increment per
+    /// write that is 2^48 writes per register, unreachable in any run.
+    pub fn pack(self) -> u64 {
+        assert!(self.ts < (1 << 48), "tag timestamp overflow");
+        (self.ts << 16) | self.id as u64
+    }
+
+    /// Inverse of [`Tag::pack`].
+    pub fn unpack(v: u64) -> Tag {
+        Tag {
+            ts: v >> 16,
+            id: (v & 0xFFFF) as u16,
+        }
+    }
+
+    /// The big-endian bytes stored in replica memory.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.pack().to_be_bytes()
+    }
+
+    /// Reads a tag from replica-memory bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is shorter than 8 bytes.
+    pub fn from_bytes(b: &[u8]) -> Tag {
+        Tag::unpack(u64::from_be_bytes(b[..8].try_into().expect("8 bytes")))
+    }
+
+    /// The tag a writer with `id` produces after observing `self` as the
+    /// maximum (§7.1: `(ts_max + 1, id_c)`).
+    pub fn successor(self, id: u16) -> Tag {
+        Tag {
+            ts: self.ts + 1,
+            id,
+        }
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.ts, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips() {
+        for t in [
+            Tag::ZERO,
+            Tag { ts: 1, id: 0 },
+            Tag { ts: 5, id: 65535 },
+            Tag {
+                ts: (1 << 48) - 1,
+                id: 7,
+            },
+        ] {
+            assert_eq!(Tag::unpack(t.pack()), t);
+            assert_eq!(Tag::from_bytes(&t.to_bytes()), t);
+        }
+    }
+
+    #[test]
+    fn packed_order_is_lexicographic() {
+        let a = Tag { ts: 1, id: 9 };
+        let b = Tag { ts: 2, id: 0 };
+        let c = Tag { ts: 2, id: 1 };
+        assert!(a.pack() < b.pack());
+        assert!(b.pack() < c.pack());
+        assert!(a < b && b < c, "struct order matches packed order");
+    }
+
+    #[test]
+    fn byte_order_matches_cas_comparison() {
+        // The enhanced CAS compares big-endian byte strings; tag bytes
+        // must order the same way as packed integers.
+        let lo = Tag { ts: 3, id: 500 }.to_bytes();
+        let hi = Tag { ts: 4, id: 2 }.to_bytes();
+        assert!(lo < hi, "byte-wise comparison must match numeric order");
+    }
+
+    #[test]
+    fn successor_increments_and_rebrands() {
+        let t = Tag { ts: 9, id: 3 }.successor(12);
+        assert_eq!(t, Tag { ts: 10, id: 12 });
+        assert!(t > Tag { ts: 9, id: 3 });
+        // A successor beats any tag with the observed timestamp.
+        assert!(t > Tag { ts: 9, id: 65535 });
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp overflow")]
+    fn overflow_guard() {
+        Tag { ts: 1 << 48, id: 0 }.pack();
+    }
+}

@@ -1,0 +1,453 @@
+//! The discrete-event simulation engine: a virtual clock, a deterministic
+//! event queue, and a set of message-driven actors.
+//!
+//! Actors implement [`Actor`] and communicate only through messages
+//! scheduled on the virtual clock. Ties in delivery time are broken by
+//! insertion order, so a run is fully deterministic given its seed and the
+//! order in which actors are registered.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an actor within one [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(usize);
+
+impl ActorId {
+    /// The raw index of the actor, in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds an id from a raw index. Sending to an id that was never
+    /// registered panics at delivery time; this is for callers that
+    /// compute peer ids from known registration order.
+    pub fn from_index(i: usize) -> ActorId {
+        ActorId(i)
+    }
+}
+
+/// A simulation participant driven entirely by messages.
+pub trait Actor<M> {
+    /// Called once before the first event is processed.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called for every message delivered to this actor.
+    fn on_message(&mut self, msg: M, ctx: &mut Context<'_, M>);
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    dst: ActorId,
+    msg: M,
+}
+
+// Order by (time, sequence) — `BinaryHeap` is a max-heap, so entries are
+// wrapped in `Reverse` at the call sites.
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The mutable simulation state shared with actors during a callback.
+struct Kernel<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    rng: SimRng,
+    metrics: Metrics,
+    stopped: bool,
+}
+
+impl<M> Kernel<M> {
+    fn push(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, dst, msg }));
+    }
+}
+
+/// Handle given to actors while they process a message.
+///
+/// Allows scheduling new messages, reading the clock, drawing random
+/// numbers, and recording metrics.
+pub struct Context<'a, M> {
+    kernel: &'a mut Kernel<M>,
+    self_id: ActorId,
+}
+
+impl<M> Context<'_, M> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// The id of the actor currently running.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Delivers `msg` to `dst` after `delay`.
+    pub fn send_in(&mut self, dst: ActorId, delay: SimDuration, msg: M) {
+        let at = self.kernel.now + delay;
+        self.kernel.push(at, dst, msg);
+    }
+
+    /// Delivers `msg` to `dst` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; the simulator cannot rewind.
+    pub fn send_at(&mut self, dst: ActorId, at: SimTime, msg: M) {
+        assert!(at >= self.kernel.now, "Context::send_at: time in the past");
+        self.kernel.push(at, dst, msg);
+    }
+
+    /// The simulation's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.kernel.rng
+    }
+
+    /// The simulation's metrics sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.kernel.metrics
+    }
+
+    /// Requests that the simulation stop after the current callback.
+    pub fn stop(&mut self) {
+        self.kernel.stopped = true;
+    }
+}
+
+/// A complete simulation: actors plus the event queue and clock.
+pub struct Simulation<M> {
+    actors: Vec<Box<dyn Actor<M>>>,
+    kernel: Kernel<M>,
+    started: bool,
+}
+
+impl<M> Simulation<M> {
+    /// Creates an empty simulation with the given random seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            actors: Vec::new(),
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                rng: SimRng::new(seed),
+                metrics: Metrics::new(),
+                stopped: false,
+            },
+            started: false,
+        }
+    }
+
+    /// Registers an actor and returns its id. Registration order is part of
+    /// the deterministic run definition.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(actor);
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Enqueues a message for delivery at the current time (time zero before
+    /// the run starts).
+    pub fn post(&mut self, dst: ActorId, msg: M) {
+        let now = self.kernel.now;
+        self.kernel.push(now, dst, msg);
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Read access to collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.kernel.metrics
+    }
+
+    /// Mutable access to collected metrics (e.g. to reset after warm-up).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.kernel.metrics
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for idx in 0..self.actors.len() {
+            let id = ActorId(idx);
+            // Temporarily move the actor out so the kernel can be borrowed
+            // mutably alongside it without aliasing.
+            let mut actor = std::mem::replace(&mut self.actors[idx], Box::new(Inert));
+            actor.on_start(&mut Context {
+                kernel: &mut self.kernel,
+                self_id: id,
+            });
+            self.actors[idx] = actor;
+        }
+    }
+
+    /// Runs until the event queue drains or an actor calls [`Context::stop`].
+    pub fn run(&mut self) {
+        self.run_until(SimTime::from_nanos(u64::MAX));
+    }
+
+    /// Runs until `deadline` (inclusive), the queue drains, or an actor
+    /// calls [`Context::stop`]. The clock never advances past `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message targets an unregistered actor.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_if_needed();
+        while !self.kernel.stopped {
+            let Some(Reverse(ev)) = self.kernel.queue.peek() else {
+                break;
+            };
+            if ev.at > deadline {
+                self.kernel.now = deadline;
+                break;
+            }
+            let Reverse(ev) = self.kernel.queue.pop().expect("peeked event vanished");
+            self.kernel.now = ev.at;
+            assert!(
+                ev.dst.0 < self.actors.len(),
+                "message for unregistered actor {:?}",
+                ev.dst
+            );
+            let mut actor = std::mem::replace(&mut self.actors[ev.dst.0], Box::new(Inert));
+            actor.on_message(
+                ev.msg,
+                &mut Context {
+                    kernel: &mut self.kernel,
+                    self_id: ev.dst,
+                },
+            );
+            self.actors[ev.dst.0] = actor;
+        }
+    }
+
+    /// Runs for `span` of virtual time from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.kernel.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Whether [`Context::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        self.kernel.stopped
+    }
+
+    /// Consumes the simulation and returns its metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.kernel.metrics
+    }
+}
+
+/// Placeholder actor swapped in while the real actor is running, so that a
+/// re-entrant send to self is queued rather than delivered re-entrantly.
+struct Inert;
+
+impl<M> Actor<M> for Inert {
+    fn on_message(&mut self, _msg: M, _ctx: &mut Context<'_, M>) {
+        unreachable!("Inert actor should never receive messages");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes each message back to the sender with a 1 us delay, counting
+    /// deliveries.
+    struct Counter {
+        seen: Vec<u32>,
+    }
+
+    impl Actor<u32> for Counter {
+        fn on_message(&mut self, msg: u32, _ctx: &mut Context<'_, u32>) {
+            self.seen.push(msg);
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        struct Driver;
+        impl Actor<u32> for Driver {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                let dst = ActorId(1);
+                ctx.send_in(dst, SimDuration::micros(5), 5);
+                ctx.send_in(dst, SimDuration::micros(1), 1);
+                ctx.send_in(dst, SimDuration::micros(3), 3);
+            }
+            fn on_message(&mut self, _: u32, _: &mut Context<'_, u32>) {}
+        }
+        let mut sim = Simulation::new(0);
+        sim.add_actor(Box::new(Driver));
+        let c = sim.add_actor(Box::new(Counter { seen: vec![] }));
+        sim.run();
+        assert_eq!(c.index(), 1);
+        assert_eq!(sim.now().as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        struct Probe {
+            order: Vec<u32>,
+        }
+        impl Actor<u32> for Probe {
+            fn on_message(&mut self, msg: u32, _: &mut Context<'_, u32>) {
+                self.order.push(msg);
+            }
+        }
+        struct Driver;
+        impl Actor<u32> for Driver {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                for i in 0..4 {
+                    ctx.send_in(ActorId(1), SimDuration::micros(1), i);
+                }
+            }
+            fn on_message(&mut self, _: u32, _: &mut Context<'_, u32>) {}
+        }
+        let mut sim = Simulation::new(0);
+        sim.add_actor(Box::new(Driver));
+        sim.add_actor(Box::new(Probe { order: vec![] }));
+        // Drive and inspect via metrics channel: use a fresh sim whose probe
+        // records into metrics instead, to keep actor state observable.
+        sim.run();
+        // The probe actor is owned by the simulation; re-run the scenario
+        // with counters in metrics to assert ordering.
+        let mut sim = Simulation::new(0);
+        struct Probe2;
+        impl Actor<u32> for Probe2 {
+            fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+                let n = ctx.metrics().counter("n");
+                ctx.metrics().add("n", 1);
+                assert_eq!(msg as u64, n, "messages delivered out of order");
+            }
+        }
+        struct Driver2;
+        impl Actor<u32> for Driver2 {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                for i in 0..4 {
+                    ctx.send_in(ActorId(1), SimDuration::micros(1), i);
+                }
+            }
+            fn on_message(&mut self, _: u32, _: &mut Context<'_, u32>) {}
+        }
+        sim.add_actor(Box::new(Driver2));
+        sim.add_actor(Box::new(Probe2));
+        sim.run();
+        assert_eq!(sim.metrics().counter("n"), 4);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        struct SelfPing;
+        impl Actor<u32> for SelfPing {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                let me = ctx.self_id();
+                ctx.send_in(me, SimDuration::micros(1), 0);
+            }
+            fn on_message(&mut self, _: u32, ctx: &mut Context<'_, u32>) {
+                let me = ctx.self_id();
+                ctx.metrics().add("ticks", 1);
+                ctx.send_in(me, SimDuration::micros(1), 0);
+            }
+        }
+        let mut sim = Simulation::new(0);
+        sim.add_actor(Box::new(SelfPing));
+        sim.run_until(SimTime::from_nanos(10_500));
+        assert_eq!(sim.metrics().counter("ticks"), 10);
+        assert_eq!(sim.now().as_nanos(), 10_500);
+        // Continuing resumes from the deadline without replaying events.
+        sim.run_until(SimTime::from_nanos(20_500));
+        assert_eq!(sim.metrics().counter("ticks"), 20);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        struct Stopper;
+        impl Actor<u32> for Stopper {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                let me = ctx.self_id();
+                ctx.send_in(me, SimDuration::micros(1), 0);
+                ctx.send_in(me, SimDuration::micros(2), 1);
+            }
+            fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+                assert_eq!(msg, 0, "second message must not be delivered");
+                ctx.stop();
+            }
+        }
+        let mut sim = Simulation::new(0);
+        sim.add_actor(Box::new(Stopper));
+        sim.run();
+        assert!(sim.is_stopped());
+        assert_eq!(sim.now().as_nanos(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered actor")]
+    fn unknown_destination_panics() {
+        let mut sim: Simulation<u32> = Simulation::new(0);
+        sim.add_actor(Box::new(Counter { seen: vec![] }));
+        sim.post(ActorId(5), 1);
+        sim.run();
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        fn run(seed: u64) -> u64 {
+            struct Random;
+            impl Actor<u32> for Random {
+                fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                    let me = ctx.self_id();
+                    ctx.send_in(me, SimDuration::micros(1), 0);
+                }
+                fn on_message(&mut self, _: u32, ctx: &mut Context<'_, u32>) {
+                    let jitter = ctx.rng().gen_range(1_000);
+                    ctx.metrics().add("sum", jitter);
+                    if ctx.metrics().counter("sum") < 50_000 {
+                        let me = ctx.self_id();
+                        ctx.send_in(me, SimDuration::from_nanos(jitter + 1), 0);
+                    }
+                }
+            }
+            let mut sim = Simulation::new(seed);
+            sim.add_actor(Box::new(Random));
+            sim.run();
+            sim.now().as_nanos()
+        }
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -1,0 +1,210 @@
+//! Contended resources of the simulated testbed.
+//!
+//! The PRISM paper attributes its throughput limits to three resources:
+//! the server's network link (40 Gb/s), the pool of dedicated RPC / PRISM
+//! dispatch cores (16 of them, §6.2), and NIC processing. [`LinkShaper`]
+//! models a link's serialization and queueing; [`ServiceCenter`] models a
+//! fixed pool of workers with FIFO admission.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A point-to-point link direction with finite bandwidth.
+///
+/// Messages serialize one after another; a message arriving while the link
+/// is busy queues behind the in-flight bytes. Propagation delay is added by
+/// the caller (it depends on deployment, not on the link).
+#[derive(Debug, Clone)]
+pub struct LinkShaper {
+    bits_per_sec: f64,
+    busy_until: SimTime,
+    bytes_sent: u64,
+}
+
+impl LinkShaper {
+    /// Creates a link with the given bandwidth in gigabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not positive.
+    pub fn new_gbps(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "LinkShaper: bandwidth must be positive");
+        LinkShaper {
+            bits_per_sec: gbps * 1e9,
+            busy_until: SimTime::ZERO,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Serialization time for `bytes` at this link's bandwidth.
+    pub fn serialization(&self, bytes: u64) -> SimDuration {
+        let secs = (bytes as f64 * 8.0) / self.bits_per_sec;
+        SimDuration::from_nanos((secs * 1e9).round() as u64)
+    }
+
+    /// Sends `bytes` at `now`; returns the time the last bit leaves the
+    /// link (queueing + serialization, no propagation).
+    pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + self.serialization(bytes);
+        self.busy_until = done;
+        self.bytes_sent += bytes;
+        done
+    }
+
+    /// Total bytes ever transmitted, for utilization reporting.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Resets queue state and counters (e.g. between sweep points).
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.bytes_sent = 0;
+    }
+}
+
+/// A pool of identical workers with FIFO admission.
+///
+/// Models the paper's 16 dedicated server cores that execute RPC handlers
+/// and PRISM software primitives (§6.2). `admit` returns when the work
+/// finishes; the worker is occupied for exactly the service time.
+#[derive(Debug, Clone)]
+pub struct ServiceCenter {
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    workers: usize,
+    busy_ns: u128,
+}
+
+impl ServiceCenter {
+    /// Creates a pool of `workers` workers, all idle at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "ServiceCenter: need at least one worker");
+        let mut free_at = BinaryHeap::with_capacity(workers);
+        for _ in 0..workers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        ServiceCenter {
+            free_at,
+            workers,
+            busy_ns: 0,
+        }
+    }
+
+    /// Admits a job arriving at `now` needing `service` of worker time;
+    /// returns its completion time.
+    pub fn admit(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let Reverse(free) = self.free_at.pop().expect("worker heap never empty");
+        let start = free.max(now);
+        let done = start + service;
+        self.free_at.push(Reverse(done));
+        self.busy_ns += service.as_nanos() as u128;
+        done
+    }
+
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total busy worker-nanoseconds, for utilization reporting.
+    pub fn busy_nanos(&self) -> u128 {
+        self.busy_ns
+    }
+
+    /// Resets all workers to idle.
+    pub fn reset(&mut self) {
+        let n = self.workers;
+        self.free_at.clear();
+        for _ in 0..n {
+            self.free_at.push(Reverse(SimTime::ZERO));
+        }
+        self.busy_ns = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_serialization_matches_bandwidth() {
+        let link = LinkShaper::new_gbps(40.0);
+        // 512 bytes at 40 Gb/s = 102.4 ns.
+        assert_eq!(link.serialization(512).as_nanos(), 102);
+    }
+
+    #[test]
+    fn link_queues_back_to_back_messages() {
+        let mut link = LinkShaper::new_gbps(8.0); // 1 byte/ns
+        let t0 = SimTime::ZERO;
+        let a = link.transmit(t0, 100);
+        let b = link.transmit(t0, 100);
+        assert_eq!(a.as_nanos(), 100);
+        assert_eq!(b.as_nanos(), 200, "second message queues behind first");
+        assert_eq!(link.bytes_sent(), 200);
+    }
+
+    #[test]
+    fn link_idles_between_spaced_messages() {
+        let mut link = LinkShaper::new_gbps(8.0);
+        link.transmit(SimTime::ZERO, 100);
+        let late = link.transmit(SimTime::from_nanos(500), 100);
+        assert_eq!(late.as_nanos(), 600);
+    }
+
+    #[test]
+    fn link_reset_clears_state() {
+        let mut link = LinkShaper::new_gbps(8.0);
+        link.transmit(SimTime::ZERO, 1000);
+        link.reset();
+        assert_eq!(link.bytes_sent(), 0);
+        assert_eq!(link.transmit(SimTime::ZERO, 8).as_nanos(), 8);
+    }
+
+    #[test]
+    fn service_center_parallelism() {
+        let mut sc = ServiceCenter::new(2);
+        let s = SimDuration::micros(10);
+        let a = sc.admit(SimTime::ZERO, s);
+        let b = sc.admit(SimTime::ZERO, s);
+        let c = sc.admit(SimTime::ZERO, s);
+        assert_eq!(a.as_nanos(), 10_000);
+        assert_eq!(b.as_nanos(), 10_000, "two workers run in parallel");
+        assert_eq!(c.as_nanos(), 20_000, "third job waits for a worker");
+    }
+
+    #[test]
+    fn service_center_tracks_busy_time() {
+        let mut sc = ServiceCenter::new(1);
+        sc.admit(SimTime::ZERO, SimDuration::micros(3));
+        sc.admit(SimTime::ZERO, SimDuration::micros(4));
+        assert_eq!(sc.busy_nanos(), 7_000);
+    }
+
+    #[test]
+    fn service_center_idle_worker_starts_immediately() {
+        let mut sc = ServiceCenter::new(1);
+        sc.admit(SimTime::ZERO, SimDuration::micros(1));
+        let done = sc.admit(SimTime::from_nanos(5_000), SimDuration::micros(1));
+        assert_eq!(done.as_nanos(), 6_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        ServiceCenter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        LinkShaper::new_gbps(0.0);
+    }
+}

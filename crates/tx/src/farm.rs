@@ -1,0 +1,1068 @@
+//! The FaRM baseline (§8.1 of the PRISM paper; Dragojević et al.,
+//! NSDI 2014).
+//!
+//! Data layout per shard: an index of per-key pointers plus fixed-
+//! location objects `[version u64 | lock u64 | key u64 | value]`.
+//! During execution, clients read one-sided: an index READ then an
+//! object READ ("each access can require two READs, as in Pilaf",
+//! §8.1). Writes are buffered locally.
+//!
+//! The commit protocol is three-phase (§8.1):
+//!
+//! 1. **Lock** (RPC, server CPU): lock every write-set object; any
+//!    conflict fails the whole shard's lock request.
+//! 2. **Validate** (one-sided READs): re-read each read-set object's
+//!    version word; a changed version or a foreign lock aborts.
+//! 3. **Update + unlock** (RPC, server CPU): install the new values,
+//!    bump versions, release locks.
+//!
+//! The lock word records the owning transaction's token so validation
+//! can distinguish its own write locks from foreign ones. Torn
+//! execution reads (an object READ racing an update) are caught by
+//! validation, which re-reads the version — the same role FaRM's
+//! per-cacheline versions play.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use prism_core::msg::{Reply, Request, Verb};
+use prism_core::PrismServer;
+use prism_rdma::region::AccessFlags;
+
+/// Object header: version + lock.
+pub const OBJ_HEADER: u64 = 16;
+
+/// Retry budget for execution reads that race an in-progress update.
+pub const MAX_READ_RETRIES: u32 = 64;
+
+const RPC_LOCK: u8 = 0x10;
+const RPC_UPDATE: u8 = 0x11;
+const RPC_UNLOCK: u8 = 0x12;
+
+/// Per-shard configuration (mirrors `TxConfig` for fair comparison).
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Keys resident on this shard.
+    pub keys_per_shard: u64,
+    /// Value bytes per key.
+    pub value_len: u64,
+}
+
+/// Client-visible layout of one shard.
+#[derive(Debug, Clone)]
+pub struct FarmView {
+    /// Base of the per-key pointer index.
+    pub index_addr: u64,
+    /// Base of the object array.
+    pub obj_addr: u64,
+    /// Object stride.
+    pub obj_stride: u64,
+    /// Rkey covering index and objects.
+    pub rkey: u32,
+    /// Keys resident on this shard.
+    pub capacity: u64,
+    /// Value bytes per key.
+    pub value_len: u64,
+}
+
+impl FarmView {
+    /// Address of local key `i`'s index slot.
+    pub fn index_slot(&self, i: u64) -> u64 {
+        self.index_addr + i * 8
+    }
+
+    /// Object length: header + key + value.
+    pub fn obj_len(&self) -> u64 {
+        OBJ_HEADER + 8 + self.value_len
+    }
+}
+
+/// One FaRM shard server.
+pub struct FarmServer {
+    server: Arc<PrismServer>,
+    view: FarmView,
+}
+
+impl FarmServer {
+    /// Builds a shard with every key present at version 0.
+    pub fn new(config: &FarmConfig, shard: u64, n_shards: u64) -> Self {
+        let index_len = (config.keys_per_shard * 8).next_multiple_of(64);
+        let obj_stride = (OBJ_HEADER + 8 + config.value_len).next_multiple_of(64);
+        let obj_len = obj_stride * config.keys_per_shard;
+        let server = Arc::new(PrismServer::new(index_len + obj_len + (1 << 20)));
+        let (base, rkey) = server.carve_region(index_len + obj_len, 64, AccessFlags::FULL);
+        let index_addr = base;
+        let obj_addr = base + index_len;
+        for i in 0..config.keys_per_shard {
+            let obj = obj_addr + i * obj_stride;
+            let global_key = i * n_shards + shard;
+            // version 0, lock 0 (already zero), key, zero value.
+            server
+                .arena()
+                .write(obj + 16, &global_key.to_le_bytes())
+                .expect("object in arena");
+            server
+                .arena()
+                .write_u64(index_addr + i * 8, obj)
+                .expect("index in arena");
+        }
+
+        let view = FarmView {
+            index_addr,
+            obj_addr,
+            obj_stride,
+            rkey: rkey.0,
+            capacity: config.keys_per_shard,
+            value_len: config.value_len,
+        };
+
+        let h_server = Arc::clone(&server);
+        let h_view = view.clone();
+        server.set_rpc_handler(Arc::new(move |req: &[u8]| {
+            handle_rpc(&h_server, &h_view, req)
+        }));
+
+        FarmServer { server, view }
+    }
+
+    /// The underlying host.
+    pub fn server(&self) -> &Arc<PrismServer> {
+        &self.server
+    }
+
+    /// The client-visible layout.
+    pub fn view(&self) -> &FarmView {
+        &self.view
+    }
+}
+
+impl std::fmt::Debug for FarmServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FarmServer")
+            .field("capacity", &self.view.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+fn obj_of(view: &FarmView, local: u64) -> u64 {
+    view.obj_addr + local * view.obj_stride
+}
+
+/// Server-side commit phases. Lock/unlock/update all run on the server
+/// CPU — the cost PRISM-TX avoids.
+fn handle_rpc(server: &PrismServer, view: &FarmView, req: &[u8]) -> Vec<u8> {
+    if req.len() < 10 {
+        return vec![0xFE];
+    }
+    let op = req[0];
+    let token = u64::from_le_bytes(req[1..9].try_into().expect("8 bytes"));
+    let n = req[9] as usize;
+    let mut off = 10;
+    match op {
+        RPC_LOCK => {
+            let mut taken = Vec::new();
+            for _ in 0..n {
+                let local = u64::from_le_bytes(req[off..off + 8].try_into().expect("8B"));
+                off += 8;
+                let obj = obj_of(view, local);
+                let got = server
+                    .arena()
+                    .atomic(obj + 8, 8, |b| {
+                        let cur = u64::from_le_bytes(b.as_ref().try_into().expect("8B"));
+                        if cur == 0 {
+                            b.copy_from_slice(&token.to_le_bytes());
+                            true
+                        } else {
+                            false
+                        }
+                    })
+                    .expect("object in arena");
+                if got {
+                    taken.push(obj);
+                } else {
+                    // All-or-nothing per shard: roll back and fail.
+                    for t in taken {
+                        server.arena().write_u64(t + 8, 0).expect("in arena");
+                    }
+                    return vec![0xFF];
+                }
+            }
+            vec![0]
+        }
+        RPC_UNLOCK => {
+            for _ in 0..n {
+                let local = u64::from_le_bytes(req[off..off + 8].try_into().expect("8B"));
+                off += 8;
+                let obj = obj_of(view, local);
+                server
+                    .arena()
+                    .atomic(obj + 8, 8, |b| {
+                        if u64::from_le_bytes(b.as_ref().try_into().expect("8B")) == token {
+                            b.copy_from_slice(&0u64.to_le_bytes());
+                        }
+                    })
+                    .expect("object in arena");
+            }
+            vec![0]
+        }
+        RPC_UPDATE => {
+            let vlen = view.value_len as usize;
+            for _ in 0..n {
+                let local = u64::from_le_bytes(req[off..off + 8].try_into().expect("8B"));
+                off += 8;
+                let value = &req[off..off + vlen];
+                off += vlen;
+                let obj = obj_of(view, local);
+                let lock = server.arena().read_u64(obj + 8).expect("in arena");
+                if lock != token {
+                    return vec![0xFD]; // protocol violation
+                }
+                // Value first, then version, then unlock — a reader that
+                // observed the pre-update version can never validate a
+                // half-new value.
+                server
+                    .arena()
+                    .write(obj + OBJ_HEADER + 8, value)
+                    .expect("in arena");
+                let v = server.arena().read_u64(obj).expect("in arena");
+                server.arena().write_u64(obj, v + 1).expect("in arena");
+                server.arena().write_u64(obj + 8, 0).expect("in arena");
+            }
+            vec![0]
+        }
+        _ => vec![0xFE],
+    }
+}
+
+/// A sharded FaRM deployment.
+pub struct FarmCluster {
+    shards: Vec<FarmServer>,
+    next_client: std::sync::atomic::AtomicU64,
+}
+
+impl FarmCluster {
+    /// Builds `n_shards` shards; key placement matches `TxCluster`.
+    pub fn new(n_shards: usize, config: &FarmConfig) -> Self {
+        assert!(n_shards > 0);
+        FarmCluster {
+            shards: (0..n_shards)
+                .map(|s| FarmServer::new(config, s as u64, n_shards as u64))
+                .collect(),
+            next_client: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `i`.
+    pub fn shard(&self, i: usize) -> &FarmServer {
+        &self.shards[i]
+    }
+
+    /// Clears every object's lock word on every shard — FaRM's lease-
+    /// based recovery for clients that die while holding write locks.
+    /// The experiment harness calls this between measurement windows.
+    pub fn reset_locks(&self) {
+        for shard in &self.shards {
+            let v = shard.view().clone();
+            for i in 0..v.capacity {
+                shard
+                    .server()
+                    .arena()
+                    .write_u64(obj_of(&v, i) + 8, 0)
+                    .expect("in arena");
+            }
+        }
+    }
+
+    /// Opens a client.
+    pub fn open_client(&self) -> FarmClient {
+        let id = self
+            .next_client
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        FarmClient {
+            views: self.shards.iter().map(|s| s.view.clone()).collect(),
+            client_id: id,
+            seq: 0,
+        }
+    }
+}
+
+/// A FaRM client.
+#[derive(Debug, Clone)]
+pub struct FarmClient {
+    views: Vec<FarmView>,
+    client_id: u64,
+    seq: u64,
+}
+
+/// Outcome of a FaRM transaction attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarmOutcome {
+    /// Committed; carries the values read during execution.
+    Committed(HashMap<u64, Vec<u8>>),
+    /// Lock conflict or validation failure.
+    Aborted,
+    /// Infrastructure failure.
+    Failed(&'static str),
+}
+
+/// What the driver should do next.
+#[derive(Debug, Clone, Default)]
+pub struct FarmStep {
+    /// `(shard, phase, request-index, request)` to send.
+    pub send: Vec<(usize, u32, u32, Request)>,
+    /// A deferred-write transaction finished its execution reads; call
+    /// [`FarmOp::supply_writes`] with writes computed from
+    /// [`FarmOp::values`].
+    pub awaiting_writes: bool,
+    /// Set when the attempt completes.
+    pub done: Option<FarmOutcome>,
+}
+
+const PH_IDX: u32 = 0;
+const PH_OBJ: u32 = 1;
+const PH_LOCK: u32 = 2;
+const PH_VAL: u32 = 3;
+const PH_UPD: u32 = 4;
+const PH_UNLOCK: u32 = 5;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    IndexReads,
+    ObjectReads,
+    Lock,
+    Validate,
+    Update,
+    Unlock,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct PendingReq {
+    shard: usize,
+    keys: Vec<u64>,
+}
+
+/// A FaRM transaction attempt in flight.
+#[derive(Debug, Clone)]
+pub struct FarmOp {
+    read_keys: Vec<u64>,
+    writes: Vec<(u64, Vec<u8>)>,
+    token: u64,
+    phase: Phase,
+    reqs: Vec<PendingReq>,
+    outstanding: usize,
+    ptrs: HashMap<u64, u64>,
+    versions: HashMap<u64, u64>,
+    values: HashMap<u64, Vec<u8>>,
+    retries: u32,
+    locked_shards: Vec<usize>,
+    lock_failed: bool,
+    valid: bool,
+    pending_outcome: Option<FarmOutcome>,
+    deferred: bool,
+}
+
+impl FarmClient {
+    /// Shard holding global key `k`.
+    pub fn shard_of(&self, k: u64) -> usize {
+        (k % self.views.len() as u64) as usize
+    }
+
+    /// Local index of global key `k`.
+    pub fn index_of(&self, k: u64) -> u64 {
+        k / self.views.len() as u64
+    }
+
+    /// Starts a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range keys or wrong-sized values.
+    pub fn begin(
+        &mut self,
+        read_keys: Vec<u64>,
+        writes: Vec<(u64, Vec<u8>)>,
+    ) -> (FarmOp, FarmStep) {
+        for (k, v) in &writes {
+            assert_eq!(v.len() as u64, self.views[0].value_len);
+            assert!(
+                self.index_of(*k) < self.views[0].capacity,
+                "key {k} out of range"
+            );
+        }
+        self.seq += 1;
+        let token = (self.client_id << 24) | (self.seq & 0xFF_FFFF);
+        let mut op = FarmOp {
+            read_keys,
+            writes,
+            token,
+            phase: Phase::IndexReads,
+            reqs: Vec::new(),
+            outstanding: 0,
+            ptrs: HashMap::new(),
+            versions: HashMap::new(),
+            values: HashMap::new(),
+            retries: 0,
+            locked_shards: Vec::new(),
+            lock_failed: false,
+            valid: true,
+            pending_outcome: None,
+            deferred: false,
+        };
+        let step = op.index_sends(self);
+        (op, step)
+    }
+
+    /// Starts a read-modify-write transaction that pauses after its
+    /// execution reads so the write set can be computed from the values
+    /// actually read (see [`FarmOp::supply_writes`]).
+    pub fn begin_rmw(&mut self, read_keys: Vec<u64>) -> (FarmOp, FarmStep) {
+        let (mut op, step) = self.begin(read_keys, vec![]);
+        op.deferred = true;
+        if step.send.is_empty() {
+            return (
+                op,
+                FarmStep {
+                    awaiting_writes: true,
+                    ..Default::default()
+                },
+            );
+        }
+        (op, step)
+    }
+}
+
+impl FarmOp {
+    /// Values read during execution (keyed by global key).
+    pub fn values(&self) -> &HashMap<u64, Vec<u8>> {
+        &self.values
+    }
+
+    /// Continues a [`FarmClient::begin_rmw`] transaction into its
+    /// commit protocol with the supplied write set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is not deferred or not paused after
+    /// its execution reads.
+    pub fn supply_writes(&mut self, c: &FarmClient, writes: Vec<(u64, Vec<u8>)>) -> FarmStep {
+        assert!(self.deferred, "supply_writes on a non-deferred transaction");
+        assert!(
+            matches!(self.phase, Phase::ObjectReads | Phase::IndexReads),
+            "writes already supplied"
+        );
+        for (k, v) in &writes {
+            assert_eq!(v.len() as u64, c.views[0].value_len);
+            assert!(c.index_of(*k) < c.views[0].capacity, "key {k} out of range");
+        }
+        self.writes = writes;
+        self.lock_sends(c)
+    }
+
+    fn index_sends(&mut self, c: &FarmClient) -> FarmStep {
+        if self.read_keys.is_empty() {
+            return self.lock_sends(c);
+        }
+        self.phase = Phase::IndexReads;
+        self.reqs.clear();
+        self.outstanding = 0;
+        let mut step = FarmStep::default();
+        for &k in &self.read_keys.clone() {
+            let shard = c.shard_of(k);
+            let v = &c.views[shard];
+            let idx = self.reqs.len() as u32;
+            self.reqs.push(PendingReq {
+                shard,
+                keys: vec![k],
+            });
+            self.outstanding += 1;
+            step.send.push((
+                shard,
+                PH_IDX,
+                idx,
+                Request::Verb(Verb::Read {
+                    addr: v.index_slot(c.index_of(k)),
+                    len: 8,
+                    rkey: v.rkey,
+                }),
+            ));
+        }
+        step
+    }
+
+    fn object_sends(&mut self, c: &FarmClient, keys: &[u64]) -> FarmStep {
+        self.phase = Phase::ObjectReads;
+        self.reqs.clear();
+        self.outstanding = 0;
+        let mut step = FarmStep::default();
+        for &k in keys {
+            let shard = c.shard_of(k);
+            let v = &c.views[shard];
+            let idx = self.reqs.len() as u32;
+            self.reqs.push(PendingReq {
+                shard,
+                keys: vec![k],
+            });
+            self.outstanding += 1;
+            step.send.push((
+                shard,
+                PH_OBJ,
+                idx,
+                Request::Verb(Verb::Read {
+                    addr: self.ptrs[&k],
+                    len: v.obj_len() as u32,
+                    rkey: v.rkey,
+                }),
+            ));
+        }
+        step
+    }
+
+    fn lock_sends(&mut self, c: &FarmClient) -> FarmStep {
+        if self.writes.is_empty() {
+            return self.validate_sends(c);
+        }
+        self.phase = Phase::Lock;
+        self.reqs.clear();
+        self.outstanding = 0;
+        self.locked_shards.clear();
+        self.lock_failed = false;
+        let mut by_shard: HashMap<usize, Vec<u64>> = HashMap::new();
+        for (k, _) in &self.writes {
+            by_shard.entry(c.shard_of(*k)).or_default().push(*k);
+        }
+        let mut step = FarmStep::default();
+        for (shard, mut keys) in by_shard {
+            keys.sort_unstable(); // canonical lock order
+            let mut msg = Vec::with_capacity(10 + keys.len() * 8);
+            msg.push(RPC_LOCK);
+            msg.extend_from_slice(&self.token.to_le_bytes());
+            msg.push(keys.len() as u8);
+            for &k in &keys {
+                msg.extend_from_slice(&c.index_of(k).to_le_bytes());
+            }
+            let idx = self.reqs.len() as u32;
+            self.reqs.push(PendingReq { shard, keys });
+            self.outstanding += 1;
+            step.send.push((shard, PH_LOCK, idx, Request::Rpc(msg)));
+        }
+        step
+    }
+
+    fn validate_sends(&mut self, c: &FarmClient) -> FarmStep {
+        if self.read_keys.is_empty() {
+            return self.update_sends(c);
+        }
+        self.phase = Phase::Validate;
+        self.reqs.clear();
+        self.outstanding = 0;
+        self.valid = true;
+        let mut step = FarmStep::default();
+        for &k in &self.read_keys.clone() {
+            let shard = c.shard_of(k);
+            let v = &c.views[shard];
+            let idx = self.reqs.len() as u32;
+            self.reqs.push(PendingReq {
+                shard,
+                keys: vec![k],
+            });
+            self.outstanding += 1;
+            step.send.push((
+                shard,
+                PH_VAL,
+                idx,
+                Request::Verb(Verb::Read {
+                    addr: self.ptrs[&k],
+                    len: OBJ_HEADER as u32,
+                    rkey: v.rkey,
+                }),
+            ));
+        }
+        step
+    }
+
+    fn update_sends(&mut self, c: &FarmClient) -> FarmStep {
+        if self.writes.is_empty() {
+            self.phase = Phase::Done;
+            return FarmStep {
+                done: Some(FarmOutcome::Committed(self.values.clone())),
+                ..Default::default()
+            };
+        }
+        self.phase = Phase::Update;
+        self.reqs.clear();
+        self.outstanding = 0;
+        let mut by_shard: HashMap<usize, Vec<(u64, Vec<u8>)>> = HashMap::new();
+        for (k, v) in &self.writes {
+            by_shard
+                .entry(c.shard_of(*k))
+                .or_default()
+                .push((*k, v.clone()));
+        }
+        let mut step = FarmStep::default();
+        for (shard, keys) in by_shard {
+            let mut msg = Vec::new();
+            msg.push(RPC_UPDATE);
+            msg.extend_from_slice(&self.token.to_le_bytes());
+            msg.push(keys.len() as u8);
+            for (k, val) in &keys {
+                msg.extend_from_slice(&c.index_of(*k).to_le_bytes());
+                msg.extend_from_slice(val);
+            }
+            let idx = self.reqs.len() as u32;
+            self.reqs.push(PendingReq {
+                shard,
+                keys: keys.iter().map(|(k, _)| *k).collect(),
+            });
+            self.outstanding += 1;
+            step.send.push((shard, PH_UPD, idx, Request::Rpc(msg)));
+        }
+        step
+    }
+
+    fn unlock_sends(&mut self, c: &FarmClient, then: FarmOutcome) -> FarmStep {
+        if self.locked_shards.is_empty() {
+            self.phase = Phase::Done;
+            return FarmStep {
+                done: Some(then),
+                ..Default::default()
+            };
+        }
+        self.phase = Phase::Unlock;
+        self.reqs.clear();
+        self.outstanding = 0;
+        let mut step = FarmStep::default();
+        let shards = std::mem::take(&mut self.locked_shards);
+        for shard in shards {
+            let keys: Vec<u64> = self
+                .writes
+                .iter()
+                .map(|(k, _)| *k)
+                .filter(|&k| c.shard_of(k) == shard)
+                .collect();
+            let mut msg = Vec::new();
+            msg.push(RPC_UNLOCK);
+            msg.extend_from_slice(&self.token.to_le_bytes());
+            msg.push(keys.len() as u8);
+            for &k in &keys {
+                msg.extend_from_slice(&c.index_of(k).to_le_bytes());
+            }
+            let idx = self.reqs.len() as u32;
+            self.reqs.push(PendingReq { shard, keys });
+            self.outstanding += 1;
+            step.send.push((shard, PH_UNLOCK, idx, Request::Rpc(msg)));
+        }
+        // The final outcome is deferred until unlocks complete.
+        self.pending_outcome = Some(then);
+        step
+    }
+
+    /// Feeds one reply.
+    pub fn on_reply(&mut self, c: &FarmClient, phase: u32, req_idx: u32, reply: Reply) -> FarmStep {
+        let current = match self.phase {
+            Phase::IndexReads => PH_IDX,
+            Phase::ObjectReads => PH_OBJ,
+            Phase::Lock => PH_LOCK,
+            Phase::Validate => PH_VAL,
+            Phase::Update => PH_UPD,
+            Phase::Unlock => PH_UNLOCK,
+            Phase::Done => return FarmStep::default(),
+        };
+        if phase != current {
+            return FarmStep::default();
+        }
+        let req = self.reqs[req_idx as usize].clone();
+        match self.phase {
+            Phase::IndexReads => {
+                match reply.into_verb() {
+                    Ok(d) if d.len() == 8 => {
+                        self.ptrs
+                            .insert(req.keys[0], u64::from_le_bytes(d.try_into().expect("8B")));
+                    }
+                    _ => return self.fail("index read error"),
+                }
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    let keys = self.read_keys.clone();
+                    return self.object_sends(c, &keys);
+                }
+                FarmStep::default()
+            }
+            Phase::ObjectReads => {
+                let k = req.keys[0];
+                match reply.into_verb() {
+                    Ok(d) if d.len() >= OBJ_HEADER as usize + 8 => {
+                        let version = u64::from_le_bytes(d[0..8].try_into().expect("8B"));
+                        let lock = u64::from_le_bytes(d[8..16].try_into().expect("8B"));
+                        if lock != 0 {
+                            // In-progress writer: retry this object read.
+                            self.retries += 1;
+                            if self.retries > MAX_READ_RETRIES {
+                                // Persistent contention: abort the whole
+                                // attempt so the caller retries with
+                                // backoff (a closed-loop client must not
+                                // abandon the transaction).
+                                self.phase = Phase::Done;
+                                return FarmStep {
+                                    done: Some(FarmOutcome::Aborted),
+                                    ..Default::default()
+                                };
+                            }
+                            let shard = c.shard_of(k);
+                            let v = &c.views[shard];
+                            return FarmStep {
+                                send: vec![(
+                                    shard,
+                                    PH_OBJ,
+                                    req_idx,
+                                    Request::Verb(Verb::Read {
+                                        addr: self.ptrs[&k],
+                                        len: v.obj_len() as u32,
+                                        rkey: v.rkey,
+                                    }),
+                                )],
+                                ..Default::default()
+                            };
+                        }
+                        self.versions.insert(k, version);
+                        self.values.insert(k, d[OBJ_HEADER as usize + 8..].to_vec());
+                    }
+                    _ => return self.fail("object read error"),
+                }
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    if self.deferred {
+                        return FarmStep {
+                            awaiting_writes: true,
+                            ..Default::default()
+                        };
+                    }
+                    return self.lock_sends(c);
+                }
+                FarmStep::default()
+            }
+            Phase::Lock => {
+                match reply.into_rpc().first() {
+                    Some(0) => self.locked_shards.push(req.shard),
+                    _ => self.lock_failed = true,
+                }
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    if self.lock_failed {
+                        return self.unlock_sends(c, FarmOutcome::Aborted);
+                    }
+                    return self.validate_sends(c);
+                }
+                FarmStep::default()
+            }
+            Phase::Validate => {
+                let k = req.keys[0];
+                match reply.into_verb() {
+                    Ok(d) if d.len() == OBJ_HEADER as usize => {
+                        let version = u64::from_le_bytes(d[0..8].try_into().expect("8B"));
+                        let lock = u64::from_le_bytes(d[8..16].try_into().expect("8B"));
+                        let lock_ok = lock == 0 || lock == self.token;
+                        if version != self.versions[&k] || !lock_ok {
+                            self.valid = false;
+                        }
+                    }
+                    _ => return self.fail("validation read error"),
+                }
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    if !self.valid {
+                        return self.unlock_sends(c, FarmOutcome::Aborted);
+                    }
+                    return self.update_sends(c);
+                }
+                FarmStep::default()
+            }
+            Phase::Update => {
+                if reply.into_rpc().first() != Some(&0) {
+                    return self.fail("update rejected");
+                }
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    self.phase = Phase::Done;
+                    return FarmStep {
+                        done: Some(FarmOutcome::Committed(self.values.clone())),
+                        ..Default::default()
+                    };
+                }
+                FarmStep::default()
+            }
+            Phase::Unlock => {
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    self.phase = Phase::Done;
+                    return FarmStep {
+                        done: Some(self.pending_outcome.take().unwrap_or(FarmOutcome::Aborted)),
+                        ..Default::default()
+                    };
+                }
+                FarmStep::default()
+            }
+            Phase::Done => FarmStep::default(),
+        }
+    }
+
+    fn fail(&mut self, why: &'static str) -> FarmStep {
+        self.phase = Phase::Done;
+        FarmStep {
+            done: Some(FarmOutcome::Failed(why)),
+            ..Default::default()
+        }
+    }
+}
+
+/// Drives a transaction attempt to completion against local shards.
+pub fn drive(
+    cluster: &FarmCluster,
+    client: &FarmClient,
+    mut op: FarmOp,
+    first: FarmStep,
+) -> FarmOutcome {
+    use prism_core::msg::execute_local;
+    let mut queue = first.send;
+    let mut outcome = first.done;
+    while let Some((shard, phase, idx, req)) = queue.pop() {
+        let reply = execute_local(cluster.shard(shard).server(), &req);
+        let step = op.on_reply(client, phase, idx, reply);
+        queue.extend(step.send);
+        if outcome.is_none() {
+            outcome = step.done;
+        }
+    }
+    outcome.unwrap_or(FarmOutcome::Failed("drive finished without outcome"))
+}
+
+/// Read-modify-write with retries: one deferred transaction whose
+/// writes are computed from the execution reads it then validates
+/// (mirrors `prism_tx::run_rmw`).
+pub fn run_rmw(
+    cluster: &FarmCluster,
+    client: &mut FarmClient,
+    keys: &[u64],
+    mk_value: impl Fn(u64, &HashMap<u64, Vec<u8>>) -> Vec<u8>,
+    max_attempts: u32,
+) -> (FarmOutcome, u32) {
+    use prism_core::msg::execute_local;
+    for attempt in 1..=max_attempts {
+        let (mut op, step) = client.begin_rmw(keys.to_vec());
+        let mut queue = step.send;
+        let mut awaiting = step.awaiting_writes;
+        let mut failed = None;
+        while !awaiting {
+            let Some((shard, phase, idx, req)) = queue.pop() else {
+                return (FarmOutcome::Failed("execution stalled"), attempt);
+            };
+            let reply = execute_local(cluster.shard(shard).server(), &req);
+            let s = op.on_reply(client, phase, idx, reply);
+            if let Some(o) = s.done {
+                failed = Some(o);
+                break;
+            }
+            queue.extend(s.send);
+            awaiting = s.awaiting_writes;
+        }
+        if let Some(o) = failed {
+            match o {
+                FarmOutcome::Aborted => continue,
+                other => return (other, attempt),
+            }
+        }
+        let writes: Vec<_> = keys
+            .iter()
+            .map(|&k| (k, mk_value(k, op.values())))
+            .collect();
+        let step = op.supply_writes(client, writes);
+        match drive(cluster, client, op, step) {
+            FarmOutcome::Committed(v) => return (FarmOutcome::Committed(v), attempt),
+            FarmOutcome::Aborted => continue,
+            f => return (f, attempt),
+        }
+    }
+    (FarmOutcome::Aborted, max_attempts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(shards: usize, keys: u64) -> FarmCluster {
+        FarmCluster::new(
+            shards,
+            &FarmConfig {
+                keys_per_shard: keys,
+                value_len: 32,
+            },
+        )
+    }
+
+    fn read_all(cl: &FarmCluster, c: &mut FarmClient, keys: &[u64]) -> HashMap<u64, Vec<u8>> {
+        let (op, step) = c.begin(keys.to_vec(), vec![]);
+        match drive(cl, c, op, step) {
+            FarmOutcome::Committed(v) => v,
+            o => panic!("read-only txn must commit: {o:?}"),
+        }
+    }
+
+    fn write_one(cl: &FarmCluster, c: &mut FarmClient, k: u64, v: Vec<u8>) -> FarmOutcome {
+        let (op, step) = c.begin(vec![k], vec![(k, v)]);
+        drive(cl, c, op, step)
+    }
+
+    #[test]
+    fn fresh_keys_read_zeroes() {
+        let cl = cluster(1, 8);
+        let mut c = cl.open_client();
+        assert_eq!(read_all(&cl, &mut c, &[0, 5])[&5], vec![0u8; 32]);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let cl = cluster(2, 8);
+        let mut c = cl.open_client();
+        assert!(matches!(
+            write_one(&cl, &mut c, 3, vec![7u8; 32]),
+            FarmOutcome::Committed(_)
+        ));
+        assert_eq!(read_all(&cl, &mut c, &[3])[&3], vec![7u8; 32]);
+    }
+
+    #[test]
+    fn locks_released_after_commit() {
+        let cl = cluster(1, 4);
+        let mut c = cl.open_client();
+        write_one(&cl, &mut c, 0, vec![1u8; 32]);
+        let view = cl.shard(0).view().clone();
+        let lock = cl
+            .shard(0)
+            .server()
+            .arena()
+            .read_u64(obj_of(&view, 0) + 8)
+            .unwrap();
+        assert_eq!(lock, 0, "lock must be free after commit");
+    }
+
+    #[test]
+    fn stale_read_aborts() {
+        let cl = cluster(1, 4);
+        let mut c1 = cl.open_client();
+        let mut c2 = cl.open_client();
+        // c1 executes reads, pausing before lock.
+        let (mut op, step) = c1.begin(vec![0], vec![(0, vec![9u8; 32])]);
+        let mut queue = step.send;
+        let mut lock_step = None;
+        while let Some((shard, phase, idx, req)) = queue.pop() {
+            let reply = prism_core::msg::execute_local(cl.shard(shard).server(), &req);
+            let s = op.on_reply(&c1, phase, idx, reply);
+            if s.send.iter().any(|(_, p, _, _)| *p == PH_LOCK) {
+                lock_step = Some(s);
+                break;
+            }
+            queue.extend(s.send);
+        }
+        let lock_step = lock_step.expect("reached lock phase");
+        // c2 commits a conflicting write (bumping the version).
+        assert!(matches!(
+            write_one(&cl, &mut c2, 0, vec![5u8; 32]),
+            FarmOutcome::Committed(_)
+        ));
+        // c1's validation must now fail.
+        assert_eq!(drive(&cl, &c1, op, lock_step), FarmOutcome::Aborted);
+        assert_eq!(read_all(&cl, &mut c2, &[0])[&0], vec![5u8; 32]);
+    }
+
+    #[test]
+    fn lock_conflict_aborts_other_txn() {
+        let cl = cluster(1, 4);
+        let mut c1 = cl.open_client();
+        let mut c2 = cl.open_client();
+        // c1 locks key 0 (pause after lock phase).
+        let (mut op, step) = c1.begin(vec![0], vec![(0, vec![1u8; 32])]);
+        let mut queue = step.send;
+        let mut val_step = None;
+        while let Some((shard, phase, idx, req)) = queue.pop() {
+            let reply = prism_core::msg::execute_local(cl.shard(shard).server(), &req);
+            let s = op.on_reply(&c1, phase, idx, reply);
+            if s.send.iter().any(|(_, p, _, _)| *p == PH_VAL) {
+                val_step = Some(s);
+                break;
+            }
+            queue.extend(s.send);
+        }
+        let val_step = val_step.expect("locked");
+        // c2 now conflicts on the lock and aborts. (A blind write — a
+        // reading transaction would already stall at the execution read,
+        // which retries while the object is locked.)
+        let (op2, step2) = c2.begin(vec![], vec![(0, vec![2u8; 32])]);
+        assert_eq!(drive(&cl, &c2, op2, step2), FarmOutcome::Aborted);
+        // c1 proceeds to commit.
+        assert!(matches!(
+            drive(&cl, &c1, op, val_step),
+            FarmOutcome::Committed(_)
+        ));
+        let mut c3 = cl.open_client();
+        assert_eq!(read_all(&cl, &mut c3, &[0])[&0], vec![1u8; 32]);
+    }
+
+    #[test]
+    fn concurrent_counter_is_serializable() {
+        use std::sync::Arc;
+        let cl = Arc::new(cluster(2, 8));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let cl = Arc::clone(&cl);
+                std::thread::spawn(move || {
+                    let mut c = cl.open_client();
+                    let mut committed = 0;
+                    while committed < 25 {
+                        let (o, _) = run_rmw(
+                            &cl,
+                            &mut c,
+                            &[3],
+                            |_, vals| {
+                                let mut v = vals[&3].clone();
+                                let n = u32::from_le_bytes(v[0..4].try_into().unwrap());
+                                v[0..4].copy_from_slice(&(n + 1).to_le_bytes());
+                                v
+                            },
+                            10_000,
+                        );
+                        if matches!(o, FarmOutcome::Committed(_)) {
+                            committed += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut c = cl.open_client();
+        let v = &read_all(&cl, &mut c, &[3])[&3];
+        assert_eq!(u32::from_le_bytes(v[0..4].try_into().unwrap()), 100);
+    }
+
+    #[test]
+    fn multi_shard_transaction() {
+        let cl = cluster(3, 8);
+        let mut c = cl.open_client();
+        let (op, step) = c.begin(
+            vec![0, 1, 2],
+            vec![(0, vec![1; 32]), (1, vec![2; 32]), (2, vec![3; 32])],
+        );
+        assert!(matches!(
+            drive(&cl, &c, op, step),
+            FarmOutcome::Committed(_)
+        ));
+        let vals = read_all(&cl, &mut c, &[0, 1, 2]);
+        assert_eq!(vals[&1], vec![2; 32]);
+    }
+}

@@ -1,0 +1,56 @@
+//! PRISM-TX (§8 of the PRISM paper): serializable distributed
+//! transactions over sharded storage, with execution, prepare, and
+//! commit all performed by remote operations — plus the FaRM baseline
+//! it is evaluated against.
+//!
+//! * [`prism_tx`] — Meerkat-style timestamp OCC with per-key `PW/PR/C`
+//!   metadata validated by single enhanced-CAS operations; commits
+//!   install out-of-place version buffers. Two round trips to commit.
+//! * [`farm`] — the FaRM protocol (§8.1): one-sided reads during
+//!   execution, then a three-phase commit (lock RPC, one-sided
+//!   validation reads, update+unlock RPC) requiring server CPU.
+//! * [`ts`] — loosely synchronized logical timestamps.
+//!
+//! # Examples
+//!
+//! ```
+//! use prism_tx::prism_tx::{drive, run_rmw, TxCluster, TxConfig, TxOutcome};
+//!
+//! let cluster = TxCluster::new(2, &TxConfig::paper(32, 16));
+//! let mut client = cluster.open_client();
+//!
+//! // A serializable read-modify-write across two shards.
+//! let (outcome, attempts) = run_rmw(
+//!     &cluster,
+//!     &mut client,
+//!     &[1, 2],
+//!     |key, values| {
+//!         let mut v = values[&key].clone();
+//!         v[0] += 1;
+//!         v
+//!     },
+//!     16,
+//! );
+//! assert!(matches!(outcome, TxOutcome::Committed(_)));
+//! assert_eq!(attempts, 1);
+//!
+//! // Read back within a fresh transaction.
+//! let (op, step) = client.begin(vec![1, 2], vec![]);
+//! match drive(&cluster, &mut client, op, step) {
+//!     TxOutcome::Committed(values) => {
+//!         assert_eq!(values[&1][0], 1);
+//!         assert_eq!(values[&2][0], 1);
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod farm;
+pub mod prism_tx;
+pub mod ts;
+
+pub use prism_tx::{TxClient, TxCluster, TxConfig, TxOp, TxOutcome, TxServer, TxStep};
+pub use ts::{Ts, TxClock};

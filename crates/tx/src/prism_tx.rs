@@ -1,0 +1,1283 @@
+//! PRISM-TX: serializable distributed transactions whose execution,
+//! prepare, and commit phases are all remote operations (§8.2).
+//!
+//! The concurrency control is Meerkat-style timestamp OCC with per-key
+//! metadata (Figure 8). Each key's slot holds four 8-byte words:
+//!
+//! ```text
+//! [ PW | PR | C | addr ]
+//!   PW   highest prepared-writer timestamp (big-endian)
+//!   PR   highest prepared-reader timestamp (big-endian)
+//!   C    highest committed-writer timestamp (big-endian)
+//!   addr pointer to the committed version's buffer [C | key | value]
+//! ```
+//!
+//! `PW` sits at a lower address than `PR` so the *single* enhanced CAS
+//! of the read validation can compare the concatenation `PW|PR` against
+//! `RC|TS` lexicographically (§8.2: "this can be expressed as a single
+//! CAS operation that checks if RC|TS is greater than PW|PR").
+//!
+//! Phases (each one round trip per shard):
+//!
+//! * **Execute** — one indirect READ through `addr` per read key,
+//!   returning `[C | key | value]` atomically; writes buffer locally.
+//! * **Prepare** — per read key: `CAS_LE` on `PW|PR` comparing `RC|TS`,
+//!   swapping `PR := TS`; a failed CAS whose old `PW` still equals `RC`
+//!   means the read is valid but `PR` was already larger ("the client
+//!   can distinguish the two using the value returned"). Per write key:
+//!   `CAS_GT`-style on `PW` (`TS > PW`), swapping `PW := TS`; the
+//!   returned old value provides `PR` for the second check `TS > PR`,
+//!   which is safe to perform after the update (§8.2).
+//! * **Commit** — per write key, the ALLOCATE/WRITE/CAS install chain of
+//!   PRISM-RS (§8.2 "follows the same pattern"), guarded by `TS > C`.
+//!   A `CasFailed` means a newer transaction already committed that key
+//!   (Thomas write rule): the transaction still commits; its buffer is
+//!   reclaimed.
+//! * **Abort path** — no metadata rollback (only maxima are kept):
+//!   instead, bump `C := TS` for keys whose write check succeeded, which
+//!   lets future writers proceed (§8.2).
+//!
+//! Readers take `RC` as the larger of the slot's `C` word and the
+//! version buffer's embedded `C`: the slot copy advances on the abort
+//! path's `C`-bump (unblocking subsequent readers, §8.2), and a commit
+//! racing between the two reads only raises the buffer copy — in which
+//! case the value read *is* exactly that newer version, so the claimed
+//! `RC` stays consistent (see `exec_sends`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use prism_core::builder::ops;
+use prism_core::msg::{Reply, Request};
+use prism_core::op::{field_mask, full_mask, DataArg, FreeListId, Redirect};
+use prism_core::value::CasMode;
+use prism_core::{OpStatus, PrismServer};
+use prism_rdma::region::AccessFlags;
+
+use crate::ts::{Ts, TxClock};
+
+/// Per-key slot size.
+pub const SLOT: u64 = 32;
+
+/// Write keys per commit chain (limited by the 64-byte connection
+/// scratch slot: 16 staging bytes per key).
+pub const KEYS_PER_COMMIT_CHAIN: usize = 4;
+
+const RPC_FREE: u8 = 0x01;
+const RPC_FREE_BATCH: u8 = 0x04;
+
+/// Per-shard store configuration.
+#[derive(Debug, Clone)]
+pub struct TxConfig {
+    /// Keys resident on this shard.
+    pub keys_per_shard: u64,
+    /// Value bytes per key (512 in §8.3).
+    pub value_len: u64,
+    /// Extra buffers beyond one per key.
+    pub spare_buffers: u64,
+}
+
+impl TxConfig {
+    /// The §8.3 configuration scaled to `keys_per_shard`.
+    pub fn paper(keys_per_shard: u64, value_len: u64) -> Self {
+        TxConfig {
+            keys_per_shard,
+            value_len,
+            spare_buffers: (keys_per_shard / 4).max(64),
+        }
+    }
+}
+
+/// Client-visible layout of one shard.
+#[derive(Debug, Clone)]
+pub struct TxView {
+    /// Base of the slot array.
+    pub slot_addr: u64,
+    /// Rkey covering slots and buffers.
+    pub data_rkey: u32,
+    /// Keys resident on this shard.
+    pub capacity: u64,
+    /// Value bytes per key.
+    pub value_len: u64,
+    /// The buffer free list.
+    pub freelist: FreeListId,
+}
+
+impl TxView {
+    /// Address of local key index `i`'s slot.
+    pub fn slot(&self, i: u64) -> u64 {
+        self.slot_addr + i * SLOT
+    }
+
+    /// Buffer length: `C` + key + value.
+    pub fn buf_len(&self) -> u64 {
+        16 + self.value_len
+    }
+}
+
+/// One PRISM-TX shard server.
+pub struct TxServer {
+    server: Arc<PrismServer>,
+    view: TxView,
+}
+
+impl TxServer {
+    /// Builds a shard: slot array, buffer pool, initial version
+    /// (timestamp 0, zeroed value) for every key, reclaim RPC.
+    pub fn new(config: &TxConfig, shard: u64, n_shards: u64) -> Self {
+        let slots_len = (config.keys_per_shard * SLOT).next_multiple_of(64);
+        let buf_len = 16 + config.value_len;
+        let stride = buf_len.next_multiple_of(64);
+        let count = config.keys_per_shard + config.spare_buffers;
+        let pool_len = stride * count;
+        let server = Arc::new(PrismServer::new(slots_len + pool_len + (1 << 20)));
+        let (data_base, data_rkey) =
+            server.carve_region(slots_len + pool_len, 64, AccessFlags::FULL);
+        let slot_addr = data_base;
+        let pool_base = data_base + slots_len;
+
+        let freelist = FreeListId(0);
+        server.freelists().register(freelist, buf_len);
+        server
+            .freelists()
+            .post(
+                freelist,
+                (config.keys_per_shard..count).map(|j| pool_base + j * stride),
+            )
+            .expect("fresh free list accepts posts");
+        for i in 0..config.keys_per_shard {
+            let buf = pool_base + i * stride;
+            let global_key = i * n_shards + shard;
+            let mut init = Vec::with_capacity(16);
+            init.extend_from_slice(&Ts::ZERO.to_bytes());
+            init.extend_from_slice(&global_key.to_le_bytes());
+            server.arena().write(buf, &init).expect("buffer in arena");
+            // Slot: PW = PR = C = 0, addr = buf.
+            let mut slot = Vec::with_capacity(SLOT as usize);
+            slot.extend_from_slice(&[0u8; 24]);
+            slot.extend_from_slice(&buf.to_le_bytes());
+            server
+                .arena()
+                .write(slot_addr + i * SLOT, &slot)
+                .expect("slot in arena");
+        }
+
+        let freelists = Arc::clone(server.freelists());
+        let pool_end = pool_base + pool_len;
+        server.set_rpc_handler(Arc::new(move |req: &[u8]| {
+            let free_one = |addr: u64| -> bool {
+                if addr >= pool_base && addr < pool_end && (addr - pool_base) % stride == 0 {
+                    freelists
+                        .post(freelist, [addr])
+                        .expect("freelist registered");
+                    true
+                } else {
+                    false
+                }
+            };
+            if req.len() == 9 && req[0] == RPC_FREE {
+                let addr = u64::from_le_bytes(req[1..9].try_into().expect("9 bytes"));
+                if free_one(addr) {
+                    return vec![0];
+                }
+            } else if req.len() >= 3 && req[0] == RPC_FREE_BATCH {
+                // Batched reclamation (§3.2).
+                let n = u16::from_le_bytes(req[1..3].try_into().expect("2 bytes")) as usize;
+                if req.len() == 3 + n * 8 {
+                    let ok = (0..n).all(|i| {
+                        let off = 3 + i * 8;
+                        free_one(u64::from_le_bytes(
+                            req[off..off + 8].try_into().expect("8 bytes"),
+                        ))
+                    });
+                    return vec![if ok { 0 } else { 0xFF }];
+                }
+            }
+            vec![0xFF]
+        }));
+
+        TxServer {
+            server,
+            view: TxView {
+                slot_addr,
+                data_rkey: data_rkey.0,
+                capacity: config.keys_per_shard,
+                value_len: config.value_len,
+                freelist,
+            },
+        }
+    }
+
+    /// The underlying host.
+    pub fn server(&self) -> &Arc<PrismServer> {
+        &self.server
+    }
+
+    /// The client-visible layout.
+    pub fn view(&self) -> &TxView {
+        &self.view
+    }
+}
+
+impl std::fmt::Debug for TxServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxServer")
+            .field("capacity", &self.view.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A sharded PRISM-TX deployment.
+pub struct TxCluster {
+    shards: Vec<TxServer>,
+    next_client: std::sync::atomic::AtomicU16,
+}
+
+impl TxCluster {
+    /// Builds `n_shards` shards, each holding `config.keys_per_shard`
+    /// keys; global key `k` lives on shard `k % n_shards` at local index
+    /// `k / n_shards`.
+    pub fn new(n_shards: usize, config: &TxConfig) -> Self {
+        assert!(n_shards > 0);
+        TxCluster {
+            shards: (0..n_shards)
+                .map(|s| TxServer::new(config, s as u64, n_shards as u64))
+                .collect(),
+            next_client: std::sync::atomic::AtomicU16::new(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `i`.
+    pub fn shard(&self, i: usize) -> &TxServer {
+        &self.shards[i]
+    }
+
+    /// Total keys across shards.
+    pub fn n_keys(&self) -> u64 {
+        self.shards.iter().map(|s| s.view.capacity).sum()
+    }
+
+    /// Opens a client with a fresh id and per-shard scratch.
+    pub fn open_client(&self) -> TxClient {
+        let id = self
+            .next_client
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        TxClient {
+            views: self.shards.iter().map(|s| s.view.clone()).collect(),
+            scratch: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let c = s.server.open_connection();
+                    (c.scratch_addr, c.scratch_rkey.0)
+                })
+                .collect(),
+            clock: TxClock::new(id, 0),
+        }
+    }
+}
+
+/// A PRISM-TX client.
+#[derive(Debug, Clone)]
+pub struct TxClient {
+    views: Vec<TxView>,
+    scratch: Vec<(u64, u32)>,
+    clock: TxClock,
+}
+
+/// Outcome of a transaction attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Validated and (for non-read-only transactions) installed; carries
+    /// the values read during execution.
+    Committed(HashMap<u64, Vec<u8>>),
+    /// A validation check failed; the caller may retry with fresh reads.
+    Aborted,
+    /// Infrastructure failure (e.g. buffer pool exhausted mid-commit).
+    Failed(&'static str),
+}
+
+/// What the driver should do next. `done` is set exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct TxStep {
+    /// `(shard, phase, request-index, request)` to send.
+    pub send: Vec<(usize, u32, u32, Request)>,
+    /// Fire-and-forget requests (buffer frees, abort C-bumps).
+    pub background: Vec<(usize, Request)>,
+    /// A deferred-write transaction finished its execution phase: the
+    /// caller must compute its writes from [`TxOp::values`] and call
+    /// [`TxOp::supply_writes`] to continue (the read-modify-write shape
+    /// — computing writes from a *separate* earlier transaction's reads
+    /// would reintroduce the lost-update window OCC exists to prevent).
+    pub awaiting_writes: bool,
+    /// Set when the transaction attempt completes.
+    pub done: Option<TxOutcome>,
+}
+
+const PH_EXEC: u32 = 0;
+const PH_PREPARE: u32 = 1;
+const PH_COMMIT: u32 = 2;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Execute,
+    Prepare,
+    Commit,
+    Done,
+}
+
+/// One op of a prepare chain, in chain order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrepOp {
+    /// Read validation for a key.
+    Rv(u64),
+    /// Write validation, conditional on the immediately preceding read
+    /// validation (read-modify-write keys).
+    WvCond(u64),
+    /// Unconditional write validation (blind-write keys).
+    Wv(u64),
+}
+
+/// Keys covered by one outstanding request, in op order.
+#[derive(Debug, Clone)]
+struct PendingReq {
+    shard: usize,
+    read_keys: Vec<u64>,
+    write_keys: Vec<u64>,
+    prep: Vec<PrepOp>,
+}
+
+/// A transaction attempt in flight.
+#[derive(Debug, Clone)]
+pub struct TxOp {
+    read_keys: Vec<u64>,
+    writes: Vec<(u64, Vec<u8>)>,
+    phase: Phase,
+    reqs: Vec<PendingReq>,
+    outstanding: usize,
+    ts: Ts,
+    rc: HashMap<u64, Ts>,
+    values: HashMap<u64, Vec<u8>>,
+    valid: bool,
+    write_checked: Vec<u64>,
+    deferred: bool,
+}
+
+impl TxClient {
+    /// The client id.
+    pub fn cid(&self) -> u16 {
+        self.clock.cid()
+    }
+
+    /// Shard holding global key `k`.
+    pub fn shard_of(&self, k: u64) -> usize {
+        (k % self.views.len() as u64) as usize
+    }
+
+    /// Local slot index of global key `k` on its shard.
+    pub fn index_of(&self, k: u64) -> u64 {
+        k / self.views.len() as u64
+    }
+
+    /// Starts a transaction that reads `read_keys` and then writes
+    /// `writes` (write keys need not be read first — blind writes are
+    /// validated against `PR`/`PW` only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write value has the wrong length or a key is out of
+    /// range.
+    pub fn begin(&mut self, read_keys: Vec<u64>, writes: Vec<(u64, Vec<u8>)>) -> (TxOp, TxStep) {
+        for (k, v) in &writes {
+            assert_eq!(v.len() as u64, self.views[0].value_len, "bad value len");
+            assert!(
+                self.index_of(*k) < self.views[0].capacity,
+                "key {k} out of range"
+            );
+        }
+        for k in &read_keys {
+            assert!(
+                self.index_of(*k) < self.views[0].capacity,
+                "key {k} out of range"
+            );
+        }
+        let mut op = TxOp {
+            read_keys,
+            writes,
+            phase: Phase::Execute,
+            reqs: Vec::new(),
+            outstanding: 0,
+            ts: Ts::ZERO,
+            rc: HashMap::new(),
+            values: HashMap::new(),
+            valid: true,
+            write_checked: Vec::new(),
+            deferred: false,
+        };
+        let step = op.exec_sends(self);
+        (op, step)
+    }
+
+    /// Starts a read-modify-write transaction: executes the reads, then
+    /// pauses (`TxStep::awaiting_writes`) so the caller can compute the
+    /// write set from the values actually read — see
+    /// [`TxOp::supply_writes`].
+    pub fn begin_rmw(&mut self, read_keys: Vec<u64>) -> (TxOp, TxStep) {
+        let (mut op, step) = self.begin(read_keys, vec![]);
+        op.deferred = true;
+        if step.send.is_empty() {
+            // No reads at all: hand control back immediately.
+            return (
+                op,
+                TxStep {
+                    awaiting_writes: true,
+                    ..Default::default()
+                },
+            );
+        }
+        (op, step)
+    }
+
+    fn free_request(addr: u64) -> Request {
+        let mut msg = Vec::with_capacity(9);
+        msg.push(RPC_FREE);
+        msg.extend_from_slice(&addr.to_le_bytes());
+        Request::Rpc(msg)
+    }
+}
+
+impl TxOp {
+    /// The timestamp chosen at prepare (for tests/diagnostics).
+    pub fn timestamp(&self) -> Ts {
+        self.ts
+    }
+
+    /// Values read during execution (keyed by global key).
+    pub fn values(&self) -> &HashMap<u64, Vec<u8>> {
+        &self.values
+    }
+
+    /// Continues a [`TxClient::begin_rmw`] transaction: installs the
+    /// write set and starts the prepare phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is not a deferred one paused after its
+    /// execution phase.
+    pub fn supply_writes(&mut self, c: &mut TxClient, writes: Vec<(u64, Vec<u8>)>) -> TxStep {
+        assert!(self.deferred, "supply_writes on a non-deferred transaction");
+        assert_eq!(self.phase, Phase::Execute, "writes already supplied");
+        for (k, v) in &writes {
+            assert_eq!(v.len() as u64, c.views[0].value_len, "bad value len");
+            assert!(c.index_of(*k) < c.views[0].capacity, "key {k} out of range");
+        }
+        self.writes = writes;
+        self.prepare_sends(c)
+    }
+
+    fn exec_sends(&mut self, c: &mut TxClient) -> TxStep {
+        if self.read_keys.is_empty() {
+            // Blind-write transaction: go straight to prepare.
+            return self.prepare_sends(c);
+        }
+        let mut by_shard: HashMap<usize, Vec<u64>> = HashMap::new();
+        for &k in &self.read_keys {
+            by_shard.entry(c.shard_of(k)).or_default().push(k);
+        }
+        let mut step = TxStep::default();
+        for (shard, keys) in by_shard {
+            let v = &c.views[shard];
+            let mut chain = Vec::with_capacity(keys.len() * 2);
+            for &k in &keys {
+                // Two reads per key: the slot's (C | addr) word, then an
+                // indirect READ through the addr word at slot+24. RC is
+                // the larger of the two C values: the slot's C advances
+                // on abort-path bumps (§8.2), and if a commit lands
+                // between the two reads the buffer's C is higher — in
+                // which case the value *is* exactly that version, so
+                // claiming it as RC is consistent either way.
+                chain.push(ops::read(v.slot(c.index_of(k)) + 16, 16, v.data_rkey));
+                chain.push(ops::read_indirect(
+                    v.slot(c.index_of(k)) + 24,
+                    v.buf_len() as u32,
+                    v.data_rkey,
+                ));
+            }
+            let idx = self.reqs.len() as u32;
+            self.reqs.push(PendingReq {
+                shard,
+                read_keys: keys,
+                write_keys: Vec::new(),
+                prep: Vec::new(),
+            });
+            self.outstanding += 1;
+            step.send.push((shard, PH_EXEC, idx, Request::Chain(chain)));
+        }
+        step
+    }
+
+    fn prepare_sends(&mut self, c: &mut TxClient) -> TxStep {
+        self.phase = Phase::Prepare;
+        self.reqs.clear();
+        self.outstanding = 0;
+        let max_rc = self.rc.values().copied().max().unwrap_or(Ts::ZERO);
+        self.ts = c.clock.timestamp_for(max_rc);
+
+        let mut by_shard: HashMap<usize, (Vec<u64>, Vec<u64>)> = HashMap::new();
+        for &k in &self.read_keys {
+            by_shard.entry(c.shard_of(k)).or_default().0.push(k);
+        }
+        for (k, _) in &self.writes {
+            by_shard.entry(c.shard_of(*k)).or_default().1.push(*k);
+        }
+        let mut step = TxStep::default();
+        for (shard, (rkeys, wkeys)) in by_shard {
+            let v = &c.views[shard];
+            // Chain layout: read-only keys validate alone; read-modify-
+            // write keys pair their read validation with a *conditional*
+            // write validation, so a transaction whose read of a key is
+            // stale never bumps that key's PW. This matters: an aborted
+            // transaction's PW bump is only safe to neutralize with the
+            // abort-path C-bump (§8.2) when no concurrently-validated,
+            // not-yet-installed writer can sit below it — which holding
+            // a valid read guarantees. Blind writes validate
+            // unconditionally but are excluded from the C-bump.
+            let mut prep = Vec::new();
+            for &k in &rkeys {
+                prep.push(PrepOp::Rv(k));
+                if wkeys.contains(&k) {
+                    prep.push(PrepOp::WvCond(k));
+                }
+            }
+            for &k in &wkeys {
+                if !rkeys.contains(&k) {
+                    prep.push(PrepOp::Wv(k));
+                }
+            }
+            let mut chain = Vec::with_capacity(prep.len());
+            for op in &prep {
+                match *op {
+                    PrepOp::Rv(k) => {
+                        // Read validation (§8.2): single CAS comparing
+                        // RC|TS against PW|PR, updating PR on success.
+                        let rc = self.rc[&k];
+                        let mut cmp = Vec::with_capacity(16);
+                        cmp.extend_from_slice(&rc.to_bytes());
+                        cmp.extend_from_slice(&self.ts.to_bytes());
+                        let mut swap = vec![0u8; 8];
+                        swap.extend_from_slice(&self.ts.to_bytes());
+                        chain.push(ops::cas(
+                            // Success iff (PW|PR) <= (RC|TS).
+                            CasMode::Le,
+                            v.slot(c.index_of(k)),
+                            v.data_rkey,
+                            cmp,
+                            swap,
+                            16,
+                            full_mask(16),
+                            field_mask(8, 8),
+                        ));
+                    }
+                    PrepOp::WvCond(k) | PrepOp::Wv(k) => {
+                        // Write validation (§8.2): TS > PW check-and-
+                        // update in one CAS; TS > PR checked from the
+                        // returned old value.
+                        let mut cmp = self.ts.to_bytes().to_vec();
+                        cmp.extend_from_slice(&[0u8; 8]);
+                        let mut swap = self.ts.to_bytes().to_vec();
+                        swap.extend_from_slice(&[0u8; 8]);
+                        let mut cas = ops::cas(
+                            // Success iff PW < TS.
+                            CasMode::Lt,
+                            v.slot(c.index_of(k)),
+                            v.data_rkey,
+                            cmp,
+                            swap,
+                            16,
+                            field_mask(0, 8),
+                            field_mask(0, 8),
+                        );
+                        if matches!(op, PrepOp::WvCond(_)) {
+                            cas = cas.conditional();
+                        }
+                        chain.push(cas);
+                    }
+                }
+            }
+            let idx = self.reqs.len() as u32;
+            self.reqs.push(PendingReq {
+                shard,
+                read_keys: rkeys,
+                write_keys: wkeys,
+                prep,
+            });
+            self.outstanding += 1;
+            step.send
+                .push((shard, PH_PREPARE, idx, Request::Chain(chain)));
+        }
+        step
+    }
+
+    fn commit_sends(&mut self, c: &TxClient) -> TxStep {
+        self.phase = Phase::Commit;
+        self.reqs.clear();
+        self.outstanding = 0;
+        if self.writes.is_empty() {
+            self.phase = Phase::Done;
+            return TxStep {
+                done: Some(TxOutcome::Committed(self.values.clone())),
+                ..Default::default()
+            };
+        }
+        let mut by_shard: HashMap<usize, Vec<(u64, Vec<u8>)>> = HashMap::new();
+        for (k, val) in &self.writes {
+            by_shard
+                .entry(c.shard_of(*k))
+                .or_default()
+                .push((*k, val.clone()));
+        }
+        let mut step = TxStep::default();
+        for (shard, keys) in by_shard {
+            let v = &c.views[shard];
+            let (scratch_addr, scratch_rkey) = c.scratch[shard];
+            for chunk in keys.chunks(KEYS_PER_COMMIT_CHAIN) {
+                let mut chain = Vec::new();
+                for (j, (k, val)) in chunk.iter().enumerate() {
+                    let stage = scratch_addr + (j as u64) * 16;
+                    let mut payload = Vec::with_capacity(v.buf_len() as usize);
+                    payload.extend_from_slice(&self.ts.to_bytes());
+                    payload.extend_from_slice(&k.to_le_bytes());
+                    payload.extend_from_slice(val);
+                    chain.push(ops::write(stage, self.ts.to_bytes().to_vec(), scratch_rkey));
+                    chain.push(ops::allocate(v.freelist, payload).redirect(Redirect {
+                        addr: stage + 8,
+                        rkey: scratch_rkey,
+                    }));
+                    chain.push(
+                        ops::cas_args(
+                            // Install iff C < TS (Thomas write rule).
+                            CasMode::Lt,
+                            v.slot(c.index_of(*k)) + 16,
+                            v.data_rkey,
+                            DataArg::Remote {
+                                addr: stage,
+                                rkey: scratch_rkey,
+                            },
+                            DataArg::Remote {
+                                addr: stage,
+                                rkey: scratch_rkey,
+                            },
+                            16,
+                            field_mask(0, 8),
+                            full_mask(16),
+                        )
+                        .conditional(),
+                    );
+                    chain.push(ops::read(stage + 8, 8, scratch_rkey));
+                }
+                let idx = self.reqs.len() as u32;
+                self.reqs.push(PendingReq {
+                    shard,
+                    read_keys: Vec::new(),
+                    write_keys: chunk.iter().map(|(k, _)| *k).collect(),
+                    prep: Vec::new(),
+                });
+                self.outstanding += 1;
+                step.send
+                    .push((shard, PH_COMMIT, idx, Request::Chain(chain)));
+            }
+        }
+        step
+    }
+
+    /// Builds the abort-path background traffic: bump `C := TS` for keys
+    /// whose write check succeeded (§8.2).
+    fn abort_cleanup(&self, c: &TxClient) -> Vec<(usize, Request)> {
+        let mut by_shard: HashMap<usize, Vec<u64>> = HashMap::new();
+        for &k in &self.write_checked {
+            by_shard.entry(c.shard_of(k)).or_default().push(k);
+        }
+        by_shard
+            .into_iter()
+            .map(|(shard, keys)| {
+                let v = &c.views[shard];
+                let chain: Vec<_> = keys
+                    .iter()
+                    .map(|&k| {
+                        let mut cmp = self.ts.to_bytes().to_vec();
+                        cmp.extend_from_slice(&[0u8; 8]);
+                        ops::cas(
+                            CasMode::Lt, // C < TS
+                            v.slot(c.index_of(k)) + 16,
+                            v.data_rkey,
+                            cmp.clone(),
+                            cmp,
+                            16,
+                            field_mask(0, 8),
+                            field_mask(0, 8),
+                        )
+                    })
+                    .collect();
+                (shard, Request::Chain(chain))
+            })
+            .collect()
+    }
+
+    /// Feeds one reply.
+    pub fn on_reply(&mut self, c: &mut TxClient, phase: u32, req_idx: u32, reply: Reply) -> TxStep {
+        let current = match self.phase {
+            Phase::Execute => PH_EXEC,
+            Phase::Prepare => PH_PREPARE,
+            Phase::Commit => PH_COMMIT,
+            Phase::Done => return TxStep::default(),
+        };
+        if phase != current {
+            return TxStep::default();
+        }
+        let req = self.reqs[req_idx as usize].clone();
+        let results = reply.into_chain();
+        match self.phase {
+            Phase::Execute => {
+                for (i, &k) in req.read_keys.iter().enumerate() {
+                    let slot_c = match results[2 * i].expect_data() {
+                        Ok(d) if d.len() == 16 => Ts::from_bytes(&d[..8]),
+                        _ => {
+                            self.phase = Phase::Done;
+                            return TxStep {
+                                done: Some(TxOutcome::Failed("execution slot read error")),
+                                ..Default::default()
+                            };
+                        }
+                    };
+                    match results[2 * i + 1].expect_data() {
+                        Ok(d) if d.len() >= 16 => {
+                            let version = Ts::from_bytes(&d[..8]);
+                            let embedded = u64::from_le_bytes(d[8..16].try_into().expect("8B"));
+                            debug_assert_eq!(embedded, k, "buffer key mismatch");
+                            self.rc.insert(k, version.max(slot_c));
+                            self.values.insert(k, d[16..].to_vec());
+                        }
+                        _ => {
+                            self.phase = Phase::Done;
+                            return TxStep {
+                                done: Some(TxOutcome::Failed("execution read error")),
+                                ..Default::default()
+                            };
+                        }
+                    }
+                }
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    if self.deferred {
+                        return TxStep {
+                            awaiting_writes: true,
+                            ..Default::default()
+                        };
+                    }
+                    return self.prepare_sends(c);
+                }
+                TxStep::default()
+            }
+            Phase::Prepare => {
+                for (i, op) in req.prep.iter().enumerate() {
+                    match *op {
+                        PrepOp::Rv(k) => match &results[i].status {
+                            OpStatus::Ok => {}
+                            OpStatus::CasFailed => {
+                                let old = &results[i].data;
+                                let pw = Ts::from_bytes(&old[0..8]);
+                                let pr = Ts::from_bytes(&old[8..16]);
+                                c.clock.observe(pw);
+                                c.clock.observe(pr);
+                                // Valid iff the read is still current (PW
+                                // unchanged since we read RC); the CAS
+                                // only failed because PR >= TS already.
+                                if pw != self.rc[&k] {
+                                    self.valid = false;
+                                }
+                            }
+                            _ => {
+                                self.phase = Phase::Done;
+                                return TxStep {
+                                    done: Some(TxOutcome::Failed("read validation error")),
+                                    ..Default::default()
+                                };
+                            }
+                        },
+                        PrepOp::WvCond(k) | PrepOp::Wv(k) => match &results[i].status {
+                            OpStatus::Ok => {
+                                let old = &results[i].data;
+                                let pr = Ts::from_bytes(&old[8..16]);
+                                // Only read-validated write checks are
+                                // eligible for the abort-path C-bump;
+                                // blind writes are excluded (see
+                                // `prepare_sends`).
+                                if matches!(op, PrepOp::WvCond(_)) {
+                                    self.write_checked.push(k);
+                                }
+                                // Timestamps are unique, so PR == TS can
+                                // only be this transaction's own read
+                                // validation (earlier in this chain) —
+                                // not a conflict. Abort only on a
+                                // strictly later prepared reader.
+                                if pr > self.ts {
+                                    c.clock.observe(pr);
+                                    self.valid = false;
+                                }
+                            }
+                            OpStatus::CasFailed => {
+                                let old = &results[i].data;
+                                c.clock.observe(Ts::from_bytes(&old[0..8]));
+                                self.valid = false;
+                            }
+                            // Skipped: the paired read validation did not
+                            // swap, so this transaction must abort — and,
+                            // by design, it has not poisoned PW.
+                            OpStatus::Skipped => self.valid = false,
+                            _ => {
+                                self.phase = Phase::Done;
+                                return TxStep {
+                                    done: Some(TxOutcome::Failed("write validation error")),
+                                    ..Default::default()
+                                };
+                            }
+                        },
+                    }
+                }
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    if !self.valid {
+                        self.phase = Phase::Done;
+                        return TxStep {
+                            background: self.abort_cleanup(c),
+                            done: Some(TxOutcome::Aborted),
+                            ..Default::default()
+                        };
+                    }
+                    return self.commit_sends(c);
+                }
+                TxStep::default()
+            }
+            Phase::Commit => {
+                let mut background = Vec::new();
+                for (j, _k) in req.write_keys.iter().enumerate() {
+                    let cas = &results[j * 4 + 2];
+                    let readback = &results[j * 4 + 3];
+                    match &cas.status {
+                        OpStatus::Ok => {
+                            let old = &cas.data;
+                            let old_addr = u64::from_le_bytes(old[8..16].try_into().expect("8B"));
+                            if old_addr != 0 {
+                                background.push((req.shard, TxClient::free_request(old_addr)));
+                            }
+                        }
+                        OpStatus::CasFailed => {
+                            // A newer committed writer got there first:
+                            // Thomas write rule, our buffer is garbage.
+                            if let Ok(d) = readback.expect_data() {
+                                if d.len() == 8 {
+                                    let new_addr = u64::from_le_bytes(d.try_into().expect("8B"));
+                                    background.push((req.shard, TxClient::free_request(new_addr)));
+                                }
+                            }
+                        }
+                        _ => {
+                            self.phase = Phase::Done;
+                            return TxStep {
+                                background,
+                                done: Some(TxOutcome::Failed("commit install error")),
+                                ..Default::default()
+                            };
+                        }
+                    }
+                }
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    self.phase = Phase::Done;
+                    return TxStep {
+                        background,
+                        done: Some(TxOutcome::Committed(self.values.clone())),
+                        ..Default::default()
+                    };
+                }
+                TxStep {
+                    background,
+                    ..Default::default()
+                }
+            }
+            Phase::Done => TxStep::default(),
+        }
+    }
+}
+
+/// Drives a transaction attempt to completion against local shards
+/// (live mode / tests).
+pub fn drive(cluster: &TxCluster, client: &mut TxClient, mut op: TxOp, first: TxStep) -> TxOutcome {
+    use prism_core::msg::execute_local;
+    let mut queue = first.send;
+    let mut bg = first.background;
+    let mut outcome = first.done;
+    while let Some((shard, phase, idx, req)) = queue.pop() {
+        for (s, breq) in bg.drain(..) {
+            execute_local(cluster.shard(s).server(), &breq);
+        }
+        let reply = execute_local(cluster.shard(shard).server(), &req);
+        let step = op.on_reply(client, phase, idx, reply);
+        queue.extend(step.send);
+        bg.extend(step.background);
+        if outcome.is_none() {
+            outcome = step.done;
+        }
+    }
+    for (s, breq) in bg.drain(..) {
+        execute_local(cluster.shard(s).server(), &breq);
+    }
+    outcome.unwrap_or(TxOutcome::Failed("drive finished without outcome"))
+}
+
+/// Convenience: run a read-modify-write transaction with retries until
+/// it commits or the budget is spent. The writes are computed from the
+/// same execution reads the transaction validates (a single deferred
+/// transaction, not read-then-write-again). Returns
+/// `(outcome, attempts)`.
+pub fn run_rmw(
+    cluster: &TxCluster,
+    client: &mut TxClient,
+    keys: &[u64],
+    mk_value: impl Fn(u64, &HashMap<u64, Vec<u8>>) -> Vec<u8>,
+    max_attempts: u32,
+) -> (TxOutcome, u32) {
+    use prism_core::msg::execute_local;
+    for attempt in 1..=max_attempts {
+        let (mut op, step) = client.begin_rmw(keys.to_vec());
+        // Drive the execution phase until the machine asks for writes.
+        let mut queue = step.send;
+        let mut awaiting = step.awaiting_writes;
+        while !awaiting {
+            let Some((shard, phase, idx, req)) = queue.pop() else {
+                return (TxOutcome::Failed("execution stalled"), attempt);
+            };
+            let reply = execute_local(cluster.shard(shard).server(), &req);
+            let s = op.on_reply(client, phase, idx, reply);
+            if s.done.is_some() {
+                return (s.done.expect("just checked"), attempt);
+            }
+            queue.extend(s.send);
+            awaiting = s.awaiting_writes;
+        }
+        let writes: Vec<_> = keys
+            .iter()
+            .map(|&k| (k, mk_value(k, op.values())))
+            .collect();
+        let step = op.supply_writes(client, writes);
+        match drive(cluster, client, op, step) {
+            TxOutcome::Committed(v) => return (TxOutcome::Committed(v), attempt),
+            TxOutcome::Aborted => continue,
+            f => return (f, attempt),
+        }
+    }
+    (TxOutcome::Aborted, max_attempts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(shards: usize, keys_per_shard: u64) -> TxCluster {
+        TxCluster::new(shards, &TxConfig::paper(keys_per_shard, 32))
+    }
+
+    fn commit_write(cl: &TxCluster, c: &mut TxClient, k: u64, val: Vec<u8>) -> TxOutcome {
+        let (op, step) = c.begin(vec![k], vec![(k, val)]);
+        drive(cl, c, op, step)
+    }
+
+    fn read_keys(cl: &TxCluster, c: &mut TxClient, keys: &[u64]) -> HashMap<u64, Vec<u8>> {
+        let (op, step) = c.begin(keys.to_vec(), vec![]);
+        match drive(cl, c, op, step) {
+            TxOutcome::Committed(v) => v,
+            o => panic!("read-only txn must commit, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_keys_read_zeroes() {
+        let cl = cluster(1, 8);
+        let mut c = cl.open_client();
+        let vals = read_keys(&cl, &mut c, &[0, 3, 7]);
+        assert_eq!(vals[&3], vec![0u8; 32]);
+    }
+
+    #[test]
+    fn rmw_commits_and_is_visible() {
+        let cl = cluster(1, 8);
+        let mut c = cl.open_client();
+        assert!(matches!(
+            commit_write(&cl, &mut c, 2, vec![9u8; 32]),
+            TxOutcome::Committed(_)
+        ));
+        let vals = read_keys(&cl, &mut c, &[2]);
+        assert_eq!(vals[&2], vec![9u8; 32]);
+    }
+
+    #[test]
+    fn multi_key_multi_shard_transaction() {
+        let cl = cluster(3, 8);
+        let mut c = cl.open_client();
+        let (op, step) = c.begin(
+            vec![0, 1, 2, 10],
+            vec![
+                (0, vec![1; 32]),
+                (1, vec![2; 32]),
+                (2, vec![3; 32]),
+                (10, vec![4; 32]),
+            ],
+        );
+        assert!(matches!(
+            drive(&cl, &mut c, op, step),
+            TxOutcome::Committed(_)
+        ));
+        let vals = read_keys(&cl, &mut c, &[0, 1, 2, 10]);
+        assert_eq!(vals[&0], vec![1; 32]);
+        assert_eq!(vals[&10], vec![4; 32]);
+    }
+
+    #[test]
+    fn stale_read_aborts() {
+        let cl = cluster(1, 8);
+        let mut c1 = cl.open_client();
+        let mut c2 = cl.open_client();
+        // c1 reads key 0...
+        let (op1, step1) = c1.begin(vec![0], vec![]);
+        let v = match drive(&cl, &mut c1, op1, step1) {
+            TxOutcome::Committed(v) => v,
+            o => panic!("{o:?}"),
+        };
+        // ...c2 commits a write to key 0...
+        assert!(matches!(
+            commit_write(&cl, &mut c2, 0, vec![5u8; 32]),
+            TxOutcome::Committed(_)
+        ));
+        let _ = v;
+        // ...then c1 interleaves: it executes its reads, c2 commits a
+        // conflicting write, and c1's prepare must fail read validation.
+        let (mut op, step) = c1.begin(vec![0], vec![(0, vec![7u8; 32])]);
+        // Drive only the execution phase manually.
+        let mut queue = step.send;
+        let mut prepare_step = None;
+        while let Some((shard, phase, idx, req)) = queue.pop() {
+            let reply = prism_core::msg::execute_local(cl.shard(shard).server(), &req);
+            let s = op.on_reply(&mut c1, phase, idx, reply);
+            if s.send.iter().any(|(_, p, _, _)| *p == PH_PREPARE) {
+                prepare_step = Some(s);
+                break;
+            }
+            queue.extend(s.send);
+        }
+        let prepare_step = prepare_step.expect("reached prepare");
+        // Now c2 commits a conflicting write.
+        assert!(matches!(
+            commit_write(&cl, &mut c2, 0, vec![6u8; 32]),
+            TxOutcome::Committed(_)
+        ));
+        // c1's prepare must now fail read validation.
+        let outcome = drive(&cl, &mut c1, op, prepare_step);
+        assert_eq!(outcome, TxOutcome::Aborted);
+        // And the key holds c2's value.
+        let mut c3 = cl.open_client();
+        assert_eq!(read_keys(&cl, &mut c3, &[0])[&0], vec![6u8; 32]);
+    }
+
+    #[test]
+    fn aborted_writer_does_not_clobber() {
+        let cl = cluster(1, 4);
+        let mut c1 = cl.open_client();
+        let mut c2 = cl.open_client();
+        commit_write(&cl, &mut c1, 1, vec![1u8; 32]);
+        // c2 executes + prepares, then c1 sneaks a newer commit in, so
+        // c2's commit-phase CAS (TS > C) must not install.
+        let (mut op, step) = c2.begin(vec![1], vec![(1, vec![2u8; 32])]);
+        let mut queue = step.send;
+        let mut commit_step = None;
+        while let Some((shard, phase, idx, req)) = queue.pop() {
+            let reply = prism_core::msg::execute_local(cl.shard(shard).server(), &req);
+            let s = op.on_reply(&mut c2, phase, idx, reply);
+            if s.send.iter().any(|(_, p, _, _)| *p == PH_COMMIT) {
+                commit_step = Some(s);
+                break;
+            }
+            queue.extend(s.send);
+        }
+        let commit_step = commit_step.expect("validated");
+        // c1 commits a *blind* write with a later timestamp than c2's
+        // TS. (A read-validating write would block behind c2's prepared
+        // PW until some commit advances C — the documented conservative
+        // behaviour.) Its first attempt may abort on TS <= PW; the
+        // observed clock advance makes the retry succeed.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let (op, step) = c1.begin(vec![], vec![(1, vec![3u8; 32])]);
+            match drive(&cl, &mut c1, op, step) {
+                TxOutcome::Committed(_) => break,
+                TxOutcome::Aborted if attempts < 5 => continue,
+                o => panic!("{o:?}"),
+            }
+        }
+        // Now c2's install CAS fails (C advanced past its TS), but the
+        // transaction still reports committed per the Thomas write rule.
+        let outcome = drive(&cl, &mut c2, op, commit_step);
+        assert!(matches!(outcome, TxOutcome::Committed(_)));
+        let mut c3 = cl.open_client();
+        assert_eq!(read_keys(&cl, &mut c3, &[1])[&1], vec![3u8; 32]);
+    }
+
+    #[test]
+    fn run_rmw_increments_counter_atomically() {
+        let cl = cluster(1, 4);
+        let mut c = cl.open_client();
+        for _ in 0..10 {
+            let (o, _) = run_rmw(
+                &cl,
+                &mut c,
+                &[0],
+                |_, vals| {
+                    let mut v = vals[&0].clone();
+                    v[0] += 1;
+                    v
+                },
+                10,
+            );
+            assert!(matches!(o, TxOutcome::Committed(_)));
+        }
+        assert_eq!(read_keys(&cl, &mut c, &[0])[&0][0], 10);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_serializable() {
+        use std::sync::Arc;
+        let cl = Arc::new(cluster(2, 8));
+        let per_thread = 25;
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let cl = Arc::clone(&cl);
+                std::thread::spawn(move || {
+                    let mut c = cl.open_client();
+                    let mut committed = 0;
+                    while committed < per_thread {
+                        let (o, _) = run_rmw(
+                            &cl,
+                            &mut c,
+                            &[3],
+                            |_, vals| {
+                                let mut v = vals[&3].clone();
+                                let n = u32::from_le_bytes(v[0..4].try_into().unwrap());
+                                v[0..4].copy_from_slice(&(n + 1).to_le_bytes());
+                                v
+                            },
+                            1_000,
+                        );
+                        if matches!(o, TxOutcome::Committed(_)) {
+                            committed += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut c = cl.open_client();
+        let v = &read_keys(&cl, &mut c, &[3])[&3];
+        let n = u32::from_le_bytes(v[0..4].try_into().unwrap());
+        assert_eq!(n, 100, "lost update detected");
+    }
+
+    #[test]
+    fn cross_key_invariant_preserved() {
+        // Transfer between two "accounts" on different shards; total must
+        // be conserved under concurrency.
+        use std::sync::Arc;
+        let cl = Arc::new(cluster(2, 4));
+        {
+            let mut c = cl.open_client();
+            let mut v = vec![0u8; 32];
+            v[0..4].copy_from_slice(&100u32.to_le_bytes());
+            assert!(matches!(
+                commit_write(&cl, &mut c, 0, v.clone()),
+                TxOutcome::Committed(_)
+            ));
+            assert!(matches!(
+                commit_write(&cl, &mut c, 1, v),
+                TxOutcome::Committed(_)
+            ));
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let cl = Arc::clone(&cl);
+                std::thread::spawn(move || {
+                    let mut c = cl.open_client();
+                    let mut done = 0;
+                    while done < 20 {
+                        let amount = (t + 1) as u32;
+                        let (o, _) = run_rmw(
+                            &cl,
+                            &mut c,
+                            &[0, 1],
+                            move |k, vals| {
+                                let a = u32::from_le_bytes(vals[&0][0..4].try_into().unwrap());
+                                let b = u32::from_le_bytes(vals[&1][0..4].try_into().unwrap());
+                                let (na, nb) = if a >= amount {
+                                    (a - amount, b + amount)
+                                } else {
+                                    (a, b)
+                                };
+                                let mut v = vals[&k].clone();
+                                v[0..4]
+                                    .copy_from_slice(&(if k == 0 { na } else { nb }).to_le_bytes());
+                                v
+                            },
+                            1_000,
+                        );
+                        if matches!(o, TxOutcome::Committed(_)) {
+                            done += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut c = cl.open_client();
+        let vals = read_keys(&cl, &mut c, &[0, 1]);
+        let a = u32::from_le_bytes(vals[&0][0..4].try_into().unwrap());
+        let b = u32::from_le_bytes(vals[&1][0..4].try_into().unwrap());
+        assert_eq!(a + b, 200, "money was created or destroyed");
+    }
+
+    #[test]
+    fn buffers_are_reclaimed() {
+        let cl = TxCluster::new(
+            1,
+            &TxConfig {
+                keys_per_shard: 2,
+                value_len: 32,
+                spare_buffers: 4,
+            },
+        );
+        let mut c = cl.open_client();
+        for i in 0..100u8 {
+            let o = commit_write(&cl, &mut c, 0, vec![i; 32]);
+            assert!(
+                matches!(o, TxOutcome::Committed(_)),
+                "write {i} failed: {o:?} (buffer leak?)"
+            );
+        }
+    }
+}

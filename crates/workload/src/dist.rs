@@ -1,0 +1,227 @@
+//! Key popularity distributions: uniform and Zipfian.
+//!
+//! The Zipfian generator is the standard YCSB construction (Gray et al.,
+//! "Quickly generating billion-record synthetic databases"): rank 0 is
+//! the most popular key, and popularity decays as `1/rank^theta`. The
+//! paper sweeps the Zipf coefficient from 0 (uniform) to ~1.5 in
+//! Figures 7 and 10.
+
+use prism_simnet::rng::SimRng;
+
+/// A distribution over the key space `[0, n)`.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform {
+        /// Number of keys.
+        n: u64,
+    },
+    /// Zipfian with the given coefficient.
+    Zipf(ZipfGen),
+}
+
+impl KeyDist {
+    /// Uniform distribution over `n` keys.
+    pub fn uniform(n: u64) -> Self {
+        KeyDist::Uniform { n }
+    }
+
+    /// Zipfian distribution over `n` keys with coefficient `theta`.
+    /// `theta == 0` degenerates to uniform.
+    pub fn zipf(n: u64, theta: f64) -> Self {
+        if theta == 0.0 {
+            KeyDist::Uniform { n }
+        } else {
+            KeyDist::Zipf(ZipfGen::new(n, theta))
+        }
+    }
+
+    /// Number of keys in the space.
+    pub fn n(&self) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => *n,
+            KeyDist::Zipf(z) => z.n,
+        }
+    }
+
+    /// Samples one key.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.gen_range(*n),
+            KeyDist::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
+/// YCSB-style Zipfian generator with precomputed constants.
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl ZipfGen {
+    /// Builds a generator over `[0, n)` with coefficient `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `theta <= 0`, or `theta == 1` (the harmonic
+    /// special case; pass 0.99 or 1.01 as YCSB does).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "ZipfGen: empty key space");
+        assert!(
+            theta > 0.0 && (theta - 1.0).abs() > 1e-9,
+            "ZipfGen: theta must be positive and != 1"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfGen {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            half_pow_theta: 0.5f64.powf(theta),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; Euler–Maclaurin tail approximation for
+        // large n keeps construction fast for 8M-key spaces.
+        const DIRECT: u64 = 1_000_000;
+        if n <= DIRECT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=DIRECT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // integral_{DIRECT}^{n} x^-theta dx + midpoint correction
+            let a = DIRECT as f64;
+            let b = n as f64;
+            let integral = (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+            head + integral + 0.5 * (b.powf(-theta) - a.powf(-theta))
+        }
+    }
+
+    /// Samples a key rank (0 = most popular).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + self.half_pow_theta {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The Zipf coefficient.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_space_evenly() {
+        let d = KeyDist::uniform(10);
+        let mut rng = SimRng::new(1);
+        let mut counts = [0u64; 10];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let d = KeyDist::zipf(1_000, 0.99);
+        let mut rng = SimRng::new(2);
+        let mut top = 0u64;
+        let total = 100_000;
+        for _ in 0..total {
+            if d.sample(&mut rng) < 10 {
+                top += 1;
+            }
+        }
+        // With theta=0.99 over 1000 keys, the top-10 keys draw a large
+        // constant fraction of accesses.
+        assert!(
+            top as f64 / total as f64 > 0.3,
+            "top-10 fraction {}",
+            top as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_decay() {
+        let z = ZipfGen::new(100, 0.99);
+        let mut rng = SimRng::new(3);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[40]);
+        // Ratio of rank-0 to rank-9 should be near 10^0.99 ≈ 9.8.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!((4.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        for theta in [0.5, 0.9, 0.99, 1.2, 1.5] {
+            let z = ZipfGen::new(37, theta);
+            let mut rng = SimRng::new(4);
+            for _ in 0..10_000 {
+                assert!(z.sample(&mut rng) < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn zeta_tail_approximation_is_accurate() {
+        // Compare the approximated zeta against a direct sum just above
+        // the crossover.
+        let direct: f64 = (1..=1_100_000u64)
+            .map(|i| 1.0 / (i as f64).powf(0.99))
+            .sum();
+        let approx = ZipfGen::zeta(1_100_000, 0.99);
+        assert!(
+            ((direct - approx) / direct).abs() < 1e-6,
+            "direct {direct} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        assert!(matches!(KeyDist::zipf(10, 0.0), KeyDist::Uniform { n: 10 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be positive and != 1")]
+    fn theta_one_rejected() {
+        ZipfGen::new(10, 1.0);
+    }
+
+    #[test]
+    fn large_keyspace_constructs_quickly() {
+        // 8M keys (the paper's object count) must not take seconds.
+        let start = std::time::Instant::now();
+        let z = ZipfGen::new(8_000_000, 0.99);
+        assert!(start.elapsed().as_secs() < 2);
+        let mut rng = SimRng::new(5);
+        assert!(z.sample(&mut rng) < 8_000_000);
+    }
+}

@@ -1,0 +1,19 @@
+//! Workload generators for the PRISM reproduction's experiments.
+//!
+//! The paper evaluates on YCSB workloads A (50 % reads / 50 % writes) and
+//! C (100 % reads) with 8 million 512-byte objects (§6.2), a 50 %-write
+//! replicated block workload with uniform and Zipf key popularity (§7.4),
+//! and YCSB-T read-modify-write transactions (§8.3). This crate provides
+//! the key distributions and operation streams for all of them,
+//! deterministic under [`prism_simnet::rng::SimRng`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod ycsb;
+pub mod ycsbt;
+
+pub use dist::KeyDist;
+pub use ycsb::{KvOp, YcsbConfig, YcsbGen};
+pub use ycsbt::{TxnGen, TxnSpec};

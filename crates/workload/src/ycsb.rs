@@ -1,0 +1,165 @@
+//! YCSB-style key-value operation streams.
+//!
+//! Workload C is 100 % reads; workload A is a 50/50 read/update mix
+//! (§6.2). Objects are 512 bytes with 8-byte keys in the paper's runs;
+//! sizes are configurable here.
+
+use prism_simnet::rng::SimRng;
+
+use crate::dist::KeyDist;
+
+/// One key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read the key.
+    Get(u64),
+    /// Overwrite the key with a fresh value.
+    Put(u64),
+}
+
+impl KvOp {
+    /// The key this operation touches.
+    pub fn key(self) -> u64 {
+        match self {
+            KvOp::Get(k) | KvOp::Put(k) => k,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_get(self) -> bool {
+        matches!(self, KvOp::Get(_))
+    }
+}
+
+/// Parameters of a YCSB run.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Key popularity distribution.
+    pub dist: KeyDist,
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Value size in bytes (512 in the paper).
+    pub value_len: usize,
+}
+
+impl YcsbConfig {
+    /// YCSB-C: 100 % reads, uniform (§6.2, Figure 3).
+    pub fn workload_c(n_keys: u64, value_len: usize) -> Self {
+        YcsbConfig {
+            dist: KeyDist::uniform(n_keys),
+            read_fraction: 1.0,
+            value_len,
+        }
+    }
+
+    /// YCSB-A: 50 % reads / 50 % updates, uniform (§6.2, Figure 4).
+    pub fn workload_a(n_keys: u64, value_len: usize) -> Self {
+        YcsbConfig {
+            dist: KeyDist::uniform(n_keys),
+            read_fraction: 0.5,
+            value_len,
+        }
+    }
+}
+
+/// A deterministic YCSB operation stream.
+#[derive(Debug, Clone)]
+pub struct YcsbGen {
+    config: YcsbConfig,
+    rng: SimRng,
+}
+
+impl YcsbGen {
+    /// Creates a generator with its own RNG stream.
+    pub fn new(config: YcsbConfig, rng: SimRng) -> Self {
+        YcsbGen { config, rng }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        let key = self.config.dist.sample(&mut self.rng);
+        if self.rng.gen_bool(self.config.read_fraction) {
+            KvOp::Get(key)
+        } else {
+            KvOp::Put(key)
+        }
+    }
+
+    /// A fresh value for a PUT: `value_len` bytes derived from the key
+    /// and a nonce so successive writes are distinguishable.
+    pub fn value_for(&mut self, key: u64) -> Vec<u8> {
+        let nonce = self.rng.next_u64();
+        value_bytes(key, nonce, self.config.value_len)
+    }
+}
+
+/// Deterministic value payload: repeating 16-byte pattern of
+/// `key || nonce`, so tests can verify reads against writes.
+pub fn value_bytes(key: u64, nonce: u64, len: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(len);
+    while v.len() < len {
+        v.extend_from_slice(&key.to_le_bytes());
+        v.extend_from_slice(&nonce.to_le_bytes());
+    }
+    v.truncate(len);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_c_is_all_reads() {
+        let mut g = YcsbGen::new(YcsbConfig::workload_c(100, 64), SimRng::new(1));
+        for _ in 0..1_000 {
+            assert!(g.next_op().is_get());
+        }
+    }
+
+    #[test]
+    fn workload_a_is_half_reads() {
+        let mut g = YcsbGen::new(YcsbConfig::workload_a(100, 64), SimRng::new(2));
+        let reads = (0..100_000).filter(|_| g.next_op().is_get()).count();
+        assert!((45_000..55_000).contains(&reads), "reads {reads}");
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut g = YcsbGen::new(YcsbConfig::workload_a(17, 8), SimRng::new(3));
+        for _ in 0..10_000 {
+            assert!(g.next_op().key() < 17);
+        }
+    }
+
+    #[test]
+    fn values_have_requested_length_and_vary() {
+        let mut g = YcsbGen::new(YcsbConfig::workload_a(10, 512), SimRng::new(4));
+        let a = g.value_for(3);
+        let b = g.value_for(3);
+        assert_eq!(a.len(), 512);
+        assert_ne!(a, b, "nonce must distinguish successive writes");
+        assert_eq!(&a[..8], &3u64.to_le_bytes());
+    }
+
+    #[test]
+    fn value_bytes_is_deterministic() {
+        assert_eq!(value_bytes(7, 9, 40), value_bytes(7, 9, 40));
+        assert_eq!(value_bytes(7, 9, 3).len(), 3);
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut g = YcsbGen::new(YcsbConfig::workload_a(1000, 8), SimRng::new(seed));
+            (0..50).map(|_| g.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(9), mk(9));
+        assert_ne!(mk(9), mk(10));
+    }
+}

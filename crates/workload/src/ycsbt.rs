@@ -1,0 +1,133 @@
+//! YCSB-T transaction workload (§8.3).
+//!
+//! The paper evaluates PRISM-TX on YCSB-T "consisting of short
+//! read-modify-write transactions" over 8 million 512-byte objects. A
+//! transaction reads a small set of keys and writes them back; key
+//! popularity follows the configured distribution. Figure 10 sweeps the
+//! Zipf coefficient to vary contention.
+
+use prism_simnet::rng::SimRng;
+
+use crate::dist::KeyDist;
+
+/// One transaction: read every key in `keys`, then write them all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSpec {
+    /// Distinct keys the transaction reads and then updates.
+    pub keys: Vec<u64>,
+}
+
+impl TxnSpec {
+    /// Number of operations (reads + writes) the transaction performs.
+    pub fn op_count(&self) -> usize {
+        self.keys.len() * 2
+    }
+}
+
+/// Deterministic YCSB-T transaction stream.
+#[derive(Debug, Clone)]
+pub struct TxnGen {
+    dist: KeyDist,
+    keys_per_txn: usize,
+    value_len: usize,
+    rng: SimRng,
+}
+
+impl TxnGen {
+    /// Creates a generator: `keys_per_txn` distinct keys per transaction
+    /// (the "short" RMW transactions of §8.3 — we default to 2 in the
+    /// harness), values of `value_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys_per_txn` is zero or exceeds the key space.
+    pub fn new(dist: KeyDist, keys_per_txn: usize, value_len: usize, rng: SimRng) -> Self {
+        assert!(keys_per_txn > 0, "TxnGen: empty transactions");
+        assert!(
+            (keys_per_txn as u64) <= dist.n(),
+            "TxnGen: more keys per txn than keys"
+        );
+        TxnGen {
+            dist,
+            keys_per_txn,
+            value_len,
+            rng,
+        }
+    }
+
+    /// Value length for writes.
+    pub fn value_len(&self) -> usize {
+        self.value_len
+    }
+
+    /// Draws the next transaction. Keys within one transaction are
+    /// distinct and sorted (sorted access order is the standard deadlock-
+    /// avoidance discipline; PRISM-TX does not need it for correctness
+    /// but FaRM's lock phase benchmarks fairly with it).
+    pub fn next_txn(&mut self) -> TxnSpec {
+        let mut keys = Vec::with_capacity(self.keys_per_txn);
+        while keys.len() < self.keys_per_txn {
+            let k = self.dist.sample(&mut self.rng);
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        keys.sort_unstable();
+        TxnSpec { keys }
+    }
+
+    /// A fresh value for one write.
+    pub fn value_for(&mut self, key: u64) -> Vec<u8> {
+        let nonce = self.rng.next_u64();
+        crate::ycsb::value_bytes(key, nonce, self.value_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_distinct_and_sorted() {
+        let mut g = TxnGen::new(KeyDist::uniform(100), 4, 64, SimRng::new(1));
+        for _ in 0..1_000 {
+            let t = g.next_txn();
+            assert_eq!(t.keys.len(), 4);
+            for w in t.keys.windows(2) {
+                assert!(w[0] < w[1], "keys must be sorted and distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn op_count_counts_reads_and_writes() {
+        let t = TxnSpec {
+            keys: vec![1, 2, 3],
+        };
+        assert_eq!(t.op_count(), 6);
+    }
+
+    #[test]
+    fn zipf_transactions_hit_hot_keys() {
+        let mut g = TxnGen::new(KeyDist::zipf(1_000, 0.99), 2, 64, SimRng::new(2));
+        let hot = (0..10_000)
+            .filter(|_| g.next_txn().keys.iter().any(|&k| k < 10))
+            .count();
+        assert!(hot > 4_000, "hot-key transactions: {hot}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = |seed| {
+            let mut g = TxnGen::new(KeyDist::uniform(50), 3, 8, SimRng::new(seed));
+            (0..20).map(|_| g.next_txn()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(7), mk(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "more keys per txn")]
+    fn oversized_txn_rejected() {
+        TxnGen::new(KeyDist::uniform(2), 3, 8, SimRng::new(1));
+    }
+}

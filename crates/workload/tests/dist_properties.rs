@@ -1,0 +1,69 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+
+use prism_simnet::rng::SimRng;
+use prism_workload::dist::{KeyDist, ZipfGen};
+use prism_workload::{TxnGen, YcsbConfig, YcsbGen};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zipf samples always fall in range for any (n, theta).
+    #[test]
+    fn zipf_in_range(n in 1u64..100_000, theta in 0.01f64..1.8, seed in any::<u64>()) {
+        prop_assume!((theta - 1.0).abs() > 1e-6);
+        let z = ZipfGen::new(n, theta);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Higher theta concentrates more mass on rank 0.
+    #[test]
+    fn zipf_skew_monotone(seed in any::<u64>()) {
+        let n = 1000u64;
+        let count_rank0 = |theta: f64| {
+            let z = ZipfGen::new(n, theta);
+            let mut rng = SimRng::new(seed);
+            (0..20_000).filter(|_| z.sample(&mut rng) == 0).count()
+        };
+        let low = count_rank0(0.5);
+        let high = count_rank0(1.4);
+        prop_assert!(high > low, "rank-0 hits: theta=0.5 {low}, theta=1.4 {high}");
+    }
+
+    /// YCSB op streams respect the configured read fraction within
+    /// statistical tolerance.
+    #[test]
+    fn ycsb_read_fraction(frac in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut g = YcsbGen::new(
+            YcsbConfig { dist: KeyDist::uniform(100), read_fraction: frac, value_len: 8 },
+            SimRng::new(seed),
+        );
+        let n = 5_000;
+        let reads = (0..n).filter(|_| g.next_op().is_get()).count();
+        let observed = reads as f64 / n as f64;
+        prop_assert!((observed - frac).abs() < 0.05, "frac {frac} observed {observed}");
+    }
+
+    /// Transactions always contain the requested number of distinct,
+    /// sorted, in-range keys.
+    #[test]
+    fn txn_keys_well_formed(
+        n in 4u64..10_000,
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut g = TxnGen::new(KeyDist::uniform(n), k, 8, SimRng::new(seed));
+        for _ in 0..50 {
+            let t = g.next_txn();
+            prop_assert_eq!(t.keys.len(), k);
+            for w in t.keys.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(t.keys.iter().all(|&key| key < n));
+        }
+    }
+}

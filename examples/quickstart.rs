@@ -1,0 +1,130 @@
+//! Quickstart: the four PRISM primitives, straight from Table 1.
+//!
+//! Sets up a PRISM-capable host, then walks through indirection,
+//! allocation, the enhanced CAS, and operation chaining — ending with
+//! the paper's signature pattern: an out-of-place update installed in a
+//! single round trip (§3.5).
+//!
+//! Run with: `cargo run -p prism-harness --example quickstart`
+
+use prism_core::builder::{ops, ChainBuilder};
+use prism_core::op::{field_mask, full_mask, DataArg, FreeListId, Redirect};
+use prism_core::server::PrismServer;
+use prism_core::value::CasMode;
+use prism_core::OpStatus;
+use prism_rdma::region::AccessFlags;
+
+fn main() {
+    // A host with 1 MiB of registerable memory. In the paper this is a
+    // machine with an RDMA NIC; here it is the simulated equivalent.
+    let server = PrismServer::new(1 << 20);
+
+    // Register a data region and a free list of 64-byte buffers — the
+    // control-plane setup a real server performs once (§3.2).
+    let (data, rkey) = server.carve_region(4096, 64, AccessFlags::FULL);
+    let freelist = FreeListId(0);
+    server.setup_freelist(freelist, 64, 16);
+    let conn = server.open_connection();
+    println!("host ready: data region at {data:#x}, rkey {}", rkey.0);
+
+    // --- 1. Indirection (§3.1) -----------------------------------------
+    // Store a value out of line and a pointer to it; one indirect READ
+    // follows the pointer server-side instead of costing a round trip.
+    let object = data + 1024;
+    server.arena().write(object, b"hello, PRISM").unwrap();
+    server.arena().write_u64(data, object).unwrap();
+
+    let results = server.execute_chain(&[ops::read_indirect(data, 12, rkey.0)]);
+    println!(
+        "indirect READ  -> {:?}",
+        String::from_utf8_lossy(results[0].expect_data().unwrap())
+    );
+
+    // Bounded pointers clamp variable-length reads: store (ptr, bound).
+    server.arena().write_u64(data + 8, 5).unwrap(); // bound = 5
+    let results = server.execute_chain(&[ops::read_indirect_bounded(data, 512, rkey.0)]);
+    println!(
+        "bounded READ   -> {:?} (asked for 512, bound said 5)",
+        String::from_utf8_lossy(results[0].expect_data().unwrap())
+    );
+
+    // --- 2. Allocation (§3.2) ------------------------------------------
+    let results = server.execute_chain(&[ops::allocate(freelist, b"fresh buffer".to_vec())]);
+    let buf = u64::from_le_bytes(results[0].expect_data().unwrap().try_into().unwrap());
+    println!("ALLOCATE       -> buffer at {buf:#x}");
+
+    // --- 3. Enhanced CAS (§3.3) ----------------------------------------
+    // A 16-byte versioned word: [version (BE) | payload]. Compare only
+    // the version field with an arithmetic mode, swap the whole word.
+    let word = data + 2048;
+    let mut v1 = 1u64.to_be_bytes().to_vec();
+    v1.extend_from_slice(b"payload1");
+    server.arena().write(word, &v1).unwrap();
+
+    let mut v2 = 2u64.to_be_bytes().to_vec();
+    v2.extend_from_slice(b"payload2");
+    let install_newer = ops::cas(
+        CasMode::Lt, // succeed iff current version < new version
+        word,
+        rkey.0,
+        v2.clone(),
+        v2.clone(),
+        16,
+        field_mask(0, 8),
+        full_mask(16),
+    );
+    let r = server.execute_chain(&[install_newer.clone()]);
+    println!("CAS v1 -> v2   -> {:?}", r[0].status);
+    let r = server.execute_chain(&[install_newer]);
+    println!(
+        "CAS v2 -> v2   -> {:?} (stale install rejected)",
+        r[0].status
+    );
+
+    // --- 4. Chaining (§3.4 / §3.5) --------------------------------------
+    // The one-round-trip out-of-place update: ALLOCATE a new version,
+    // redirect its address into connection scratch, then conditionally
+    // CAS the pointer slot if it still holds what we last saw.
+    let slot = data + 3072;
+    let old_ptr = 0u64; // slot starts empty
+    let scratch = Redirect {
+        addr: conn.scratch_addr,
+        rkey: conn.scratch_rkey.0,
+    };
+    let chain = ChainBuilder::new()
+        .then(ops::allocate(freelist, b"version-1 data".to_vec()).redirect(scratch))
+        .then(
+            ops::cas_args(
+                CasMode::Eq,
+                slot,
+                rkey.0,
+                DataArg::Inline(old_ptr.to_le_bytes().to_vec()),
+                DataArg::Remote {
+                    addr: scratch.addr,
+                    rkey: scratch.rkey,
+                },
+                8,
+                full_mask(8),
+                full_mask(8),
+            )
+            .conditional(),
+        )
+        .build();
+    let results = server.execute_chain(&chain);
+    assert!(results.iter().all(|r| r.status == OpStatus::Ok));
+    let installed = server.arena().read_u64(slot).unwrap();
+    println!(
+        "chained update -> slot now points at {installed:#x}: {:?}",
+        String::from_utf8_lossy(&server.arena().read(installed, 14).unwrap())
+    );
+
+    // A losing race: the same chain with a stale expected pointer gets
+    // its CAS skipped/failed and the slot is untouched.
+    let results = server.execute_chain(&chain);
+    println!(
+        "racing update  -> CAS status {:?}, slot unchanged at {installed:#x}",
+        results[1].status
+    );
+    assert_eq!(server.arena().read_u64(slot).unwrap(), installed);
+    println!("done.");
+}

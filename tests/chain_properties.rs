@@ -1,0 +1,274 @@
+//! Property-based tests over the PRISM core: wire-format round trips,
+//! enhanced-CAS algebra against a reference model, free-list integrity,
+//! and conditional-chain semantics.
+
+use proptest::prelude::*;
+
+use prism_core::builder::ops;
+use prism_core::op::{DataArg, FreeListId, PrismOp, Redirect, MAX_CAS_LEN};
+use prism_core::server::PrismServer;
+use prism_core::value::{cas_compare, cas_swap, CasMode};
+use prism_core::wire;
+use prism_core::OpStatus;
+use prism_rdma::region::AccessFlags;
+
+fn arb_mode() -> impl Strategy<Value = CasMode> {
+    prop_oneof![
+        Just(CasMode::Eq),
+        Just(CasMode::Ne),
+        Just(CasMode::Lt),
+        Just(CasMode::Le),
+        Just(CasMode::Gt),
+        Just(CasMode::Ge),
+    ]
+}
+
+fn arb_redirect() -> impl Strategy<Value = Option<Redirect>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<u32>()).prop_map(|(addr, rkey)| Some(Redirect { addr, rkey })),
+    ]
+}
+
+fn arb_data_arg() -> impl Strategy<Value = DataArg> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(DataArg::Inline),
+        (any::<u64>(), any::<u32>()).prop_map(|(addr, rkey)| DataArg::Remote { addr, rkey }),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = PrismOp> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            arb_redirect()
+        )
+            .prop_map(
+                |(addr, len, rkey, indirect, bounded, conditional, redirect)| PrismOp::Read {
+                    addr,
+                    len,
+                    rkey,
+                    indirect,
+                    bounded,
+                    conditional,
+                    redirect,
+                }
+            ),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            arb_data_arg(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(addr, rkey, data, len, addr_indirect, addr_bounded, conditional)| {
+                    PrismOp::Write {
+                        addr,
+                        rkey,
+                        data,
+                        len,
+                        addr_indirect,
+                        addr_bounded,
+                        conditional,
+                    }
+                }
+            ),
+        (
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+            any::<bool>(),
+            arb_redirect()
+        )
+            .prop_map(|(fl, data, conditional, redirect)| PrismOp::Allocate {
+                freelist: FreeListId(fl),
+                data,
+                conditional,
+                redirect,
+            }),
+        (
+            arb_mode(),
+            any::<u64>(),
+            any::<u32>(),
+            arb_data_arg(),
+            arb_data_arg(),
+            0u32..=32,
+            proptest::collection::vec(any::<u8>(), MAX_CAS_LEN),
+            proptest::collection::vec(any::<u8>(), MAX_CAS_LEN),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(mode, target, rkey, compare, swap, len, cm, sm, target_indirect, conditional)| {
+                    PrismOp::Cas {
+                        mode,
+                        target,
+                        rkey,
+                        compare,
+                        swap,
+                        len,
+                        compare_mask: cm.try_into().expect("sized"),
+                        swap_mask: sm.try_into().expect("sized"),
+                        target_indirect,
+                        conditional,
+                    }
+                }
+            ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any chain survives encode/decode unchanged.
+    #[test]
+    fn wire_round_trips(chain in proptest::collection::vec(arb_op(), 0..8)) {
+        let bytes = wire::encode_chain(&chain);
+        let decoded = wire::decode_chain(&bytes).expect("decode");
+        prop_assert_eq!(decoded, chain);
+    }
+
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn wire_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode_chain(&bytes);
+        let _ = wire::decode_response(&bytes);
+    }
+
+    /// The CAS comparison agrees with a big-integer reference model.
+    #[test]
+    fn cas_compare_matches_reference(
+        mode in arb_mode(),
+        target in proptest::collection::vec(any::<u8>(), 16),
+        data in proptest::collection::vec(any::<u8>(), 16),
+        mask in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let masked = |v: &[u8]| -> u128 {
+            let mut out = [0u8; 16];
+            for i in 0..16 { out[i] = v[i] & mask[i]; }
+            u128::from_be_bytes(out)
+        };
+        let (t, d) = (masked(&target), masked(&data));
+        let expected = match mode {
+            CasMode::Eq => t == d,
+            CasMode::Ne => t != d,
+            CasMode::Lt => t < d,
+            CasMode::Le => t <= d,
+            CasMode::Gt => t > d,
+            CasMode::Ge => t >= d,
+        };
+        prop_assert_eq!(cas_compare(mode, &target, &data, &mask), expected);
+    }
+
+    /// The swap only changes masked bits, and is idempotent.
+    #[test]
+    fn cas_swap_respects_mask(
+        target in proptest::collection::vec(any::<u8>(), 16),
+        data in proptest::collection::vec(any::<u8>(), 16),
+        mask in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let mut after = target.clone();
+        cas_swap(&mut after, &data, &mask);
+        for i in 0..16 {
+            prop_assert_eq!(after[i] & !mask[i], target[i] & !mask[i], "unmasked bits changed");
+            prop_assert_eq!(after[i] & mask[i], data[i] & mask[i], "masked bits not swapped");
+        }
+        let mut twice = after.clone();
+        cas_swap(&mut twice, &data, &mask);
+        prop_assert_eq!(twice, after, "swap must be idempotent");
+    }
+
+    /// Random conditional chains of CAS ops on one word behave exactly
+    /// like a sequential reference interpreter.
+    #[test]
+    fn conditional_chains_match_reference(
+        initial in any::<u64>(),
+        steps in proptest::collection::vec((arb_mode(), any::<u64>(), any::<u64>(), any::<bool>()), 1..10),
+    ) {
+        let server = PrismServer::new(1 << 16);
+        let (addr, rkey) = server.carve_region(64, 64, AccessFlags::FULL);
+        server.arena().write(addr, &initial.to_be_bytes()).unwrap();
+
+        let chain: Vec<PrismOp> = steps
+            .iter()
+            .map(|&(mode, cmp, swp, conditional)| {
+                let mut op = ops::cas(
+                    mode,
+                    addr,
+                    rkey.0,
+                    cmp.to_be_bytes().to_vec(),
+                    swp.to_be_bytes().to_vec(),
+                    8,
+                    prism_core::op::full_mask(8),
+                    prism_core::op::full_mask(8),
+                );
+                if conditional {
+                    op = op.conditional();
+                }
+                op
+            })
+            .collect();
+        let results = server.execute_chain(&chain);
+
+        // Reference interpreter.
+        let mut word = initial;
+        let mut prev_ok = true;
+        for (i, &(mode, cmp, swp, conditional)) in steps.iter().enumerate() {
+            if conditional && !prev_ok {
+                prop_assert_eq!(&results[i].status, &OpStatus::Skipped, "step {}", i);
+                prev_ok = false;
+                continue;
+            }
+            let t = word.to_be_bytes();
+            let c = cmp.to_be_bytes();
+            let ok = cas_compare(mode, &t, &c, &[0xFF; 8]);
+            if ok {
+                prop_assert_eq!(&results[i].status, &OpStatus::Ok, "step {}", i);
+                word = swp;
+            } else {
+                prop_assert_eq!(&results[i].status, &OpStatus::CasFailed, "step {}", i);
+            }
+            prop_assert_eq!(results[i].data.as_slice(), &t, "old value at step {}", i);
+            prev_ok = ok;
+        }
+        let final_word = u64::from_be_bytes(
+            server.arena().read(addr, 8).unwrap().try_into().unwrap(),
+        );
+        prop_assert_eq!(final_word, word);
+    }
+
+    /// ALLOCATE never hands out the same buffer twice while in use, for
+    /// any interleaving of allocations and frees.
+    #[test]
+    fn allocator_integrity(script in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let server = PrismServer::new(1 << 18);
+        let fl = FreeListId(0);
+        server.setup_freelist(fl, 64, 16);
+        let mut live: Vec<u64> = Vec::new();
+        for alloc in script {
+            if alloc {
+                let r = server.execute_chain(&[ops::allocate(fl, vec![0xAB; 8])]);
+                match &r[0].status {
+                    OpStatus::Ok => {
+                        let addr = u64::from_le_bytes(r[0].data.clone().try_into().unwrap());
+                        prop_assert!(!live.contains(&addr), "double allocation of {addr:#x}");
+                        live.push(addr);
+                    }
+                    OpStatus::Error(prism_rdma::RdmaError::ReceiverNotReady) => {
+                        prop_assert_eq!(live.len(), 16, "RNR only when exhausted");
+                    }
+                    other => prop_assert!(false, "unexpected {other:?}"),
+                }
+            } else if let Some(addr) = live.pop() {
+                server.repost(fl, [addr]).unwrap();
+            }
+        }
+    }
+}

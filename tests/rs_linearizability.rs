@@ -1,0 +1,253 @@
+//! Linearizability checking for PRISM-RS.
+//!
+//! Concurrent clients run tagged operations against one register while a
+//! recorder collects `(invocation, response, value)` intervals; a
+//! Wing-Gong style checker then searches for a legal linearization of
+//! the history against a sequential register specification. Also checks
+//! crash/recovery schedules and quorum-intersection invariants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use prism_rs::prism_rs::{drive, RsCluster, RsConfig, RsOutcome};
+
+const BLOCK: u64 = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Read(u8),
+    Write(u8),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    start: u64,
+    end: u64,
+    kind: OpKind,
+}
+
+/// Wing-Gong linearizability check for a single register with u8
+/// values, initial value 0. Exponential in the worst case; histories
+/// here are small (tens of events per register).
+fn is_linearizable(history: &[Event]) -> bool {
+    fn search(
+        pending: &mut Vec<Event>,
+        state: u8,
+        done: &mut Vec<bool>,
+        history: &[Event],
+    ) -> bool {
+        if done.iter().all(|&d| d) {
+            return true;
+        }
+        // An op is a candidate to linearize next if no other un-done op
+        // *ended* before it started (i.e. it is minimal in the
+        // happens-before order among pending ops).
+        let min_end = history
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !done[*i])
+            .map(|(_, e)| e.end)
+            .min()
+            .expect("pending op exists");
+        for i in 0..history.len() {
+            if done[i] || history[i].start > min_end {
+                continue;
+            }
+            let e = history[i];
+            let next_state = match e.kind {
+                OpKind::Read(v) => {
+                    if v != state {
+                        continue;
+                    }
+                    state
+                }
+                OpKind::Write(v) => v,
+            };
+            done[i] = true;
+            if search(pending, next_state, done, history) {
+                return true;
+            }
+            done[i] = false;
+        }
+        false
+    }
+    let mut done = vec![false; history.len()];
+    search(&mut Vec::new(), 0, &mut done, history)
+}
+
+#[test]
+fn checker_accepts_and_rejects_known_histories() {
+    // Sequential write(1); read(1): linearizable.
+    let ok = vec![
+        Event {
+            start: 0,
+            end: 1,
+            kind: OpKind::Write(1),
+        },
+        Event {
+            start: 2,
+            end: 3,
+            kind: OpKind::Read(1),
+        },
+    ];
+    assert!(is_linearizable(&ok));
+    // read(2) with no write(2) anywhere: not linearizable.
+    let bad = vec![
+        Event {
+            start: 0,
+            end: 1,
+            kind: OpKind::Write(1),
+        },
+        Event {
+            start: 2,
+            end: 3,
+            kind: OpKind::Read(2),
+        },
+    ];
+    assert!(!is_linearizable(&bad));
+    // Stale read after a completed write: not linearizable.
+    let stale = vec![
+        Event {
+            start: 0,
+            end: 1,
+            kind: OpKind::Write(1),
+        },
+        Event {
+            start: 2,
+            end: 3,
+            kind: OpKind::Write(2),
+        },
+        Event {
+            start: 4,
+            end: 5,
+            kind: OpKind::Read(1),
+        },
+    ];
+    assert!(!is_linearizable(&stale));
+    // Concurrent write and read may order either way.
+    let conc = vec![
+        Event {
+            start: 0,
+            end: 10,
+            kind: OpKind::Write(1),
+        },
+        Event {
+            start: 1,
+            end: 2,
+            kind: OpKind::Read(0),
+        },
+        Event {
+            start: 3,
+            end: 4,
+            kind: OpKind::Read(1),
+        },
+    ];
+    assert!(is_linearizable(&conc));
+}
+
+/// Runs concurrent clients against one PRISM-RS register and verifies
+/// the collected history linearizes.
+#[test]
+fn concurrent_history_is_linearizable() {
+    for seed in 0..4u64 {
+        let cluster = Arc::new(RsCluster::new(3, &RsConfig::paper(4, BLOCK)));
+        let clock = Arc::new(AtomicU64::new(1));
+        let history = Arc::new(Mutex::new(Vec::new()));
+        let threads: Vec<_> = (0..3u8)
+            .map(|t| {
+                let cluster = Arc::clone(&cluster);
+                let clock = Arc::clone(&clock);
+                let history = Arc::clone(&history);
+                std::thread::spawn(move || {
+                    let client = cluster.open_client();
+                    for i in 0..8u8 {
+                        let write = (t + i + seed as u8) % 2 == 0;
+                        let start = clock.fetch_add(1, Ordering::SeqCst);
+                        let kind = if write {
+                            let v = t * 10 + i + 1;
+                            let (op, step) = client.put(0, vec![v; BLOCK as usize]);
+                            assert_eq!(
+                                drive(&cluster, &client, op, step, &[false; 3]),
+                                RsOutcome::Written
+                            );
+                            OpKind::Write(v)
+                        } else {
+                            let (op, step) = client.get(0);
+                            match drive(&cluster, &client, op, step, &[false; 3]) {
+                                RsOutcome::Value(v) => OpKind::Read(v[0]),
+                                o => panic!("{o:?}"),
+                            }
+                        };
+                        let end = clock.fetch_add(1, Ordering::SeqCst);
+                        history.lock().unwrap().push(Event { start, end, kind });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let history = history.lock().unwrap().clone();
+        assert!(
+            is_linearizable(&history),
+            "seed {seed}: history not linearizable: {history:?}"
+        );
+    }
+}
+
+/// Crash/recovery schedule: values survive any single-replica failure
+/// pattern across operations (quorum intersection).
+#[test]
+fn values_survive_rolling_single_failures() {
+    let cluster = RsCluster::new(3, &RsConfig::paper(4, BLOCK));
+    let client = cluster.open_client();
+    let mut crashed;
+    let mut last = vec![0u8; BLOCK as usize];
+    for round in 0..12u8 {
+        // Rotate which replica is down.
+        crashed = [false; 3];
+        crashed[(round % 3) as usize] = true;
+        // Read must return the last completed write.
+        let (op, step) = client.get(1);
+        match drive(&cluster, &client, op, step, &crashed) {
+            RsOutcome::Value(v) => assert_eq!(v, last, "round {round}"),
+            o => panic!("round {round}: {o:?}"),
+        }
+        // Write a new value through the current majority.
+        last = vec![round + 1; BLOCK as usize];
+        let (op, step) = client.put(1, last.clone());
+        assert_eq!(
+            drive(&cluster, &client, op, step, &crashed),
+            RsOutcome::Written,
+            "round {round}"
+        );
+    }
+}
+
+/// ABD invariant: after any completed write, the tag at a majority of
+/// replicas is at least the writer's tag.
+#[test]
+fn completed_writes_reach_a_majority() {
+    let cluster = RsCluster::new(5, &RsConfig::paper(2, BLOCK));
+    let client = cluster.open_client();
+    for i in 1..=10u64 {
+        let (op, step) = client.put(0, vec![i as u8; BLOCK as usize]);
+        assert_eq!(
+            drive(&cluster, &client, op, step, &[false; 5]),
+            RsOutcome::Written
+        );
+        let with_tag = (0..5)
+            .filter(|&r| {
+                let v = cluster.replica(r).view().clone();
+                let meta = cluster
+                    .replica(r)
+                    .server()
+                    .arena()
+                    .read(v.meta(0), 16)
+                    .unwrap();
+                prism_rs::Tag::from_bytes(&meta[..8]).ts >= i
+            })
+            .count();
+        assert!(with_tag >= 3, "write {i} only reached {with_tag} replicas");
+    }
+}
