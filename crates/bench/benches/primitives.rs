@@ -2,7 +2,8 @@
 //! reproduction's analogue of Figure 1's per-op execution component
 //! (the transport component is modeled; this measures the real work).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prism_bench::runner::{BatchSize, Criterion};
+use prism_bench::{criterion_group, criterion_main};
 
 use prism_core::builder::ops;
 use prism_core::op::{field_mask, full_mask, DataArg, FreeListId, Redirect};

@@ -3,7 +3,8 @@
 //! the real CPU work per logical operation — the quantity the paper's
 //! servers spend dedicated cores on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use prism_bench::runner::Criterion;
+use prism_bench::{criterion_group, criterion_main};
 
 use prism_core::msg::execute_local;
 use prism_kv::hash::key_bytes;

@@ -1,7 +1,8 @@
 //! Substrate costs: the DES kernel's event throughput (which bounds how
 //! fast figures regenerate), workload generators, and Pilaf's CRC.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use prism_bench::runner::Criterion;
+use prism_bench::{criterion_group, criterion_main};
 
 use prism_kv::crc::crc32;
 use prism_rdma::arena::MemoryArena;

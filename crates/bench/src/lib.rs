@@ -1,9 +1,12 @@
-//! Criterion benchmark crate for the PRISM reproduction (see the
-//! `benches/` directory). The library itself is empty; everything lives
-//! in the bench targets:
+//! Benchmark crate for the PRISM reproduction (see the `benches/`
+//! directory), running on the in-repo [`runner`] — a minimal
+//! `std::time::Instant` harness with a Criterion-compatible surface, so
+//! the workspace builds with zero registry dependencies.
 //!
 //! * `primitives` — per-op CPU cost of the PRISM software data plane.
 //! * `protocols` — full application operations (KV GET/PUT, ABD rounds,
 //!   transaction commits) in live mode.
 //! * `substrate` — the simulator itself: event throughput, Zipf
 //!   sampling, wire codec, CRC.
+
+pub mod runner;

@@ -1,0 +1,137 @@
+//! Minimal little-endian buffer codec traits.
+//!
+//! Drop-in replacement for the subset of the `bytes` crate the wire
+//! codec used, keeping the workspace free of registry dependencies:
+//! [`BufMut`] appends to a `Vec<u8>`, [`Buf`] consumes from a `&[u8]` by
+//! advancing the slice in place. Reads panic when the buffer is too
+//! short — callers check [`Buf::remaining`] first, exactly as they did
+//! against the `bytes` API.
+
+/// Append-side primitives, implemented for `Vec<u8>`.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Consume-side primitives, implemented for `&[u8]`: each read advances
+/// the slice past the consumed bytes.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Consumes `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_le_bytes(head.try_into().expect("sized"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("sized"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("sized"))
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.split_at(dst.len());
+        *self = rest;
+        dst.copy_from_slice(head);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_slice(b"tail");
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        let mut tail = [0u8; 4];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reads_advance_the_slice() {
+        let data = [1u8, 0, 2, 0];
+        let mut r: &[u8] = &data;
+        assert_eq!(r.get_u16_le(), 1);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.get_u16_le(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_read_panics() {
+        let mut r: &[u8] = &[1u8];
+        let _ = r.get_u32_le();
+    }
+}

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockReadGuard};
+use prism_rdma::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use prism_rdma::{BufferQueue, RdmaError};
 
 use crate::op::FreeListId;
@@ -117,7 +117,7 @@ impl FreeLists {
     /// in-flight chains complete and holds off new ones. GC sweeps run
     /// under this guard so that "allocated but not yet installed" cannot
     /// exist while they scan (§3.2's GC alternative).
-    pub fn gate_write(&self) -> parking_lot::RwLockWriteGuard<'_, ()> {
+    pub fn gate_write(&self) -> RwLockWriteGuard<'_, ()> {
         self.gate.write()
     }
 }

@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod builder;
 pub mod conn;
 pub mod engine;

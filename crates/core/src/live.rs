@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use prism_rdma::sync::{bounded, Receiver, Sender};
 
 use crate::msg::{execute_local, Reply, Request};
 use crate::server::PrismServer;

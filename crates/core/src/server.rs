@@ -11,9 +11,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use prism_rdma::arena::MemoryArena;
 use prism_rdma::region::{AccessFlags, RegionTable, Rkey};
+use prism_rdma::sync::Mutex;
 use prism_rdma::{RdmaError, RdmaNic};
 
 use crate::conn::{Connection, ConnectionTable, SCRATCH_BYTES};

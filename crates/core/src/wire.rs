@@ -8,7 +8,7 @@
 //! between client and server, the encoders give the experiment harness
 //! exact request/response byte counts for link-bandwidth accounting.
 
-use bytes::{Buf, BufMut};
+use crate::buf::{Buf, BufMut};
 
 use crate::engine::{OpResult, OpStatus};
 use crate::op::{DataArg, FreeListId, PrismOp, Redirect, MAX_CAS_LEN};

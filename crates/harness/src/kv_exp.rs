@@ -66,7 +66,7 @@ impl KvExpConfig {
             read_fraction,
             clients: vec![1, 16, 64],
             warmup: SimDuration::micros(500),
-            measure: SimDuration::millis(4),
+            measure: crate::smoke::measure_window(4_000),
             seed: 42,
         }
     }

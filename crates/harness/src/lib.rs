@@ -18,6 +18,7 @@
 //!   (Figures 3–4, 6–7, 9–10).
 //! * [`vsize_exp`] — an extension sweep (GET cost vs value size).
 //! * [`table`] — plain-text table output shared by the `fig_*` binaries.
+//! * [`smoke`] — env-tunable scale for the smoke-test configurations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +28,7 @@ pub mod kv_exp;
 pub mod micro;
 pub mod netsim;
 pub mod rs_exp;
+pub mod smoke;
 pub mod table;
 pub mod tx_exp;
 pub mod vsize_exp;

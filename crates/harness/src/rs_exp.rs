@@ -68,7 +68,7 @@ impl RsExpConfig {
             zipf: vec![0.0, 0.99],
             zipf_clients: 24,
             warmup: SimDuration::micros(500),
-            measure: SimDuration::millis(4),
+            measure: crate::smoke::measure_window(4_000),
             seed: 43,
         }
     }

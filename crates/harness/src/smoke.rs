@@ -1,0 +1,61 @@
+//! Env-tunable scale for the smoke-test configurations.
+//!
+//! The `quick()` experiment configs measure for a few simulated
+//! milliseconds each, which keeps the whole `figures_smoke` suite well
+//! under a minute of wall clock. `PRISM_SMOKE_MEASURE_US` overrides the
+//! measurement window (in simulated microseconds) for all of them at
+//! once: turn it down for a fast sanity pass, up to tighten the
+//! headline-inequality checks toward the paper-scale runs.
+//!
+//! ```text
+//! PRISM_SMOKE_MEASURE_US=500 cargo test -p prism-harness --test figures_smoke
+//! ```
+
+use prism_simnet::time::SimDuration;
+
+/// Environment variable overriding every quick config's measurement
+/// window, in simulated microseconds.
+pub const MEASURE_ENV: &str = "PRISM_SMOKE_MEASURE_US";
+
+/// The measurement window for a quick config: `default_micros` unless
+/// [`MEASURE_ENV`] is set to a parseable value.
+pub fn measure_window(default_micros: u64) -> SimDuration {
+    measure_window_from(std::env::var(MEASURE_ENV).ok().as_deref(), default_micros)
+}
+
+/// Testable core of [`measure_window`]: the override is clamped to at
+/// least 100 us so a typo can never produce an empty measurement.
+pub fn measure_window_from(var: Option<&str>, default_micros: u64) -> SimDuration {
+    let micros = var
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .map(|us| us.max(100))
+        .unwrap_or(default_micros);
+    SimDuration::micros(micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_when_unset_or_garbage() {
+        assert_eq!(measure_window_from(None, 4_000), SimDuration::micros(4_000));
+        assert_eq!(
+            measure_window_from(Some("not a number"), 4_000),
+            SimDuration::micros(4_000)
+        );
+    }
+
+    #[test]
+    fn override_parses_and_clamps() {
+        assert_eq!(
+            measure_window_from(Some("750"), 4_000),
+            SimDuration::micros(750)
+        );
+        assert_eq!(
+            measure_window_from(Some("3"), 4_000),
+            SimDuration::micros(100),
+            "sub-100us overrides clamp up"
+        );
+    }
+}

@@ -78,7 +78,7 @@ impl TxExpConfig {
             zipf: vec![0.0, 0.99],
             zipf_clients: 32,
             warmup: SimDuration::micros(500),
-            measure: SimDuration::millis(4),
+            measure: crate::smoke::measure_window(4_000),
             seed: 44,
         }
     }

@@ -60,7 +60,7 @@ impl VsizeConfig {
             n_keys: 1_024,
             sat_clients: 64,
             warmup: SimDuration::micros(500),
-            measure: SimDuration::millis(3),
+            measure: crate::smoke::measure_window(3_000),
             seed: 45,
         }
     }
@@ -95,21 +95,22 @@ pub fn run(cfg: &VsizeConfig) -> Table {
         kv_exp::preload_pilaf(&pilaf, cfg.n_keys, size);
         let pilaf_servers = vec![Arc::clone(pilaf.server())];
 
-        let mut point = |servers: &[Arc<prism_core::PrismServer>],
-                         path: VerbPath,
-                         clients: usize,
-                         mk: &mut dyn FnMut(usize) -> Box<dyn crate::netsim::ProtoAdapter>| {
-            run_closed_loop(
-                servers,
-                &model,
-                path,
-                clients,
-                mk,
-                cfg.warmup,
-                cfg.measure,
-                cfg.seed ^ size as u64 ^ ((clients as u64) << 20),
-            )
-        };
+        let point =
+            |servers: &[Arc<prism_core::PrismServer>],
+             path: VerbPath,
+             clients: usize,
+             mk: &mut dyn FnMut(usize) -> Box<dyn crate::netsim::ProtoAdapter>| {
+                run_closed_loop(
+                    servers,
+                    &model,
+                    path,
+                    clients,
+                    mk,
+                    cfg.warmup,
+                    cfg.measure,
+                    cfg.seed ^ size as u64 ^ ((clients as u64) << 20),
+                )
+            };
 
         let seed = cfg.seed;
         let ycsb_p = ycsb.clone();

@@ -16,10 +16,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use prism_core::msg::{Reply, Request, Verb};
 use prism_core::PrismServer;
 use prism_rdma::region::AccessFlags;
+use prism_rdma::sync::Mutex;
 
 use crate::crc::crc32;
 use crate::entry;

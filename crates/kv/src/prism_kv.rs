@@ -131,10 +131,10 @@ const RPC_FREE_BATCH: u8 = 0x04;
 pub struct PrismKvServer {
     server: Arc<PrismServer>,
     view: KvView,
-    refill: parking_lot::Mutex<Vec<RefillState>>,
+    refill: prism_rdma::sync::Mutex<Vec<RefillState>>,
     /// `(next, end)` of the registered headroom the refill daemon carves
     /// from.
-    headroom: parking_lot::Mutex<(u64, u64)>,
+    headroom: prism_rdma::sync::Mutex<(u64, u64)>,
 }
 
 /// Per-class refill bookkeeping for [`PrismKvServer::maybe_refill`].
@@ -250,8 +250,8 @@ impl PrismKvServer {
         let headroom_base = data_base + table_len + pools_len;
         PrismKvServer {
             server,
-            refill: parking_lot::Mutex::new(refill),
-            headroom: parking_lot::Mutex::new((headroom_base, headroom_base + headroom_len)),
+            refill: prism_rdma::sync::Mutex::new(refill),
+            headroom: prism_rdma::sync::Mutex::new((headroom_base, headroom_base + headroom_len)),
             view: KvView {
                 table_addr,
                 data_rkey: data_rkey.0,

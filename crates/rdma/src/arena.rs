@@ -17,9 +17,8 @@
 //! Addresses are virtual: the arena starts at [`MemoryArena::BASE`] so
 //! that 0 can serve as a null pointer in application data structures.
 
-use parking_lot::RwLock;
-
 use crate::error::RdmaError;
+use crate::sync::RwLock;
 
 /// Cache-line size: the single-copy atomicity granularity.
 pub const LINE: usize = 64;

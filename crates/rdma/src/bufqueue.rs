@@ -10,9 +10,8 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use parking_lot::Mutex;
-
 use crate::error::RdmaError;
+use crate::sync::Mutex;
 
 /// A FIFO of equally-sized free buffers registered for ALLOCATE.
 ///

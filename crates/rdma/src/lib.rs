@@ -17,6 +17,8 @@
 //! * [`bufqueue`] — registered buffer queues (the paper's free lists,
 //!   "represented as a RDMA queue pair", §3.2).
 //! * [`error`] — NACK-style error codes.
+//! * [`sync`] — std-only locks and the bounded MPMC channel shared by
+//!   every crate in the workspace (no registry dependencies).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@ pub mod arena;
 pub mod bufqueue;
 pub mod error;
 pub mod region;
+pub mod sync;
 pub mod verbs;
 
 pub use arena::MemoryArena;

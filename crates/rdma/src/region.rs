@@ -9,9 +9,8 @@
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
-
 use crate::error::RdmaError;
+use crate::sync::RwLock;
 
 /// A remote key naming one registered memory region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -1,12 +1,13 @@
 //! Property tests: the arena behaves exactly like a flat byte array
 //! under any sequence of reads, writes, and atomics, and the region
-//! table never grants access outside a registration.
-
-use proptest::prelude::*;
+//! table never grants access outside a registration. Runs on the
+//! in-repo `prism-testkit` harness; failures print a `PRISM_TEST_SEED`
+//! for exact replay.
 
 use prism_rdma::arena::MemoryArena;
 use prism_rdma::region::{Access, AccessFlags, RegionTable};
 use prism_rdma::RdmaError;
+use prism_testkit::{for_all, gens, Config, Gen};
 
 const LEN: u64 = 4096;
 
@@ -17,103 +18,139 @@ enum Op {
     Atomic { off: u64, len: u64, xor: u8 },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..LEN, proptest::collection::vec(any::<u8>(), 1..128))
-            .prop_map(|(off, data)| { Op::Write { off, data } }),
-        (0..LEN, 1..256u64).prop_map(|(off, len)| Op::Read { off, len }),
-        (0..LEN, 1..33u64, any::<u8>()).prop_map(|(off, len, xor)| Op::Atomic {
-            off: off & !7, // atomics naturally aligned in app usage
-            len,
-            xor
-        }),
-    ]
+fn arb_op() -> Gen<Op> {
+    gens::one_of(vec![
+        gens::t2(gens::range_u64(0..LEN), gens::vec(gens::u8s(), 1..128))
+            .map(|(off, data)| Op::Write { off, data }),
+        gens::t2(gens::range_u64(0..LEN), gens::range_u64(1..256))
+            .map(|(off, len)| Op::Read { off, len }),
+        gens::t3(gens::range_u64(0..LEN), gens::range_u64(1..33), gens::u8s()).map(
+            |(off, len, xor)| Op::Atomic {
+                off: off & !7, // atomics naturally aligned in app usage
+                len,
+                xor,
+            },
+        ),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Sequential arena operations match a plain Vec<u8> model exactly,
-    /// including out-of-bounds rejection.
-    #[test]
-    fn arena_matches_flat_array_model(ops in proptest::collection::vec(arb_op(), 1..64)) {
-        let arena = MemoryArena::new(LEN);
-        let mut model = vec![0u8; LEN as usize];
-        let base = MemoryArena::BASE;
-        for op in ops {
-            match op {
-                Op::Write { off, data } => {
-                    let r = arena.write(base + off, &data);
-                    if off + data.len() as u64 <= LEN {
-                        prop_assert!(r.is_ok());
-                        model[off as usize..off as usize + data.len()].copy_from_slice(&data);
-                    } else {
-                        let oob = matches!(r, Err(RdmaError::OutOfBounds { .. }));
-                        prop_assert!(oob);
+/// Sequential arena operations match a plain Vec<u8> model exactly,
+/// including out-of-bounds rejection.
+#[test]
+fn arena_matches_flat_array_model() {
+    let gen = gens::vec(arb_op(), 1..64);
+    for_all(
+        "arena_matches_flat_array_model",
+        &Config::with_cases(128),
+        &gen,
+        |ops| {
+            let arena = MemoryArena::new(LEN);
+            let mut model = vec![0u8; LEN as usize];
+            let base = MemoryArena::BASE;
+            for op in ops.clone() {
+                match op {
+                    Op::Write { off, data } => {
+                        let r = arena.write(base + off, &data);
+                        if off + data.len() as u64 <= LEN {
+                            assert!(r.is_ok());
+                            model[off as usize..off as usize + data.len()].copy_from_slice(&data);
+                        } else {
+                            let oob = matches!(r, Err(RdmaError::OutOfBounds { .. }));
+                            assert!(oob);
+                        }
                     }
-                }
-                Op::Read { off, len } => {
-                    let r = arena.read(base + off, len);
-                    if off + len <= LEN {
-                        prop_assert_eq!(
-                            r.expect("in bounds"),
-                            &model[off as usize..(off + len) as usize]
-                        );
-                    } else {
-                        prop_assert!(r.is_err());
+                    Op::Read { off, len } => {
+                        let r = arena.read(base + off, len);
+                        if off + len <= LEN {
+                            assert_eq!(
+                                r.expect("in bounds"),
+                                &model[off as usize..(off + len) as usize]
+                            );
+                        } else {
+                            assert!(r.is_err());
+                        }
                     }
-                }
-                Op::Atomic { off, len, xor } => {
-                    let r = arena.atomic(base + off, len, |bytes| {
-                        bytes.iter_mut().for_each(|b| *b ^= xor)
-                    });
-                    if off + len <= LEN {
-                        prop_assert!(r.is_ok());
-                        model[off as usize..(off + len) as usize]
-                            .iter_mut()
-                            .for_each(|b| *b ^= xor);
-                    } else {
-                        prop_assert!(r.is_err());
+                    Op::Atomic { off, len, xor } => {
+                        let r = arena.atomic(base + off, len, |bytes| {
+                            bytes.iter_mut().for_each(|b| *b ^= xor)
+                        });
+                        if off + len <= LEN {
+                            assert!(r.is_ok());
+                            model[off as usize..(off + len) as usize]
+                                .iter_mut()
+                                .for_each(|b| *b ^= xor);
+                        } else {
+                            assert!(r.is_err());
+                        }
                     }
                 }
             }
-        }
-        // Final state identical.
-        prop_assert_eq!(arena.read(base, LEN).expect("whole arena"), model);
-    }
+            // Final state identical.
+            assert_eq!(arena.read(base, LEN).expect("whole arena"), model);
+        },
+    );
+}
 
-    /// Region validation grants exactly the registered ranges and rights.
-    #[test]
-    fn region_validation_is_exact(
-        regions in proptest::collection::vec((0..LEN, 1..512u64, any::<bool>(), any::<bool>(), any::<bool>()), 1..8),
-        probes in proptest::collection::vec((0..8usize, 0..LEN, 1..64u64, 0..3u8), 1..64),
-    ) {
-        let table = RegionTable::new();
-        let mut keys = Vec::new();
-        for &(addr, len, read, write, atomic) in &regions {
-            keys.push(table.register(
-                addr,
-                len,
-                AccessFlags { read, write, atomic },
-            ));
-        }
-        for (ri, addr, len, access) in probes {
-            let ri = ri % regions.len();
-            let key = keys[ri];
-            let (raddr, rlen, read, write, atomic) = regions[ri];
-            let access = match access {
-                0 => Access::Read,
-                1 => Access::Write,
-                _ => Access::Atomic,
-            };
-            let inside = addr >= raddr && addr + len <= raddr + rlen;
-            let allowed = match access {
-                Access::Read => read,
-                Access::Write => write,
-                Access::Atomic => atomic,
-            };
-            let r = table.validate(key, addr, len, access);
-            prop_assert_eq!(r.is_ok(), inside && allowed, "addr {} len {}", addr, len);
-        }
-    }
+/// Region validation grants exactly the registered ranges and rights.
+#[test]
+fn region_validation_is_exact() {
+    let gen = gens::t2(
+        gens::vec(
+            gens::t5(
+                gens::range_u64(0..LEN),
+                gens::range_u64(1..512),
+                gens::bools(),
+                gens::bools(),
+                gens::bools(),
+            ),
+            1..8,
+        ),
+        gens::vec(
+            gens::t4(
+                gens::range_usize(0..8),
+                gens::range_u64(0..LEN),
+                gens::range_u64(1..64),
+                gens::range_u64(0..3).map(|v| v as u8),
+            ),
+            1..64,
+        ),
+    );
+    for_all(
+        "region_validation_is_exact",
+        &Config::with_cases(128),
+        &gen,
+        |(regions, probes)| {
+            let table = RegionTable::new();
+            let mut keys = Vec::new();
+            for &(addr, len, read, write, atomic) in regions {
+                keys.push(table.register(
+                    addr,
+                    len,
+                    AccessFlags {
+                        read,
+                        write,
+                        atomic,
+                    },
+                ));
+            }
+            for &(ri, addr, len, access) in probes {
+                let ri = ri % regions.len();
+                let key = keys[ri];
+                let (raddr, rlen, read, write, atomic) = regions[ri];
+                let access = match access {
+                    0 => Access::Read,
+                    1 => Access::Write,
+                    _ => Access::Atomic,
+                };
+                let inside = addr >= raddr && addr + len <= raddr + rlen;
+                let allowed = match access {
+                    Access::Read => read,
+                    Access::Write => write,
+                    Access::Atomic => atomic,
+                };
+                let r = table.validate(key, addr, len, access);
+                assert_eq!(r.is_ok(), inside && allowed, "addr {} len {}", addr, len);
+            }
+        },
+    );
 }

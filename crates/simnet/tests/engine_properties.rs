@@ -1,12 +1,13 @@
 //! Property tests for the DES kernel: determinism, event ordering, and
-//! histogram accuracy under arbitrary inputs.
-
-use proptest::prelude::*;
+//! histogram accuracy under arbitrary inputs. Runs on the in-repo
+//! `prism-testkit` harness; failures print a `PRISM_TEST_SEED` for
+//! exact replay.
 
 use prism_simnet::engine::{Actor, Context, Simulation};
 use prism_simnet::metrics::Histogram;
 use prism_simnet::resources::{LinkShaper, ServiceCenter};
 use prism_simnet::time::{SimDuration, SimTime};
+use prism_testkit::{for_all, gens, Config};
 
 /// Records delivery times to verify global ordering.
 struct Recorder;
@@ -25,90 +26,141 @@ impl Actor<u64> for Recorder {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Delivery respects virtual time order for any seed schedule.
-    #[test]
-    fn events_in_time_order(delays in proptest::collection::vec(1u64..100_000, 1..50)) {
-        let mut sim = Simulation::new(0);
-        let a = sim.add_actor(Box::new(Recorder));
-        for &d in &delays {
-            sim.post(a, d);
-        }
-        sim.run();
-    }
-
-    /// Identical seeds and schedules give identical final clocks.
-    #[test]
-    fn runs_are_deterministic(seed in any::<u64>(), delays in proptest::collection::vec(1u64..10_000, 1..20)) {
-        let run = |seed: u64, delays: &[u64]| {
-            let mut sim = Simulation::new(seed);
+/// Delivery respects virtual time order for any seed schedule.
+#[test]
+fn events_in_time_order() {
+    let gen = gens::vec(gens::range_u64(1..100_000), 1..50);
+    for_all(
+        "events_in_time_order",
+        &Config::with_cases(64),
+        &gen,
+        |delays| {
+            let mut sim = Simulation::new(0);
             let a = sim.add_actor(Box::new(Recorder));
             for &d in delays {
                 sim.post(a, d);
             }
             sim.run();
-            sim.now()
-        };
-        prop_assert_eq!(run(seed, &delays), run(seed, &delays));
-    }
+        },
+    );
+}
 
-    /// Histogram means are exact (sum-based), quantiles within bucket
-    /// error, for arbitrary sample sets.
-    #[test]
-    fn histogram_mean_exact(samples in proptest::collection::vec(1u64..10_000_000, 1..200)) {
-        let mut h = Histogram::new();
-        for &s in &samples {
-            h.record(SimDuration::from_nanos(s));
-        }
-        let expected = samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1000.0;
-        prop_assert!((h.mean_micros() - expected).abs() < 1e-6);
-        let max = *samples.iter().max().expect("nonempty") as f64 / 1000.0;
-        prop_assert!((h.max_micros() - max).abs() < 1e-9);
-        // p100 quantile lands within ~2% of the max.
-        let p100 = h.quantile_micros(1.0);
-        prop_assert!((p100 - max).abs() / max < 0.02, "p100 {p100} max {max}");
-    }
+/// Identical seeds and schedules give identical final clocks.
+#[test]
+fn runs_are_deterministic() {
+    let gen = gens::t2(gens::u64s(), gens::vec(gens::range_u64(1..10_000), 1..20));
+    for_all(
+        "runs_are_deterministic",
+        &Config::with_cases(64),
+        &gen,
+        |(seed, delays)| {
+            let run = |seed: u64, delays: &[u64]| {
+                let mut sim = Simulation::new(seed);
+                let a = sim.add_actor(Box::new(Recorder));
+                for &d in delays {
+                    sim.post(a, d);
+                }
+                sim.run();
+                sim.now()
+            };
+            assert_eq!(run(*seed, delays), run(*seed, delays));
+        },
+    );
+}
 
-    /// A link never reorders and never exceeds its bandwidth: total
-    /// serialization time >= bytes / bandwidth.
-    #[test]
-    fn link_conserves_bandwidth(msgs in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..50)) {
-        let mut link = LinkShaper::new_gbps(8.0); // 1 byte/ns
-        let mut last_done = SimTime::ZERO;
-        let mut total_bytes = 0u64;
-        let mut first_start = None;
-        for (at, bytes) in msgs {
-            let t = SimTime::from_nanos(at);
-            let done = link.transmit(t, bytes);
-            prop_assert!(done >= last_done, "FIFO order violated");
-            last_done = done;
-            total_bytes += bytes;
-            first_start.get_or_insert(t.max(SimTime::ZERO));
-        }
-        // last bit leaves no earlier than total_bytes ns after the first
-        // transmission could have started.
-        prop_assert!(
-            last_done.as_nanos() >= total_bytes,
-            "{} bytes done at {}ns", total_bytes, last_done.as_nanos()
-        );
-    }
+/// Histogram means are exact (sum-based), quantiles within bucket
+/// error, for arbitrary sample sets.
+#[test]
+fn histogram_mean_exact() {
+    let gen = gens::vec(gens::range_u64(1..10_000_000), 1..200);
+    for_all(
+        "histogram_mean_exact",
+        &Config::with_cases(64),
+        &gen,
+        |samples| {
+            let mut h = Histogram::new();
+            for &s in samples {
+                h.record(SimDuration::from_nanos(s));
+            }
+            let expected = samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1000.0;
+            assert!((h.mean_micros() - expected).abs() < 1e-6);
+            let max = *samples.iter().max().expect("nonempty") as f64 / 1000.0;
+            assert!((h.max_micros() - max).abs() < 1e-9);
+            // p100 quantile lands within ~2% of the max.
+            let p100 = h.quantile_micros(1.0);
+            assert!((p100 - max).abs() / max < 0.02, "p100 {p100} max {max}");
+        },
+    );
+}
 
-    /// A service center with k workers never runs more than k jobs
-    /// concurrently: total busy time across any window <= k * window.
-    #[test]
-    fn service_center_capacity(jobs in proptest::collection::vec((0u64..100_000, 1u64..10_000), 1..60), workers in 1usize..8) {
-        let mut sc = ServiceCenter::new(workers);
-        let mut max_done = 0u64;
-        let mut min_start = u64::MAX;
-        for (at, service) in &jobs {
-            let done = sc.admit(SimTime::from_nanos(*at), SimDuration::from_nanos(*service));
-            max_done = max_done.max(done.as_nanos());
-            min_start = min_start.min(*at);
-        }
-        let busy: u64 = jobs.iter().map(|(_, s)| *s).sum();
-        let window = max_done - min_start;
-        prop_assert!(busy <= window * workers as u64 + 1, "busy {busy} > {workers} x {window}");
-    }
+/// A link never reorders and never exceeds its bandwidth: total
+/// serialization time >= bytes / bandwidth.
+#[test]
+fn link_conserves_bandwidth() {
+    let gen = gens::vec(
+        gens::t2(gens::range_u64(0..10_000), gens::range_u64(1..5_000)),
+        1..50,
+    );
+    for_all(
+        "link_conserves_bandwidth",
+        &Config::with_cases(64),
+        &gen,
+        |msgs| {
+            let mut link = LinkShaper::new_gbps(8.0); // 1 byte/ns
+            let mut last_done = SimTime::ZERO;
+            let mut total_bytes = 0u64;
+            let mut first_start = None;
+            for &(at, bytes) in msgs {
+                let t = SimTime::from_nanos(at);
+                let done = link.transmit(t, bytes);
+                assert!(done >= last_done, "FIFO order violated");
+                last_done = done;
+                total_bytes += bytes;
+                first_start.get_or_insert(t.max(SimTime::ZERO));
+            }
+            // last bit leaves no earlier than total_bytes ns after the
+            // first transmission could have started.
+            assert!(
+                last_done.as_nanos() >= total_bytes,
+                "{} bytes done at {}ns",
+                total_bytes,
+                last_done.as_nanos()
+            );
+        },
+    );
+}
+
+/// A service center with k workers never runs more than k jobs
+/// concurrently: total busy time across any window <= k * window.
+#[test]
+fn service_center_capacity() {
+    let gen = gens::t2(
+        gens::vec(
+            gens::t2(gens::range_u64(0..100_000), gens::range_u64(1..10_000)),
+            1..60,
+        ),
+        gens::range_usize(1..8),
+    );
+    for_all(
+        "service_center_capacity",
+        &Config::with_cases(64),
+        &gen,
+        |(jobs, workers)| {
+            let workers = *workers;
+            let mut sc = ServiceCenter::new(workers);
+            let mut max_done = 0u64;
+            let mut min_start = u64::MAX;
+            for &(at, service) in jobs {
+                let done = sc.admit(SimTime::from_nanos(at), SimDuration::from_nanos(service));
+                max_done = max_done.max(done.as_nanos());
+                min_start = min_start.min(at);
+            }
+            let busy: u64 = jobs.iter().map(|&(_, s)| s).sum();
+            let window = max_done - min_start;
+            assert!(
+                busy <= window * workers as u64 + 1,
+                "busy {busy} > {workers} x {window}"
+            );
+        },
+    );
 }

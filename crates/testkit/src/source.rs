@@ -1,0 +1,123 @@
+//! The entropy source generators draw from: fresh SplitMix64 output in
+//! normal runs, a recorded choice sequence during shrinking.
+
+use prism_simnet::rng::SimRng;
+
+/// Hard cap on choices per generated case. A generator that draws more
+/// than this is looping; the case is abandoned (treated like a filter
+/// give-up) instead of exhausting memory.
+pub(crate) const MAX_CHOICES: usize = 1 << 20;
+
+/// Panic payload used internally to abandon a case without failing the
+/// property (filter retries exhausted, runaway generator). The runner
+/// downcasts on this type and treats the case as skipped.
+pub(crate) struct GiveUp(pub &'static str);
+
+impl std::fmt::Debug for GiveUp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GiveUp({})", self.0)
+    }
+}
+
+/// A recording stream of `u64` choices.
+///
+/// In *fresh* mode every [`Source::draw`] pulls from a seeded
+/// [`SimRng`]; in *replay* mode draws come from a prior (possibly
+/// shrunk) choice sequence, returning 0 once it is exhausted. All draws
+/// are recorded, so the runner always knows the exact sequence that
+/// produced a value.
+pub struct Source {
+    rng: SimRng,
+    replay: Option<Vec<u64>>,
+    pos: usize,
+    recorded: Vec<u64>,
+}
+
+impl Source {
+    /// A fresh source: all draws come from SplitMix64 seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Source {
+            rng: SimRng::new(seed),
+            replay: None,
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// A replaying source: draws come from `choices`; past the end,
+    /// draws return 0 (the minimal choice).
+    pub fn replaying(choices: Vec<u64>) -> Self {
+        Source {
+            rng: SimRng::new(0),
+            replay: Some(choices),
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Draws the next choice. Generators build every value out of these.
+    pub fn draw(&mut self) -> u64 {
+        if self.recorded.len() >= MAX_CHOICES {
+            std::panic::panic_any(GiveUp("generator exceeded the choice budget"));
+        }
+        let v = match &self.replay {
+            Some(r) => r.get(self.pos).copied().unwrap_or(0),
+            None => self.rng.next_u64(),
+        };
+        self.pos += 1;
+        self.recorded.push(v);
+        v
+    }
+
+    /// Draws a choice reduced to `[0, bound)`. Modulo reduction is
+    /// deliberate (not Lemire rejection): choice 0 maps to the minimum
+    /// and smaller choices map to smaller values, which is what makes
+    /// choice-sequence shrinking converge toward minimal cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn draw_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Source::draw_below: zero bound");
+        self.draw() % bound
+    }
+
+    /// The choices drawn so far.
+    pub fn recorded(&self) -> &[u64] {
+        &self.recorded
+    }
+
+    /// Consumes the source, yielding the recorded choice sequence.
+    pub fn into_recorded(self) -> Vec<u64> {
+        self.recorded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_draws_are_deterministic_per_seed() {
+        let mut a = Source::new(42);
+        let mut b = Source::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.draw(), b.draw());
+        }
+    }
+
+    #[test]
+    fn replay_returns_sequence_then_zeros() {
+        let mut s = Source::replaying(vec![5, 6]);
+        assert_eq!(s.draw(), 5);
+        assert_eq!(s.draw(), 6);
+        assert_eq!(s.draw(), 0);
+        assert_eq!(s.recorded(), &[5, 6, 0]);
+    }
+
+    #[test]
+    fn draw_below_is_minimal_at_zero_choice() {
+        let mut s = Source::replaying(vec![0]);
+        assert_eq!(s.draw_below(1000), 0);
+    }
+}

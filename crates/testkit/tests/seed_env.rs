@@ -1,0 +1,54 @@
+//! PRISM_TEST_SEED end-to-end: setting the env var makes the runner
+//! execute exactly one case whose input is the seed's. Kept as its own
+//! integration binary because the env var is process-global — this file
+//! must stay a single `#[test]` so no parallel test races the variable.
+
+use prism_testkit::{for_all_result, gens, runner::SEED_ENV, Config, Source};
+
+#[test]
+fn env_seed_reproduces_identical_input() {
+    let gen = gens::vec(gens::range_u64(0..100_000), 1..32);
+
+    // First run, no env var: find a genuine failure and note its seed.
+    std::env::remove_var(SEED_ENV);
+    let f = for_all_result("seed_env_first_run", &Config::with_cases(64), &gen, |v| {
+        assert!(v.iter().sum::<u64>() < 50_000)
+    })
+    .expect("property must fail");
+
+    // Replay through the env var, decimal form, as the failure report
+    // instructs. The runner must run exactly one case, with the same
+    // original input and the same shrunk minimum.
+    std::env::set_var(SEED_ENV, f.seed.to_string());
+    let replay = for_all_result(
+        "seed_env_replay_decimal",
+        &Config::with_cases(64),
+        &gen,
+        |v| assert!(v.iter().sum::<u64>() < 50_000),
+    )
+    .expect("replay must fail");
+    assert_eq!(replay.case, 0, "env seed runs a single case");
+    assert_eq!(replay.seed, f.seed);
+    assert_eq!(replay.original, f.original, "identical input bytes");
+    assert_eq!(replay.minimal, f.minimal, "identical shrink result");
+
+    // Hex form is accepted too.
+    std::env::set_var(SEED_ENV, format!("{:#x}", f.seed));
+    let hex = for_all_result("seed_env_replay_hex", &Config::with_cases(64), &gen, |v| {
+        assert!(v.iter().sum::<u64>() < 50_000)
+    })
+    .expect("hex replay must fail");
+    assert_eq!(hex.original, f.original);
+
+    // A passing property under the env seed runs once and reports
+    // nothing.
+    std::env::set_var(SEED_ENV, f.seed.to_string());
+    let pass = for_all_result("seed_env_passing", &Config::with_cases(64), &gen, |_| {});
+    assert!(pass.is_none());
+
+    std::env::remove_var(SEED_ENV);
+
+    // Sanity: the seed alone regenerates the input without the runner.
+    let direct = gen.generate(&mut Source::new(f.seed));
+    assert_eq!(direct, f.original);
+}

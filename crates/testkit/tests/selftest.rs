@@ -1,0 +1,146 @@
+//! Self-coverage for prism-testkit: determinism of generation and
+//! convergence of choice-sequence shrinking, exercised through the
+//! public API the property suites use.
+
+use prism_testkit::{for_all_result, gens, Config, Source};
+
+/// The same seed produces the byte-identical input on every run —
+/// the whole replay story rests on this.
+#[test]
+fn same_seed_same_input_across_runs() {
+    let gen = gens::t3(
+        gens::vec(gens::u8s(), 0..64),
+        gens::range_u64(10..10_000),
+        gens::one_of(vec![
+            gens::constant(String::from("left")),
+            gens::range_u32(0..100).map(|v| format!("n{v}")),
+        ]),
+    );
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+        let a = gen.generate(&mut Source::new(seed));
+        let b = gen.generate(&mut Source::new(seed));
+        assert_eq!(a, b, "seed {seed} diverged between two generations");
+    }
+}
+
+/// Recorded choices replay to the identical value: generate fresh,
+/// replay the recording, compare.
+#[test]
+fn recorded_choices_replay_identically() {
+    let gen = gens::vec(
+        gens::t2(gens::range_u64(0..4096), gens::vec(gens::u8s(), 1..128)),
+        1..32,
+    );
+    let mut src = Source::new(99);
+    let fresh = gen.generate(&mut src);
+    let mut replay = Source::replaying(src.into_recorded());
+    let replayed = gen.generate(&mut replay);
+    assert_eq!(fresh, replayed);
+}
+
+/// Documented minimal case: `range_u64(0..1000)` with the property
+/// `x < 100` must shrink to exactly 100, the smallest counterexample.
+#[test]
+fn shrinks_scalar_to_boundary() {
+    let f = for_all_result(
+        "selftest_shrinks_scalar_to_boundary",
+        &Config::with_cases(64),
+        &gens::range_u64(0..1000),
+        |&x| assert!(x < 100),
+    )
+    .expect("property must fail");
+    assert_eq!(f.minimal, 100, "minimal counterexample is the boundary");
+}
+
+/// Shrinking composes through `vec` + `map`: a "vector contains a big
+/// element" failure shrinks to a single-element vector holding the
+/// smallest big element.
+#[test]
+fn shrinks_vec_to_single_minimal_element() {
+    let f = for_all_result(
+        "selftest_shrinks_vec_to_single_minimal_element",
+        &Config::with_cases(64),
+        &gens::vec(gens::range_u64(0..1000), 0..20),
+        |v| assert!(v.iter().all(|&x| x < 500)),
+    )
+    .expect("property must fail");
+    assert_eq!(
+        f.minimal,
+        vec![500],
+        "minimal counterexample is one boundary element"
+    );
+}
+
+/// Shrinking composes through `one_of`: the first alternative is the
+/// minimal one, so a failure independent of the variant shrinks to it.
+#[test]
+fn shrinks_one_of_to_first_alternative() {
+    #[derive(Debug, Clone, PartialEq)]
+    enum E {
+        A(u64),
+        B(u64),
+    }
+    let gen = gens::one_of(vec![
+        gens::range_u64(0..100).map(E::A),
+        gens::range_u64(0..100).map(E::B),
+    ]);
+    let f = for_all_result(
+        "selftest_shrinks_one_of_to_first_alternative",
+        &Config::with_cases(64),
+        &gen,
+        |_| panic!("always fails"),
+    )
+    .expect("property must fail");
+    assert_eq!(f.minimal, E::A(0), "one_of shrinks to variant 0, value 0");
+}
+
+/// The failure report carries a seed that regenerates the identical
+/// original input (the programmatic face of PRISM_TEST_SEED replay).
+#[test]
+fn reported_seed_regenerates_original() {
+    let gen = gens::vec(gens::range_u64(0..1_000_000), 1..16);
+    let f = for_all_result(
+        "selftest_reported_seed_regenerates_original",
+        &Config::with_cases(64),
+        &gen,
+        |v| assert!(v.iter().sum::<u64>() < 500_000),
+    )
+    .expect("property must fail");
+    let regenerated = gen.generate(&mut Source::new(f.seed));
+    assert_eq!(regenerated, f.original);
+
+    // And running the whole property under that fixed seed reproduces
+    // the same original failure in case 0.
+    let cfg = Config {
+        seed: Some(f.seed),
+        ..Config::default()
+    };
+    let again = for_all_result(
+        "selftest_reported_seed_regenerates_original_replay",
+        &cfg,
+        &gen,
+        |v| assert!(v.iter().sum::<u64>() < 500_000),
+    )
+    .expect("replay must fail too");
+    assert_eq!(again.case, 0);
+    assert_eq!(again.original, f.original);
+    assert_eq!(again.minimal, f.minimal, "shrinking is deterministic");
+}
+
+/// Shrinking never exceeds its iteration budget.
+#[test]
+fn shrinking_respects_budget() {
+    let cfg = Config {
+        cases: 16,
+        max_shrink_iters: 10,
+        ..Config::default()
+    };
+    let f = for_all_result(
+        "selftest_shrinking_respects_budget",
+        &cfg,
+        &gens::vec(gens::u64s(), 0..64),
+        |_| panic!("always fails"),
+    )
+    .expect("property must fail");
+    assert!(f.shrink_iters <= 10);
+}

@@ -1,69 +1,110 @@
-//! Property tests for the workload generators.
-
-use proptest::prelude::*;
+//! Property tests for the workload generators, on the deterministic
+//! in-repo `prism-testkit` harness (seeded; replay any failure with
+//! `PRISM_TEST_SEED=<seed>`).
 
 use prism_simnet::rng::SimRng;
+use prism_testkit::{for_all, gens, Config};
 use prism_workload::dist::{KeyDist, ZipfGen};
 use prism_workload::{TxnGen, YcsbConfig, YcsbGen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Zipf samples always fall in range for any (n, theta).
-    #[test]
-    fn zipf_in_range(n in 1u64..100_000, theta in 0.01f64..1.8, seed in any::<u64>()) {
-        prop_assume!((theta - 1.0).abs() > 1e-6);
-        let z = ZipfGen::new(n, theta);
-        let mut rng = SimRng::new(seed);
-        for _ in 0..200 {
-            prop_assert!(z.sample(&mut rng) < n);
-        }
-    }
-
-    /// Higher theta concentrates more mass on rank 0.
-    #[test]
-    fn zipf_skew_monotone(seed in any::<u64>()) {
-        let n = 1000u64;
-        let count_rank0 = |theta: f64| {
+/// Zipf samples always fall in range for any (n, theta).
+#[test]
+fn zipf_in_range() {
+    let gen = gens::t3(
+        gens::range_u64(1..100_000),
+        // ZipfGen is undefined exactly at theta == 1 (the harmonic
+        // special case); proptest used prop_assume, here the filter
+        // redraws — rejection probability is ~1e-6.
+        gens::range_f64(0.01, 1.8).filter(|theta| (theta - 1.0).abs() > 1e-6),
+        gens::u64s(),
+    );
+    for_all(
+        "zipf_in_range",
+        &Config::with_cases(64),
+        &gen,
+        |&(n, theta, seed)| {
             let z = ZipfGen::new(n, theta);
             let mut rng = SimRng::new(seed);
-            (0..20_000).filter(|_| z.sample(&mut rng) == 0).count()
-        };
-        let low = count_rank0(0.5);
-        let high = count_rank0(1.4);
-        prop_assert!(high > low, "rank-0 hits: theta=0.5 {low}, theta=1.4 {high}");
-    }
-
-    /// YCSB op streams respect the configured read fraction within
-    /// statistical tolerance.
-    #[test]
-    fn ycsb_read_fraction(frac in 0.0f64..=1.0, seed in any::<u64>()) {
-        let mut g = YcsbGen::new(
-            YcsbConfig { dist: KeyDist::uniform(100), read_fraction: frac, value_len: 8 },
-            SimRng::new(seed),
-        );
-        let n = 5_000;
-        let reads = (0..n).filter(|_| g.next_op().is_get()).count();
-        let observed = reads as f64 / n as f64;
-        prop_assert!((observed - frac).abs() < 0.05, "frac {frac} observed {observed}");
-    }
-
-    /// Transactions always contain the requested number of distinct,
-    /// sorted, in-range keys.
-    #[test]
-    fn txn_keys_well_formed(
-        n in 4u64..10_000,
-        k in 1usize..4,
-        seed in any::<u64>(),
-    ) {
-        let mut g = TxnGen::new(KeyDist::uniform(n), k, 8, SimRng::new(seed));
-        for _ in 0..50 {
-            let t = g.next_txn();
-            prop_assert_eq!(t.keys.len(), k);
-            for w in t.keys.windows(2) {
-                prop_assert!(w[0] < w[1]);
+            for _ in 0..200 {
+                assert!(z.sample(&mut rng) < n);
             }
-            prop_assert!(t.keys.iter().all(|&key| key < n));
-        }
-    }
+        },
+    );
+}
+
+/// Higher theta concentrates more mass on rank 0.
+#[test]
+fn zipf_skew_monotone() {
+    for_all(
+        "zipf_skew_monotone",
+        &Config::with_cases(64),
+        &gens::u64s(),
+        |&seed| {
+            let n = 1000u64;
+            let count_rank0 = |theta: f64| {
+                let z = ZipfGen::new(n, theta);
+                let mut rng = SimRng::new(seed);
+                (0..20_000).filter(|_| z.sample(&mut rng) == 0).count()
+            };
+            let low = count_rank0(0.5);
+            let high = count_rank0(1.4);
+            assert!(high > low, "rank-0 hits: theta=0.5 {low}, theta=1.4 {high}");
+        },
+    );
+}
+
+/// YCSB op streams respect the configured read fraction within
+/// statistical tolerance.
+#[test]
+fn ycsb_read_fraction() {
+    let gen = gens::t2(gens::range_f64(0.0, 1.0), gens::u64s());
+    for_all(
+        "ycsb_read_fraction",
+        &Config::with_cases(64),
+        &gen,
+        |&(frac, seed)| {
+            let mut g = YcsbGen::new(
+                YcsbConfig {
+                    dist: KeyDist::uniform(100),
+                    read_fraction: frac,
+                    value_len: 8,
+                },
+                SimRng::new(seed),
+            );
+            let n = 5_000;
+            let reads = (0..n).filter(|_| g.next_op().is_get()).count();
+            let observed = reads as f64 / n as f64;
+            assert!(
+                (observed - frac).abs() < 0.05,
+                "frac {frac} observed {observed}"
+            );
+        },
+    );
+}
+
+/// Transactions always contain the requested number of distinct,
+/// sorted, in-range keys.
+#[test]
+fn txn_keys_well_formed() {
+    let gen = gens::t3(
+        gens::range_u64(4..10_000),
+        gens::range_usize(1..4),
+        gens::u64s(),
+    );
+    for_all(
+        "txn_keys_well_formed",
+        &Config::with_cases(64),
+        &gen,
+        |&(n, k, seed)| {
+            let mut g = TxnGen::new(KeyDist::uniform(n), k, 8, SimRng::new(seed));
+            for _ in 0..50 {
+                let t = g.next_txn();
+                assert_eq!(t.keys.len(), k);
+                for w in t.keys.windows(2) {
+                    assert!(w[0] < w[1]);
+                }
+                assert!(t.keys.iter().all(|&key| key < n));
+            }
+        },
+    );
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# The repo's verify command: everything CI (and a reviewer) needs to
+# trust a change, runnable from a clean checkout with no network.
+#
+#   scripts/ci.sh
+#
+# Steps:
+#   1. hermeticity check  — all deps are path-only (scripts/check_hermetic.sh)
+#   2. offline release build
+#   3. offline test run   — unit, integration, and property suites
+#   4. cargo fmt --check  — skipped with a notice if rustfmt is absent
+#
+# The property suites print a PRISM_TEST_SEED on failure; re-run the
+# named test with that env var to reproduce the exact failing input.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== hermeticity =="
+./scripts/check_hermetic.sh
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== test (offline) =="
+cargo test -q --offline
+
+if command -v rustfmt >/dev/null 2>&1; then
+    echo "== fmt =="
+    cargo fmt --check
+else
+    echo "== fmt skipped (rustfmt not installed) =="
+fi
+
+echo "ci.sh: all checks passed"

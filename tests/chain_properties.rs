@@ -1,8 +1,7 @@
 //! Property-based tests over the PRISM core: wire-format round trips,
 //! enhanced-CAS algebra against a reference model, free-list integrity,
-//! and conditional-chain semantics.
-
-use proptest::prelude::*;
+//! and conditional-chain semantics. Runs on the in-repo `prism-testkit`
+//! harness; failures print a `PRISM_TEST_SEED` for exact replay.
 
 use prism_core::builder::ops;
 use prism_core::op::{DataArg, FreeListId, PrismOp, Redirect, MAX_CAS_LEN};
@@ -11,264 +10,320 @@ use prism_core::value::{cas_compare, cas_swap, CasMode};
 use prism_core::wire;
 use prism_core::OpStatus;
 use prism_rdma::region::AccessFlags;
+use prism_testkit::{for_all, gens, Config, Gen};
 
-fn arb_mode() -> impl Strategy<Value = CasMode> {
-    prop_oneof![
-        Just(CasMode::Eq),
-        Just(CasMode::Ne),
-        Just(CasMode::Lt),
-        Just(CasMode::Le),
-        Just(CasMode::Gt),
-        Just(CasMode::Ge),
-    ]
+fn arb_mode() -> Gen<CasMode> {
+    gens::choice(vec![
+        CasMode::Eq,
+        CasMode::Ne,
+        CasMode::Lt,
+        CasMode::Le,
+        CasMode::Gt,
+        CasMode::Ge,
+    ])
 }
 
-fn arb_redirect() -> impl Strategy<Value = Option<Redirect>> {
-    prop_oneof![
-        Just(None),
-        (any::<u64>(), any::<u32>()).prop_map(|(addr, rkey)| Some(Redirect { addr, rkey })),
-    ]
+fn arb_redirect() -> Gen<Option<Redirect>> {
+    gens::one_of(vec![
+        gens::constant(None),
+        gens::t2(gens::u64s(), gens::u32s()).map(|(addr, rkey)| Some(Redirect { addr, rkey })),
+    ])
 }
 
-fn arb_data_arg() -> impl Strategy<Value = DataArg> {
-    prop_oneof![
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(DataArg::Inline),
-        (any::<u64>(), any::<u32>()).prop_map(|(addr, rkey)| DataArg::Remote { addr, rkey }),
-    ]
+fn arb_data_arg() -> Gen<DataArg> {
+    gens::one_of(vec![
+        gens::vec(gens::u8s(), 0..64).map(DataArg::Inline),
+        gens::t2(gens::u64s(), gens::u32s()).map(|(addr, rkey)| DataArg::Remote { addr, rkey }),
+    ])
 }
 
-fn arb_op() -> impl Strategy<Value = PrismOp> {
-    prop_oneof![
-        (
-            any::<u64>(),
-            any::<u32>(),
-            any::<u32>(),
-            any::<bool>(),
-            any::<bool>(),
-            any::<bool>(),
-            arb_redirect()
+fn arb_op() -> Gen<PrismOp> {
+    gens::one_of(vec![
+        gens::t7(
+            gens::u64s(),
+            gens::u32s(),
+            gens::u32s(),
+            gens::bools(),
+            gens::bools(),
+            gens::bools(),
+            arb_redirect(),
         )
-            .prop_map(
-                |(addr, len, rkey, indirect, bounded, conditional, redirect)| PrismOp::Read {
-                    addr,
-                    len,
-                    rkey,
-                    indirect,
-                    bounded,
-                    conditional,
-                    redirect,
-                }
-            ),
-        (
-            any::<u64>(),
-            any::<u32>(),
-            arb_data_arg(),
-            any::<u32>(),
-            any::<bool>(),
-            any::<bool>(),
-            any::<bool>()
-        )
-            .prop_map(
-                |(addr, rkey, data, len, addr_indirect, addr_bounded, conditional)| {
-                    PrismOp::Write {
-                        addr,
-                        rkey,
-                        data,
-                        len,
-                        addr_indirect,
-                        addr_bounded,
-                        conditional,
-                    }
-                }
-            ),
-        (
-            any::<u32>(),
-            proptest::collection::vec(any::<u8>(), 0..128),
-            any::<bool>(),
-            arb_redirect()
-        )
-            .prop_map(|(fl, data, conditional, redirect)| PrismOp::Allocate {
-                freelist: FreeListId(fl),
-                data,
+        .map(
+            |(addr, len, rkey, indirect, bounded, conditional, redirect)| PrismOp::Read {
+                addr,
+                len,
+                rkey,
+                indirect,
+                bounded,
                 conditional,
                 redirect,
-            }),
-        (
-            arb_mode(),
-            any::<u64>(),
-            any::<u32>(),
+            },
+        ),
+        gens::t7(
+            gens::u64s(),
+            gens::u32s(),
             arb_data_arg(),
-            arb_data_arg(),
-            0u32..=32,
-            proptest::collection::vec(any::<u8>(), MAX_CAS_LEN),
-            proptest::collection::vec(any::<u8>(), MAX_CAS_LEN),
-            any::<bool>(),
-            any::<bool>()
+            gens::u32s(),
+            gens::bools(),
+            gens::bools(),
+            gens::bools(),
         )
-            .prop_map(
-                |(mode, target, rkey, compare, swap, len, cm, sm, target_indirect, conditional)| {
-                    PrismOp::Cas {
-                        mode,
-                        target,
-                        rkey,
-                        compare,
-                        swap,
-                        len,
-                        compare_mask: cm.try_into().expect("sized"),
-                        swap_mask: sm.try_into().expect("sized"),
-                        target_indirect,
-                        conditional,
-                    }
+        .map(
+            |(addr, rkey, data, len, addr_indirect, addr_bounded, conditional)| PrismOp::Write {
+                addr,
+                rkey,
+                data,
+                len,
+                addr_indirect,
+                addr_bounded,
+                conditional,
+            },
+        ),
+        gens::t4(
+            gens::u32s(),
+            gens::vec(gens::u8s(), 0..128),
+            gens::bools(),
+            arb_redirect(),
+        )
+        .map(|(fl, data, conditional, redirect)| PrismOp::Allocate {
+            freelist: FreeListId(fl),
+            data,
+            conditional,
+            redirect,
+        }),
+        gens::t10(
+            arb_mode(),
+            gens::u64s(),
+            gens::u32s(),
+            arb_data_arg(),
+            arb_data_arg(),
+            gens::range_u32(0..33),
+            gens::vec_exact(gens::u8s(), MAX_CAS_LEN),
+            gens::vec_exact(gens::u8s(), MAX_CAS_LEN),
+            gens::bools(),
+            gens::bools(),
+        )
+        .map(
+            |(mode, target, rkey, compare, swap, len, cm, sm, target_indirect, conditional)| {
+                PrismOp::Cas {
+                    mode,
+                    target,
+                    rkey,
+                    compare,
+                    swap,
+                    len,
+                    compare_mask: cm.try_into().expect("sized"),
+                    swap_mask: sm.try_into().expect("sized"),
+                    target_indirect,
+                    conditional,
                 }
-            ),
-    ]
+            },
+        ),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Any chain survives encode/decode unchanged.
+#[test]
+fn wire_round_trips() {
+    let gen = gens::vec(arb_op(), 0..8);
+    for_all(
+        "wire_round_trips",
+        &Config::with_cases(256),
+        &gen,
+        |chain| {
+            let bytes = wire::encode_chain(chain);
+            let decoded = wire::decode_chain(&bytes).expect("decode");
+            assert_eq!(&decoded, chain);
+        },
+    );
+}
 
-    /// Any chain survives encode/decode unchanged.
-    #[test]
-    fn wire_round_trips(chain in proptest::collection::vec(arb_op(), 0..8)) {
-        let bytes = wire::encode_chain(&chain);
-        let decoded = wire::decode_chain(&bytes).expect("decode");
-        prop_assert_eq!(decoded, chain);
-    }
+/// Decoding never panics on arbitrary bytes.
+#[test]
+fn wire_decode_is_total() {
+    let gen = gens::vec(gens::u8s(), 0..256);
+    for_all(
+        "wire_decode_is_total",
+        &Config::with_cases(256),
+        &gen,
+        |bytes| {
+            let _ = wire::decode_chain(bytes);
+            let _ = wire::decode_response(bytes);
+        },
+    );
+}
 
-    /// Decoding never panics on arbitrary bytes.
-    #[test]
-    fn wire_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let _ = wire::decode_chain(&bytes);
-        let _ = wire::decode_response(&bytes);
-    }
+/// The CAS comparison agrees with a big-integer reference model.
+#[test]
+fn cas_compare_matches_reference() {
+    let gen = gens::t4(
+        arb_mode(),
+        gens::vec_exact(gens::u8s(), 16),
+        gens::vec_exact(gens::u8s(), 16),
+        gens::vec_exact(gens::u8s(), 16),
+    );
+    for_all(
+        "cas_compare_matches_reference",
+        &Config::with_cases(256),
+        &gen,
+        |(mode, target, data, mask)| {
+            let masked = |v: &[u8]| -> u128 {
+                let mut out = [0u8; 16];
+                for i in 0..16 {
+                    out[i] = v[i] & mask[i];
+                }
+                u128::from_be_bytes(out)
+            };
+            let (t, d) = (masked(target), masked(data));
+            let expected = match mode {
+                CasMode::Eq => t == d,
+                CasMode::Ne => t != d,
+                CasMode::Lt => t < d,
+                CasMode::Le => t <= d,
+                CasMode::Gt => t > d,
+                CasMode::Ge => t >= d,
+            };
+            assert_eq!(cas_compare(*mode, target, data, mask), expected);
+        },
+    );
+}
 
-    /// The CAS comparison agrees with a big-integer reference model.
-    #[test]
-    fn cas_compare_matches_reference(
-        mode in arb_mode(),
-        target in proptest::collection::vec(any::<u8>(), 16),
-        data in proptest::collection::vec(any::<u8>(), 16),
-        mask in proptest::collection::vec(any::<u8>(), 16),
-    ) {
-        let masked = |v: &[u8]| -> u128 {
-            let mut out = [0u8; 16];
-            for i in 0..16 { out[i] = v[i] & mask[i]; }
-            u128::from_be_bytes(out)
-        };
-        let (t, d) = (masked(&target), masked(&data));
-        let expected = match mode {
-            CasMode::Eq => t == d,
-            CasMode::Ne => t != d,
-            CasMode::Lt => t < d,
-            CasMode::Le => t <= d,
-            CasMode::Gt => t > d,
-            CasMode::Ge => t >= d,
-        };
-        prop_assert_eq!(cas_compare(mode, &target, &data, &mask), expected);
-    }
-
-    /// The swap only changes masked bits, and is idempotent.
-    #[test]
-    fn cas_swap_respects_mask(
-        target in proptest::collection::vec(any::<u8>(), 16),
-        data in proptest::collection::vec(any::<u8>(), 16),
-        mask in proptest::collection::vec(any::<u8>(), 16),
-    ) {
-        let mut after = target.clone();
-        cas_swap(&mut after, &data, &mask);
-        for i in 0..16 {
-            prop_assert_eq!(after[i] & !mask[i], target[i] & !mask[i], "unmasked bits changed");
-            prop_assert_eq!(after[i] & mask[i], data[i] & mask[i], "masked bits not swapped");
-        }
-        let mut twice = after.clone();
-        cas_swap(&mut twice, &data, &mask);
-        prop_assert_eq!(twice, after, "swap must be idempotent");
-    }
-
-    /// Random conditional chains of CAS ops on one word behave exactly
-    /// like a sequential reference interpreter.
-    #[test]
-    fn conditional_chains_match_reference(
-        initial in any::<u64>(),
-        steps in proptest::collection::vec((arb_mode(), any::<u64>(), any::<u64>(), any::<bool>()), 1..10),
-    ) {
-        let server = PrismServer::new(1 << 16);
-        let (addr, rkey) = server.carve_region(64, 64, AccessFlags::FULL);
-        server.arena().write(addr, &initial.to_be_bytes()).unwrap();
-
-        let chain: Vec<PrismOp> = steps
-            .iter()
-            .map(|&(mode, cmp, swp, conditional)| {
-                let mut op = ops::cas(
-                    mode,
-                    addr,
-                    rkey.0,
-                    cmp.to_be_bytes().to_vec(),
-                    swp.to_be_bytes().to_vec(),
-                    8,
-                    prism_core::op::full_mask(8),
-                    prism_core::op::full_mask(8),
+/// The swap only changes masked bits, and is idempotent.
+#[test]
+fn cas_swap_respects_mask() {
+    let gen = gens::t3(
+        gens::vec_exact(gens::u8s(), 16),
+        gens::vec_exact(gens::u8s(), 16),
+        gens::vec_exact(gens::u8s(), 16),
+    );
+    for_all(
+        "cas_swap_respects_mask",
+        &Config::with_cases(256),
+        &gen,
+        |(target, data, mask)| {
+            let mut after = target.clone();
+            cas_swap(&mut after, data, mask);
+            for i in 0..16 {
+                assert_eq!(
+                    after[i] & !mask[i],
+                    target[i] & !mask[i],
+                    "unmasked bits changed"
                 );
-                if conditional {
-                    op = op.conditional();
-                }
-                op
-            })
-            .collect();
-        let results = server.execute_chain(&chain);
+                assert_eq!(
+                    after[i] & mask[i],
+                    data[i] & mask[i],
+                    "masked bits not swapped"
+                );
+            }
+            let mut twice = after.clone();
+            cas_swap(&mut twice, data, mask);
+            assert_eq!(twice, after, "swap must be idempotent");
+        },
+    );
+}
 
-        // Reference interpreter.
-        let mut word = initial;
-        let mut prev_ok = true;
-        for (i, &(mode, cmp, swp, conditional)) in steps.iter().enumerate() {
-            if conditional && !prev_ok {
-                prop_assert_eq!(&results[i].status, &OpStatus::Skipped, "step {}", i);
-                prev_ok = false;
-                continue;
-            }
-            let t = word.to_be_bytes();
-            let c = cmp.to_be_bytes();
-            let ok = cas_compare(mode, &t, &c, &[0xFF; 8]);
-            if ok {
-                prop_assert_eq!(&results[i].status, &OpStatus::Ok, "step {}", i);
-                word = swp;
-            } else {
-                prop_assert_eq!(&results[i].status, &OpStatus::CasFailed, "step {}", i);
-            }
-            prop_assert_eq!(results[i].data.as_slice(), &t, "old value at step {}", i);
-            prev_ok = ok;
-        }
-        let final_word = u64::from_be_bytes(
-            server.arena().read(addr, 8).unwrap().try_into().unwrap(),
-        );
-        prop_assert_eq!(final_word, word);
-    }
+/// Random conditional chains of CAS ops on one word behave exactly
+/// like a sequential reference interpreter.
+#[test]
+fn conditional_chains_match_reference() {
+    let gen = gens::t2(
+        gens::u64s(),
+        gens::vec(
+            gens::t4(arb_mode(), gens::u64s(), gens::u64s(), gens::bools()),
+            1..10,
+        ),
+    );
+    for_all(
+        "conditional_chains_match_reference",
+        &Config::with_cases(256),
+        &gen,
+        |(initial, steps)| {
+            let initial = *initial;
+            let server = PrismServer::new(1 << 16);
+            let (addr, rkey) = server.carve_region(64, 64, AccessFlags::FULL);
+            server.arena().write(addr, &initial.to_be_bytes()).unwrap();
 
-    /// ALLOCATE never hands out the same buffer twice while in use, for
-    /// any interleaving of allocations and frees.
-    #[test]
-    fn allocator_integrity(script in proptest::collection::vec(any::<bool>(), 1..200)) {
-        let server = PrismServer::new(1 << 18);
-        let fl = FreeListId(0);
-        server.setup_freelist(fl, 64, 16);
-        let mut live: Vec<u64> = Vec::new();
-        for alloc in script {
-            if alloc {
-                let r = server.execute_chain(&[ops::allocate(fl, vec![0xAB; 8])]);
-                match &r[0].status {
-                    OpStatus::Ok => {
-                        let addr = u64::from_le_bytes(r[0].data.clone().try_into().unwrap());
-                        prop_assert!(!live.contains(&addr), "double allocation of {addr:#x}");
-                        live.push(addr);
+            let chain: Vec<PrismOp> = steps
+                .iter()
+                .map(|&(mode, cmp, swp, conditional)| {
+                    let mut op = ops::cas(
+                        mode,
+                        addr,
+                        rkey.0,
+                        cmp.to_be_bytes().to_vec(),
+                        swp.to_be_bytes().to_vec(),
+                        8,
+                        prism_core::op::full_mask(8),
+                        prism_core::op::full_mask(8),
+                    );
+                    if conditional {
+                        op = op.conditional();
                     }
-                    OpStatus::Error(prism_rdma::RdmaError::ReceiverNotReady) => {
-                        prop_assert_eq!(live.len(), 16, "RNR only when exhausted");
-                    }
-                    other => prop_assert!(false, "unexpected {other:?}"),
+                    op
+                })
+                .collect();
+            let results = server.execute_chain(&chain);
+
+            // Reference interpreter.
+            let mut word = initial;
+            let mut prev_ok = true;
+            for (i, &(mode, cmp, swp, conditional)) in steps.iter().enumerate() {
+                if conditional && !prev_ok {
+                    assert_eq!(&results[i].status, &OpStatus::Skipped, "step {}", i);
+                    prev_ok = false;
+                    continue;
                 }
-            } else if let Some(addr) = live.pop() {
-                server.repost(fl, [addr]).unwrap();
+                let t = word.to_be_bytes();
+                let c = cmp.to_be_bytes();
+                let ok = cas_compare(mode, &t, &c, &[0xFF; 8]);
+                if ok {
+                    assert_eq!(&results[i].status, &OpStatus::Ok, "step {}", i);
+                    word = swp;
+                } else {
+                    assert_eq!(&results[i].status, &OpStatus::CasFailed, "step {}", i);
+                }
+                assert_eq!(results[i].data.as_slice(), &t, "old value at step {}", i);
+                prev_ok = ok;
             }
-        }
-    }
+            let final_word =
+                u64::from_be_bytes(server.arena().read(addr, 8).unwrap().try_into().unwrap());
+            assert_eq!(final_word, word);
+        },
+    );
+}
+
+/// ALLOCATE never hands out the same buffer twice while in use, for
+/// any interleaving of allocations and frees.
+#[test]
+fn allocator_integrity() {
+    let gen = gens::vec(gens::bools(), 1..200);
+    for_all(
+        "allocator_integrity",
+        &Config::with_cases(256),
+        &gen,
+        |script| {
+            let server = PrismServer::new(1 << 18);
+            let fl = FreeListId(0);
+            server.setup_freelist(fl, 64, 16);
+            let mut live: Vec<u64> = Vec::new();
+            for &alloc in script {
+                if alloc {
+                    let r = server.execute_chain(&[ops::allocate(fl, vec![0xAB; 8])]);
+                    match &r[0].status {
+                        OpStatus::Ok => {
+                            let addr = u64::from_le_bytes(r[0].data.clone().try_into().unwrap());
+                            assert!(!live.contains(&addr), "double allocation of {addr:#x}");
+                            live.push(addr);
+                        }
+                        OpStatus::Error(prism_rdma::RdmaError::ReceiverNotReady) => {
+                            assert_eq!(live.len(), 16, "RNR only when exhausted");
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                } else if let Some(addr) = live.pop() {
+                    server.repost(fl, [addr]).unwrap();
+                }
+            }
+        },
+    );
 }

@@ -2,6 +2,11 @@
 //! scale and the paper's headline inequality for that figure must hold.
 //! (The full-scale runs are `cargo run --release -p prism-harness --bin
 //! all_figures`; results are recorded in EXPERIMENTS.md.)
+//!
+//! The quick configs are wall-clock bounded: every `quick()` reads its
+//! measurement window through `prism_harness::smoke`, so
+//! `PRISM_SMOKE_MEASURE_US=<us>` shrinks (or grows) the whole suite at
+//! once. The budget test below keeps the default scale honest.
 
 use prism_harness::{kv_exp, micro, rs_exp, tx_exp};
 
@@ -64,7 +69,14 @@ fn figure4_headline_mixed_workload_competitive() {
 fn figure6_headline_prism_rs_wins() {
     let cfg = rs_exp::RsExpConfig::quick();
     let (t, peaks) = rs_exp::figure6(&cfg);
-    assert!(peaks[0] > peaks[1] && peaks[1] > peaks[2]);
+    // The paper's headline — PRISM-RS beats both baselines — holds at
+    // any measurement window. The ordering *between* the baselines is a
+    // sub-0.2% effect that only resolves at the full 4 ms quick window,
+    // so it is skipped when PRISM_SMOKE_MEASURE_US shrinks the run.
+    assert!(peaks[0] > peaks[1] && peaks[0] > peaks[2]);
+    if cfg.measure >= prism_simnet::time::SimDuration::millis(4) {
+        assert!(peaks[1] > peaks[2], "ABDLOCK must beat the ABD baseline");
+    }
     let prism_lat = col(&t, "PRISM-RS", 3)[0];
     let abd_lat = col(&t, "ABDLOCK", 3)[0];
     assert!(
@@ -120,4 +132,21 @@ fn figure10_headline_advantage_survives_skew() {
     for (i, (p, f)) in prism.iter().zip(farm.iter()).enumerate() {
         assert!(*p >= 0.75 * f, "zipf point {i}: PRISM {p} vs FaRM {f}");
     }
+}
+
+/// The quick configs must stay smoke-test sized: one full KV experiment
+/// (the heaviest single figure here) finishes in seconds, keeping the
+/// whole suite well under a minute even on a loaded machine. If this
+/// trips, a quick() config grew past smoke scale — shrink it or move
+/// the heavy variant to the paper() config.
+#[test]
+fn quick_configs_fit_the_smoke_budget() {
+    let start = std::time::Instant::now();
+    let cfg = kv_exp::KvExpConfig::quick(1.0);
+    let _ = kv_exp::run(&cfg);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "quick KV experiment took {elapsed:?}; smoke scale has drifted"
+    );
 }

@@ -189,9 +189,11 @@ fn prism_kv_concurrent_mixed_workload_is_atomic() {
 fn pilaf_concurrent_reads_see_complete_values() {
     let s = Arc::new(PilafServer::new(&PilafConfig::paper(16, 64)));
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let puts = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let writer = {
         let s = Arc::clone(&s);
         let stop = Arc::clone(&stop);
+        let puts = Arc::clone(&puts);
         std::thread::spawn(move || {
             let c = s.open_client();
             let mut i = 0u64;
@@ -199,6 +201,7 @@ fn pilaf_concurrent_reads_see_complete_values() {
                 let k = i % 16;
                 pilaf_put(&s, &c, &key_bytes(k), &value_bytes(k, i, 64));
                 i += 1;
+                puts.store(i, std::sync::atomic::Ordering::Release);
                 // Pace the writer: an unthrottled in-process loop churns
                 // extents far faster than any real 6 us RPC path could,
                 // which would make every read a CRC-retry storm.
@@ -206,6 +209,13 @@ fn pilaf_concurrent_reads_see_complete_values() {
             }
         })
     };
+    // Wait for one full pass over the key space before reading: on a
+    // loaded machine the reader can otherwise finish its entire loop
+    // before the writer's first PUT lands, and `hits > 0` below would
+    // fail spuriously. The churn being tested still overlaps the reads.
+    while puts.load(std::sync::atomic::Ordering::Acquire) < 16 {
+        std::thread::yield_now();
+    }
     let c = s.open_client();
     let mut rng = SimRng::new(5);
     let mut hits = 0;
