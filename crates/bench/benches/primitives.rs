@@ -52,6 +52,18 @@ fn bench_primitives(c: &mut Criterion) {
         b.iter(|| r.server.execute_chain(std::hint::black_box(&op)));
     });
 
+    g.bench_function("read_512_into", |b| {
+        // Zero-alloc chain path: the results vector (and its data
+        // buffers) are reused across executions.
+        let op = [ops::read(r.data + 4096, 512, r.rkey)];
+        let mut results = Vec::new();
+        b.iter(|| {
+            r.server
+                .execute_chain_into(std::hint::black_box(&op), &mut results);
+            results[0].data.len()
+        });
+    });
+
     g.bench_function("indirect_read_512", |b| {
         let op = [ops::read_indirect_bounded(r.data, 512, r.rkey)];
         b.iter(|| r.server.execute_chain(std::hint::black_box(&op)));

@@ -64,13 +64,25 @@ fn bench_memory(c: &mut Criterion) {
     let arena = MemoryArena::new(1 << 20);
     let base = MemoryArena::BASE;
     arena.write(base, &[1u8; 4096]).unwrap();
+    g.bench_function("arena_read_64", |b| {
+        let mut buf = [0u8; 64];
+        b.iter(|| arena.read_into(base, &mut buf).unwrap());
+    });
     g.bench_function("arena_read_512", |b| {
         let mut buf = [0u8; 512];
+        b.iter(|| arena.read_into(base, &mut buf).unwrap());
+    });
+    g.bench_function("arena_read_4k", |b| {
+        let mut buf = vec![0u8; 4096];
         b.iter(|| arena.read_into(base, &mut buf).unwrap());
     });
     g.bench_function("arena_write_512", |b| {
         let data = [7u8; 512];
         b.iter(|| arena.write(base + 8192, &data).unwrap());
+    });
+    g.bench_function("arena_write_4k", |b| {
+        let data = vec![7u8; 4096];
+        b.iter(|| arena.write(base + 16384, &data).unwrap());
     });
     g.bench_function("arena_atomic_16", |b| {
         b.iter(|| {
@@ -86,5 +98,58 @@ fn bench_memory(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_des, bench_workload, bench_memory);
+fn bench_verbs(c: &mut Criterion) {
+    use prism_rdma::region::AccessFlags;
+    use prism_rdma::RdmaNic;
+
+    let mut g = c.benchmark_group("verbs");
+    let nic = RdmaNic::new(1 << 20);
+    let rkey = nic.register(MemoryArena::BASE, 1 << 20, AccessFlags::FULL);
+    let base = MemoryArena::BASE;
+    nic.arena().write(base, &[5u8; 16384]).unwrap();
+
+    g.bench_function("read_512_alloc", |b| {
+        b.iter(|| nic.read(rkey, base, 512).unwrap());
+    });
+    g.bench_function("read_512_into", |b| {
+        // Zero-alloc verb path: caller-provided buffer.
+        let mut buf = vec![0u8; 512];
+        b.iter(|| nic.read_into(rkey, base, &mut buf).unwrap());
+    });
+    g.bench_function("read_512_x16_singly", |b| {
+        // 16 dependent round trips: one verb per doorbell ring.
+        let mut buf = vec![0u8; 512];
+        b.iter(|| {
+            for i in 0..16u64 {
+                let _ = std::hint::black_box(nic.read(rkey, base + i * 512, 512));
+                let _ = &mut buf;
+            }
+        });
+    });
+    g.bench_function("read_512_x16_doorbell", |b| {
+        // The same 16 READs posted as one doorbell batch, draining one
+        // completion queue whose buffers are reused across iterations.
+        let wrs: Vec<prism_rdma::WorkRequest> = (0..16u64)
+            .map(|i| prism_rdma::WorkRequest::Read {
+                rkey,
+                addr: base + i * 512,
+                len: 512,
+            })
+            .collect();
+        let mut cq = Vec::new();
+        b.iter(|| {
+            nic.post_batch_into(&wrs, &mut cq);
+            std::hint::black_box(cq.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_des,
+    bench_workload,
+    bench_memory,
+    bench_verbs
+);
 criterion_main!(benches);

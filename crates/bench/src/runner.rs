@@ -29,6 +29,27 @@ fn budget_ms() -> u64 {
         .unwrap_or(300)
 }
 
+/// When `PRISM_BENCH_JSON` names a file, each result is appended to it
+/// as one JSON object per line (`{"bench": ..., "ns_per_iter": ...}`),
+/// so `scripts/bench.sh` can collect machine-readable numbers across
+/// bench binaries without parsing stdout.
+fn append_json_line(name: &str, ns: f64) {
+    let Ok(path) = std::env::var("PRISM_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{{\"bench\": \"{name}\", \"ns_per_iter\": {ns:.1}}}");
+    }
+}
+
 /// Batch-size hint, kept for Criterion API compatibility. The runner
 /// re-runs setup per batch regardless of the hint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +115,7 @@ impl BenchmarkGroup<'_> {
             println!("{full:<44} (no measurement)");
         } else {
             println!("{full:<44} {:>12.1} ns/iter", b.ns_per_iter);
+            append_json_line(&full, b.ns_per_iter);
         }
     }
 

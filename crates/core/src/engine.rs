@@ -51,13 +51,6 @@ pub struct OpResult {
 }
 
 impl OpResult {
-    fn ok(data: Vec<u8>) -> Self {
-        OpResult {
-            status: OpStatus::Ok,
-            data,
-        }
-    }
-
     fn skipped() -> Self {
         OpResult {
             status: OpStatus::Skipped,
@@ -113,34 +106,63 @@ impl PrismEngine {
 
     /// Executes a chain: ops run in order; a conditional op is skipped
     /// unless the immediately preceding op succeeded (§3.4).
+    ///
+    /// Thin allocating wrapper over
+    /// [`PrismEngine::execute_chain_into`].
     pub fn execute_chain(&self, chain: &[PrismOp]) -> Vec<OpResult> {
+        let mut results = Vec::with_capacity(chain.len());
+        self.execute_chain_into(chain, &mut results);
+        results
+    }
+
+    /// Executes a chain, writing per-op results into `results` — the
+    /// zero-alloc fast path. `results` is truncated/extended to
+    /// `chain.len()` and each existing [`OpResult::data`] buffer is
+    /// reused, so a caller that drives many chains through the same
+    /// results vector reaches a steady state with no per-op heap
+    /// traffic.
+    pub fn execute_chain_into(&self, chain: &[PrismOp], results: &mut Vec<OpResult>) {
         // Hold the posting gate for the whole chain so free-list reposts
         // cannot interleave with our allocations or reads (§3.2).
         let _gate = self.freelists.gate_read();
-        let mut prev_ok = true;
-        let mut results = Vec::with_capacity(chain.len());
-        for op in chain {
-            let r = if op.is_conditional() && !prev_ok {
-                OpResult::skipped()
-            } else {
-                self.execute_one(op)
-            };
-            prev_ok = r.succeeded();
-            results.push(r);
+        results.truncate(chain.len());
+        while results.len() < chain.len() {
+            results.push(OpResult::skipped());
         }
-        results
+        let mut prev_ok = true;
+        for (op, slot) in chain.iter().zip(results.iter_mut()) {
+            let mut data = std::mem::take(&mut slot.data);
+            data.clear();
+            let status = if op.is_conditional() && !prev_ok {
+                OpStatus::Skipped
+            } else {
+                match self.dispatch_into(op, &mut data) {
+                    Ok(status) => status,
+                    Err(e) => {
+                        data.clear();
+                        OpStatus::Error(e)
+                    }
+                }
+            };
+            prev_ok = status == OpStatus::Ok;
+            slot.status = status;
+            slot.data = data;
+        }
     }
 
     /// Executes a single op unconditionally (used by tests; chains should
     /// go through [`PrismEngine::execute_chain`]).
     pub fn execute_one(&self, op: &PrismOp) -> OpResult {
-        match self.dispatch(op) {
-            Ok(r) => r,
+        let mut data = Vec::new();
+        match self.dispatch_into(op, &mut data) {
+            Ok(status) => OpResult { status, data },
             Err(e) => OpResult::error(e),
         }
     }
 
-    fn dispatch(&self, op: &PrismOp) -> Result<OpResult, RdmaError> {
+    /// Dispatches one op, writing its returned bytes into `out` (cleared
+    /// by the caller). Returns the op's status; `Err` means NACK.
+    fn dispatch_into(&self, op: &PrismOp, out: &mut Vec<u8>) -> Result<OpStatus, RdmaError> {
         match op {
             PrismOp::Read {
                 addr,
@@ -157,6 +179,7 @@ impl PrismEngine {
                 *indirect,
                 *bounded,
                 *redirect,
+                out,
             ),
             PrismOp::Write {
                 addr,
@@ -179,7 +202,7 @@ impl PrismEngine {
                 data,
                 redirect,
                 ..
-            } => self.allocate(*freelist, data, *redirect),
+            } => self.allocate(*freelist, data, *redirect, out),
             PrismOp::Cas {
                 mode,
                 target,
@@ -201,6 +224,7 @@ impl PrismEngine {
                 compare_mask,
                 swap_mask,
                 *target_indirect,
+                out,
             ),
         }
     }
@@ -231,34 +255,45 @@ impl PrismEngine {
         Ok((ptr, len))
     }
 
-    fn load_data_arg(&self, data: &DataArg, len: u64) -> Result<Vec<u8>, RdmaError> {
+    /// Loads a CAS operand (≤ [`MAX_CAS_LEN`] bytes) into a
+    /// caller-provided stack buffer, avoiding heap traffic. Shorter
+    /// inline data is zero-extended; longer is clamped — same semantics
+    /// for remote operands via the bounded read.
+    fn load_operand<'a>(
+        &self,
+        data: &DataArg,
+        buf: &'a mut [u8; MAX_CAS_LEN],
+        len: u64,
+    ) -> Result<&'a [u8], RdmaError> {
+        let len = len as usize;
+        buf[..len].fill(0);
         match data {
             DataArg::Inline(d) => {
-                let mut v = d.clone();
-                // Shorter inline data is zero-extended; longer is clamped.
-                v.resize(len as usize, 0);
-                Ok(v)
+                let n = d.len().min(len);
+                buf[..n].copy_from_slice(&d[..n]);
             }
             DataArg::Remote { addr, rkey } => {
                 self.regions
-                    .validate(Rkey(*rkey), *addr, len, Access::Read)?;
-                self.arena.read(*addr, len)
+                    .validate(Rkey(*rkey), *addr, len as u64, Access::Read)?;
+                self.arena.read_into(*addr, &mut buf[..len])?;
             }
         }
+        Ok(&buf[..len])
     }
 
-    fn emit(&self, output: Vec<u8>, redirect: Option<Redirect>) -> Result<OpResult, RdmaError> {
-        match redirect {
-            None => Ok(OpResult::ok(output)),
-            Some(r) => {
-                self.regions
-                    .validate(Rkey(r.rkey), r.addr, output.len() as u64, Access::Write)?;
-                self.arena.write(r.addr, &output)?;
-                Ok(OpResult::ok(Vec::new()))
-            }
+    /// Delivers `out` either to the response (leaving it in place) or to
+    /// the redirect target in server memory (clearing it, §3.4).
+    fn emit_into(&self, out: &mut Vec<u8>, redirect: Option<Redirect>) -> Result<(), RdmaError> {
+        if let Some(r) = redirect {
+            self.regions
+                .validate(Rkey(r.rkey), r.addr, out.len() as u64, Access::Write)?;
+            self.arena.write(r.addr, out)?;
+            out.clear();
         }
+        Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn read(
         &self,
         addr: u64,
@@ -267,15 +302,18 @@ impl PrismEngine {
         indirect: bool,
         bounded: bool,
         redirect: Option<Redirect>,
-    ) -> Result<OpResult, RdmaError> {
+        out: &mut Vec<u8>,
+    ) -> Result<OpStatus, RdmaError> {
         let (target, len) = if indirect {
             self.deref_target(addr, len, rkey, bounded, Access::Read)?
         } else {
             self.regions.validate(rkey, addr, len, Access::Read)?;
             (addr, len)
         };
-        let out = self.arena.read(target, len)?;
-        self.emit(out, redirect)
+        out.resize(len as usize, 0);
+        self.arena.read_into(target, out)?;
+        self.emit_into(out, redirect)?;
+        Ok(OpStatus::Ok)
     }
 
     fn write(
@@ -286,16 +324,53 @@ impl PrismEngine {
         len: u64,
         addr_indirect: bool,
         addr_bounded: bool,
-    ) -> Result<OpResult, RdmaError> {
+    ) -> Result<OpStatus, RdmaError> {
         let (target, len) = if addr_indirect {
             self.deref_target(addr, len, rkey, addr_bounded, Access::Write)?
         } else {
             self.regions.validate(rkey, addr, len, Access::Write)?;
             (addr, len)
         };
-        let src = self.load_data_arg(data, len)?;
-        self.arena.write(target, &src)?;
-        Ok(OpResult::ok(Vec::new()))
+        match data {
+            // Inline data covering the whole span is written straight
+            // from the request — the hot PUT path allocates nothing.
+            DataArg::Inline(d) if d.len() as u64 >= len => {
+                self.arena.write(target, &d[..len as usize])?;
+            }
+            DataArg::Inline(d) => {
+                // Shorter inline data is zero-extended (cold path).
+                let mut padded = vec![0u8; len as usize];
+                padded[..d.len()].copy_from_slice(d);
+                self.arena.write(target, &padded)?;
+            }
+            DataArg::Remote {
+                addr: src,
+                rkey: src_rkey,
+            } => {
+                self.regions
+                    .validate(Rkey(*src_rkey), *src, len, Access::Read)?;
+                let src = *src;
+                if src < target.saturating_add(len) && target < src.saturating_add(len) {
+                    // Overlapping ranges: snapshot the source first so
+                    // the copy keeps memcpy semantics (cold path).
+                    let snapshot = self.arena.read(src, len)?;
+                    self.arena.write(target, &snapshot)?;
+                } else {
+                    // Server-memory-to-server-memory copy, staged line
+                    // by line through a stack buffer: no allocation, and
+                    // the same per-line atomicity a NIC DMA would give.
+                    let mut staged = 0u64;
+                    let mut buf = [0u8; 64];
+                    while staged < len {
+                        let n = (len - staged).min(64) as usize;
+                        self.arena.read_into(src + staged, &mut buf[..n])?;
+                        self.arena.write(target + staged, &buf[..n])?;
+                        staged += n as u64;
+                    }
+                }
+            }
+        }
+        Ok(OpStatus::Ok)
     }
 
     fn allocate(
@@ -303,7 +378,8 @@ impl PrismEngine {
         id: crate::op::FreeListId,
         data: &[u8],
         redirect: Option<Redirect>,
-    ) -> Result<OpResult, RdmaError> {
+        out: &mut Vec<u8>,
+    ) -> Result<OpStatus, RdmaError> {
         let (addr, buf_len) = self.freelists.pop(id)?;
         if data.len() as u64 > buf_len {
             // Put the buffer back: the allocation never happened. The
@@ -316,7 +392,9 @@ impl PrismEngine {
             });
         }
         self.arena.write(addr, data)?;
-        self.emit(addr.to_le_bytes().to_vec(), redirect)
+        out.extend_from_slice(&addr.to_le_bytes());
+        self.emit_into(out, redirect)?;
+        Ok(OpStatus::Ok)
     }
 
     fn freelists_repush(&self, id: crate::op::FreeListId, addr: u64) {
@@ -340,7 +418,8 @@ impl PrismEngine {
         compare_mask: &[u8; MAX_CAS_LEN],
         swap_mask: &[u8; MAX_CAS_LEN],
         target_indirect: bool,
-    ) -> Result<OpResult, RdmaError> {
+        out: &mut Vec<u8>,
+    ) -> Result<OpStatus, RdmaError> {
         if len as usize > MAX_CAS_LEN {
             return Err(RdmaError::OperandTooLong(len));
         }
@@ -359,24 +438,26 @@ impl PrismEngine {
         }
         self.regions.validate(rkey, target, len, Access::Atomic)?;
         // Operand loads are not atomic with the CAS (§3.3) — they happen
-        // before the target lines are locked.
-        let comparand = self.load_data_arg(compare, len)?;
-        let swap_value = self.load_data_arg(swap, len)?;
-        let (old, swapped) = self.arena.atomic(target, len, |bytes| {
-            let old = bytes.to_vec();
-            let ok = cas_compare(mode, bytes, &comparand, compare_mask);
+        // before the target lines are locked. Both operands fit in
+        // stack buffers (enhanced-CAS maximum is 32 bytes).
+        let mut compare_buf = [0u8; MAX_CAS_LEN];
+        let mut swap_buf = [0u8; MAX_CAS_LEN];
+        let comparand = self.load_operand(compare, &mut compare_buf, len)?;
+        let swap_value = self.load_operand(swap, &mut swap_buf, len)?;
+        out.resize(len as usize, 0);
+        let old = &mut out[..len as usize];
+        let swapped = self.arena.atomic(target, len, |bytes| {
+            old.copy_from_slice(bytes);
+            let ok = cas_compare(mode, bytes, comparand, compare_mask);
             if ok {
-                cas_swap(bytes, &swap_value, swap_mask);
+                cas_swap(bytes, swap_value, swap_mask);
             }
-            (old, ok)
+            ok
         })?;
-        Ok(OpResult {
-            status: if swapped {
-                OpStatus::Ok
-            } else {
-                OpStatus::CasFailed
-            },
-            data: old,
+        Ok(if swapped {
+            OpStatus::Ok
+        } else {
+            OpStatus::CasFailed
         })
     }
 }

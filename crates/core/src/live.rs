@@ -41,6 +41,28 @@ pub struct LiveStats {
     pub rpcs: AtomicU64,
 }
 
+/// Bumps the per-kind counters for one request; doorbell batches count
+/// each inner request individually (a batch is a submission, not a new
+/// kind of work).
+fn count_request(stats: &LiveStats, req: &Request) {
+    match req {
+        Request::Chain(_) => {
+            stats.chains.fetch_add(1, Ordering::Relaxed);
+        }
+        Request::Verb(_) => {
+            stats.verbs.fetch_add(1, Ordering::Relaxed);
+        }
+        Request::Rpc(_) => {
+            stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        Request::Batch(reqs) => {
+            for r in reqs {
+                count_request(stats, r);
+            }
+        }
+    }
+}
+
 /// A PRISM host served by a pool of dispatch threads.
 pub struct LiveServer {
     tx: Sender<Job>,
@@ -71,11 +93,7 @@ impl LiveServer {
                             Job::Work { req, reply_to } => (req, reply_to),
                             Job::Poison => break,
                         };
-                        match &req {
-                            Request::Chain(_) => stats.chains.fetch_add(1, Ordering::Relaxed),
-                            Request::Verb(_) => stats.verbs.fetch_add(1, Ordering::Relaxed),
-                            Request::Rpc(_) => stats.rpcs.fetch_add(1, Ordering::Relaxed),
-                        };
+                        count_request(&stats, &req);
                         let reply = execute_local(&server, &req);
                         if let Some(reply_to) = reply_to {
                             // A dropped receiver means the client gave up

@@ -159,6 +159,13 @@ impl PrismServer {
         self.engine.execute_chain(chain)
     }
 
+    /// Executes a PRISM chain into a reusable results vector — the
+    /// zero-alloc fast path (see
+    /// [`crate::engine::PrismEngine::execute_chain_into`]).
+    pub fn execute_chain_into(&self, chain: &[PrismOp], results: &mut Vec<OpResult>) {
+        self.engine.execute_chain_into(chain, results)
+    }
+
     /// Installs the application's RPC handler.
     pub fn set_rpc_handler(&self, handler: Arc<dyn RpcHandler>) {
         *self.rpc.lock() = Some(handler);

@@ -178,6 +178,27 @@ impl ServerActor {
                 (m.host_dma, Some(occ), sw_latency(m, n) - occ)
             }
             Request::Rpc(_) => (m.host_dma, Some(m.rpc_core_occupancy), m.rpc_dispatch),
+            Request::Batch(reqs) => {
+                // One doorbell: the submission DMAs once (the slowest
+                // member's pre-admission cost), then members execute
+                // back-to-back, so core occupancy accumulates while the
+                // post-occupancy slack is paid once — this is where
+                // batching beats N separate submissions.
+                let mut dma = SimDuration::ZERO;
+                let mut occ = SimDuration::ZERO;
+                let mut post = SimDuration::ZERO;
+                let mut occupies = false;
+                for r in reqs {
+                    let (d, o, p) = self.processing(r);
+                    dma = dma.max(d);
+                    if let Some(o) = o {
+                        occ = occ + o;
+                        occupies = true;
+                    }
+                    post = post.max(p);
+                }
+                (dma, if occupies { Some(occ) } else { None }, post)
+            }
         }
     }
 }

@@ -11,7 +11,7 @@
 //! never tear, large transfers may observe concurrent writes at cache-line
 //! granularity, rkey checks reject stray accesses — is implemented exactly.
 //!
-//! * [`arena`] — the byte-addressable memory with cache-line locking.
+//! * [`arena`] — the byte-addressable memory with per-line seqlocks.
 //! * [`region`] — memory registration and rkey validation.
 //! * [`verbs`] — the classic one-sided verb set ([`verbs::RdmaNic`]).
 //! * [`bufqueue`] — registered buffer queues (the paper's free lists,
@@ -34,4 +34,4 @@ pub use arena::MemoryArena;
 pub use bufqueue::BufferQueue;
 pub use error::RdmaError;
 pub use region::{AccessFlags, RegionTable, Rkey};
-pub use verbs::RdmaNic;
+pub use verbs::{Completion, RdmaNic, WorkRequest};

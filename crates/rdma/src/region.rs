@@ -6,11 +6,33 @@
 //! either the target address or the location pointed to by the target
 //! address is in a memory region with a different rkey (or that has not
 //! been registered at all)".
+//!
+//! # Fast-path design
+//!
+//! Every remote verb and every PRISM primitive validates an rkey, so the
+//! lookup sits on the data plane's hottest path. The original table was a
+//! `RwLock<HashMap>` — a lock acquisition plus a hash per operation. It
+//! is now fully **lock-free on the read path**:
+//!
+//! * rkeys are dense (`next_key` is an [`AtomicU32`] counter, keys are
+//!   never reused), so a key maps directly to a slot index — no hashing;
+//! * slots live in fixed-size immutable chunks published exactly once
+//!   through [`OnceLock`] (an atomic pointer swap); readers index into
+//!   whatever chunks are already published and never take a lock;
+//! * a slot's `addr`/`len` are written before its state word is
+//!   release-stored to LIVE, and validation acquire-loads the state word
+//!   first, so a reader that observes LIVE also observes the extent.
+//!   [`RegionTable::deregister`] only clears the state word — slots are
+//!   write-once, which is what makes the lock-free protocol this simple.
+//!
+//! Registration is a CPU-side control-plane action (§3.2) and may be as
+//! slow as it likes; it pays one `fetch_add` plus (rarely) one chunk
+//! allocation.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use crate::error::RdmaError;
-use crate::sync::RwLock;
 
 /// A remote key naming one registered memory region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -54,31 +76,60 @@ pub enum Access {
     Atomic,
 }
 
-#[derive(Debug, Clone)]
-struct Region {
-    addr: u64,
-    len: u64,
-    flags: AccessFlags,
+/// Slot state-word bits.
+const STATE_LIVE: u32 = 1 << 3;
+const STATE_READ: u32 = 1 << 0;
+const STATE_WRITE: u32 = 1 << 1;
+const STATE_ATOMIC: u32 = 1 << 2;
+
+/// One registration slot. Write-once: `addr`/`len` are stored before the
+/// state word goes LIVE and never change afterwards; deregistration only
+/// clears the state word.
+#[derive(Debug, Default)]
+struct Slot {
+    state: AtomicU32,
+    addr: AtomicU64,
+    len: AtomicU64,
 }
+
+/// Registrations per chunk; chunks are allocated lazily as keys grow.
+const CHUNK: usize = 1024;
+/// Maximum chunks, bounding the key space at `CHUNK * NCHUNKS`.
+const NCHUNKS: usize = 1024;
 
 /// The host's table of registered regions.
 ///
 /// Registration is a CPU-side control-plane action (§3.2: "memory
 /// registrations ... are done by the server CPU"); validation happens on
-/// the data plane for every remote operation.
-#[derive(Debug, Default)]
+/// the data plane for every remote operation and is lock-free (see the
+/// module docs).
+#[derive(Debug)]
 pub struct RegionTable {
-    regions: RwLock<HashMap<Rkey, Region>>,
-    next_key: RwLock<u32>,
+    chunks: Box<[OnceLock<Box<[Slot]>>]>,
+    next_key: AtomicU32,
+}
+
+impl Default for RegionTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RegionTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         RegionTable {
-            regions: RwLock::new(HashMap::new()),
-            next_key: RwLock::new(1),
+            chunks: (0..NCHUNKS).map(|_| OnceLock::new()).collect(),
+            next_key: AtomicU32::new(1),
         }
+    }
+
+    /// The slot for `key`, if that key has ever been registered.
+    #[inline]
+    fn slot(&self, key: Rkey) -> Option<&Slot> {
+        let idx = (key.0 as usize).checked_sub(1)?;
+        let chunk = self.chunks.get(idx / CHUNK)?.get()?;
+        Some(&chunk[idx % CHUNK])
     }
 
     /// Registers `[addr, addr+len)` with the given rights and returns the
@@ -86,25 +137,43 @@ impl RegionTable {
     ///
     /// # Panics
     ///
-    /// Panics if `len` is zero.
+    /// Panics if `len` is zero or the rkey space (`CHUNK * NCHUNKS` keys)
+    /// is exhausted.
     pub fn register(&self, addr: u64, len: u64, flags: AccessFlags) -> Rkey {
         assert!(len > 0, "RegionTable::register: empty region");
-        let mut next = self.next_key.write();
-        let key = Rkey(*next);
-        *next = next.checked_add(1).expect("rkey space exhausted");
-        self.regions
-            .write()
-            .insert(key, Region { addr, len, flags });
-        key
+        let key = self.next_key.fetch_add(1, Ordering::Relaxed);
+        let idx = key as usize - 1;
+        assert!(idx < CHUNK * NCHUNKS, "rkey space exhausted");
+        let chunk =
+            self.chunks[idx / CHUNK].get_or_init(|| (0..CHUNK).map(|_| Slot::default()).collect());
+        let slot = &chunk[idx % CHUNK];
+        slot.addr.store(addr, Ordering::Relaxed);
+        slot.len.store(len, Ordering::Relaxed);
+        let mut state = STATE_LIVE;
+        if flags.read {
+            state |= STATE_READ;
+        }
+        if flags.write {
+            state |= STATE_WRITE;
+        }
+        if flags.atomic {
+            state |= STATE_ATOMIC;
+        }
+        // Publish: readers that acquire-load LIVE observe addr/len.
+        slot.state.store(state, Ordering::Release);
+        Rkey(key)
     }
 
     /// Removes a registration. Returns whether the key existed.
     pub fn deregister(&self, key: Rkey) -> bool {
-        self.regions.write().remove(&key).is_some()
+        match self.slot(key) {
+            Some(slot) => slot.state.swap(0, Ordering::Release) & STATE_LIVE != 0,
+            None => false,
+        }
     }
 
     /// Checks that `[addr, addr+len)` lies inside the region named by
-    /// `key` and that the region grants `access`.
+    /// `key` and that the region grants `access`. Lock-free.
     pub fn validate(
         &self,
         key: Rkey,
@@ -112,15 +181,20 @@ impl RegionTable {
         len: u64,
         access: Access,
     ) -> Result<(), RdmaError> {
-        let regions = self.regions.read();
-        let region = regions.get(&key).ok_or(RdmaError::InvalidRkey(key.0))?;
-        let inside = addr >= region.addr && addr.saturating_add(len) <= region.addr + region.len;
-        let allowed = match access {
-            Access::Read => region.flags.read,
-            Access::Write => region.flags.write,
-            Access::Atomic => region.flags.atomic,
+        let slot = self.slot(key).ok_or(RdmaError::InvalidRkey(key.0))?;
+        let state = slot.state.load(Ordering::Acquire);
+        if state & STATE_LIVE == 0 {
+            return Err(RdmaError::InvalidRkey(key.0));
+        }
+        let raddr = slot.addr.load(Ordering::Relaxed);
+        let rlen = slot.len.load(Ordering::Relaxed);
+        let inside = addr >= raddr && addr.saturating_add(len) <= raddr + rlen;
+        let needed = match access {
+            Access::Read => STATE_READ,
+            Access::Write => STATE_WRITE,
+            Access::Atomic => STATE_ATOMIC,
         };
-        if !inside || !allowed {
+        if !inside || state & needed == 0 {
             return Err(RdmaError::AccessDenied {
                 rkey: key.0,
                 addr,
@@ -133,12 +207,25 @@ impl RegionTable {
     /// The `(addr, len)` extent of a registration, if it exists. Used by
     /// servers to enumerate their own regions.
     pub fn extent(&self, key: Rkey) -> Option<(u64, u64)> {
-        self.regions.read().get(&key).map(|r| (r.addr, r.len))
+        let slot = self.slot(key)?;
+        if slot.state.load(Ordering::Acquire) & STATE_LIVE == 0 {
+            return None;
+        }
+        Some((
+            slot.addr.load(Ordering::Relaxed),
+            slot.len.load(Ordering::Relaxed),
+        ))
     }
 
-    /// Number of live registrations.
+    /// Number of live registrations. Control-plane only: walks every
+    /// allocated chunk.
     pub fn count(&self) -> usize {
-        self.regions.read().len()
+        self.chunks
+            .iter()
+            .filter_map(|c| c.get())
+            .flat_map(|chunk| chunk.iter())
+            .filter(|s| s.state.load(Ordering::Acquire) & STATE_LIVE != 0)
+            .count()
     }
 }
 
@@ -205,5 +292,59 @@ mod tests {
         let k = t.register(0x5000, 128, AccessFlags::FULL);
         assert_eq!(t.extent(k), Some((0x5000, 128)));
         assert_eq!(t.extent(Rkey(999)), None);
+    }
+
+    #[test]
+    fn unregistered_and_stale_keys_rejected() {
+        let t = RegionTable::new();
+        assert_eq!(
+            t.validate(Rkey(0), 0, 1, Access::Read).unwrap_err(),
+            RdmaError::InvalidRkey(0)
+        );
+        assert_eq!(
+            t.validate(Rkey(7), 0, 1, Access::Read).unwrap_err(),
+            RdmaError::InvalidRkey(7)
+        );
+        let k = t.register(0x1000, 64, AccessFlags::FULL);
+        t.deregister(k);
+        assert_eq!(t.extent(k), None);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn registrations_spill_across_chunks() {
+        let t = RegionTable::new();
+        let keys: Vec<_> = (0..(CHUNK as u64 + 5))
+            .map(|i| t.register(0x1000 + i * 64, 64, AccessFlags::FULL))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert!(t
+                .validate(*k, 0x1000 + i as u64 * 64, 64, Access::Read)
+                .is_ok());
+        }
+        assert_eq!(t.count(), CHUNK + 5);
+    }
+
+    #[test]
+    fn concurrent_register_and_validate() {
+        use std::sync::Arc;
+        let t = Arc::new(RegionTable::new());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for j in 0..200u64 {
+                        let addr = 0x10_0000 * (i + 1) as u64 + j * 64;
+                        let k = t.register(addr, 64, AccessFlags::FULL);
+                        assert!(t.validate(k, addr, 64, Access::Write).is_ok());
+                        assert!(t.validate(k, addr + 64, 1, Access::Read).is_err());
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.count(), 8 * 200);
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the in-repo benchmark suite and collects machine-readable output.
+#
+#   scripts/bench.sh [out.jsonl]
+#
+# Each bench binary prints human-readable ns/iter lines; with
+# PRISM_BENCH_JSON set (as this script does) the runner also appends one
+# JSON line per bench: {"bench": "<group/name>", "ns_per_iter": <f64>}.
+# PRISM_BENCH_MS bounds per-bench measurement time (default here 200 ms
+# for stable numbers; CI smoke uses 50 ms).
+#
+# results/BENCH_02.json was assembled from two such runs — one at the
+# pre-fast-path commit, one after — joined per bench name.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results/bench_latest.jsonl}"
+mkdir -p "$(dirname "$OUT")"
+rm -f "$OUT"
+
+echo "== bench (PRISM_BENCH_MS=${PRISM_BENCH_MS:-200}, JSON -> $OUT) =="
+PRISM_BENCH_MS="${PRISM_BENCH_MS:-200}" PRISM_BENCH_JSON="$OUT" \
+    cargo bench -q --offline -p prism-bench
+
+echo "bench.sh: wrote $(wc -l < "$OUT") results to $OUT"
