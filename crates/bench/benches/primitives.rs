@@ -164,9 +164,9 @@ fn bench_primitives(c: &mut Criterion) {
         ),
     ];
     g.bench_function("encode_3op_chain", |b| {
-        b.iter(|| wire::encode_chain(std::hint::black_box(&chain)));
+        b.iter(|| wire::encode_chain(std::hint::black_box(&chain)).unwrap());
     });
-    let bytes = wire::encode_chain(&chain);
+    let bytes = wire::encode_chain(&chain).unwrap();
     g.bench_function("decode_3op_chain", |b| {
         b.iter(|| wire::decode_chain(std::hint::black_box(&bytes)).unwrap());
     });

@@ -167,6 +167,306 @@ impl Reply {
             other => panic!("expected batch reply, got {other:?}"),
         }
     }
+
+    /// The chain results, or `None` on a type mismatch. Protocol
+    /// machines use this instead of [`Reply::into_chain`] once replies
+    /// can be synthesized by the fault layer (a request timeout
+    /// delivers a [`Reply::Verb`] transport error in place of whatever
+    /// reply shape the request would have produced).
+    pub fn chain_results(self) -> Option<Vec<OpResult>> {
+        match self {
+            Reply::Chain(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The verb outcome, or `None` on a type mismatch (see
+    /// [`Reply::chain_results`]).
+    pub fn verb_result(self) -> Option<Result<Vec<u8>, RdmaError>> {
+        match self {
+            Reply::Verb(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message-level wire framing.
+//
+// `wire` encodes chain bodies; this layer frames whole requests and
+// replies — including doorbell batches — so they round-trip as bytes.
+// The format is one marker byte, then a kind-specific body; batches are
+// a u16 count (checked, never truncated) of recursively framed members,
+// with nesting rejected (a doorbell is one flat list of work requests).
+
+const MSG_CHAIN: u8 = 0;
+const MSG_VERB: u8 = 1;
+const MSG_RPC: u8 = 2;
+const MSG_BATCH: u8 = 3;
+
+const VERB_READ: u8 = 0;
+const VERB_WRITE: u8 = 1;
+const VERB_CAS64: u8 = 2;
+
+const REPLY_ERR: u8 = 0;
+const REPLY_OK: u8 = 1;
+
+use crate::buf::{Buf, BufMut};
+use crate::wire::WireError;
+
+fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) -> Result<(), WireError> {
+    buf.put_u32_le(wire::u32_len(data.len())?);
+    buf.put_slice(data);
+    Ok(())
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError("truncated length prefix"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(WireError("truncated payload"));
+    }
+    let mut v = vec![0u8; len];
+    buf.copy_to_slice(&mut v);
+    Ok(v)
+}
+
+impl Request {
+    /// Encodes the request into its wire form. Fails on counts or
+    /// payloads that would overflow their length prefixes, and on
+    /// nested batches (a doorbell is one flat submission list).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf, false)?;
+        Ok(buf)
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>, in_batch: bool) -> Result<(), WireError> {
+        match self {
+            Request::Chain(chain) => {
+                buf.put_u8(MSG_CHAIN);
+                put_bytes(buf, &wire::encode_chain(chain)?)?;
+            }
+            Request::Verb(v) => {
+                buf.put_u8(MSG_VERB);
+                match v {
+                    Verb::Read { addr, len, rkey } => {
+                        buf.put_u8(VERB_READ);
+                        buf.put_u64_le(*addr);
+                        buf.put_u32_le(*len);
+                        buf.put_u32_le(*rkey);
+                    }
+                    Verb::Write { addr, data, rkey } => {
+                        buf.put_u8(VERB_WRITE);
+                        buf.put_u64_le(*addr);
+                        buf.put_u32_le(*rkey);
+                        put_bytes(buf, data)?;
+                    }
+                    Verb::Cas64 {
+                        addr,
+                        compare,
+                        swap,
+                        rkey,
+                    } => {
+                        buf.put_u8(VERB_CAS64);
+                        buf.put_u64_le(*addr);
+                        buf.put_u64_le(*compare);
+                        buf.put_u64_le(*swap);
+                        buf.put_u32_le(*rkey);
+                    }
+                }
+            }
+            Request::Rpc(bytes) => {
+                buf.put_u8(MSG_RPC);
+                put_bytes(buf, bytes)?;
+            }
+            Request::Batch(reqs) => {
+                if in_batch {
+                    return Err(WireError("nested batch"));
+                }
+                buf.put_u8(MSG_BATCH);
+                buf.put_u16_le(wire::u16_count(reqs.len())?);
+                for r in reqs {
+                    r.encode_into(buf, true)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a request from its wire form, rejecting trailing bytes.
+    pub fn decode(mut buf: &[u8]) -> Result<Request, WireError> {
+        let req = Request::decode_from(&mut buf, false)?;
+        if buf.remaining() > 0 {
+            return Err(WireError("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+
+    fn decode_from(buf: &mut &[u8], in_batch: bool) -> Result<Request, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError("truncated request marker"));
+        }
+        match buf.get_u8() {
+            MSG_CHAIN => Ok(Request::Chain(wire::decode_chain(&get_bytes(buf)?)?)),
+            MSG_VERB => {
+                if buf.remaining() < 1 {
+                    return Err(WireError("truncated verb kind"));
+                }
+                let kind = buf.get_u8();
+                match kind {
+                    VERB_READ => {
+                        if buf.remaining() < 16 {
+                            return Err(WireError("truncated READ verb"));
+                        }
+                        Ok(Request::Verb(Verb::Read {
+                            addr: buf.get_u64_le(),
+                            len: buf.get_u32_le(),
+                            rkey: buf.get_u32_le(),
+                        }))
+                    }
+                    VERB_WRITE => {
+                        if buf.remaining() < 12 {
+                            return Err(WireError("truncated WRITE verb"));
+                        }
+                        let addr = buf.get_u64_le();
+                        let rkey = buf.get_u32_le();
+                        let data = get_bytes(buf)?;
+                        Ok(Request::Verb(Verb::Write { addr, data, rkey }))
+                    }
+                    VERB_CAS64 => {
+                        if buf.remaining() < 28 {
+                            return Err(WireError("truncated CAS verb"));
+                        }
+                        Ok(Request::Verb(Verb::Cas64 {
+                            addr: buf.get_u64_le(),
+                            compare: buf.get_u64_le(),
+                            swap: buf.get_u64_le(),
+                            rkey: buf.get_u32_le(),
+                        }))
+                    }
+                    _ => Err(WireError("unknown verb kind")),
+                }
+            }
+            MSG_RPC => Ok(Request::Rpc(get_bytes(buf)?)),
+            MSG_BATCH => {
+                if in_batch {
+                    return Err(WireError("nested batch"));
+                }
+                if buf.remaining() < 2 {
+                    return Err(WireError("truncated batch count"));
+                }
+                let count = buf.get_u16_le() as usize;
+                let mut reqs = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    reqs.push(Request::decode_from(buf, true)?);
+                }
+                Ok(Request::Batch(reqs))
+            }
+            _ => Err(WireError("unknown request marker")),
+        }
+    }
+}
+
+impl Reply {
+    /// Encodes the reply into its wire form (see [`Request::encode`]).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf, false)?;
+        Ok(buf)
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>, in_batch: bool) -> Result<(), WireError> {
+        match self {
+            Reply::Chain(results) => {
+                buf.put_u8(MSG_CHAIN);
+                put_bytes(buf, &wire::encode_response(results)?)?;
+            }
+            Reply::Verb(outcome) => {
+                buf.put_u8(MSG_VERB);
+                match outcome {
+                    Ok(data) => {
+                        buf.put_u8(REPLY_OK);
+                        put_bytes(buf, data)?;
+                    }
+                    Err(e) => {
+                        buf.put_u8(REPLY_ERR);
+                        buf.put_slice(&e.to_wire());
+                    }
+                }
+            }
+            Reply::Rpc(bytes) => {
+                buf.put_u8(MSG_RPC);
+                put_bytes(buf, bytes)?;
+            }
+            Reply::Batch(replies) => {
+                if in_batch {
+                    return Err(WireError("nested batch"));
+                }
+                buf.put_u8(MSG_BATCH);
+                buf.put_u16_le(wire::u16_count(replies.len())?);
+                for r in replies {
+                    r.encode_into(buf, true)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a reply from its wire form, rejecting trailing bytes.
+    pub fn decode(mut buf: &[u8]) -> Result<Reply, WireError> {
+        let reply = Reply::decode_from(&mut buf, false)?;
+        if buf.remaining() > 0 {
+            return Err(WireError("trailing bytes after reply"));
+        }
+        Ok(reply)
+    }
+
+    fn decode_from(buf: &mut &[u8], in_batch: bool) -> Result<Reply, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError("truncated reply marker"));
+        }
+        match buf.get_u8() {
+            MSG_CHAIN => Ok(Reply::Chain(wire::decode_response(&get_bytes(buf)?)?)),
+            MSG_VERB => {
+                if buf.remaining() < 1 {
+                    return Err(WireError("truncated verb outcome flag"));
+                }
+                match buf.get_u8() {
+                    REPLY_OK => Ok(Reply::Verb(Ok(get_bytes(buf)?))),
+                    REPLY_ERR => {
+                        if buf.remaining() < prism_rdma::error::ERROR_WIRE_LEN {
+                            return Err(WireError("truncated verb error"));
+                        }
+                        let mut bytes = [0u8; prism_rdma::error::ERROR_WIRE_LEN];
+                        buf.copy_to_slice(&mut bytes);
+                        let e = RdmaError::from_wire(&bytes)
+                            .ok_or(WireError("unknown verb error code"))?;
+                        Ok(Reply::Verb(Err(e)))
+                    }
+                    _ => Err(WireError("bad verb outcome flag")),
+                }
+            }
+            MSG_RPC => Ok(Reply::Rpc(get_bytes(buf)?)),
+            MSG_BATCH => {
+                if in_batch {
+                    return Err(WireError("nested batch"));
+                }
+                if buf.remaining() < 2 {
+                    return Err(WireError("truncated batch count"));
+                }
+                let count = buf.get_u16_le() as usize;
+                let mut replies = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    replies.push(Reply::decode_from(buf, true)?);
+                }
+                Ok(Reply::Batch(replies))
+            }
+            _ => Err(WireError("unknown reply marker")),
+        }
+    }
 }
 
 /// Executes a request against a local server — the live-mode transport,
@@ -299,6 +599,62 @@ mod tests {
         assert_eq!(replies.len(), 2);
         assert!(matches!(&replies[0], Reply::Verb(Ok(_))));
         assert_eq!(replies[1].clone().into_chain()[0].data, b"batched!");
+    }
+
+    #[test]
+    fn request_and_reply_wire_framing_round_trips() {
+        let reqs = [
+            Request::Chain(vec![ops::read(0x10, 8, 1)]),
+            Request::Verb(Verb::Cas64 {
+                addr: 8,
+                compare: 1,
+                swap: 2,
+                rkey: 3,
+            }),
+            Request::Rpc(vec![1, 2, 3]),
+            Request::Batch(vec![
+                Request::Rpc(vec![]),
+                Request::Verb(Verb::Read {
+                    addr: 0,
+                    len: 64,
+                    rkey: 9,
+                }),
+            ]),
+        ];
+        for r in &reqs {
+            assert_eq!(&Request::decode(&r.encode().unwrap()).unwrap(), r);
+        }
+        let replies = [
+            Reply::Chain(vec![OpResult {
+                status: OpStatus::CasFailed,
+                data: vec![7; 16],
+            }]),
+            Reply::Verb(Err(prism_rdma::RdmaError::ReceiverNotReady)),
+            Reply::Verb(Ok(vec![])),
+            Reply::Rpc(vec![0xAB]),
+            Reply::Batch(vec![Reply::Rpc(vec![1]), Reply::Verb(Ok(vec![2]))]),
+        ];
+        for r in &replies {
+            assert_eq!(&Reply::decode(&r.encode().unwrap()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn nested_batches_are_rejected_on_the_wire() {
+        let nested = Request::Batch(vec![Request::Batch(vec![Request::Rpc(vec![])])]);
+        assert!(nested.encode().is_err());
+        let nested = Reply::Batch(vec![Reply::Batch(vec![Reply::Rpc(vec![])])]);
+        assert!(nested.encode().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::Rpc(vec![5]).encode().unwrap();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+        let mut bytes = Reply::Rpc(vec![5]).encode().unwrap();
+        bytes.push(0);
+        assert!(Reply::decode(&bytes).is_err());
     }
 
     #[test]

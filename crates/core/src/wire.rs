@@ -15,9 +15,29 @@ use crate::op::{DataArg, FreeListId, PrismOp, Redirect, MAX_CAS_LEN};
 use crate::value::CasMode;
 use prism_rdma::RdmaError;
 
-/// Decoding failure: the buffer is truncated or malformed.
+/// Wire failure: a decode found a truncated or malformed buffer, or an
+/// encode was handed a payload/count too large for its length prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireError(pub &'static str);
+
+/// Largest inline payload the `u32` length prefix can carry.
+pub const MAX_INLINE_LEN: usize = u32::MAX as usize;
+
+/// Largest op/result/batch count the `u16` count prefix can carry.
+pub const MAX_COUNT: usize = u16::MAX as usize;
+
+/// Checked `u32` length prefix: payloads beyond [`MAX_INLINE_LEN`] are
+/// rejected instead of silently truncated (`len as u32` used to wrap,
+/// corrupting every later byte of the message).
+pub fn u32_len(len: usize) -> Result<u32, WireError> {
+    u32::try_from(len).map_err(|_| WireError("payload exceeds u32 length prefix"))
+}
+
+/// Checked `u16` count prefix: chains/results/batches beyond
+/// [`MAX_COUNT`] entries are rejected instead of silently truncated.
+pub fn u16_count(n: usize) -> Result<u16, WireError> {
+    u16::try_from(n).map_err(|_| WireError("count exceeds u16 prefix"))
+}
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -41,10 +61,10 @@ const F_REDIRECT: u8 = 1 << 3;
 const F_COMPARE_REMOTE: u8 = 1 << 4;
 const F_SWAP_REMOTE: u8 = 1 << 5;
 
-fn put_data_arg(buf: &mut Vec<u8>, arg: &DataArg) {
+fn put_data_arg(buf: &mut Vec<u8>, arg: &DataArg) -> Result<(), WireError> {
     match arg {
         DataArg::Inline(d) => {
-            buf.put_u32_le(d.len() as u32);
+            buf.put_u32_le(u32_len(d.len())?);
             buf.put_slice(d);
         }
         DataArg::Remote { addr, rkey } => {
@@ -52,6 +72,7 @@ fn put_data_arg(buf: &mut Vec<u8>, arg: &DataArg) {
             buf.put_u32_le(*rkey);
         }
     }
+    Ok(())
 }
 
 fn get_inline(buf: &mut &[u8]) -> Result<Vec<u8>, WireError> {
@@ -95,9 +116,13 @@ fn get_redirect(buf: &mut &[u8]) -> Result<Redirect, WireError> {
 }
 
 /// Encodes a chain into a request message.
-pub fn encode_chain(chain: &[PrismOp]) -> Vec<u8> {
+///
+/// Fails (rather than truncating the length prefixes) if the chain has
+/// more than [`MAX_COUNT`] ops or an inline payload exceeds
+/// [`MAX_INLINE_LEN`] bytes.
+pub fn encode_chain(chain: &[PrismOp]) -> Result<Vec<u8>, WireError> {
     let mut buf = Vec::with_capacity(64 * chain.len());
-    buf.put_u16_le(chain.len() as u16);
+    buf.put_u16_le(u16_count(chain.len())?);
     for op in chain {
         match op {
             PrismOp::Read {
@@ -158,7 +183,7 @@ pub fn encode_chain(chain: &[PrismOp]) -> Vec<u8> {
                 buf.put_u64_le(*addr);
                 buf.put_u32_le(*len);
                 buf.put_u32_le(*rkey);
-                put_data_arg(&mut buf, data);
+                put_data_arg(&mut buf, data)?;
             }
             PrismOp::Allocate {
                 freelist,
@@ -176,7 +201,7 @@ pub fn encode_chain(chain: &[PrismOp]) -> Vec<u8> {
                 }
                 buf.put_u8(flags);
                 buf.put_u32_le(freelist.0);
-                buf.put_u32_le(data.len() as u32);
+                buf.put_u32_le(u32_len(data.len())?);
                 buf.put_slice(data);
                 if let Some(r) = redirect {
                     put_redirect(&mut buf, r);
@@ -213,14 +238,14 @@ pub fn encode_chain(chain: &[PrismOp]) -> Vec<u8> {
                 buf.put_u64_le(*target);
                 buf.put_u32_le(*len);
                 buf.put_u32_le(*rkey);
-                put_data_arg(&mut buf, compare);
-                put_data_arg(&mut buf, swap);
+                put_data_arg(&mut buf, compare)?;
+                put_data_arg(&mut buf, swap)?;
                 buf.put_slice(compare_mask);
                 buf.put_slice(swap_mask);
             }
         }
     }
-    buf
+    Ok(buf)
 }
 
 /// Decodes a request message back into a chain.
@@ -339,9 +364,13 @@ const ST_SKIPPED: u8 = 2;
 const ST_ERROR: u8 = 3;
 
 /// Encodes the per-op results of a chain into a response message.
-pub fn encode_response(results: &[OpResult]) -> Vec<u8> {
+///
+/// Fails (rather than truncating the length prefixes) if there are
+/// more than [`MAX_COUNT`] results or a result payload exceeds
+/// [`MAX_INLINE_LEN`] bytes.
+pub fn encode_response(results: &[OpResult]) -> Result<Vec<u8>, WireError> {
     let mut buf = Vec::new();
-    buf.put_u16_le(results.len() as u16);
+    buf.put_u16_le(u16_count(results.len())?);
     for r in results {
         match &r.status {
             OpStatus::Ok => buf.put_u8(ST_OK),
@@ -349,10 +378,10 @@ pub fn encode_response(results: &[OpResult]) -> Vec<u8> {
             OpStatus::Skipped => buf.put_u8(ST_SKIPPED),
             OpStatus::Error(_) => buf.put_u8(ST_ERROR),
         }
-        buf.put_u32_le(r.data.len() as u32);
+        buf.put_u32_le(u32_len(r.data.len())?);
         buf.put_slice(&r.data);
     }
-    buf
+    Ok(buf)
 }
 
 /// Decodes a response message. Error detail is collapsed to
@@ -388,13 +417,27 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Vec<OpResult>, WireError> {
 }
 
 /// Request size of a chain, for link-bandwidth accounting.
+///
+/// # Panics
+///
+/// Panics if the chain exceeds the wire limits ([`MAX_COUNT`] ops,
+/// [`MAX_INLINE_LEN`]-byte payloads): such a chain cannot exist on the
+/// wire, so accounting for it would be meaningless.
 pub fn request_len(chain: &[PrismOp]) -> u64 {
-    encode_chain(chain).len() as u64
+    encode_chain(chain)
+        .expect("chain exceeds wire limits")
+        .len() as u64
 }
 
 /// Response size of a result set, for link-bandwidth accounting.
+///
+/// # Panics
+///
+/// Panics if the results exceed the wire limits (see [`request_len`]).
 pub fn response_len(results: &[OpResult]) -> u64 {
-    encode_response(results).len() as u64
+    encode_response(results)
+        .expect("results exceed wire limits")
+        .len() as u64
 }
 
 #[cfg(test)]
@@ -431,20 +474,20 @@ mod tests {
     #[test]
     fn chain_round_trips() {
         let chain = sample_chain();
-        let bytes = encode_chain(&chain);
+        let bytes = encode_chain(&chain).expect("encode");
         let decoded = decode_chain(&bytes).unwrap();
         assert_eq!(decoded, chain);
     }
 
     #[test]
     fn empty_chain_round_trips() {
-        let bytes = encode_chain(&[]);
+        let bytes = encode_chain(&[]).expect("encode");
         assert_eq!(decode_chain(&bytes).unwrap(), Vec::<PrismOp>::new());
     }
 
     #[test]
     fn truncation_is_detected_everywhere() {
-        let bytes = encode_chain(&sample_chain());
+        let bytes = encode_chain(&sample_chain()).expect("encode");
         for cut in 0..bytes.len() {
             // Every prefix must either fail cleanly or decode to a valid
             // (shorter) chain — never panic.
@@ -455,7 +498,7 @@ mod tests {
 
     #[test]
     fn unknown_opcode_rejected() {
-        let mut bytes = encode_chain(&sample_chain());
+        let mut bytes = encode_chain(&sample_chain()).expect("encode");
         bytes[2] = 0x7F; // first opcode byte
         assert!(decode_chain(&bytes).is_err());
     }
@@ -476,9 +519,55 @@ mod tests {
                 data: vec![],
             },
         ];
-        let bytes = encode_response(&results);
+        let bytes = encode_response(&results).expect("encode");
         let decoded = decode_response(&bytes).unwrap();
         assert_eq!(decoded, results);
+    }
+
+    #[test]
+    fn length_prefix_guards_hold_at_the_boundary() {
+        assert_eq!(u16_count(MAX_COUNT), Ok(u16::MAX));
+        assert_eq!(
+            u16_count(MAX_COUNT + 1),
+            Err(WireError("count exceeds u16 prefix"))
+        );
+        assert_eq!(u32_len(MAX_INLINE_LEN), Ok(u32::MAX));
+        assert_eq!(
+            u32_len(MAX_INLINE_LEN + 1),
+            Err(WireError("payload exceeds u32 length prefix"))
+        );
+    }
+
+    #[test]
+    fn oversize_chain_is_rejected_not_truncated() {
+        // `chain.len() as u16` used to wrap to 0 at 65 536 ops and the
+        // decoder would return an empty chain; now the boundary encodes
+        // and one-past-the-boundary errors.
+        let op = ops::read(0, 8, 1);
+        let max = vec![op.clone(); MAX_COUNT];
+        let bytes = encode_chain(&max).expect("max-count chain encodes");
+        assert_eq!(decode_chain(&bytes).unwrap().len(), MAX_COUNT);
+        let over = vec![op; MAX_COUNT + 1];
+        assert_eq!(
+            encode_chain(&over),
+            Err(WireError("count exceeds u16 prefix"))
+        );
+    }
+
+    #[test]
+    fn oversize_response_is_rejected_not_truncated() {
+        let r = OpResult {
+            status: OpStatus::Ok,
+            data: vec![],
+        };
+        let max = vec![r.clone(); MAX_COUNT];
+        let bytes = encode_response(&max).expect("max-count response encodes");
+        assert_eq!(decode_response(&bytes).unwrap().len(), MAX_COUNT);
+        let over = vec![r; MAX_COUNT + 1];
+        assert_eq!(
+            encode_response(&over),
+            Err(WireError("count exceeds u16 prefix"))
+        );
     }
 
     #[test]

@@ -26,6 +26,22 @@ fn tag(seq: u64, phase: u32, idx: u32) -> u64 {
     (seq << 32) | ((phase as u64) << 16) | idx as u64
 }
 
+/// Transport-retry policy shared by the single-server KV adapters: a
+/// synthesized timeout reply ([`Reply::Verb`]`(Err(..))` from the fault
+/// layer) reissues the operation after a deterministic capped
+/// exponential backoff, up to this many attempts, then surfaces as a
+/// failed op. Quorum systems (RS) retry at the operation level instead,
+/// and the transaction systems fold transport loss into their existing
+/// abort paths.
+const TRANSPORT_RETRY_BUDGET: u32 = 6;
+const TRANSPORT_RETRY_BASE_NS: u64 = 8_000;
+const TRANSPORT_RETRY_CAP_NS: u64 = 64_000;
+
+fn transport_backoff(retry: u32) -> SimDuration {
+    let exp = retry.saturating_sub(1).min(6);
+    SimDuration::from_nanos((TRANSPORT_RETRY_BASE_NS << exp).min(TRANSPORT_RETRY_CAP_NS))
+}
+
 fn untag(t: u64) -> (u64, u32, u32) {
     (t >> 32, ((t >> 16) & 0xFFFF) as u32, (t & 0xFFFF) as u32)
 }
@@ -92,6 +108,10 @@ pub struct PrismKvAdapter {
     client: PrismKvClient,
     gen: YcsbGen,
     current: Option<KvMachine>,
+    /// The in-flight workload op, kept so a transport timeout can
+    /// reissue it from scratch.
+    op: Option<KvOp>,
+    retries: u32,
     frees: FreeBatcher,
 }
 
@@ -102,8 +122,32 @@ impl PrismKvAdapter {
             client,
             gen: YcsbGen::new(config, rng),
             current: None,
+            op: None,
+            retries: 0,
             frees: FreeBatcher::new(),
         }
+    }
+
+    fn issue(&mut self, op: KvOp) -> Vec<Outbound> {
+        let key = key_bytes(op.key());
+        let (machine, req) = match op {
+            KvOp::Get(_) => {
+                let (m, r) = self.client.get(&key);
+                (KvMachine::Get(m), r)
+            }
+            KvOp::Put(k) => {
+                let value = self.gen.value_for(k);
+                let (m, r) = self.client.put(&key, &value);
+                (KvMachine::Put(m), r)
+            }
+        };
+        self.current = Some(machine);
+        vec![Outbound {
+            server: 0,
+            tag: 0,
+            req,
+            background: false,
+        }]
     }
 
     fn bg_sends(&mut self, background: Option<prism_core::msg::Request>) -> Vec<Outbound> {
@@ -154,32 +198,39 @@ impl PrismKvAdapter {
 impl ProtoAdapter for PrismKvAdapter {
     fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
         let op = self.gen.next_op();
-        let key = key_bytes(op.key());
-        let (machine, req) = match op {
-            KvOp::Get(_) => {
-                let (m, r) = self.client.get(&key);
-                (KvMachine::Get(m), r)
-            }
-            KvOp::Put(k) => {
-                let value = self.gen.value_for(k);
-                let (m, r) = self.client.put(&key, &value);
-                (KvMachine::Put(m), r)
-            }
-        };
-        self.current = Some(machine);
-        vec![Outbound {
-            server: 0,
-            tag: 0,
-            req,
-            background: false,
-        }]
+        self.op = Some(op);
+        self.retries = 0;
+        self.issue(op)
     }
 
     fn resume(&mut self) -> Vec<Outbound> {
-        unreachable!("PRISM-KV never backs off")
+        // Transport retry: reissue the same logical op with a fresh
+        // machine. PUTs reissued after a lost reply may have executed
+        // (at-least-once); the store's versioned allocate-and-swap makes
+        // the duplicate a harmless overwrite with the same value.
+        let op = self.op.expect("op pending retry");
+        self.issue(op)
     }
 
     fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        if matches!(reply, Reply::Verb(Err(_))) {
+            // Synthesized timeout from the fault layer (PRISM-KV chains
+            // never produce verb errors on their own).
+            self.current = None;
+            if self.retries >= TRANSPORT_RETRY_BUDGET {
+                self.op = None;
+                return AdapterStep::Done {
+                    sends: Vec::new(),
+                    client_compute: SimDuration::ZERO,
+                    failed: true,
+                };
+            }
+            self.retries += 1;
+            return AdapterStep::Retry {
+                sends: Vec::new(),
+                wait: transport_backoff(self.retries),
+            };
+        }
         let mut machine = self.current.take().expect("op in flight");
         let step = match &mut machine {
             KvMachine::Get(m) => m.on_reply(&self.client, reply),
@@ -208,6 +259,10 @@ pub struct PilafAdapter {
     client: PilafClient,
     gen: YcsbGen,
     current: Option<PilafMachine>,
+    /// The in-flight workload op, kept so a transport timeout can
+    /// reissue it from scratch.
+    op: Option<KvOp>,
+    retries: u32,
 }
 
 impl PilafAdapter {
@@ -217,13 +272,12 @@ impl PilafAdapter {
             client,
             gen: YcsbGen::new(config, rng),
             current: None,
+            op: None,
+            retries: 0,
         }
     }
-}
 
-impl ProtoAdapter for PilafAdapter {
-    fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
-        let op = self.gen.next_op();
+    fn issue(&mut self, op: KvOp) -> Vec<Outbound> {
         let key = key_bytes(op.key());
         let (machine, req) = match op {
             KvOp::Get(_) => {
@@ -243,12 +297,41 @@ impl ProtoAdapter for PilafAdapter {
             background: false,
         }]
     }
+}
+
+impl ProtoAdapter for PilafAdapter {
+    fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+        let op = self.gen.next_op();
+        self.op = Some(op);
+        self.retries = 0;
+        self.issue(op)
+    }
 
     fn resume(&mut self) -> Vec<Outbound> {
-        unreachable!("Pilaf never backs off")
+        let op = self.op.expect("op pending retry");
+        self.issue(op)
     }
 
     fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        if matches!(reply, Reply::Verb(Err(_))) {
+            // Synthesized timeout. Pilaf GETs are idempotent READs;
+            // PUT RPCs reissued after a lost reply overwrite with the
+            // same value.
+            self.current = None;
+            if self.retries >= TRANSPORT_RETRY_BUDGET {
+                self.op = None;
+                return AdapterStep::Done {
+                    sends: Vec::new(),
+                    client_compute: SimDuration::ZERO,
+                    failed: true,
+                };
+            }
+            self.retries += 1;
+            return AdapterStep::Retry {
+                sends: Vec::new(),
+                wait: transport_backoff(self.retries),
+            };
+        }
         match self.current.take().expect("op in flight") {
             PilafMachine::Put => {
                 let outcome = self.client.put_outcome(reply);
@@ -293,6 +376,11 @@ pub struct PrismRsAdapter {
     current: Option<RsOp>,
     lingering: HashMap<u64, (RsOp, usize)>,
     outstanding: usize,
+    /// The in-flight logical op (block, PUT value or `None` for GET),
+    /// kept so a quorum failure can retry the whole operation under a
+    /// fresh sequence number.
+    op: Option<(u64, Option<Vec<u8>>)>,
+    retries: u32,
     frees: FreeBatcher,
 }
 
@@ -308,8 +396,23 @@ impl PrismRsAdapter {
             current: None,
             lingering: HashMap::new(),
             outstanding: 0,
+            op: None,
+            retries: 0,
             frees: FreeBatcher::new(),
         }
+    }
+
+    fn issue(&mut self) -> Vec<Outbound> {
+        self.seq += 1;
+        self.outstanding = 0;
+        let (block, value) = self.op.clone().expect("op set");
+        let (op, step) = match value {
+            Some(v) => self.client.put(block, v),
+            None => self.client.get(block),
+        };
+        self.current = Some(op);
+        let (sends, _) = self.absorb(step);
+        sends
     }
 
     fn absorb(&mut self, step: RsStep) -> (Vec<Outbound>, Option<bool>) {
@@ -333,33 +436,40 @@ impl PrismRsAdapter {
                 });
             }
         }
-        let done = step
-            .done
-            .map(|o| matches!(o, prism_rs::RsOutcome::Failed(_)));
+        let done = step.done.map(|o| {
+            if std::env::var("PRISM_DEBUG_FAULTS").is_ok() {
+                if let prism_rs::RsOutcome::Failed(why) = &o {
+                    eprintln!("rs seq {} failed: {why}", self.seq);
+                }
+            }
+            matches!(o, prism_rs::RsOutcome::Failed(_))
+        });
         (sends, done)
     }
 }
 
 impl ProtoAdapter for PrismRsAdapter {
     fn start(&mut self, rng: &mut SimRng) -> Vec<Outbound> {
-        self.seq += 1;
-        self.outstanding = 0;
         let block = self.dist.sample(rng);
-        let (op, step) = if rng.gen_bool(self.write_fraction) {
+        let value = if rng.gen_bool(self.write_fraction) {
             let mut value = vec![0u8; self.block_size];
             let nonce = rng.next_u64().to_le_bytes();
             value[..8].copy_from_slice(&nonce);
-            self.client.put(block, value)
+            Some(value)
         } else {
-            self.client.get(block)
+            None
         };
-        self.current = Some(op);
-        let (sends, _) = self.absorb(step);
-        sends
+        self.op = Some((block, value));
+        self.retries = 0;
+        self.issue()
     }
 
     fn resume(&mut self) -> Vec<Outbound> {
-        unreachable!("PRISM-RS never backs off")
+        // Operation-level retry after a quorum failure: same block and
+        // (for PUTs) same value, fresh sequence number. ABD-style
+        // registers make the reissued write idempotent — it lands with a
+        // newer timestamp carrying the identical payload.
+        self.issue()
     }
 
     fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
@@ -400,6 +510,13 @@ impl ProtoAdapter for PrismRsAdapter {
                     self.lingering.insert(self.seq, (op, self.outstanding));
                 } else {
                     drop(op);
+                }
+                if failed && self.retries < TRANSPORT_RETRY_BUDGET {
+                    self.retries += 1;
+                    return AdapterStep::Retry {
+                        sends,
+                        wait: transport_backoff(self.retries),
+                    };
                 }
                 AdapterStep::Done {
                     sends,

@@ -14,6 +14,7 @@ use prism_kv::hash::key_bytes;
 use prism_kv::pilaf::{PilafConfig, PilafServer};
 use prism_kv::prism_kv::{PrismKvConfig, PrismKvServer};
 use prism_kv::KvStep;
+use prism_simnet::fault::FaultPlan;
 use prism_simnet::latency::CostModel;
 use prism_simnet::rng::SimRng;
 use prism_simnet::time::SimDuration;
@@ -42,6 +43,8 @@ pub struct KvExpConfig {
     pub measure: SimDuration,
     /// Run seed.
     pub seed: u64,
+    /// Fault plan applied to every sweep point (default: none).
+    pub faults: FaultPlan,
 }
 
 impl KvExpConfig {
@@ -55,6 +58,7 @@ impl KvExpConfig {
             warmup: SimDuration::millis(2),
             measure: SimDuration::millis(20),
             seed: 42,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -68,6 +72,7 @@ impl KvExpConfig {
             warmup: SimDuration::micros(500),
             measure: crate::smoke::measure_window(4_000),
             seed: 42,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -132,6 +137,7 @@ fn sweep(
             cfg.warmup,
             cfg.measure,
             cfg.seed ^ n as u64,
+            &cfg.faults,
         );
         t.row(&[
             label.to_string(),

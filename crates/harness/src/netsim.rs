@@ -17,11 +17,14 @@
 //! the core pool produces the throughput-latency curves of the paper's
 //! figures.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use prism_core::msg::{self, Reply, Request};
 use prism_core::PrismServer;
+use prism_rdma::RdmaError;
 use prism_simnet::engine::{Actor, ActorId, Context, Simulation};
+use prism_simnet::fault::FaultPlan;
 use prism_simnet::latency::CostModel;
 use prism_simnet::resources::{LinkShaper, ServiceCenter};
 use prism_simnet::rng::SimRng;
@@ -67,6 +70,15 @@ pub enum AdapterStep {
         /// How long to wait.
         wait: SimDuration,
     },
+    /// Retry after a lost round trip (a timed-out request under a
+    /// [`FaultPlan`]): like [`AdapterStep::Backoff`] but counted under
+    /// the `retries` metric. The op's latency clock keeps running.
+    Retry {
+        /// Fire-and-forget traffic to flush before sleeping.
+        sends: Vec<Outbound>,
+        /// How long to wait before [`ProtoAdapter::resume`].
+        wait: SimDuration,
+    },
 }
 
 /// A closed-loop protocol client, sans I/O.
@@ -89,6 +101,11 @@ pub enum SimMsg {
         from: ActorId,
         /// Adapter routing tag.
         tag: u64,
+        /// Send-attempt stamp, echoed back in the reply. Adapters may
+        /// reuse tags across operations (and retries reissue them), so
+        /// the reply-side dedup must match on the exact attempt, not
+        /// just the tag.
+        attempt: u64,
         /// The request.
         req: Request,
         /// Whether a reply is expected.
@@ -98,6 +115,8 @@ pub enum SimMsg {
     Reply {
         /// Adapter routing tag.
         tag: u64,
+        /// The request's send-attempt stamp, echoed verbatim.
+        attempt: u64,
         /// The reply.
         reply: Reply,
     },
@@ -106,6 +125,16 @@ pub enum SimMsg {
     Kick {
         /// True when resuming from a backoff rather than starting anew.
         resume: bool,
+    },
+    /// Client self-message armed at send time under a [`FaultPlan`]:
+    /// if the tagged request is still outstanding when this fires, the
+    /// client synthesizes an error reply in its place.
+    Timeout {
+        /// The timed-out request's routing tag.
+        tag: u64,
+        /// Send-attempt stamp; a reissued tag gets a fresh stamp, so a
+        /// stale timer for an earlier attempt is ignored.
+        attempt: u64,
     },
 }
 
@@ -128,13 +157,30 @@ pub struct ServerActor {
     rx: LinkShaper,
     tx: LinkShaper,
     cores: ServiceCenter,
+    /// This server's index in the experiment's server list (the
+    /// identity [`FaultPlan`] crash windows refer to).
+    index: usize,
+    faults: FaultPlan,
+    /// Fault randomness is drawn from a dedicated stream forked off the
+    /// plan's seed, never from the kernel RNG, so a no-fault plan
+    /// leaves every existing schedule bit-identical.
+    fault_rng: SimRng,
 }
 
 impl ServerActor {
-    /// Creates a host actor.
-    pub fn new(server: Arc<PrismServer>, model: CostModel, verb_path: VerbPath) -> Self {
+    /// Creates a host actor. `index` is the server's position in the
+    /// experiment's server list, which is how [`FaultPlan`] crash
+    /// windows name it.
+    pub fn new(
+        server: Arc<PrismServer>,
+        model: CostModel,
+        verb_path: VerbPath,
+        index: usize,
+        faults: FaultPlan,
+    ) -> Self {
         let gbps = model.link_gbps;
         let cores = ServiceCenter::new(model.server_cores);
+        let fault_rng = SimRng::new(faults.seed ^ 0x5E7E_C7ED ^ ((index as u64 + 1) << 24));
         ServerActor {
             server,
             model,
@@ -142,6 +188,9 @@ impl ServerActor {
             rx: LinkShaper::new_gbps(gbps),
             tx: LinkShaper::new_gbps(gbps),
             cores,
+            index,
+            faults,
+            fault_rng,
         }
     }
 
@@ -232,6 +281,7 @@ impl Actor<SimMsg> for ServerActor {
         let SimMsg::Req {
             from,
             tag,
+            attempt,
             req,
             respond,
         } = msg
@@ -239,6 +289,14 @@ impl Actor<SimMsg> for ServerActor {
             unreachable!("servers only receive requests");
         };
         let now = ctx.now();
+        // Crash windows gate request execution *before* the
+        // linearization point: a crashed server neither executes nor
+        // replies (its memory survives the window — fail-recover). The
+        // client's timeout turns the silence into an error reply.
+        if self.faults.crashed(self.index, now) {
+            ctx.metrics().add("fault_crash_drops", 1);
+            return;
+        }
         // Inbound serialization through this host's rx direction
         // (payload plus per-message wire headers).
         let rx_done = self
@@ -259,8 +317,47 @@ impl Actor<SimMsg> for ServerActor {
             let tx_done = self
                 .tx
                 .transmit(proc_done, reply.wire_len() + self.model.header_bytes);
-            let post = post_delay(&self.model);
-            ctx.send_at(from, tx_done + post, SimMsg::Reply { tag, reply });
+            let mut post = post_delay(&self.model);
+            if !self.faults.is_noop() {
+                // Reply-leg faults. The request already executed (the
+                // linearization point is above), so a dropped reply
+                // models the classic "did it happen?" ambiguity.
+                // Duplication is injected on this leg only: duplicating
+                // the *request* leg would re-execute non-idempotent
+                // ALLOCATE chains.
+                if self.faults.drop_prob > 0.0 && self.fault_rng.gen_bool(self.faults.drop_prob) {
+                    ctx.metrics().add("fault_drops", 1);
+                    return;
+                }
+                if self.faults.jitter_ns > 0 {
+                    post = post
+                        + SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
+                }
+                if self.faults.dup_prob > 0.0 && self.fault_rng.gen_bool(self.faults.dup_prob) {
+                    ctx.metrics().add("fault_dups", 1);
+                    let extra = SimDuration::from_nanos(
+                        self.fault_rng.gen_range(self.faults.jitter_ns.max(1_000)),
+                    );
+                    ctx.send_at(
+                        from,
+                        tx_done + post + extra,
+                        SimMsg::Reply {
+                            tag,
+                            attempt,
+                            reply: reply.clone(),
+                        },
+                    );
+                }
+            }
+            ctx.send_at(
+                from,
+                tx_done + post,
+                SimMsg::Reply {
+                    tag,
+                    attempt,
+                    reply,
+                },
+            );
         }
     }
 }
@@ -285,40 +382,133 @@ pub struct ClientActor {
     model: CostModel,
     rng: SimRng,
     op_start: SimTime,
+    /// This client's index (the identity [`FaultPlan`] partitions refer
+    /// to).
+    index: usize,
+    faults: FaultPlan,
+    /// Dedicated fault stream (see [`ServerActor::new`]).
+    fault_rng: SimRng,
+    /// Tags awaiting a reply, stamped with their send attempt. Under a
+    /// fault plan every reply must pass through this map: a tag absent
+    /// from it (duplicate delivery, or a reply racing its own timeout)
+    /// is dropped before it reaches the adapter.
+    outstanding: HashMap<u64, u64>,
+    attempt_ctr: u64,
 }
 
 impl ClientActor {
-    /// Creates a client over the given server actors.
+    /// Creates a client over the given server actors. `index` is the
+    /// client's position in the experiment's client list, which is how
+    /// [`FaultPlan`] partitions name it.
     pub fn new(
         adapter: Box<dyn ProtoAdapter>,
         servers: Vec<ActorId>,
         model: CostModel,
         rng: SimRng,
+        index: usize,
+        faults: FaultPlan,
     ) -> Self {
+        let fault_rng = SimRng::new(faults.seed ^ 0xC0FF_EE00 ^ ((index as u64 + 1) << 16));
         ClientActor {
             adapter,
             servers,
             model,
             rng,
             op_start: SimTime::ZERO,
+            index,
+            faults,
+            fault_rng,
+            outstanding: HashMap::new(),
+            attempt_ctr: 0,
         }
     }
 
     fn dispatch(&mut self, sends: Vec<Outbound>, ctx: &mut Context<'_, SimMsg>) {
-        let pre = pre_delay(&self.model);
         let me = ctx.self_id();
+        let armed = !self.faults.is_noop();
         for out in sends {
             let dst = self.servers[out.server];
+            let mut pre = pre_delay(&self.model);
+            let mut attempt = 0;
+            if armed {
+                // Arm the timeout before deciding the request's fate: a
+                // dropped or partitioned request must still time out.
+                if !out.background {
+                    self.attempt_ctr += 1;
+                    attempt = self.attempt_ctr;
+                    self.outstanding.insert(out.tag, attempt);
+                    ctx.send_in(
+                        me,
+                        pre + self.faults.timeout,
+                        SimMsg::Timeout {
+                            tag: out.tag,
+                            attempt,
+                        },
+                    );
+                }
+                // Partitions sever the request leg only: replies already
+                // in flight when a partition begins still deliver.
+                if self.faults.partitioned(self.index, out.server, ctx.now()) {
+                    ctx.metrics().add("fault_drops", 1);
+                    continue;
+                }
+                if self.faults.drop_prob > 0.0 && self.fault_rng.gen_bool(self.faults.drop_prob) {
+                    ctx.metrics().add("fault_drops", 1);
+                    continue;
+                }
+                if self.faults.jitter_ns > 0 {
+                    pre = pre
+                        + SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
+                }
+            }
             ctx.send_in(
                 dst,
                 pre,
                 SimMsg::Req {
                     from: me,
                     tag: out.tag,
+                    attempt,
                     req: out.req,
                     respond: !out.background,
                 },
             );
+        }
+    }
+
+    /// Routes a reply (real or synthesized) through the adapter and
+    /// acts on its verdict.
+    fn feed_reply(&mut self, tag: u64, reply: Reply, ctx: &mut Context<'_, SimMsg>) {
+        match self.adapter.on_reply(tag, reply) {
+            AdapterStep::Wait(sends) => self.dispatch(sends, ctx),
+            AdapterStep::Done {
+                sends,
+                client_compute,
+                failed,
+            } => {
+                self.dispatch(sends, ctx);
+                let end = ctx.now() + client_compute;
+                if failed {
+                    ctx.metrics().add("failed", 1);
+                } else {
+                    let latency = end.since(self.op_start);
+                    ctx.metrics().record("lat", latency);
+                    ctx.metrics().add("ops", 1);
+                }
+                let me = ctx.self_id();
+                ctx.send_at(me, end, SimMsg::Kick { resume: false });
+            }
+            AdapterStep::Backoff { sends, wait } => {
+                self.dispatch(sends, ctx);
+                ctx.metrics().add("backoffs", 1);
+                let me = ctx.self_id();
+                ctx.send_in(me, wait, SimMsg::Kick { resume: true });
+            }
+            AdapterStep::Retry { sends, wait } => {
+                self.dispatch(sends, ctx);
+                ctx.metrics().add("retries", 1);
+                let me = ctx.self_id();
+                ctx.send_in(me, wait, SimMsg::Kick { resume: true });
+            }
         }
     }
 }
@@ -345,32 +535,37 @@ impl Actor<SimMsg> for ClientActor {
                 };
                 self.dispatch(sends, ctx);
             }
-            SimMsg::Reply { tag, reply } => match self.adapter.on_reply(tag, reply) {
-                AdapterStep::Wait(sends) => self.dispatch(sends, ctx),
-                AdapterStep::Done {
-                    sends,
-                    client_compute,
-                    failed,
-                } => {
-                    self.dispatch(sends, ctx);
-                    let end = ctx.now() + client_compute;
-                    if failed {
-                        ctx.metrics().add("failed", 1);
-                    } else {
-                        let latency = end.since(self.op_start);
-                        ctx.metrics().record("lat", latency);
-                        ctx.metrics().add("ops", 1);
+            SimMsg::Reply {
+                tag,
+                attempt,
+                reply,
+            } => {
+                if !self.faults.is_noop() {
+                    // Under a fault plan every reply must match the
+                    // exact outstanding attempt. A mismatch is a
+                    // duplicate delivery, a reply that lost the race
+                    // against its own timeout, or a stale pre-timeout
+                    // reply for a tag the adapter has since reissued.
+                    if self.outstanding.get(&tag) != Some(&attempt) {
+                        return;
                     }
-                    let me = ctx.self_id();
-                    ctx.send_at(me, end, SimMsg::Kick { resume: false });
+                    self.outstanding.remove(&tag);
                 }
-                AdapterStep::Backoff { sends, wait } => {
-                    self.dispatch(sends, ctx);
-                    ctx.metrics().add("backoffs", 1);
-                    let me = ctx.self_id();
-                    ctx.send_in(me, wait, SimMsg::Kick { resume: true });
+                self.feed_reply(tag, reply, ctx);
+            }
+            SimMsg::Timeout { tag, attempt } => {
+                if self.outstanding.get(&tag) != Some(&attempt) {
+                    // The reply arrived first (or the tag was reissued);
+                    // this timer is stale.
+                    return;
                 }
-            },
+                self.outstanding.remove(&tag);
+                ctx.metrics().add("timeouts", 1);
+                // Synthesize the transport-level failure the protocol
+                // machines already understand: the same stand-in their
+                // sequential drivers use for a crashed replica.
+                self.feed_reply(tag, Reply::Verb(Err(RdmaError::ReceiverNotReady)), ctx);
+            }
             SimMsg::Req { .. } => unreachable!("clients do not receive requests"),
         }
     }
@@ -391,10 +586,22 @@ pub struct RunResult {
     pub failed: u64,
     /// Backoff events (lock conflicts, transaction aborts).
     pub backoffs: u64,
+    /// Messages the fault plan dropped (both legs, incl. partitions).
+    pub drops: u64,
+    /// Replies the fault plan duplicated.
+    pub dups: u64,
+    /// Request timeouts that synthesized an error reply.
+    pub timeouts: u64,
+    /// Adapter-level retries after lost round trips.
+    pub retries: u64,
+    /// Requests silently dropped inside a server crash window.
+    pub crash_drops: u64,
 }
 
 /// Runs a closed-loop experiment: `n_clients` clients over the given
-/// servers, `warmup` then `measure` of virtual time.
+/// servers, `warmup` then `measure` of virtual time, under `faults`
+/// (pass [`FaultPlan::default`] for a pristine fabric — the schedule is
+/// then bit-identical to a build without the fault layer).
 #[allow(clippy::too_many_arguments)]
 pub fn run_closed_loop(
     servers: &[Arc<PrismServer>],
@@ -405,15 +612,19 @@ pub fn run_closed_loop(
     warmup: SimDuration,
     measure: SimDuration,
     seed: u64,
+    faults: &FaultPlan,
 ) -> RunResult {
     let mut sim: Simulation<SimMsg> = Simulation::new(seed);
     let server_ids: Vec<ActorId> = servers
         .iter()
-        .map(|s| {
+        .enumerate()
+        .map(|(i, s)| {
             sim.add_actor(Box::new(ServerActor::new(
                 Arc::clone(s),
                 model.clone(),
                 verb_path,
+                i,
+                faults.clone(),
             )))
         })
         .collect();
@@ -425,6 +636,8 @@ pub fn run_closed_loop(
             server_ids.clone(),
             model.clone(),
             rng,
+            i,
+            faults.clone(),
         )));
     }
     sim.run_for(warmup);
@@ -443,6 +656,11 @@ pub fn run_closed_loop(
         p99_us: p99,
         failed: metrics.counter("failed"),
         backoffs: metrics.counter("backoffs"),
+        drops: metrics.counter("fault_drops"),
+        dups: metrics.counter("fault_dups"),
+        timeouts: metrics.counter("timeouts"),
+        retries: metrics.counter("retries"),
+        crash_drops: metrics.counter("fault_crash_drops"),
     }
 }
 
@@ -521,6 +739,7 @@ mod tests {
             SimDuration::millis(1),
             SimDuration::millis(5),
             1,
+            &FaultPlan::default(),
         );
         let expected = model.rdma_onesided_rtt(512).as_micros_f64();
         // The DES adds request-side serialization the closed form omits;
@@ -552,6 +771,7 @@ mod tests {
             SimDuration::millis(1),
             SimDuration::millis(5),
             1,
+            &FaultPlan::default(),
         );
         let expected = model
             .primitive_latency(
@@ -589,6 +809,7 @@ mod tests {
                 SimDuration::millis(1),
                 SimDuration::millis(5),
                 7,
+                &FaultPlan::default(),
             );
             results.push(r);
             assert!(r.tput_ops > last, "throughput should rise with clients");
@@ -601,6 +822,95 @@ mod tests {
             results[2].tput_ops < 10_000_000.0,
             "tput {} exceeds link ceiling",
             results[2].tput_ops
+        );
+    }
+
+    #[test]
+    fn fault_plan_injects_and_is_deterministic() {
+        /// Treats any non-Ok reply (e.g. a synthesized timeout) as a
+        /// failed op and moves on.
+        struct FaultyRead {
+            addr: u64,
+            rkey: u32,
+        }
+        impl ProtoAdapter for FaultyRead {
+            fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+                vec![Outbound {
+                    server: 0,
+                    tag: 0,
+                    req: Request::Verb(prism_core::msg::Verb::Read {
+                        addr: self.addr,
+                        len: 512,
+                        rkey: self.rkey,
+                    }),
+                    background: false,
+                }]
+            }
+            fn resume(&mut self) -> Vec<Outbound> {
+                unreachable!()
+            }
+            fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+                let failed = !matches!(reply, Reply::Verb(Ok(_)));
+                AdapterStep::Done {
+                    sends: Vec::new(),
+                    client_compute: SimDuration::ZERO,
+                    failed,
+                }
+            }
+        }
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let faults = FaultPlan::seeded(11)
+            .with_loss(0.05, 0.02)
+            .with_jitter(2_000)
+            .with_timeout(SimDuration::micros(50))
+            .with_crash(
+                0,
+                SimTime::from_nanos(2_000_000),
+                SimTime::from_nanos(2_500_000),
+            );
+        let run = || {
+            run_closed_loop(
+                &[s.clone()],
+                &model,
+                VerbPath::Nic,
+                4,
+                &mut |_| Box::new(FaultyRead { addr, rkey }),
+                SimDuration::millis(1),
+                SimDuration::millis(5),
+                3,
+                &faults,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(a.tput_ops > 0.0, "ops must complete under faults");
+        assert!(a.drops > 0, "losses must be injected");
+        assert!(a.dups > 0, "duplicates must be injected");
+        assert!(a.timeouts > 0, "lost round trips must time out");
+        assert!(a.failed > 0, "timed-out ops surface as failures");
+        assert!(a.crash_drops > 0, "the crash window must swallow requests");
+        // Same seed, same plan: bit-identical metrics.
+        assert_eq!(a.tput_ops, b.tput_ops);
+        assert_eq!(a.mean_us, b.mean_us);
+        assert_eq!(a.p99_us, b.p99_us);
+        assert_eq!(
+            (
+                a.failed,
+                a.drops,
+                a.dups,
+                a.timeouts,
+                a.retries,
+                a.crash_drops
+            ),
+            (
+                b.failed,
+                b.drops,
+                b.dups,
+                b.timeouts,
+                b.retries,
+                b.crash_drops
+            )
         );
     }
 
@@ -623,6 +933,7 @@ mod tests {
             SimDuration::millis(1),
             SimDuration::millis(4),
             1,
+            &FaultPlan::default(),
         );
         let sw = run_closed_loop(
             &[s],
@@ -639,6 +950,7 @@ mod tests {
             SimDuration::millis(1),
             SimDuration::millis(4),
             1,
+            &FaultPlan::default(),
         );
         let delta = sw.mean_us - hw.mean_us;
         assert!(

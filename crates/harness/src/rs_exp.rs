@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use prism_rs::abdlock::{AbdLockCluster, AbdLockConfig};
 use prism_rs::prism_rs::{RsCluster, RsConfig};
+use prism_simnet::fault::FaultPlan;
 use prism_simnet::latency::CostModel;
 use prism_simnet::time::SimDuration;
 use prism_workload::KeyDist;
@@ -38,6 +39,8 @@ pub struct RsExpConfig {
     pub measure: SimDuration,
     /// Run seed.
     pub seed: u64,
+    /// Fault plan applied to every sweep point (default: none).
+    pub faults: FaultPlan,
 }
 
 impl RsExpConfig {
@@ -53,6 +56,7 @@ impl RsExpConfig {
             warmup: SimDuration::millis(2),
             measure: SimDuration::millis(20),
             seed: 43,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -70,6 +74,7 @@ impl RsExpConfig {
             warmup: SimDuration::micros(500),
             measure: crate::smoke::measure_window(4_000),
             seed: 43,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -148,6 +153,7 @@ pub fn figure6(cfg: &RsExpConfig) -> (Table, [f64; 3]) {
             cfg.warmup,
             cfg.measure,
             cfg.seed ^ n as u64,
+            &cfg.faults,
         );
         t.row(&[
             "PRISM-RS".into(),
@@ -188,6 +194,7 @@ pub fn figure6(cfg: &RsExpConfig) -> (Table, [f64; 3]) {
                 cfg.warmup,
                 cfg.measure,
                 seed,
+                &cfg.faults,
             );
             t.row(&[
                 label.into(),
@@ -230,6 +237,7 @@ pub fn figure7(cfg: &RsExpConfig) -> Table {
             cfg.warmup,
             cfg.measure,
             cfg.seed ^ (z * 100.0) as u64,
+            &cfg.faults,
         );
         t.row(&[
             "PRISM-RS".into(),
@@ -258,6 +266,7 @@ pub fn figure7(cfg: &RsExpConfig) -> Table {
             cfg.warmup,
             cfg.measure,
             seed,
+            &cfg.faults,
         );
         t.row(&[
             "ABDLOCK".into(),

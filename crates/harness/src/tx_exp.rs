@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use prism_simnet::fault::FaultPlan;
 use prism_simnet::latency::CostModel;
 use prism_simnet::rng::SimRng;
 use prism_simnet::time::SimDuration;
@@ -45,6 +46,8 @@ pub struct TxExpConfig {
     pub measure: SimDuration,
     /// Run seed.
     pub seed: u64,
+    /// Fault plan applied to every sweep point (default: none).
+    pub faults: FaultPlan,
 }
 
 impl TxExpConfig {
@@ -61,6 +64,7 @@ impl TxExpConfig {
             warmup: SimDuration::millis(2),
             measure: SimDuration::millis(20),
             seed: 44,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -80,6 +84,7 @@ impl TxExpConfig {
             warmup: SimDuration::micros(500),
             measure: crate::smoke::measure_window(4_000),
             seed: 44,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -165,6 +170,7 @@ pub fn figure9(cfg: &TxExpConfig) -> (Table, [f64; 3]) {
             cfg.warmup,
             cfg.measure,
             cfg.seed ^ n as u64,
+            &cfg.faults,
         );
         t.row(&[
             "PRISM-TX".into(),
@@ -198,6 +204,7 @@ pub fn figure9(cfg: &TxExpConfig) -> (Table, [f64; 3]) {
                 cfg.warmup,
                 cfg.measure,
                 cfg.seed ^ ((n as u64) << 9),
+                &cfg.faults,
             );
             t.row(&[
                 label.into(),
@@ -258,6 +265,7 @@ pub fn figure10(cfg: &TxExpConfig) -> Table {
                 cfg.warmup,
                 cfg.measure,
                 cfg.seed ^ (z * 100.0) as u64 ^ ((n as u64) << 16),
+                &cfg.faults,
             );
             if best.is_none() || r.tput_ops > best.expect("some").0 {
                 let commits = (r.tput_ops * cfg.measure.as_micros_f64() / 1e6).max(1.0);
@@ -292,6 +300,7 @@ pub fn figure10(cfg: &TxExpConfig) -> Table {
                 cfg.warmup,
                 cfg.measure,
                 cfg.seed ^ 0x9000 ^ (z * 100.0) as u64 ^ ((n as u64) << 16),
+                &cfg.faults,
             );
             if best.is_none() || r.tput_ops > best.expect("some").0 {
                 let commits = (r.tput_ops * cfg.measure.as_micros_f64() / 1e6).max(1.0);

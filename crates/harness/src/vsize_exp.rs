@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use prism_kv::pilaf::{PilafConfig, PilafServer};
 use prism_kv::prism_kv::{PrismKvConfig, PrismKvServer};
+use prism_simnet::fault::FaultPlan;
 use prism_simnet::latency::CostModel;
 use prism_simnet::rng::SimRng;
 use prism_simnet::time::SimDuration;
@@ -38,6 +39,8 @@ pub struct VsizeConfig {
     pub measure: SimDuration,
     /// Run seed.
     pub seed: u64,
+    /// Fault plan applied to every sweep point (default: none).
+    pub faults: FaultPlan,
 }
 
 impl VsizeConfig {
@@ -50,6 +53,7 @@ impl VsizeConfig {
             warmup: SimDuration::millis(1),
             measure: SimDuration::millis(10),
             seed: 45,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -62,6 +66,7 @@ impl VsizeConfig {
             warmup: SimDuration::micros(500),
             measure: crate::smoke::measure_window(3_000),
             seed: 45,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -109,6 +114,7 @@ pub fn run(cfg: &VsizeConfig) -> Table {
                     cfg.warmup,
                     cfg.measure,
                     cfg.seed ^ size as u64 ^ ((clients as u64) << 20),
+                    &cfg.faults,
                 )
             };
 

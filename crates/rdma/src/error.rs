@@ -93,6 +93,62 @@ impl fmt::Display for RdmaError {
 
 impl std::error::Error for RdmaError {}
 
+/// Fixed wire size of an encoded [`RdmaError`]: a code byte plus three
+/// little-endian parameter words (`u64`, `u64`, `u32`).
+pub const ERROR_WIRE_LEN: usize = 21;
+
+impl RdmaError {
+    /// Encodes the error into its fixed-size wire form (a NACK code
+    /// plus parameters), for reply serialization.
+    pub fn to_wire(self) -> [u8; ERROR_WIRE_LEN] {
+        let (code, a, b, c): (u8, u64, u64, u32) = match self {
+            RdmaError::OutOfBounds { addr, len } => (0, addr, len, 0),
+            RdmaError::InvalidRkey(rkey) => (1, 0, 0, rkey),
+            RdmaError::AccessDenied { rkey, addr, len } => (2, addr, len, rkey),
+            RdmaError::Misaligned { addr, required } => (3, addr, required, 0),
+            RdmaError::ReceiverNotReady => (4, 0, 0, 0),
+            RdmaError::OperandTooLong(len) => (5, len, 0, 0),
+            RdmaError::BufferTooSmall { need, have } => (6, need, have, 0),
+            RdmaError::UnknownFreeList(id) => (7, 0, 0, id),
+            RdmaError::ChainAborted => (8, 0, 0, 0),
+            RdmaError::BadIndirectTarget(addr) => (9, addr, 0, 0),
+        };
+        let mut out = [0u8; ERROR_WIRE_LEN];
+        out[0] = code;
+        out[1..9].copy_from_slice(&a.to_le_bytes());
+        out[9..17].copy_from_slice(&b.to_le_bytes());
+        out[17..21].copy_from_slice(&c.to_le_bytes());
+        out
+    }
+
+    /// Decodes an error from its wire form; `None` for unknown codes.
+    pub fn from_wire(bytes: &[u8; ERROR_WIRE_LEN]) -> Option<RdmaError> {
+        let a = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+        let b = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
+        let c = u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes"));
+        Some(match bytes[0] {
+            0 => RdmaError::OutOfBounds { addr: a, len: b },
+            1 => RdmaError::InvalidRkey(c),
+            2 => RdmaError::AccessDenied {
+                rkey: c,
+                addr: a,
+                len: b,
+            },
+            3 => RdmaError::Misaligned {
+                addr: a,
+                required: b,
+            },
+            4 => RdmaError::ReceiverNotReady,
+            5 => RdmaError::OperandTooLong(a),
+            6 => RdmaError::BufferTooSmall { need: a, have: b },
+            7 => RdmaError::UnknownFreeList(c),
+            8 => RdmaError::ChainAborted,
+            9 => RdmaError::BadIndirectTarget(a),
+            _ => return None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +171,34 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(RdmaError::InvalidRkey(1), RdmaError::InvalidRkey(1));
         assert_ne!(RdmaError::InvalidRkey(1), RdmaError::InvalidRkey(2));
+    }
+
+    #[test]
+    fn wire_form_round_trips_every_variant() {
+        let all = [
+            RdmaError::OutOfBounds { addr: 7, len: 9 },
+            RdmaError::InvalidRkey(3),
+            RdmaError::AccessDenied {
+                rkey: 1,
+                addr: 2,
+                len: 3,
+            },
+            RdmaError::Misaligned {
+                addr: 11,
+                required: 8,
+            },
+            RdmaError::ReceiverNotReady,
+            RdmaError::OperandTooLong(64),
+            RdmaError::BufferTooSmall { need: 10, have: 4 },
+            RdmaError::UnknownFreeList(5),
+            RdmaError::ChainAborted,
+            RdmaError::BadIndirectTarget(0xDEAD),
+        ];
+        for e in all {
+            assert_eq!(RdmaError::from_wire(&e.to_wire()), Some(e));
+        }
+        let mut bad = RdmaError::ChainAborted.to_wire();
+        bad[0] = 0xFF;
+        assert_eq!(RdmaError::from_wire(&bad), None);
     }
 }

@@ -236,7 +236,14 @@ pub struct AbdLockOp {
     max_tag: Tag,
     max_value: Option<Vec<u8>>,
     read_replies: usize,
+    /// Error replies (crashed replica / timeout stand-ins) in the read
+    /// phase; when every locked replica has answered but too few
+    /// usefully, the round releases its locks and retries instead of
+    /// waiting forever.
+    read_errs: usize,
     write_acks: usize,
+    /// Error replies in the write phase (same role as `read_errs`).
+    write_errs: usize,
     unlock_acks: usize,
     abort_acks: usize,
     write_tag: Tag,
@@ -295,7 +302,9 @@ impl AbdLockOp {
             max_tag: Tag::ZERO,
             max_value: None,
             read_replies: 0,
+            read_errs: 0,
             write_acks: 0,
+            write_errs: 0,
             unlock_acks: 0,
             abort_acks: 0,
             write_tag: Tag::ZERO,
@@ -310,7 +319,9 @@ impl AbdLockOp {
         self.lock_ok = 0;
         self.lock_fail = 0;
         self.read_replies = 0;
+        self.read_errs = 0;
         self.write_acks = 0;
+        self.write_errs = 0;
         self.unlock_acks = 0;
         self.abort_acks = 0;
         self.max_tag = Tag::ZERO;
@@ -407,8 +418,8 @@ impl AbdLockOp {
 
     fn on_lock_reply(&mut self, c: &mut AbdLockClient, replica: usize, reply: Reply) -> AbdStep {
         self.lock_replies += 1;
-        match reply.into_verb() {
-            Ok(old) if old.len() == 8 => {
+        match reply.verb_result() {
+            Some(Ok(old)) if old.len() == 8 => {
                 let prev = u64::from_le_bytes(old.try_into().expect("8 bytes"));
                 if prev == 0 {
                     self.locked[replica] = true;
@@ -493,8 +504,8 @@ impl AbdLockOp {
     }
 
     fn on_read_reply(&mut self, c: &mut AbdLockClient, _replica: usize, reply: Reply) -> AbdStep {
-        if let Ok(data) = reply.into_verb() {
-            if data.len() >= 8 {
+        match reply.verb_result() {
+            Some(Ok(data)) if data.len() >= 8 => {
                 let tag = Tag::from_bytes(&data[..8]);
                 if tag >= self.max_tag || self.max_value.is_none() {
                     self.max_tag = tag;
@@ -502,41 +513,70 @@ impl AbdLockOp {
                 }
                 self.read_replies += 1;
             }
+            // A locked replica answering with an error (crash / timeout
+            // stand-in): without counting these, a lost read would leave
+            // the round waiting forever with the locks held.
+            _ => self.read_errs += 1,
         }
-        if self.read_replies >= self.lock_ok.min(c.quorum()) && self.phase == Phase::Reading {
-            // Decide locally, then propagate.
-            let (tag, value) = match &self.kind {
-                Kind::Get => {
-                    let v = self.max_value.clone().expect("read quorum had a value");
-                    self.result_value = Some(v.clone());
-                    (self.max_tag, v)
-                }
-                Kind::Put(v) => (self.max_tag.successor(c.client_id), v.clone()),
-            };
-            self.write_tag = tag;
-            self.phase = Phase::Writing;
-            self.phase_no += 1;
-            let block = self.block;
-            let mut payload = Vec::with_capacity(8 + value.len());
-            payload.extend_from_slice(&tag.to_bytes());
-            payload.extend_from_slice(&value);
-            return AbdStep {
-                send: self.sends_to_locked(c, |_, v| {
-                    Request::Verb(Verb::Write {
-                        addr: v.block(block) + 8,
-                        data: payload.clone(),
-                        rkey: v.rkey,
-                    })
-                }),
-                ..Default::default()
-            };
+        if self.phase != Phase::Reading {
+            return AbdStep::default();
         }
-        AbdStep::default()
+        let threshold = self.lock_ok.min(c.quorum());
+        if self.read_replies < threshold {
+            if self.read_replies + self.read_errs >= self.lock_ok {
+                // Every locked replica answered but too few usefully:
+                // release the locks and retry the whole round.
+                return self.abort_locks(c);
+            }
+            return AbdStep::default();
+        }
+        // Decide locally, then propagate.
+        let (tag, value) = match &self.kind {
+            Kind::Get => {
+                // Counted read replies always carry a value; guard so
+                // a slip degrades to a retried round, not a panic.
+                let Some(v) = self.max_value.clone() else {
+                    return self.abort_locks(c);
+                };
+                self.result_value = Some(v.clone());
+                (self.max_tag, v)
+            }
+            Kind::Put(v) => (self.max_tag.successor(c.client_id), v.clone()),
+        };
+        self.write_tag = tag;
+        self.phase = Phase::Writing;
+        self.phase_no += 1;
+        let block = self.block;
+        let mut payload = Vec::with_capacity(8 + value.len());
+        payload.extend_from_slice(&tag.to_bytes());
+        payload.extend_from_slice(&value);
+        AbdStep {
+            send: self.sends_to_locked(c, |_, v| {
+                Request::Verb(Verb::Write {
+                    addr: v.block(block) + 8,
+                    data: payload.clone(),
+                    rkey: v.rkey,
+                })
+            }),
+            ..Default::default()
+        }
     }
 
     fn on_write_reply(&mut self, c: &mut AbdLockClient, _replica: usize, reply: Reply) -> AbdStep {
-        if reply.into_verb().is_ok() {
+        if matches!(reply.verb_result(), Some(Ok(_))) {
             self.write_acks += 1;
+        } else {
+            self.write_errs += 1;
+        }
+        if self.phase == Phase::Writing
+            && self.write_acks < self.lock_ok.min(c.quorum())
+            && self.write_acks + self.write_errs >= self.lock_ok
+        {
+            // Every locked replica answered the write but too few
+            // acknowledged: release the locks and retry the round (the
+            // partial write is harmless — a later read takes the max
+            // tag, and GETs write back what they return).
+            return self.abort_locks(c);
         }
         if self.write_acks >= self.lock_ok.min(c.quorum()) && self.phase == Phase::Writing {
             self.phase = Phase::Unlocking;
@@ -569,11 +609,10 @@ impl AbdLockOp {
         if self.unlock_acks >= self.lock_ok && self.phase == Phase::Unlocking {
             self.phase = Phase::Done;
             return AbdStep {
-                done: Some(match &self.kind {
-                    Kind::Get => {
-                        RsOutcome::Value(self.result_value.clone().expect("set before write"))
-                    }
-                    Kind::Put(_) => RsOutcome::Written,
+                done: Some(match (&self.kind, self.result_value.clone()) {
+                    (Kind::Get, Some(v)) => RsOutcome::Value(v),
+                    (Kind::Get, None) => RsOutcome::Failed("get lost its value"),
+                    (Kind::Put(_), _) => RsOutcome::Written,
                 }),
                 ..Default::default()
             };
@@ -740,6 +779,68 @@ mod tests {
                 0
             );
         }
+    }
+
+    #[test]
+    fn lossy_replies_never_panic_and_always_terminate() {
+        // A miniature fault plan: every reply is independently replaced
+        // by the timeout stand-in with 25% probability. Ops must always
+        // terminate in a definite outcome — never panic, never wedge
+        // with a lock held forever.
+        let cl = cluster();
+        let mut rng = SimRng::new(0xFA_17);
+        let mut c = cl.open_client(7);
+        let mut completed = 0;
+        for i in 0..40u8 {
+            let (mut op, mut step) = if i % 2 == 0 {
+                c.put(u64::from(i % 4), vec![i; 64])
+            } else {
+                c.get(u64::from(i % 4))
+            };
+            let outcome = loop {
+                if let Some(o) = step.done {
+                    break o;
+                }
+                if step.backoff_ns.is_some() {
+                    step = op.resume(&mut c);
+                    continue;
+                }
+                let sends = std::mem::take(&mut step.send);
+                let mut next = AbdStep::default();
+                for (r, phase, req) in sends {
+                    let reply = if rng.gen_bool(0.25) {
+                        Reply::Verb(Err(prism_rdma::RdmaError::ReceiverNotReady))
+                    } else {
+                        prism_core::msg::execute_local(cl.replica(r).server(), &req)
+                    };
+                    let s = op.on_reply(&mut c, phase, r, reply);
+                    if s.done.is_some() || s.backoff_ns.is_some() || !s.send.is_empty() {
+                        next = s;
+                        break;
+                    }
+                }
+                step = next;
+            };
+            match outcome {
+                RsOutcome::Value(_) | RsOutcome::Written => completed += 1,
+                RsOutcome::Failed(_) => {}
+            }
+        }
+        assert!(completed > 0, "some operations must succeed at 25% loss");
+        // A lost *unlock* request legitimately leaks that replica's lock
+        // (the force-release problem §7.2 notes); the lease-style
+        // recovery is `reset_locks`, after which the store must be fully
+        // functional again.
+        cl.reset_locks();
+        let mut c2 = cl.open_client(8);
+        assert_eq!(
+            put(&cl, &mut c2, 0, vec![0xAAu8; 64], &[false; 3]),
+            RsOutcome::Written
+        );
+        assert_eq!(
+            get(&cl, &mut c2, 0, &[false; 3]),
+            RsOutcome::Value(vec![0xAAu8; 64])
+        );
     }
 
     #[test]

@@ -541,9 +541,13 @@ impl RsOp {
     }
 
     fn on_read_reply(&mut self, c: &RsClient, reply: Reply) -> RsStep {
-        let results = reply.into_chain();
-        match (&self.kind, &results[0].status) {
-            (OpKind::Get, OpStatus::Ok) => {
+        // A non-chain reply (e.g. the fault layer's synthesized timeout
+        // error) or an empty chain counts as a failed replica, never a
+        // panic: ABD only needs `f + 1` useful answers.
+        let results = reply.chain_results().unwrap_or_default();
+        let first_status = results.first().map(|r| r.status.clone());
+        match (&self.kind, first_status) {
+            (OpKind::Get, Some(OpStatus::Ok)) => {
                 let data = &results[0].data;
                 if data.len() >= 8 {
                     let tag = Tag::from_bytes(&data[..8]);
@@ -556,7 +560,7 @@ impl RsOp {
                     self.read_failures += 1;
                 }
             }
-            (OpKind::Put(_), OpStatus::Ok) => {
+            (OpKind::Put(_), Some(OpStatus::Ok)) => {
                 let data = &results[0].data;
                 if data.len() == META as usize {
                     let tag = Tag::from_bytes(&data[..8]);
@@ -583,7 +587,16 @@ impl RsOp {
         self.phase_no = 1;
         let (tag, value) = match &self.kind {
             OpKind::Get => {
-                let v = self.max_value.clone().expect("quorum included a value");
+                // Every counted read reply carried a value, so a quorum
+                // implies one; guard anyway so a logic slip under faults
+                // degrades to a counted failure instead of a panic.
+                let Some(v) = self.max_value.clone() else {
+                    self.phase = Phase::Done;
+                    return RsStep {
+                        done: Some(RsOutcome::Failed("read quorum carried no value")),
+                        ..Default::default()
+                    };
+                };
                 self.result_value = Some(v.clone());
                 (self.max_tag, v)
             }
@@ -594,11 +607,13 @@ impl RsOp {
     }
 
     fn on_write_reply(&mut self, c: &RsClient, replica: usize, reply: Reply) -> RsStep {
-        let results = reply.into_chain();
+        // Same defence as the read phase: a synthesized error reply or a
+        // short chain is a failed replica, not a panic.
+        let results = reply.chain_results().unwrap_or_default();
         let mut background = Vec::new();
         // [write, allocate, cas, read-back]
-        let acked = match &results[2].status {
-            OpStatus::Ok => {
+        let acked = match results.get(2).map(|r| r.status.clone()) {
+            Some(OpStatus::Ok) => {
                 // Installed: the replaced buffer is garbage.
                 let old = &results[2].data;
                 if old.len() == META as usize {
@@ -609,10 +624,10 @@ impl RsOp {
                 }
                 true
             }
-            OpStatus::CasFailed => {
+            Some(OpStatus::CasFailed) => {
                 // Replica already has tag >= t': counts as an ack, and our
                 // freshly allocated buffer is garbage.
-                if let Ok(d) = results[3].expect_data() {
+                if let Some(Ok(d)) = results.get(3).map(|r| r.expect_data()) {
                     if d.len() == 8 {
                         let new_addr = u64::from_le_bytes(d.try_into().expect("8 bytes"));
                         background.push((replica, RsClient::free_request(new_addr)));
@@ -631,11 +646,10 @@ impl RsOp {
         if self.phase == Phase::Write {
             if self.acks >= c.quorum() {
                 self.phase = Phase::Done;
-                done = Some(match &self.kind {
-                    OpKind::Get => {
-                        RsOutcome::Value(self.result_value.clone().expect("set at phase change"))
-                    }
-                    OpKind::Put(_) => RsOutcome::Written,
+                done = Some(match (&self.kind, self.result_value.clone()) {
+                    (OpKind::Get, Some(v)) => RsOutcome::Value(v),
+                    (OpKind::Get, None) => RsOutcome::Failed("write-back lost its value"),
+                    (OpKind::Put(_), _) => RsOutcome::Written,
                 });
             } else if self.write_failures > c.n() - c.quorum() {
                 self.phase = Phase::Done;
@@ -775,6 +789,49 @@ mod tests {
             put(&cl, &c, 0, vec![1u8; 64], &crashed),
             RsOutcome::Failed(_)
         ));
+    }
+
+    #[test]
+    fn synthesized_error_replies_fail_cleanly() {
+        use prism_rdma::RdmaError;
+        // The fault layer answers timed-out requests with a bare Verb
+        // error reply; the quorum machine must absorb it as a replica
+        // failure, not panic on a missing chain.
+        let cl = cluster();
+        let c = cl.open_client();
+        let (mut op, step) = c.put(0, vec![1u8; 64]);
+        let mut outcome = None;
+        for (r, phase, _req) in step.send {
+            let s = op.on_reply(&c, phase, r, Reply::Verb(Err(RdmaError::ReceiverNotReady)));
+            if let Some(d) = s.done {
+                outcome = Some(d);
+                break;
+            }
+        }
+        assert!(matches!(outcome, Some(RsOutcome::Failed(_))));
+
+        // Same for the write phase: error out enough replicas after a
+        // clean read quorum and the op fails instead of panicking.
+        let (mut op, step) = c.get(0);
+        let mut writes = Vec::new();
+        let mut queue = step.send;
+        while let Some((r, phase, req)) = queue.pop() {
+            if phase == 1 {
+                writes.push((r, phase, req));
+                continue;
+            }
+            let reply = prism_core::msg::execute_local(cl.replica(r).server(), &req);
+            queue.extend(op.on_reply(&c, phase, r, reply).send);
+        }
+        let mut outcome = None;
+        for (r, phase, _req) in writes {
+            let s = op.on_reply(&c, phase, r, Reply::Verb(Err(RdmaError::ReceiverNotReady)));
+            if let Some(d) = s.done {
+                outcome = Some(d);
+                break;
+            }
+        }
+        assert!(matches!(outcome, Some(RsOutcome::Failed(_))));
     }
 
     #[test]

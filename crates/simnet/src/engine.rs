@@ -23,9 +23,12 @@ impl ActorId {
         self.0
     }
 
-    /// Builds an id from a raw index. Sending to an id that was never
-    /// registered panics at delivery time; this is for callers that
-    /// compute peer ids from known registration order.
+    /// Builds an id from a raw index, for callers that compute peer ids
+    /// from known registration order. Sending to an id that was never
+    /// registered panics at *send* time ([`Context::send_in`],
+    /// [`Context::send_at`], [`Simulation::post`]), so a misconfigured
+    /// experiment fails at the line that computed the bad id rather
+    /// than deep inside the event loop.
     pub fn from_index(i: usize) -> ActorId {
         ActorId(i)
     }
@@ -77,10 +80,19 @@ struct Kernel<M> {
     rng: SimRng,
     metrics: Metrics,
     stopped: bool,
+    /// Number of registered actors, mirrored from the simulation so
+    /// sends can be validated without borrowing the actor table.
+    actors: usize,
 }
 
 impl<M> Kernel<M> {
     fn push(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        assert!(
+            dst.0 < self.actors,
+            "message for unregistered actor {dst:?} ({} registered); \
+             check the id passed to send_in/send_at/post",
+            self.actors
+        );
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Scheduled { at, seq, dst, msg }));
@@ -108,6 +120,12 @@ impl<M> Context<'_, M> {
     }
 
     /// Delivers `msg` to `dst` after `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` was never registered, naming the bad id — so a
+    /// miscomputed [`ActorId::from_index`] fails here, at the send
+    /// site, not later inside the event loop.
     pub fn send_in(&mut self, dst: ActorId, delay: SimDuration, msg: M) {
         let at = self.kernel.now + delay;
         self.kernel.push(at, dst, msg);
@@ -117,7 +135,8 @@ impl<M> Context<'_, M> {
     ///
     /// # Panics
     ///
-    /// Panics if `at` is in the past; the simulator cannot rewind.
+    /// Panics if `at` is in the past (the simulator cannot rewind) or
+    /// if `dst` was never registered.
     pub fn send_at(&mut self, dst: ActorId, at: SimTime, msg: M) {
         assert!(at >= self.kernel.now, "Context::send_at: time in the past");
         self.kernel.push(at, dst, msg);
@@ -158,6 +177,7 @@ impl<M> Simulation<M> {
                 rng: SimRng::new(seed),
                 metrics: Metrics::new(),
                 stopped: false,
+                actors: 0,
             },
             started: false,
         }
@@ -168,6 +188,7 @@ impl<M> Simulation<M> {
     pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
         let id = ActorId(self.actors.len());
         self.actors.push(actor);
+        self.kernel.actors = self.actors.len();
         id
     }
 
@@ -178,6 +199,10 @@ impl<M> Simulation<M> {
 
     /// Enqueues a message for delivery at the current time (time zero before
     /// the run starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` was never registered.
     pub fn post(&mut self, dst: ActorId, msg: M) {
         let now = self.kernel.now;
         self.kernel.push(now, dst, msg);
@@ -226,7 +251,9 @@ impl<M> Simulation<M> {
     ///
     /// # Panics
     ///
-    /// Panics if a message targets an unregistered actor.
+    /// Panics if a message targets an unregistered actor (a backstop —
+    /// sends validate their destination eagerly, so this only fires if
+    /// an event somehow bypassed [`Context`]/[`Simulation::post`]).
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_if_needed();
         while !self.kernel.stopped {
@@ -421,6 +448,25 @@ mod tests {
         let mut sim: Simulation<u32> = Simulation::new(0);
         sim.add_actor(Box::new(Counter { seen: vec![] }));
         sim.post(ActorId(5), 1);
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered actor ActorId(9)")]
+    fn send_to_unregistered_actor_fails_at_send_time() {
+        // The panic must fire inside the sending callback (send time),
+        // naming the bad id — not later when the event loop would have
+        // tried to deliver it.
+        struct BadSender;
+        impl Actor<u32> for BadSender {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send_in(ActorId::from_index(9), SimDuration::micros(1), 0);
+                unreachable!("send_in must reject the unregistered destination");
+            }
+            fn on_message(&mut self, _: u32, _: &mut Context<'_, u32>) {}
+        }
+        let mut sim = Simulation::new(0);
+        sim.add_actor(Box::new(BadSender));
         sim.run();
     }
 

@@ -1,0 +1,242 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] describes the adversity a run is subjected to:
+//! per-message drop and duplication probabilities, extra delivery
+//! jitter, scheduled server crash/restart windows, and client↔server
+//! partition windows. The plan itself is pure data — the harness's
+//! actors consult it at message-delivery time and draw all fault
+//! randomness from dedicated [`SimRng`](crate::rng::SimRng) streams
+//! forked off [`FaultPlan::seed`], so:
+//!
+//! * a run with the default (no-op) plan consumes exactly the same
+//!   random numbers as a build without the fault layer, keeping every
+//!   calibrated latency/throughput figure bit-identical, and
+//! * two runs with the same plan and the same run seed produce
+//!   identical schedules, metrics, and outcomes (`PRISM_TEST_SEED`
+//!   replay works under faults).
+//!
+//! The failure model (see DESIGN.md §9): a crashed server silently
+//!   drops every request that arrives inside its window — replies
+//!   already serialized onto the wire still deliver, like a real
+//!   network holding packets in flight — and recovers with its memory
+//!   intact (fail-recover, not fail-stop-amnesia). Partitions sever
+//!   the client→server request leg. Clients recover lost traffic via
+//!   request timeouts that synthesize error replies, which the
+//!   protocol machines treat exactly like a NACK from the transport.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled outage of one server: every request arriving at
+/// `server` within `[from, until)` is silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// Index of the crashed server (experiment server-list order).
+    pub server: usize,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive) — the restart instant.
+    pub until: SimTime,
+}
+
+impl CrashWindow {
+    /// Whether this window covers `server` at time `at`.
+    pub fn covers(&self, server: usize, at: SimTime) -> bool {
+        self.server == server && at >= self.from && at < self.until
+    }
+}
+
+/// A scheduled partition: requests from `client` to `server` sent
+/// within `[from, until)` are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Index of the partitioned client (experiment client order).
+    pub client: usize,
+    /// Index of the unreachable server.
+    pub server: usize,
+    /// Start of the partition (inclusive).
+    pub from: SimTime,
+    /// End of the partition (exclusive).
+    pub until: SimTime,
+}
+
+impl Partition {
+    /// Whether this partition severs `client`→`server` at time `at`.
+    pub fn covers(&self, client: usize, server: usize, at: SimTime) -> bool {
+        self.client == client && self.server == server && at >= self.from && at < self.until
+    }
+}
+
+/// A deterministic fault schedule for one simulation run.
+///
+/// The [`Default`] plan is a no-op: nothing is dropped, duplicated,
+/// delayed, crashed, or partitioned, and the harness bypasses the
+/// fault machinery entirely (no extra events, no extra RNG draws).
+/// Build an adversarial plan from [`FaultPlan::seeded`] plus the
+/// `with_*` combinators.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault-decision RNG streams (independent of the run
+    /// seed so the same workload can be replayed under different
+    /// adversity, and vice versa).
+    pub seed: u64,
+    /// Probability that any request or reply is dropped in flight.
+    pub drop_prob: f64,
+    /// Probability that a reply is delivered twice. Only the reply leg
+    /// duplicates: re-delivering a request would re-execute
+    /// non-idempotent chains (an ALLOCATE would leak a buffer per
+    /// duplicate), which models a NIC retransmitting *into* memory —
+    /// a different failure class than the fabric's.
+    pub dup_prob: f64,
+    /// Maximum extra per-message delivery delay, in nanoseconds
+    /// (uniform in `[0, jitter_ns)`).
+    pub jitter_ns: u64,
+    /// Per-request client timeout. When it fires before the reply, the
+    /// client synthesizes a transport-error reply for that request and
+    /// the protocol machine takes its failure path. `ZERO` disables
+    /// timeouts (only sensible for jitter-only plans).
+    pub timeout: SimDuration,
+    /// Scheduled server outages.
+    pub crashes: Vec<CrashWindow>,
+    /// Scheduled client→server partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// A plan with fault RNG seeded and the default request timeout
+    /// (200 µs — an order of magnitude above the testbed's unloaded
+    /// round trips, small enough to retry many times per run) but no
+    /// faults enabled yet. Combine with the `with_*` methods.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            timeout: SimDuration::micros(200),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets message loss and reply duplication probabilities.
+    pub fn with_loss(mut self, drop_prob: f64, dup_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob out of range");
+        assert!((0.0..=1.0).contains(&dup_prob), "dup_prob out of range");
+        self.drop_prob = drop_prob;
+        self.dup_prob = dup_prob;
+        self
+    }
+
+    /// Sets the maximum extra per-message delivery jitter.
+    pub fn with_jitter(mut self, jitter_ns: u64) -> Self {
+        self.jitter_ns = jitter_ns;
+        self
+    }
+
+    /// Overrides the per-request timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Adds a crash/restart window for `server`.
+    pub fn with_crash(mut self, server: usize, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "empty crash window");
+        self.crashes.push(CrashWindow {
+            server,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a partition window between `client` and `server`.
+    pub fn with_partition(
+        mut self,
+        client: usize,
+        server: usize,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(from < until, "empty partition window");
+        self.partitions.push(Partition {
+            client,
+            server,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Whether the plan injects no faults at all. The harness uses this
+    /// to bypass the fault machinery so default runs stay bit-identical
+    /// to a fault-free build (`timeout` alone does not arm the layer —
+    /// with no faults there is nothing to time out).
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.jitter_ns == 0
+            && self.crashes.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// Whether `server` is inside any crash window at `at`.
+    pub fn crashed(&self, server: usize, at: SimTime) -> bool {
+        self.crashes.iter().any(|w| w.covers(server, at))
+    }
+
+    /// Whether `client`→`server` is severed at `at`.
+    pub fn partitioned(&self, client: usize, server: usize, at: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.covers(client, server, at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop() {
+        let p = FaultPlan::default();
+        assert!(p.is_noop());
+        assert!(!p.crashed(0, SimTime::ZERO));
+        assert!(!p.partitioned(0, 0, SimTime::ZERO));
+    }
+
+    #[test]
+    fn seeded_plan_without_faults_is_still_noop() {
+        // A timeout alone must not arm the fault layer: nothing can be
+        // lost, so nothing can time out, and default runs stay
+        // bit-identical.
+        assert!(FaultPlan::seeded(7).is_noop());
+        assert!(!FaultPlan::seeded(7).with_loss(0.01, 0.0).is_noop());
+    }
+
+    #[test]
+    fn crash_window_is_half_open() {
+        let p =
+            FaultPlan::seeded(1).with_crash(2, SimTime::from_nanos(100), SimTime::from_nanos(200));
+        assert!(!p.crashed(2, SimTime::from_nanos(99)));
+        assert!(p.crashed(2, SimTime::from_nanos(100)));
+        assert!(p.crashed(2, SimTime::from_nanos(199)));
+        assert!(!p.crashed(2, SimTime::from_nanos(200)));
+        assert!(!p.crashed(1, SimTime::from_nanos(150)));
+    }
+
+    #[test]
+    fn partition_matches_exact_pair() {
+        let p = FaultPlan::seeded(1).with_partition(3, 0, SimTime::ZERO, SimTime::from_nanos(50));
+        assert!(p.partitioned(3, 0, SimTime::from_nanos(10)));
+        assert!(!p.partitioned(3, 1, SimTime::from_nanos(10)));
+        assert!(!p.partitioned(2, 0, SimTime::from_nanos(10)));
+        assert!(!p.partitioned(3, 0, SimTime::from_nanos(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob out of range")]
+    fn loss_probability_is_validated() {
+        let _ = FaultPlan::seeded(1).with_loss(1.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty crash window")]
+    fn empty_crash_window_rejected() {
+        let _ = FaultPlan::seeded(1).with_crash(0, SimTime::from_nanos(5), SimTime::from_nanos(5));
+    }
+}

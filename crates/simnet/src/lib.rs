@@ -19,6 +19,8 @@
 //! * [`latency`] — the calibrated [`latency::CostModel`].
 //! * [`metrics`] — latency histograms and throughput counters.
 //! * [`rng`] — seeded, deterministic random number generation.
+//! * [`fault`] — seeded fault plans (loss, duplication, jitter,
+//!   crash/restart windows, partitions) for adversarial runs.
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod resources;
@@ -55,5 +58,6 @@ pub mod rng;
 pub mod time;
 
 pub use engine::{Actor, ActorId, Context, Simulation};
+pub use fault::FaultPlan;
 pub use latency::CostModel;
 pub use time::{SimDuration, SimTime};

@@ -728,6 +728,43 @@ impl TxOp {
             .collect()
     }
 
+    /// Terminates the attempt after a lost or synthesized reply.
+    ///
+    /// Execute-phase losses abort cleanly (nothing was prepared yet on
+    /// the lost shard's behalf beyond reads). Prepare losses abort with
+    /// the usual cleanup; any prepare timestamps already planted on
+    /// other shards age out against later transactions' larger
+    /// timestamps. A commit loss is indeterminate — the writes may or
+    /// may not have installed — so it is reported as a failure rather
+    /// than a retryable abort.
+    fn lost_reply(&mut self, c: &mut TxClient) -> TxStep {
+        match self.phase {
+            Phase::Execute => {
+                self.phase = Phase::Done;
+                TxStep {
+                    done: Some(TxOutcome::Aborted),
+                    ..Default::default()
+                }
+            }
+            Phase::Prepare => {
+                self.phase = Phase::Done;
+                TxStep {
+                    background: self.abort_cleanup(c),
+                    done: Some(TxOutcome::Aborted),
+                    ..Default::default()
+                }
+            }
+            Phase::Commit => {
+                self.phase = Phase::Done;
+                TxStep {
+                    done: Some(TxOutcome::Failed("commit reply lost")),
+                    ..Default::default()
+                }
+            }
+            Phase::Done => TxStep::default(),
+        }
+    }
+
     /// Feeds one reply.
     pub fn on_reply(&mut self, c: &mut TxClient, phase: u32, req_idx: u32, reply: Reply) -> TxStep {
         let current = match self.phase {
@@ -739,13 +776,21 @@ impl TxOp {
         if phase != current {
             return TxStep::default();
         }
-        let req = self.reqs[req_idx as usize].clone();
-        let results = reply.into_chain();
+        // A garbled request index or a non-chain reply (the fault
+        // layer's timeout stand-in) is a lost round trip, never a
+        // panic: execute/prepare losses abort and retry; a commit loss
+        // is genuinely indeterminate and surfaces as a counted failure.
+        let Some(req) = self.reqs.get(req_idx as usize).cloned() else {
+            return self.lost_reply(c);
+        };
+        let Some(results) = reply.chain_results() else {
+            return self.lost_reply(c);
+        };
         match self.phase {
             Phase::Execute => {
                 for (i, &k) in req.read_keys.iter().enumerate() {
-                    let slot_c = match results[2 * i].expect_data() {
-                        Ok(d) if d.len() == 16 => Ts::from_bytes(&d[..8]),
+                    let slot_c = match results.get(2 * i).map(|r| r.expect_data()) {
+                        Some(Ok(d)) if d.len() == 16 => Ts::from_bytes(&d[..8]),
                         _ => {
                             self.phase = Phase::Done;
                             return TxStep {
@@ -754,8 +799,8 @@ impl TxOp {
                             };
                         }
                     };
-                    match results[2 * i + 1].expect_data() {
-                        Ok(d) if d.len() >= 16 => {
+                    match results.get(2 * i + 1).map(|r| r.expect_data()) {
+                        Some(Ok(d)) if d.len() >= 16 => {
                             let version = Ts::from_bytes(&d[..8]);
                             let embedded = u64::from_le_bytes(d[8..16].try_into().expect("8B"));
                             debug_assert_eq!(embedded, k, "buffer key mismatch");
@@ -785,11 +830,14 @@ impl TxOp {
             }
             Phase::Prepare => {
                 for (i, op) in req.prep.iter().enumerate() {
+                    let Some(result) = results.get(i) else {
+                        return self.lost_reply(c);
+                    };
                     match *op {
-                        PrepOp::Rv(k) => match &results[i].status {
+                        PrepOp::Rv(k) => match &result.status {
                             OpStatus::Ok => {}
-                            OpStatus::CasFailed => {
-                                let old = &results[i].data;
+                            OpStatus::CasFailed if result.data.len() >= 16 => {
+                                let old = &result.data;
                                 let pw = Ts::from_bytes(&old[0..8]);
                                 let pr = Ts::from_bytes(&old[8..16]);
                                 c.clock.observe(pw);
@@ -809,9 +857,9 @@ impl TxOp {
                                 };
                             }
                         },
-                        PrepOp::WvCond(k) | PrepOp::Wv(k) => match &results[i].status {
-                            OpStatus::Ok => {
-                                let old = &results[i].data;
+                        PrepOp::WvCond(k) | PrepOp::Wv(k) => match &result.status {
+                            OpStatus::Ok if result.data.len() >= 16 => {
+                                let old = &result.data;
                                 let pr = Ts::from_bytes(&old[8..16]);
                                 // Only read-validated write checks are
                                 // eligible for the abort-path C-bump;
@@ -830,8 +878,8 @@ impl TxOp {
                                     self.valid = false;
                                 }
                             }
-                            OpStatus::CasFailed => {
-                                let old = &results[i].data;
+                            OpStatus::CasFailed if result.data.len() >= 8 => {
+                                let old = &result.data;
                                 c.clock.observe(Ts::from_bytes(&old[0..8]));
                                 self.valid = false;
                             }
@@ -866,14 +914,20 @@ impl TxOp {
             Phase::Commit => {
                 let mut background = Vec::new();
                 for (j, _k) in req.write_keys.iter().enumerate() {
-                    let cas = &results[j * 4 + 2];
-                    let readback = &results[j * 4 + 3];
+                    let (Some(cas), Some(readback)) =
+                        (results.get(j * 4 + 2), results.get(j * 4 + 3))
+                    else {
+                        return self.lost_reply(c);
+                    };
                     match &cas.status {
                         OpStatus::Ok => {
                             let old = &cas.data;
-                            let old_addr = u64::from_le_bytes(old[8..16].try_into().expect("8B"));
-                            if old_addr != 0 {
-                                background.push((req.shard, TxClient::free_request(old_addr)));
+                            if old.len() >= 16 {
+                                let old_addr =
+                                    u64::from_le_bytes(old[8..16].try_into().expect("8 bytes"));
+                                if old_addr != 0 {
+                                    background.push((req.shard, TxClient::free_request(old_addr)));
+                                }
                             }
                         }
                         OpStatus::CasFailed => {
@@ -1023,6 +1077,57 @@ mod tests {
         ));
         let vals = read_keys(&cl, &mut c, &[2]);
         assert_eq!(vals[&2], vec![9u8; 32]);
+    }
+
+    #[test]
+    fn lost_replies_abort_or_fail_without_panicking() {
+        use prism_rdma::RdmaError;
+        let timeout_reply = || Reply::Verb(Err(RdmaError::ReceiverNotReady));
+
+        // Execution-phase loss: retryable abort.
+        let cl = cluster(1, 8);
+        let mut c = cl.open_client();
+        let (mut op, step) = c.begin(vec![0], vec![(0, vec![1u8; 32])]);
+        let (shard, phase, idx, _req) = step.send[0].clone();
+        let s = op.on_reply(&mut c, phase, idx, timeout_reply());
+        assert_eq!(s.done, Some(TxOutcome::Aborted));
+        let _ = shard;
+
+        // Prepare-phase loss: retryable abort, and a garbled request
+        // index is treated the same way.
+        let mut c = cl.open_client();
+        let (mut op, step) = c.begin(vec![1], vec![(1, vec![2u8; 32])]);
+        let mut prepare = None;
+        let mut queue = step.send;
+        while let Some((shard, phase, idx, req)) = queue.pop() {
+            if phase == PH_PREPARE {
+                prepare = Some((shard, phase, idx));
+                continue;
+            }
+            let reply = prism_core::msg::execute_local(cl.shard(shard).server(), &req);
+            queue.extend(op.on_reply(&mut c, phase, idx, reply).send);
+        }
+        let (_, phase, idx) = prepare.expect("reached prepare");
+        let s = op.on_reply(&mut c, phase, u32::MAX, timeout_reply());
+        assert_eq!(s.done, Some(TxOutcome::Aborted));
+        let _ = idx;
+
+        // Commit-phase loss: indeterminate, surfaces as Failed.
+        let mut c = cl.open_client();
+        let (mut op, step) = c.begin(vec![2], vec![(2, vec![3u8; 32])]);
+        let mut commit = None;
+        let mut queue = step.send;
+        while let Some((shard, phase, idx, req)) = queue.pop() {
+            if phase == PH_COMMIT {
+                commit = Some((shard, phase, idx));
+                continue;
+            }
+            let reply = prism_core::msg::execute_local(cl.shard(shard).server(), &req);
+            queue.extend(op.on_reply(&mut c, phase, idx, reply).send);
+        }
+        let (_, phase, idx) = commit.expect("reached commit");
+        let s = op.on_reply(&mut c, phase, idx, timeout_reply());
+        assert!(matches!(s.done, Some(TxOutcome::Failed(_))));
     }
 
     #[test]

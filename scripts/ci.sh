@@ -8,10 +8,12 @@
 #   1. hermeticity check  — all deps are path-only (scripts/check_hermetic.sh)
 #   2. offline release build
 #   3. offline test run   — unit, integration, and property suites
-#   4. bench smoke        — substrate benches at 50 ms/bench, so a perf
+#   4. fault-matrix smoke — KV/RS/TX under loss-only, crash-only, and
+#                           loss+crash fault plans: progress, no panics
+#   5. bench smoke        — substrate benches at 50 ms/bench, so a perf
 #                           regression that breaks the bench harness (or
 #                           an arena change that deadlocks it) fails CI
-#   5. cargo fmt --check  — skipped with a notice if rustfmt is absent
+#   6. cargo fmt --check  — skipped with a notice if rustfmt is absent
 #
 # The property suites print a PRISM_TEST_SEED on failure; re-run the
 # named test with that env var to reproduce the exact failing input.
@@ -27,6 +29,9 @@ cargo build --release --offline
 
 echo "== test (offline) =="
 cargo test -q --offline
+
+echo "== fault-matrix smoke (loss / crash / loss+crash) =="
+cargo test -q --offline -p prism-harness --test fault_matrix
 
 echo "== bench smoke (substrate, 50 ms/bench) =="
 PRISM_BENCH_MS=50 cargo bench -q --offline -p prism-bench --bench substrate

@@ -1,0 +1,168 @@
+//! Property-based tests for the doorbell-batch wire format: a
+//! [`Request::Batch`] / [`Reply::Batch`] is one flat submission list,
+//! and any flat batch must survive encode/decode unchanged — including
+//! the degenerate shapes a fuzzer loves (empty batches, zero-length
+//! payloads, and the u16 count limit). Runs on the in-repo
+//! `prism-testkit` harness; failures print a `PRISM_TEST_SEED` for
+//! exact replay.
+
+use prism_core::msg::{Reply, Request, Verb};
+use prism_core::{OpResult, OpStatus};
+use prism_rdma::RdmaError;
+use prism_testkit::{for_all, gens, Config, Gen};
+
+/// One batch member: any non-batch request, biased toward small
+/// payloads (including empty ones).
+fn arb_request_member() -> Gen<Request> {
+    gens::one_of(vec![
+        gens::vec(gens::u8s(), 0..32).map(Request::Rpc),
+        gens::t3(gens::u64s(), gens::u32s(), gens::u32s())
+            .map(|(addr, len, rkey)| Request::Verb(Verb::Read { addr, len, rkey })),
+        gens::t3(gens::u64s(), gens::u32s(), gens::vec(gens::u8s(), 0..32))
+            .map(|(addr, rkey, data)| Request::Verb(Verb::Write { addr, data, rkey })),
+        gens::t4(gens::u64s(), gens::u64s(), gens::u64s(), gens::u32s()).map(
+            |(addr, compare, swap, rkey)| {
+                Request::Verb(Verb::Cas64 {
+                    addr,
+                    compare,
+                    swap,
+                    rkey,
+                })
+            },
+        ),
+    ])
+}
+
+/// One reply member: any non-batch reply, including chain responses and
+/// verb errors.
+fn arb_reply_member() -> Gen<Reply> {
+    let result = gens::t2(
+        gens::choice(vec![OpStatus::Ok, OpStatus::CasFailed]),
+        gens::vec(gens::u8s(), 0..32),
+    )
+    .map(|(status, data)| OpResult { status, data });
+    gens::one_of(vec![
+        gens::vec(gens::u8s(), 0..32).map(Reply::Rpc),
+        gens::vec(gens::u8s(), 0..32).map(|d| Reply::Verb(Ok(d))),
+        gens::choice(vec![
+            RdmaError::ReceiverNotReady,
+            RdmaError::InvalidRkey(7),
+            RdmaError::Misaligned {
+                addr: 13,
+                required: 8,
+            },
+        ])
+        .map(|e| Reply::Verb(Err(e))),
+        gens::vec(result, 0..4).map(Reply::Chain),
+    ])
+}
+
+/// Any flat request batch survives encode/decode unchanged.
+#[test]
+fn request_batch_round_trips() {
+    let gen = gens::vec(arb_request_member(), 0..6).map(Request::Batch);
+    for_all(
+        "request_batch_round_trips",
+        &Config::with_cases(256),
+        &gen,
+        |batch| {
+            let bytes = batch.encode().expect("encode");
+            let decoded = Request::decode(&bytes).expect("decode");
+            assert_eq!(&decoded, batch);
+        },
+    );
+}
+
+/// Any flat reply batch survives encode/decode unchanged.
+#[test]
+fn reply_batch_round_trips() {
+    let gen = gens::vec(arb_reply_member(), 0..6).map(Reply::Batch);
+    for_all(
+        "reply_batch_round_trips",
+        &Config::with_cases(256),
+        &gen,
+        |batch| {
+            let bytes = batch.encode().expect("encode");
+            let decoded = Reply::decode(&bytes).expect("decode");
+            assert_eq!(&decoded, batch);
+        },
+    );
+}
+
+/// The degenerate shapes: an empty batch, members with zero-length
+/// payloads, and a batch at exactly the u16 count limit all round-trip;
+/// one past the limit is a clean encode error, not a truncated count.
+#[test]
+fn batch_boundary_shapes() {
+    // Empty batch.
+    let empty_req = Request::Batch(Vec::new());
+    assert_eq!(
+        Request::decode(&empty_req.encode().expect("encode")).expect("decode"),
+        empty_req
+    );
+    let empty_reply = Reply::Batch(Vec::new());
+    assert_eq!(
+        Reply::decode(&empty_reply.encode().expect("encode")).expect("decode"),
+        empty_reply
+    );
+
+    // Zero-length member payloads.
+    let hollow = Request::Batch(vec![
+        Request::Rpc(Vec::new()),
+        Request::Verb(Verb::Write {
+            addr: 0,
+            data: Vec::new(),
+            rkey: 0,
+        }),
+    ]);
+    assert_eq!(
+        Request::decode(&hollow.encode().expect("encode")).expect("decode"),
+        hollow
+    );
+    let hollow_reply = Reply::Batch(vec![
+        Reply::Rpc(Vec::new()),
+        Reply::Verb(Ok(Vec::new())),
+        Reply::Chain(Vec::new()),
+    ]);
+    assert_eq!(
+        Reply::decode(&hollow_reply.encode().expect("encode")).expect("decode"),
+        hollow_reply
+    );
+
+    // Exactly u16::MAX tiny members: the count prefix is saturated but
+    // valid.
+    let max = Request::Batch(vec![Request::Rpc(Vec::new()); u16::MAX as usize]);
+    assert_eq!(
+        Request::decode(&max.encode().expect("encode")).expect("decode"),
+        max
+    );
+
+    // One past the limit cannot be represented and must fail to encode.
+    let over = Request::Batch(vec![Request::Rpc(Vec::new()); u16::MAX as usize + 1]);
+    assert!(over.encode().is_err(), "overlong batch must not encode");
+    let over_reply = Reply::Batch(vec![Reply::Rpc(Vec::new()); u16::MAX as usize + 1]);
+    assert!(
+        over_reply.encode().is_err(),
+        "overlong batch must not encode"
+    );
+}
+
+/// Batch decoding never panics on arbitrary bytes, even bytes that
+/// start with a plausible batch marker and count.
+#[test]
+fn batch_decode_is_total() {
+    let gen = gens::vec(gens::u8s(), 0..64).map(|mut tail| {
+        let mut bytes = vec![3u8]; // MSG_BATCH marker
+        bytes.append(&mut tail);
+        bytes
+    });
+    for_all(
+        "batch_decode_is_total",
+        &Config::with_cases(256),
+        &gen,
+        |bytes| {
+            let _ = Request::decode(bytes);
+            let _ = Reply::decode(bytes);
+        },
+    );
+}

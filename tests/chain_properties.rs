@@ -131,7 +131,7 @@ fn wire_round_trips() {
         &Config::with_cases(256),
         &gen,
         |chain| {
-            let bytes = wire::encode_chain(chain);
+            let bytes = wire::encode_chain(chain).expect("encode");
             let decoded = wire::decode_chain(&bytes).expect("decode");
             assert_eq!(&decoded, chain);
         },

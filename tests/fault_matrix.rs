@@ -1,0 +1,184 @@
+//! Fault-matrix smoke: every protocol family (KV, RS, TX) survives the
+//! three canonical fault mixes — loss-only, crash-only, and
+//! loss-plus-crash — making progress without panics while the injected
+//! faults visibly bite. Windows are short fixed spans: the matrix is a
+//! gate, not a benchmark.
+
+use std::sync::Arc;
+
+use prism_harness::adapters::{PrismKvAdapter, PrismRsAdapter, PrismTxAdapter};
+use prism_harness::kv_exp;
+use prism_harness::netsim::{run_closed_loop, RunResult, VerbPath};
+use prism_kv::prism_kv::{PrismKvConfig, PrismKvServer};
+use prism_rs::prism_rs::{RsCluster, RsConfig};
+use prism_simnet::fault::FaultPlan;
+use prism_simnet::latency::CostModel;
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::{SimDuration, SimTime};
+use prism_tx::prism_tx::{TxCluster, TxConfig};
+use prism_workload::{KeyDist, TxnGen, YcsbConfig};
+
+const SEED: u64 = 0x5A0_7E57;
+const KEYS: u64 = 256;
+const VALUE: usize = 64;
+const WARMUP: SimDuration = SimDuration::from_nanos(200_000);
+const MEASURE: SimDuration = SimDuration::from_nanos(1_200_000);
+
+/// One cell of the matrix: which fault ingredients are active.
+#[derive(Clone, Copy)]
+struct Mix {
+    label: &'static str,
+    loss: bool,
+    crash: bool,
+}
+
+const MATRIX: [Mix; 3] = [
+    Mix {
+        label: "loss-only",
+        loss: true,
+        crash: false,
+    },
+    Mix {
+        label: "crash-only",
+        loss: false,
+        crash: true,
+    },
+    Mix {
+        label: "loss+crash",
+        loss: true,
+        crash: true,
+    },
+];
+
+/// Builds the plan for one cell. `crash_server` picks the victim so
+/// quorum systems can keep a majority alive.
+fn plan(mix: Mix, crash_server: usize) -> FaultPlan {
+    let mut p = FaultPlan::seeded(SEED).with_timeout(SimDuration::micros(60));
+    if mix.loss {
+        p = p.with_loss(0.02, 0.01);
+    }
+    if mix.crash {
+        p = p.with_crash(
+            crash_server,
+            SimTime::from_nanos(400_000),
+            SimTime::from_nanos(800_000),
+        );
+    }
+    p
+}
+
+fn check(system: &str, mix: Mix, r: &RunResult) {
+    assert!(
+        r.tput_ops > 0.0,
+        "{system}/{}: no progress: {r:?}",
+        mix.label
+    );
+    if mix.loss {
+        assert!(r.drops > 0, "{system}/{}: loss never bit: {r:?}", mix.label);
+    }
+    if mix.crash {
+        assert!(
+            r.crash_drops > 0,
+            "{system}/{}: crash window never bit: {r:?}",
+            mix.label
+        );
+    }
+}
+
+#[test]
+fn kv_survives_the_fault_matrix() {
+    for mix in MATRIX {
+        let mut config = PrismKvConfig::paper(KEYS, VALUE);
+        // Lost replies leak buffers until their frees are resent; give
+        // the faulted store headroom.
+        config.classes[0].count += 4_096;
+        let server = PrismKvServer::new(&config);
+        kv_exp::preload_prism(&server, KEYS, VALUE);
+        let servers = vec![Arc::clone(server.server())];
+        let r = run_closed_loop(
+            &servers,
+            &CostModel::testbed(),
+            VerbPath::Nic,
+            4,
+            &mut |i| {
+                Box::new(PrismKvAdapter::new(
+                    server.open_client(),
+                    YcsbConfig {
+                        dist: KeyDist::uniform(KEYS),
+                        read_fraction: 0.5,
+                        value_len: VALUE,
+                    },
+                    SimRng::new(SEED ^ ((i as u64 + 1) * 7)),
+                ))
+            },
+            WARMUP,
+            MEASURE,
+            SEED,
+            &plan(mix, 0),
+        );
+        check("kv", mix, &r);
+    }
+}
+
+#[test]
+fn rs_survives_the_fault_matrix() {
+    for mix in MATRIX {
+        let mut config = RsConfig::paper(8, VALUE as u64);
+        config.spare_buffers += 4_096;
+        let cluster = RsCluster::new(3, &config);
+        let servers: Vec<_> = (0..3)
+            .map(|r| Arc::clone(cluster.replica(r).server()))
+            .collect();
+        let r = run_closed_loop(
+            &servers,
+            &CostModel::testbed(),
+            VerbPath::Nic,
+            4,
+            &mut |_| {
+                Box::new(PrismRsAdapter::new(
+                    cluster.open_client(),
+                    KeyDist::uniform(8),
+                    VALUE,
+                    0.5,
+                ))
+            },
+            WARMUP,
+            MEASURE,
+            SEED,
+            &plan(mix, 1),
+        );
+        check("rs", mix, &r);
+    }
+}
+
+#[test]
+fn tx_survives_the_fault_matrix() {
+    for mix in MATRIX {
+        let mut config = TxConfig::paper(KEYS, VALUE as u64);
+        config.spare_buffers += 4_096;
+        let cluster = Arc::new(TxCluster::new(1, &config));
+        let servers = vec![Arc::clone(cluster.shard(0).server())];
+        let r = run_closed_loop(
+            &servers,
+            &CostModel::testbed(),
+            VerbPath::Nic,
+            4,
+            &mut |i| {
+                Box::new(PrismTxAdapter::new(
+                    cluster.open_client(),
+                    TxnGen::new(
+                        KeyDist::uniform(KEYS),
+                        1,
+                        VALUE,
+                        SimRng::new(SEED ^ ((i as u64 + 1) * 31)),
+                    ),
+                ))
+            },
+            WARMUP,
+            MEASURE,
+            SEED,
+            &plan(mix, 0),
+        );
+        check("tx", mix, &r);
+    }
+}
