@@ -40,6 +40,26 @@ impl FreeLists {
         assert!(prev.is_none(), "free list {id:?} registered twice");
     }
 
+    /// Rebuilds a free list from scratch after an amnesia restart: the
+    /// old queue (whose contents described pre-crash ownership) is
+    /// dropped and replaced by a fresh one holding exactly `addrs`.
+    /// Takes the exclusive side of the posting gate so no in-flight
+    /// chain can pop from the queue being replaced. Unlike
+    /// [`FreeLists::register`], the id must already exist — recovery
+    /// re-initializes, it does not invent size classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never registered.
+    pub fn reset(&self, id: FreeListId, addrs: impl IntoIterator<Item = u64>) {
+        let _excl = self.gate.write();
+        let mut queues = self.queues.write();
+        let old = queues.get(&id).expect("reset of unregistered free list");
+        let fresh = Arc::new(BufferQueue::new(old.buf_len()));
+        fresh.post_many(addrs);
+        queues.insert(id, fresh);
+    }
+
     /// Acquires the data-plane side of the posting gate. The PRISM engine
     /// holds this for the duration of a chain so reposts cannot interleave
     /// with in-flight allocations.
@@ -175,6 +195,25 @@ mod tests {
         let fl = FreeLists::new();
         fl.register(FreeListId(1), 64);
         fl.register(FreeListId(1), 128);
+    }
+
+    #[test]
+    fn reset_replaces_queue_contents() {
+        let fl = FreeLists::new();
+        let id = FreeListId(1);
+        fl.register(id, 128);
+        fl.post(id, [0x1000, 0x2000]).unwrap();
+        fl.reset(id, [0x9000]);
+        assert_eq!(fl.available(id), 1);
+        assert_eq!(fl.buf_len(id), Some(128));
+        let _g = fl.gate_read();
+        assert_eq!(fl.pop(id).unwrap(), (0x9000, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "reset of unregistered")]
+    fn reset_requires_registration() {
+        FreeLists::new().reset(FreeListId(9), [0x1000]);
     }
 
     #[test]

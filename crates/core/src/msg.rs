@@ -188,6 +188,24 @@ impl Reply {
             _ => None,
         }
     }
+
+    /// If the reply reports a fenced rkey anywhere
+    /// ([`RdmaError::StaleIncarnation`] in a verb error, a chain op
+    /// NACK, or any batch member), the server's current incarnation.
+    /// Clients use this as the re-handshake trigger after an amnesia
+    /// restart: the rkeys they cached belong to a dead incarnation and
+    /// must be restamped before retrying.
+    pub fn stale_incarnation(&self) -> Option<u64> {
+        match self {
+            Reply::Verb(Err(RdmaError::StaleIncarnation { current, .. })) => Some(*current),
+            Reply::Verb(_) | Reply::Rpc(_) => None,
+            Reply::Chain(results) => results.iter().find_map(|r| match r.status {
+                OpStatus::Error(RdmaError::StaleIncarnation { current, .. }) => Some(current),
+                _ => None,
+            }),
+            Reply::Batch(replies) => replies.iter().find_map(Reply::stale_incarnation),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -655,6 +673,38 @@ mod tests {
         let mut bytes = Reply::Rpc(vec![5]).encode().unwrap();
         bytes.push(0);
         assert!(Reply::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn stale_incarnation_is_found_in_any_reply_shape() {
+        let stale = prism_rdma::RdmaError::StaleIncarnation {
+            seen: 0,
+            current: 3,
+        };
+        assert_eq!(Reply::Verb(Err(stale)).stale_incarnation(), Some(3));
+        assert_eq!(
+            Reply::Chain(vec![
+                OpResult {
+                    status: OpStatus::Ok,
+                    data: vec![],
+                },
+                OpResult {
+                    status: OpStatus::Error(stale),
+                    data: vec![],
+                },
+            ])
+            .stale_incarnation(),
+            Some(3)
+        );
+        assert_eq!(
+            Reply::Batch(vec![Reply::Rpc(vec![]), Reply::Verb(Err(stale))]).stale_incarnation(),
+            Some(3)
+        );
+        assert_eq!(
+            Reply::Verb(Err(prism_rdma::RdmaError::ReceiverNotReady)).stale_incarnation(),
+            None
+        );
+        assert_eq!(Reply::Rpc(vec![1]).stale_incarnation(), None);
     }
 
     #[test]

@@ -166,6 +166,23 @@ impl PrismServer {
         self.engine.execute_chain_into(chain, results)
     }
 
+    /// Models a **fail-stop-amnesia** restart: the host loses all of its
+    /// memory (the arena is wiped) and comes back under a bumped
+    /// incarnation, fencing every rkey issued before the crash
+    /// ([`RdmaError::StaleIncarnation`]). Region *layout* survives —
+    /// registrations are re-issued at the same addresses under the new
+    /// incarnation, exactly what a recovering server re-registering the
+    /// same carve plan would produce — so clients recover by restamping
+    /// their cached rkeys ([`Rkey::restamped`]) after a re-handshake,
+    /// not by relearning addresses. Returns the new incarnation.
+    ///
+    /// Control-plane only: the caller (the recovery protocol) must not
+    /// be serving data-plane traffic while this runs.
+    pub fn amnesia_restart(&self) -> u64 {
+        self.arena.wipe();
+        self.regions.bump_incarnation()
+    }
+
     /// Installs the application's RPC handler.
     pub fn set_rpc_handler(&self, handler: Arc<dyn RpcHandler>) {
         *self.rpc.lock() = Some(handler);
@@ -241,6 +258,25 @@ mod tests {
             a.scratch_rkey.0,
         )]);
         assert!(r[0].succeeded());
+    }
+
+    #[test]
+    fn amnesia_restart_wipes_and_fences() {
+        let s = PrismServer::new(1 << 20);
+        let (addr, rkey) = s.carve_region(4096, 64, AccessFlags::FULL);
+        s.arena().write(addr, b"survivor?").unwrap();
+        assert_eq!(s.amnesia_restart(), 1);
+        // Pre-crash rkey is fenced with a deterministic NACK.
+        assert_eq!(
+            s.nic().read(rkey, addr, 8).unwrap_err(),
+            prism_rdma::RdmaError::StaleIncarnation {
+                seen: 0,
+                current: 1
+            }
+        );
+        // A restamped key reads the wiped (zeroed) memory.
+        let fresh = rkey.restamped(s.regions().current_incarnation());
+        assert_eq!(s.nic().read(fresh, addr, 8).unwrap(), vec![0u8; 8]);
     }
 
     #[test]

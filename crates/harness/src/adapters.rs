@@ -219,11 +219,7 @@ impl ProtoAdapter for PrismKvAdapter {
             self.current = None;
             if self.retries >= TRANSPORT_RETRY_BUDGET {
                 self.op = None;
-                return AdapterStep::Done {
-                    sends: Vec::new(),
-                    client_compute: SimDuration::ZERO,
-                    failed: true,
-                };
+                return AdapterStep::GiveUp { sends: Vec::new() };
             }
             self.retries += 1;
             return AdapterStep::Retry {
@@ -320,11 +316,7 @@ impl ProtoAdapter for PilafAdapter {
             self.current = None;
             if self.retries >= TRANSPORT_RETRY_BUDGET {
                 self.op = None;
-                return AdapterStep::Done {
-                    sends: Vec::new(),
-                    client_compute: SimDuration::ZERO,
-                    failed: true,
-                };
+                return AdapterStep::GiveUp { sends: Vec::new() };
             }
             self.retries += 1;
             return AdapterStep::Retry {
@@ -474,6 +466,13 @@ impl ProtoAdapter for PrismRsAdapter {
 
     fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
         let (seq, phase, replica) = untag(t);
+        if let Some(inc) = reply.stale_incarnation() {
+            // An amnesia-restarted replica fenced our pre-crash rkeys:
+            // restamp them with its new incarnation so the operation-
+            // level retry reaches it again (§7.2 rejoin is server-side;
+            // the client only needs fresh capabilities).
+            self.client.refence(replica as usize, inc);
+        }
         if seq != self.seq || self.current.is_none() {
             // Straggler for a completed op: feed it for reclamation.
             let mut finished = false;
@@ -517,6 +516,9 @@ impl ProtoAdapter for PrismRsAdapter {
                         sends,
                         wait: transport_backoff(self.retries),
                     };
+                }
+                if failed {
+                    return AdapterStep::GiveUp { sends };
                 }
                 AdapterStep::Done {
                     sends,

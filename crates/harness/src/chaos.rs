@@ -1,0 +1,757 @@
+//! Chaos linearizability gate: history-recording adapters and a
+//! bounded Wing–Gong checker.
+//!
+//! A chaos run (seeded crash/partition/loss schedule, see
+//! [`prism_simnet::fault::FaultPlan::chaos`]) drives the real protocol
+//! stacks through the DES while every operation's invocation time,
+//! completion time, and observed/written value is appended to a shared
+//! history. Afterwards [`check_history`] verifies the history is
+//! linearizable per register: there exists a total order of operations,
+//! consistent with real-time precedence, under which every read
+//! returns the latest written value.
+//!
+//! Values are reduced to 64-bit nonces: each write stamps a globally
+//! unique nonce into the first eight bytes of its value, so a read's
+//! observation identifies exactly one write (nonce 0 is the initial,
+//! never-written state). Operations cut short by client crashes,
+//! give-ups, or the end of the run are *uncertain*: an unfinished read
+//! observed nothing and is discarded, while an unfinished write may or
+//! may not have taken effect, so the checker is free to place it
+//! anywhere after its invocation — or nowhere at all.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use prism_core::msg::Reply;
+use prism_kv::hash::key_bytes;
+use prism_kv::prism_kv::{GetOp, PrismKvClient, PutOp};
+use prism_kv::{KvOutcome, KvStep};
+use prism_rs::prism_rs::{RsClient, RsOp};
+use prism_rs::RsOutcome;
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::{SimDuration, SimTime};
+
+use crate::netsim::{AdapterStep, Outbound, ProtoAdapter};
+
+/// Transport-retry policy of the chaos adapters (mirrors the
+/// experiment adapters): reissue after a capped exponential backoff,
+/// then give the operation up.
+const RETRY_BUDGET: u32 = 6;
+
+fn backoff(retry: u32) -> SimDuration {
+    let exp = retry.saturating_sub(1).min(6);
+    SimDuration::from_nanos((8_000u64 << exp).min(64_000))
+}
+
+fn tag(seq: u64, phase: u32, idx: u32) -> u64 {
+    (seq << 32) | ((phase as u64) << 16) | idx as u64
+}
+
+fn untag(t: u64) -> (u64, u32, u32) {
+    (t >> 32, ((t >> 16) & 0xFFFF) as u32, (t & 0xFFFF) as u32)
+}
+
+/// What one recorded operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistKind {
+    /// A read that observed `nonce` (0 = the initial value).
+    Get {
+        /// The nonce extracted from the value read.
+        nonce: u64,
+    },
+    /// A write of `nonce`.
+    Put {
+        /// The nonce stamped into the value written.
+        nonce: u64,
+    },
+}
+
+/// One operation in a chaos history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistOp {
+    /// Index of the invoking client.
+    pub client: usize,
+    /// The register operated on (block or key id).
+    pub key: u64,
+    /// Virtual time of the invocation.
+    pub invoke: SimTime,
+    /// Virtual time of the completion; `None` for an operation the
+    /// client abandoned (crash, give-up, or run end) whose effect is
+    /// therefore uncertain.
+    pub complete: Option<SimTime>,
+    /// What the operation did.
+    pub kind: HistKind,
+}
+
+/// Shared sink the chaos adapters append to.
+pub type History = Arc<Mutex<Vec<HistOp>>>;
+
+/// A unique write nonce: client in the high bits, a per-client counter
+/// below, never 0 (0 is the initial register value).
+fn nonce(client: usize, ctr: u64) -> u64 {
+    ((client as u64 + 1) << 40) | ctr
+}
+
+fn stamp(len: usize, nonce: u64) -> Vec<u8> {
+    let mut v = vec![0u8; len.max(8)];
+    v[..8].copy_from_slice(&nonce.to_le_bytes());
+    v
+}
+
+fn read_nonce(value: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    let n = value.len().min(8);
+    b[..n].copy_from_slice(&value[..n]);
+    u64::from_le_bytes(b)
+}
+
+// ---------------------------------------------------------------------
+// History-recording adapters
+// ---------------------------------------------------------------------
+
+/// Closed-loop PRISM-RS client that records a linearizability history.
+///
+/// Structurally a [`crate::adapters::PrismRsAdapter`]: quorum machines
+/// outlive their completion point (stragglers feed reclamation), a
+/// quorum failure retries the whole operation under a fresh sequence
+/// number, and an exhausted retry budget gives the operation up. On top
+/// of that it stamps every write with a unique nonce and appends
+/// invoke/complete records to the shared history.
+pub struct ChaosRsAdapter {
+    client: RsClient,
+    id: usize,
+    n_blocks: u64,
+    block_size: usize,
+    write_fraction: f64,
+    seq: u64,
+    nonce_ctr: u64,
+    now: SimTime,
+    current: Option<RsOp>,
+    lingering: HashMap<u64, (RsOp, usize)>,
+    outstanding: usize,
+    op: Option<(u64, Option<Vec<u8>>)>,
+    retries: u32,
+    rec: Option<usize>,
+    history: History,
+}
+
+impl ChaosRsAdapter {
+    /// Creates the adapter for client `id`.
+    pub fn new(
+        client: RsClient,
+        id: usize,
+        n_blocks: u64,
+        block_size: usize,
+        write_fraction: f64,
+        history: History,
+    ) -> Self {
+        ChaosRsAdapter {
+            client,
+            id,
+            n_blocks,
+            block_size,
+            write_fraction,
+            seq: 0,
+            nonce_ctr: 0,
+            now: SimTime::ZERO,
+            current: None,
+            lingering: HashMap::new(),
+            outstanding: 0,
+            op: None,
+            retries: 0,
+            rec: None,
+            history,
+        }
+    }
+
+    fn record(&mut self, key: u64, kind: HistKind) {
+        let mut h = self.history.lock().expect("history lock");
+        h.push(HistOp {
+            client: self.id,
+            key,
+            invoke: self.now,
+            complete: None,
+            kind,
+        });
+        self.rec = Some(h.len() - 1);
+    }
+
+    fn close(&mut self, kind: Option<HistKind>) {
+        if let Some(i) = self.rec.take() {
+            let mut h = self.history.lock().expect("history lock");
+            h[i].complete = Some(self.now);
+            if let Some(kind) = kind {
+                h[i].kind = kind;
+            }
+        }
+    }
+
+    fn issue(&mut self) -> Vec<Outbound> {
+        self.seq += 1;
+        self.outstanding = 0;
+        let (block, value) = self.op.clone().expect("op set");
+        let (op, step) = match value {
+            Some(v) => self.client.put(block, v),
+            None => self.client.get(block),
+        };
+        self.current = Some(op);
+        self.absorb(step).0
+    }
+
+    fn absorb(&mut self, step: prism_rs::prism_rs::RsStep) -> (Vec<Outbound>, Option<RsOutcome>) {
+        let mut sends = Vec::new();
+        for (replica, phase, req) in step.send {
+            self.outstanding += 1;
+            sends.push(Outbound {
+                server: replica,
+                tag: tag(self.seq, phase, replica as u32),
+                req,
+                background: false,
+            });
+        }
+        for (replica, req) in step.background {
+            sends.push(Outbound {
+                server: replica,
+                tag: 0,
+                req,
+                background: true,
+            });
+        }
+        (sends, step.done)
+    }
+}
+
+impl ProtoAdapter for ChaosRsAdapter {
+    fn start(&mut self, rng: &mut SimRng) -> Vec<Outbound> {
+        // A record still open here was cut short by a client crash: its
+        // `complete` stays `None` (unfinished read → discarded,
+        // unfinished write → uncertain).
+        self.rec = None;
+        let block = rng.gen_range(self.n_blocks);
+        let value = if rng.gen_bool(self.write_fraction) {
+            self.nonce_ctr += 1;
+            let n = nonce(self.id, self.nonce_ctr);
+            self.record(block, HistKind::Put { nonce: n });
+            Some(stamp(self.block_size, n))
+        } else {
+            self.record(block, HistKind::Get { nonce: 0 });
+            None
+        };
+        self.op = Some((block, value));
+        self.retries = 0;
+        self.issue()
+    }
+
+    fn resume(&mut self) -> Vec<Outbound> {
+        // Operation-level retry after a quorum failure: same block,
+        // same value (and nonce), fresh sequence number. The record's
+        // span keeps extending until an attempt completes.
+        self.issue()
+    }
+
+    fn note_time(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
+        let (seq, phase, replica) = untag(t);
+        if let Some(inc) = reply.stale_incarnation() {
+            // An amnesia-restarted replica fenced our pre-crash rkeys:
+            // restamp them so the operation-level retry reaches it.
+            self.client.refence(replica as usize, inc);
+        }
+        if seq != self.seq || self.current.is_none() {
+            // Straggler for a completed op: feed it for reclamation.
+            let mut sends = Vec::new();
+            let mut finished = false;
+            if let Some((op, remaining)) = self.lingering.get_mut(&seq) {
+                let step = op.on_reply(&self.client, phase, replica as usize, reply);
+                for (r, req) in step.background {
+                    sends.push(Outbound {
+                        server: r,
+                        tag: 0,
+                        req,
+                        background: true,
+                    });
+                }
+                *remaining -= 1;
+                finished = *remaining == 0;
+            }
+            if finished {
+                self.lingering.remove(&seq);
+            }
+            return AdapterStep::Wait(sends);
+        }
+        let mut op = self.current.take().expect("op in flight");
+        self.outstanding -= 1;
+        let step = op.on_reply(&self.client, phase, replica as usize, reply);
+        let (sends, done) = self.absorb(step);
+        match done {
+            Some(outcome) => {
+                if self.outstanding > 0 {
+                    self.lingering.insert(self.seq, (op, self.outstanding));
+                }
+                match outcome {
+                    RsOutcome::Failed(_) => {
+                        if self.retries < RETRY_BUDGET {
+                            self.retries += 1;
+                            return AdapterStep::Retry {
+                                sends,
+                                wait: backoff(self.retries),
+                            };
+                        }
+                        // Abandoned: the record stays open (uncertain).
+                        self.rec = None;
+                        AdapterStep::GiveUp { sends }
+                    }
+                    RsOutcome::Value(v) => {
+                        self.close(Some(HistKind::Get {
+                            nonce: read_nonce(&v),
+                        }));
+                        AdapterStep::Done {
+                            sends,
+                            client_compute: SimDuration::ZERO,
+                            failed: false,
+                        }
+                    }
+                    RsOutcome::Written => {
+                        self.close(None);
+                        AdapterStep::Done {
+                            sends,
+                            client_compute: SimDuration::ZERO,
+                            failed: false,
+                        }
+                    }
+                }
+            }
+            None => {
+                self.current = Some(op);
+                AdapterStep::Wait(sends)
+            }
+        }
+    }
+}
+
+enum KvMachine {
+    Get(GetOp),
+    Put(PutOp),
+}
+
+/// Closed-loop PRISM-KV client that records a linearizability history.
+///
+/// Mirrors [`crate::adapters::PrismKvAdapter`]'s transport-retry policy
+/// (a synthesized timeout reissues the op, an exhausted budget gives it
+/// up) while stamping writes with unique nonces and recording history.
+/// An absent key reads as nonce 0, so the store needs no preload.
+pub struct ChaosKvAdapter {
+    client: PrismKvClient,
+    id: usize,
+    n_keys: u64,
+    value_len: usize,
+    write_fraction: f64,
+    nonce_ctr: u64,
+    now: SimTime,
+    current: Option<KvMachine>,
+    op: Option<(u64, Option<Vec<u8>>)>,
+    retries: u32,
+    rec: Option<usize>,
+    history: History,
+}
+
+impl ChaosKvAdapter {
+    /// Creates the adapter for client `id`.
+    pub fn new(
+        client: PrismKvClient,
+        id: usize,
+        n_keys: u64,
+        value_len: usize,
+        write_fraction: f64,
+        history: History,
+    ) -> Self {
+        ChaosKvAdapter {
+            client,
+            id,
+            n_keys,
+            value_len,
+            write_fraction,
+            nonce_ctr: 0,
+            now: SimTime::ZERO,
+            current: None,
+            op: None,
+            retries: 0,
+            rec: None,
+            history,
+        }
+    }
+
+    fn record(&mut self, key: u64, kind: HistKind) {
+        let mut h = self.history.lock().expect("history lock");
+        h.push(HistOp {
+            client: self.id,
+            key,
+            invoke: self.now,
+            complete: None,
+            kind,
+        });
+        self.rec = Some(h.len() - 1);
+    }
+
+    fn close(&mut self, kind: Option<HistKind>) {
+        if let Some(i) = self.rec.take() {
+            let mut h = self.history.lock().expect("history lock");
+            h[i].complete = Some(self.now);
+            if let Some(kind) = kind {
+                h[i].kind = kind;
+            }
+        }
+    }
+
+    fn issue(&mut self) -> Vec<Outbound> {
+        let (key, value) = self.op.clone().expect("op set");
+        let kb = key_bytes(key);
+        let (machine, req) = match value {
+            Some(v) => {
+                let (m, r) = self.client.put(&kb, &v);
+                (KvMachine::Put(m), r)
+            }
+            None => {
+                let (m, r) = self.client.get(&kb);
+                (KvMachine::Get(m), r)
+            }
+        };
+        self.current = Some(machine);
+        vec![Outbound {
+            server: 0,
+            tag: 0,
+            req,
+            background: false,
+        }]
+    }
+}
+
+impl ProtoAdapter for ChaosKvAdapter {
+    fn start(&mut self, rng: &mut SimRng) -> Vec<Outbound> {
+        // See ChaosRsAdapter::start: an open record here was cut short
+        // by a client crash and stays uncertain.
+        self.rec = None;
+        let key = rng.gen_range(self.n_keys);
+        let value = if rng.gen_bool(self.write_fraction) {
+            self.nonce_ctr += 1;
+            let n = nonce(self.id, self.nonce_ctr);
+            self.record(key, HistKind::Put { nonce: n });
+            Some(stamp(self.value_len, n))
+        } else {
+            self.record(key, HistKind::Get { nonce: 0 });
+            None
+        };
+        self.op = Some((key, value));
+        self.retries = 0;
+        self.issue()
+    }
+
+    fn resume(&mut self) -> Vec<Outbound> {
+        // Transport retry: reissue the same logical op (same nonce)
+        // with a fresh machine. A reissued PUT whose earlier attempt
+        // did land overwrites with the identical value; the record's
+        // span covers both executions.
+        self.issue()
+    }
+
+    fn note_time(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        if matches!(reply, Reply::Verb(Err(_))) {
+            // Synthesized timeout from the fault layer.
+            self.current = None;
+            if self.retries >= RETRY_BUDGET {
+                self.op = None;
+                self.rec = None; // abandoned → uncertain
+                return AdapterStep::GiveUp { sends: Vec::new() };
+            }
+            self.retries += 1;
+            return AdapterStep::Retry {
+                sends: Vec::new(),
+                wait: backoff(self.retries),
+            };
+        }
+        let mut machine = self.current.take().expect("op in flight");
+        let step = match &mut machine {
+            KvMachine::Get(m) => m.on_reply(&self.client, reply),
+            KvMachine::Put(m) => m.on_reply(&self.client, reply),
+        };
+        self.current = Some(machine);
+        match step {
+            KvStep::Send {
+                request,
+                background,
+            } => {
+                let mut sends = vec![Outbound {
+                    server: 0,
+                    tag: 0,
+                    req: request,
+                    background: false,
+                }];
+                sends.extend(background.map(|req| Outbound {
+                    server: 0,
+                    tag: 0,
+                    req,
+                    background: true,
+                }));
+                AdapterStep::Wait(sends)
+            }
+            KvStep::Done {
+                outcome,
+                background,
+            } => {
+                self.current = None;
+                let sends: Vec<Outbound> = background
+                    .map(|req| {
+                        vec![Outbound {
+                            server: 0,
+                            tag: 0,
+                            req,
+                            background: true,
+                        }]
+                    })
+                    .unwrap_or_default();
+                let failed = match outcome {
+                    KvOutcome::Value(v) => {
+                        self.close(Some(HistKind::Get {
+                            nonce: v.as_deref().map_or(0, read_nonce),
+                        }));
+                        false
+                    }
+                    KvOutcome::Written => {
+                        self.close(None);
+                        false
+                    }
+                    // A protocol-level failure (pool exhausted, retry
+                    // budget spent): the record stays open — a failed
+                    // PUT's chain may have partially executed.
+                    KvOutcome::Failed(_) => {
+                        self.rec = None;
+                        true
+                    }
+                };
+                AdapterStep::Done {
+                    sends,
+                    client_compute: SimDuration::ZERO,
+                    failed,
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linearizability checker
+// ---------------------------------------------------------------------
+
+/// Checks a whole history for per-register linearizability.
+///
+/// Operations are grouped by `key` (each key is an independent
+/// register) and each group is checked with a memoized Wing–Gong
+/// search. Returns the first non-linearizable key and its operation
+/// count on failure.
+pub fn check_history(history: &[HistOp]) -> Result<(), String> {
+    let mut by_key: BTreeMap<u64, Vec<&HistOp>> = BTreeMap::new();
+    for op in history {
+        // An unfinished read observed nothing and constrains nothing.
+        if op.complete.is_none() && matches!(op.kind, HistKind::Get { .. }) {
+            continue;
+        }
+        by_key.entry(op.key).or_default().push(op);
+    }
+    for (key, mut ops) in by_key {
+        ops.sort_by_key(|o| (o.invoke, o.complete, o.client));
+        if !check_register(&ops) {
+            return Err(format!(
+                "key {key}: history of {} ops is not linearizable",
+                ops.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Wing–Gong linearizability check for one register, with memoization
+/// on (done-set, register-value) states.
+///
+/// An operation may be linearized next only if no other pending
+/// operation completed before it was invoked (real-time order is
+/// preserved); a read is valid only if its observed nonce equals the
+/// register. Writes with `complete == None` are uncertain: they may be
+/// linearized anywhere after their invocation or skipped entirely, so
+/// the search succeeds once every *certain* operation is placed.
+fn check_register(ops: &[&HistOp]) -> bool {
+    let n = ops.len();
+    let certain = ops.iter().filter(|o| o.complete.is_some()).count();
+    let mut done = vec![0u64; n.div_ceil(64)];
+    let mut seen: HashSet<(Vec<u64>, u64)> = HashSet::new();
+    dfs(ops, &mut done, 0, certain, &mut seen)
+}
+
+fn dfs(
+    ops: &[&HistOp],
+    done: &mut Vec<u64>,
+    reg: u64,
+    certain_left: usize,
+    seen: &mut HashSet<(Vec<u64>, u64)>,
+) -> bool {
+    if certain_left == 0 {
+        return true;
+    }
+    if !seen.insert((done.clone(), reg)) {
+        return false;
+    }
+    // The earliest completion among pending certain ops bounds which
+    // ops may linearize next: anything invoked after it must come
+    // later.
+    let mut bound = None;
+    for (i, op) in ops.iter().enumerate() {
+        if done[i / 64] & (1 << (i % 64)) == 0 {
+            if let Some(c) = op.complete {
+                bound = Some(bound.map_or(c, |b: SimTime| b.min(c)));
+            }
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if done[i / 64] & (1 << (i % 64)) != 0 {
+            continue;
+        }
+        if let Some(b) = bound {
+            if op.invoke > b {
+                // Ops are sorted by invoke; everything later is also
+                // past the bound.
+                break;
+            }
+        }
+        let next_reg = match op.kind {
+            HistKind::Get { nonce } => {
+                if nonce != reg {
+                    continue;
+                }
+                reg
+            }
+            HistKind::Put { nonce } => nonce,
+        };
+        done[i / 64] |= 1 << (i % 64);
+        let left = certain_left - usize::from(op.complete.is_some());
+        if dfs(ops, done, next_reg, left, seen) {
+            return true;
+        }
+        done[i / 64] &= !(1 << (i % 64));
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(client: usize, invoke: u64, complete: Option<u64>, key: u64, kind: HistKind) -> HistOp {
+        HistOp {
+            client,
+            key,
+            invoke: SimTime::from_nanos(invoke),
+            complete: complete.map(SimTime::from_nanos),
+            kind,
+        }
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = vec![
+            op(0, 0, Some(10), 1, HistKind::Put { nonce: 7 }),
+            op(0, 20, Some(30), 1, HistKind::Get { nonce: 7 }),
+            op(1, 40, Some(50), 1, HistKind::Put { nonce: 9 }),
+            op(1, 60, Some(70), 1, HistKind::Get { nonce: 9 }),
+        ];
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_overwrite_is_rejected() {
+        // W(7) then W(9) complete strictly before the read, which
+        // nevertheless observes 7: no valid order exists.
+        let h = vec![
+            op(0, 0, Some(10), 1, HistKind::Put { nonce: 7 }),
+            op(0, 20, Some(30), 1, HistKind::Put { nonce: 9 }),
+            op(1, 40, Some(50), 1, HistKind::Get { nonce: 7 }),
+        ];
+        assert!(check_history(&h).is_err());
+    }
+
+    #[test]
+    fn concurrent_ops_may_linearize_in_either_order() {
+        // Two overlapping writes, then reads observing each in turn —
+        // valid because the second-observed write may linearize last.
+        let h = vec![
+            op(0, 0, Some(100), 1, HistKind::Put { nonce: 7 }),
+            op(1, 0, Some(100), 1, HistKind::Put { nonce: 9 }),
+            op(2, 110, Some(120), 1, HistKind::Get { nonce: 9 }),
+        ];
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn read_of_initial_value_uses_nonce_zero() {
+        let h = vec![
+            op(0, 0, Some(10), 1, HistKind::Get { nonce: 0 }),
+            op(0, 20, Some(30), 1, HistKind::Put { nonce: 7 }),
+        ];
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn uncertain_write_may_take_effect_or_not() {
+        // A crashed client's write has no completion; reads observing
+        // it (or not) are both valid.
+        let observed = vec![
+            op(0, 0, None, 1, HistKind::Put { nonce: 7 }),
+            op(1, 50, Some(60), 1, HistKind::Get { nonce: 7 }),
+        ];
+        assert!(check_history(&observed).is_ok());
+        let unobserved = vec![
+            op(0, 0, None, 1, HistKind::Put { nonce: 7 }),
+            op(1, 50, Some(60), 1, HistKind::Get { nonce: 0 }),
+        ];
+        assert!(check_history(&unobserved).is_ok());
+    }
+
+    #[test]
+    fn uncertain_write_cannot_linearize_before_its_invocation() {
+        // The read completes before the uncertain write is even
+        // invoked, yet observes its nonce: impossible.
+        let h = vec![
+            op(1, 0, Some(10), 1, HistKind::Get { nonce: 7 }),
+            op(0, 50, None, 1, HistKind::Put { nonce: 7 }),
+        ];
+        assert!(check_history(&h).is_err());
+    }
+
+    #[test]
+    fn unfinished_reads_are_discarded() {
+        // An abandoned read's nonce field is meaningless; it must not
+        // constrain the order.
+        let h = vec![
+            op(0, 0, Some(10), 1, HistKind::Put { nonce: 7 }),
+            op(1, 20, None, 1, HistKind::Get { nonce: 999 }),
+            op(0, 30, Some(40), 1, HistKind::Get { nonce: 7 }),
+        ];
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn keys_are_independent_registers() {
+        let h = vec![
+            op(0, 0, Some(10), 1, HistKind::Put { nonce: 7 }),
+            op(1, 0, Some(10), 2, HistKind::Put { nonce: 9 }),
+            op(0, 20, Some(30), 2, HistKind::Get { nonce: 9 }),
+            op(1, 20, Some(30), 1, HistKind::Get { nonce: 7 }),
+        ];
+        assert!(check_history(&h).is_ok());
+    }
+}

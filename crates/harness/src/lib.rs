@@ -17,6 +17,8 @@
 //! * [`kv_exp`], [`rs_exp`], [`tx_exp`] — the application experiments
 //!   (Figures 3–4, 6–7, 9–10).
 //! * [`vsize_exp`] — an extension sweep (GET cost vs value size).
+//! * [`chaos`] — history-recording adapters and the Wing–Gong
+//!   linearizability checker behind the chaos gate.
 //! * [`table`] — plain-text table output shared by the `fig_*` binaries.
 //! * [`smoke`] — env-tunable scale for the smoke-test configurations.
 
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod chaos;
 pub mod kv_exp;
 pub mod micro;
 pub mod netsim;

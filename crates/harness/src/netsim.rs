@@ -79,6 +79,15 @@ pub enum AdapterStep {
         /// How long to wait before [`ProtoAdapter::resume`].
         wait: SimDuration,
     },
+    /// The operation exhausted its transport retry budget and is being
+    /// abandoned. Like a failed [`AdapterStep::Done`] but counted under
+    /// the dedicated `giveups` metric, so budget exhaustion is
+    /// distinguishable from protocol-level failure in experiment
+    /// output.
+    GiveUp {
+        /// Trailing sends (reclamation, cleanup).
+        sends: Vec<Outbound>,
+    },
 }
 
 /// A closed-loop protocol client, sans I/O.
@@ -91,6 +100,13 @@ pub trait ProtoAdapter {
 
     /// Feeds one reply (matched by `tag`).
     fn on_reply(&mut self, tag: u64, reply: Reply) -> AdapterStep;
+
+    /// Observes the virtual clock just before the next `start`/`resume`/
+    /// `on_reply` call. Default: ignored. History-recording adapters
+    /// (the chaos gate's linearizability drivers) use this to timestamp
+    /// operation invocations and completions without widening the other
+    /// callbacks.
+    fn note_time(&mut self, _now: SimTime) {}
 }
 
 /// Messages exchanged between actors.
@@ -117,6 +133,14 @@ pub enum SimMsg {
         tag: u64,
         /// The request's send-attempt stamp, echoed verbatim.
         attempt: u64,
+        /// Index of the replying server in the experiment's server
+        /// list, so the client can track incarnations per server.
+        server: usize,
+        /// The server's incarnation when the reply left. Clients fence
+        /// replies stamped older than the newest incarnation they have
+        /// seen from that server: after an amnesia restart, pre-crash
+        /// stragglers describe memory that no longer exists.
+        inc: u64,
         /// The reply.
         reply: Reply,
     },
@@ -125,6 +149,11 @@ pub enum SimMsg {
     Kick {
         /// True when resuming from a backoff rather than starting anew.
         resume: bool,
+        /// The client's restart epoch when this kick was scheduled. A
+        /// kick that outlives a client crash carries the dead epoch and
+        /// is discarded — the restarted client must not be double-driven
+        /// by its predecessor's timers.
+        epoch: u64,
     },
     /// Client self-message armed at send time under a [`FaultPlan`]:
     /// if the tagged request is still outstanding when this fires, the
@@ -136,6 +165,43 @@ pub enum SimMsg {
         /// stale timer for an earlier attempt is ignored.
         attempt: u64,
     },
+    /// Self-message scheduled at the closing edge of a crash window.
+    /// For a server it models the amnesia reboot (wipe, incarnation
+    /// bump, application rejoin via [`RecoveryHooks::on_restart`]); for
+    /// a client it models the process coming back empty: all in-flight
+    /// operation state is forgotten and a fresh operation starts.
+    Restart,
+    /// Server self-message re-armed every [`RecoveryHooks::sweep`]
+    /// interval: runs the cooperative-termination sweep that reclaims
+    /// transaction state left dangling by crashed clients.
+    Sweep,
+}
+
+/// Recovery-protocol hooks a run installs on its servers.
+///
+/// The default has no hooks and schedules zero extra events, so every
+/// existing experiment stays bit-identical to a build without the
+/// recovery layer.
+#[derive(Clone, Default)]
+pub struct RecoveryHooks {
+    /// Invoked with the server's index at each amnesia-window close,
+    /// *instead of* the bare [`PrismServer::amnesia_restart`]: the
+    /// application-level rejoin (wipe, re-register, quorum resync) runs
+    /// here, and completes before any post-restart request is served.
+    pub on_restart: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+    /// Periodic server-side recovery sweep: `(interval, callback)`.
+    /// The callback runs with the server's index every interval of
+    /// virtual time, on every server.
+    pub sweep: Option<(SimDuration, Arc<dyn Fn(usize) + Send + Sync>)>,
+}
+
+impl std::fmt::Debug for RecoveryHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryHooks")
+            .field("on_restart", &self.on_restart.is_some())
+            .field("sweep_interval", &self.sweep.as_ref().map(|(i, _)| *i))
+            .finish()
+    }
 }
 
 /// Whether one-sided verbs execute on the NIC or on dispatch cores
@@ -165,6 +231,7 @@ pub struct ServerActor {
     /// plan's seed, never from the kernel RNG, so a no-fault plan
     /// leaves every existing schedule bit-identical.
     fault_rng: SimRng,
+    hooks: RecoveryHooks,
 }
 
 impl ServerActor {
@@ -177,6 +244,7 @@ impl ServerActor {
         verb_path: VerbPath,
         index: usize,
         faults: FaultPlan,
+        hooks: RecoveryHooks,
     ) -> Self {
         let gbps = model.link_gbps;
         let cores = ServiceCenter::new(model.server_cores);
@@ -191,6 +259,7 @@ impl ServerActor {
             index,
             faults,
             fault_rng,
+            hooks,
         }
     }
 
@@ -277,16 +346,56 @@ fn sw_per_op(m: &CostModel) -> SimDuration {
 }
 
 impl Actor<SimMsg> for ServerActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, SimMsg>) {
+        let me = ctx.self_id();
+        // Amnesia restarts fire at each window's closing edge. `on_start`
+        // events enqueue ahead of all message traffic, so a restart at
+        // time T delivers before requests arriving at T: the half-open
+        // window guarantees those requests see the new incarnation.
+        for at in self.faults.amnesia_restarts(self.index) {
+            ctx.send_at(me, at, SimMsg::Restart);
+        }
+        if let Some((interval, _)) = &self.hooks.sweep {
+            ctx.send_in(me, *interval, SimMsg::Sweep);
+        }
+    }
+
     fn on_message(&mut self, msg: SimMsg, ctx: &mut Context<'_, SimMsg>) {
-        let SimMsg::Req {
-            from,
-            tag,
-            attempt,
-            req,
-            respond,
-        } = msg
-        else {
-            unreachable!("servers only receive requests");
+        let (from, tag, attempt, req, respond) = match msg {
+            SimMsg::Req {
+                from,
+                tag,
+                attempt,
+                req,
+                respond,
+            } => (from, tag, attempt, req, respond),
+            SimMsg::Restart => {
+                // The amnesia window closed: the host reboots empty
+                // under a bumped incarnation. The rejoin hook (if any)
+                // runs the application-level recovery — wipe,
+                // re-register, quorum resync — before any post-restart
+                // request is processed. Restarts run even if another
+                // crash window still covers this instant: the wipe is
+                // what the overlapping window's requests must not see
+                // surviving.
+                ctx.metrics().add("fault_restarts", 1);
+                match &self.hooks.on_restart {
+                    Some(f) => f(self.index),
+                    None => {
+                        self.server.amnesia_restart();
+                    }
+                }
+                return;
+            }
+            SimMsg::Sweep => {
+                if let Some((interval, f)) = self.hooks.sweep.clone() {
+                    f(self.index);
+                    let me = ctx.self_id();
+                    ctx.send_in(me, interval, SimMsg::Sweep);
+                }
+                return;
+            }
+            _ => unreachable!("servers only receive requests"),
         };
         let now = ctx.now();
         // Crash windows gate request execution *before* the
@@ -314,6 +423,11 @@ impl Actor<SimMsg> for ServerActor {
         // is the operation's linearization point.
         let reply = msg::execute_local(&self.server, &req);
         if respond {
+            // Replies are stamped with the incarnation in force when
+            // they leave: a reply executed before an amnesia restart
+            // but delivered after carries the old stamp, which is
+            // exactly what lets the client fence it.
+            let inc = self.server.regions().current_incarnation();
             let tx_done = self
                 .tx
                 .transmit(proc_done, reply.wire_len() + self.model.header_bytes);
@@ -344,6 +458,8 @@ impl Actor<SimMsg> for ServerActor {
                         SimMsg::Reply {
                             tag,
                             attempt,
+                            server: self.index,
+                            inc,
                             reply: reply.clone(),
                         },
                     );
@@ -355,6 +471,8 @@ impl Actor<SimMsg> for ServerActor {
                 SimMsg::Reply {
                     tag,
                     attempt,
+                    server: self.index,
+                    inc,
                     reply,
                 },
             );
@@ -394,6 +512,12 @@ pub struct ClientActor {
     /// is dropped before it reaches the adapter.
     outstanding: HashMap<u64, u64>,
     attempt_ctr: u64,
+    /// Bumped at each client restart; kicks scheduled by a dead epoch
+    /// are discarded on delivery.
+    epoch: u64,
+    /// Highest incarnation stamp seen per server; older-stamped replies
+    /// are fenced (see [`SimMsg::Reply`]).
+    seen_inc: Vec<u64>,
 }
 
 impl ClientActor {
@@ -409,6 +533,7 @@ impl ClientActor {
         faults: FaultPlan,
     ) -> Self {
         let fault_rng = SimRng::new(faults.seed ^ 0xC0FF_EE00 ^ ((index as u64 + 1) << 16));
+        let seen_inc = vec![0; servers.len()];
         ClientActor {
             adapter,
             servers,
@@ -420,6 +545,8 @@ impl ClientActor {
             fault_rng,
             outstanding: HashMap::new(),
             attempt_ctr: 0,
+            epoch: 0,
+            seen_inc,
         }
     }
 
@@ -478,6 +605,8 @@ impl ClientActor {
     /// Routes a reply (real or synthesized) through the adapter and
     /// acts on its verdict.
     fn feed_reply(&mut self, tag: u64, reply: Reply, ctx: &mut Context<'_, SimMsg>) {
+        self.adapter.note_time(ctx.now());
+        let epoch = self.epoch;
         match self.adapter.on_reply(tag, reply) {
             AdapterStep::Wait(sends) => self.dispatch(sends, ctx),
             AdapterStep::Done {
@@ -495,19 +624,64 @@ impl ClientActor {
                     ctx.metrics().add("ops", 1);
                 }
                 let me = ctx.self_id();
-                ctx.send_at(me, end, SimMsg::Kick { resume: false });
+                ctx.send_at(
+                    me,
+                    end,
+                    SimMsg::Kick {
+                        resume: false,
+                        epoch,
+                    },
+                );
             }
             AdapterStep::Backoff { sends, wait } => {
                 self.dispatch(sends, ctx);
                 ctx.metrics().add("backoffs", 1);
                 let me = ctx.self_id();
-                ctx.send_in(me, wait, SimMsg::Kick { resume: true });
+                ctx.send_in(
+                    me,
+                    wait,
+                    SimMsg::Kick {
+                        resume: true,
+                        epoch,
+                    },
+                );
             }
-            AdapterStep::Retry { sends, wait } => {
+            AdapterStep::Retry { sends, mut wait } => {
                 self.dispatch(sends, ctx);
                 ctx.metrics().add("retries", 1);
+                if !self.faults.is_noop() {
+                    // Seeded jitter from the dedicated fault stream
+                    // desynchronizes the retry storm that forms when a
+                    // crash window times out a whole client cohort at
+                    // once. Same seed, same jitter: replay stays
+                    // bit-exact.
+                    let span = wait.as_nanos().max(2) / 2;
+                    wait = wait + SimDuration::from_nanos(self.fault_rng.gen_range(span));
+                }
                 let me = ctx.self_id();
-                ctx.send_in(me, wait, SimMsg::Kick { resume: true });
+                ctx.send_in(
+                    me,
+                    wait,
+                    SimMsg::Kick {
+                        resume: true,
+                        epoch,
+                    },
+                );
+            }
+            AdapterStep::GiveUp { sends } => {
+                self.dispatch(sends, ctx);
+                ctx.metrics().add("giveups", 1);
+                ctx.metrics().add("failed", 1);
+                let me = ctx.self_id();
+                let now = ctx.now();
+                ctx.send_at(
+                    me,
+                    now,
+                    SimMsg::Kick {
+                        resume: false,
+                        epoch,
+                    },
+                );
             }
         }
     }
@@ -516,18 +690,45 @@ impl ClientActor {
 impl Actor<SimMsg> for ClientActor {
     fn on_start(&mut self, ctx: &mut Context<'_, SimMsg>) {
         let me = ctx.self_id();
+        // Client crash windows end in a restart, exactly like server
+        // amnesia windows.
+        for at in self.faults.client_restarts(self.index) {
+            ctx.send_at(me, at, SimMsg::Restart);
+        }
         // Stagger client start times slightly to avoid lockstep.
         let jitter = SimDuration::from_nanos(ctx.rng().gen_range(1_000));
-        ctx.send_in(me, jitter, SimMsg::Kick { resume: false });
+        ctx.send_in(
+            me,
+            jitter,
+            SimMsg::Kick {
+                resume: false,
+                epoch: 0,
+            },
+        );
     }
 
     fn on_message(&mut self, msg: SimMsg, ctx: &mut Context<'_, SimMsg>) {
+        if !self.faults.is_noop() && self.faults.client_crashed(self.index, ctx.now()) {
+            // The client process is down: every delivery — replies,
+            // timers, kicks, even a restart scheduled at the close of an
+            // earlier overlapping window — is lost. The restart at the
+            // final covering window's closing edge revives it.
+            ctx.metrics().add("fault_client_drops", 1);
+            return;
+        }
         match msg {
-            SimMsg::Kick { resume } => {
+            SimMsg::Kick { resume, epoch } => {
+                if epoch != self.epoch {
+                    // Scheduled before a crash the client has since
+                    // restarted through; the op it would drive no longer
+                    // exists.
+                    return;
+                }
                 if !resume {
                     // Backoff waits stay inside the op's latency.
                     self.op_start = ctx.now();
                 }
+                self.adapter.note_time(ctx.now());
                 let sends = if resume {
                     self.adapter.resume()
                 } else {
@@ -538,9 +739,22 @@ impl Actor<SimMsg> for ClientActor {
             SimMsg::Reply {
                 tag,
                 attempt,
+                server,
+                inc,
                 reply,
             } => {
                 if !self.faults.is_noop() {
+                    // Incarnation fencing: once this client has seen a
+                    // reply from incarnation k of a server, any reply
+                    // stamped older is a pre-crash straggler describing
+                    // memory that no longer exists, and is rejected
+                    // before the dedup map ever sees it (Storm's stale-
+                    // completion rule).
+                    if inc < self.seen_inc[server] {
+                        ctx.metrics().add("fault_fenced", 1);
+                        return;
+                    }
+                    self.seen_inc[server] = inc;
                     // Under a fault plan every reply must match the
                     // exact outstanding attempt. A mismatch is a
                     // duplicate delivery, a reply that lost the race
@@ -566,7 +780,23 @@ impl Actor<SimMsg> for ClientActor {
                 // sequential drivers use for a crashed replica.
                 self.feed_reply(tag, Reply::Verb(Err(RdmaError::ReceiverNotReady)), ctx);
             }
-            SimMsg::Req { .. } => unreachable!("clients do not receive requests"),
+            SimMsg::Restart => {
+                // Rebooted with amnesia: every in-flight operation is
+                // forgotten mid-flight. Its server-side effects —
+                // prepared transaction records, held lock words — dangle
+                // by design; the recovery sweeps must reclaim them. The
+                // epoch bump fences the dead client's surviving timers.
+                self.epoch += 1;
+                self.outstanding.clear();
+                ctx.metrics().add("fault_client_restarts", 1);
+                self.op_start = ctx.now();
+                self.adapter.note_time(ctx.now());
+                let sends = self.adapter.start(&mut self.rng);
+                self.dispatch(sends, ctx);
+            }
+            SimMsg::Req { .. } | SimMsg::Sweep => {
+                unreachable!("clients receive neither requests nor sweeps")
+            }
         }
     }
 }
@@ -596,6 +826,15 @@ pub struct RunResult {
     pub retries: u64,
     /// Requests silently dropped inside a server crash window.
     pub crash_drops: u64,
+    /// Operations abandoned after exhausting the transport retry
+    /// budget (also counted in `failed`).
+    pub giveups: u64,
+    /// Pre-crash replies rejected by incarnation fencing.
+    pub fenced: u64,
+    /// Server amnesia restarts executed.
+    pub restarts: u64,
+    /// Client crash-window restarts executed.
+    pub client_restarts: u64,
 }
 
 /// Runs a closed-loop experiment: `n_clients` clients over the given
@@ -614,6 +853,38 @@ pub fn run_closed_loop(
     seed: u64,
     faults: &FaultPlan,
 ) -> RunResult {
+    run_closed_loop_with(
+        servers,
+        model,
+        verb_path,
+        n_clients,
+        mk_adapter,
+        warmup,
+        measure,
+        seed,
+        faults,
+        &RecoveryHooks::default(),
+    )
+}
+
+/// [`run_closed_loop`] with recovery hooks: amnesia-rejoin and periodic
+/// sweep callbacks installed on every server actor.
+#[allow(clippy::too_many_arguments)]
+pub fn run_closed_loop_with(
+    servers: &[Arc<PrismServer>],
+    model: &CostModel,
+    verb_path: VerbPath,
+    n_clients: usize,
+    mk_adapter: &mut dyn FnMut(usize) -> Box<dyn ProtoAdapter>,
+    warmup: SimDuration,
+    measure: SimDuration,
+    seed: u64,
+    faults: &FaultPlan,
+    hooks: &RecoveryHooks,
+) -> RunResult {
+    // Reject plans naming hosts outside the run's topology before any
+    // virtual time elapses.
+    faults.validate(servers.len(), n_clients);
     let mut sim: Simulation<SimMsg> = Simulation::new(seed);
     let server_ids: Vec<ActorId> = servers
         .iter()
@@ -625,6 +896,7 @@ pub fn run_closed_loop(
                 verb_path,
                 i,
                 faults.clone(),
+                hooks.clone(),
             )))
         })
         .collect();
@@ -661,6 +933,10 @@ pub fn run_closed_loop(
         timeouts: metrics.counter("timeouts"),
         retries: metrics.counter("retries"),
         crash_drops: metrics.counter("fault_crash_drops"),
+        giveups: metrics.counter("giveups"),
+        fenced: metrics.counter("fault_fenced"),
+        restarts: metrics.counter("fault_restarts"),
+        client_restarts: metrics.counter("fault_client_restarts"),
     }
 }
 
@@ -825,39 +1101,65 @@ mod tests {
         );
     }
 
-    #[test]
-    fn fault_plan_injects_and_is_deterministic() {
-        /// Treats any non-Ok reply (e.g. a synthesized timeout) as a
-        /// failed op and moves on.
-        struct FaultyRead {
-            addr: u64,
-            rkey: u32,
+    /// Retries a failed round trip twice, then gives up — exercising
+    /// the Retry (with seeded jitter) and GiveUp paths.
+    struct FaultyRead {
+        addr: u64,
+        rkey: u32,
+        attempts: u32,
+    }
+    impl FaultyRead {
+        fn read(&self) -> Vec<Outbound> {
+            vec![Outbound {
+                server: 0,
+                tag: 0,
+                req: Request::Verb(prism_core::msg::Verb::Read {
+                    addr: self.addr,
+                    len: 512,
+                    rkey: self.rkey,
+                }),
+                background: false,
+            }]
         }
-        impl ProtoAdapter for FaultyRead {
-            fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
-                vec![Outbound {
-                    server: 0,
-                    tag: 0,
-                    req: Request::Verb(prism_core::msg::Verb::Read {
-                        addr: self.addr,
-                        len: 512,
-                        rkey: self.rkey,
-                    }),
-                    background: false,
-                }]
-            }
-            fn resume(&mut self) -> Vec<Outbound> {
-                unreachable!()
-            }
-            fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
-                let failed = !matches!(reply, Reply::Verb(Ok(_)));
-                AdapterStep::Done {
+    }
+    impl ProtoAdapter for FaultyRead {
+        fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+            self.attempts = 0;
+            self.read()
+        }
+        fn resume(&mut self) -> Vec<Outbound> {
+            self.read()
+        }
+        fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+            if matches!(reply, Reply::Verb(Ok(_))) {
+                return AdapterStep::Done {
                     sends: Vec::new(),
                     client_compute: SimDuration::ZERO,
-                    failed,
+                    failed: false,
+                };
+            }
+            self.attempts += 1;
+            if self.attempts <= 2 {
+                AdapterStep::Retry {
+                    sends: Vec::new(),
+                    wait: SimDuration::micros(20),
                 }
+            } else {
+                AdapterStep::GiveUp { sends: Vec::new() }
             }
         }
+    }
+
+    fn faulty_read(addr: u64, rkey: u32) -> Box<dyn ProtoAdapter> {
+        Box::new(FaultyRead {
+            addr,
+            rkey,
+            attempts: 0,
+        })
+    }
+
+    #[test]
+    fn fault_plan_injects_and_is_deterministic() {
         let (s, addr, rkey) = test_server();
         let model = CostModel::testbed();
         let faults = FaultPlan::seeded(11)
@@ -875,7 +1177,7 @@ mod tests {
                 &model,
                 VerbPath::Nic,
                 4,
-                &mut |_| Box::new(FaultyRead { addr, rkey }),
+                &mut |_| faulty_read(addr, rkey),
                 SimDuration::millis(1),
                 SimDuration::millis(5),
                 3,
@@ -888,9 +1190,13 @@ mod tests {
         assert!(a.drops > 0, "losses must be injected");
         assert!(a.dups > 0, "duplicates must be injected");
         assert!(a.timeouts > 0, "lost round trips must time out");
-        assert!(a.failed > 0, "timed-out ops surface as failures");
+        assert!(a.retries > 0, "timed-out requests must be retried");
+        assert!(a.giveups > 0, "exhausted budgets must surface as giveups");
+        assert!(a.failed >= a.giveups, "every giveup is also a failure");
         assert!(a.crash_drops > 0, "the crash window must swallow requests");
-        // Same seed, same plan: bit-identical metrics.
+        // Same seed, same plan: bit-identical metrics — including the
+        // jittered retry schedule, whose randomness comes only from the
+        // dedicated per-client fault streams.
         assert_eq!(a.tput_ops, b.tput_ops);
         assert_eq!(a.mean_us, b.mean_us);
         assert_eq!(a.p99_us, b.p99_us);
@@ -901,7 +1207,8 @@ mod tests {
                 a.dups,
                 a.timeouts,
                 a.retries,
-                a.crash_drops
+                a.crash_drops,
+                a.giveups
             ),
             (
                 b.failed,
@@ -909,8 +1216,98 @@ mod tests {
                 b.dups,
                 b.timeouts,
                 b.retries,
-                b.crash_drops
+                b.crash_drops,
+                b.giveups
             )
+        );
+    }
+
+    #[test]
+    fn amnesia_restart_bumps_incarnation_and_fences() {
+        // Hook-less amnesia: the server wipes and re-registers under a
+        // bumped incarnation; clients that keep using their pre-crash
+        // rkey get StaleIncarnation NACKs (surfacing as failed ops), not
+        // stale data.
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let faults = FaultPlan::seeded(5)
+            .with_timeout(SimDuration::micros(50))
+            .with_amnesia_crash(
+                0,
+                SimTime::from_nanos(2_000_000),
+                SimTime::from_nanos(2_200_000),
+            );
+        let r = run_closed_loop(
+            &[s.clone()],
+            &model,
+            VerbPath::Nic,
+            2,
+            &mut |_| faulty_read(addr, rkey),
+            SimDuration::millis(1),
+            SimDuration::millis(4),
+            9,
+            &faults,
+        );
+        assert_eq!(r.restarts, 1, "one amnesia window, one restart");
+        assert_eq!(s.regions().current_incarnation(), 1);
+        assert!(r.tput_ops > 0.0, "pre-crash ops complete");
+        assert!(
+            r.failed > 0,
+            "post-restart reads with the stale rkey must fail, not serve wiped memory"
+        );
+    }
+
+    #[test]
+    fn client_crash_window_restarts_the_client() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let faults = FaultPlan::seeded(6)
+            .with_timeout(SimDuration::micros(50))
+            .with_client_crash(
+                1,
+                SimTime::from_nanos(2_000_000),
+                SimTime::from_nanos(2_300_000),
+            );
+        let run = || {
+            run_closed_loop(
+                &[s.clone()],
+                &model,
+                VerbPath::Nic,
+                2,
+                &mut |_| faulty_read(addr, rkey),
+                SimDuration::millis(1),
+                SimDuration::millis(4),
+                4,
+                &faults,
+            )
+        };
+        let a = run();
+        assert_eq!(a.client_restarts, 1, "one crash window, one restart");
+        assert!(
+            a.tput_ops > 0.0,
+            "the surviving client keeps completing ops"
+        );
+        let b = run();
+        assert_eq!(a.tput_ops, b.tput_ops);
+        assert_eq!(a.client_restarts, b.client_restarts);
+    }
+
+    #[test]
+    #[should_panic(expected = "names server 7")]
+    fn run_rejects_plans_naming_absent_servers() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let faults = FaultPlan::seeded(1).with_crash(7, SimTime::ZERO, SimTime::from_nanos(1_000));
+        run_closed_loop(
+            &[s],
+            &model,
+            VerbPath::Nic,
+            1,
+            &mut |_| faulty_read(addr, rkey),
+            SimDuration::millis(1),
+            SimDuration::millis(1),
+            1,
+            &faults,
         );
     }
 

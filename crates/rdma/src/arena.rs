@@ -365,6 +365,21 @@ impl MemoryArena {
         Ok(r)
     }
 
+    /// Zeroes the whole arena — an amnesia restart losing all host
+    /// memory. Group-by-group under the seqlocks (tearing at group
+    /// boundaries is fine: the server is not serving while it recovers,
+    /// and any straggling reader sees zeros, not garbage).
+    pub fn wipe(&self) {
+        const ZEROS: [u8; GROUP] = [0u8; GROUP];
+        let mut addr = Self::BASE;
+        while addr < self.end() {
+            let n = (self.end() - addr).min(GROUP as u64);
+            self.write(addr, &ZEROS[..n as usize])
+                .expect("wipe stays in bounds");
+            addr += n;
+        }
+    }
+
     /// Convenience: reads a little-endian u64 (must not cross a line if
     /// atomicity is required; an 8-byte aligned address never does).
     pub fn read_u64(&self, addr: u64) -> Result<u64, RdmaError> {
@@ -588,6 +603,18 @@ mod tests {
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn wipe_zeroes_everything() {
+        let a = MemoryArena::new(3 * GROUP as u64 + 100);
+        a.write(MemoryArena::BASE + 7, &[0xAB; 900]).unwrap();
+        a.write(a.end() - 64, &[0xCD; 64]).unwrap();
+        a.wipe();
+        assert_eq!(
+            a.read(MemoryArena::BASE, a.len()).unwrap(),
+            vec![0u8; a.len() as usize]
+        );
     }
 
     #[test]

@@ -57,6 +57,19 @@ pub enum RdmaError {
     /// validation (§3.1: both the pointer and its target must be covered
     /// by the same rkey).
     BadIndirectTarget(u64),
+    /// The rkey was minted under an older incarnation of the server's
+    /// memory: the server crashed with amnesia and re-registered its
+    /// arena since the key was issued. Fencing pre-crash keys turns
+    /// "silently read garbage from reinitialized memory" into a
+    /// deterministic NACK the client can recover from by refreshing its
+    /// connection state (the crux of RDMA fault tolerance in Aguilera
+    /// et al., "The Impact of RDMA on Agreement").
+    StaleIncarnation {
+        /// Incarnation encoded in the presented rkey.
+        seen: u64,
+        /// The server's current incarnation.
+        current: u64,
+    },
 }
 
 impl fmt::Display for RdmaError {
@@ -87,6 +100,12 @@ impl fmt::Display for RdmaError {
             RdmaError::BadIndirectTarget(addr) => {
                 write!(f, "indirect pointer target {addr:#x} failed validation")
             }
+            RdmaError::StaleIncarnation { seen, current } => {
+                write!(
+                    f,
+                    "rkey from incarnation {seen} fenced (server is at incarnation {current})"
+                )
+            }
         }
     }
 }
@@ -112,6 +131,7 @@ impl RdmaError {
             RdmaError::UnknownFreeList(id) => (7, 0, 0, id),
             RdmaError::ChainAborted => (8, 0, 0, 0),
             RdmaError::BadIndirectTarget(addr) => (9, addr, 0, 0),
+            RdmaError::StaleIncarnation { seen, current } => (10, seen, current, 0),
         };
         let mut out = [0u8; ERROR_WIRE_LEN];
         out[0] = code;
@@ -144,6 +164,10 @@ impl RdmaError {
             7 => RdmaError::UnknownFreeList(c),
             8 => RdmaError::ChainAborted,
             9 => RdmaError::BadIndirectTarget(a),
+            10 => RdmaError::StaleIncarnation {
+                seen: a,
+                current: b,
+            },
             _ => return None,
         })
     }
@@ -193,6 +217,10 @@ mod tests {
             RdmaError::UnknownFreeList(5),
             RdmaError::ChainAborted,
             RdmaError::BadIndirectTarget(0xDEAD),
+            RdmaError::StaleIncarnation {
+                seen: 2,
+                current: 5,
+            },
         ];
         for e in all {
             assert_eq!(RdmaError::from_wire(&e.to_wire()), Some(e));

@@ -35,8 +35,40 @@ use std::sync::OnceLock;
 use crate::error::RdmaError;
 
 /// A remote key naming one registered memory region.
+///
+/// The low 24 bits are a dense slot index; the top 8 bits carry the
+/// server's **incarnation** at the time the key was issued (zero until
+/// the first amnesia restart, so plain `Rkey(n)` literals keep working).
+/// After an amnesia crash the table's incarnation is bumped and every
+/// pre-crash key is fenced: presenting one yields
+/// [`RdmaError::StaleIncarnation`] instead of silently reading
+/// reinitialized memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Rkey(pub u32);
+
+/// Bits of an rkey that index the slot table; the rest is incarnation.
+const RKEY_INDEX_BITS: u32 = 24;
+const RKEY_INDEX_MASK: u32 = (1 << RKEY_INDEX_BITS) - 1;
+
+impl Rkey {
+    /// The dense slot-index part of the key.
+    pub fn index(self) -> u32 {
+        self.0 & RKEY_INDEX_MASK
+    }
+
+    /// The incarnation stamp the key was issued under (low 8 bits of the
+    /// table incarnation at issue time).
+    pub fn incarnation(self) -> u64 {
+        (self.0 >> RKEY_INDEX_BITS) as u64
+    }
+
+    /// The same registration re-stamped for incarnation `inc` — what a
+    /// client receives when it re-handshakes after a server's amnesia
+    /// restart.
+    pub fn restamped(self, inc: u64) -> Rkey {
+        Rkey(self.index() | (((inc & 0xFF) as u32) << RKEY_INDEX_BITS))
+    }
+}
 
 /// Access rights attached to a registration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +122,11 @@ struct Slot {
     state: AtomicU32,
     addr: AtomicU64,
     len: AtomicU64,
+    /// Incarnation the slot was last (re)stamped under. Unlike
+    /// `addr`/`len` this *is* rewritten after publication — by
+    /// [`RegionTable::bump_incarnation`], which runs on the recovery
+    /// control plane while the server is not serving.
+    inc: AtomicU64,
 }
 
 /// Registrations per chunk; chunks are allocated lazily as keys grow.
@@ -107,6 +144,9 @@ const NCHUNKS: usize = 1024;
 pub struct RegionTable {
     chunks: Box<[OnceLock<Box<[Slot]>>]>,
     next_key: AtomicU32,
+    /// Bumped once per amnesia restart; new and restamped keys carry its
+    /// low 8 bits, and validation fences keys whose stamp disagrees.
+    incarnation: AtomicU64,
 }
 
 impl Default for RegionTable {
@@ -121,13 +161,16 @@ impl RegionTable {
         RegionTable {
             chunks: (0..NCHUNKS).map(|_| OnceLock::new()).collect(),
             next_key: AtomicU32::new(1),
+            incarnation: AtomicU64::new(0),
         }
     }
 
-    /// The slot for `key`, if that key has ever been registered.
+    /// The slot for `key`, if that key has ever been registered. Only the
+    /// index bits select the slot; the incarnation stamp is checked
+    /// separately by `validate`.
     #[inline]
     fn slot(&self, key: Rkey) -> Option<&Slot> {
-        let idx = (key.0 as usize).checked_sub(1)?;
+        let idx = (key.index() as usize).checked_sub(1)?;
         let chunk = self.chunks.get(idx / CHUNK)?.get()?;
         Some(&chunk[idx % CHUNK])
     }
@@ -144,11 +187,14 @@ impl RegionTable {
         let key = self.next_key.fetch_add(1, Ordering::Relaxed);
         let idx = key as usize - 1;
         assert!(idx < CHUNK * NCHUNKS, "rkey space exhausted");
+        debug_assert!(CHUNK * NCHUNKS <= RKEY_INDEX_MASK as usize);
         let chunk =
             self.chunks[idx / CHUNK].get_or_init(|| (0..CHUNK).map(|_| Slot::default()).collect());
         let slot = &chunk[idx % CHUNK];
+        let inc = self.incarnation.load(Ordering::Relaxed);
         slot.addr.store(addr, Ordering::Relaxed);
         slot.len.store(len, Ordering::Relaxed);
+        slot.inc.store(inc, Ordering::Relaxed);
         let mut state = STATE_LIVE;
         if flags.read {
             state |= STATE_READ;
@@ -161,7 +207,30 @@ impl RegionTable {
         }
         // Publish: readers that acquire-load LIVE observe addr/len.
         slot.state.store(state, Ordering::Release);
-        Rkey(key)
+        Rkey(key).restamped(inc)
+    }
+
+    /// The server's current incarnation (0 until the first amnesia
+    /// restart).
+    pub fn current_incarnation(&self) -> u64 {
+        self.incarnation.load(Ordering::Relaxed)
+    }
+
+    /// Advances the incarnation after an amnesia restart and restamps
+    /// every live registration, fencing all previously issued rkeys.
+    /// Control-plane only: runs while the recovering server is not
+    /// serving, so the non-atomic walk cannot race the data plane.
+    /// Returns the new incarnation.
+    pub fn bump_incarnation(&self) -> u64 {
+        let inc = self.incarnation.fetch_add(1, Ordering::Relaxed) + 1;
+        for chunk in self.chunks.iter().filter_map(|c| c.get()) {
+            for slot in chunk.iter() {
+                if slot.state.load(Ordering::Acquire) & STATE_LIVE != 0 {
+                    slot.inc.store(inc, Ordering::Relaxed);
+                }
+            }
+        }
+        inc
     }
 
     /// Removes a registration. Returns whether the key existed.
@@ -185,6 +254,13 @@ impl RegionTable {
         let state = slot.state.load(Ordering::Acquire);
         if state & STATE_LIVE == 0 {
             return Err(RdmaError::InvalidRkey(key.0));
+        }
+        let slot_inc = slot.inc.load(Ordering::Relaxed);
+        if key.incarnation() != slot_inc & 0xFF {
+            return Err(RdmaError::StaleIncarnation {
+                seen: key.incarnation(),
+                current: self.incarnation.load(Ordering::Relaxed),
+            });
         }
         let raddr = slot.addr.load(Ordering::Relaxed);
         let rlen = slot.len.load(Ordering::Relaxed);
@@ -323,6 +399,45 @@ mod tests {
                 .is_ok());
         }
         assert_eq!(t.count(), CHUNK + 5);
+    }
+
+    #[test]
+    fn bump_incarnation_fences_old_keys() {
+        let t = RegionTable::new();
+        let k = t.register(0x1000, 64, AccessFlags::FULL);
+        assert_eq!(k.incarnation(), 0);
+        assert_eq!(t.current_incarnation(), 0);
+        assert_eq!(t.bump_incarnation(), 1);
+        // Pre-crash key: deterministically fenced, not garbage.
+        assert_eq!(
+            t.validate(k, 0x1000, 8, Access::Read).unwrap_err(),
+            RdmaError::StaleIncarnation {
+                seen: 0,
+                current: 1
+            }
+        );
+        // Re-handshaked key for the same slot works.
+        let k2 = k.restamped(t.current_incarnation());
+        assert_eq!(k2.index(), k.index());
+        assert_eq!(k2.incarnation(), 1);
+        assert!(t.validate(k2, 0x1000, 8, Access::Read).is_ok());
+        // New registrations are born into the new incarnation.
+        let fresh = t.register(0x2000, 64, AccessFlags::FULL);
+        assert_eq!(fresh.incarnation(), 1);
+        assert!(t.validate(fresh, 0x2000, 8, Access::Write).is_ok());
+        // Counting and extents still see the live slots.
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.extent(k2), Some((0x1000, 64)));
+    }
+
+    #[test]
+    fn restamp_round_trips_index() {
+        let k = Rkey(42);
+        for inc in [0u64, 1, 7, 255, 256, 1000] {
+            let s = k.restamped(inc);
+            assert_eq!(s.index(), 42);
+            assert_eq!(s.incarnation(), inc & 0xFF);
+        }
     }
 
     #[test]

@@ -108,6 +108,7 @@ impl AbdLockServer {
 pub struct AbdLockCluster {
     replicas: Vec<AbdLockServer>,
     next_client: std::sync::atomic::AtomicU16,
+    epoch: std::sync::atomic::AtomicU64,
 }
 
 impl AbdLockCluster {
@@ -121,6 +122,7 @@ impl AbdLockCluster {
         AbdLockCluster {
             replicas: (0..n).map(|_| AbdLockServer::new(config)).collect(),
             next_client: std::sync::atomic::AtomicU16::new(1),
+            epoch: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -143,17 +145,50 @@ impl AbdLockCluster {
     /// real deployment performs with lock leases when clients die mid-
     /// operation (§7.2 notes the need for a force-release protocol).
     /// The experiment harness calls this between measurement windows,
-    /// since a window boundary abandons in-flight operations.
+    /// since a window boundary abandons in-flight operations. Routed
+    /// through the epoch guard, so a concurrent caller cannot double-
+    /// sweep the same recovery.
     pub fn reset_locks(&self) {
+        let e = self.epoch.load(std::sync::atomic::Ordering::SeqCst);
+        self.reset_locks_epoch(e);
+    }
+
+    /// The current recovery epoch (how many force-release sweeps have
+    /// run).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Epoch-guarded force-release: a dead lock-holder's words are
+    /// reclaimed **exactly once** per recovery epoch. Callers name the
+    /// epoch they observed; the guard CAS advances it and only the
+    /// winner sweeps — a concurrent or repeated caller with the same
+    /// stale epoch is a no-op, so recovery cannot release a lock that a
+    /// *new* (post-recovery) holder legitimately acquired after the
+    /// first sweep. Returns the number of lock words actually cleared
+    /// (0 for guard losers).
+    pub fn reset_locks_epoch(&self, observed: u64) -> u64 {
+        use std::sync::atomic::Ordering::SeqCst;
+        if self
+            .epoch
+            .compare_exchange(observed, observed + 1, SeqCst, SeqCst)
+            .is_err()
+        {
+            return 0;
+        }
+        let mut cleared = 0;
         for r in &self.replicas {
             let v = r.view().clone();
             for b in 0..v.n_blocks {
-                r.server()
-                    .arena()
-                    .write_u64(v.block(b), 0)
-                    .expect("in arena");
+                let addr = v.block(b);
+                let held = r.server().arena().read_u64(addr).expect("in arena") != 0;
+                if held {
+                    r.server().arena().write_u64(addr, 0).expect("in arena");
+                    cleared += 1;
+                }
             }
         }
+        cleared
     }
 
     /// Opens a client with a fresh nonzero id.
@@ -841,6 +876,37 @@ mod tests {
             get(&cl, &mut c2, 0, &[false; 3]),
             RsOutcome::Value(vec![0xAAu8; 64])
         );
+    }
+
+    #[test]
+    fn epoch_guard_reclaims_dead_locks_exactly_once() {
+        let cl = cluster();
+        // A client dies holding block 0's lock on two replicas.
+        for r in 0..2 {
+            let v = cl.replica(r).view().clone();
+            cl.replica(r)
+                .server()
+                .arena()
+                .write_u64(v.block(0), 0xDEAD)
+                .unwrap();
+        }
+        let e = cl.epoch();
+        assert_eq!(cl.reset_locks_epoch(e), 2, "both dead locks reclaimed");
+        // A second recovery racing on the *same* observed epoch loses
+        // the guard and must not sweep: a new holder's lock survives.
+        let v = cl.replica(0).view().clone();
+        cl.replica(0)
+            .server()
+            .arena()
+            .write_u64(v.block(0), 77)
+            .unwrap();
+        assert_eq!(cl.reset_locks_epoch(e), 0, "stale-epoch sweep is a no-op");
+        assert_eq!(
+            cl.replica(0).server().arena().read_u64(v.block(0)).unwrap(),
+            77,
+            "the new holder's lock must survive the duplicate recovery"
+        );
+        assert_eq!(cl.epoch(), e + 1);
     }
 
     #[test]

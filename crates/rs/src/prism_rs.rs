@@ -260,6 +260,8 @@ impl std::fmt::Debug for PrismRsServer {
 pub struct RsCluster {
     replicas: Vec<PrismRsServer>,
     next_client: std::sync::atomic::AtomicU16,
+    rejoins: std::sync::atomic::AtomicU64,
+    resyncs: std::sync::atomic::AtomicU64,
 }
 
 impl RsCluster {
@@ -273,7 +275,95 @@ impl RsCluster {
         RsCluster {
             replicas: (0..n).map(|_| PrismRsServer::new(config)).collect(),
             next_client: std::sync::atomic::AtomicU16::new(1),
+            rejoins: std::sync::atomic::AtomicU64::new(0),
+            resyncs: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Fails replica `i` with **amnesia** and rejoins it (§7.2): the
+    /// host wipes and fences ([`PrismServer::amnesia_restart`]), then
+    /// the recovery protocol rebuilds the replica's layout — metadata
+    /// array, seed buffers, free list — at the original addresses under
+    /// the new incarnation, and resyncs every block from its peers.
+    ///
+    /// The resync is an ABD read-repair: the rejoiner reads the tagged
+    /// version held by each of its `2f` surviving peers and installs
+    /// the maximum. Any write that completed (reached `f + 1` replicas)
+    /// survives on at least `f ≥ 1` of those peers, so the rejoined
+    /// replica is at least as fresh as every completed write — the
+    /// quorum-intersection invariant is restored before it serves. Runs
+    /// atomically from the simulation's perspective (the restart event
+    /// completes the rejoin before any post-restart request), which
+    /// models the replica staying in a recovering state until resync
+    /// finishes. Returns the replica's new incarnation.
+    pub fn amnesia_restart(&self, i: usize) -> u64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let r = &self.replicas[i];
+        let inc = r.server.amnesia_restart();
+        // Fresh-boot layout: block b seeds pool slot b, spares go back
+        // on the free list. The pre-crash queue contents described
+        // ownership that no longer exists.
+        r.server.freelists().reset(
+            r.view.freelist,
+            (r.view.n_blocks..r.count).map(|j| r.pool_base + j * r.stride),
+        );
+        for b in 0..r.view.n_blocks {
+            // Read-repair from the surviving peers.
+            let mut best_tag = Tag::ZERO;
+            let mut best_val = vec![0u8; r.view.block_size as usize];
+            for (j, peer) in self.replicas.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let pv = &peer.view;
+                let meta = peer
+                    .server
+                    .arena()
+                    .read(pv.meta(b), META)
+                    .expect("peer metadata in arena");
+                let tag = Tag::from_bytes(&meta[..8]);
+                if tag > best_tag {
+                    let addr = u64::from_le_bytes(meta[8..16].try_into().expect("8 bytes"));
+                    let buf = peer
+                        .server
+                        .arena()
+                        .read(addr, pv.buf_len())
+                        .expect("peer buffer in arena");
+                    best_tag = tag;
+                    best_val = buf[8..].to_vec();
+                }
+            }
+            let buf = r.pool_base + b * r.stride;
+            let mut payload = Vec::with_capacity(r.view.buf_len() as usize);
+            payload.extend_from_slice(&best_tag.to_bytes());
+            payload.extend_from_slice(&best_val);
+            r.server
+                .arena()
+                .write(buf, &payload)
+                .expect("buffer in arena");
+            let mut meta = Vec::with_capacity(META as usize);
+            meta.extend_from_slice(&best_tag.to_bytes());
+            meta.extend_from_slice(&buf.to_le_bytes());
+            r.server
+                .arena()
+                .write(r.view.meta(b), &meta)
+                .expect("metadata in arena");
+            if best_tag > Tag::ZERO {
+                self.resyncs.fetch_add(1, Relaxed);
+            }
+        }
+        self.rejoins.fetch_add(1, Relaxed);
+        inc
+    }
+
+    /// Completed amnesia rejoins across the cluster.
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Blocks repaired from peers (to a non-zero tag) during rejoins.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of replicas.
@@ -292,18 +382,32 @@ impl RsCluster {
     }
 
     /// Opens a client with a fresh id and one connection per replica.
+    /// Rkeys are stamped with each replica's *current* incarnation (the
+    /// handshake at connect time), so a client opened after a rejoin
+    /// starts unfenced.
     pub fn open_client(&self) -> RsClient {
+        use prism_rdma::region::Rkey;
         let id = self
             .next_client
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         RsClient {
-            views: self.replicas.iter().map(|r| r.view.clone()).collect(),
+            views: self
+                .replicas
+                .iter()
+                .map(|r| {
+                    let mut v = r.view.clone();
+                    let inc = r.server.regions().current_incarnation();
+                    v.data_rkey = Rkey(v.data_rkey).restamped(inc).0;
+                    v
+                })
+                .collect(),
             scratch: self
                 .replicas
                 .iter()
                 .map(|r| {
                     let c = r.server.open_connection();
-                    (c.scratch_addr, c.scratch_rkey.0)
+                    let inc = r.server.regions().current_incarnation();
+                    (c.scratch_addr, c.scratch_rkey.restamped(inc).0)
                 })
                 .collect(),
             client_id: id,
@@ -393,6 +497,21 @@ impl RsClient {
     /// The client's id (used in tags it produces).
     pub fn id(&self) -> u16 {
         self.client_id
+    }
+
+    /// Adopts a replica's new incarnation after an amnesia rejoin: the
+    /// client's cached rkeys for that replica are restamped in place
+    /// ([`prism_rdma::region::Rkey::restamped`]). This is the
+    /// re-handshake of a real deployment minus the network — addresses
+    /// are unchanged because the rejoin rebuilds the original layout,
+    /// only the incarnation stamp differs. Called by the driver when a
+    /// reply carries [`prism_rdma::RdmaError::StaleIncarnation`].
+    pub fn refence(&mut self, replica: usize, inc: u64) {
+        use prism_rdma::region::Rkey;
+        let v = &mut self.views[replica];
+        v.data_rkey = Rkey(v.data_rkey).restamped(inc).0;
+        let (_, rk) = &mut self.scratch[replica];
+        *rk = Rkey(*rk).restamped(inc).0;
     }
 
     /// Replica count.
@@ -1006,6 +1125,72 @@ mod tests {
             avail,
             vec![4, 4, 4],
             "double free must not duplicate buffers"
+        );
+    }
+
+    #[test]
+    fn amnesia_rejoin_resyncs_from_peer_quorum() {
+        let cl = cluster();
+        let c = cl.open_client();
+        let val = vec![7u8; 64];
+        assert_eq!(
+            put(&cl, &c, 3, val.clone(), &[false; 3]),
+            RsOutcome::Written
+        );
+        // Replica 1 loses its memory and rejoins.
+        let inc = cl.amnesia_restart(1);
+        assert_eq!(inc, 1);
+        assert_eq!(cl.rejoins(), 1);
+        assert!(cl.resyncs() > 0, "the written block must be repaired");
+        // The rejoined replica's own memory holds the value again.
+        let v = cl.replica(1).view().clone();
+        let meta = cl.replica(1).server().arena().read(v.meta(3), 16).unwrap();
+        assert!(Tag::from_bytes(&meta[..8]).ts >= 1);
+        // A fresh client (handshaking the new incarnation) reading
+        // through a quorum that *excludes* replica 0 still sees the
+        // value: the rejoin restored quorum intersection.
+        let c2 = cl.open_client();
+        assert_eq!(
+            get(&cl, &c2, 3, &[true, false, false]),
+            RsOutcome::Value(val)
+        );
+        // The pre-restart client is fenced at replica 1 until it
+        // refences, then works again.
+        let (op, step) = c.get(3);
+        let mut fenced = false;
+        for (r, _phase, req) in &step.send {
+            if *r == 1 {
+                let reply = prism_core::msg::execute_local(cl.replica(1).server(), req);
+                fenced = reply.stale_incarnation() == Some(1);
+            }
+        }
+        assert!(fenced, "stale rkey must be fenced, not serve wiped memory");
+        drop(op);
+        let mut c3 = c.clone();
+        c3.refence(1, inc);
+        let (op, step) = c3.get(3);
+        assert_eq!(
+            drive(&cl, &c3, op, step, &[false; 3]),
+            RsOutcome::Value(vec![7u8; 64])
+        );
+    }
+
+    #[test]
+    fn rejoin_with_no_writes_restores_fresh_boot() {
+        let cl = cluster();
+        let inc = cl.amnesia_restart(0);
+        assert_eq!(inc, 1);
+        assert_eq!(cl.resyncs(), 0, "nothing to repair on a fresh store");
+        let r = cl.replica(0);
+        assert_eq!(
+            r.server().freelists().available(r.view().freelist),
+            (RsConfig::paper(16, 64).spare_buffers) as usize,
+            "free list rebuilt with exactly the spares"
+        );
+        let c = cl.open_client();
+        assert_eq!(
+            get(&cl, &c, 0, &[false; 3]),
+            RsOutcome::Value(vec![0u8; 64])
         );
     }
 

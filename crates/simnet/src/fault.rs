@@ -18,13 +18,34 @@
 //! The failure model (see DESIGN.md §9): a crashed server silently
 //!   drops every request that arrives inside its window — replies
 //!   already serialized onto the wire still deliver, like a real
-//!   network holding packets in flight — and recovers with its memory
-//!   intact (fail-recover, not fail-stop-amnesia). Partitions sever
-//!   the client→server request leg. Clients recover lost traffic via
-//!   request timeouts that synthesize error replies, which the
-//!   protocol machines treat exactly like a NACK from the transport.
+//!   network holding packets in flight. A [`CrashMode::Recover`] window
+//!   restarts with memory intact (fail-recover); a
+//!   [`CrashMode::Amnesia`] window restarts with the arena wiped under
+//!   a bumped incarnation (fail-stop-amnesia — the failure class the
+//!   paper's replication and recovery protocols exist for, §7–8).
+//!   Client-crash windows model the other side: a crashed client drops
+//!   its in-flight state and restarts fresh, leaving whatever server
+//!   metadata it owned (TX prepares, FaRM locks) dangling for the
+//!   lease sweeps to reclaim. Partitions sever the client→server
+//!   request leg. Clients recover lost traffic via request timeouts
+//!   that synthesize error replies, which the protocol machines treat
+//!   exactly like a NACK from the transport.
 
+use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+
+/// What a server's memory looks like when its crash window ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashMode {
+    /// Fail-recover: the server restarts with its memory intact.
+    #[default]
+    Recover,
+    /// Fail-stop-amnesia: the server restarts with its arena wiped and
+    /// its incarnation bumped; every pre-crash rkey is fenced and the
+    /// application-level recovery protocol (RS rejoin, lock reset) must
+    /// run before the replica is useful again.
+    Amnesia,
+}
 
 /// A scheduled outage of one server: every request arriving at
 /// `server` within `[from, until)` is silently dropped.
@@ -36,6 +57,8 @@ pub struct CrashWindow {
     pub from: SimTime,
     /// End of the outage (exclusive) — the restart instant.
     pub until: SimTime,
+    /// Memory semantics of the restart.
+    pub mode: CrashMode,
 }
 
 impl CrashWindow {
@@ -63,6 +86,27 @@ impl Partition {
     /// Whether this partition severs `client`→`server` at time `at`.
     pub fn covers(&self, client: usize, server: usize, at: SimTime) -> bool {
         self.client == client && self.server == server && at >= self.from && at < self.until
+    }
+}
+
+/// A scheduled client crash: within `[from, until)` the client is dead
+/// (incoming replies, timers, and kicks are dropped); at `until` it
+/// restarts with fresh protocol state, abandoning whatever operation —
+/// and whatever server-side metadata — it had in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientCrashWindow {
+    /// Index of the crashed client (experiment client order).
+    pub client: usize,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive) — the restart instant.
+    pub until: SimTime,
+}
+
+impl ClientCrashWindow {
+    /// Whether this window covers `client` at time `at`.
+    pub fn covers(&self, client: usize, at: SimTime) -> bool {
+        self.client == client && at >= self.from && at < self.until
     }
 }
 
@@ -99,6 +143,8 @@ pub struct FaultPlan {
     pub crashes: Vec<CrashWindow>,
     /// Scheduled client→server partitions.
     pub partitions: Vec<Partition>,
+    /// Scheduled client crashes.
+    pub client_crashes: Vec<ClientCrashWindow>,
 }
 
 impl FaultPlan {
@@ -135,11 +181,37 @@ impl FaultPlan {
         self
     }
 
-    /// Adds a crash/restart window for `server`.
+    /// Adds a fail-recover crash/restart window for `server`.
     pub fn with_crash(mut self, server: usize, from: SimTime, until: SimTime) -> Self {
         assert!(from < until, "empty crash window");
         self.crashes.push(CrashWindow {
             server,
+            from,
+            until,
+            mode: CrashMode::Recover,
+        });
+        self
+    }
+
+    /// Adds a fail-stop-amnesia crash window for `server`: at `until`
+    /// the server restarts with its memory wiped and incarnation bumped.
+    pub fn with_amnesia_crash(mut self, server: usize, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "empty crash window");
+        self.crashes.push(CrashWindow {
+            server,
+            from,
+            until,
+            mode: CrashMode::Amnesia,
+        });
+        self
+    }
+
+    /// Adds a client crash window: at `until` the client restarts with
+    /// fresh protocol state.
+    pub fn with_client_crash(mut self, client: usize, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "empty client crash window");
+        self.client_crashes.push(ClientCrashWindow {
+            client,
             from,
             until,
         });
@@ -174,6 +246,7 @@ impl FaultPlan {
             && self.jitter_ns == 0
             && self.crashes.is_empty()
             && self.partitions.is_empty()
+            && self.client_crashes.is_empty()
     }
 
     /// Whether `server` is inside any crash window at `at`.
@@ -185,6 +258,141 @@ impl FaultPlan {
     pub fn partitioned(&self, client: usize, server: usize, at: SimTime) -> bool {
         self.partitions.iter().any(|p| p.covers(client, server, at))
     }
+
+    /// Whether `client` is inside any client crash window at `at`.
+    pub fn client_crashed(&self, client: usize, at: SimTime) -> bool {
+        self.client_crashes.iter().any(|w| w.covers(client, at))
+    }
+
+    /// Restart instants (window ends) of `server`'s amnesia windows, in
+    /// schedule order. The harness schedules a wipe-and-rejoin event at
+    /// each; fail-recover windows need no event — the memory was never
+    /// lost.
+    pub fn amnesia_restarts(&self, server: usize) -> Vec<SimTime> {
+        self.crashes
+            .iter()
+            .filter(|w| w.server == server && w.mode == CrashMode::Amnesia)
+            .map(|w| w.until)
+            .collect()
+    }
+
+    /// Restart instants of `client`'s crash windows, in schedule order.
+    pub fn client_restarts(&self, client: usize) -> Vec<SimTime> {
+        self.client_crashes
+            .iter()
+            .filter(|w| w.client == client)
+            .map(|w| w.until)
+            .collect()
+    }
+
+    /// Checks every window against the run's actual topology, so a
+    /// window naming a server or client that does not exist fails loudly
+    /// at run start instead of silently never firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any out-of-range server or client index.
+    pub fn validate(&self, n_servers: usize, n_clients: usize) {
+        for w in &self.crashes {
+            assert!(
+                w.server < n_servers,
+                "crash window names server {} but the run has {n_servers}",
+                w.server
+            );
+        }
+        for p in &self.partitions {
+            assert!(
+                p.server < n_servers,
+                "partition names server {} but the run has {n_servers}",
+                p.server
+            );
+            assert!(
+                p.client < n_clients,
+                "partition names client {} but the run has {n_clients}",
+                p.client
+            );
+        }
+        for w in &self.client_crashes {
+            assert!(
+                w.client < n_clients,
+                "client crash window names client {} but the run has {n_clients}",
+                w.client
+            );
+        }
+    }
+
+    /// Generates a composed chaos schedule from a seed: `spec.horizon`
+    /// is sliced into per-fault lanes and each requested fault gets a
+    /// window with seeded start and length. Pure function of
+    /// `(seed, spec)`, so two calls produce identical plans and a
+    /// chaos run replays bit-exactly from its seed.
+    pub fn chaos(seed: u64, spec: &ChaosSpec) -> FaultPlan {
+        let mut rng = SimRng::new(seed ^ 0xC4A0_5CAD);
+        let horizon = spec.horizon.as_nanos().max(16);
+        // Windows live in the middle half of the horizon so clients
+        // observe both pre-fault and post-recovery service.
+        let lo = horizon / 4;
+        let hi = horizon * 3 / 4;
+        let window = |rng: &mut SimRng| {
+            let len = (horizon / 64 + rng.gen_range(horizon / 16)).max(1);
+            let from = lo + rng.gen_range(hi - lo);
+            let until = (from + len).min(horizon - 1);
+            (
+                SimTime::from_nanos(from),
+                SimTime::from_nanos(until.max(from + 1)),
+            )
+        };
+        let mut plan = FaultPlan::seeded(seed).with_loss(spec.drop_prob, spec.dup_prob);
+        plan.jitter_ns = spec.jitter_ns;
+        for _ in 0..spec.server_crashes {
+            let server = rng.gen_range(spec.servers as u64) as usize;
+            let (from, until) = window(&mut rng);
+            plan = if rng.gen_bool(spec.amnesia_fraction) {
+                plan.with_amnesia_crash(server, from, until)
+            } else {
+                plan.with_crash(server, from, until)
+            };
+        }
+        for _ in 0..spec.client_crashes {
+            let client = rng.gen_range(spec.clients as u64) as usize;
+            let (from, until) = window(&mut rng);
+            plan = plan.with_client_crash(client, from, until);
+        }
+        for _ in 0..spec.partitions {
+            let client = rng.gen_range(spec.clients as u64) as usize;
+            let server = rng.gen_range(spec.servers as u64) as usize;
+            let (from, until) = window(&mut rng);
+            plan = plan.with_partition(client, server, from, until);
+        }
+        plan.validate(spec.servers, spec.clients);
+        plan
+    }
+}
+
+/// Shape of a generated chaos schedule (see [`FaultPlan::chaos`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Servers in the run (window targets are drawn from this range).
+    pub servers: usize,
+    /// Clients in the run.
+    pub clients: usize,
+    /// Length of the run being subjected to chaos; all windows land in
+    /// its middle half.
+    pub horizon: SimDuration,
+    /// Number of server crash windows to schedule.
+    pub server_crashes: usize,
+    /// Probability that a server crash is amnesia rather than recover.
+    pub amnesia_fraction: f64,
+    /// Number of client crash windows to schedule.
+    pub client_crashes: usize,
+    /// Number of partition windows to schedule.
+    pub partitions: usize,
+    /// Background message-loss probability.
+    pub drop_prob: f64,
+    /// Background reply-duplication probability.
+    pub dup_prob: f64,
+    /// Background delivery jitter, in nanoseconds.
+    pub jitter_ns: u64,
 }
 
 #[cfg(test)]
@@ -239,4 +447,151 @@ mod tests {
     fn empty_crash_window_rejected() {
         let _ = FaultPlan::seeded(1).with_crash(0, SimTime::from_nanos(5), SimTime::from_nanos(5));
     }
+
+    #[test]
+    fn amnesia_and_client_windows_arm_the_plan() {
+        let t = SimTime::from_nanos;
+        let p = FaultPlan::seeded(2).with_amnesia_crash(1, t(10), t(20));
+        assert!(!p.is_noop());
+        assert_eq!(p.crashes[0].mode, CrashMode::Amnesia);
+        assert_eq!(p.amnesia_restarts(1), vec![t(20)]);
+        assert!(p.amnesia_restarts(0).is_empty());
+        // A recover crash schedules no amnesia restart.
+        let p = FaultPlan::seeded(2).with_crash(0, t(10), t(20));
+        assert!(p.amnesia_restarts(0).is_empty());
+
+        let p = FaultPlan::seeded(3).with_client_crash(4, t(30), t(50));
+        assert!(!p.is_noop());
+        assert!(p.client_crashed(4, t(30)));
+        assert!(p.client_crashed(4, t(49)));
+        assert!(!p.client_crashed(4, t(50)));
+        assert!(!p.client_crashed(3, t(40)));
+        assert_eq!(p.client_restarts(4), vec![t(50)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "names server 3 but the run has 2")]
+    fn validate_rejects_out_of_range_server() {
+        FaultPlan::seeded(1)
+            .with_crash(3, SimTime::ZERO, SimTime::from_nanos(1))
+            .validate(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "names client 9 but the run has 4")]
+    fn validate_rejects_out_of_range_client() {
+        FaultPlan::seeded(1)
+            .with_client_crash(9, SimTime::ZERO, SimTime::from_nanos(1))
+            .validate(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition names client")]
+    fn validate_rejects_out_of_range_partition_client() {
+        FaultPlan::seeded(1)
+            .with_partition(7, 0, SimTime::ZERO, SimTime::from_nanos(1))
+            .validate(2, 4);
+    }
+
+    // Satellite: window-composition semantics under overlap and shared
+    // boundaries. Any set of windows must behave as the half-open union
+    // of its members — crashed(s, t) iff some window [from, until)
+    // contains t — with adjacency ([a,b) + [b,c)) leaving no gap at b
+    // and no coverage at c.
+    prism_testkit::prop_check!(
+        window_composition_is_half_open_union,
+        cases = 128,
+        prism_testkit::gens::vec(
+            prism_testkit::gens::t3(
+                prism_testkit::gens::range_u64(0..3),  // server
+                prism_testkit::gens::range_u64(0..60), // from
+                prism_testkit::gens::range_u64(1..40), // length
+            ),
+            1..6,
+        ),
+        |windows: &Vec<(u64, u64, u64)>| {
+            let mut plan = FaultPlan::seeded(11);
+            for &(server, from, len) in windows {
+                plan = plan.with_crash(
+                    server as usize,
+                    SimTime::from_nanos(from),
+                    SimTime::from_nanos(from + len),
+                );
+            }
+            for server in 0..3usize {
+                for t in 0..110u64 {
+                    let expect = windows
+                        .iter()
+                        .any(|&(s, from, len)| s as usize == server && t >= from && t < from + len);
+                    assert_eq!(
+                        plan.crashed(server, SimTime::from_nanos(t)),
+                        expect,
+                        "server {server} at t={t}"
+                    );
+                }
+            }
+            // Adjacent windows sharing a boundary: appending [until,
+            // until+len) to the first window leaves no gap at the shared
+            // edge, and coverage stays exactly the union (the far edge
+            // is covered only if some *other* window already covers it).
+            if let Some(&(s, from, len)) = windows.first() {
+                let p2 = plan.clone().with_crash(
+                    s as usize,
+                    SimTime::from_nanos(from + len),
+                    SimTime::from_nanos(from + 2 * len),
+                );
+                assert!(p2.crashed(s as usize, SimTime::from_nanos(from + len)));
+                let far = from + 2 * len;
+                let covered_elsewhere = windows
+                    .iter()
+                    .any(|&(s2, f2, l2)| s2 == s && far >= f2 && far < f2 + l2);
+                assert_eq!(
+                    p2.crashed(s as usize, SimTime::from_nanos(far)),
+                    covered_elsewhere
+                );
+            }
+        }
+    );
+
+    // Satellite: the chaos generator is a pure function of (seed, spec),
+    // and every generated plan validates against its own topology with
+    // windows inside the horizon.
+    prism_testkit::prop_check!(
+        chaos_schedules_are_deterministic_and_in_range,
+        cases = 64,
+        prism_testkit::gens::t2(
+            prism_testkit::gens::u64s(),
+            prism_testkit::gens::range_u64(0..4),
+        ),
+        |&(seed, knobs): &(u64, u64)| {
+            let spec = ChaosSpec {
+                servers: 3,
+                clients: 4,
+                horizon: SimDuration::micros(500),
+                server_crashes: knobs as usize,
+                amnesia_fraction: 0.5,
+                client_crashes: knobs as usize,
+                partitions: knobs as usize,
+                drop_prob: 0.01,
+                dup_prob: 0.005,
+                jitter_ns: 100,
+            };
+            let a = FaultPlan::chaos(seed, &spec);
+            let b = FaultPlan::chaos(seed, &spec);
+            assert_eq!(a, b, "same (seed, spec) must produce identical plans");
+            assert_eq!(a.crashes.len(), spec.server_crashes);
+            assert_eq!(a.client_crashes.len(), spec.client_crashes);
+            assert_eq!(a.partitions.len(), spec.partitions);
+            let horizon = spec.horizon.as_nanos();
+            for w in &a.crashes {
+                assert!(w.from < w.until && w.until.as_nanos() < horizon);
+            }
+            for w in &a.client_crashes {
+                assert!(w.from < w.until && w.until.as_nanos() < horizon);
+            }
+            for p in &a.partitions {
+                assert!(p.from < p.until && p.until.as_nanos() < horizon);
+            }
+        }
+    );
 }

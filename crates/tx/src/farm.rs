@@ -81,6 +81,9 @@ impl FarmView {
 pub struct FarmServer {
     server: Arc<PrismServer>,
     view: FarmView,
+    /// Lease state for [`FarmServer::sweep_locks`]: local key index →
+    /// the lock token seen held at the last sweep.
+    lease: std::sync::Mutex<HashMap<u64, u64>>,
 }
 
 impl FarmServer {
@@ -122,7 +125,11 @@ impl FarmServer {
             handle_rpc(&h_server, &h_view, req)
         }));
 
-        FarmServer { server, view }
+        FarmServer {
+            server,
+            view,
+            lease: std::sync::Mutex::new(HashMap::new()),
+        }
     }
 
     /// The underlying host.
@@ -133,6 +140,58 @@ impl FarmServer {
     /// The client-visible layout.
     pub fn view(&self) -> &FarmView {
         &self.view
+    }
+
+    /// Lease-based recovery for write locks whose owner crashed between
+    /// lock and unlock (§8.1's lease expiry, scoped to one shard): a
+    /// lock word holding the *same* token across two consecutive sweeps
+    /// is declared orphaned and released. A live transaction either
+    /// unlocks before the second sweep or — having re-locked with a
+    /// fresh token (tokens embed a per-client sequence number) — resets
+    /// the lease. The release re-checks the token atomically, so an
+    /// unlock racing the sweep is harmless. Returns locks released.
+    pub fn sweep_locks(&self) -> u64 {
+        let mut lease = self.lease.lock().expect("lease lock");
+        let mut released = 0;
+        for i in 0..self.view.capacity {
+            let obj = obj_of(&self.view, i);
+            let token = self.server.arena().read_u64(obj + 8).expect("in arena");
+            if token == 0 {
+                lease.remove(&i);
+                continue;
+            }
+            match lease.get(&i) {
+                Some(&seen) if seen == token => {
+                    self.server
+                        .arena()
+                        .atomic(obj + 8, 8, |b| {
+                            if u64::from_le_bytes(b.as_ref().try_into().expect("8B")) == token {
+                                b.copy_from_slice(&0u64.to_le_bytes());
+                            }
+                        })
+                        .expect("object in arena");
+                    lease.remove(&i);
+                    released += 1;
+                }
+                _ => {
+                    lease.insert(i, token);
+                }
+            }
+        }
+        released
+    }
+
+    /// Number of objects whose lock word is currently held.
+    pub fn held_locks(&self) -> u64 {
+        (0..self.view.capacity)
+            .filter(|&i| {
+                self.server
+                    .arena()
+                    .read_u64(obj_of(&self.view, i) + 8)
+                    .expect("in arena")
+                    != 0
+            })
+            .count() as u64
     }
 }
 
@@ -238,6 +297,7 @@ fn handle_rpc(server: &PrismServer, view: &FarmView, req: &[u8]) -> Vec<u8> {
 pub struct FarmCluster {
     shards: Vec<FarmServer>,
     next_client: std::sync::atomic::AtomicU64,
+    lock_reclaims: std::sync::atomic::AtomicU64,
 }
 
 impl FarmCluster {
@@ -249,7 +309,29 @@ impl FarmCluster {
                 .map(|s| FarmServer::new(config, s as u64, n_shards as u64))
                 .collect(),
             next_client: std::sync::atomic::AtomicU64::new(1),
+            lock_reclaims: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Runs one lock-lease sweep on shard `i` (see
+    /// [`FarmServer::sweep_locks`]) and folds the count into
+    /// [`FarmCluster::lock_reclaims`].
+    pub fn sweep_shard(&self, i: usize) -> u64 {
+        let n = self.shards[i].sweep_locks();
+        self.lock_reclaims
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        n
+    }
+
+    /// Total orphaned locks released by sweeps across all shards.
+    pub fn lock_reclaims(&self) -> u64 {
+        self.lock_reclaims
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Currently held lock words across all shards.
+    pub fn held_locks(&self) -> u64 {
+        self.shards.iter().map(|s| s.held_locks()).sum()
     }
 
     /// Number of shards.
@@ -1010,6 +1092,64 @@ mod tests {
         ));
         let mut c3 = cl.open_client();
         assert_eq!(read_all(&cl, &mut c3, &[0])[&0], vec![1u8; 32]);
+    }
+
+    /// Drives a write transaction to just past its lock phase, leaving
+    /// the key's lock word held, and returns the op plus the withheld
+    /// validate step.
+    fn park_after_lock(cl: &FarmCluster, c: &mut FarmClient, k: u64) -> (FarmOp, FarmStep) {
+        let (mut op, step) = c.begin(vec![k], vec![(k, vec![0xCD; 32])]);
+        let mut queue = step.send;
+        while let Some((shard, phase, idx, req)) = queue.pop() {
+            let reply = prism_core::msg::execute_local(cl.shard(shard).server(), &req);
+            let s = op.on_reply(c, phase, idx, reply);
+            if s.send.iter().any(|(_, p, _, _)| *p == PH_VAL) {
+                return (op, s);
+            }
+            queue.extend(s.send);
+        }
+        panic!("transaction never locked");
+    }
+
+    #[test]
+    fn sweep_releases_orphaned_lock_after_two_sightings() {
+        let cl = cluster(1, 4);
+        let mut c = cl.open_client();
+        // A "crashed" client: locked key 2, never unlocks.
+        let (_op, _val) = park_after_lock(&cl, &mut c, 2);
+        assert_eq!(cl.held_locks(), 1);
+
+        assert_eq!(cl.sweep_shard(0), 0, "first sighting only leases");
+        assert_eq!(cl.held_locks(), 1);
+        assert_eq!(cl.sweep_shard(0), 1, "second sighting releases");
+        assert_eq!(cl.held_locks(), 0);
+        assert_eq!(cl.sweep_shard(0), 0);
+        assert_eq!(cl.lock_reclaims(), 1);
+
+        // The key is writable again.
+        let mut c2 = cl.open_client();
+        assert!(matches!(
+            write_one(&cl, &mut c2, 2, vec![4u8; 32]),
+            FarmOutcome::Committed(_)
+        ));
+        assert_eq!(read_all(&cl, &mut c2, &[2])[&2], vec![4u8; 32]);
+    }
+
+    #[test]
+    fn sweep_spares_live_lock_holder_for_one_interval() {
+        let cl = cluster(1, 4);
+        let mut c = cl.open_client();
+        let (op, val) = park_after_lock(&cl, &mut c, 1);
+        // One sweep lands mid-commit: lease only, lock stays held.
+        assert_eq!(cl.sweep_shard(0), 0);
+        assert_eq!(cl.held_locks(), 1);
+        // The slow-but-live client finishes and unlocks on its own.
+        assert!(matches!(drive(&cl, &c, op, val), FarmOutcome::Committed(_)));
+        assert_eq!(cl.held_locks(), 0);
+        assert_eq!(cl.sweep_shard(0), 0, "lease entry just expires");
+        assert_eq!(cl.lock_reclaims(), 0);
+        let mut c2 = cl.open_client();
+        assert_eq!(read_all(&cl, &mut c2, &[1])[&1], vec![0xCD; 32]);
     }
 
     #[test]

@@ -119,6 +119,10 @@ impl TxView {
 pub struct TxServer {
     server: Arc<PrismServer>,
     view: TxView,
+    /// Cooperative-termination lease state: local key index → the
+    /// prepared-writer timestamp seen dangling (`PW > C`) at the last
+    /// sweep. See [`TxServer::sweep_prepares`].
+    lease: std::sync::Mutex<HashMap<u64, Ts>>,
 }
 
 impl TxServer {
@@ -205,7 +209,75 @@ impl TxServer {
                 value_len: config.value_len,
                 freelist,
             },
+            lease: std::sync::Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Cooperative termination (§8.2) for transactions whose client
+    /// crashed between prepare and commit: a dangling `PW > C` blocks
+    /// every later writer of that key (their `TS > PW` check fails until
+    /// `C` catches up). The server cannot tell a crashed client from a
+    /// slow one, so it leases: a prepared-writer timestamp that survives
+    /// two consecutive sweeps *unchanged* is declared orphaned, and the
+    /// sweep completes the crashed client's own abort path by bumping
+    /// `C := PW` with the same guarded CAS the client would have sent —
+    /// so a commit racing the sweep still wins, and a fresh prepare
+    /// (raising `PW`) resets the lease. `PR` entries need no
+    /// reclamation: a stale prepared reader only forces later writers'
+    /// timestamps upward, it never blocks them. Returns the number of
+    /// entries reclaimed this pass.
+    pub fn sweep_prepares(&self) -> u64 {
+        use prism_core::msg::execute_local;
+        let mut lease = self.lease.lock().expect("lease lock");
+        let mut reclaimed = 0;
+        for i in 0..self.view.capacity {
+            let slot = self.view.slot(i);
+            let words = self.server.arena().read(slot, 24).expect("slot in arena");
+            let pw = Ts::from_bytes(&words[0..8]);
+            let c = Ts::from_bytes(&words[16..24]);
+            if pw <= c {
+                lease.remove(&i);
+                continue;
+            }
+            match lease.get(&i) {
+                Some(&seen) if seen == pw => {
+                    let mut cmp = pw.to_bytes().to_vec();
+                    cmp.extend_from_slice(&[0u8; 8]);
+                    let req = Request::Chain(vec![ops::cas(
+                        CasMode::Lt, // C < PW, as in the abort path
+                        slot + 16,
+                        self.view.data_rkey,
+                        cmp.clone(),
+                        cmp,
+                        16,
+                        field_mask(0, 8),
+                        field_mask(0, 8),
+                    )]);
+                    execute_local(&self.server, &req);
+                    lease.remove(&i);
+                    reclaimed += 1;
+                }
+                _ => {
+                    lease.insert(i, pw);
+                }
+            }
+        }
+        reclaimed
+    }
+
+    /// Number of keys whose slot still shows `PW > C` — a dangling
+    /// prepare that blocks future writers until reclaimed.
+    pub fn stuck_keys(&self) -> u64 {
+        (0..self.view.capacity)
+            .filter(|&i| {
+                let words = self
+                    .server
+                    .arena()
+                    .read(self.view.slot(i), 24)
+                    .expect("slot in arena");
+                Ts::from_bytes(&words[0..8]) > Ts::from_bytes(&words[16..24])
+            })
+            .count() as u64
     }
 
     /// The underlying host.
@@ -231,6 +303,7 @@ impl std::fmt::Debug for TxServer {
 pub struct TxCluster {
     shards: Vec<TxServer>,
     next_client: std::sync::atomic::AtomicU16,
+    reclaims: std::sync::atomic::AtomicU64,
 }
 
 impl TxCluster {
@@ -244,7 +317,28 @@ impl TxCluster {
                 .map(|s| TxServer::new(config, s as u64, n_shards as u64))
                 .collect(),
             next_client: std::sync::atomic::AtomicU16::new(1),
+            reclaims: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Runs one cooperative-termination sweep on shard `i` (see
+    /// [`TxServer::sweep_prepares`]) and folds the count into
+    /// [`TxCluster::reclaims`].
+    pub fn sweep_shard(&self, i: usize) -> u64 {
+        let n = self.shards[i].sweep_prepares();
+        self.reclaims
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        n
+    }
+
+    /// Total dangling prepares reclaimed by sweeps across all shards.
+    pub fn reclaims(&self) -> u64 {
+        self.reclaims.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Keys with a dangling prepare (`PW > C`) across all shards.
+    pub fn stuck_keys(&self) -> u64 {
+        self.shards.iter().map(|s| s.stuck_keys()).sum()
     }
 
     /// Number of shards.
@@ -1364,6 +1458,69 @@ mod tests {
         let a = u32::from_le_bytes(vals[&0][0..4].try_into().unwrap());
         let b = u32::from_le_bytes(vals[&1][0..4].try_into().unwrap());
         assert_eq!(a + b, 200, "money was created or destroyed");
+    }
+
+    /// Drives a write transaction up to (not including) its commit
+    /// phase, leaving `PW > C` planted on the key's shard, and returns
+    /// the op plus the withheld commit step.
+    fn park_before_commit(cl: &TxCluster, c: &mut TxClient, k: u64) -> (TxOp, TxStep) {
+        let (mut op, step) = c.begin(vec![k], vec![(k, vec![0xAB; 32])]);
+        let mut queue = step.send;
+        while let Some((shard, phase, idx, req)) = queue.pop() {
+            let reply = prism_core::msg::execute_local(cl.shard(shard).server(), &req);
+            let s = op.on_reply(c, phase, idx, reply);
+            if s.send.iter().any(|(_, p, _, _)| *p == PH_COMMIT) {
+                return (op, s);
+            }
+            queue.extend(s.send);
+        }
+        panic!("transaction never reached commit");
+    }
+
+    #[test]
+    fn sweep_reclaims_dangling_prepare_exactly_once() {
+        let cl = cluster(1, 4);
+        let mut c = cl.open_client();
+        // A "crashed" client: prepared a write on key 2, never commits.
+        let (_op, _commit) = park_before_commit(&cl, &mut c, 2);
+        assert_eq!(cl.stuck_keys(), 1, "prepare must leave PW > C");
+
+        // First sweep only records the lease; second reclaims.
+        assert_eq!(cl.sweep_shard(0), 0);
+        assert_eq!(cl.stuck_keys(), 1);
+        assert_eq!(cl.sweep_shard(0), 1);
+        assert_eq!(cl.stuck_keys(), 0, "C := PW must unblock the key");
+        assert_eq!(cl.sweep_shard(0), 0, "reclaim happens exactly once");
+        assert_eq!(cl.reclaims(), 1);
+
+        // The key is writable again: a fresh client's RMW commits.
+        let mut c2 = cl.open_client();
+        let (o, _) = run_rmw(&cl, &mut c2, &[2], |_, _| vec![7u8; 32], 10);
+        assert!(
+            matches!(o, TxOutcome::Committed(_)),
+            "key still stuck: {o:?}"
+        );
+        assert_eq!(read_keys(&cl, &mut c2, &[2])[&2], vec![7u8; 32]);
+    }
+
+    #[test]
+    fn sweep_spares_live_transactions_for_one_lease_interval() {
+        let cl = cluster(1, 4);
+        let mut c = cl.open_client();
+        let (op, commit) = park_before_commit(&cl, &mut c, 1);
+        // One sweep lands while the transaction is between prepare and
+        // commit: it must only record the lease, not bump C.
+        assert_eq!(cl.sweep_shard(0), 0);
+        // The slow-but-live client now finishes; its install must win.
+        assert!(matches!(
+            drive(&cl, &mut c, op, commit),
+            TxOutcome::Committed(_)
+        ));
+        assert_eq!(read_keys(&cl, &mut c, &[1])[&1], vec![0xAB; 32]);
+        // The commit raised C to PW, so the lease entry just expires.
+        assert_eq!(cl.sweep_shard(0), 0);
+        assert_eq!(cl.stuck_keys(), 0);
+        assert_eq!(cl.reclaims(), 0);
     }
 
     #[test]

@@ -10,10 +10,14 @@
 #   3. offline test run   — unit, integration, and property suites
 #   4. fault-matrix smoke — KV/RS/TX under loss-only, crash-only, and
 #                           loss+crash fault plans: progress, no panics
-#   5. bench smoke        — substrate benches at 50 ms/bench, so a perf
+#   5. chaos gate         — fixed-seed chaos schedules (amnesia/client
+#                           crashes, partitions, loss): linearizable
+#                           histories, recovery protocols fired, replay
+#                           bit-exact
+#   6. bench smoke        — substrate benches at 50 ms/bench, so a perf
 #                           regression that breaks the bench harness (or
 #                           an arena change that deadlocks it) fails CI
-#   6. cargo fmt --check  — skipped with a notice if rustfmt is absent
+#   7. cargo fmt --check  — skipped with a notice if rustfmt is absent
 #
 # The property suites print a PRISM_TEST_SEED on failure; re-run the
 # named test with that env var to reproduce the exact failing input.
@@ -32,6 +36,9 @@ cargo test -q --offline
 
 echo "== fault-matrix smoke (loss / crash / loss+crash) =="
 cargo test -q --offline -p prism-harness --test fault_matrix
+
+echo "== chaos gate (fixed-seed linearizability under amnesia) =="
+cargo test -q --offline -p prism-harness --test chaos_gate
 
 echo "== bench smoke (substrate, 50 ms/bench) =="
 PRISM_BENCH_MS=50 cargo bench -q --offline -p prism-bench --bench substrate

@@ -1,0 +1,303 @@
+//! Chaos gate: seeded fault schedules (amnesia and recover crashes,
+//! client crashes, partitions, loss, duplication, jitter) drive the
+//! real protocol stacks while complete operation histories are
+//! recorded. The gate then demands proof, not survival: histories must
+//! be linearizable, the recovery protocols must visibly fire (quorum
+//! resyncs, cooperative-termination reclaims), nothing may stay stuck,
+//! and the same seed must reproduce bit-identical results.
+
+use std::sync::{Arc, Mutex};
+
+use prism_harness::adapters::PrismTxAdapter;
+use prism_harness::chaos::{check_history, ChaosKvAdapter, ChaosRsAdapter, HistOp};
+use prism_harness::netsim::{run_closed_loop_with, RecoveryHooks, RunResult, VerbPath};
+use prism_kv::prism_kv::{PrismKvConfig, PrismKvServer};
+use prism_rs::prism_rs::{RsCluster, RsConfig};
+use prism_simnet::fault::{ChaosSpec, FaultPlan};
+use prism_simnet::latency::CostModel;
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::SimDuration;
+use prism_tx::prism_tx::{TxCluster, TxConfig};
+use prism_workload::{KeyDist, TxnGen};
+
+const WARMUP: SimDuration = SimDuration::from_nanos(400_000);
+const MEASURE: SimDuration = SimDuration::from_nanos(2_400_000);
+const HORIZON: SimDuration = SimDuration::from_nanos(2_800_000);
+const BLOCKS: u64 = 8;
+const VALUE: usize = 64;
+
+fn fault_line(system: &str, r: &RunResult) {
+    // The full fault-counter surface, giveups alongside the rest.
+    println!(
+        "{system}-chaos: tput={:.0}ops/s failed={} drops={} dups={} timeouts={} \
+         retries={} giveups={} fenced={} crash_drops={} restarts={} client_restarts={}",
+        r.tput_ops,
+        r.failed,
+        r.drops,
+        r.dups,
+        r.timeouts,
+        r.retries,
+        r.giveups,
+        r.fenced,
+        r.crash_drops,
+        r.restarts,
+        r.client_restarts,
+    );
+}
+
+fn metrics_key(r: &RunResult) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.tput_ops as u64,
+        r.failed,
+        r.drops,
+        r.dups,
+        r.timeouts,
+        r.retries,
+        r.giveups,
+        r.fenced,
+        r.restarts,
+        r.client_restarts,
+    )
+}
+
+// ---------------------------------------------------------------------
+// PRISM-RS: amnesia crashes with quorum rejoin
+// ---------------------------------------------------------------------
+
+fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
+    let mut config = RsConfig::paper(BLOCKS, VALUE as u64);
+    config.spare_buffers += 8_192;
+    let cluster = Arc::new(RsCluster::new(3, &config));
+    let servers: Vec<_> = (0..3)
+        .map(|i| Arc::clone(cluster.replica(i).server()))
+        .collect();
+    let history = Arc::new(Mutex::new(Vec::new()));
+    let hooks = RecoveryHooks {
+        on_restart: Some({
+            let cluster = Arc::clone(&cluster);
+            Arc::new(move |i| {
+                cluster.amnesia_restart(i);
+            })
+        }),
+        sweep: None,
+    };
+    let spec = ChaosSpec {
+        servers: 3,
+        clients: 6,
+        horizon: HORIZON,
+        server_crashes: 2,
+        amnesia_fraction: 1.0,
+        client_crashes: 1,
+        partitions: 1,
+        drop_prob: 0.01,
+        dup_prob: 0.005,
+        jitter_ns: 1_000,
+    };
+    let mut plan = FaultPlan::chaos(seed, &spec);
+    plan.timeout = SimDuration::micros(60);
+    let r = run_closed_loop_with(
+        &servers,
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        spec.clients,
+        &mut |i| {
+            Box::new(ChaosRsAdapter::new(
+                cluster.open_client(),
+                i,
+                BLOCKS,
+                VALUE,
+                0.5,
+                Arc::clone(&history),
+            ))
+        },
+        WARMUP,
+        MEASURE,
+        seed,
+        &plan,
+        &hooks,
+    );
+    let h = history.lock().expect("history lock").clone();
+    (r, h, cluster.rejoins(), cluster.resyncs())
+}
+
+#[test]
+fn rs_amnesia_chaos_stays_linearizable_and_rejoins() {
+    let seed = 0xC4A0_0001;
+    let (r, history, rejoins, resyncs) = rs_chaos(seed);
+    fault_line("rs", &r);
+    assert!(r.tput_ops > 0.0, "no progress under chaos: {r:?}");
+    assert!(r.restarts > 0, "no amnesia window fired: {r:?}");
+    assert!(
+        rejoins > 0 && resyncs > 0,
+        "restarted replica must rejoin via quorum resync (rejoins={rejoins}, resyncs={resyncs})"
+    );
+    assert!(!history.is_empty(), "history must be recorded");
+    check_history(&history).expect("RS history must be linearizable");
+
+    // Same seed, fresh cluster: bit-exact replay, history included.
+    let (r2, history2, rejoins2, resyncs2) = rs_chaos(seed);
+    assert_eq!(
+        metrics_key(&r),
+        metrics_key(&r2),
+        "replay must be bit-exact"
+    );
+    assert_eq!(history, history2, "recorded histories must be bit-exact");
+    assert_eq!((rejoins, resyncs), (rejoins2, resyncs2));
+}
+
+// ---------------------------------------------------------------------
+// PRISM-KV: recover crashes, client crashes, partitions
+// ---------------------------------------------------------------------
+
+fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
+    let mut config = PrismKvConfig::paper(BLOCKS, VALUE);
+    // Lost replies leak buffers until their frees are resent; give the
+    // faulted store headroom.
+    config.classes[0].count += 8_192;
+    let server = PrismKvServer::new(&config);
+    let servers = vec![Arc::clone(server.server())];
+    let history = Arc::new(Mutex::new(Vec::new()));
+    // No amnesia here: KV clients hold raw rkeys with no rejoin
+    // protocol, so a wiped single-server store has nobody to resync
+    // from. Recover crashes keep memory across the window.
+    let spec = ChaosSpec {
+        servers: 1,
+        clients: 4,
+        horizon: HORIZON,
+        server_crashes: 1,
+        amnesia_fraction: 0.0,
+        client_crashes: 1,
+        partitions: 1,
+        drop_prob: 0.01,
+        dup_prob: 0.005,
+        jitter_ns: 1_000,
+    };
+    let mut plan = FaultPlan::chaos(seed, &spec);
+    plan.timeout = SimDuration::micros(60);
+    let r = run_closed_loop_with(
+        &servers,
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        spec.clients,
+        &mut |i| {
+            Box::new(ChaosKvAdapter::new(
+                server.open_client(),
+                i,
+                BLOCKS,
+                VALUE,
+                0.5,
+                Arc::clone(&history),
+            ))
+        },
+        WARMUP,
+        MEASURE,
+        seed,
+        &plan,
+        &RecoveryHooks::default(),
+    );
+    let h = history.lock().expect("history lock").clone();
+    (r, h)
+}
+
+#[test]
+fn kv_chaos_stays_linearizable_per_key() {
+    let seed = 0xC4A0_0002;
+    let (r, history) = kv_chaos(seed);
+    fault_line("kv", &r);
+    assert!(r.tput_ops > 0.0, "no progress under chaos: {r:?}");
+    assert!(r.crash_drops > 0, "the crash window never bit: {r:?}");
+    assert!(!history.is_empty(), "history must be recorded");
+    check_history(&history).expect("KV history must be linearizable per key");
+
+    let (r2, history2) = kv_chaos(seed);
+    assert_eq!(
+        metrics_key(&r),
+        metrics_key(&r2),
+        "replay must be bit-exact"
+    );
+    assert_eq!(history, history2, "recorded histories must be bit-exact");
+}
+
+// ---------------------------------------------------------------------
+// PRISM-TX: client crashes with cooperative-termination reclamation
+// ---------------------------------------------------------------------
+
+fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
+    let mut config = TxConfig::paper(64, VALUE as u64);
+    config.spare_buffers += 8_192;
+    let cluster = Arc::new(TxCluster::new(1, &config));
+    let servers = vec![Arc::clone(cluster.shard(0).server())];
+    let hooks = RecoveryHooks {
+        on_restart: None,
+        sweep: Some((SimDuration::micros(150), {
+            let cluster = Arc::clone(&cluster);
+            Arc::new(move |i| {
+                cluster.sweep_shard(i);
+            })
+        })),
+    };
+    let spec = ChaosSpec {
+        servers: 1,
+        clients: 6,
+        horizon: HORIZON,
+        server_crashes: 0,
+        amnesia_fraction: 0.0,
+        client_crashes: 3,
+        partitions: 1,
+        drop_prob: 0.01,
+        dup_prob: 0.0,
+        jitter_ns: 1_000,
+    };
+    let mut plan = FaultPlan::chaos(seed, &spec);
+    plan.timeout = SimDuration::micros(60);
+    let r = run_closed_loop_with(
+        &servers,
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        spec.clients,
+        &mut |i| {
+            Box::new(PrismTxAdapter::new(
+                cluster.open_client(),
+                TxnGen::new(
+                    KeyDist::uniform(64),
+                    2,
+                    VALUE,
+                    SimRng::new(seed ^ ((i as u64 + 1) * 31)),
+                ),
+            ))
+        },
+        WARMUP,
+        MEASURE,
+        seed,
+        &plan,
+        &hooks,
+    );
+    // The run freezes with closed-loop operations mid-flight; two more
+    // lease intervals of sweeping reclaim whatever they left prepared,
+    // exactly as a live deployment's periodic sweep would.
+    cluster.sweep_shard(0);
+    cluster.sweep_shard(0);
+    (r, cluster.reclaims(), cluster.stuck_keys())
+}
+
+#[test]
+fn tx_client_crash_chaos_reclaims_every_dangling_prepare() {
+    let seed = 0xC4A0_0003;
+    let (r, reclaims, stuck) = tx_chaos(seed);
+    fault_line("tx", &r);
+    assert!(r.tput_ops > 0.0, "no progress under chaos: {r:?}");
+    assert!(r.client_restarts > 0, "no client crash fired: {r:?}");
+    assert!(
+        reclaims > 0,
+        "crashed clients' dangling prepares must be reclaimed (reclaims={reclaims})"
+    );
+    assert_eq!(stuck, 0, "no key may stay stuck after the final sweeps");
+
+    let (r2, _, stuck2) = tx_chaos(seed);
+    assert_eq!(
+        metrics_key(&r),
+        metrics_key(&r2),
+        "replay must be bit-exact"
+    );
+    assert_eq!(stuck2, 0);
+}

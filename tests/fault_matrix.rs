@@ -151,6 +151,47 @@ fn rs_survives_the_fault_matrix() {
     }
 }
 
+/// Regression: a loss-heavy plan over an under-provisioned arena must
+/// end in clean pool-exhausted failures, not a hang or panic. Lost
+/// replies leak spare buffers (their frees are never sent), so a tiny
+/// spare pool drains mid-run; allocation failures must surface through
+/// the protocol as failed/given-up operations while the run completes.
+#[test]
+fn rs_pool_exhaustion_fails_clean_under_heavy_loss() {
+    let mut config = RsConfig::paper(8, VALUE as u64);
+    config.spare_buffers = 48;
+    let cluster = RsCluster::new(3, &config);
+    let servers: Vec<_> = (0..3)
+        .map(|r| Arc::clone(cluster.replica(r).server()))
+        .collect();
+    let plan = FaultPlan::seeded(SEED)
+        .with_timeout(SimDuration::micros(60))
+        .with_loss(0.30, 0.0);
+    let r = run_closed_loop(
+        &servers,
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        8,
+        &mut |_| {
+            Box::new(PrismRsAdapter::new(
+                cluster.open_client(),
+                KeyDist::uniform(8),
+                VALUE,
+                0.5,
+            ))
+        },
+        WARMUP,
+        MEASURE,
+        SEED,
+        &plan,
+    );
+    assert!(r.drops > 0, "loss never bit: {r:?}");
+    assert!(
+        r.failed > 0 && r.giveups > 0,
+        "exhaustion must surface as clean failures/giveups: {r:?}"
+    );
+}
+
 #[test]
 fn tx_survives_the_fault_matrix() {
     for mix in MATRIX {
