@@ -15,11 +15,59 @@ use prism_rdma::{BufferQueue, RdmaError};
 
 use crate::op::FreeListId;
 
+/// A rejected [`FreeLists::free`]: the address is not a legal member of
+/// the free list, or is already free. In debug builds the same
+/// conditions `debug_assert` first — a double free is a protocol bug
+/// during development, but in release it degrades to a typed error the
+/// server can NACK instead of corrupting the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeError {
+    /// The free-list id was never registered.
+    Unregistered(u32),
+    /// The address is outside the list's registered pool extent, or not
+    /// aligned to its buffer stride.
+    OutOfRange(u64),
+    /// The address is already on the free list.
+    AlreadyFree(u64),
+}
+
+impl std::fmt::Display for FreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreeError::Unregistered(id) => write!(f, "free on unregistered list {id}"),
+            FreeError::OutOfRange(addr) => write!(f, "free of out-of-range buffer {addr:#x}"),
+            FreeError::AlreadyFree(addr) => write!(f, "double free of buffer {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for FreeError {}
+
+/// The pool extent backing one free list: `count` buffers of `stride`
+/// bytes starting at `base`. Registered once at server setup so
+/// [`FreeLists::free`] can reject addresses that were never part of
+/// the pool.
+#[derive(Debug, Clone, Copy)]
+struct PoolExtent {
+    base: u64,
+    stride: u64,
+    count: u64,
+}
+
+impl PoolExtent {
+    fn admits(&self, addr: u64) -> bool {
+        addr >= self.base
+            && addr < self.base + self.stride * self.count
+            && (addr - self.base) % self.stride == 0
+    }
+}
+
 /// All free lists of one server, plus the posting gate.
 #[derive(Debug, Default)]
 pub struct FreeLists {
     gate: RwLock<()>,
     queues: RwLock<HashMap<FreeListId, Arc<BufferQueue>>>,
+    extents: RwLock<HashMap<FreeListId, Vec<PoolExtent>>>,
 }
 
 impl FreeLists {
@@ -88,6 +136,61 @@ impl FreeLists {
         let queues = self.queues.read();
         let q = queues.get(&id).ok_or(RdmaError::UnknownFreeList(id.0))?;
         q.post_many(addrs);
+        Ok(())
+    }
+
+    /// Records a pool extent backing `id` so [`FreeLists::free`] can
+    /// validate addresses: `count` buffers of `stride` bytes from
+    /// `base`. Servers call this when they carve the pool, and again
+    /// for each refill carve — a list may be backed by several
+    /// disjoint extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not registered or `stride`/`count` is zero.
+    pub fn register_extent(&self, id: FreeListId, base: u64, stride: u64, count: u64) {
+        assert!(stride > 0 && count > 0, "empty pool extent for {id:?}");
+        assert!(
+            self.queues.read().contains_key(&id),
+            "extent for unregistered free list {id:?}"
+        );
+        self.extents
+            .write()
+            .entry(id)
+            .or_default()
+            .push(PoolExtent {
+                base,
+                stride,
+                count,
+            });
+    }
+
+    /// Checked client-driven free: returns `addr` to `id` after
+    /// validating that it is a real member of the pool and not already
+    /// free. Unlike the idempotent [`FreeLists::post`] (which GC
+    /// sweeps and recovery use deliberately, where re-posting a free
+    /// buffer is benign), this is the path for *ownership transfer* —
+    /// a client saying "I held this buffer and give it back" — where a
+    /// repeat or an out-of-range address is a bug: `debug_assert`s in
+    /// debug builds, typed [`FreeError`] in release.
+    ///
+    /// Takes the exclusive side of the posting gate, like
+    /// [`FreeLists::post`].
+    pub fn free(&self, id: FreeListId, addr: u64) -> Result<(), FreeError> {
+        let _excl = self.gate.write();
+        let queues = self.queues.read();
+        let q = queues.get(&id).ok_or(FreeError::Unregistered(id.0))?;
+        if let Some(extents) = self.extents.read().get(&id) {
+            if !extents.iter().any(|e| e.admits(addr)) {
+                debug_assert!(false, "free of out-of-range buffer {addr:#x} on {id:?}");
+                return Err(FreeError::OutOfRange(addr));
+            }
+        }
+        if q.contains(addr) {
+            debug_assert!(false, "double free of buffer {addr:#x} on {id:?}");
+            return Err(FreeError::AlreadyFree(addr));
+        }
+        q.post(addr);
         Ok(())
     }
 
@@ -214,6 +317,74 @@ mod tests {
     #[should_panic(expected = "reset of unregistered")]
     fn reset_requires_registration() {
         FreeLists::new().reset(FreeListId(9), [0x1000]);
+    }
+
+    fn guarded() -> FreeLists {
+        let fl = FreeLists::new();
+        let id = FreeListId(1);
+        fl.register(id, 64);
+        fl.register_extent(id, 0x1000, 64, 4); // 0x1000..0x1100, stride 64
+        fl.free(id, 0x1040).unwrap();
+        fl
+    }
+
+    #[test]
+    fn checked_free_accepts_pool_members() {
+        let fl = guarded();
+        let id = FreeListId(1);
+        assert_eq!(fl.available(id), 1);
+        fl.free(id, 0x1000).unwrap();
+        assert_eq!(fl.available(id), 2);
+        let _g = fl.gate_read();
+        assert_eq!(fl.pop(id).unwrap(), (0x1040, 64));
+    }
+
+    #[test]
+    fn checked_free_requires_registration() {
+        let fl = FreeLists::new();
+        assert_eq!(
+            fl.free(FreeListId(9), 0x1000).unwrap_err(),
+            FreeError::Unregistered(9)
+        );
+    }
+
+    // The guard trips a debug_assert in debug builds and degrades to a
+    // typed error in release: the same conditions, two enforcement
+    // levels, so both cfgs carry a regression test.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_in_debug() {
+        let fl = guarded();
+        let _ = fl.free(FreeListId(1), 0x1040);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_free_panics_in_debug() {
+        let fl = guarded();
+        let _ = fl.free(FreeListId(1), 0x1020); // misaligned: not a buffer start
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn double_free_is_a_typed_error_in_release() {
+        let fl = guarded();
+        assert_eq!(
+            fl.free(FreeListId(1), 0x1040).unwrap_err(),
+            FreeError::AlreadyFree(0x1040)
+        );
+        assert_eq!(
+            fl.free(FreeListId(1), 0x1020).unwrap_err(),
+            FreeError::OutOfRange(0x1020)
+        );
+        assert_eq!(
+            fl.free(FreeListId(1), 0x9000).unwrap_err(),
+            FreeError::OutOfRange(0x9000)
+        );
+        // The failed frees must not have perturbed the queue.
+        assert_eq!(fl.available(FreeListId(1)), 1);
     }
 
     #[test]

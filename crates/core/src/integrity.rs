@@ -1,0 +1,87 @@
+//! Value-layer integrity accounting.
+//!
+//! The fault fabric counts the corruptions it *injects*; the protocol
+//! layers (PRISM-KV entry CRCs, Pilaf self-verifying structures,
+//! PRISM-RS tagged-block checksums, TX staged-buffer checksums) count
+//! what they *observe*: mismatches detected, operations that recovered
+//! after a mismatch, and operations that aborted cleanly because the
+//! damage persisted. The harness folds both sides into `RunResult` so
+//! the corruption-matrix gate can assert conservation — every injected
+//! corruption is detected+repaired, detected+aborted, or provably
+//! overwritten, never a silent wrong answer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared corruption counters, `Arc`-ed into protocol clients and
+/// cluster-side scrubbers. All counters are monotonic within a run;
+/// the harness resets them at the warmup/measure boundary.
+#[derive(Debug, Default)]
+pub struct IntegrityStats {
+    detected: AtomicU64,
+    repaired: AtomicU64,
+    aborted: AtomicU64,
+}
+
+impl IntegrityStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A checksum mismatch was observed (value layer).
+    pub fn note_detected(&self) {
+        self.detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An operation completed cleanly after observing a mismatch
+    /// (re-read succeeded, quorum healed the copy, or the damaged
+    /// state was overwritten out from under the reader).
+    pub fn note_repaired(&self) {
+        self.repaired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An operation gave up cleanly because the mismatch persisted —
+    /// a typed failure, never a silently wrong answer.
+    pub fn note_aborted(&self) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mismatches detected so far.
+    pub fn detected(&self) -> u64 {
+        self.detected.load(Ordering::Relaxed)
+    }
+
+    /// Clean recoveries so far.
+    pub fn repaired(&self) -> u64 {
+        self.repaired.load(Ordering::Relaxed)
+    }
+
+    /// Clean corruption-driven aborts so far.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Zero all counters (harness warmup/measure boundary).
+    pub fn reset(&self) {
+        self.detected.store(0, Ordering::Relaxed);
+        self.repaired.store(0, Ordering::Relaxed);
+        self.aborted.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IntegrityStats::new();
+        s.note_detected();
+        s.note_detected();
+        s.note_repaired();
+        s.note_aborted();
+        assert_eq!((s.detected(), s.repaired(), s.aborted()), (2, 1, 1));
+        s.reset();
+        assert_eq!((s.detected(), s.repaired(), s.aborted()), (0, 0, 0));
+    }
+}

@@ -65,8 +65,10 @@
 pub mod buf;
 pub mod builder;
 pub mod conn;
+pub mod crc;
 pub mod engine;
 pub mod freelist;
+pub mod integrity;
 pub mod layout;
 pub mod live;
 pub mod msg;

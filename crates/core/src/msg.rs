@@ -230,7 +230,39 @@ const REPLY_ERR: u8 = 0;
 const REPLY_OK: u8 = 1;
 
 use crate::buf::{Buf, BufMut};
+use crate::crc;
 use crate::wire::WireError;
+
+/// Bytes of the CRC frame trailer every encoded message carries:
+/// a header checksum (first [`FRAME_HDR`] body bytes, cheap to verify
+/// before parsing) and a whole-body checksum. The trailer is part of
+/// the *encoded* form only; [`Request::wire_len`]/[`Reply::wire_len`]
+/// model the payload the cost accounting has always charged for, so
+/// adding the trailer does not perturb simulated timings.
+pub const FRAME_TRAILER: usize = 8;
+
+/// Body prefix covered by the header checksum.
+const FRAME_HDR: usize = 8;
+
+fn seal_frame(buf: &mut Vec<u8>) {
+    let hdr = crc::crc32(&buf[..buf.len().min(FRAME_HDR)]);
+    let body = crc::crc32(buf);
+    buf.put_u32_le(hdr);
+    buf.put_u32_le(body);
+}
+
+fn open_frame(buf: &[u8]) -> Result<&[u8], WireError> {
+    if buf.len() < FRAME_TRAILER {
+        return Err(WireError("truncated frame trailer"));
+    }
+    let (body, trailer) = buf.split_at(buf.len() - FRAME_TRAILER);
+    let hdr = u32::from_le_bytes(trailer[0..4].try_into().expect("4-byte slice"));
+    let whole = u32::from_le_bytes(trailer[4..8].try_into().expect("4-byte slice"));
+    if hdr != crc::crc32(&body[..body.len().min(FRAME_HDR)]) || whole != crc::crc32(body) {
+        return Err(WireError::CORRUPT);
+    }
+    Ok(body)
+}
 
 fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) -> Result<(), WireError> {
     buf.put_u32_le(wire::u32_len(data.len())?);
@@ -252,12 +284,14 @@ fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, WireError> {
 }
 
 impl Request {
-    /// Encodes the request into its wire form. Fails on counts or
-    /// payloads that would overflow their length prefixes, and on
-    /// nested batches (a doorbell is one flat submission list).
+    /// Encodes the request into its wire form, CRC-framed (header and
+    /// whole-body checksums appended; see [`FRAME_TRAILER`]). Fails on
+    /// counts or payloads that would overflow their length prefixes,
+    /// and on nested batches (a doorbell is one flat submission list).
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = Vec::new();
         self.encode_into(&mut buf, false)?;
+        seal_frame(&mut buf);
         Ok(buf)
     }
 
@@ -314,8 +348,12 @@ impl Request {
         Ok(())
     }
 
-    /// Decodes a request from its wire form, rejecting trailing bytes.
-    pub fn decode(mut buf: &[u8]) -> Result<Request, WireError> {
+    /// Decodes a request from its wire form. The frame checksums are
+    /// verified first — a damaged frame yields [`WireError::CORRUPT`],
+    /// never a panic or a silently truncated parse — then the body is
+    /// parsed, rejecting trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
+        let mut buf = open_frame(buf)?;
         let req = Request::decode_from(&mut buf, false)?;
         if buf.remaining() > 0 {
             return Err(WireError("trailing bytes after request"));
@@ -389,10 +427,12 @@ impl Request {
 }
 
 impl Reply {
-    /// Encodes the reply into its wire form (see [`Request::encode`]).
+    /// Encodes the reply into its CRC-framed wire form (see
+    /// [`Request::encode`]).
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = Vec::new();
         self.encode_into(&mut buf, false)?;
+        seal_frame(&mut buf);
         Ok(buf)
     }
 
@@ -433,8 +473,11 @@ impl Reply {
         Ok(())
     }
 
-    /// Decodes a reply from its wire form, rejecting trailing bytes.
-    pub fn decode(mut buf: &[u8]) -> Result<Reply, WireError> {
+    /// Decodes a reply from its wire form, verifying the frame
+    /// checksums first (see [`Request::decode`]) and rejecting
+    /// trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<Reply, WireError> {
+        let mut buf = open_frame(buf)?;
         let reply = Reply::decode_from(&mut buf, false)?;
         if buf.remaining() > 0 {
             return Err(WireError("trailing bytes after reply"));
@@ -673,6 +716,38 @@ mod tests {
         let mut bytes = Reply::Rpc(vec![5]).encode().unwrap();
         bytes.push(0);
         assert!(Reply::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn flipped_frames_decode_to_typed_corrupt_errors() {
+        let req = Request::Chain(vec![ops::read(0x10, 64, 1)]);
+        let bytes = req.encode().unwrap();
+        // Every single-bit flip — body or trailer — must surface as the
+        // typed corrupt error, never a panic or a silently wrong parse.
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut m = bytes.clone();
+                m[byte] ^= 1 << bit;
+                let err = Request::decode(&m).expect_err("flip must not decode");
+                assert!(err.is_corrupt(), "flip at {byte}:{bit} gave {err:?}");
+            }
+        }
+        let reply = Reply::Verb(Ok(vec![0xAA; 32]));
+        let bytes = reply.encode().unwrap();
+        for byte in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[byte] ^= 0x40;
+            assert!(Reply::decode(&m)
+                .expect_err("flip must not decode")
+                .is_corrupt());
+        }
+    }
+
+    #[test]
+    fn frames_shorter_than_the_trailer_are_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[1, 2, 3]).is_err());
+        assert!(Reply::decode(&[0; 7]).is_err());
     }
 
     #[test]

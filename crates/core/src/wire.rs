@@ -39,6 +39,21 @@ pub fn u16_count(n: usize) -> Result<u16, WireError> {
     u16::try_from(n).map_err(|_| WireError("count exceeds u16 prefix"))
 }
 
+impl WireError {
+    /// The frame-level checksum failure: the message framing CRCs
+    /// (header and whole-body, appended by `msg::{Request,Reply}::encode`)
+    /// did not match the received bytes. Distinguished from the
+    /// truncation/malformed-structure errors so callers can route
+    /// corruption to the retry path instead of treating it as a
+    /// protocol bug.
+    pub const CORRUPT: WireError = WireError("corrupt frame: checksum mismatch");
+
+    /// Whether this error is the frame-corruption error.
+    pub fn is_corrupt(&self) -> bool {
+        self.0 == Self::CORRUPT.0
+    }
+}
+
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "wire decode error: {}", self.0)

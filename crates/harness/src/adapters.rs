@@ -204,20 +204,31 @@ impl ProtoAdapter for PrismKvAdapter {
     }
 
     fn resume(&mut self) -> Vec<Outbound> {
-        // Transport retry: reissue the same logical op with a fresh
-        // machine. PUTs reissued after a lost reply may have executed
-        // (at-least-once); the store's versioned allocate-and-swap makes
-        // the duplicate a harmless overwrite with the same value.
-        let op = self.op.expect("op pending retry");
-        self.issue(op)
+        // Transport retry: re-arm the *same* machine rather than
+        // starting a fresh one. A PUT whose install chain went
+        // unanswered may already have published; blindly re-running it
+        // could resurrect its value over a newer racing write, so the
+        // machine's reissue path re-reads the slot and decides.
+        let req = match self.current.as_mut() {
+            Some(KvMachine::Get(m)) => m.reissue(&self.client),
+            Some(KvMachine::Put(m)) => m.reissue(&self.client),
+            None => return self.issue(self.op.expect("op pending retry")),
+        };
+        vec![Outbound {
+            server: 0,
+            tag: 0,
+            req,
+            background: false,
+        }]
     }
 
     fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
         if matches!(reply, Reply::Verb(Err(_))) {
             // Synthesized timeout from the fault layer (PRISM-KV chains
-            // never produce verb errors on their own).
-            self.current = None;
+            // never produce verb errors on their own). The machine is
+            // kept: resume() re-arms it in place.
             if self.retries >= TRANSPORT_RETRY_BUDGET {
+                self.current = None;
                 self.op = None;
                 return AdapterStep::GiveUp { sends: Vec::new() };
             }
@@ -457,11 +468,26 @@ impl ProtoAdapter for PrismRsAdapter {
     }
 
     fn resume(&mut self) -> Vec<Outbound> {
-        // Operation-level retry after a quorum failure: same block and
-        // (for PUTs) same value, fresh sequence number. ABD-style
-        // registers make the reissued write idempotent — it lands with a
-        // newer timestamp carrying the identical payload.
-        self.issue()
+        // Operation-level retry: same block and (for PUTs) same value,
+        // fresh sequence number, but the *same* machine — a PUT whose
+        // write phase already chose its tag must retry under that tag
+        // (see RsOp::reissue), or the retry could resurrect its value
+        // over a later write readers already observed. Stragglers of
+        // the abandoned attempt are parked under the old seq so their
+        // reclamation still lands.
+        let Some(mut op) = self.current.take() else {
+            return self.issue();
+        };
+        if self.outstanding > 0 {
+            self.lingering
+                .insert(self.seq, (op.clone(), self.outstanding));
+        }
+        self.seq += 1;
+        self.outstanding = 0;
+        let step = op.reissue(&self.client);
+        self.current = Some(op);
+        let (sends, _) = self.absorb(step);
+        sends
     }
 
     fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
@@ -505,17 +531,20 @@ impl ProtoAdapter for PrismRsAdapter {
         let (sends, done) = self.absorb(step);
         match done {
             Some(failed) => {
-                if self.outstanding > 0 {
-                    self.lingering.insert(self.seq, (op, self.outstanding));
-                } else {
-                    drop(op);
-                }
                 if failed && self.retries < TRANSPORT_RETRY_BUDGET {
+                    // Keep the machine for the reissue; until then it
+                    // continues absorbing this attempt's stragglers.
+                    self.current = Some(op);
                     self.retries += 1;
                     return AdapterStep::Retry {
                         sends,
                         wait: transport_backoff(self.retries),
                     };
+                }
+                if self.outstanding > 0 {
+                    self.lingering.insert(self.seq, (op, self.outstanding));
+                } else {
+                    drop(op);
                 }
                 if failed {
                     return AdapterStep::GiveUp { sends };

@@ -243,10 +243,25 @@ impl ProtoAdapter for ChaosRsAdapter {
     }
 
     fn resume(&mut self) -> Vec<Outbound> {
-        // Operation-level retry after a quorum failure: same block,
-        // same value (and nonce), fresh sequence number. The record's
-        // span keeps extending until an attempt completes.
-        self.issue()
+        // Operation-level retry: same block, same value (and nonce),
+        // fresh sequence number, but the *same* machine — a PUT whose
+        // write phase already chose its tag must retry under that tag
+        // (see RsOp::reissue), or the retry could resurrect its value
+        // over a later write readers already observed. Stragglers of
+        // the abandoned attempt are parked under the old seq so their
+        // reclamation still lands.
+        let Some(mut op) = self.current.take() else {
+            return self.issue();
+        };
+        if self.outstanding > 0 {
+            self.lingering
+                .insert(self.seq, (op.clone(), self.outstanding));
+        }
+        self.seq += 1;
+        self.outstanding = 0;
+        let step = op.reissue(&self.client);
+        self.current = Some(op);
+        self.absorb(step).0
     }
 
     fn note_time(&mut self, now: SimTime) {
@@ -288,18 +303,21 @@ impl ProtoAdapter for ChaosRsAdapter {
         let (sends, done) = self.absorb(step);
         match done {
             Some(outcome) => {
+                if matches!(outcome, RsOutcome::Failed(_)) && self.retries < RETRY_BUDGET {
+                    // Keep the machine for the reissue; until then it
+                    // continues absorbing this attempt's stragglers.
+                    self.current = Some(op);
+                    self.retries += 1;
+                    return AdapterStep::Retry {
+                        sends,
+                        wait: backoff(self.retries),
+                    };
+                }
                 if self.outstanding > 0 {
                     self.lingering.insert(self.seq, (op, self.outstanding));
                 }
                 match outcome {
                     RsOutcome::Failed(_) => {
-                        if self.retries < RETRY_BUDGET {
-                            self.retries += 1;
-                            return AdapterStep::Retry {
-                                sends,
-                                wait: backoff(self.retries),
-                            };
-                        }
                         // Abandoned: the record stays open (uncertain).
                         self.rec = None;
                         AdapterStep::GiveUp { sends }
@@ -450,11 +468,23 @@ impl ProtoAdapter for ChaosKvAdapter {
     }
 
     fn resume(&mut self) -> Vec<Outbound> {
-        // Transport retry: reissue the same logical op (same nonce)
-        // with a fresh machine. A reissued PUT whose earlier attempt
-        // did land overwrites with the identical value; the record's
-        // span covers both executions.
-        self.issue()
+        // Transport retry: re-arm the *same* machine (same nonce, same
+        // entry version). A PUT whose install chain went unanswered may
+        // already have published; re-running it blindly would resurrect
+        // its nonce over a newer racing write — exactly the violation
+        // the checker below exists to catch — so the machine's reissue
+        // path re-reads the slot and decides.
+        let req = match self.current.as_mut() {
+            Some(KvMachine::Get(m)) => m.reissue(&self.client),
+            Some(KvMachine::Put(m)) => m.reissue(&self.client),
+            None => return self.issue(),
+        };
+        vec![Outbound {
+            server: 0,
+            tag: 0,
+            req,
+            background: false,
+        }]
     }
 
     fn note_time(&mut self, now: SimTime) {
@@ -463,9 +493,10 @@ impl ProtoAdapter for ChaosKvAdapter {
 
     fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
         if matches!(reply, Reply::Verb(Err(_))) {
-            // Synthesized timeout from the fault layer.
-            self.current = None;
+            // Synthesized timeout from the fault layer. The machine is
+            // kept: resume() re-arms it in place.
             if self.retries >= RETRY_BUDGET {
+                self.current = None;
                 self.op = None;
                 self.rec = None; // abandoned → uncertain
                 return AdapterStep::GiveUp { sends: Vec::new() };
@@ -680,6 +711,34 @@ mod tests {
             op(0, 0, Some(10), 1, HistKind::Put { nonce: 7 }),
             op(0, 20, Some(30), 1, HistKind::Put { nonce: 9 }),
             op(1, 40, Some(50), 1, HistKind::Get { nonce: 7 }),
+        ];
+        assert!(check_history(&h).is_err());
+    }
+
+    #[test]
+    fn stale_read_after_acked_write_is_rejected() {
+        // The write is acknowledged (certain) strictly before the read
+        // begins, yet the read observes the initial value: a lost
+        // update no serial order can explain.
+        let h = vec![
+            op(0, 0, Some(10), 1, HistKind::Put { nonce: 7 }),
+            op(1, 20, Some(30), 1, HistKind::Get { nonce: 0 }),
+        ];
+        assert!(check_history(&h).is_err());
+    }
+
+    #[test]
+    fn split_brain_register_is_rejected() {
+        // Two concurrent writes both complete; two later,
+        // non-overlapping reads then observe *different* winners — each
+        // side of a split brain believes its own write took effect. The
+        // writes may linearize in either order, but the register cannot
+        // hold 7 and then 9 (or 9 and then 7) with no write in between.
+        let h = vec![
+            op(0, 0, Some(10), 1, HistKind::Put { nonce: 7 }),
+            op(1, 0, Some(10), 1, HistKind::Put { nonce: 9 }),
+            op(0, 20, Some(30), 1, HistKind::Get { nonce: 7 }),
+            op(1, 40, Some(50), 1, HistKind::Get { nonce: 9 }),
         ];
         assert!(check_history(&h).is_err());
     }

@@ -20,7 +20,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use prism_core::integrity::IntegrityStats;
 use prism_core::msg::{self, Reply, Request};
+use prism_core::op::{DataArg, PrismOp};
 use prism_core::PrismServer;
 use prism_rdma::RdmaError;
 use prism_simnet::engine::{Actor, ActorId, Context, Simulation};
@@ -126,6 +128,12 @@ pub enum SimMsg {
         req: Request,
         /// Whether a reply is expected.
         respond: bool,
+        /// The fault fabric flipped a bit of this request's frame in
+        /// flight. The flip was applied to the encoded bytes and the
+        /// decode verified to fail, so the receiving server NACKs (or
+        /// discards fire-and-forget traffic) without executing — a
+        /// damaged frame never reaches the execution engine.
+        corrupt: bool,
     },
     /// A reply arriving at a client.
     Reply {
@@ -175,6 +183,11 @@ pub enum SimMsg {
     /// interval: runs the cooperative-termination sweep that reclaims
     /// transaction state left dangling by crashed clients.
     Sweep,
+    /// Server self-message carrying an index into the plan's
+    /// [`prism_simnet::fault::RotEvent`] list: at-rest bit rot landing
+    /// inside one of this server's crash windows (the plan validator
+    /// enforces the coverage).
+    Rot(usize),
 }
 
 /// Recovery-protocol hooks a run installs on its servers.
@@ -193,6 +206,11 @@ pub struct RecoveryHooks {
     /// The callback runs with the server's index every interval of
     /// virtual time, on every server.
     pub sweep: Option<(SimDuration, Arc<dyn Fn(usize) + Send + Sync>)>,
+    /// Value-layer integrity counters shared with the run's protocol
+    /// clients (via their `with_integrity` constructors). Reset at the
+    /// warmup/measure boundary and folded into the corruption fields of
+    /// [`RunResult`] alongside the fabric's frame-level counters.
+    pub integrity: Option<Arc<IntegrityStats>>,
 }
 
 impl std::fmt::Debug for RecoveryHooks {
@@ -200,6 +218,7 @@ impl std::fmt::Debug for RecoveryHooks {
         f.debug_struct("RecoveryHooks")
             .field("on_restart", &self.on_restart.is_some())
             .field("sweep_interval", &self.sweep.as_ref().map(|(i, _)| *i))
+            .field("integrity", &self.integrity.is_some())
             .finish()
     }
 }
@@ -231,6 +250,10 @@ pub struct ServerActor {
     /// plan's seed, never from the kernel RNG, so a no-fault plan
     /// leaves every existing schedule bit-identical.
     fault_rng: SimRng,
+    /// Corruption randomness (reply-leg flips, torn-write line counts)
+    /// gets its own stream on top: arming the corruption modes must not
+    /// perturb where an existing plan's drops and jitter land.
+    corrupt_rng: SimRng,
     hooks: RecoveryHooks,
 }
 
@@ -249,6 +272,7 @@ impl ServerActor {
         let gbps = model.link_gbps;
         let cores = ServiceCenter::new(model.server_cores);
         let fault_rng = SimRng::new(faults.seed ^ 0x5E7E_C7ED ^ ((index as u64 + 1) << 24));
+        let corrupt_rng = SimRng::new(faults.seed ^ 0xB17F_0B17 ^ ((index as u64 + 1) << 24));
         ServerActor {
             server,
             model,
@@ -259,6 +283,7 @@ impl ServerActor {
             index,
             faults,
             fault_rng,
+            corrupt_rng,
             hooks,
         }
     }
@@ -355,20 +380,44 @@ impl Actor<SimMsg> for ServerActor {
         for at in self.faults.amnesia_restarts(self.index) {
             ctx.send_at(me, at, SimMsg::Restart);
         }
+        for (i, ev) in self.faults.rot.iter().enumerate() {
+            if ev.server == self.index {
+                ctx.send_at(me, ev.at, SimMsg::Rot(i));
+            }
+        }
         if let Some((interval, _)) = &self.hooks.sweep {
             ctx.send_in(me, *interval, SimMsg::Sweep);
         }
     }
 
     fn on_message(&mut self, msg: SimMsg, ctx: &mut Context<'_, SimMsg>) {
-        let (from, tag, attempt, req, respond) = match msg {
+        let (from, tag, attempt, req, respond, corrupt) = match msg {
             SimMsg::Req {
                 from,
                 tag,
                 attempt,
                 req,
                 respond,
-            } => (from, tag, attempt, req, respond),
+                corrupt,
+            } => (from, tag, attempt, req, respond, corrupt),
+            SimMsg::Rot(i) => {
+                // At-rest bit rot: seeded positions inside the event's
+                // byte range flip while the host is down. The positions
+                // come from a per-event stream, so request traffic never
+                // perturbs where the rot lands.
+                let (addr, len, bits) = {
+                    let ev = &self.faults.rot[i];
+                    (ev.addr, ev.len, ev.bits)
+                };
+                let mut rng = SimRng::new(self.faults.seed ^ 0xB17F_707E ^ ((i as u64 + 1) << 8));
+                for _ in 0..bits {
+                    let off = rng.gen_range(len);
+                    let bit = rng.gen_range(8) as u8;
+                    let _ = self.server.arena().flip_bit(addr + off, bit);
+                }
+                ctx.metrics().add("fault_corrupt_injected", 1);
+                return;
+            }
             SimMsg::Restart => {
                 // The amnesia window closed: the host reboots empty
                 // under a bumped incarnation. The rejoin hook (if any)
@@ -403,7 +452,51 @@ impl Actor<SimMsg> for ServerActor {
         // replies (its memory survives the window — fail-recover). The
         // client's timeout turns the silence into an error reply.
         if self.faults.crashed(self.index, now) {
+            if self.faults.torn_write_prob > 0.0
+                && self.corrupt_rng.gen_bool(self.faults.torn_write_prob)
+            {
+                if let Some(torn) = tear_request(&req, &mut self.corrupt_rng) {
+                    // The host died mid-DMA: a prefix of the payload's
+                    // 64-byte line groups landed, the rest of the write
+                    // — and every later op of the chain — did not. No
+                    // reply; the client's timeout turns the silence
+                    // into a retry against different state.
+                    ctx.metrics().add("fault_corrupt_injected", 1);
+                    ctx.metrics().add("fault_torn_writes", 1);
+                    msg::execute_local(&self.server, &torn);
+                    return;
+                }
+            }
             ctx.metrics().add("fault_crash_drops", 1);
+            return;
+        }
+        if corrupt {
+            // The frame failed its CRC check at the receiving NIC:
+            // NACK (or silently discard fire-and-forget traffic)
+            // without executing — damaged requests never reach the
+            // execution engine, so they cannot corrupt server state.
+            if respond {
+                let rx_done = self
+                    .rx
+                    .transmit(now, req.wire_len() + self.model.header_bytes);
+                let inc = self.server.regions().current_incarnation();
+                let reply = Reply::Verb(Err(RdmaError::Corrupt));
+                let tx_done = self.tx.transmit(
+                    rx_done + self.model.host_dma,
+                    reply.wire_len() + self.model.header_bytes,
+                );
+                ctx.send_at(
+                    from,
+                    tx_done + post_delay(&self.model),
+                    SimMsg::Reply {
+                        tag,
+                        attempt,
+                        server: self.index,
+                        inc,
+                        reply,
+                    },
+                );
+            }
             return;
         }
         // Inbound serialization through this host's rx direction
@@ -421,7 +514,7 @@ impl Actor<SimMsg> for ServerActor {
         // The real execution against real memory happens "at" the
         // processing instant; the DES serializes actor callbacks so this
         // is the operation's linearization point.
-        let reply = msg::execute_local(&self.server, &req);
+        let mut reply = msg::execute_local(&self.server, &req);
         if respond {
             // Replies are stamped with the incarnation in force when
             // they leave: a reply executed before an amnesia restart
@@ -460,9 +553,34 @@ impl Actor<SimMsg> for ServerActor {
                             attempt,
                             server: self.index,
                             inc,
+                            // The duplicate carries the clean copy: the
+                            // flip below damages one frame, not the
+                            // operation's every delivery.
                             reply: reply.clone(),
                         },
                     );
+                }
+                if self.faults.flip_reply_prob > 0.0
+                    && self.corrupt_rng.gen_bool(self.faults.flip_reply_prob)
+                {
+                    // In-flight reply corruption, applied to the real
+                    // encoded frame: flip one seeded bit and verify the
+                    // frame CRCs catch it (they provably do for any
+                    // single-bit flip — detection is counted at the
+                    // injection site for exactly that reason). What the
+                    // client receives is the typed Corrupt NACK its
+                    // decode failure would synthesize.
+                    ctx.metrics().add("fault_corrupt_injected", 1);
+                    ctx.metrics().add("fault_corrupt_detected", 1);
+                    if let Ok(mut bytes) = reply.encode() {
+                        let pos = self.corrupt_rng.gen_range(bytes.len() as u64 * 8);
+                        bytes[(pos / 8) as usize] ^= 1 << (pos % 8);
+                        debug_assert!(
+                            Reply::decode(&bytes).is_err(),
+                            "a single-bit flip must not survive the frame CRCs"
+                        );
+                    }
+                    reply = Reply::Verb(Err(RdmaError::Corrupt));
                 }
             }
             ctx.send_at(
@@ -492,6 +610,49 @@ pub fn post_delay(m: &CostModel) -> SimDuration {
     m.nic_proc * 2 + m.wire_oneway + m.deployment.extra_rtt() / 2
 }
 
+/// Models a host dying mid-DMA: truncates the first multi-line inline
+/// WRITE/ALLOCATE payload of `req` to a seeded prefix of its 64-byte
+/// line groups (at least one, never all) and drops every later op of
+/// the chain. Returns `None` when the request carries no payload a torn
+/// write could bite — plain reads, RPCs, single-line writes — which
+/// crash-drop whole instead.
+fn tear_request(req: &Request, rng: &mut SimRng) -> Option<Request> {
+    let Request::Chain(chain) = req else {
+        return None;
+    };
+    for (i, op) in chain.iter().enumerate() {
+        let payload_len = match op {
+            PrismOp::Write {
+                data: DataArg::Inline(d),
+                ..
+            } => d.len(),
+            PrismOp::Allocate { data, .. } => data.len(),
+            _ => 0,
+        };
+        if payload_len <= 64 {
+            continue;
+        }
+        let lines = payload_len.div_ceil(64);
+        let keep = 1 + rng.gen_range(lines as u64 - 1) as usize;
+        let keep_bytes = (keep * 64).min(payload_len);
+        let mut torn = chain[..=i].to_vec();
+        match &mut torn[i] {
+            PrismOp::Write {
+                data: DataArg::Inline(d),
+                len,
+                ..
+            } => {
+                d.truncate(keep_bytes);
+                *len = keep_bytes as u32;
+            }
+            PrismOp::Allocate { data, .. } => data.truncate(keep_bytes),
+            _ => unreachable!("only payload-bearing ops are torn"),
+        }
+        return Some(Request::Chain(torn));
+    }
+    None
+}
+
 /// A closed-loop client actor: runs one operation at a time through its
 /// adapter, recording per-op latency and op counts.
 pub struct ClientActor {
@@ -506,6 +667,14 @@ pub struct ClientActor {
     faults: FaultPlan,
     /// Dedicated fault stream (see [`ServerActor::new`]).
     fault_rng: SimRng,
+    /// Dedicated corruption stream (request-leg flips), so arming the
+    /// corruption modes never moves an existing plan's drops or jitter.
+    corrupt_rng: SimRng,
+    /// The operation in flight observed a corrupt frame (a Corrupt NACK
+    /// reached the adapter). Cleared at op boundaries; how the op ends
+    /// decides whether the incident counts as repaired (the retry
+    /// succeeded) or aborted (the op failed or gave up cleanly).
+    corrupt_op: bool,
     /// Tags awaiting a reply, stamped with their send attempt. Under a
     /// fault plan every reply must pass through this map: a tag absent
     /// from it (duplicate delivery, or a reply racing its own timeout)
@@ -533,6 +702,7 @@ impl ClientActor {
         faults: FaultPlan,
     ) -> Self {
         let fault_rng = SimRng::new(faults.seed ^ 0xC0FF_EE00 ^ ((index as u64 + 1) << 16));
+        let corrupt_rng = SimRng::new(faults.seed ^ 0xB17F_C11E ^ ((index as u64 + 1) << 16));
         let seen_inc = vec![0; servers.len()];
         ClientActor {
             adapter,
@@ -543,6 +713,8 @@ impl ClientActor {
             index,
             faults,
             fault_rng,
+            corrupt_rng,
+            corrupt_op: false,
             outstanding: HashMap::new(),
             attempt_ctr: 0,
             epoch: 0,
@@ -557,6 +729,7 @@ impl ClientActor {
             let dst = self.servers[out.server];
             let mut pre = pre_delay(&self.model);
             let mut attempt = 0;
+            let mut corrupt = false;
             if armed {
                 // Arm the timeout before deciding the request's fate: a
                 // dropped or partitioned request must still time out.
@@ -587,6 +760,26 @@ impl ClientActor {
                     pre = pre
                         + SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
                 }
+                if self.faults.flip_req_prob > 0.0
+                    && self.corrupt_rng.gen_bool(self.faults.flip_req_prob)
+                {
+                    // Request-leg corruption, applied to the real
+                    // encoded frame (see the reply-leg twin in
+                    // [`ServerActor`]): flip one seeded bit, verify the
+                    // frame CRCs catch it, and deliver the request
+                    // marked corrupt so the server NACKs it unexecuted.
+                    ctx.metrics().add("fault_corrupt_injected", 1);
+                    ctx.metrics().add("fault_corrupt_detected", 1);
+                    if let Ok(mut bytes) = out.req.encode() {
+                        let pos = self.corrupt_rng.gen_range(bytes.len() as u64 * 8);
+                        bytes[(pos / 8) as usize] ^= 1 << (pos % 8);
+                        debug_assert!(
+                            Request::decode(&bytes).is_err(),
+                            "a single-bit flip must not survive the frame CRCs"
+                        );
+                    }
+                    corrupt = true;
+                }
             }
             ctx.send_in(
                 dst,
@@ -597,6 +790,7 @@ impl ClientActor {
                     attempt,
                     req: out.req,
                     respond: !out.background,
+                    corrupt,
                 },
             );
         }
@@ -605,6 +799,12 @@ impl ClientActor {
     /// Routes a reply (real or synthesized) through the adapter and
     /// acts on its verdict.
     fn feed_reply(&mut self, tag: u64, reply: Reply, ctx: &mut Context<'_, SimMsg>) {
+        if matches!(reply, Reply::Verb(Err(RdmaError::Corrupt))) {
+            // A corrupt frame was NACKed somewhere in this op's round
+            // trips; remember it so the op's eventual outcome settles
+            // the incident as repaired or aborted.
+            self.corrupt_op = true;
+        }
         self.adapter.note_time(ctx.now());
         let epoch = self.epoch;
         match self.adapter.on_reply(tag, reply) {
@@ -615,6 +815,17 @@ impl ClientActor {
                 failed,
             } => {
                 self.dispatch(sends, ctx);
+                if self.corrupt_op {
+                    self.corrupt_op = false;
+                    ctx.metrics().add(
+                        if failed {
+                            "fault_corrupt_aborted"
+                        } else {
+                            "fault_corrupt_repaired"
+                        },
+                        1,
+                    );
+                }
                 let end = ctx.now() + client_compute;
                 if failed {
                     ctx.metrics().add("failed", 1);
@@ -670,6 +881,10 @@ impl ClientActor {
             }
             AdapterStep::GiveUp { sends } => {
                 self.dispatch(sends, ctx);
+                if self.corrupt_op {
+                    self.corrupt_op = false;
+                    ctx.metrics().add("fault_corrupt_aborted", 1);
+                }
                 ctx.metrics().add("giveups", 1);
                 ctx.metrics().add("failed", 1);
                 let me = ctx.self_id();
@@ -727,6 +942,7 @@ impl Actor<SimMsg> for ClientActor {
                 if !resume {
                     // Backoff waits stay inside the op's latency.
                     self.op_start = ctx.now();
+                    self.corrupt_op = false;
                 }
                 self.adapter.note_time(ctx.now());
                 let sends = if resume {
@@ -788,14 +1004,15 @@ impl Actor<SimMsg> for ClientActor {
                 // epoch bump fences the dead client's surviving timers.
                 self.epoch += 1;
                 self.outstanding.clear();
+                self.corrupt_op = false;
                 ctx.metrics().add("fault_client_restarts", 1);
                 self.op_start = ctx.now();
                 self.adapter.note_time(ctx.now());
                 let sends = self.adapter.start(&mut self.rng);
                 self.dispatch(sends, ctx);
             }
-            SimMsg::Req { .. } | SimMsg::Sweep => {
-                unreachable!("clients receive neither requests nor sweeps")
+            SimMsg::Req { .. } | SimMsg::Sweep | SimMsg::Rot(_) => {
+                unreachable!("clients receive neither requests nor server self-messages")
             }
         }
     }
@@ -835,6 +1052,20 @@ pub struct RunResult {
     pub restarts: u64,
     /// Client crash-window restarts executed.
     pub client_restarts: u64,
+    /// Corruptions the fault fabric injected: in-flight bit flips
+    /// (either leg), torn multi-line writes, and at-rest rot events.
+    pub corruptions_injected: u64,
+    /// Corruptions detected: frame-level CRC failures (every injected
+    /// flip, by construction) plus value-layer checksum mismatches
+    /// observed by the protocol clients' [`IntegrityStats`].
+    pub corruptions_detected: u64,
+    /// Corruption incidents that ended in a clean recovery: the op
+    /// retried past the damage, a quorum masked it, or an overwrite
+    /// healed it.
+    pub corruptions_repaired: u64,
+    /// Corruption incidents that ended in a clean typed failure — an
+    /// abort, never a silently wrong answer.
+    pub aborted_corrupt: u64,
 }
 
 /// Runs a closed-loop experiment: `n_clients` clients over the given
@@ -914,8 +1145,17 @@ pub fn run_closed_loop_with(
     }
     sim.run_for(warmup);
     sim.metrics_mut().reset();
+    if let Some(integrity) = &hooks.integrity {
+        // Value-layer counters cover the same window as the metrics.
+        integrity.reset();
+    }
     sim.run_for(measure);
     let metrics = sim.metrics();
+    let (val_detected, val_repaired, val_aborted) = hooks
+        .integrity
+        .as_ref()
+        .map(|s| (s.detected(), s.repaired(), s.aborted()))
+        .unwrap_or((0, 0, 0));
     let ops = metrics.counter("ops");
     let (mean, p99) = metrics
         .histogram("lat")
@@ -937,6 +1177,10 @@ pub fn run_closed_loop_with(
         fenced: metrics.counter("fault_fenced"),
         restarts: metrics.counter("fault_restarts"),
         client_restarts: metrics.counter("fault_client_restarts"),
+        corruptions_injected: metrics.counter("fault_corrupt_injected"),
+        corruptions_detected: metrics.counter("fault_corrupt_detected") + val_detected,
+        corruptions_repaired: metrics.counter("fault_corrupt_repaired") + val_repaired,
+        aborted_corrupt: metrics.counter("fault_corrupt_aborted") + val_aborted,
     }
 }
 
@@ -1354,5 +1598,158 @@ mod tests {
             (2.0..3.5).contains(&delta),
             "software RDMA adds ~2.5us (got {delta})"
         );
+    }
+
+    #[test]
+    fn bit_flips_are_detected_conserved_and_deterministic() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let faults = FaultPlan::seeded(21)
+            .with_timeout(SimDuration::micros(50))
+            .with_flips(0.05, 0.05);
+        let run = || {
+            run_closed_loop(
+                &[s.clone()],
+                &model,
+                VerbPath::Nic,
+                4,
+                &mut |_| faulty_read(addr, rkey),
+                SimDuration::millis(1),
+                SimDuration::millis(5),
+                3,
+                &faults,
+            )
+        };
+        let a = run();
+        assert!(a.corruptions_injected > 0, "flips must be injected");
+        assert_eq!(
+            a.corruptions_detected, a.corruptions_injected,
+            "every single-bit flip must be caught by the frame CRCs"
+        );
+        assert!(
+            a.corruptions_repaired + a.aborted_corrupt > 0,
+            "corrupt ops must settle as repaired or cleanly aborted"
+        );
+        assert!(a.tput_ops > 0.0, "ops still complete under corruption");
+        let b = run();
+        assert_eq!(a.tput_ops, b.tput_ops);
+        assert_eq!(
+            (
+                a.corruptions_injected,
+                a.corruptions_repaired,
+                a.aborted_corrupt
+            ),
+            (
+                b.corruptions_injected,
+                b.corruptions_repaired,
+                b.aborted_corrupt
+            )
+        );
+    }
+
+    #[test]
+    fn zeroed_corruption_knobs_leave_a_fault_run_bit_identical() {
+        // The corruption streams are separate from the fault streams and
+        // every draw is gated on its knob, so arming the machinery with
+        // zero probabilities must not move a single event.
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let base = FaultPlan::seeded(11)
+            .with_loss(0.05, 0.02)
+            .with_jitter(2_000)
+            .with_timeout(SimDuration::micros(50));
+        let armed = base.clone().with_flips(0.0, 0.0).with_torn_writes(0.0);
+        let run = |faults: &FaultPlan| {
+            run_closed_loop(
+                &[s.clone()],
+                &model,
+                VerbPath::Nic,
+                4,
+                &mut |_| faulty_read(addr, rkey),
+                SimDuration::millis(1),
+                SimDuration::millis(5),
+                3,
+                faults,
+            )
+        };
+        let a = run(&base);
+        let b = run(&armed);
+        assert_eq!(a.tput_ops, b.tput_ops);
+        assert_eq!(a.mean_us, b.mean_us);
+        assert_eq!(a.p99_us, b.p99_us);
+        assert_eq!(
+            (a.failed, a.drops, a.dups, a.timeouts, a.retries),
+            (b.failed, b.drops, b.dups, b.timeouts, b.retries)
+        );
+        assert_eq!(b.corruptions_injected, 0);
+        assert_eq!(b.corruptions_detected, 0);
+    }
+
+    #[test]
+    fn rot_events_flip_bits_inside_crash_windows() {
+        let (s, addr, rkey) = test_server();
+        s.arena().write(addr, &[0u8; 64]).unwrap();
+        let model = CostModel::testbed();
+        let faults = FaultPlan::seeded(13)
+            .with_timeout(SimDuration::micros(50))
+            .with_crash(
+                0,
+                SimTime::from_nanos(2_000_000),
+                SimTime::from_nanos(2_400_000),
+            )
+            .with_rot(0, SimTime::from_nanos(2_100_000), addr, 64, 3);
+        let r = run_closed_loop(
+            &[s.clone()],
+            &model,
+            VerbPath::Nic,
+            2,
+            &mut |_| faulty_read(addr, rkey),
+            SimDuration::millis(1),
+            SimDuration::millis(4),
+            5,
+            &faults,
+        );
+        assert_eq!(r.corruptions_injected, 1, "one rot event, one corruption");
+        let after = s.arena().read(addr, 64).unwrap();
+        assert_ne!(after, vec![0u8; 64], "the rot must land in server memory");
+    }
+
+    #[test]
+    fn tear_request_truncates_multi_line_payloads_only() {
+        let mut rng = SimRng::new(17);
+        // No payload to tear: verbs, RPCs, single-line writes.
+        assert!(tear_request(&Request::Rpc(vec![1, 2, 3]), &mut rng).is_none());
+        assert!(
+            tear_request(&Request::Chain(vec![ops::read(0x1_0000, 512, 1)]), &mut rng).is_none()
+        );
+        assert!(tear_request(
+            &Request::Chain(vec![ops::write(0x1_0000, vec![7u8; 64], 1)]),
+            &mut rng
+        )
+        .is_none());
+        // A 256-byte write tears to a 64-byte-aligned strict prefix, and
+        // the trailing op of the chain is dropped.
+        for _ in 0..32 {
+            let chain = Request::Chain(vec![
+                ops::read(0x1_0000, 8, 1),
+                ops::write(0x1_0000, vec![7u8; 256], 1),
+                ops::read(0x1_0000, 8, 1),
+            ]);
+            let torn = tear_request(&chain, &mut rng).expect("multi-line write tears");
+            let Request::Chain(ops2) = torn else {
+                panic!("torn request stays a chain")
+            };
+            assert_eq!(ops2.len(), 2, "ops after the torn write are dropped");
+            let PrismOp::Write {
+                data: DataArg::Inline(d),
+                len,
+                ..
+            } = &ops2[1]
+            else {
+                panic!("second op stays a write")
+            };
+            assert_eq!(d.len() as u32, *len);
+            assert!(d.len() % 64 == 0 && !d.is_empty() && d.len() < 256);
+        }
     }
 }

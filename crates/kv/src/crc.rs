@@ -2,72 +2,22 @@
 //!
 //! Pilaf detects get/put races with "self-verifying data structures":
 //! every index entry and extent carries a checksum, and a reader that
-//! observes a mismatch retries (§6, [31]). PRISM-KV's out-of-place
-//! updates make these checksums unnecessary — one of the measured
-//! advantages in Figure 3 (the paper attributes ~2 µs of Pilaf's GET
-//! latency to CRC computation).
+//! observes a mismatch retries (§6, [31]). Since PR 5 the same
+//! discipline extends to the wire framing and every value layout, so
+//! the implementation lives in [`prism_core::crc`]; this module
+//! re-exports it under the historical path for the Pilaf code and its
+//! callers.
 
-/// The reflected CRC-32 polynomial (IEEE).
-const POLY: u32 = 0xEDB8_8320;
-
-/// Byte-at-a-time table, built at first use.
-fn table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
-            }
-            *e = c;
-        }
-        t
-    })
-}
-
-/// CRC-32 of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    crc32_seeded(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
-}
-
-/// Continues a CRC computation (pass the running register, not the
-/// finalized value).
-fn crc32_seeded(mut reg: u32, data: &[u8]) -> u32 {
-    let t = table();
-    for &b in data {
-        reg = (reg >> 8) ^ t[((reg ^ b as u32) & 0xFF) as usize];
-    }
-    reg
-}
+pub use prism_core::crc::crc32;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn known_vectors() {
-        // Standard check value for "123456789".
+    fn reexport_matches_known_vector() {
+        // Standard check value for "123456789" — guards the re-export
+        // against ever pointing at a different polynomial.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
-    }
-
-    #[test]
-    fn detects_single_bit_flips() {
-        let data = b"the quick brown fox jumps over the lazy dog";
-        let base = crc32(data);
-        let mut corrupted = data.to_vec();
-        for i in 0..corrupted.len() {
-            corrupted[i] ^= 1;
-            assert_ne!(crc32(&corrupted), base, "flip at byte {i} undetected");
-            corrupted[i] ^= 1;
-        }
-    }
-
-    #[test]
-    fn different_lengths_differ() {
-        assert_ne!(crc32(b"abc"), crc32(b"abc\0"));
     }
 }

@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use prism_core::integrity::IntegrityStats;
 use prism_core::msg::{Reply, Request, Verb};
 use prism_core::PrismServer;
 use prism_rdma::region::AccessFlags;
@@ -109,6 +110,8 @@ impl Extents {
 pub struct PilafServer {
     server: Arc<PrismServer>,
     view: PilafView,
+    /// Extents region `(base, len)` — the bytes at-rest rot can hit.
+    extents_range: (u64, u64),
 }
 
 impl PilafServer {
@@ -152,12 +155,51 @@ impl PilafServer {
             handle_rpc(&handler_server, &handler_view, &extents, req)
         }));
 
-        PilafServer { server, view }
+        PilafServer {
+            server,
+            view,
+            extents_range: (data_base + table_len, pools_len),
+        }
     }
 
     /// The underlying host.
     pub fn server(&self) -> &Arc<PrismServer> {
         &self.server
+    }
+
+    /// The extents region `(base, len)` — where at-rest bit rot lands.
+    pub fn extents_range(&self) -> (u64, u64) {
+        self.extents_range
+    }
+
+    /// Walks the index verifying both checksum layers; returns
+    /// `(live, corrupt)` entry counts. Everything the scrub cannot
+    /// vouch for is *detectably* corrupt — a GET would observe the
+    /// same mismatch and abort rather than return the bytes.
+    pub fn scrub(&self) -> (u64, u64) {
+        let mut live = 0u64;
+        let mut corrupt = 0u64;
+        for i in 0..self.view.capacity {
+            let (e, ptr, size, crc_data) = read_entry(&self.server, self.view.entry_addr(i));
+            if ptr == 0 {
+                continue;
+            }
+            if !entry_crc_ok(&e) {
+                corrupt += 1;
+                continue;
+            }
+            let data = self
+                .server
+                .arena()
+                .read(ptr, size)
+                .expect("extent in arena");
+            if crc32(&data) == crc_data {
+                live += 1;
+            } else {
+                corrupt += 1;
+            }
+        }
+        (live, corrupt)
     }
 
     /// The client-visible layout.
@@ -169,6 +211,7 @@ impl PilafServer {
     pub fn open_client(&self) -> PilafClient {
         PilafClient {
             view: self.view.clone(),
+            integrity: Arc::new(IntegrityStats::new()),
         }
     }
 }
@@ -288,11 +331,23 @@ fn probe_server_side(
     for attempt in 0..limit {
         let slot = view.scheme.slot(key, attempt, view.capacity);
         let addr = view.entry_addr(slot);
-        let (_, ptr, size, _) = read_entry(server, addr);
+        let (e, ptr, size, crc_data) = read_entry(server, addr);
         if ptr == 0 {
             return Some((addr, None));
         }
+        if !entry_crc_ok(&e) {
+            // Rotted index entry: `ptr`/`size` can't be trusted, so the
+            // extent (if any) is leaked, but the slot is reclaimed — the
+            // PUT that lands here is the repair.
+            return Some((addr, None));
+        }
         let data = server.arena().read(ptr, size).expect("extent in arena");
+        if crc32(&data) != crc_data {
+            // Rotted extent: detectably corrupt for every reader. Reclaim
+            // the slot and recycle the extent; without this, a damaged
+            // entry would shadow its probe position forever.
+            return Some((addr, Some((ptr, size))));
+        }
         if entry::decode_key(&data) == Some(key) {
             return Some((addr, Some((ptr, size))));
         }
@@ -304,12 +359,26 @@ fn probe_server_side(
 #[derive(Debug, Clone)]
 pub struct PilafClient {
     view: PilafView,
+    integrity: Arc<IntegrityStats>,
 }
 
 impl PilafClient {
     /// The layout this client addresses.
     pub fn view(&self) -> &PilafView {
         &self.view
+    }
+
+    /// Shares an integrity-stats sink (e.g. the harness's) instead of
+    /// the client's private one.
+    pub fn with_integrity(mut self, stats: Arc<IntegrityStats>) -> Self {
+        self.integrity = stats;
+        self
+    }
+
+    /// Corruption detections, repairs, and aborts observed by this
+    /// client's CRC machinery.
+    pub fn integrity(&self) -> &Arc<IntegrityStats> {
+        &self.integrity
     }
 
     /// Starts a GET; returns the machine and its first request (the
@@ -384,13 +453,13 @@ impl PilafGetOp {
     pub fn on_reply(&mut self, c: &PilafClient, reply: Reply) -> KvStep {
         let bytes = match reply.into_verb() {
             Ok(b) => b,
-            Err(_) => return KvStep::done(KvOutcome::Failed("READ error")),
+            Err(_) => return self.finish(c, KvOutcome::Failed("READ error")),
         };
         match self.state.clone() {
             GetState::Index => {
                 let mut e = [0u8; 32];
                 if bytes.len() != 32 {
-                    return KvStep::done(KvOutcome::Failed("short index read"));
+                    return self.finish(c, KvOutcome::Failed("short index read"));
                 }
                 e.copy_from_slice(&bytes);
                 let ptr = u64::from_le_bytes(e[0..8].try_into().expect("8 bytes"));
@@ -398,7 +467,7 @@ impl PilafGetOp {
                     // Never-written slots are all-zero (no checksum);
                     // deleted slots carry a valid checksum over zeros.
                     // Either way the key is absent.
-                    return KvStep::done(KvOutcome::Value(None));
+                    return self.finish(c, KvOutcome::Value(None));
                 }
                 if !entry_crc_ok(&e) {
                     return self.crc_retry(c);
@@ -420,7 +489,8 @@ impl PilafGetOp {
                 }
                 match entry::decode(&bytes) {
                     Some((k, v)) if k == self.key => {
-                        KvStep::done(KvOutcome::Value(Some(v.to_vec())))
+                        let v = v.to_vec();
+                        self.finish(c, KvOutcome::Value(Some(v)))
                     }
                     Some(_) => {
                         // Different key: linear probe onward.
@@ -430,7 +500,7 @@ impl PilafGetOp {
                             HashScheme::Fnv => MAX_PROBES.min(c.view.capacity),
                         };
                         if self.attempt >= limit {
-                            return KvStep::done(KvOutcome::Value(None));
+                            return self.finish(c, KvOutcome::Value(None));
                         }
                         self.state = GetState::Index;
                         KvStep::send(self.index_request(c))
@@ -442,12 +512,29 @@ impl PilafGetOp {
     }
 
     fn crc_retry(&mut self, c: &PilafClient) -> KvStep {
+        // Every mismatch is a detection — under benign churn it is a
+        // racing writer and the retry repairs it; under injected rot
+        // the budget runs dry and the GET aborts.
+        c.integrity.note_detected();
         self.crc_retries += 1;
         if self.crc_retries > MAX_CRC_RETRIES {
-            return KvStep::done(KvOutcome::Failed("persistent CRC mismatch"));
+            return self.finish(c, KvOutcome::Failed("persistent CRC mismatch"));
         }
         self.state = GetState::Index;
         KvStep::send(self.index_request(c))
+    }
+
+    /// Terminal step with integrity accounting: a GET that saw at least
+    /// one CRC mismatch either recovered (repaired) or gave up clean
+    /// (aborted) — never a silent wrong answer.
+    fn finish(&self, c: &PilafClient, outcome: KvOutcome) -> KvStep {
+        if self.crc_retries > 0 {
+            match outcome {
+                KvOutcome::Failed(_) => c.integrity.note_aborted(),
+                _ => c.integrity.note_repaired(),
+            }
+        }
+        KvStep::done(outcome)
     }
 }
 
@@ -575,6 +662,16 @@ mod tests {
             .unwrap();
         let (o, _) = drive_get(&s, &c, b"key");
         assert_eq!(o, KvOutcome::Failed("persistent CRC mismatch"));
+        // Every mismatch was counted and the op ended as a clean abort.
+        assert_eq!(c.integrity().detected(), (MAX_CRC_RETRIES + 1) as u64);
+        assert_eq!(c.integrity().aborted(), 1);
+        assert_eq!(s.scrub().1, 1, "scrub confirms one damaged extent");
+        // Overwriting installs a fresh extent + checksums: healed.
+        assert_eq!(put(&s, &c, b"key", b"fresh"), KvOutcome::Written);
+        assert_eq!(s.scrub().1, 0);
+        let (o, _) = drive_get(&s, &c, b"key");
+        assert_eq!(o, KvOutcome::Value(Some(b"fresh".to_vec())));
+        assert_eq!(c.integrity().repaired(), 0, "clean GET counts nothing");
     }
 
     #[test]

@@ -25,13 +25,15 @@
 //! buffer, a loser frees its own orphan, via a fire-and-forget RPC the
 //! server CPU turns into a gated repost.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use prism_core::builder::ops;
+use prism_core::integrity::IntegrityStats;
 use prism_core::msg::{Reply, Request};
 use prism_core::op::{full_mask, DataArg, FreeListId, Redirect};
 use prism_core::value::CasMode;
-use prism_core::{OpStatus, PrismServer};
+use prism_core::{OpResult, OpStatus, PrismServer};
 use prism_rdma::region::AccessFlags;
 use prism_rdma::RdmaError;
 
@@ -48,6 +50,12 @@ pub const MAX_PROBES: u64 = 64;
 
 /// Retry budget for PUT/DELETE CAS races.
 pub const MAX_RETRIES: u32 = 32;
+
+/// Bounded re-read budget when a GET's entry checksum fails (the same
+/// budget Pilaf gives its verify-retry loop): enough to outlast any
+/// transient race, small enough that persistent rot fails fast and
+/// cleanly.
+pub const MAX_CRC_RETRIES: u32 = 16;
 
 /// A buffer size class backing one free list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +143,12 @@ pub struct PrismKvServer {
     /// `(next, end)` of the registered headroom the refill daemon carves
     /// from.
     headroom: prism_rdma::sync::Mutex<(u64, u64)>,
+    /// Pool extents (initial carves plus refills), shared with the
+    /// reclaim RPC handler so frees of refilled buffers resolve too.
+    ranges: Arc<prism_rdma::sync::Mutex<Vec<PoolRange>>>,
+    /// `(base, len)` of the initial buffer pools — the live-value
+    /// memory the fault fabric targets with bit rot.
+    pools: (u64, u64),
 }
 
 /// Per-class refill bookkeeping for [`PrismKvServer::maybe_refill`].
@@ -190,6 +204,9 @@ impl PrismKvServer {
                 .freelists()
                 .post(id, (0..c.count).map(|j| base + j * stride))
                 .expect("fresh free list accepts posts");
+            server
+                .freelists()
+                .register_extent(id, base, stride, c.count);
             classes.push((id, c.buf_len));
             ranges.push(PoolRange {
                 id,
@@ -199,19 +216,23 @@ impl PrismKvServer {
             });
             off += stride * c.count;
         }
+        let ranges = Arc::new(prism_rdma::sync::Mutex::new(ranges));
 
         // Reclaim RPC: [RPC_FREE, addr u64 LE] or the batched form
-        // [RPC_FREE_BATCH, count u16 LE, addrs...].
+        // [RPC_FREE_BATCH, count u16 LE, addrs...]. Frees go through
+        // the checked `FreeLists::free` path: a double free or an
+        // address outside any pool extent is a typed rejection, not a
+        // silent allocator corruption.
         let freelists = Arc::clone(server.freelists());
+        let handler_ranges = Arc::clone(&ranges);
         server.set_rpc_handler(Arc::new(move |req: &[u8]| {
             let free_one = |addr: u64| -> bool {
-                for r in &ranges {
+                for r in handler_ranges.lock().iter() {
                     if addr >= r.base
                         && addr < r.base + r.stride * r.count
                         && (addr - r.base) % r.stride == 0
                     {
-                        freelists.post(r.id, [addr]).expect("class registered");
-                        return true;
+                        return freelists.free(r.id, addr).is_ok();
                     }
                 }
                 false
@@ -252,6 +273,8 @@ impl PrismKvServer {
             server,
             refill: prism_rdma::sync::Mutex::new(refill),
             headroom: prism_rdma::sync::Mutex::new((headroom_base, headroom_base + headroom_len)),
+            ranges,
+            pools: (data_base + table_len, pools_len),
             view: KvView {
                 table_addr,
                 data_rkey: data_rkey.0,
@@ -295,6 +318,17 @@ impl PrismKvServer {
                 .freelists()
                 .post(r.id, (0..r.batch).map(|j| base + j * r.stride))
                 .expect("class registered");
+            // Refilled buffers are pool members like any other: record
+            // the extent so checked frees of them resolve.
+            self.server
+                .freelists()
+                .register_extent(r.id, base, r.stride, r.batch);
+            self.ranges.lock().push(PoolRange {
+                id: r.id,
+                base,
+                stride: r.stride,
+                count: r.batch,
+            });
             added += r.batch;
         }
         added
@@ -310,6 +344,42 @@ impl PrismKvServer {
         Some(base)
     }
 
+    /// `(base, len)` of the initial buffer pools — the memory where
+    /// live entry bytes reside. The fault fabric's at-rest rot targets
+    /// this range so injected damage lands on data a client can
+    /// actually observe.
+    pub fn value_pool_range(&self) -> (u64, u64) {
+        self.pools
+    }
+
+    /// Walks every occupied slot and verifies its entry checksum
+    /// server-side. Returns `(live, corrupt)` counts. The corruption
+    /// gate runs this after a faulted run as the "no silent wrong
+    /// answer" backstop: any corruption that was neither healed by an
+    /// overwrite nor reaped by a delete is still *detectable* here —
+    /// nothing damaged can masquerade as valid data.
+    pub fn scrub(&self) -> (u64, u64) {
+        let arena = self.server.arena();
+        let (mut live, mut corrupt) = (0u64, 0u64);
+        for i in 0..self.view.capacity {
+            let slot = self.view.slot_addr(i);
+            let Ok(ptr) = arena.read_u64(slot) else {
+                continue;
+            };
+            if ptr == 0 {
+                continue;
+            }
+            let bound = arena.read_u64(slot + 8).unwrap_or(0);
+            let len = bound.min(self.view.max_entry_len as u64);
+            live += 1;
+            match arena.read(ptr, len) {
+                Ok(bytes) if entry::decode_verified(&bytes).is_ok() => {}
+                _ => corrupt += 1,
+            }
+        }
+        (live, corrupt)
+    }
+
     /// Opens a client with its own connection scratch slot.
     pub fn open_client(&self) -> PrismKvClient {
         let conn = self.server.open_connection();
@@ -317,6 +387,8 @@ impl PrismKvServer {
             view: self.view.clone(),
             scratch_addr: conn.scratch_addr,
             scratch_rkey: conn.scratch_rkey.0,
+            integrity: Arc::new(IntegrityStats::new()),
+            next_version: Arc::new(AtomicU32::new(0)),
         }
     }
 }
@@ -335,6 +407,8 @@ pub struct PrismKvClient {
     view: KvView,
     scratch_addr: u64,
     scratch_rkey: u32,
+    integrity: Arc<IntegrityStats>,
+    next_version: Arc<AtomicU32>,
 }
 
 impl PrismKvClient {
@@ -343,11 +417,26 @@ impl PrismKvClient {
         &self.view
     }
 
+    /// Shares corruption counters with the harness: detections,
+    /// repairs, and clean aborts observed by this client's ops are
+    /// recorded in `stats`.
+    pub fn with_integrity(mut self, stats: Arc<IntegrityStats>) -> Self {
+        self.integrity = stats;
+        self
+    }
+
+    /// This client's corruption counters.
+    pub fn integrity(&self) -> &Arc<IntegrityStats> {
+        &self.integrity
+    }
+
     /// Starts a GET; returns the machine and its first request.
     pub fn get(&self, key: &[u8]) -> (GetOp, Request) {
         let op = GetOp {
             key: key.to_vec(),
             attempt: 0,
+            crc_retries: 0,
+            verify_failed: false,
         };
         let req = op.probe_request(self);
         (op, req)
@@ -358,10 +447,16 @@ impl PrismKvClient {
         let op = PutOp {
             key: key.to_vec(),
             value: value.to_vec(),
+            version: self
+                .next_version
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_add(1),
             attempt: 0,
             retries: 0,
             state: PutState::Probe,
             delete: false,
+            verify_failed: false,
+            in_doubt: false,
         };
         let req = op.probe_request(self);
         (op, req)
@@ -372,10 +467,13 @@ impl PrismKvClient {
         let op = PutOp {
             key: key.to_vec(),
             value: Vec::new(),
+            version: 0,
             attempt: 0,
             retries: 0,
             state: PutState::Probe,
             delete: true,
+            verify_failed: false,
+            in_doubt: false,
         };
         let req = op.probe_request(self);
         (op, req)
@@ -390,10 +488,16 @@ impl PrismKvClient {
 }
 
 /// GET state machine: one bounded indirect READ per probe (§6.1).
+/// Entries are verified against their embedded checksum; a mismatch
+/// triggers a bounded re-read ([`MAX_CRC_RETRIES`]) before the op
+/// fails cleanly — the Pilaf detect-and-retry pattern, here only ever
+/// exercised by injected corruption.
 #[derive(Debug, Clone)]
 pub struct GetOp {
     key: Vec<u8>,
     attempt: u64,
+    crc_retries: u32,
+    verify_failed: bool,
 }
 
 impl GetOp {
@@ -406,22 +510,62 @@ impl GetOp {
         )])
     }
 
+    /// Re-arms the op after a transport timeout or a corrupt reply.
+    /// Probes are read-only, so the current one is simply re-sent.
+    pub fn reissue(&self, c: &PrismKvClient) -> Request {
+        self.probe_request(c)
+    }
+
     /// Feeds the probe reply; returns the next step.
     pub fn on_reply(&mut self, c: &PrismKvClient, reply: Reply) -> KvStep {
         let results = reply.into_chain();
         let r = &results[0];
         match &r.status {
-            OpStatus::Ok => match entry::decode(&r.data) {
-                Some((k, v)) if k == self.key => KvStep::done(KvOutcome::Value(Some(v.to_vec()))),
-                _ => self.next_probe(c),
+            OpStatus::Ok => match entry::decode_verified(&r.data) {
+                Ok((k, v, _)) if k == self.key => {
+                    self.resolve(c, KvOutcome::Value(Some(v.to_vec())))
+                }
+                Ok(_) => self.next_probe(c),
+                // Checksum mismatch or a header too damaged to frame
+                // the read: detected corruption. Re-read a bounded
+                // number of times (a racing overwrite heals it; the
+                // winner's entry has a valid checksum), then give up
+                // with a typed failure.
+                Err(_) => {
+                    c.integrity.note_detected();
+                    self.verify_failed = true;
+                    self.crc_retries += 1;
+                    if self.crc_retries > MAX_CRC_RETRIES {
+                        c.integrity.note_aborted();
+                        KvStep::done(KvOutcome::Failed("persistent entry CRC mismatch"))
+                    } else {
+                        KvStep::send(self.probe_request(c))
+                    }
+                }
             },
             // Null pointer: the slot is empty. Under linear probing an
             // empty slot terminates the probe sequence.
             OpStatus::Error(RdmaError::BadIndirectTarget(0)) => {
-                KvStep::done(KvOutcome::Value(None))
+                self.resolve(c, KvOutcome::Value(None))
             }
-            _ => KvStep::done(KvOutcome::Failed("GET probe error")),
+            _ => {
+                if self.verify_failed {
+                    c.integrity.note_aborted();
+                }
+                KvStep::done(KvOutcome::Failed("GET probe error"))
+            }
         }
+    }
+
+    /// A clean completion; if this op had detected corruption along
+    /// the way, the damage resolved (healed copy, or the entry was
+    /// overwritten/deleted out from under it) — count the repair.
+    fn resolve(&mut self, c: &PrismKvClient, outcome: KvOutcome) -> KvStep {
+        if self.verify_failed {
+            c.integrity.note_repaired();
+            self.verify_failed = false;
+        }
+        KvStep::done(outcome)
     }
 
     fn next_probe(&mut self, c: &PrismKvClient) -> KvStep {
@@ -431,7 +575,7 @@ impl GetOp {
             HashScheme::Fnv => MAX_PROBES.min(c.view.capacity),
         };
         if self.attempt >= limit {
-            KvStep::done(KvOutcome::Value(None))
+            self.resolve(c, KvOutcome::Value(None))
         } else {
             KvStep::send(self.probe_request(c))
         }
@@ -441,19 +585,41 @@ impl GetOp {
 #[derive(Debug, Clone)]
 enum PutState {
     Probe,
-    Install { old: [u8; 16] },
+    Install {
+        slot: u64,
+        old: [u8; 16],
+    },
+    /// A transport reissue found an install chain in flight with an
+    /// unknown outcome: re-read the slot to learn whether the lost
+    /// install published before deciding anything.
+    Resolve {
+        slot: u64,
+        old: [u8; 16],
+    },
 }
 
 /// PUT/DELETE state machine: probe round trip, then the install chain
 /// (§6.1). Retries the whole sequence on CAS races.
+///
+/// Transport reissue is at-most-once: [`PutOp::reissue`] never blindly
+/// re-runs a possibly-executed install. A lost install reply leaves the
+/// publish in doubt, and re-applying it after a racing writer landed
+/// would resurrect a stale value over the newer one — a linearizability
+/// violation readers can observe. The resolve read disambiguates first.
 #[derive(Debug, Clone)]
 pub struct PutOp {
     key: Vec<u8>,
     value: Vec<u8>,
+    version: u32,
     attempt: u64,
     retries: u32,
     state: PutState,
     delete: bool,
+    verify_failed: bool,
+    /// An install chain was sent whose reply never arrived: its CAS may
+    /// have executed. Once set, every CAS failure routes back through
+    /// the resolve read — the lost chain could still land at any time.
+    in_doubt: bool,
 }
 
 impl PutOp {
@@ -486,7 +652,7 @@ impl PutOp {
                 full_mask(16),
             )]));
         }
-        let e = entry::encode(&self.key, &self.value);
+        let e = entry::encode_versioned(&self.key, &self.value, self.version);
         let bound = e.len() as u64;
         let class = c.view.class_for(bound)?;
         let scratch = Redirect {
@@ -524,6 +690,24 @@ impl PutOp {
 
     /// Feeds a reply; returns the next step.
     pub fn on_reply(&mut self, c: &PrismKvClient, reply: Reply) -> KvStep {
+        let step = self.advance(c, reply);
+        // Integrity accounting at op completion: if this op saw
+        // corruption in its probe, a successful install *is* the
+        // overwrite that repaired it; a clean failure is a corrupt
+        // abort. Either way, never a silent wrong answer.
+        if self.verify_failed {
+            if let KvStep::Done { outcome, .. } = &step {
+                match outcome {
+                    KvOutcome::Failed(_) => c.integrity.note_aborted(),
+                    _ => c.integrity.note_repaired(),
+                }
+                self.verify_failed = false;
+            }
+        }
+        step
+    }
+
+    fn advance(&mut self, c: &PrismKvClient, reply: Reply) -> KvStep {
         let results = reply.into_chain();
         match self.state.clone() {
             PutState::Probe => {
@@ -546,6 +730,17 @@ impl PutOp {
                 match &results[1].status {
                     OpStatus::Ok => match entry::decode_key(&results[1].data) {
                         Some(k) if k == self.key => self.to_install(c, slot, slot_word),
+                        // In collisionless mode slot ownership is
+                        // deterministic, so a key mismatch (or an
+                        // unparsable header) is damage, not another
+                        // key's entry — and the install about to CAS
+                        // over the slot is exactly the overwrite that
+                        // heals it.
+                        _ if matches!(c.view.scheme, HashScheme::Collisionless) => {
+                            c.integrity.note_detected();
+                            self.verify_failed = true;
+                            self.to_install(c, slot, slot_word)
+                        }
                         _ => self.next_probe(c),
                     },
                     // Pointer was non-null at op 1 but null/invalid at
@@ -553,7 +748,7 @@ impl PutOp {
                     _ => self.retry_probe(c),
                 }
             }
-            PutState::Install { old } => {
+            PutState::Install { slot, old } => {
                 if self.delete {
                     let cas = &results[0];
                     return match &cas.status {
@@ -565,7 +760,7 @@ impl PutOp {
                                 background: (old_ptr != 0).then(|| c.free_request(old_ptr)),
                             }
                         }
-                        OpStatus::CasFailed => self.retry_probe(c),
+                        OpStatus::CasFailed => self.after_cas_failed(c, slot, old),
                         _ => KvStep::done(KvOutcome::Failed("DELETE CAS error")),
                     };
                 }
@@ -587,21 +782,118 @@ impl PutOp {
                         }
                     }
                     OpStatus::CasFailed => {
-                        // Lost the race: reclaim our orphaned buffer and
-                        // retry from the probe.
-                        let step = self.retry_probe(c);
+                        // Lost the race: reclaim our orphaned buffer,
+                        // then resume from the probe (or, with a lost
+                        // install still in doubt, from the resolve read).
+                        let step = self.after_cas_failed(c, slot, old);
                         attach_background(step, c.free_request(new_ptr))
                     }
                     _ => KvStep::done(KvOutcome::Failed("install CAS error")),
                 }
             }
+            PutState::Resolve { slot, old } => self.resolve(c, slot, old, &results),
         }
+    }
+
+    /// Decides what a reissued PUT does once the resolve read returns.
+    ///
+    /// Three cases, each applying the op's effect at most once:
+    /// - the slot still holds the compare word: nothing (including our
+    ///   lost install) published, so the same-compare install chain is
+    ///   re-sent — a straggling duplicate of the lost chain can only
+    ///   fail its CAS against the word the re-send swaps in;
+    /// - the slot holds exactly the entry we encoded (key, value, and
+    ///   version are all inside the byte comparison): the lost install
+    ///   published and only the ack was lost, so the op completes and
+    ///   frees the entry it displaced;
+    /// - the slot holds anything else: either our install never ran, or
+    ///   it ran and a later writer already displaced it. Both linearize
+    ///   the op at (or immediately before) that writer, so it completes
+    ///   without applying anything — re-installing here is exactly the
+    ///   stale-value resurrection this state exists to prevent.
+    fn resolve(
+        &mut self,
+        c: &PrismKvClient,
+        slot: u64,
+        old: [u8; 16],
+        results: &[OpResult],
+    ) -> KvStep {
+        let word = match results[0].expect_data() {
+            Ok(d) if d.len() == 16 => {
+                let mut w = [0u8; 16];
+                w.copy_from_slice(d);
+                w
+            }
+            _ => return KvStep::done(KvOutcome::Failed("resolve read error")),
+        };
+        if word == old {
+            return match self.install_request(c, slot, old) {
+                Some(req) => {
+                    self.state = PutState::Install { slot, old };
+                    KvStep::send(req)
+                }
+                None => KvStep::done(KvOutcome::Failed("entry exceeds all size classes")),
+            };
+        }
+        if self.delete {
+            // Ours-or-equivalent if now null, overwritten otherwise;
+            // either way the delete is complete. The displaced entry is
+            // leaked rather than freed: whether we own it is unknowable.
+            return KvStep::done(KvOutcome::Written);
+        }
+        let ours = entry::encode_versioned(&self.key, &self.value, self.version);
+        let landed = matches!(results[1].expect_data(), Ok(d) if d == &ours[..]);
+        if landed {
+            let old_ptr = u64::from_le_bytes(old[0..8].try_into().expect("8 bytes"));
+            return KvStep::Done {
+                outcome: KvOutcome::Written,
+                background: (old_ptr != 0).then(|| c.free_request(old_ptr)),
+            };
+        }
+        KvStep::done(KvOutcome::Written)
+    }
+
+    /// A definitive CAS failure: with no lost install in doubt the op
+    /// restarts from the probe; with one in doubt it must re-read the
+    /// slot first — the lost chain may have published in the meantime.
+    fn after_cas_failed(&mut self, c: &PrismKvClient, slot: u64, old: [u8; 16]) -> KvStep {
+        if self.in_doubt {
+            self.state = PutState::Resolve { slot, old };
+            return KvStep::send(self.resolve_request(c, slot));
+        }
+        self.retry_probe(c)
+    }
+
+    /// Re-arms the op after a transport timeout or a corrupt reply.
+    ///
+    /// Probe legs are read-only and simply re-sent. An unanswered
+    /// install (or resolve re-install) flags the op in-doubt and routes
+    /// through [`PutState::Resolve`] instead of re-running the chain.
+    pub fn reissue(&mut self, c: &PrismKvClient) -> Request {
+        match self.state.clone() {
+            PutState::Probe => self.probe_request(c),
+            PutState::Install { slot, old } | PutState::Resolve { slot, old } => {
+                self.in_doubt = true;
+                self.state = PutState::Resolve { slot, old };
+                self.resolve_request(c, slot)
+            }
+        }
+    }
+
+    /// The resolve read: the raw slot word (for the compare check) plus
+    /// the entry it points at (for the did-ours-land check).
+    fn resolve_request(&self, c: &PrismKvClient, slot: u64) -> Request {
+        let slot_addr = c.view.slot_addr(slot);
+        Request::Chain(vec![
+            ops::read(slot_addr, SLOT as u32, c.view.data_rkey),
+            ops::read_indirect_bounded(slot_addr, c.view.max_entry_len, c.view.data_rkey),
+        ])
     }
 
     fn to_install(&mut self, c: &PrismKvClient, slot: u64, old: [u8; 16]) -> KvStep {
         match self.install_request(c, slot, old) {
             Some(req) => {
-                self.state = PutState::Install { old };
+                self.state = PutState::Install { slot, old };
                 KvStep::send(req)
             }
             None => KvStep::done(KvOutcome::Failed("entry exceeds all size classes")),
@@ -744,6 +1036,113 @@ mod tests {
         let s = PrismKvServer::new(&cfg);
         let c = s.open_client();
         (s, c)
+    }
+
+    /// Probes a PUT machine against the live store and returns the
+    /// install chain it wants to send next.
+    fn probe_to_install(
+        s: &PrismKvServer,
+        c: &PrismKvClient,
+        op: &mut PutOp,
+        req: Request,
+    ) -> Request {
+        let reply = execute_local(s.server(), &req);
+        match op.on_reply(c, reply) {
+            KvStep::Send { request, .. } => request,
+            step => panic!("expected the install send, got {step:?}"),
+        }
+    }
+
+    /// A transport-reissued PUT whose install chain executed — only the
+    /// ack was lost — must not re-apply itself over a racing write that
+    /// landed in between. The resolve read sees a foreign entry and
+    /// completes without re-installing; blindly re-running the chain
+    /// would resurrect the stale value, a linearizability violation
+    /// readers can observe.
+    #[test]
+    fn reissued_put_does_not_resurrect_over_a_newer_write() {
+        let (s, c) = small_store();
+        drive_put(&s, &c, b"k", b"v0");
+
+        let (mut op, req) = c.put(b"k", b"va");
+        let install = probe_to_install(&s, &c, &mut op, req);
+        // The install executes at the server; its reply is "lost".
+        let _lost_ack = execute_local(s.server(), &install);
+
+        // A racing writer overwrites in the ack gap.
+        drive_put(&s, &c, b"k", b"vb");
+
+        let reply = execute_local(s.server(), &op.reissue(&c));
+        match op.on_reply(&c, reply) {
+            KvStep::Done { outcome, .. } => assert_eq!(outcome, KvOutcome::Written),
+            step => panic!("expected completion, got {step:?}"),
+        }
+        let (o, _) = drive_get(&s, &c, b"k");
+        assert_eq!(o, KvOutcome::Value(Some(b"vb".to_vec())));
+    }
+
+    /// Lost ack with no racing writer: the resolve read finds the slot
+    /// holding exactly the entry this op encoded (version included), so
+    /// the install provably published — the op completes and the entry
+    /// it displaced is its to free.
+    #[test]
+    fn reissued_put_detects_its_own_published_install() {
+        let (s, c) = small_store();
+        drive_put(&s, &c, b"k", b"v0");
+
+        let (mut op, req) = c.put(b"k", b"va");
+        let install = probe_to_install(&s, &c, &mut op, req);
+        let _lost_ack = execute_local(s.server(), &install);
+
+        let reply = execute_local(s.server(), &op.reissue(&c));
+        match op.on_reply(&c, reply) {
+            KvStep::Done {
+                outcome,
+                background,
+            } => {
+                assert_eq!(outcome, KvOutcome::Written);
+                assert!(
+                    background.is_some(),
+                    "the displaced v0 buffer is this op's to free"
+                );
+                send_bg(&s, background);
+            }
+            step => panic!("expected completion, got {step:?}"),
+        }
+        let (o, _) = drive_get(&s, &c, b"k");
+        assert_eq!(o, KvOutcome::Value(Some(b"va".to_vec())));
+    }
+
+    /// The install chain never reached the server (request dropped):
+    /// the resolve read finds the slot still holding the compare word,
+    /// so nothing published and the same-compare install is re-sent —
+    /// the op still applies, exactly once.
+    #[test]
+    fn reissued_put_reinstalls_when_the_lost_chain_never_ran() {
+        let (s, c) = small_store();
+        drive_put(&s, &c, b"k", b"v0");
+
+        let (mut op, req) = c.put(b"k", b"va");
+        let _dropped_install = probe_to_install(&s, &c, &mut op, req);
+
+        let reply = execute_local(s.server(), &op.reissue(&c));
+        let install = match op.on_reply(&c, reply) {
+            KvStep::Send { request, .. } => request,
+            step => panic!("expected the re-sent install, got {step:?}"),
+        };
+        let reply = execute_local(s.server(), &install);
+        match op.on_reply(&c, reply) {
+            KvStep::Done {
+                outcome,
+                background,
+            } => {
+                assert_eq!(outcome, KvOutcome::Written);
+                send_bg(&s, background);
+            }
+            step => panic!("expected completion, got {step:?}"),
+        }
+        let (o, _) = drive_get(&s, &c, b"k");
+        assert_eq!(o, KvOutcome::Value(Some(b"va".to_vec())));
     }
 
     #[test]
@@ -948,6 +1347,68 @@ mod tests {
         );
         // When availability is healthy, the check is a no-op.
         assert_eq!(s.maybe_refill(), 0);
+    }
+
+    #[test]
+    fn rotted_value_aborts_get_cleanly_and_overwrite_heals() {
+        let cfg = PrismKvConfig::paper(8, 32);
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        let key = crate::hash::key_bytes(2);
+        assert_eq!(drive_put(&s, &c, &key, &[7u8; 32]).0, KvOutcome::Written);
+        // Rot one value bit behind the store's back.
+        let slot = c
+            .view()
+            .slot_addr(c.view().scheme.slot(&key, 0, c.view().capacity));
+        let ptr = s.server().arena().read_u64(slot).unwrap();
+        s.server()
+            .arena()
+            .flip_bit(ptr + entry::HEADER as u64 + key.len() as u64 + 4, 3)
+            .unwrap();
+        // The GET detects the mismatch every re-read and fails cleanly
+        // — it never returns the rotted bytes.
+        let (o, rtts) = drive_get(&s, &c, &key);
+        assert_eq!(o, KvOutcome::Failed("persistent entry CRC mismatch"));
+        assert_eq!(rtts as u32, 1 + MAX_CRC_RETRIES, "bounded re-read budget");
+        assert_eq!(c.integrity().detected(), (MAX_CRC_RETRIES + 1) as u64);
+        assert_eq!(c.integrity().aborted(), 1);
+        let (_, corrupt) = s.scrub();
+        assert_eq!(corrupt, 1, "scrub still sees the damage");
+        // An overwrite installs a fresh checksummed entry: healed.
+        assert_eq!(drive_put(&s, &c, &key, &[9u8; 32]).0, KvOutcome::Written);
+        assert_eq!(s.scrub().1, 0, "overwrite heals the pool");
+        assert_eq!(
+            drive_get(&s, &c, &key).0,
+            KvOutcome::Value(Some(vec![9u8; 32]))
+        );
+    }
+
+    #[test]
+    fn rotted_key_is_detected_by_put_probe_and_overwritten() {
+        let cfg = PrismKvConfig::paper(8, 32);
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        let key = crate::hash::key_bytes(5);
+        assert_eq!(drive_put(&s, &c, &key, &[1u8; 32]).0, KvOutcome::Written);
+        let slot = c
+            .view()
+            .slot_addr(c.view().scheme.slot(&key, 0, c.view().capacity));
+        let ptr = s.server().arena().read_u64(slot).unwrap();
+        // Flip a key bit: the PUT probe's ownership check now
+        // mismatches, which in collisionless mode is damage by
+        // definition — the PUT detects it and installs over it.
+        s.server()
+            .arena()
+            .flip_bit(ptr + entry::HEADER as u64, 0)
+            .unwrap();
+        assert_eq!(drive_put(&s, &c, &key, &[2u8; 32]).0, KvOutcome::Written);
+        assert_eq!(c.integrity().detected(), 1);
+        assert_eq!(c.integrity().repaired(), 1);
+        assert_eq!(s.scrub().1, 0);
+        assert_eq!(
+            drive_get(&s, &c, &key).0,
+            KvOutcome::Value(Some(vec![2u8; 32]))
+        );
     }
 
     #[test]

@@ -380,6 +380,16 @@ impl MemoryArena {
         }
     }
 
+    /// Flips one bit of the byte at `addr` — the fault fabric's bit-rot
+    /// primitive. Goes through [`MemoryArena::atomic`] so the flip is a
+    /// proper read-modify-write under the stripe locks: concurrent
+    /// readers see either the old or the rotted byte, never a torn
+    /// intermediate.
+    pub fn flip_bit(&self, addr: u64, bit: u8) -> Result<(), RdmaError> {
+        assert!(bit < 8, "bit index out of range");
+        self.atomic(addr, 1, |b| b[0] ^= 1 << bit)
+    }
+
     /// Convenience: reads a little-endian u64 (must not cross a line if
     /// atomicity is required; an 8-byte aligned address never does).
     pub fn read_u64(&self, addr: u64) -> Result<u64, RdmaError> {
@@ -615,6 +625,23 @@ mod tests {
             a.read(MemoryArena::BASE, a.len()).unwrap(),
             vec![0u8; a.len() as usize]
         );
+    }
+
+    #[test]
+    fn flip_bit_rots_exactly_one_bit() {
+        let a = MemoryArena::new(4096);
+        let addr = MemoryArena::BASE + 100;
+        a.write(addr, &[0b1010_1010]).unwrap();
+        a.flip_bit(addr, 0).unwrap();
+        assert_eq!(a.read(addr, 1).unwrap(), [0b1010_1011]);
+        a.flip_bit(addr, 7).unwrap();
+        assert_eq!(a.read(addr, 1).unwrap(), [0b0010_1011]);
+        // Self-inverse: rot twice restores the byte.
+        a.flip_bit(addr, 7).unwrap();
+        a.flip_bit(addr, 0).unwrap();
+        assert_eq!(a.read(addr, 1).unwrap(), [0b1010_1010]);
+        // Out-of-arena rot is rejected like any access.
+        assert!(a.flip_bit(MemoryArena::BASE + 5000, 0).is_err());
     }
 
     #[test]

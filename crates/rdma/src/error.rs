@@ -70,6 +70,12 @@ pub enum RdmaError {
         /// The server's current incarnation.
         current: u64,
     },
+    /// The frame failed its integrity check: the receiving NIC's CRC
+    /// over the message did not match, so the payload was discarded
+    /// before execution. The transport-level NACK for in-flight
+    /// corruption — clients treat it like a lost message and retry;
+    /// it never carries partial data.
+    Corrupt,
 }
 
 impl fmt::Display for RdmaError {
@@ -106,6 +112,7 @@ impl fmt::Display for RdmaError {
                     "rkey from incarnation {seen} fenced (server is at incarnation {current})"
                 )
             }
+            RdmaError::Corrupt => write!(f, "frame failed integrity check (CRC mismatch)"),
         }
     }
 }
@@ -132,6 +139,7 @@ impl RdmaError {
             RdmaError::ChainAborted => (8, 0, 0, 0),
             RdmaError::BadIndirectTarget(addr) => (9, addr, 0, 0),
             RdmaError::StaleIncarnation { seen, current } => (10, seen, current, 0),
+            RdmaError::Corrupt => (11, 0, 0, 0),
         };
         let mut out = [0u8; ERROR_WIRE_LEN];
         out[0] = code;
@@ -168,6 +176,7 @@ impl RdmaError {
                 seen: a,
                 current: b,
             },
+            11 => RdmaError::Corrupt,
             _ => return None,
         })
     }
@@ -221,6 +230,7 @@ mod tests {
                 seen: 2,
                 current: 5,
             },
+            RdmaError::Corrupt,
         ];
         for e in all {
             assert_eq!(RdmaError::from_wire(&e.to_wire()), Some(e));

@@ -33,6 +33,8 @@
 use std::sync::Arc;
 
 use prism_core::builder::ops;
+use prism_core::crc::Crc32;
+use prism_core::integrity::IntegrityStats;
 use prism_core::msg::{Reply, Request};
 use prism_core::op::{field_mask, full_mask, DataArg, FreeListId, Redirect};
 use prism_core::value::CasMode;
@@ -43,6 +45,37 @@ use crate::tag::Tag;
 
 /// Metadata entry size: tag + buffer address.
 pub const META: u64 = 16;
+
+/// Buffer header preceding the value: `[tag 8 B | crc u32 | pad u32]`.
+/// The checksum covers `tag || value`, binding the tag to the bytes it
+/// vouches for — a buffer whose value rotted (or whose install tore)
+/// fails verification under *its own* tag and is never adopted by a
+/// reader, a resync, or a scrub.
+pub const BUF_HDR: u64 = 16;
+
+/// Builds the self-verifying buffer image for `tag` + `value`.
+pub fn encode_block(tag: Tag, value: &[u8]) -> Vec<u8> {
+    let tag_bytes = tag.to_bytes();
+    let mut crc = Crc32::new();
+    crc.update(&tag_bytes).update(value);
+    let mut p = Vec::with_capacity(BUF_HDR as usize + value.len());
+    p.extend_from_slice(&tag_bytes);
+    p.extend_from_slice(&crc.finish().to_le_bytes());
+    p.extend_from_slice(&[0u8; 4]);
+    p.extend_from_slice(value);
+    p
+}
+
+/// Verifies a buffer image: tag-bound checksum over `tag || value`.
+pub fn block_crc_ok(buf: &[u8]) -> bool {
+    if buf.len() < BUF_HDR as usize {
+        return false;
+    }
+    let stored = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    let mut crc = Crc32::new();
+    crc.update(&buf[..8]).update(&buf[BUF_HDR as usize..]);
+    crc.finish() == stored
+}
 
 const RPC_FREE: u8 = 0x01;
 const RPC_FREE_BATCH: u8 = 0x04;
@@ -90,9 +123,9 @@ impl RsView {
         self.meta_addr + i * META
     }
 
-    /// Buffer length: tag + value.
+    /// Buffer length: `[tag | crc | pad]` header + value.
     pub fn buf_len(&self) -> u64 {
-        8 + self.block_size
+        BUF_HDR + self.block_size
     }
 }
 
@@ -110,7 +143,7 @@ impl PrismRsServer {
     /// (tag 0, zeroed value) for every block, and the reclaim RPC.
     pub fn new(config: &RsConfig) -> Self {
         let meta_len = (config.n_blocks * META).next_multiple_of(64);
-        let buf_len = 8 + config.block_size;
+        let buf_len = BUF_HDR + config.block_size;
         let stride = buf_len.next_multiple_of(64);
         let count = config.n_blocks + config.spare_buffers;
         let pool_len = stride * count;
@@ -131,13 +164,15 @@ impl PrismRsServer {
                 (config.n_blocks..count).map(|j| pool_base + j * stride),
             )
             .expect("fresh free list accepts posts");
+        let seed_image = encode_block(Tag::ZERO, &vec![0u8; config.block_size as usize]);
         for b in 0..config.n_blocks {
             let buf = pool_base + b * stride;
-            // Buffer: [tag 0 | zero value] (arena is already zeroed; the
-            // explicit writes document the layout and survive reuse).
+            // Buffer: [tag 0 | crc | pad | zero value] — even the fresh
+            // image is self-verifying, so rot on a never-written block is
+            // detected like any other.
             server
                 .arena()
-                .write(buf, &Tag::ZERO.to_bytes())
+                .write(buf, &seed_image)
                 .expect("buffer in arena");
             let mut meta = Vec::with_capacity(16);
             meta.extend_from_slice(&Tag::ZERO.to_bytes());
@@ -246,6 +281,11 @@ impl PrismRsServer {
     pub fn view(&self) -> &RsView {
         &self.view
     }
+
+    /// The buffer pool `(base, len)` — where at-rest bit rot lands.
+    pub fn pool_range(&self) -> (u64, u64) {
+        (self.pool_base, self.stride * self.count)
+    }
 }
 
 impl std::fmt::Debug for PrismRsServer {
@@ -262,6 +302,7 @@ pub struct RsCluster {
     next_client: std::sync::atomic::AtomicU16,
     rejoins: std::sync::atomic::AtomicU64,
     resyncs: std::sync::atomic::AtomicU64,
+    scrub_repairs: std::sync::atomic::AtomicU64,
 }
 
 impl RsCluster {
@@ -277,6 +318,7 @@ impl RsCluster {
             next_client: std::sync::atomic::AtomicU16::new(1),
             rejoins: std::sync::atomic::AtomicU64::new(0),
             resyncs: std::sync::atomic::AtomicU64::new(0),
+            scrub_repairs: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -308,7 +350,9 @@ impl RsCluster {
             (r.view.n_blocks..r.count).map(|j| r.pool_base + j * r.stride),
         );
         for b in 0..r.view.n_blocks {
-            // Read-repair from the surviving peers.
+            // Read-repair from the surviving peers. Copies that fail
+            // their own checksum are never adopted: a rotted peer buffer
+            // cannot poison the rejoiner.
             let mut best_tag = Tag::ZERO;
             let mut best_val = vec![0u8; r.view.block_size as usize];
             for (j, peer) in self.replicas.iter().enumerate() {
@@ -329,17 +373,17 @@ impl RsCluster {
                         .arena()
                         .read(addr, pv.buf_len())
                         .expect("peer buffer in arena");
+                    if !block_crc_ok(&buf) {
+                        continue;
+                    }
                     best_tag = tag;
-                    best_val = buf[8..].to_vec();
+                    best_val = buf[BUF_HDR as usize..].to_vec();
                 }
             }
             let buf = r.pool_base + b * r.stride;
-            let mut payload = Vec::with_capacity(r.view.buf_len() as usize);
-            payload.extend_from_slice(&best_tag.to_bytes());
-            payload.extend_from_slice(&best_val);
             r.server
                 .arena()
-                .write(buf, &payload)
+                .write(buf, &encode_block(best_tag, &best_val))
                 .expect("buffer in arena");
             let mut meta = Vec::with_capacity(META as usize);
             meta.extend_from_slice(&best_tag.to_bytes());
@@ -354,6 +398,91 @@ impl RsCluster {
         }
         self.rejoins.fetch_add(1, Relaxed);
         inc
+    }
+
+    /// Scrubs replica `i`: verifies every block's buffer checksum and
+    /// heals persistent damage by quorum read-repair — the same
+    /// discipline as the amnesia resync, but targeted at the blocks
+    /// whose bytes rotted in place. For each damaged block the scrub
+    /// adopts the highest-tagged *valid* copy among the peers (any
+    /// completed write has one on at least `f` survivors, so the repair
+    /// is at least as fresh as every linearized value), rewrites the
+    /// buffer image in place, and re-points the metadata at it. Returns
+    /// `(blocks_ok, blocks_repaired)`.
+    pub fn scrub(&self, i: usize) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let r = &self.replicas[i];
+        let v = &r.view;
+        let mut ok = 0u64;
+        let mut repaired = 0u64;
+        for b in 0..v.n_blocks {
+            let meta = r
+                .server
+                .arena()
+                .read(v.meta(b), META)
+                .expect("metadata in arena");
+            let addr = u64::from_le_bytes(meta[8..16].try_into().expect("8 bytes"));
+            let buf = r
+                .server
+                .arena()
+                .read(addr, v.buf_len())
+                .expect("buffer in arena");
+            if block_crc_ok(&buf) {
+                ok += 1;
+                continue;
+            }
+            let mut best: Option<(Tag, Vec<u8>)> = None;
+            for (j, peer) in self.replicas.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let pv = &peer.view;
+                let pmeta = peer
+                    .server
+                    .arena()
+                    .read(pv.meta(b), META)
+                    .expect("peer metadata in arena");
+                let ptag = Tag::from_bytes(&pmeta[..8]);
+                if best.as_ref().is_some_and(|(t, _)| *t >= ptag) {
+                    continue;
+                }
+                let paddr = u64::from_le_bytes(pmeta[8..16].try_into().expect("8 bytes"));
+                let pbuf = peer
+                    .server
+                    .arena()
+                    .read(paddr, pv.buf_len())
+                    .expect("peer buffer in arena");
+                // Invalid copies are never adopted, even for repair.
+                if block_crc_ok(&pbuf) {
+                    best = Some((ptag, pbuf[BUF_HDR as usize..].to_vec()));
+                }
+            }
+            let Some((tag, value)) = best else {
+                // No valid copy anywhere — leave the block detectably
+                // corrupt rather than forge one.
+                continue;
+            };
+            r.server
+                .arena()
+                .write(addr, &encode_block(tag, &value))
+                .expect("buffer in arena");
+            let mut new_meta = Vec::with_capacity(META as usize);
+            new_meta.extend_from_slice(&tag.to_bytes());
+            new_meta.extend_from_slice(&addr.to_le_bytes());
+            r.server
+                .arena()
+                .write(v.meta(b), &new_meta)
+                .expect("metadata in arena");
+            repaired += 1;
+            self.scrub_repairs.fetch_add(1, Relaxed);
+        }
+        (ok, repaired)
+    }
+
+    /// Blocks healed in place by [`scrub`](Self::scrub) read-repairs.
+    pub fn scrub_repairs(&self) -> u64 {
+        self.scrub_repairs
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Completed amnesia rejoins across the cluster.
@@ -412,6 +541,7 @@ impl RsCluster {
                 .collect(),
             client_id: id,
             f: self.f(),
+            integrity: Arc::new(IntegrityStats::new()),
         }
     }
 }
@@ -423,6 +553,7 @@ pub struct RsClient {
     scratch: Vec<(u64, u32)>,
     client_id: u16,
     f: usize,
+    integrity: Arc<IntegrityStats>,
 }
 
 /// Final outcome of a replicated operation.
@@ -491,6 +622,9 @@ pub struct RsOp {
     acks: usize,
     write_failures: usize,
     result_value: Option<Vec<u8>>,
+    /// Whether any reply failed buffer verification; drives the
+    /// repaired/aborted accounting when the op completes.
+    verify_failed: bool,
 }
 
 impl RsClient {
@@ -522,6 +656,19 @@ impl RsClient {
     /// Quorum size `f + 1`.
     pub fn quorum(&self) -> usize {
         self.f + 1
+    }
+
+    /// Shares an integrity-stats sink (e.g. the harness's) instead of
+    /// the client's private one.
+    pub fn with_integrity(mut self, stats: Arc<IntegrityStats>) -> Self {
+        self.integrity = stats;
+        self
+    }
+
+    /// Corruption detections, repairs, and aborts observed by this
+    /// client's checksum verification.
+    pub fn integrity(&self) -> &Arc<IntegrityStats> {
+        &self.integrity
     }
 
     /// Starts a GET of `block`.
@@ -570,6 +717,21 @@ impl RsOp {
             acks: 0,
             write_failures: 0,
             result_value: None,
+            verify_failed: false,
+        }
+    }
+
+    /// Completion-time integrity accounting: an op that observed at
+    /// least one corrupt copy either still completed from valid copies
+    /// (the quorum masked the damage — a repair from the caller's view)
+    /// or failed cleanly (an abort). Either way, never a silent wrong
+    /// answer.
+    fn account(&self, c: &RsClient, outcome: &RsOutcome) {
+        if self.verify_failed {
+            match outcome {
+                RsOutcome::Failed(_) => c.integrity.note_aborted(),
+                _ => c.integrity.note_repaired(),
+            }
         }
     }
 
@@ -605,9 +767,7 @@ impl RsOp {
             .enumerate()
             .map(|(r, v)| {
                 let (scratch_addr, scratch_rkey) = c.scratch[r];
-                let mut payload = Vec::with_capacity(v.buf_len() as usize);
-                payload.extend_from_slice(&self.write_tag.to_bytes());
-                payload.extend_from_slice(value);
+                let payload = encode_block(self.write_tag, value);
                 let chain = vec![
                     // 1. Stage the new tag at scratch+0.
                     ops::write(
@@ -647,6 +807,38 @@ impl RsOp {
             .collect()
     }
 
+    /// Re-arms the op for a full retry after a transport or quorum
+    /// failure, applying its effect at most once per timestamp.
+    ///
+    /// A PUT whose write phase already chose its tag keeps it:
+    /// re-pushing the same `(tag, value)` is idempotent under the
+    /// CAS_GT install (replicas at or above the tag simply ack),
+    /// whereas re-running the read phase would mint a fresh higher tag
+    /// and could re-apply the value *over* a later write that readers
+    /// already observed — a stale-value resurrection. GETs and PUTs
+    /// that never reached the write phase restart from a clean read
+    /// phase; nothing of theirs was applied.
+    pub fn reissue(&mut self, c: &RsClient) -> RsStep {
+        self.read_replies = 0;
+        self.read_failures = 0;
+        self.acks = 0;
+        self.write_failures = 0;
+        if let OpKind::Put(v) = &self.kind {
+            if self.write_tag != Tag::ZERO {
+                let v = v.clone();
+                self.phase = Phase::Write;
+                self.phase_no = 1;
+                return RsStep::sends(self.write_phase_sends(c, &v));
+            }
+        }
+        self.phase = Phase::Read;
+        self.phase_no = 0;
+        self.max_tag = Tag::ZERO;
+        self.max_value = None;
+        self.result_value = None;
+        self.read_phase_sends(c)
+    }
+
     /// Feeds one replica's reply for the given phase.
     pub fn on_reply(&mut self, c: &RsClient, phase: u32, replica: usize, reply: Reply) -> RsStep {
         match (phase, &self.phase) {
@@ -668,14 +860,21 @@ impl RsOp {
         match (&self.kind, first_status) {
             (OpKind::Get, Some(OpStatus::Ok)) => {
                 let data = &results[0].data;
-                if data.len() >= 8 {
+                if data.len() >= BUF_HDR as usize && block_crc_ok(data) {
                     let tag = Tag::from_bytes(&data[..8]);
                     if tag >= self.max_tag || self.max_value.is_none() {
                         self.max_tag = tag;
-                        self.max_value = Some(data[8..].to_vec());
+                        self.max_value = Some(data[BUF_HDR as usize..].to_vec());
                     }
                     self.read_replies += 1;
                 } else {
+                    if data.len() >= BUF_HDR as usize {
+                        // Structurally complete but checksum-invalid:
+                        // a rotted or torn copy, detected and excluded —
+                        // the quorum completes from valid replicas.
+                        c.integrity.note_detected();
+                        self.verify_failed = true;
+                    }
                     self.read_failures += 1;
                 }
             }
@@ -693,8 +892,10 @@ impl RsOp {
         }
         if self.read_failures > c.n() - c.quorum() {
             self.phase = Phase::Done;
+            let outcome = RsOutcome::Failed("read phase lost quorum");
+            self.account(c, &outcome);
             return RsStep {
-                done: Some(RsOutcome::Failed("read phase lost quorum")),
+                done: Some(outcome),
                 ..Default::default()
             };
         }
@@ -711,8 +912,10 @@ impl RsOp {
                 // degrades to a counted failure instead of a panic.
                 let Some(v) = self.max_value.clone() else {
                     self.phase = Phase::Done;
+                    let outcome = RsOutcome::Failed("read quorum carried no value");
+                    self.account(c, &outcome);
                     return RsStep {
-                        done: Some(RsOutcome::Failed("read quorum carried no value")),
+                        done: Some(outcome),
                         ..Default::default()
                     };
                 };
@@ -773,6 +976,9 @@ impl RsOp {
             } else if self.write_failures > c.n() - c.quorum() {
                 self.phase = Phase::Done;
                 done = Some(RsOutcome::Failed("write phase lost quorum"));
+            }
+            if let Some(o) = &done {
+                self.account(c, o);
             }
         }
         RsStep {
@@ -1192,6 +1398,148 @@ mod tests {
             get(&cl, &c, 0, &[false; 3]),
             RsOutcome::Value(vec![0u8; 64])
         );
+    }
+
+    #[test]
+    fn rotted_copy_is_excluded_masked_by_quorum_and_scrub_healed() {
+        let cl = cluster();
+        let c = cl.open_client();
+        let val = vec![7u8; 64];
+        assert_eq!(
+            put(&cl, &c, 2, val.clone(), &[false; 3]),
+            RsOutcome::Written
+        );
+        // Rot one bit of replica 1's buffer for block 2, behind its back.
+        let v1 = cl.replica(1).view().clone();
+        let addr = cl
+            .replica(1)
+            .server()
+            .arena()
+            .read_u64(v1.meta(2) + 8)
+            .unwrap();
+        cl.replica(1)
+            .server()
+            .arena()
+            .flip_bit(addr + BUF_HDR + 5, 2)
+            .unwrap();
+        // A GET detects + excludes the rotted copy and answers from the
+        // valid quorum — a masked (repaired) read, never the bad bytes.
+        let c2 = cl.open_client();
+        assert_eq!(get(&cl, &c2, 2, &[false; 3]), RsOutcome::Value(val.clone()));
+        assert_eq!(c2.integrity().detected(), 1);
+        assert_eq!(c2.integrity().repaired(), 1);
+        assert_eq!(c2.integrity().aborted(), 0);
+        // The damage persists at rest (the write-back CAS can't replace
+        // an equal tag) until a scrub read-repairs it from the peers.
+        let (ok, repaired) = cl.scrub(1);
+        assert_eq!((ok, repaired), (15, 1));
+        assert_eq!(cl.scrub_repairs(), 1);
+        assert_eq!(cl.scrub(1), (16, 0), "second scrub finds nothing");
+        // The healed replica now serves the value even in a quorum that
+        // excludes the original writer majority.
+        assert_eq!(
+            get(&cl, &c2, 2, &[true, false, false]),
+            RsOutcome::Value(val)
+        );
+    }
+
+    #[test]
+    fn majority_rot_aborts_instead_of_answering_wrong() {
+        let cl = cluster();
+        let c = cl.open_client();
+        assert_eq!(
+            put(&cl, &c, 0, vec![3u8; 64], &[false; 3]),
+            RsOutcome::Written
+        );
+        // Rot the block's buffer on two of three replicas: no read
+        // quorum of valid copies remains.
+        for r in [0usize, 1] {
+            let v = cl.replica(r).view().clone();
+            let addr = cl
+                .replica(r)
+                .server()
+                .arena()
+                .read_u64(v.meta(0) + 8)
+                .unwrap();
+            cl.replica(r)
+                .server()
+                .arena()
+                .flip_bit(addr + BUF_HDR, 0)
+                .unwrap();
+        }
+        let c2 = cl.open_client();
+        assert!(matches!(
+            get(&cl, &c2, 0, &[false; 3]),
+            RsOutcome::Failed(_)
+        ));
+        assert_eq!(c2.integrity().detected(), 2);
+        assert_eq!(c2.integrity().aborted(), 1);
+        // Scrub heals both from the surviving valid copy; service returns.
+        assert_eq!(cl.scrub(0).1, 1);
+        assert_eq!(cl.scrub(1).1, 1);
+        assert_eq!(
+            get(&cl, &c2, 0, &[false; 3]),
+            RsOutcome::Value(vec![3u8; 64])
+        );
+    }
+
+    #[test]
+    fn resync_never_adopts_invalid_copies() {
+        let cl = cluster();
+        let c = cl.open_client();
+        assert_eq!(
+            put(&cl, &c, 1, vec![9u8; 64], &[false; 3]),
+            RsOutcome::Written
+        );
+        // Rot replica 0's copy, then amnesia-restart replica 2: the
+        // rejoiner must rebuild from replica 1's valid copy, not adopt
+        // replica 0's higher-... equal-tagged garbage.
+        let v0 = cl.replica(0).view().clone();
+        let addr = cl
+            .replica(0)
+            .server()
+            .arena()
+            .read_u64(v0.meta(1) + 8)
+            .unwrap();
+        cl.replica(0)
+            .server()
+            .arena()
+            .flip_bit(addr + BUF_HDR + 1, 7)
+            .unwrap();
+        cl.amnesia_restart(2);
+        let v2 = cl.replica(2).view().clone();
+        let addr2 = cl
+            .replica(2)
+            .server()
+            .arena()
+            .read_u64(v2.meta(1) + 8)
+            .unwrap();
+        let buf = cl
+            .replica(2)
+            .server()
+            .arena()
+            .read(addr2, v2.buf_len())
+            .unwrap();
+        assert!(block_crc_ok(&buf), "rejoined copy must verify");
+        assert_eq!(&buf[BUF_HDR as usize..], &vec![9u8; 64][..]);
+    }
+
+    #[test]
+    fn block_images_detect_every_single_bit_flip() {
+        let img = encode_block(Tag { ts: 3, id: 9 }, &[0xA5; 32]);
+        assert!(block_crc_ok(&img));
+        for byte in 0..img.len() {
+            for bit in 0..8 {
+                // Pad bytes are outside tag and value; flips there are
+                // harmless and uncovered by design.
+                if (12..16).contains(&byte) {
+                    continue;
+                }
+                let mut m = img.clone();
+                m[byte] ^= 1 << bit;
+                assert!(!block_crc_ok(&m), "flip at {byte}:{bit} undetected");
+            }
+        }
     }
 
     #[test]

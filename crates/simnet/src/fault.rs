@@ -110,13 +110,35 @@ impl ClientCrashWindow {
     }
 }
 
+/// A scheduled at-rest bit-rot event: at `at`, `bits` seeded single-bit
+/// flips land inside `[addr, addr + len)` of `server`'s arena.
+///
+/// Rot models the memory-corruption half of the failure model — a
+/// partially-failed DIMM, a torn persist, radiation — and is therefore
+/// constrained to crash windows: live PRISM servers hand their memory
+/// to the NIC, and the simulator's arena is otherwise only mutated by
+/// verbs. [`FaultPlan::validate`] enforces the constraint loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotEvent {
+    /// Index of the affected server.
+    pub server: usize,
+    /// When the rot lands; must fall inside a crash window of `server`.
+    pub at: SimTime,
+    /// Base of the damaged byte range (arena address).
+    pub addr: u64,
+    /// Length of the damaged byte range.
+    pub len: u64,
+    /// How many seeded single-bit flips to scatter over the range.
+    pub bits: u32,
+}
+
 /// A deterministic fault schedule for one simulation run.
 ///
 /// The [`Default`] plan is a no-op: nothing is dropped, duplicated,
-/// delayed, crashed, or partitioned, and the harness bypasses the
-/// fault machinery entirely (no extra events, no extra RNG draws).
-/// Build an adversarial plan from [`FaultPlan::seeded`] plus the
-/// `with_*` combinators.
+/// delayed, crashed, partitioned, or corrupted, and the harness
+/// bypasses the fault machinery entirely (no extra events, no extra
+/// RNG draws). Build an adversarial plan from [`FaultPlan::seeded`]
+/// plus the `with_*` combinators.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// Seed for the fault-decision RNG streams (independent of the run
@@ -145,6 +167,18 @@ pub struct FaultPlan {
     pub partitions: Vec<Partition>,
     /// Scheduled client crashes.
     pub client_crashes: Vec<ClientCrashWindow>,
+    /// Probability that a request is corrupted in flight (one seeded
+    /// bit of its encoded frame flipped before delivery).
+    pub flip_req_prob: f64,
+    /// Probability that a reply is corrupted in flight.
+    pub flip_reply_prob: f64,
+    /// Probability that a multi-line WRITE arriving at a *crashed*
+    /// server is torn: a seeded prefix of its 64-byte cache-line groups
+    /// lands in memory before the crash takes the rest. Requires at
+    /// least one crash window to ever fire.
+    pub torn_write_prob: f64,
+    /// Scheduled at-rest bit-rot events (each inside a crash window).
+    pub rot: Vec<RotEvent>,
 }
 
 impl FaultPlan {
@@ -218,6 +252,53 @@ impl FaultPlan {
         self
     }
 
+    /// Sets in-flight corruption probabilities for the request and
+    /// reply legs. Each corrupted frame has one seeded bit flipped, so
+    /// the CRC framing detects it with certainty — `corrupt detected`
+    /// equals `corrupt injected` for flip-only plans.
+    pub fn with_flips(mut self, flip_req_prob: f64, flip_reply_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&flip_req_prob),
+            "flip_req_prob out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&flip_reply_prob),
+            "flip_reply_prob out of range"
+        );
+        self.flip_req_prob = flip_req_prob;
+        self.flip_reply_prob = flip_reply_prob;
+        self
+    }
+
+    /// Sets the torn-write probability for WRITEs arriving at crashed
+    /// servers. [`validate`](Self::validate) rejects a plan that arms
+    /// this without any crash window — it could never fire.
+    pub fn with_torn_writes(mut self, torn_write_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&torn_write_prob),
+            "torn_write_prob out of range"
+        );
+        self.torn_write_prob = torn_write_prob;
+        self
+    }
+
+    /// Adds an at-rest rot event: `bits` seeded bit flips over
+    /// `[addr, addr + len)` of `server`'s arena at time `at`, which
+    /// must fall inside one of `server`'s crash windows (add the crash
+    /// first; [`validate`](Self::validate) enforces the coverage).
+    pub fn with_rot(mut self, server: usize, at: SimTime, addr: u64, len: u64, bits: u32) -> Self {
+        assert!(len > 0, "empty rot range");
+        assert!(bits > 0, "rot event with zero bit flips");
+        self.rot.push(RotEvent {
+            server,
+            at,
+            addr,
+            len,
+            bits,
+        });
+        self
+    }
+
     /// Adds a partition window between `client` and `server`.
     pub fn with_partition(
         mut self,
@@ -247,6 +328,19 @@ impl FaultPlan {
             && self.crashes.is_empty()
             && self.partitions.is_empty()
             && self.client_crashes.is_empty()
+            && !self.injects_corruption()
+    }
+
+    /// Whether the plan injects any corruption (in-flight flips, torn
+    /// writes, or at-rest rot). When false, the harness draws nothing
+    /// from the corruption RNG streams, so pre-existing plans replay
+    /// the exact draw sequences they had before the corruption layer
+    /// existed.
+    pub fn injects_corruption(&self) -> bool {
+        self.flip_req_prob > 0.0
+            || self.flip_reply_prob > 0.0
+            || self.torn_write_prob > 0.0
+            || !self.rot.is_empty()
     }
 
     /// Whether `server` is inside any crash window at `at`.
@@ -319,6 +413,24 @@ impl FaultPlan {
                 w.client
             );
         }
+        assert!(
+            self.torn_write_prob == 0.0 || !self.crashes.is_empty(),
+            "torn writes armed but no crash window is scheduled — they could never fire"
+        );
+        for r in &self.rot {
+            assert!(
+                r.server < n_servers,
+                "rot event names server {} but the run has {n_servers}",
+                r.server
+            );
+            assert!(
+                self.crashes.iter().any(|w| w.covers(r.server, r.at)),
+                "rot event at t={}ns is outside every crash window of server {} — \
+                 at-rest rot only lands while the server is down",
+                r.at.as_nanos(),
+                r.server
+            );
+        }
     }
 
     /// Generates a composed chaos schedule from a seed: `spec.horizon`
@@ -344,6 +456,10 @@ impl FaultPlan {
         };
         let mut plan = FaultPlan::seeded(seed).with_loss(spec.drop_prob, spec.dup_prob);
         plan.jitter_ns = spec.jitter_ns;
+        // Corruption knobs copy straight across (no RNG draws, so specs
+        // that leave them zero generate the exact plans they always did).
+        plan.flip_req_prob = spec.flip_req_prob;
+        plan.flip_reply_prob = spec.flip_reply_prob;
         for _ in 0..spec.server_crashes {
             let server = rng.gen_range(spec.servers as u64) as usize;
             let (from, until) = window(&mut rng);
@@ -363,6 +479,11 @@ impl FaultPlan {
             let server = rng.gen_range(spec.servers as u64) as usize;
             let (from, until) = window(&mut rng);
             plan = plan.with_partition(client, server, from, until);
+        }
+        // Torn writes need a crash window to fire in; arming them on a
+        // crash-free schedule would fail validation.
+        if !plan.crashes.is_empty() {
+            plan.torn_write_prob = spec.torn_write_prob;
         }
         plan.validate(spec.servers, spec.clients);
         plan
@@ -393,6 +514,13 @@ pub struct ChaosSpec {
     pub dup_prob: f64,
     /// Background delivery jitter, in nanoseconds.
     pub jitter_ns: u64,
+    /// Background request-leg corruption probability.
+    pub flip_req_prob: f64,
+    /// Background reply-leg corruption probability.
+    pub flip_reply_prob: f64,
+    /// Torn-write probability for WRITEs hitting crashed servers (only
+    /// takes effect when the schedule includes server crashes).
+    pub torn_write_prob: f64,
 }
 
 #[cfg(test)]
@@ -493,6 +621,66 @@ mod tests {
             .validate(2, 4);
     }
 
+    #[test]
+    fn corruption_modes_arm_the_plan() {
+        let t = SimTime::from_nanos;
+        assert!(FaultPlan::seeded(1).with_flips(0.0, 0.0).is_noop());
+        assert!(!FaultPlan::seeded(1).with_flips(0.01, 0.0).is_noop());
+        assert!(!FaultPlan::seeded(1).with_flips(0.0, 0.01).is_noop());
+        let p = FaultPlan::seeded(1)
+            .with_crash(0, t(10), t(20))
+            .with_torn_writes(0.5);
+        assert!(!p.is_noop() && p.injects_corruption());
+        let p =
+            FaultPlan::seeded(1)
+                .with_crash(0, t(10), t(20))
+                .with_rot(0, t(15), 0x1_0000, 64, 3);
+        assert!(p.injects_corruption());
+        p.validate(1, 1);
+        // Loss-only plans report no corruption, so the harness draws
+        // nothing from the corruption streams for them.
+        assert!(!FaultPlan::seeded(1)
+            .with_loss(0.1, 0.1)
+            .injects_corruption());
+    }
+
+    #[test]
+    #[should_panic(expected = "flip_req_prob out of range")]
+    fn flip_probability_is_validated() {
+        let _ = FaultPlan::seeded(1).with_flips(2.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "torn writes armed but no crash window")]
+    fn torn_writes_require_a_crash_window() {
+        FaultPlan::seeded(1).with_torn_writes(0.5).validate(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside every crash window")]
+    fn rot_outside_crash_windows_rejected() {
+        let t = SimTime::from_nanos;
+        FaultPlan::seeded(1)
+            .with_crash(0, t(10), t(20))
+            .with_rot(0, t(25), 0x1_0000, 64, 1)
+            .validate(2, 2)
+    }
+
+    #[test]
+    #[should_panic(expected = "rot event names server 5")]
+    fn rot_on_unknown_server_rejected() {
+        let t = SimTime::from_nanos;
+        let mut p = FaultPlan::seeded(1).with_crash(1, t(10), t(20));
+        p.rot.push(RotEvent {
+            server: 5,
+            at: t(15),
+            addr: 0x1_0000,
+            len: 64,
+            bits: 1,
+        });
+        p.validate(2, 2)
+    }
+
     // Satellite: window-composition semantics under overlap and shared
     // boundaries. Any set of windows must behave as the half-open union
     // of its members — crashed(s, t) iff some window [from, until)
@@ -575,10 +763,29 @@ mod tests {
                 drop_prob: 0.01,
                 dup_prob: 0.005,
                 jitter_ns: 100,
+                flip_req_prob: 0.002,
+                flip_reply_prob: 0.002,
+                torn_write_prob: 0.5,
             };
             let a = FaultPlan::chaos(seed, &spec);
             let b = FaultPlan::chaos(seed, &spec);
             assert_eq!(a, b, "same (seed, spec) must produce identical plans");
+            assert_eq!(a.flip_req_prob, spec.flip_req_prob);
+            assert_eq!(
+                a.torn_write_prob,
+                if a.crashes.is_empty() { 0.0 } else { 0.5 },
+                "torn writes only armed when a crash window exists"
+            );
+            // Corruption knobs draw nothing: zeroing them reproduces the
+            // exact same windows.
+            let mut clean_spec = spec.clone();
+            clean_spec.flip_req_prob = 0.0;
+            clean_spec.flip_reply_prob = 0.0;
+            clean_spec.torn_write_prob = 0.0;
+            let clean = FaultPlan::chaos(seed, &clean_spec);
+            assert_eq!(clean.crashes, a.crashes);
+            assert_eq!(clean.partitions, a.partitions);
+            assert_eq!(clean.client_crashes, a.client_crashes);
             assert_eq!(a.crashes.len(), spec.server_crashes);
             assert_eq!(a.client_crashes.len(), spec.client_crashes);
             assert_eq!(a.partitions.len(), spec.partitions);

@@ -48,6 +48,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use prism_core::builder::ops;
+use prism_core::crc::Crc32;
+use prism_core::integrity::IntegrityStats;
 use prism_core::msg::{Reply, Request};
 use prism_core::op::{field_mask, full_mask, DataArg, FreeListId, Redirect};
 use prism_core::value::CasMode;
@@ -58,6 +60,37 @@ use crate::ts::{Ts, TxClock};
 
 /// Per-key slot size.
 pub const SLOT: u64 = 32;
+
+/// Version-buffer header: `[C 8 B | key 8 B | crc u32 | pad u32]`.
+/// The checksum covers `C || key || value`, binding the committed
+/// timestamp and key identity to the value bytes — a torn install or
+/// at-rest rot fails verification and the reading transaction aborts
+/// cleanly instead of computing on garbage.
+pub const VER_HDR: u64 = 24;
+
+/// Builds the self-verifying version image for `(ts, key, value)`.
+pub fn encode_version(ts: Ts, key: u64, value: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(VER_HDR as usize + value.len());
+    p.extend_from_slice(&ts.to_bytes());
+    p.extend_from_slice(&key.to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&p[..16]).update(value);
+    p.extend_from_slice(&crc.finish().to_le_bytes());
+    p.extend_from_slice(&[0u8; 4]);
+    p.extend_from_slice(value);
+    p
+}
+
+/// Verifies a version image's checksum.
+pub fn version_crc_ok(buf: &[u8]) -> bool {
+    if buf.len() < VER_HDR as usize {
+        return false;
+    }
+    let stored = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes"));
+    let mut crc = Crc32::new();
+    crc.update(&buf[..16]).update(&buf[VER_HDR as usize..]);
+    crc.finish() == stored
+}
 
 /// Write keys per commit chain (limited by the 64-byte connection
 /// scratch slot: 16 staging bytes per key).
@@ -109,9 +142,9 @@ impl TxView {
         self.slot_addr + i * SLOT
     }
 
-    /// Buffer length: `C` + key + value.
+    /// Buffer length: `[C | key | crc | pad]` header + value.
     pub fn buf_len(&self) -> u64 {
-        16 + self.value_len
+        VER_HDR + self.value_len
     }
 }
 
@@ -119,6 +152,8 @@ impl TxView {
 pub struct TxServer {
     server: Arc<PrismServer>,
     view: TxView,
+    pool_base: u64,
+    pool_len: u64,
     /// Cooperative-termination lease state: local key index → the
     /// prepared-writer timestamp seen dangling (`PW > C`) at the last
     /// sweep. See [`TxServer::sweep_prepares`].
@@ -130,7 +165,7 @@ impl TxServer {
     /// (timestamp 0, zeroed value) for every key, reclaim RPC.
     pub fn new(config: &TxConfig, shard: u64, n_shards: u64) -> Self {
         let slots_len = (config.keys_per_shard * SLOT).next_multiple_of(64);
-        let buf_len = 16 + config.value_len;
+        let buf_len = VER_HDR + config.value_len;
         let stride = buf_len.next_multiple_of(64);
         let count = config.keys_per_shard + config.spare_buffers;
         let pool_len = stride * count;
@@ -152,9 +187,7 @@ impl TxServer {
         for i in 0..config.keys_per_shard {
             let buf = pool_base + i * stride;
             let global_key = i * n_shards + shard;
-            let mut init = Vec::with_capacity(16);
-            init.extend_from_slice(&Ts::ZERO.to_bytes());
-            init.extend_from_slice(&global_key.to_le_bytes());
+            let init = encode_version(Ts::ZERO, global_key, &vec![0u8; config.value_len as usize]);
             server.arena().write(buf, &init).expect("buffer in arena");
             // Slot: PW = PR = C = 0, addr = buf.
             let mut slot = Vec::with_capacity(SLOT as usize);
@@ -209,8 +242,39 @@ impl TxServer {
                 value_len: config.value_len,
                 freelist,
             },
+            pool_base,
+            pool_len,
             lease: std::sync::Mutex::new(HashMap::new()),
         }
+    }
+
+    /// `(base, len)` of the version-buffer pool — the at-rest surface
+    /// the fault fabric's rot events may target.
+    pub fn pool_range(&self) -> (u64, u64) {
+        (self.pool_base, self.pool_len)
+    }
+
+    /// Integrity scrub: verifies the checksum of every key's committed
+    /// version buffer, returning `(ok, corrupt)`. Detection-only — TX
+    /// keeps a single copy per key, so there is no replica to repair
+    /// from; a damaged version is healed by the next committed write
+    /// installing a fresh buffer, and until then readers abort cleanly.
+    pub fn scrub(&self) -> (u64, u64) {
+        let (mut ok, mut corrupt) = (0, 0);
+        let buf_len = self.view.buf_len();
+        for i in 0..self.view.capacity {
+            let addr_word = self
+                .server
+                .arena()
+                .read(self.view.slot(i) + 24, 8)
+                .expect("slot in arena");
+            let addr = u64::from_le_bytes(addr_word.as_slice().try_into().expect("8 bytes"));
+            match self.server.arena().read(addr, buf_len) {
+                Ok(buf) if version_crc_ok(&buf) => ok += 1,
+                _ => corrupt += 1,
+            }
+        }
+        (ok, corrupt)
     }
 
     /// Cooperative termination (§8.2) for transactions whose client
@@ -321,6 +385,11 @@ impl TxCluster {
         }
     }
 
+    /// Integrity scrub of shard `i` (see [`TxServer::scrub`]).
+    pub fn scrub(&self, i: usize) -> (u64, u64) {
+        self.shards[i].scrub()
+    }
+
     /// Runs one cooperative-termination sweep on shard `i` (see
     /// [`TxServer::sweep_prepares`]) and folds the count into
     /// [`TxCluster::reclaims`].
@@ -372,6 +441,7 @@ impl TxCluster {
                 })
                 .collect(),
             clock: TxClock::new(id, 0),
+            integrity: Arc::new(IntegrityStats::new()),
         }
     }
 }
@@ -382,6 +452,7 @@ pub struct TxClient {
     views: Vec<TxView>,
     scratch: Vec<(u64, u32)>,
     clock: TxClock,
+    integrity: Arc<IntegrityStats>,
 }
 
 /// Outcome of a transaction attempt.
@@ -466,6 +537,17 @@ impl TxClient {
     /// The client id.
     pub fn cid(&self) -> u16 {
         self.clock.cid()
+    }
+
+    /// Shares the integrity counters (harness accounting).
+    pub fn with_integrity(mut self, stats: Arc<IntegrityStats>) -> Self {
+        self.integrity = stats;
+        self
+    }
+
+    /// The integrity counters this client reports into.
+    pub fn integrity(&self) -> &Arc<IntegrityStats> {
+        &self.integrity
     }
 
     /// Shard holding global key `k`.
@@ -743,10 +825,7 @@ impl TxOp {
                 let mut chain = Vec::new();
                 for (j, (k, val)) in chunk.iter().enumerate() {
                     let stage = scratch_addr + (j as u64) * 16;
-                    let mut payload = Vec::with_capacity(v.buf_len() as usize);
-                    payload.extend_from_slice(&self.ts.to_bytes());
-                    payload.extend_from_slice(&k.to_le_bytes());
-                    payload.extend_from_slice(val);
+                    let payload = encode_version(self.ts, *k, val);
                     chain.push(ops::write(stage, self.ts.to_bytes().to_vec(), scratch_rkey));
                     chain.push(ops::allocate(v.freelist, payload).redirect(Redirect {
                         addr: stage + 8,
@@ -894,12 +973,26 @@ impl TxOp {
                         }
                     };
                     match results.get(2 * i + 1).map(|r| r.expect_data()) {
-                        Some(Ok(d)) if d.len() >= 16 => {
-                            let version = Ts::from_bytes(&d[..8]);
+                        Some(Ok(d)) if d.len() >= VER_HDR as usize => {
                             let embedded = u64::from_le_bytes(d[8..16].try_into().expect("8B"));
-                            debug_assert_eq!(embedded, k, "buffer key mismatch");
+                            if !version_crc_ok(d) || embedded != k {
+                                // The committed version failed its
+                                // self-check (torn install or at-rest
+                                // rot): abort cleanly before computing
+                                // on garbage. The attempt is retryable
+                                // — a concurrent writer's fresh install
+                                // heals the key by overwrite.
+                                c.integrity.note_detected();
+                                c.integrity.note_aborted();
+                                self.phase = Phase::Done;
+                                return TxStep {
+                                    done: Some(TxOutcome::Aborted),
+                                    ..Default::default()
+                                };
+                            }
+                            let version = Ts::from_bytes(&d[..8]);
                             self.rc.insert(k, version.max(slot_c));
-                            self.values.insert(k, d[16..].to_vec());
+                            self.values.insert(k, d[VER_HDR as usize..].to_vec());
                         }
                         _ => {
                             self.phase = Phase::Done;
@@ -1521,6 +1614,63 @@ mod tests {
         assert_eq!(cl.sweep_shard(0), 0);
         assert_eq!(cl.stuck_keys(), 0);
         assert_eq!(cl.reclaims(), 0);
+    }
+
+    #[test]
+    fn version_images_detect_every_single_bit_flip() {
+        let img = encode_version(Ts { clock: 7, cid: 3 }, 42, &[0xA5; 32]);
+        assert!(version_crc_ok(&img));
+        for byte in 0..img.len() {
+            if (20..24).contains(&byte) {
+                continue; // header padding, not covered by the checksum
+            }
+            for bit in 0..8 {
+                let mut flipped = img.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    !version_crc_ok(&flipped),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotted_version_aborts_reads_cleanly_and_overwrite_heals() {
+        let cl = cluster(1, 4);
+        let mut c = cl.open_client();
+        assert!(matches!(
+            commit_write(&cl, &mut c, 0, vec![9u8; 32]),
+            TxOutcome::Committed(_)
+        ));
+
+        // Rot a bit of key 0's committed value at rest.
+        let shard = cl.shard(0);
+        let addr_word = shard
+            .server()
+            .arena()
+            .read(shard.view().slot(0) + 24, 8)
+            .unwrap();
+        let buf = u64::from_le_bytes(addr_word.as_slice().try_into().unwrap());
+        shard.server().arena().flip_bit(buf + VER_HDR, 2).unwrap();
+        assert_eq!(cl.scrub(0), (3, 1), "scrub must flag the rotted version");
+
+        // A reading transaction detects the mismatch and aborts cleanly
+        // instead of returning the damaged value.
+        let (op, step) = c.begin(vec![0], vec![]);
+        assert_eq!(drive(&cl, &mut c, op, step), TxOutcome::Aborted);
+        assert_eq!(c.integrity().detected(), 1);
+        assert_eq!(c.integrity().aborted(), 1);
+
+        // A blind write never reads the damaged buffer; its commit
+        // installs a fresh self-verifying version, healing the key.
+        let (op, step) = c.begin(vec![], vec![(0, vec![4u8; 32])]);
+        assert!(matches!(
+            drive(&cl, &mut c, op, step),
+            TxOutcome::Committed(_)
+        ));
+        assert_eq!(cl.scrub(0), (4, 0), "overwrite must heal the rot");
+        assert_eq!(read_keys(&cl, &mut c, &[0])[&0], vec![4u8; 32]);
     }
 
     #[test]

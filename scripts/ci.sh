@@ -14,10 +14,17 @@
 #                           crashes, partitions, loss): linearizable
 #                           histories, recovery protocols fired, replay
 #                           bit-exact
-#   6. bench smoke        — substrate benches at 50 ms/bench, so a perf
+#   6. corruption matrix  — seeded bit flips, torn writes, and at-rest
+#                           rot: every injected fault detected or
+#                           repaired, counter conservation holds, and a
+#                           no-corruption plan stays bit-identical
+#   7. second-seed pass   — fault matrix + chaos gate again under a
+#                           different PRISM_TEST_SEED, so the gates
+#                           don't ossify around one lucky schedule
+#   8. bench smoke        — substrate benches at 50 ms/bench, so a perf
 #                           regression that breaks the bench harness (or
 #                           an arena change that deadlocks it) fails CI
-#   7. cargo fmt --check  — skipped with a notice if rustfmt is absent
+#   9. cargo fmt --check  — skipped with a notice if rustfmt is absent
 #
 # The property suites print a PRISM_TEST_SEED on failure; re-run the
 # named test with that env var to reproduce the exact failing input.
@@ -39,6 +46,13 @@ cargo test -q --offline -p prism-harness --test fault_matrix
 
 echo "== chaos gate (fixed-seed linearizability under amnesia) =="
 cargo test -q --offline -p prism-harness --test chaos_gate
+
+echo "== corruption matrix (bit flips / torn writes / rot) =="
+cargo test -q --offline -p prism-harness --test corruption_matrix
+
+echo "== second-seed pass (fault matrix + chaos gate) =="
+PRISM_TEST_SEED=1806242025 cargo test -q --offline -p prism-harness \
+    --test fault_matrix --test chaos_gate
 
 echo "== bench smoke (substrate, 50 ms/bench) =="
 PRISM_BENCH_MS=50 cargo bench -q --offline -p prism-bench --bench substrate

@@ -147,6 +147,76 @@ fn batch_boundary_shapes() {
     );
 }
 
+/// Mutated frames never decode: take a valid sealed frame, XOR 1–3
+/// distinct bytes with nonzero masks, and decoding must return a clean
+/// error — no panic, no over-read, and never a silently different
+/// message. The frame CRCs (header and payload) are what make this
+/// hold for *every* mutation, not just structurally invalid ones.
+#[test]
+fn mutated_frames_are_rejected_not_misread() {
+    let gen = gens::t2(
+        gens::vec(arb_request_member(), 0..4).map(Request::Batch),
+        gens::vec(gens::t2(gens::u64s(), gens::u8s().map(|m| m | 1)), 1..4),
+    );
+    for_all(
+        "mutated_request_frames_are_rejected",
+        &Config::with_cases(256),
+        &gen,
+        |(batch, mutations)| {
+            let clean = batch.encode().expect("encode");
+            let mut bytes = clean.clone();
+            let mut hit = Vec::new();
+            for (pos, mask) in mutations {
+                let at = (*pos as usize) % bytes.len();
+                // Distinct positions with nonzero masks guarantee the
+                // mutated frame differs from the original.
+                if hit.contains(&at) {
+                    continue;
+                }
+                hit.push(at);
+                bytes[at] ^= mask;
+            }
+            assert!(
+                Request::decode(&bytes).is_err(),
+                "mutated frame decoded: flipped {hit:?} of {} bytes",
+                bytes.len()
+            );
+            // The pristine copy still decodes: the mutation, not the
+            // frame, was at fault.
+            assert_eq!(Request::decode(&clean).expect("clean decode"), *batch);
+        },
+    );
+
+    let gen = gens::t2(
+        gens::vec(arb_reply_member(), 0..4).map(Reply::Batch),
+        gens::vec(gens::t2(gens::u64s(), gens::u8s().map(|m| m | 1)), 1..4),
+    );
+    for_all(
+        "mutated_reply_frames_are_rejected",
+        &Config::with_cases(256),
+        &gen,
+        |(batch, mutations)| {
+            let clean = batch.encode().expect("encode");
+            let mut bytes = clean.clone();
+            let mut hit = Vec::new();
+            for (pos, mask) in mutations {
+                let at = (*pos as usize) % bytes.len();
+                if hit.contains(&at) {
+                    continue;
+                }
+                hit.push(at);
+                bytes[at] ^= mask;
+            }
+            assert!(
+                Reply::decode(&bytes).is_err(),
+                "mutated frame decoded: flipped {hit:?} of {} bytes",
+                bytes.len()
+            );
+            assert_eq!(Reply::decode(&clean).expect("clean decode"), *batch);
+        },
+    );
+}
+
 /// Batch decoding never panics on arbitrary bytes, even bytes that
 /// start with a plausible batch marker and count.
 #[test]

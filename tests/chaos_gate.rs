@@ -1,13 +1,17 @@
 //! Chaos gate: seeded fault schedules (amnesia and recover crashes,
-//! client crashes, partitions, loss, duplication, jitter) drive the
-//! real protocol stacks while complete operation histories are
-//! recorded. The gate then demands proof, not survival: histories must
-//! be linearizable, the recovery protocols must visibly fire (quorum
-//! resyncs, cooperative-termination reclaims), nothing may stay stuck,
-//! and the same seed must reproduce bit-identical results.
+//! client crashes, partitions, loss, duplication, jitter, and data
+//! corruption — bit flips on both legs plus torn writes into crash
+//! windows) drive the real protocol stacks while complete operation
+//! histories are recorded. The gate then demands proof, not survival:
+//! histories must be linearizable, the recovery protocols must visibly
+//! fire (quorum resyncs, cooperative-termination reclaims), corruption
+//! must be caught by the CRC layers rather than surface as wrong
+//! answers, nothing may stay stuck, and the same seed must reproduce
+//! bit-identical results.
 
 use std::sync::{Arc, Mutex};
 
+use prism_core::integrity::IntegrityStats;
 use prism_harness::adapters::PrismTxAdapter;
 use prism_harness::chaos::{check_history, ChaosKvAdapter, ChaosRsAdapter, HistOp};
 use prism_harness::netsim::{run_closed_loop_with, RecoveryHooks, RunResult, VerbPath};
@@ -20,6 +24,17 @@ use prism_simnet::time::SimDuration;
 use prism_tx::prism_tx::{TxCluster, TxConfig};
 use prism_workload::{KeyDist, TxnGen};
 
+/// Per-test chaos seed; `PRISM_TEST_SEED=<n>` perturbs all three (each
+/// keeps a distinct XOR base) so CI exercises the gate — including its
+/// bit-exact-replay assertions — at more than one point.
+fn seed_or(base: u64) -> u64 {
+    std::env::var("PRISM_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(|s| s ^ base)
+        .unwrap_or(base)
+}
+
 const WARMUP: SimDuration = SimDuration::from_nanos(400_000);
 const MEASURE: SimDuration = SimDuration::from_nanos(2_400_000);
 const HORIZON: SimDuration = SimDuration::from_nanos(2_800_000);
@@ -30,7 +45,8 @@ fn fault_line(system: &str, r: &RunResult) {
     // The full fault-counter surface, giveups alongside the rest.
     println!(
         "{system}-chaos: tput={:.0}ops/s failed={} drops={} dups={} timeouts={} \
-         retries={} giveups={} fenced={} crash_drops={} restarts={} client_restarts={}",
+         retries={} giveups={} fenced={} crash_drops={} restarts={} client_restarts={} \
+         corrupt={}/{}det rep={} abort={}",
         r.tput_ops,
         r.failed,
         r.drops,
@@ -42,11 +58,15 @@ fn fault_line(system: &str, r: &RunResult) {
         r.crash_drops,
         r.restarts,
         r.client_restarts,
+        r.corruptions_injected,
+        r.corruptions_detected,
+        r.corruptions_repaired,
+        r.aborted_corrupt,
     );
 }
 
-fn metrics_key(r: &RunResult) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
-    (
+fn metrics_key(r: &RunResult) -> [u64; 14] {
+    [
         r.tput_ops as u64,
         r.failed,
         r.drops,
@@ -57,7 +77,11 @@ fn metrics_key(r: &RunResult) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u
         r.fenced,
         r.restarts,
         r.client_restarts,
-    )
+        r.corruptions_injected,
+        r.corruptions_detected,
+        r.corruptions_repaired,
+        r.aborted_corrupt,
+    ]
 }
 
 // ---------------------------------------------------------------------
@@ -72,6 +96,7 @@ fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         .map(|i| Arc::clone(cluster.replica(i).server()))
         .collect();
     let history = Arc::new(Mutex::new(Vec::new()));
+    let integrity = Arc::new(IntegrityStats::new());
     let hooks = RecoveryHooks {
         on_restart: Some({
             let cluster = Arc::clone(&cluster);
@@ -80,6 +105,7 @@ fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
             })
         }),
         sweep: None,
+        integrity: Some(Arc::clone(&integrity)),
     };
     let spec = ChaosSpec {
         servers: 3,
@@ -92,6 +118,9 @@ fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         drop_prob: 0.01,
         dup_prob: 0.005,
         jitter_ns: 1_000,
+        flip_req_prob: 0.01,
+        flip_reply_prob: 0.01,
+        torn_write_prob: 0.05,
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -102,7 +131,7 @@ fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         spec.clients,
         &mut |i| {
             Box::new(ChaosRsAdapter::new(
-                cluster.open_client(),
+                cluster.open_client().with_integrity(Arc::clone(&integrity)),
                 i,
                 BLOCKS,
                 VALUE,
@@ -122,7 +151,7 @@ fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
 
 #[test]
 fn rs_amnesia_chaos_stays_linearizable_and_rejoins() {
-    let seed = 0xC4A0_0001;
+    let seed = seed_or(0xC4A0_0001);
     let (r, history, rejoins, resyncs) = rs_chaos(seed);
     fault_line("rs", &r);
     assert!(r.tput_ops > 0.0, "no progress under chaos: {r:?}");
@@ -132,6 +161,14 @@ fn rs_amnesia_chaos_stays_linearizable_and_rejoins() {
         "restarted replica must rejoin via quorum resync (rejoins={rejoins}, resyncs={resyncs})"
     );
     assert!(!history.is_empty(), "history must be recorded");
+    assert!(
+        r.corruptions_injected > 0,
+        "corruption modes were enabled but never fired: {r:?}"
+    );
+    assert!(
+        r.corruptions_detected > 0,
+        "injected bit flips must be detected by the frame CRCs: {r:?}"
+    );
     check_history(&history).expect("RS history must be linearizable");
 
     // Same seed, fresh cluster: bit-exact replay, history included.
@@ -157,6 +194,11 @@ fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
     let server = PrismKvServer::new(&config);
     let servers = vec![Arc::clone(server.server())];
     let history = Arc::new(Mutex::new(Vec::new()));
+    let integrity = Arc::new(IntegrityStats::new());
+    let hooks = RecoveryHooks {
+        integrity: Some(Arc::clone(&integrity)),
+        ..RecoveryHooks::default()
+    };
     // No amnesia here: KV clients hold raw rkeys with no rejoin
     // protocol, so a wiped single-server store has nobody to resync
     // from. Recover crashes keep memory across the window.
@@ -171,6 +213,9 @@ fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
         drop_prob: 0.01,
         dup_prob: 0.005,
         jitter_ns: 1_000,
+        flip_req_prob: 0.01,
+        flip_reply_prob: 0.01,
+        torn_write_prob: 0.05,
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -181,7 +226,7 @@ fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
         spec.clients,
         &mut |i| {
             Box::new(ChaosKvAdapter::new(
-                server.open_client(),
+                server.open_client().with_integrity(Arc::clone(&integrity)),
                 i,
                 BLOCKS,
                 VALUE,
@@ -193,7 +238,7 @@ fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
         MEASURE,
         seed,
         &plan,
-        &RecoveryHooks::default(),
+        &hooks,
     );
     let h = history.lock().expect("history lock").clone();
     (r, h)
@@ -201,12 +246,20 @@ fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
 
 #[test]
 fn kv_chaos_stays_linearizable_per_key() {
-    let seed = 0xC4A0_0002;
+    let seed = seed_or(0xC4A0_0002);
     let (r, history) = kv_chaos(seed);
     fault_line("kv", &r);
     assert!(r.tput_ops > 0.0, "no progress under chaos: {r:?}");
     assert!(r.crash_drops > 0, "the crash window never bit: {r:?}");
     assert!(!history.is_empty(), "history must be recorded");
+    assert!(
+        r.corruptions_injected > 0,
+        "corruption modes were enabled but never fired: {r:?}"
+    );
+    assert!(
+        r.corruptions_detected > 0,
+        "injected bit flips must be detected by the frame CRCs: {r:?}"
+    );
     check_history(&history).expect("KV history must be linearizable per key");
 
     let (r2, history2) = kv_chaos(seed);
@@ -227,6 +280,7 @@ fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
     config.spare_buffers += 8_192;
     let cluster = Arc::new(TxCluster::new(1, &config));
     let servers = vec![Arc::clone(cluster.shard(0).server())];
+    let integrity = Arc::new(IntegrityStats::new());
     let hooks = RecoveryHooks {
         on_restart: None,
         sweep: Some((SimDuration::micros(150), {
@@ -235,7 +289,10 @@ fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
                 cluster.sweep_shard(i);
             })
         })),
+        integrity: Some(Arc::clone(&integrity)),
     };
+    // No server crash windows, so torn writes cannot be scheduled here;
+    // both frame legs still see flips.
     let spec = ChaosSpec {
         servers: 1,
         clients: 6,
@@ -247,6 +304,9 @@ fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
         drop_prob: 0.01,
         dup_prob: 0.0,
         jitter_ns: 1_000,
+        flip_req_prob: 0.01,
+        flip_reply_prob: 0.01,
+        torn_write_prob: 0.0,
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -257,7 +317,7 @@ fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
         spec.clients,
         &mut |i| {
             Box::new(PrismTxAdapter::new(
-                cluster.open_client(),
+                cluster.open_client().with_integrity(Arc::clone(&integrity)),
                 TxnGen::new(
                     KeyDist::uniform(64),
                     2,
@@ -282,7 +342,7 @@ fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
 
 #[test]
 fn tx_client_crash_chaos_reclaims_every_dangling_prepare() {
-    let seed = 0xC4A0_0003;
+    let seed = seed_or(0xC4A0_0003);
     let (r, reclaims, stuck) = tx_chaos(seed);
     fault_line("tx", &r);
     assert!(r.tput_ops > 0.0, "no progress under chaos: {r:?}");
@@ -290,6 +350,10 @@ fn tx_client_crash_chaos_reclaims_every_dangling_prepare() {
     assert!(
         reclaims > 0,
         "crashed clients' dangling prepares must be reclaimed (reclaims={reclaims})"
+    );
+    assert!(
+        r.corruptions_injected > 0 && r.corruptions_detected > 0,
+        "corruption modes were enabled but never fired or went undetected: {r:?}"
     );
     assert_eq!(stuck, 0, "no key may stay stuck after the final sweeps");
 

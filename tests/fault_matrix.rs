@@ -18,7 +18,14 @@ use prism_simnet::time::{SimDuration, SimTime};
 use prism_tx::prism_tx::{TxCluster, TxConfig};
 use prism_workload::{KeyDist, TxnGen, YcsbConfig};
 
-const SEED: u64 = 0x5A0_7E57;
+/// Default matrix seed; `PRISM_TEST_SEED=<n>` overrides it so CI can
+/// check the determinism claims at more than one point.
+fn seed() -> u64 {
+    std::env::var("PRISM_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5A0_7E57)
+}
 const KEYS: u64 = 256;
 const VALUE: usize = 64;
 const WARMUP: SimDuration = SimDuration::from_nanos(200_000);
@@ -52,8 +59,8 @@ const MATRIX: [Mix; 3] = [
 
 /// Builds the plan for one cell. `crash_server` picks the victim so
 /// quorum systems can keep a majority alive.
-fn plan(mix: Mix, crash_server: usize) -> FaultPlan {
-    let mut p = FaultPlan::seeded(SEED).with_timeout(SimDuration::micros(60));
+fn plan(mix: Mix, crash_server: usize, seed: u64) -> FaultPlan {
+    let mut p = FaultPlan::seeded(seed).with_timeout(SimDuration::micros(60));
     if mix.loss {
         p = p.with_loss(0.02, 0.01);
     }
@@ -87,6 +94,7 @@ fn check(system: &str, mix: Mix, r: &RunResult) {
 
 #[test]
 fn kv_survives_the_fault_matrix() {
+    let seed = seed();
     for mix in MATRIX {
         let mut config = PrismKvConfig::paper(KEYS, VALUE);
         // Lost replies leak buffers until their frees are resent; give
@@ -108,13 +116,13 @@ fn kv_survives_the_fault_matrix() {
                         read_fraction: 0.5,
                         value_len: VALUE,
                     },
-                    SimRng::new(SEED ^ ((i as u64 + 1) * 7)),
+                    SimRng::new(seed ^ ((i as u64 + 1) * 7)),
                 ))
             },
             WARMUP,
             MEASURE,
-            SEED,
-            &plan(mix, 0),
+            seed,
+            &plan(mix, 0, seed),
         );
         check("kv", mix, &r);
     }
@@ -122,6 +130,7 @@ fn kv_survives_the_fault_matrix() {
 
 #[test]
 fn rs_survives_the_fault_matrix() {
+    let seed = seed();
     for mix in MATRIX {
         let mut config = RsConfig::paper(8, VALUE as u64);
         config.spare_buffers += 4_096;
@@ -144,8 +153,8 @@ fn rs_survives_the_fault_matrix() {
             },
             WARMUP,
             MEASURE,
-            SEED,
-            &plan(mix, 1),
+            seed,
+            &plan(mix, 1, seed),
         );
         check("rs", mix, &r);
     }
@@ -158,13 +167,14 @@ fn rs_survives_the_fault_matrix() {
 /// the protocol as failed/given-up operations while the run completes.
 #[test]
 fn rs_pool_exhaustion_fails_clean_under_heavy_loss() {
+    let seed = seed();
     let mut config = RsConfig::paper(8, VALUE as u64);
     config.spare_buffers = 48;
     let cluster = RsCluster::new(3, &config);
     let servers: Vec<_> = (0..3)
         .map(|r| Arc::clone(cluster.replica(r).server()))
         .collect();
-    let plan = FaultPlan::seeded(SEED)
+    let plan = FaultPlan::seeded(seed)
         .with_timeout(SimDuration::micros(60))
         .with_loss(0.30, 0.0);
     let r = run_closed_loop(
@@ -182,7 +192,7 @@ fn rs_pool_exhaustion_fails_clean_under_heavy_loss() {
         },
         WARMUP,
         MEASURE,
-        SEED,
+        seed,
         &plan,
     );
     assert!(r.drops > 0, "loss never bit: {r:?}");
@@ -194,6 +204,7 @@ fn rs_pool_exhaustion_fails_clean_under_heavy_loss() {
 
 #[test]
 fn tx_survives_the_fault_matrix() {
+    let seed = seed();
     for mix in MATRIX {
         let mut config = TxConfig::paper(KEYS, VALUE as u64);
         config.spare_buffers += 4_096;
@@ -211,14 +222,14 @@ fn tx_survives_the_fault_matrix() {
                         KeyDist::uniform(KEYS),
                         1,
                         VALUE,
-                        SimRng::new(SEED ^ ((i as u64 + 1) * 31)),
+                        SimRng::new(seed ^ ((i as u64 + 1) * 31)),
                     ),
                 ))
             },
             WARMUP,
             MEASURE,
-            SEED,
-            &plan(mix, 0),
+            seed,
+            &plan(mix, 0, seed),
         );
         check("tx", mix, &r);
     }
