@@ -4,12 +4,15 @@
 use prism_bench::runner::Criterion;
 use prism_bench::{criterion_group, criterion_main};
 
+use prism_core::builder::ops;
+use prism_core::msg::Request;
 use prism_kv::crc::crc32;
 use prism_rdma::arena::MemoryArena;
-use prism_simnet::engine::{Actor, Context, Simulation};
+use prism_simnet::engine::{Actor, Context, QueueKind, Simulation};
 use prism_simnet::rng::SimRng;
-use prism_simnet::time::SimDuration;
+use prism_simnet::time::{SimDuration, SimTime};
 use prism_workload::dist::ZipfGen;
+use prism_workload::PoissonGen;
 
 struct PingPong {
     peer_offset: isize,
@@ -50,12 +53,109 @@ fn bench_des(c: &mut Criterion) {
     g.finish();
 }
 
+/// Holds a constant population of pending timers (seeded in `on_start`)
+/// while every delivered event re-arms one at a pseudo-random offset —
+/// the access pattern of open-loop load generation, where each of 10⁵+
+/// logical clients keeps a timeout or arrival timer outstanding. At
+/// this depth the O(log n) heap pays its worst constant per event; the
+/// timer wheel stays O(1).
+struct DeepChurn {
+    pending: u32,
+    remaining: u32,
+    rng: SimRng,
+}
+
+impl DeepChurn {
+    fn rearm(&mut self, ctx: &mut Context<'_, u8>) {
+        let me = ctx.self_id();
+        // Offsets up to ~16 µs: events stay spread over thousands of
+        // distinct timestamps, so batched same-time dispatch can't hide
+        // the queue's per-event cost.
+        let d = 1 + (self.rng.next_u64() & 0x3FFF);
+        ctx.send_in(me, SimDuration::from_nanos(d), 0);
+    }
+}
+
+impl Actor<u8> for DeepChurn {
+    fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+        for _ in 0..self.pending {
+            self.rearm(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _msg: u8, ctx: &mut Context<'_, u8>) {
+        if self.remaining == 0 {
+            ctx.stop();
+            return;
+        }
+        self.remaining -= 1;
+        self.rearm(ctx);
+    }
+}
+
+fn run_deep_churn(kind: QueueKind) -> SimTime {
+    let mut sim: Simulation<u8> = Simulation::with_queue(9, kind);
+    sim.add_actor(Box::new(DeepChurn {
+        pending: 16_384,
+        remaining: 65_536,
+        rng: SimRng::new(5),
+    }));
+    sim.run();
+    sim.now()
+}
+
+/// Event-queue throughput at open-loop depth: 64 k events dispatched
+/// through a standing population of 16 k pending timers, wheel vs the
+/// reference heap (results/BENCH_03.json tracks the ratio).
+fn bench_deep_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.bench_function("64k_events_16k_timers_wheel", |b| {
+        b.iter(|| run_deep_churn(QueueKind::Wheel));
+    });
+    g.bench_function("64k_events_16k_timers_heap", |b| {
+        b.iter(|| run_deep_churn(QueueKind::Heap));
+    });
+    g.finish();
+}
+
+/// Borrowed-frame encode: `encode_into` appending to a reused buffer vs
+/// the owned `encode` allocating per call, over a 4-op chain (the
+/// per-message work of every simulated send).
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let req = Request::Chain(
+        (0..4u64)
+            .map(|i| ops::read(0x1000 + i * 512, 512, 7))
+            .collect(),
+    );
+    g.bench_function("chain4_encode_owned", |b| {
+        b.iter(|| req.encode().unwrap());
+    });
+    g.bench_function("chain4_encode_into_reused", |b| {
+        let mut buf = Vec::with_capacity(4096);
+        b.iter(|| {
+            buf.clear();
+            req.encode_into(&mut buf).unwrap();
+            buf.len()
+        });
+    });
+    let bytes = req.encode().unwrap();
+    g.bench_function("chain4_decode", |b| {
+        b.iter(|| Request::decode(&bytes).unwrap());
+    });
+    g.finish();
+}
+
 fn bench_workload(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload");
     let zipf = ZipfGen::new(8_000_000, 0.99);
     let mut rng = SimRng::new(7);
     g.bench_function("zipf_sample_8M", |b| b.iter(|| zipf.sample(&mut rng)));
     g.bench_function("splitmix_next", |b| b.iter(|| rng.next_u64()));
+    let mut poisson = PoissonGen::new(1_000_000.0, 11);
+    g.bench_function("poisson_next_arrival", |b| {
+        b.iter(|| poisson.next_arrival())
+    });
     g.finish();
 }
 
@@ -148,6 +248,8 @@ fn bench_verbs(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_des,
+    bench_deep_queue,
+    bench_wire,
     bench_workload,
     bench_memory,
     bench_verbs

@@ -96,6 +96,19 @@ impl Buf for &[u8] {
     }
 }
 
+/// Borrows the next `n` bytes without copying, advancing the slice past
+/// them, or `None` when fewer than `n` remain. The borrowed-frame
+/// decode path uses this to hand length-prefixed sub-slices straight to
+/// the body parsers instead of materializing intermediate `Vec`s.
+pub fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Some(head)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +146,17 @@ mod tests {
     fn short_read_panics() {
         let mut r: &[u8] = &[1u8];
         let _ = r.get_u32_le();
+    }
+
+    #[test]
+    fn take_borrows_and_advances() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r: &[u8] = &data;
+        assert_eq!(take(&mut r, 2), Some(&data[..2]));
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(take(&mut r, 4), None);
+        assert_eq!(r.remaining(), 3, "failed take must not consume");
+        assert_eq!(take(&mut r, 3), Some(&data[2..]));
+        assert_eq!(take(&mut r, 0), Some(&[][..]));
     }
 }

@@ -244,11 +244,16 @@ pub const FRAME_TRAILER: usize = 8;
 /// Body prefix covered by the header checksum.
 const FRAME_HDR: usize = 8;
 
-fn seal_frame(buf: &mut Vec<u8>) {
-    let hdr = crc::crc32(&buf[..buf.len().min(FRAME_HDR)]);
-    let body = crc::crc32(buf);
+/// Seals the frame that starts at `start` in `buf` — the append-style
+/// encoders frame messages in place at the tail of a caller-owned
+/// buffer, so the checksums must cover only the bytes written since
+/// `start`, not whatever the caller had accumulated before.
+fn seal_frame_at(buf: &mut Vec<u8>, start: usize) {
+    let body = &buf[start..];
+    let hdr = crc::crc32(&body[..body.len().min(FRAME_HDR)]);
+    let whole = crc::crc32(body);
     buf.put_u32_le(hdr);
-    buf.put_u32_le(body);
+    buf.put_u32_le(whole);
 }
 
 fn open_frame(buf: &[u8]) -> Result<&[u8], WireError> {
@@ -270,17 +275,31 @@ fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) -> Result<(), WireError> {
     Ok(())
 }
 
-fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+/// Appends a u32-length-prefixed section whose body `fill` writes
+/// directly into `buf`: a zero length slot is reserved, the body lands
+/// in place, and the slot is backfilled. This is how chain bodies are
+/// framed without materializing them in a throwaway `Vec` first.
+fn put_len_prefixed(
+    buf: &mut Vec<u8>,
+    fill: impl FnOnce(&mut Vec<u8>) -> Result<(), WireError>,
+) -> Result<(), WireError> {
+    buf.put_u32_le(0);
+    let start = buf.len();
+    fill(buf)?;
+    let len = wire::u32_len(buf.len() - start)?;
+    buf[start - 4..start].copy_from_slice(&len.to_le_bytes());
+    Ok(())
+}
+
+/// Borrows the next length-prefixed section out of the frame without
+/// copying it — the decode-side twin of [`put_len_prefixed`]. Body
+/// parsers consume the returned sub-slice directly.
+fn get_slice<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], WireError> {
     if buf.remaining() < 4 {
         return Err(WireError("truncated length prefix"));
     }
     let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(WireError("truncated payload"));
-    }
-    let mut v = vec![0u8; len];
-    buf.copy_to_slice(&mut v);
-    Ok(v)
+    crate::buf::take(buf, len).ok_or(WireError("truncated payload"))
 }
 
 impl Request {
@@ -290,16 +309,25 @@ impl Request {
     /// and on nested batches (a doorbell is one flat submission list).
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = Vec::new();
-        self.encode_into(&mut buf, false)?;
-        seal_frame(&mut buf);
+        self.encode_into(&mut buf)?;
         Ok(buf)
     }
 
-    fn encode_into(&self, buf: &mut Vec<u8>, in_batch: bool) -> Result<(), WireError> {
+    /// Appends the framed wire form to `buf` — byte-identical to
+    /// [`Request::encode`], but reusing the caller's buffer so hot send
+    /// paths can encode without allocating in steady state.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), WireError> {
+        let start = buf.len();
+        self.encode_body(buf, false)?;
+        seal_frame_at(buf, start);
+        Ok(())
+    }
+
+    fn encode_body(&self, buf: &mut Vec<u8>, in_batch: bool) -> Result<(), WireError> {
         match self {
             Request::Chain(chain) => {
                 buf.put_u8(MSG_CHAIN);
-                put_bytes(buf, &wire::encode_chain(chain)?)?;
+                put_len_prefixed(buf, |b| wire::encode_chain_into(chain, b))?;
             }
             Request::Verb(v) => {
                 buf.put_u8(MSG_VERB);
@@ -341,7 +369,7 @@ impl Request {
                 buf.put_u8(MSG_BATCH);
                 buf.put_u16_le(wire::u16_count(reqs.len())?);
                 for r in reqs {
-                    r.encode_into(buf, true)?;
+                    r.encode_body(buf, true)?;
                 }
             }
         }
@@ -366,7 +394,7 @@ impl Request {
             return Err(WireError("truncated request marker"));
         }
         match buf.get_u8() {
-            MSG_CHAIN => Ok(Request::Chain(wire::decode_chain(&get_bytes(buf)?)?)),
+            MSG_CHAIN => Ok(Request::Chain(wire::decode_chain(get_slice(buf)?)?)),
             MSG_VERB => {
                 if buf.remaining() < 1 {
                     return Err(WireError("truncated verb kind"));
@@ -389,7 +417,7 @@ impl Request {
                         }
                         let addr = buf.get_u64_le();
                         let rkey = buf.get_u32_le();
-                        let data = get_bytes(buf)?;
+                        let data = get_slice(buf)?.to_vec();
                         Ok(Request::Verb(Verb::Write { addr, data, rkey }))
                     }
                     VERB_CAS64 => {
@@ -406,7 +434,7 @@ impl Request {
                     _ => Err(WireError("unknown verb kind")),
                 }
             }
-            MSG_RPC => Ok(Request::Rpc(get_bytes(buf)?)),
+            MSG_RPC => Ok(Request::Rpc(get_slice(buf)?.to_vec())),
             MSG_BATCH => {
                 if in_batch {
                     return Err(WireError("nested batch"));
@@ -431,16 +459,25 @@ impl Reply {
     /// [`Request::encode`]).
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = Vec::new();
-        self.encode_into(&mut buf, false)?;
-        seal_frame(&mut buf);
+        self.encode_into(&mut buf)?;
         Ok(buf)
     }
 
-    fn encode_into(&self, buf: &mut Vec<u8>, in_batch: bool) -> Result<(), WireError> {
+    /// Appends the framed wire form to `buf` — byte-identical to
+    /// [`Reply::encode`], but reusing the caller's buffer (see
+    /// [`Request::encode_into`]).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), WireError> {
+        let start = buf.len();
+        self.encode_body(buf, false)?;
+        seal_frame_at(buf, start);
+        Ok(())
+    }
+
+    fn encode_body(&self, buf: &mut Vec<u8>, in_batch: bool) -> Result<(), WireError> {
         match self {
             Reply::Chain(results) => {
                 buf.put_u8(MSG_CHAIN);
-                put_bytes(buf, &wire::encode_response(results)?)?;
+                put_len_prefixed(buf, |b| wire::encode_response_into(results, b))?;
             }
             Reply::Verb(outcome) => {
                 buf.put_u8(MSG_VERB);
@@ -466,7 +503,7 @@ impl Reply {
                 buf.put_u8(MSG_BATCH);
                 buf.put_u16_le(wire::u16_count(replies.len())?);
                 for r in replies {
-                    r.encode_into(buf, true)?;
+                    r.encode_body(buf, true)?;
                 }
             }
         }
@@ -490,13 +527,13 @@ impl Reply {
             return Err(WireError("truncated reply marker"));
         }
         match buf.get_u8() {
-            MSG_CHAIN => Ok(Reply::Chain(wire::decode_response(&get_bytes(buf)?)?)),
+            MSG_CHAIN => Ok(Reply::Chain(wire::decode_response(get_slice(buf)?)?)),
             MSG_VERB => {
                 if buf.remaining() < 1 {
                     return Err(WireError("truncated verb outcome flag"));
                 }
                 match buf.get_u8() {
-                    REPLY_OK => Ok(Reply::Verb(Ok(get_bytes(buf)?))),
+                    REPLY_OK => Ok(Reply::Verb(Ok(get_slice(buf)?.to_vec()))),
                     REPLY_ERR => {
                         if buf.remaining() < prism_rdma::error::ERROR_WIRE_LEN {
                             return Err(WireError("truncated verb error"));
@@ -510,7 +547,7 @@ impl Reply {
                     _ => Err(WireError("bad verb outcome flag")),
                 }
             }
-            MSG_RPC => Ok(Reply::Rpc(get_bytes(buf)?)),
+            MSG_RPC => Ok(Reply::Rpc(get_slice(buf)?.to_vec())),
             MSG_BATCH => {
                 if in_batch {
                     return Err(WireError("nested batch"));
@@ -698,6 +735,30 @@ mod tests {
         for r in &replies {
             assert_eq!(&Reply::decode(&r.encode().unwrap()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn encode_into_appends_framed_bytes_identically() {
+        // The append-style encoders must frame at the buffer tail:
+        // checksums cover only the new frame, the prefix survives, and
+        // the appended bytes match the owned encoders exactly.
+        let req = Request::Batch(vec![
+            Request::Chain(vec![ops::read(0x10, 8, 1)]),
+            Request::Rpc(vec![9; 3]),
+        ]);
+        let mut buf = b"prefix".to_vec();
+        req.encode_into(&mut buf).unwrap();
+        assert_eq!(&buf[..6], b"prefix");
+        assert_eq!(&buf[6..], &req.encode().unwrap()[..]);
+        assert_eq!(Request::decode(&buf[6..]).unwrap(), req);
+
+        let reply = Reply::Chain(vec![OpResult {
+            status: OpStatus::Ok,
+            data: vec![3; 12],
+        }]);
+        let mut buf = vec![0xEE; 4];
+        reply.encode_into(&mut buf).unwrap();
+        assert_eq!(&buf[4..], &reply.encode().unwrap()[..]);
     }
 
     #[test]

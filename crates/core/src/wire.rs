@@ -137,6 +137,14 @@ fn get_redirect(buf: &mut &[u8]) -> Result<Redirect, WireError> {
 /// [`MAX_INLINE_LEN`] bytes.
 pub fn encode_chain(chain: &[PrismOp]) -> Result<Vec<u8>, WireError> {
     let mut buf = Vec::with_capacity(64 * chain.len());
+    encode_chain_into(chain, &mut buf)?;
+    Ok(buf)
+}
+
+/// [`encode_chain`] writing into a caller-supplied buffer (appended),
+/// so message framing can build a whole frame without the intermediate
+/// chain-body `Vec`. Byte-for-byte identical output to [`encode_chain`].
+pub fn encode_chain_into(chain: &[PrismOp], buf: &mut Vec<u8>) -> Result<(), WireError> {
     buf.put_u16_le(u16_count(chain.len())?);
     for op in chain {
         match op {
@@ -168,7 +176,7 @@ pub fn encode_chain(chain: &[PrismOp]) -> Result<Vec<u8>, WireError> {
                 buf.put_u32_le(*len);
                 buf.put_u32_le(*rkey);
                 if let Some(r) = redirect {
-                    put_redirect(&mut buf, r);
+                    put_redirect(buf, r);
                 }
             }
             PrismOp::Write {
@@ -198,7 +206,7 @@ pub fn encode_chain(chain: &[PrismOp]) -> Result<Vec<u8>, WireError> {
                 buf.put_u64_le(*addr);
                 buf.put_u32_le(*len);
                 buf.put_u32_le(*rkey);
-                put_data_arg(&mut buf, data)?;
+                put_data_arg(buf, data)?;
             }
             PrismOp::Allocate {
                 freelist,
@@ -219,7 +227,7 @@ pub fn encode_chain(chain: &[PrismOp]) -> Result<Vec<u8>, WireError> {
                 buf.put_u32_le(u32_len(data.len())?);
                 buf.put_slice(data);
                 if let Some(r) = redirect {
-                    put_redirect(&mut buf, r);
+                    put_redirect(buf, r);
                 }
             }
             PrismOp::Cas {
@@ -253,14 +261,14 @@ pub fn encode_chain(chain: &[PrismOp]) -> Result<Vec<u8>, WireError> {
                 buf.put_u64_le(*target);
                 buf.put_u32_le(*len);
                 buf.put_u32_le(*rkey);
-                put_data_arg(&mut buf, compare)?;
-                put_data_arg(&mut buf, swap)?;
+                put_data_arg(buf, compare)?;
+                put_data_arg(buf, swap)?;
                 buf.put_slice(compare_mask);
                 buf.put_slice(swap_mask);
             }
         }
     }
-    Ok(buf)
+    Ok(())
 }
 
 /// Decodes a request message back into a chain.
@@ -385,6 +393,13 @@ const ST_ERROR: u8 = 3;
 /// [`MAX_INLINE_LEN`] bytes.
 pub fn encode_response(results: &[OpResult]) -> Result<Vec<u8>, WireError> {
     let mut buf = Vec::new();
+    encode_response_into(results, &mut buf)?;
+    Ok(buf)
+}
+
+/// [`encode_response`] writing into a caller-supplied buffer (appended);
+/// byte-for-byte identical output, no intermediate `Vec`.
+pub fn encode_response_into(results: &[OpResult], buf: &mut Vec<u8>) -> Result<(), WireError> {
     buf.put_u16_le(u16_count(results.len())?);
     for r in results {
         match &r.status {
@@ -396,7 +411,7 @@ pub fn encode_response(results: &[OpResult]) -> Result<Vec<u8>, WireError> {
         buf.put_u32_le(u32_len(r.data.len())?);
         buf.put_slice(&r.data);
     }
-    Ok(buf)
+    Ok(())
 }
 
 /// Decodes a response message. Error detail is collapsed to
@@ -431,7 +446,48 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Vec<OpResult>, WireError> {
     Ok(out)
 }
 
-/// Request size of a chain, for link-bandwidth accounting.
+fn data_arg_len(arg: &DataArg) -> Result<u64, WireError> {
+    Ok(match arg {
+        DataArg::Inline(d) => 4 + u32_len(d.len())? as u64,
+        DataArg::Remote { .. } => 12,
+    })
+}
+
+/// Encoded size of a chain, computed arithmetically — no buffer is
+/// built. Mirrors [`encode_chain`] exactly; the `sizes_match_encoders`
+/// test pins the two together op-by-op.
+pub fn chain_wire_len(chain: &[PrismOp]) -> Result<u64, WireError> {
+    u16_count(chain.len())?;
+    let mut n = 2u64;
+    for op in chain {
+        n += match op {
+            PrismOp::Read { redirect, .. } => 18 + if redirect.is_some() { 12 } else { 0 },
+            PrismOp::Write { data, .. } => 18 + data_arg_len(data)?,
+            PrismOp::Allocate { data, redirect, .. } => {
+                10 + u32_len(data.len())? as u64 + if redirect.is_some() { 12 } else { 0 }
+            }
+            PrismOp::Cas { compare, swap, .. } => {
+                19 + data_arg_len(compare)? + data_arg_len(swap)? + 2 * MAX_CAS_LEN as u64
+            }
+        };
+    }
+    Ok(n)
+}
+
+/// Encoded size of a result set, computed arithmetically (see
+/// [`chain_wire_len`]).
+pub fn response_wire_len(results: &[OpResult]) -> Result<u64, WireError> {
+    u16_count(results.len())?;
+    let mut n = 2u64;
+    for r in results {
+        n += 5 + u32_len(r.data.len())? as u64;
+    }
+    Ok(n)
+}
+
+/// Request size of a chain, for link-bandwidth accounting. Computed
+/// without encoding: this runs on every simulated send, where the old
+/// encode-and-measure implementation allocated a throwaway buffer.
 ///
 /// # Panics
 ///
@@ -439,20 +495,17 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Vec<OpResult>, WireError> {
 /// [`MAX_INLINE_LEN`]-byte payloads): such a chain cannot exist on the
 /// wire, so accounting for it would be meaningless.
 pub fn request_len(chain: &[PrismOp]) -> u64 {
-    encode_chain(chain)
-        .expect("chain exceeds wire limits")
-        .len() as u64
+    chain_wire_len(chain).expect("chain exceeds wire limits")
 }
 
-/// Response size of a result set, for link-bandwidth accounting.
+/// Response size of a result set, for link-bandwidth accounting (see
+/// [`request_len`]).
 ///
 /// # Panics
 ///
 /// Panics if the results exceed the wire limits (see [`request_len`]).
 pub fn response_len(results: &[OpResult]) -> u64 {
-    encode_response(results)
-        .expect("results exceed wire limits")
-        .len() as u64
+    response_wire_len(results).expect("results exceed wire limits")
 }
 
 #[cfg(test)]
@@ -583,6 +636,77 @@ mod tests {
             encode_response(&over),
             Err(WireError("count exceeds u16 prefix"))
         );
+    }
+
+    #[test]
+    fn sizes_match_encoders() {
+        // The arithmetic length functions must track the encoders
+        // byte-for-byte, for every op shape: flags-dependent fields
+        // (redirects, remote args) change the length.
+        let mut variants = sample_chain();
+        variants.push(ops::read(0x10, 64, 2).redirect(Redirect {
+            addr: 0x99,
+            rkey: 4,
+        }));
+        variants.push(PrismOp::Write {
+            addr: 0,
+            rkey: 1,
+            data: DataArg::Remote { addr: 7, rkey: 9 },
+            len: 128,
+            addr_indirect: true,
+            addr_bounded: true,
+            conditional: true,
+        });
+        variants.push(ops::allocate(FreeListId(1), vec![3; 17]));
+        for op in &variants {
+            let one = std::slice::from_ref(op);
+            assert_eq!(
+                request_len(one),
+                encode_chain(one).expect("encode").len() as u64,
+                "length mismatch for {op:?}"
+            );
+        }
+        assert_eq!(
+            request_len(&variants),
+            encode_chain(&variants).expect("encode").len() as u64
+        );
+        assert_eq!(request_len(&[]), 2);
+
+        let results = vec![
+            OpResult {
+                status: OpStatus::Ok,
+                data: vec![1; 37],
+            },
+            OpResult {
+                status: OpStatus::Error(RdmaError::ChainAborted),
+                data: vec![],
+            },
+        ];
+        assert_eq!(
+            response_len(&results),
+            encode_response(&results).expect("encode").len() as u64
+        );
+        assert_eq!(response_len(&[]), 2);
+    }
+
+    #[test]
+    fn into_encoders_append_identically() {
+        let chain = sample_chain();
+        let owned = encode_chain(&chain).expect("encode");
+        let mut buf = vec![0xEE; 3]; // pre-existing bytes must survive
+        encode_chain_into(&chain, &mut buf).expect("encode_into");
+        assert_eq!(&buf[..3], &[0xEE; 3]);
+        assert_eq!(&buf[3..], &owned[..]);
+
+        let results = vec![OpResult {
+            status: OpStatus::CasFailed,
+            data: vec![5; 9],
+        }];
+        let owned = encode_response(&results).expect("encode");
+        let mut buf = vec![0xAB];
+        encode_response_into(&results, &mut buf).expect("encode_into");
+        assert_eq!(buf[0], 0xAB);
+        assert_eq!(&buf[1..], &owned[..]);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! on the NIC, PUT RPCs on the CPU), and Pilaf over software RDMA
 //! (READs also executed by dispatch cores).
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use prism_core::msg::execute_local;
@@ -22,7 +24,8 @@ use prism_workload::ycsb::{value_bytes, YcsbConfig};
 use prism_workload::KeyDist;
 
 use crate::adapters::{PilafAdapter, PrismKvAdapter};
-use crate::netsim::{run_closed_loop, RunResult, VerbPath};
+use crate::netsim::{run_closed_loop, ProtoAdapter, RunResult, VerbPath};
+use crate::openloop::{sweep_rates, AdapterFactory, OpenLoopKnobs, OpenLoopResult};
 use crate::table::{f2, mops, Table};
 
 /// Experiment parameters (defaults mirror §6.2 at reduced key count;
@@ -232,6 +235,84 @@ pub fn run(cfg: &KvExpConfig) -> (Table, [f64; 3]) {
     (t, peaks)
 }
 
+/// Open-loop latency-under-load sweep for PRISM-KV: Poisson arrivals at
+/// each offered rate over `knobs.logical_clients` multiplexed logical
+/// clients, recording the coordinated-omission-free latency
+/// distribution. Complements the closed-loop throughput-latency curves
+/// of Figures 3–4 with the question they cannot answer: what latency
+/// does a *fixed offered load* observe as it approaches and passes the
+/// saturation point?
+pub fn open_loop(cfg: &KvExpConfig, knobs: &OpenLoopKnobs) -> (Table, Vec<(f64, OpenLoopResult)>) {
+    let mut prism_cfg = PrismKvConfig::paper(cfg.n_keys, cfg.value_len);
+    // Spares cover client-side free batching for the slots that can be
+    // concurrently live — bounded by the in-flight cap, not the logical
+    // population, so a 10⁵-logical-client run does not preallocate for
+    // clients that are only ever backlogged.
+    for class in &mut prism_cfg.classes {
+        class.count += 32 * (knobs.live_slots() as u64 + 16);
+    }
+    let seed = cfg.seed;
+    let n_keys = cfg.n_keys;
+    let value_len = cfg.value_len;
+    let read_fraction = cfg.read_fraction;
+    // A fresh store per swept rate: each point opens its own
+    // connections against a cold connection table (see `sweep_rates`).
+    let results = sweep_rates(
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        knobs,
+        cfg.seed,
+        &cfg.faults,
+        || {
+            let prism = PrismKvServer::new(&prism_cfg);
+            preload_prism(&prism, n_keys, value_len);
+            let servers = vec![Arc::clone(prism.server())];
+            let ycsb = YcsbConfig {
+                dist: KeyDist::uniform(n_keys),
+                read_fraction,
+                value_len,
+            };
+            let factory: AdapterFactory = Rc::new(RefCell::new(move |i: usize| {
+                Box::new(PrismKvAdapter::new(
+                    prism.open_client(),
+                    ycsb.clone(),
+                    SimRng::new(seed ^ ((i as u64 + 1) * 7919)),
+                )) as Box<dyn ProtoAdapter>
+            }));
+            (servers, factory)
+        },
+    );
+    let mut t = Table::new(
+        &format!(
+            "Open-loop PRISM-KV latency under load ({} logical clients on {} aggregates, {:.0}% reads)",
+            knobs.logical_clients,
+            knobs.actors,
+            cfg.read_fraction * 100.0
+        ),
+        &[
+            "rate_Mops",
+            "tput_Mops",
+            "mean_us",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "backlogged",
+        ],
+    );
+    for (rate, r) in &results {
+        t.row(&[
+            mops(*rate),
+            mops(r.tput_ops),
+            f2(r.mean_us),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            f2(r.p999_us),
+            r.backlogged.to_string(),
+        ]);
+    }
+    (t, results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +354,26 @@ mod tests {
             (0.5..0.95).contains(&ratio),
             "PRISM/Pilaf latency ratio {ratio} (paper: ~0.75)"
         );
+    }
+
+    #[test]
+    fn open_loop_kv_tracks_offered_load_when_unsaturated() {
+        let cfg = KvExpConfig::quick(1.0);
+        let knobs = OpenLoopKnobs::quick();
+        let (_t, results) = open_loop(&cfg, &knobs);
+        assert_eq!(results.len(), knobs.rates_per_sec.len());
+        for (rate, r) in &results {
+            assert!(r.completed > 0, "no completions at {rate} ops/s");
+            assert!(r.mean_us > 0.0 && r.p99_us >= r.p50_us);
+            // Below saturation an open-loop system completes what is
+            // offered: delivered throughput within ±40 % of the rate
+            // (Poisson noise over a short window is the slack).
+            let ratio = r.tput_ops / rate;
+            assert!(
+                (0.6..1.4).contains(&ratio),
+                "offered {rate} vs delivered {} (ratio {ratio})",
+                r.tput_ops
+            );
+        }
     }
 }

@@ -17,6 +17,9 @@
 //! * [`kv_exp`], [`rs_exp`], [`tx_exp`] — the application experiments
 //!   (Figures 3–4, 6–7, 9–10).
 //! * [`vsize_exp`] — an extension sweep (GET cost vs value size).
+//! * [`openloop`] — the open-loop load engine: aggregate actors
+//!   multiplexing up to 10⁶ logical clients with Poisson or trace
+//!   arrivals, recording coordinated-omission-free latency.
 //! * [`chaos`] — history-recording adapters and the Wing–Gong
 //!   linearizability checker behind the chaos gate.
 //! * [`table`] — plain-text table output shared by the `fig_*` binaries.
@@ -30,6 +33,7 @@ pub mod chaos;
 pub mod kv_exp;
 pub mod micro;
 pub mod netsim;
+pub mod openloop;
 pub mod rs_exp;
 pub mod smoke;
 pub mod table;

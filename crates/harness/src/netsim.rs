@@ -188,6 +188,21 @@ pub enum SimMsg {
     /// inside one of this server's crash windows (the plan validator
     /// enforces the coverage).
     Rot(usize),
+    /// Open-loop aggregate self-message: one logical client's intended
+    /// arrival instant (see [`crate::openloop`]). The aggregate starts
+    /// the operation — or queues its intended time when every slot is
+    /// in flight — and schedules the next arrival from its generator.
+    Arrival,
+    /// Open-loop aggregate self-message driving one multiplexed slot:
+    /// resume the slot's adapter after a backoff/retry wait
+    /// (`resume == true`), or finish its operation after trailing
+    /// client compute and recycle the slot (`resume == false`).
+    OlKick {
+        /// Which multiplexed logical-client slot.
+        slot: u32,
+        /// Resume-from-backoff vs finish-and-recycle.
+        resume: bool,
+    },
 }
 
 /// Recovery-protocol hooks a run installs on its servers.
@@ -1011,8 +1026,14 @@ impl Actor<SimMsg> for ClientActor {
                 let sends = self.adapter.start(&mut self.rng);
                 self.dispatch(sends, ctx);
             }
-            SimMsg::Req { .. } | SimMsg::Sweep | SimMsg::Rot(_) => {
-                unreachable!("clients receive neither requests nor server self-messages")
+            SimMsg::Req { .. }
+            | SimMsg::Sweep
+            | SimMsg::Rot(_)
+            | SimMsg::Arrival
+            | SimMsg::OlKick { .. } => {
+                unreachable!(
+                    "clients receive neither requests, server self-messages, nor open-loop timers"
+                )
             }
         }
     }

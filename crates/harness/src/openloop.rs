@@ -1,0 +1,968 @@
+//! Open-loop load engine: aggregate actors multiplexing many logical
+//! clients, with coordinated-omission-free latency recording.
+//!
+//! The closed-loop drivers in [`crate::netsim`] model one actor per
+//! client, each issuing its next operation only after the previous
+//! reply lands. That is the right model for the paper's
+//! throughput-latency figures, but it cannot ask the latency-under-load
+//! question honestly: a stalled server throttles a closed-loop client's
+//! offered load, so the stall suppresses exactly the samples that would
+//! have recorded it (*coordinated omission*), and one simulator actor
+//! per client caps the population long before the million-client scale
+//! the arrival math needs.
+//!
+//! This module fixes both:
+//!
+//! * **Open-loop arrivals.** A seeded [`ArrivalSpec`] (Poisson or
+//!   trace replay, from [`prism_workload::openloop`]) fixes request
+//!   arrival instants independently of service times. Latency is
+//!   measured from the *intended* arrival instant: when every logical
+//!   client is in flight, a new arrival queues its intended time, and
+//!   the operation it eventually becomes still charges the full wait.
+//! * **Aggregate actors.** One [`OpenLoopActor`] multiplexes up to
+//!   `logical_clients / actors` concurrently outstanding logical
+//!   clients as *slots* — lazily instantiated protocol adapters — so a
+//!   run sustains 10⁵–10⁶ logical clients with a handful of simulator
+//!   actors and an event count proportional to traffic, not population.
+//!
+//! Protocol adapters are reused verbatim: a slot drives the same
+//! [`ProtoAdapter`] state machines the closed-loop drivers use, against
+//! unmodified [`ServerActor`]s, and the full fault fabric (timeouts,
+//! drops, partitions, jitter, in-flight corruption, server crash
+//! windows) applies per send exactly as in [`ClientActor::dispatch`].
+//! The one exclusion is *client* crash windows: a logical client has no
+//! process of its own inside an aggregate, so plans with client
+//! restart windows are rejected up front.
+//!
+//! Adapters tag replies with tags of their own choosing, unique only
+//! within one adapter (and they use the full 64-bit space), so the
+//! aggregate translates: every send gets a fresh per-actor wire tag,
+//! and a routing map carries `wire tag → (slot, adapter tag)` until the
+//! reply or its timeout consumes it. Determinism is preserved end to
+//! end — same seed, same arrival schedule, same replies, bit-identical
+//! [`OpenLoopResult`].
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use prism_core::msg::{Reply, Request};
+use prism_core::PrismServer;
+use prism_rdma::RdmaError;
+use prism_simnet::engine::{Actor, ActorId, Context, Simulation};
+use prism_simnet::fault::FaultPlan;
+use prism_simnet::latency::CostModel;
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::{SimDuration, SimTime};
+use prism_workload::openloop::{ArrivalSpec, Arrivals};
+
+use crate::netsim::{
+    pre_delay, AdapterStep, Outbound, ProtoAdapter, RecoveryHooks, ServerActor, SimMsg, VerbPath,
+};
+
+/// Shared lazily-invoked adapter factory: slot `i` (globally numbered
+/// across aggregates) gets `factory(i)` the first time it is needed.
+/// `Rc<RefCell<…>>` because every aggregate actor of a run shares one
+/// factory, and the simulation is single-threaded by construction.
+pub type AdapterFactory = Rc<RefCell<dyn FnMut(usize) -> Box<dyn ProtoAdapter>>>;
+
+/// Parameters of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// The global arrival process, partitioned across aggregates.
+    pub arrivals: ArrivalSpec,
+    /// Total logical clients (the in-flight concurrency cap, spread
+    /// across aggregates). Arrivals beyond the cap queue their intended
+    /// times instead of being dropped or delayed silently.
+    pub logical_clients: usize,
+    /// Optional tighter cap on concurrently in-flight operations
+    /// (`0` = no extra cap). Protocol clients hold a per-connection
+    /// on-NIC scratch slot, and the paper's 256 KB scratch region
+    /// bounds one server to 4096 connections (§4.2) — so an experiment
+    /// multiplexing 10⁵⁺ logical clients caps its live slots at the
+    /// connection budget and lets the backlog charge the wait, exactly
+    /// as a real client host multiplexes user sessions over a bounded
+    /// connection pool.
+    pub max_inflight: usize,
+    /// Aggregate simulator actors multiplexing the logical clients.
+    pub actors: usize,
+    /// Warm-up (runs the arrival process, metrics discarded).
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub measure: SimDuration,
+    /// Run seed: arrival schedules, adapter RNG streams, fault streams.
+    pub seed: u64,
+    /// Fault plan (client crash windows are rejected; everything else
+    /// applies as in the closed-loop drivers).
+    pub faults: FaultPlan,
+}
+
+impl OpenLoopConfig {
+    /// A small fixed-seed smoke configuration: Poisson arrivals at
+    /// `rate_per_sec`, 256 logical clients on 4 aggregates, 100 µs
+    /// warm-up, 2 ms measurement.
+    pub fn smoke(rate_per_sec: f64, seed: u64) -> Self {
+        OpenLoopConfig {
+            arrivals: ArrivalSpec::Poisson { rate_per_sec },
+            logical_clients: 256,
+            max_inflight: 0,
+            actors: 4,
+            warmup: SimDuration::micros(100),
+            measure: SimDuration::millis(2),
+            seed,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// What one open-loop run measured. `PartialEq` is deliberate: the
+/// determinism gate compares whole results across replays bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopResult {
+    /// Aggregate actors.
+    pub actors: usize,
+    /// Logical-client concurrency cap.
+    pub logical_clients: usize,
+    /// Operations completed successfully inside the window.
+    pub completed: u64,
+    /// Completed operations per second.
+    pub tput_ops: f64,
+    /// Mean latency from intended arrival, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 99th percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile latency, µs.
+    pub p999_us: f64,
+    /// Maximum latency, µs.
+    pub max_us: f64,
+    /// Failed/aborted operations.
+    pub failed: u64,
+    /// Request timeouts that synthesized error replies.
+    pub timeouts: u64,
+    /// Adapter-level retries.
+    pub retries: u64,
+    /// Backoff events.
+    pub backoffs: u64,
+    /// Operations abandoned after exhausting their retry budget.
+    pub giveups: u64,
+    /// Arrivals that found every slot busy and queued their intended
+    /// time (the open-loop overload signal).
+    pub backlogged: u64,
+    /// Messages the fault plan dropped.
+    pub drops: u64,
+}
+
+/// One multiplexed logical client currently (or lately) in flight.
+struct Slot {
+    adapter: Box<dyn ProtoAdapter>,
+    /// Intended arrival instant of the operation in flight — the
+    /// latency clock's origin, which predates the operation's actual
+    /// start whenever the arrival had to queue.
+    intended: SimTime,
+    /// See [`ClientActor`]'s field of the same name.
+    corrupt_op: bool,
+}
+
+/// An aggregate open-loop actor: owns this partition's arrival stream
+/// and a pool of logical-client slots.
+pub struct OpenLoopActor {
+    arrivals: Arrivals,
+    factory: AdapterFactory,
+    slots: Vec<Slot>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Concurrency cap for this aggregate (slots are created lazily up
+    /// to it, so the high-water mark, not the cap, costs memory).
+    max_slots: usize,
+    /// Global slot-number base, so factories see distinct indices
+    /// across aggregates.
+    slot_base: usize,
+    /// Intended arrival instants waiting for a slot, oldest first.
+    backlog: VecDeque<SimTime>,
+    servers: Vec<ActorId>,
+    model: CostModel,
+    rng: SimRng,
+    /// Aggregate index — the identity fault-plan partitions refer to.
+    index: usize,
+    faults: FaultPlan,
+    fault_rng: SimRng,
+    corrupt_rng: SimRng,
+    /// Wire tag → (slot, adapter tag). Adapters use the full 64-bit tag
+    /// space each, so the aggregate cannot namespace their tags; it
+    /// issues fresh wire tags per send and routes replies back.
+    routes: HashMap<u64, (u32, u64)>,
+    /// Wire tags awaiting a reply under a fault plan, stamped with
+    /// their send attempt (see [`ClientActor::outstanding`]).
+    outstanding: HashMap<u64, u64>,
+    next_tag: u64,
+    attempt_ctr: u64,
+    /// Highest incarnation seen per server (pre-crash stragglers are
+    /// fenced, as in the closed-loop client).
+    seen_inc: Vec<u64>,
+}
+
+impl OpenLoopActor {
+    /// Creates one aggregate. `slot_base` numbers this aggregate's
+    /// slots globally for the factory; `index` is the aggregate's
+    /// client index under the fault plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        arrivals: Arrivals,
+        factory: AdapterFactory,
+        max_slots: usize,
+        slot_base: usize,
+        servers: Vec<ActorId>,
+        model: CostModel,
+        rng: SimRng,
+        index: usize,
+        faults: FaultPlan,
+    ) -> Self {
+        let fault_rng = SimRng::new(faults.seed ^ 0xC0FF_EE00 ^ ((index as u64 + 1) << 16));
+        let corrupt_rng = SimRng::new(faults.seed ^ 0xB17F_C11E ^ ((index as u64 + 1) << 16));
+        let seen_inc = vec![0; servers.len()];
+        OpenLoopActor {
+            arrivals,
+            factory,
+            slots: Vec::new(),
+            free: Vec::new(),
+            max_slots,
+            slot_base,
+            backlog: VecDeque::new(),
+            servers,
+            model,
+            rng,
+            index,
+            faults,
+            fault_rng,
+            corrupt_rng,
+            routes: HashMap::new(),
+            outstanding: HashMap::new(),
+            next_tag: 0,
+            attempt_ctr: 0,
+            seen_inc,
+        }
+    }
+
+    fn schedule_next_arrival(&mut self, ctx: &mut Context<'_, SimMsg>) {
+        if let Some(ns) = self.arrivals.next_arrival() {
+            let me = ctx.self_id();
+            ctx.send_at(me, SimTime::from_nanos(ns), SimMsg::Arrival);
+        }
+    }
+
+    /// A free slot, recycling first, then instantiating up to the cap.
+    fn acquire_slot(&mut self) -> Option<u32> {
+        if let Some(s) = self.free.pop() {
+            return Some(s);
+        }
+        if self.slots.len() < self.max_slots {
+            let id = self.slots.len();
+            let adapter = (self.factory.borrow_mut())(self.slot_base + id);
+            self.slots.push(Slot {
+                adapter,
+                intended: SimTime::ZERO,
+                corrupt_op: false,
+            });
+            return Some(id as u32);
+        }
+        None
+    }
+
+    /// Starts one logical operation on `slot`, clocked from `intended`.
+    fn start_op(&mut self, slot: u32, intended: SimTime, ctx: &mut Context<'_, SimMsg>) {
+        let s = &mut self.slots[slot as usize];
+        s.intended = intended;
+        s.corrupt_op = false;
+        s.adapter.note_time(ctx.now());
+        let sends = self.slots[slot as usize].adapter.start(&mut self.rng);
+        self.dispatch(slot, sends, ctx);
+    }
+
+    /// The operation on `slot` is over: recycle the slot, draining the
+    /// backlog first — a queued arrival starts *now* but keeps its
+    /// original intended time, which is what makes the recorded latency
+    /// coordination-free.
+    fn release_slot(&mut self, slot: u32, ctx: &mut Context<'_, SimMsg>) {
+        match self.backlog.pop_front() {
+            Some(intended) => self.start_op(slot, intended, ctx),
+            None => self.free.push(slot),
+        }
+    }
+
+    /// Sends one slot's outbound traffic, applying the same fault legs
+    /// as [`ClientActor::dispatch`], with wire-tag translation.
+    fn dispatch(&mut self, slot: u32, sends: Vec<Outbound>, ctx: &mut Context<'_, SimMsg>) {
+        let me = ctx.self_id();
+        let armed = !self.faults.is_noop();
+        for out in sends {
+            let dst = self.servers[out.server];
+            let mut pre = pre_delay(&self.model);
+            let mut attempt = 0;
+            let mut corrupt = false;
+            let wire_tag = self.next_tag;
+            self.next_tag += 1;
+            if !out.background {
+                self.routes.insert(wire_tag, (slot, out.tag));
+            }
+            if armed {
+                // Arm the timeout before deciding the request's fate: a
+                // dropped or partitioned request must still time out.
+                if !out.background {
+                    self.attempt_ctr += 1;
+                    attempt = self.attempt_ctr;
+                    self.outstanding.insert(wire_tag, attempt);
+                    ctx.send_in(
+                        me,
+                        pre + self.faults.timeout,
+                        SimMsg::Timeout {
+                            tag: wire_tag,
+                            attempt,
+                        },
+                    );
+                }
+                if self.faults.partitioned(self.index, out.server, ctx.now()) {
+                    ctx.metrics().add("fault_drops", 1);
+                    continue;
+                }
+                if self.faults.drop_prob > 0.0 && self.fault_rng.gen_bool(self.faults.drop_prob) {
+                    ctx.metrics().add("fault_drops", 1);
+                    continue;
+                }
+                if self.faults.jitter_ns > 0 {
+                    pre = pre
+                        + SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
+                }
+                if self.faults.flip_req_prob > 0.0
+                    && self.corrupt_rng.gen_bool(self.faults.flip_req_prob)
+                {
+                    // In-flight request corruption, same construction
+                    // as the closed-loop leg: flip one seeded bit of
+                    // the real encoded frame, verify the CRCs catch it.
+                    ctx.metrics().add("fault_corrupt_injected", 1);
+                    ctx.metrics().add("fault_corrupt_detected", 1);
+                    if let Ok(mut bytes) = out.req.encode() {
+                        let pos = self.corrupt_rng.gen_range(bytes.len() as u64 * 8);
+                        bytes[(pos / 8) as usize] ^= 1 << (pos % 8);
+                        debug_assert!(
+                            Request::decode(&bytes).is_err(),
+                            "a single-bit flip must not survive the frame CRCs"
+                        );
+                    }
+                    corrupt = true;
+                }
+            }
+            ctx.send_in(
+                dst,
+                pre,
+                SimMsg::Req {
+                    from: me,
+                    tag: wire_tag,
+                    attempt,
+                    req: out.req,
+                    respond: !out.background,
+                    corrupt,
+                },
+            );
+        }
+    }
+
+    /// Routes a reply (real or synthesized) to its slot's adapter and
+    /// acts on the verdict.
+    fn feed_reply(&mut self, wire_tag: u64, reply: Reply, ctx: &mut Context<'_, SimMsg>) {
+        let Some((slot, inner)) = self.routes.remove(&wire_tag) else {
+            // Unarmed runs deliver every reply exactly once, so a
+            // missing route only happens for fault-plan duplicates that
+            // slipped past the attempt dedup (never, by construction).
+            return;
+        };
+        let me = ctx.self_id();
+        let s = &mut self.slots[slot as usize];
+        if matches!(reply, Reply::Verb(Err(RdmaError::Corrupt))) {
+            s.corrupt_op = true;
+        }
+        s.adapter.note_time(ctx.now());
+        let step = s.adapter.on_reply(inner, reply);
+        match step {
+            AdapterStep::Wait(sends) => self.dispatch(slot, sends, ctx),
+            AdapterStep::Done {
+                sends,
+                client_compute,
+                failed,
+            } => {
+                self.dispatch(slot, sends, ctx);
+                let s = &mut self.slots[slot as usize];
+                if s.corrupt_op {
+                    s.corrupt_op = false;
+                    ctx.metrics().add(
+                        if failed {
+                            "fault_corrupt_aborted"
+                        } else {
+                            "fault_corrupt_repaired"
+                        },
+                        1,
+                    );
+                }
+                let end = ctx.now() + client_compute;
+                if failed {
+                    ctx.metrics().add("failed", 1);
+                } else {
+                    // The open-loop latency: completion minus *intended*
+                    // arrival, so queueing behind a full slot pool (or a
+                    // stalled server) is charged to the sample.
+                    let latency = end.since(self.slots[slot as usize].intended);
+                    ctx.metrics().record("lat", latency);
+                    ctx.metrics().add("ops", 1);
+                }
+                if client_compute == SimDuration::ZERO {
+                    self.release_slot(slot, ctx);
+                } else {
+                    ctx.send_at(
+                        me,
+                        end,
+                        SimMsg::OlKick {
+                            slot,
+                            resume: false,
+                        },
+                    );
+                }
+            }
+            AdapterStep::Backoff { sends, wait } => {
+                self.dispatch(slot, sends, ctx);
+                ctx.metrics().add("backoffs", 1);
+                ctx.send_in(me, wait, SimMsg::OlKick { slot, resume: true });
+            }
+            AdapterStep::Retry { sends, mut wait } => {
+                self.dispatch(slot, sends, ctx);
+                ctx.metrics().add("retries", 1);
+                if !self.faults.is_noop() {
+                    // Seeded retry jitter, same stream discipline as
+                    // the closed-loop client.
+                    let span = wait.as_nanos().max(2) / 2;
+                    wait = wait + SimDuration::from_nanos(self.fault_rng.gen_range(span));
+                }
+                ctx.send_in(me, wait, SimMsg::OlKick { slot, resume: true });
+            }
+            AdapterStep::GiveUp { sends } => {
+                self.dispatch(slot, sends, ctx);
+                let s = &mut self.slots[slot as usize];
+                if s.corrupt_op {
+                    s.corrupt_op = false;
+                    ctx.metrics().add("fault_corrupt_aborted", 1);
+                }
+                ctx.metrics().add("giveups", 1);
+                ctx.metrics().add("failed", 1);
+                self.release_slot(slot, ctx);
+            }
+        }
+    }
+}
+
+impl Actor<SimMsg> for OpenLoopActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, SimMsg>) {
+        self.schedule_next_arrival(ctx);
+    }
+
+    fn on_message(&mut self, msg: SimMsg, ctx: &mut Context<'_, SimMsg>) {
+        match msg {
+            SimMsg::Arrival => {
+                let now = ctx.now();
+                match self.acquire_slot() {
+                    Some(slot) => self.start_op(slot, now, ctx),
+                    None => {
+                        // Every logical client is in flight: queue the
+                        // intended instant. The eventual operation's
+                        // latency clock starts here, not when a slot
+                        // frees up.
+                        self.backlog.push_back(now);
+                        ctx.metrics().add("ol_backlogged", 1);
+                    }
+                }
+                self.schedule_next_arrival(ctx);
+            }
+            SimMsg::OlKick { slot, resume } => {
+                if resume {
+                    let s = &mut self.slots[slot as usize];
+                    s.adapter.note_time(ctx.now());
+                    let sends = self.slots[slot as usize].adapter.resume();
+                    self.dispatch(slot, sends, ctx);
+                } else {
+                    // Trailing client compute finished; the latency was
+                    // recorded when the adapter reported Done.
+                    self.release_slot(slot, ctx);
+                }
+            }
+            SimMsg::Reply {
+                tag,
+                attempt,
+                server,
+                inc,
+                reply,
+            } => {
+                if !self.faults.is_noop() {
+                    if inc < self.seen_inc[server] {
+                        ctx.metrics().add("fault_fenced", 1);
+                        return;
+                    }
+                    self.seen_inc[server] = inc;
+                    if self.outstanding.get(&tag) != Some(&attempt) {
+                        return;
+                    }
+                    self.outstanding.remove(&tag);
+                }
+                self.feed_reply(tag, reply, ctx);
+            }
+            SimMsg::Timeout { tag, attempt } => {
+                if self.outstanding.get(&tag) != Some(&attempt) {
+                    return;
+                }
+                self.outstanding.remove(&tag);
+                ctx.metrics().add("timeouts", 1);
+                self.feed_reply(tag, Reply::Verb(Err(RdmaError::ReceiverNotReady)), ctx);
+            }
+            SimMsg::Kick { .. }
+            | SimMsg::Restart
+            | SimMsg::Req { .. }
+            | SimMsg::Sweep
+            | SimMsg::Rot(_) => {
+                unreachable!("open-loop aggregates receive only replies and their own timers")
+            }
+        }
+    }
+}
+
+/// Runs one open-loop experiment over the given servers: builds the
+/// aggregates, partitions the arrival process, runs warm-up then the
+/// measurement window, and extracts the CO-free latency distribution.
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (zero actors, fewer logical
+/// clients than actors) or the fault plan contains client crash
+/// windows, which aggregates cannot model.
+pub fn run_open_loop(
+    servers: &[Arc<PrismServer>],
+    model: &CostModel,
+    verb_path: VerbPath,
+    cfg: &OpenLoopConfig,
+    factory: AdapterFactory,
+    hooks: &RecoveryHooks,
+) -> OpenLoopResult {
+    assert!(cfg.actors > 0, "open-loop run needs at least one aggregate");
+    assert!(
+        cfg.logical_clients >= cfg.actors,
+        "fewer logical clients ({}) than aggregates ({})",
+        cfg.logical_clients,
+        cfg.actors
+    );
+    cfg.faults.validate(servers.len(), cfg.actors);
+    for a in 0..cfg.actors {
+        assert!(
+            cfg.faults.client_restarts(a).is_empty(),
+            "open-loop aggregates do not model client crash windows"
+        );
+    }
+    let mut sim: Simulation<SimMsg> = Simulation::new(cfg.seed);
+    let server_ids: Vec<ActorId> = servers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            sim.add_actor(Box::new(ServerActor::new(
+                Arc::clone(s),
+                model.clone(),
+                verb_path,
+                i,
+                cfg.faults.clone(),
+                hooks.clone(),
+            )))
+        })
+        .collect();
+    let inflight = if cfg.max_inflight == 0 {
+        cfg.logical_clients
+    } else {
+        cfg.logical_clients.min(cfg.max_inflight)
+    }
+    .max(cfg.actors);
+    let per = inflight / cfg.actors;
+    let extra = inflight % cfg.actors;
+    let mut slot_base = 0;
+    for i in 0..cfg.actors {
+        let max_slots = per + usize::from(i < extra);
+        let arrivals = cfg.arrivals.build(i, cfg.actors, cfg.seed);
+        let rng = SimRng::new(cfg.seed ^ ((i as u64 + 1) << 20));
+        sim.add_actor(Box::new(OpenLoopActor::new(
+            arrivals,
+            Rc::clone(&factory),
+            max_slots,
+            slot_base,
+            server_ids.clone(),
+            model.clone(),
+            rng,
+            i,
+            cfg.faults.clone(),
+        )));
+        slot_base += max_slots;
+    }
+    sim.run_for(cfg.warmup);
+    sim.metrics_mut().reset();
+    if let Some(integrity) = &hooks.integrity {
+        integrity.reset();
+    }
+    sim.run_for(cfg.measure);
+    let metrics = sim.metrics();
+    let ops = metrics.counter("ops");
+    let (mean, p50, p99, p999, max) = metrics
+        .histogram("lat")
+        .map(|h| {
+            (
+                h.mean_micros(),
+                h.quantile_micros(0.50),
+                h.quantile_micros(0.99),
+                h.quantile_micros(0.999),
+                h.max_micros(),
+            )
+        })
+        .unwrap_or((0.0, 0.0, 0.0, 0.0, 0.0));
+    OpenLoopResult {
+        actors: cfg.actors,
+        logical_clients: cfg.logical_clients,
+        completed: ops,
+        tput_ops: ops as f64 / cfg.measure.as_micros_f64() * 1e6,
+        mean_us: mean,
+        p50_us: p50,
+        p99_us: p99,
+        p999_us: p999,
+        max_us: max,
+        failed: metrics.counter("failed"),
+        timeouts: metrics.counter("timeouts"),
+        retries: metrics.counter("retries"),
+        backoffs: metrics.counter("backoffs"),
+        giveups: metrics.counter("giveups"),
+        backlogged: metrics.counter("ol_backlogged"),
+        drops: metrics.counter("fault_drops"),
+    }
+}
+
+/// Per-server connection budget the experiment sweeps respect when
+/// capping in-flight slots: the 256 KB on-NIC scratch region holds 4096
+/// connections at 64 B each (§4.2); a margin is left for preload and
+/// bookkeeping connections the experiments open outside the engine.
+pub const CONNECTION_BUDGET: usize = 3_500;
+
+/// Knobs for the per-system latency-under-load sweeps the experiment
+/// modules expose alongside their closed-loop figures.
+#[derive(Debug, Clone)]
+pub struct OpenLoopKnobs {
+    /// Offered arrival rates to sweep (requests per simulated second).
+    pub rates_per_sec: Vec<f64>,
+    /// Logical-client concurrency cap.
+    pub logical_clients: usize,
+    /// In-flight cap (see [`OpenLoopConfig::max_inflight`]). The
+    /// experiment sweeps clamp this to the paper's per-server on-NIC
+    /// connection budget.
+    pub max_inflight: usize,
+    /// Aggregate actors.
+    pub actors: usize,
+    /// Warm-up per point.
+    pub warmup: SimDuration,
+    /// Measurement per point.
+    pub measure: SimDuration,
+}
+
+impl OpenLoopKnobs {
+    /// Full-scale sweep: 10⁵ logical clients, rates climbing past the
+    /// single-server saturation point (the 100 Gbps link serializes
+    /// ~24 M 512-byte replies per second) so the curve's knee is
+    /// visible.
+    pub fn paper() -> Self {
+        OpenLoopKnobs {
+            rates_per_sec: vec![1e6, 4e6, 8e6, 16e6, 22e6, 26e6],
+            logical_clients: 100_000,
+            max_inflight: CONNECTION_BUDGET,
+            actors: 16,
+            warmup: SimDuration::millis(1),
+            measure: SimDuration::millis(10),
+        }
+    }
+
+    /// Slots that can actually be live at once: the logical-client
+    /// population clamped by the in-flight cap. Experiment sweeps size
+    /// server-side spare provisioning (and thus adapter connections)
+    /// from this, not from the population.
+    pub fn live_slots(&self) -> usize {
+        if self.max_inflight == 0 {
+            self.logical_clients
+        } else {
+            self.logical_clients.min(self.max_inflight)
+        }
+    }
+
+    /// Reduced sweep for smoke tests.
+    pub fn quick() -> Self {
+        OpenLoopKnobs {
+            rates_per_sec: vec![1e5, 5e5],
+            logical_clients: 4_096,
+            max_inflight: CONNECTION_BUDGET,
+            actors: 4,
+            warmup: SimDuration::micros(200),
+            measure: SimDuration::millis(2),
+        }
+    }
+}
+
+/// Sweeps `run_open_loop` over the knobs' arrival rates, one
+/// [`OpenLoopResult`] per rate, reseeding each point from the base seed
+/// and the rate index.
+///
+/// `make_point` constructs a fresh server set and adapter factory for
+/// every rate. This is not optional thrift: each point can lazily open
+/// up to the in-flight cap's worth of connections, and the on-NIC
+/// connection table ([`crate::netsim`] servers carve 64 B of scratch
+/// per connection out of a fixed 256 KB arena) does not recycle IDs —
+/// sharing one server across a six-point sweep would exhaust the 4096
+/// slots mid-sweep. A fresh system per point also matches how the
+/// paper's testbed runs sweeps: one cold start per offered rate.
+pub fn sweep_rates<F>(
+    model: &CostModel,
+    verb_path: VerbPath,
+    knobs: &OpenLoopKnobs,
+    seed: u64,
+    faults: &FaultPlan,
+    mut make_point: F,
+) -> Vec<(f64, OpenLoopResult)>
+where
+    F: FnMut() -> (Vec<Arc<PrismServer>>, AdapterFactory),
+{
+    knobs
+        .rates_per_sec
+        .iter()
+        .enumerate()
+        .map(|(k, &rate)| {
+            let (servers, factory) = make_point();
+            let cfg = OpenLoopConfig {
+                arrivals: ArrivalSpec::Poisson { rate_per_sec: rate },
+                logical_clients: knobs.logical_clients,
+                max_inflight: knobs.max_inflight,
+                actors: knobs.actors,
+                warmup: knobs.warmup,
+                measure: knobs.measure,
+                seed: seed ^ ((k as u64 + 1) << 40),
+                faults: faults.clone(),
+            };
+            (
+                rate,
+                run_open_loop(
+                    &servers,
+                    model,
+                    verb_path,
+                    &cfg,
+                    factory,
+                    &RecoveryHooks::default(),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_core::builder::ops;
+    use prism_rdma::region::AccessFlags;
+
+    /// An adapter issuing one plain chain READ per op.
+    struct ReadAdapter {
+        addr: u64,
+        rkey: u32,
+    }
+
+    impl ProtoAdapter for ReadAdapter {
+        fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+            vec![Outbound {
+                server: 0,
+                tag: u64::MAX - 1, // full-width tags must round-trip
+                req: Request::Chain(vec![ops::read(self.addr, 512, self.rkey)]),
+                background: false,
+            }]
+        }
+
+        fn resume(&mut self) -> Vec<Outbound> {
+            unreachable!()
+        }
+
+        fn on_reply(&mut self, tag: u64, reply: Reply) -> AdapterStep {
+            assert_eq!(tag, u64::MAX - 1);
+            match reply {
+                Reply::Chain(r) => assert_eq!(r[0].data.len(), 512),
+                Reply::Verb(Err(_)) => {
+                    return AdapterStep::Done {
+                        sends: Vec::new(),
+                        client_compute: SimDuration::ZERO,
+                        failed: true,
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            AdapterStep::Done {
+                sends: Vec::new(),
+                client_compute: SimDuration::ZERO,
+                failed: false,
+            }
+        }
+    }
+
+    fn test_server() -> (Arc<PrismServer>, u64, u32) {
+        let s = Arc::new(PrismServer::new(1 << 20));
+        let (addr, rkey) = s.carve_region(4096, 64, AccessFlags::FULL);
+        (s, addr, rkey.0)
+    }
+
+    fn read_factory(addr: u64, rkey: u32) -> AdapterFactory {
+        Rc::new(RefCell::new(move |_i: usize| {
+            Box::new(ReadAdapter { addr, rkey }) as Box<dyn ProtoAdapter>
+        }))
+    }
+
+    #[test]
+    fn open_loop_completes_offered_load_when_unsaturated() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let cfg = OpenLoopConfig::smoke(200_000.0, 7);
+        let r = run_open_loop(
+            &[s],
+            &model,
+            VerbPath::Nic,
+            &cfg,
+            read_factory(addr, rkey),
+            &RecoveryHooks::default(),
+        );
+        // 200k ops/s over 2 ms ≈ 400 completions; Poisson noise and
+        // edge effects stay well inside ±50 %.
+        assert!(
+            r.completed > 200 && r.completed < 800,
+            "completed {} of ~400 expected",
+            r.completed
+        );
+        assert_eq!(r.failed, 0);
+        // Unloaded latency is the unloaded RTT, far from the arrival
+        // gaps: no backlog should form.
+        assert_eq!(r.backlogged, 0, "unsaturated run must not backlog");
+        assert!(r.tput_ops > 0.0 && r.mean_us > 0.0 && r.p99_us >= r.p50_us);
+    }
+
+    #[test]
+    fn open_loop_replay_is_bit_exact() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        for seed in [7, 1806242025] {
+            let cfg = OpenLoopConfig::smoke(300_000.0, seed);
+            let a = run_open_loop(
+                &[Arc::clone(&s)],
+                &model,
+                VerbPath::Nic,
+                &cfg,
+                read_factory(addr, rkey),
+                &RecoveryHooks::default(),
+            );
+            let b = run_open_loop(
+                &[Arc::clone(&s)],
+                &model,
+                VerbPath::Nic,
+                &cfg,
+                read_factory(addr, rkey),
+                &RecoveryHooks::default(),
+            );
+            assert_eq!(a, b, "same seed must replay bit-exactly");
+            assert!(a.completed > 0);
+        }
+    }
+
+    #[test]
+    fn saturated_run_backlogs_and_charges_queueing_to_latency() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        // 2 logical clients at an arrival rate far beyond what they can
+        // carry: almost every arrival queues, and the queueing delay
+        // dominates the recorded (intended-to-completion) latency.
+        let cfg = OpenLoopConfig {
+            arrivals: ArrivalSpec::Poisson {
+                rate_per_sec: 1_000_000.0,
+            },
+            logical_clients: 2,
+            max_inflight: 0,
+            actors: 1,
+            warmup: SimDuration::micros(100),
+            measure: SimDuration::millis(1),
+            seed: 11,
+            faults: FaultPlan::default(),
+        };
+        let r = run_open_loop(
+            &[s],
+            &model,
+            VerbPath::Nic,
+            &cfg,
+            read_factory(addr, rkey),
+            &RecoveryHooks::default(),
+        );
+        assert!(r.backlogged > 0, "overload must backlog");
+        // The unloaded RTT is a few µs; with the queue growing all
+        // window, mean CO-free latency must blow far past it.
+        assert!(
+            r.mean_us > 50.0,
+            "queueing delay not charged: mean {} µs",
+            r.mean_us
+        );
+    }
+
+    #[test]
+    fn max_inflight_caps_live_slots_and_backlogs_the_rest() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let mut cfg = OpenLoopConfig::smoke(2_000_000.0, 9);
+        cfg.max_inflight = 8;
+        let r = run_open_loop(
+            &[s],
+            &model,
+            VerbPath::Nic,
+            &cfg,
+            read_factory(addr, rkey),
+            &RecoveryHooks::default(),
+        );
+        // 2 M ops/s against 8 slots of ~5.5 µs service: the pool is
+        // pinned at the cap and the excess arrivals must queue.
+        assert!(r.backlogged > 0, "capped run must backlog");
+        assert!(r.completed > 0);
+        assert!(
+            r.mean_us > 50.0,
+            "queueing behind the in-flight cap not charged: mean {} µs",
+            r.mean_us
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "client crash windows")]
+    fn client_crash_plans_are_rejected() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let mut cfg = OpenLoopConfig::smoke(100_000.0, 3);
+        cfg.faults = FaultPlan {
+            client_crashes: vec![prism_simnet::fault::ClientCrashWindow {
+                client: 0,
+                from: SimTime::from_nanos(0),
+                until: SimTime::from_nanos(1),
+            }],
+            timeout: SimDuration::millis(1),
+            ..FaultPlan::default()
+        };
+        let _ = run_open_loop(
+            &[s],
+            &model,
+            VerbPath::Nic,
+            &cfg,
+            read_factory(addr, rkey),
+            &RecoveryHooks::default(),
+        );
+    }
+}

@@ -5,6 +5,8 @@
 //! Zipf coefficient: PRISM-RS stays flat while ABDLOCK's lock
 //! contention sends latency off the chart.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use prism_rs::abdlock::{AbdLockCluster, AbdLockConfig};
@@ -15,7 +17,8 @@ use prism_simnet::time::SimDuration;
 use prism_workload::KeyDist;
 
 use crate::adapters::{AbdLockAdapter, PrismRsAdapter};
-use crate::netsim::{run_closed_loop, VerbPath};
+use crate::netsim::{run_closed_loop, ProtoAdapter, VerbPath};
+use crate::openloop::{sweep_rates, AdapterFactory, OpenLoopKnobs, OpenLoopResult};
 use crate::table::{f2, mops, Table};
 
 /// Experiment parameters (§7.4 at reduced block count).
@@ -279,6 +282,73 @@ pub fn figure7(cfg: &RsExpConfig) -> Table {
     t
 }
 
+/// Open-loop latency-under-load sweep for PRISM-RS (uniform keys,
+/// `cfg.write_fraction` writes, 3 replicas): the replicated-store
+/// counterpart of [`crate::kv_exp::open_loop`].
+pub fn open_loop(cfg: &RsExpConfig, knobs: &OpenLoopKnobs) -> (Table, Vec<(f64, OpenLoopResult)>) {
+    let mut rs_config = RsConfig::paper(cfg.n_blocks, cfg.block_size);
+    // Same spare sizing rationale as the KV open-loop sweep: provision
+    // for the live slots, not the logical population.
+    rs_config.spare_buffers += 32 * (knobs.live_slots() as u64 + 16);
+    let n_blocks = cfg.n_blocks;
+    let block_size = cfg.block_size as usize;
+    let write_fraction = cfg.write_fraction;
+    // A fresh 3-replica cluster per swept rate: each point opens its
+    // own connections against cold connection tables (see
+    // `sweep_rates`).
+    let results = sweep_rates(
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        knobs,
+        cfg.seed,
+        &cfg.faults,
+        || {
+            let cluster = RsCluster::new(3, &rs_config);
+            let servers: Vec<Arc<prism_core::PrismServer>> = (0..3)
+                .map(|i| Arc::clone(cluster.replica(i).server()))
+                .collect();
+            let factory: AdapterFactory = Rc::new(RefCell::new(move |_i: usize| {
+                Box::new(PrismRsAdapter::new(
+                    cluster.open_client(),
+                    KeyDist::uniform(n_blocks),
+                    block_size,
+                    write_fraction,
+                )) as Box<dyn ProtoAdapter>
+            }));
+            (servers, factory)
+        },
+    );
+    let mut t = Table::new(
+        &format!(
+            "Open-loop PRISM-RS latency under load ({} logical clients on {} aggregates, {:.0}% writes, 3 replicas)",
+            knobs.logical_clients,
+            knobs.actors,
+            cfg.write_fraction * 100.0
+        ),
+        &[
+            "rate_Mops",
+            "tput_Mops",
+            "mean_us",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "backlogged",
+        ],
+    );
+    for (rate, r) in &results {
+        t.row(&[
+            mops(*rate),
+            mops(r.tput_ops),
+            f2(r.mean_us),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            f2(r.p999_us),
+            r.backlogged.to_string(),
+        ]);
+    }
+    (t, results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,5 +407,24 @@ mod tests {
             abd_growth > prism_growth * 1.5,
             "ABDLOCK growth {abd_growth}x vs PRISM {prism_growth}x"
         );
+    }
+
+    #[test]
+    fn open_loop_rs_completes_offered_load() {
+        let cfg = RsExpConfig::quick();
+        let mut knobs = OpenLoopKnobs::quick();
+        // Replicated writes cost more than KV GETs; keep the rates
+        // comfortably below the 3-replica saturation point.
+        knobs.rates_per_sec = vec![50_000.0, 200_000.0];
+        let (_t, results) = open_loop(&cfg, &knobs);
+        for (rate, r) in &results {
+            assert!(r.completed > 0, "no completions at {rate} ops/s");
+            let ratio = r.tput_ops / rate;
+            assert!(
+                (0.6..1.4).contains(&ratio),
+                "offered {rate} vs delivered {} (ratio {ratio})",
+                r.tput_ops
+            );
+        }
     }
 }

@@ -6,6 +6,8 @@
 //! uniform access; Figure 10 sweeps the Zipf coefficient and reports
 //! peak committed-transaction throughput.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use prism_simnet::fault::FaultPlan;
@@ -17,7 +19,8 @@ use prism_tx::prism_tx::{TxCluster, TxConfig};
 use prism_workload::{KeyDist, TxnGen};
 
 use crate::adapters::{FarmAdapter, PrismTxAdapter};
-use crate::netsim::{run_closed_loop, VerbPath};
+use crate::netsim::{run_closed_loop, ProtoAdapter, VerbPath};
+use crate::openloop::{sweep_rates, AdapterFactory, OpenLoopKnobs, OpenLoopResult};
 use crate::table::{f2, mops, Table};
 
 /// Experiment parameters (§8.3 at reduced key count).
@@ -320,6 +323,67 @@ pub fn figure10(cfg: &TxExpConfig) -> Table {
     t
 }
 
+/// Open-loop latency-under-load sweep for PRISM-TX (uniform YCSB-T
+/// transactions): the transactional counterpart of
+/// [`crate::kv_exp::open_loop`].
+pub fn open_loop(cfg: &TxExpConfig, knobs: &OpenLoopKnobs) -> (Table, Vec<(f64, OpenLoopResult)>) {
+    let mut tx_config = TxConfig::paper(cfg.keys_per_shard(), cfg.value_len);
+    // Same spare sizing rationale as the KV open-loop sweep: provision
+    // for the live slots, not the logical population.
+    tx_config.spare_buffers += 32 * (knobs.live_slots() as u64 + 16);
+    let n_shards = cfg.n_shards;
+    // A fresh sharded cluster per swept rate: each point opens its own
+    // connections against cold connection tables (see `sweep_rates`).
+    let results = sweep_rates(
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        knobs,
+        cfg.seed,
+        &cfg.faults,
+        || {
+            let cluster = TxCluster::new(n_shards, &tx_config);
+            let servers: Vec<Arc<prism_core::PrismServer>> = (0..n_shards)
+                .map(|i| Arc::clone(cluster.shard(i).server()))
+                .collect();
+            let cfg_for_gen = cfg.clone();
+            let factory: AdapterFactory = Rc::new(RefCell::new(move |i: usize| {
+                Box::new(PrismTxAdapter::new(
+                    cluster.open_client(),
+                    txn_gen(&cfg_for_gen, 0.0, cfg_for_gen.seed ^ ((i as u64 + 1) * 31)),
+                )) as Box<dyn ProtoAdapter>
+            }));
+            (servers, factory)
+        },
+    );
+    let mut t = Table::new(
+        &format!(
+            "Open-loop PRISM-TX latency under load ({} logical clients on {} aggregates, {} keys/txn)",
+            knobs.logical_clients, knobs.actors, cfg.keys_per_txn
+        ),
+        &[
+            "rate_Mtxn",
+            "tput_Mtxn",
+            "mean_us",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "backlogged",
+        ],
+    );
+    for (rate, r) in &results {
+        t.row(&[
+            mops(*rate),
+            mops(r.tput_ops),
+            f2(r.mean_us),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            f2(r.p999_us),
+            r.backlogged.to_string(),
+        ]);
+    }
+    (t, results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +456,25 @@ mod tests {
                 p.0,
                 p.1,
                 f.1
+            );
+        }
+    }
+
+    #[test]
+    fn open_loop_tx_completes_offered_load() {
+        let cfg = TxExpConfig::quick();
+        let mut knobs = OpenLoopKnobs::quick();
+        // Commit protocols cost several round trips; stay below the
+        // single-shard saturation point.
+        knobs.rates_per_sec = vec![50_000.0, 200_000.0];
+        let (_t, results) = open_loop(&cfg, &knobs);
+        for (rate, r) in &results {
+            assert!(r.completed > 0, "no commits at {rate} txn/s");
+            let ratio = r.tput_ops / rate;
+            assert!(
+                (0.6..1.4).contains(&ratio),
+                "offered {rate} vs committed {} (ratio {ratio})",
+                r.tput_ops
             );
         }
     }

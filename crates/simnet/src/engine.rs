@@ -5,6 +5,25 @@
 //! scheduled on the virtual clock. Ties in delivery time are broken by
 //! insertion order, so a run is fully deterministic given its seed and the
 //! order in which actors are registered.
+//!
+//! # Event queue
+//!
+//! The kernel dispatches events in `(time, sequence)` order. Two queue
+//! implementations provide that order (selectable via [`QueueKind`]):
+//!
+//! * [`QueueKind::Wheel`] (the default) — a bucketed hierarchical timer
+//!   wheel: ten levels of 64 slots each (6 bits of nanoseconds per level,
+//!   covering 2^60 ns ≈ 36 years of virtual time), a per-level occupancy
+//!   bitmap for O(1) next-slot search, and a far-future overflow heap for
+//!   the rare event beyond the wheel's horizon. Event records live in a
+//!   slab with intrusive free/next links, so steady-state scheduling
+//!   allocates nothing, and all events sharing a timestamp are drained as
+//!   one batch and dispatched in sequence order.
+//! * [`QueueKind::Heap`] — the original binary-heap queue, kept as the
+//!   reference oracle for differential property tests and before/after
+//!   benchmarks. Both implementations are observationally equivalent;
+//!   `crates/simnet/tests/wheel_oracle.rs` holds the property test that
+//!   pins this.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -45,6 +64,20 @@ pub trait Actor<M> {
     fn on_message(&mut self, msg: M, ctx: &mut Context<'_, M>);
 }
 
+/// Selects the event-queue implementation backing a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Hierarchical timer wheel with a far-future overflow heap — the
+    /// default, built for runs with hundreds of thousands of
+    /// outstanding timers (open-loop load generation).
+    Wheel,
+    /// The original `BinaryHeap<(time, seq)>` queue. O(log n) per event
+    /// with a large constant at high occupancy; retained as the
+    /// reference oracle for differential tests and benchmarks.
+    Heap,
+}
+
+/// One scheduled event, as stored by the heap oracle.
 #[derive(Debug)]
 struct Scheduled<M> {
     at: SimTime,
@@ -72,11 +105,295 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
+/// One event of a same-timestamp dispatch batch. The message is taken
+/// out (leaving `None`) when delivered.
+struct BatchEntry<M> {
+    seq: u64,
+    dst: ActorId,
+    msg: Option<M>,
+}
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const LEVELS: usize = 10;
+/// Events whose timestamp differs from the cursor in bit 60 or above
+/// overflow the wheel and wait in a far-future heap.
+const WHEEL_BITS: u32 = SLOT_BITS * LEVELS as u32;
+const NIL: u32 = u32::MAX;
+
+/// Slab-resident event record with an intrusive link, shared by the
+/// per-slot lists and the free list.
+struct SlabEntry<M> {
+    at: u64,
+    seq: u64,
+    dst: ActorId,
+    next: u32,
+    msg: Option<M>,
+}
+
+/// Bucketed hierarchical timer wheel.
+///
+/// Level `l` buckets events by bits `[6l, 6l+6)` of their absolute
+/// nanosecond timestamp. An event is filed at the *highest level where
+/// its timestamp digit differs from the cursor's* — which makes the slot
+/// index unambiguous (no modular aliasing) and guarantees every filed
+/// event sits strictly ahead of the cursor at its level. When the cursor
+/// enters a higher-level slot, that slot's events cascade down to finer
+/// levels; by the time an event's timestamp is reached it sits in a
+/// level-0 slot holding exactly the events of that nanosecond, which is
+/// drained as one batch and dispatched in sequence order.
+struct TimerWheel<M> {
+    slab: Vec<SlabEntry<M>>,
+    /// Head of the slab free list.
+    free: u32,
+    /// Per-level, per-slot intrusive list heads.
+    heads: [[u32; SLOTS]; LEVELS],
+    /// Per-level slot-occupancy bitmaps.
+    occ: [u64; LEVELS],
+    /// The wheel cursor: only advances to slot starts and batch times
+    /// already cleared for dispatch, so it never passes the kernel
+    /// clock. Inserts always satisfy `at >= cursor`.
+    cursor: u64,
+    /// Events beyond the wheel horizon, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    len: usize,
+}
+
+impl<M> TimerWheel<M> {
+    fn new() -> Self {
+        TimerWheel {
+            slab: Vec::new(),
+            free: NIL,
+            heads: [[NIL; SLOTS]; LEVELS],
+            occ: [0; LEVELS],
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, seq: u64, dst: ActorId, msg: M) {
+        let at = at.as_nanos();
+        debug_assert!(at >= self.cursor, "wheel insert behind the cursor");
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            let e = &mut self.slab[idx as usize];
+            self.free = e.next;
+            e.at = at;
+            e.seq = seq;
+            e.dst = dst;
+            e.next = NIL;
+            e.msg = Some(msg);
+            idx
+        } else {
+            let idx = self.slab.len();
+            assert!(idx < NIL as usize, "event slab exhausted");
+            self.slab.push(SlabEntry {
+                at,
+                seq,
+                dst,
+                next: NIL,
+                msg: Some(msg),
+            });
+            idx as u32
+        };
+        self.len += 1;
+        self.file(idx);
+    }
+
+    /// Files a slab entry into the level/slot derived from its
+    /// timestamp's highest digit differing from the cursor, or into the
+    /// overflow heap when that digit is beyond the wheel horizon.
+    fn file(&mut self, idx: u32) {
+        let e = &self.slab[idx as usize];
+        let (at, seq) = (e.at, e.seq);
+        let x = at ^ self.cursor;
+        let level = if x == 0 {
+            0
+        } else {
+            ((63 - x.leading_zeros()) / SLOT_BITS) as usize
+        };
+        if level >= LEVELS {
+            self.overflow.push(Reverse((at, seq, idx)));
+            return;
+        }
+        let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let e = &mut self.slab[idx as usize];
+        e.next = self.heads[level][slot];
+        self.heads[level][slot] = idx;
+        self.occ[level] |= 1 << slot;
+    }
+
+    /// Re-files every event of a level `>= 1` slot the cursor just
+    /// entered; each lands at a strictly lower level (its digit at
+    /// `level` now matches the cursor's).
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let mut idx = self.heads[level][slot];
+        self.heads[level][slot] = NIL;
+        self.occ[level] &= !(1 << slot);
+        while idx != NIL {
+            let next = self.slab[idx as usize].next;
+            self.file(idx);
+            idx = next;
+        }
+    }
+
+    /// Drains the level-0 slot holding timestamp `t` into `out`, sorted
+    /// by sequence number, returning entries to the free list.
+    fn drain_slot(&mut self, slot: usize, out: &mut Vec<BatchEntry<M>>) {
+        let start = out.len();
+        let mut idx = self.heads[0][slot];
+        self.heads[0][slot] = NIL;
+        self.occ[0] &= !(1 << slot);
+        while idx != NIL {
+            let e = &mut self.slab[idx as usize];
+            out.push(BatchEntry {
+                seq: e.seq,
+                dst: e.dst,
+                msg: e.msg.take(),
+            });
+            let next = e.next;
+            e.next = self.free;
+            self.free = idx;
+            idx = next;
+            self.len -= 1;
+        }
+        out[start..].sort_unstable_by_key(|b| b.seq);
+    }
+
+    /// Finds the earliest pending timestamp, and — if it does not exceed
+    /// `limit` — advances the cursor to it, drains its whole batch into
+    /// `out` (sequence order) and returns it. Returns `None`, with the
+    /// cursor parked at or before `limit`, when the queue is empty or
+    /// the next event lies past `limit`.
+    fn pop_batch(&mut self, limit: u64, out: &mut Vec<BatchEntry<M>>) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Level 0: events inside the cursor's current 64 ns window.
+            let cur0 = (self.cursor & (SLOTS as u64 - 1)) as u32;
+            let bits = self.occ[0] & (!0u64 << cur0);
+            if bits != 0 {
+                let slot = bits.trailing_zeros() as u64;
+                let t = (self.cursor & !(SLOTS as u64 - 1)) + slot;
+                if t > limit {
+                    return None;
+                }
+                self.cursor = t;
+                self.drain_slot(slot as usize, out);
+                return Some(t);
+            }
+            // Climb: enter the nearest occupied slot of the lowest
+            // level that has one ahead of the cursor, cascading its
+            // events down, then rescan from level 0.
+            let mut advanced = false;
+            for level in 1..LEVELS {
+                let shift = SLOT_BITS * level as u32;
+                let cur = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as u32;
+                let bits = self.occ[level] & (!0u64 << cur);
+                if bits == 0 {
+                    continue;
+                }
+                let slot = bits.trailing_zeros() as u64;
+                let slot_start =
+                    (self.cursor & !((1u64 << (shift + SLOT_BITS)) - 1)) | (slot << shift);
+                if slot_start > limit {
+                    return None;
+                }
+                self.cursor = slot_start;
+                self.cascade(level, slot as usize);
+                advanced = true;
+                break;
+            }
+            if advanced {
+                continue;
+            }
+            // The wheel proper is empty: jump the cursor to the first
+            // overflow event and pull in everything now within horizon.
+            let &Reverse((at, _, _)) = self.overflow.peek()?;
+            if at > limit {
+                return None;
+            }
+            self.cursor = at;
+            while let Some(&Reverse((a, _, _))) = self.overflow.peek() {
+                if (a ^ self.cursor) >> WHEEL_BITS != 0 {
+                    break;
+                }
+                let Reverse((_, _, idx)) = self.overflow.pop().expect("peeked entry vanished");
+                self.file(idx);
+            }
+        }
+    }
+}
+
+/// The original binary-heap event queue, retained as the reference
+/// oracle (see [`QueueKind::Heap`]).
+struct HeapQueue<M> {
+    heap: BinaryHeap<Reverse<Scheduled<M>>>,
+}
+
+impl<M> HeapQueue<M> {
+    fn pop_batch(&mut self, limit: u64, out: &mut Vec<BatchEntry<M>>) -> Option<u64> {
+        let at = self.heap.peek()?.0.at;
+        if at.as_nanos() > limit {
+            return None;
+        }
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if ev.at != at {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked event vanished");
+            out.push(BatchEntry {
+                seq: ev.seq,
+                dst: ev.dst,
+                msg: Some(ev.msg),
+            });
+        }
+        Some(at.as_nanos())
+    }
+}
+
+/// The kernel's event queue: timer wheel or heap oracle.
+enum EventQueue<M> {
+    Wheel(TimerWheel<M>),
+    Heap(HeapQueue<M>),
+}
+
+impl<M> EventQueue<M> {
+    fn push(&mut self, at: SimTime, seq: u64, dst: ActorId, msg: M) {
+        match self {
+            EventQueue::Wheel(w) => w.push(at, seq, dst, msg),
+            EventQueue::Heap(h) => h.heap.push(Reverse(Scheduled { at, seq, dst, msg })),
+        }
+    }
+
+    fn pop_batch(&mut self, limit: SimTime, out: &mut Vec<BatchEntry<M>>) -> Option<SimTime> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_batch(limit.as_nanos(), out),
+            EventQueue::Heap(h) => h.pop_batch(limit.as_nanos(), out),
+        }
+        .map(SimTime::from_nanos)
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.len,
+            EventQueue::Heap(h) => h.heap.len(),
+        }
+    }
+}
+
 /// The mutable simulation state shared with actors during a callback.
 struct Kernel<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    queue: EventQueue<M>,
+    /// The same-timestamp batch currently being dispatched, and the
+    /// next entry to deliver. Reused across batches: zero allocation in
+    /// steady state.
+    batch: Vec<BatchEntry<M>>,
+    batch_pos: usize,
     rng: SimRng,
     metrics: Metrics,
     stopped: bool,
@@ -95,7 +412,7 @@ impl<M> Kernel<M> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, dst, msg }));
+        self.queue.push(at, seq, dst, msg);
     }
 }
 
@@ -166,14 +483,30 @@ pub struct Simulation<M> {
 }
 
 impl<M> Simulation<M> {
-    /// Creates an empty simulation with the given random seed.
+    /// Creates an empty simulation with the given random seed, backed
+    /// by the timer-wheel event queue.
     pub fn new(seed: u64) -> Self {
+        Simulation::with_queue(seed, QueueKind::Wheel)
+    }
+
+    /// Creates an empty simulation with an explicit queue
+    /// implementation — [`QueueKind::Heap`] selects the reference
+    /// oracle for differential tests and before/after benchmarks.
+    pub fn with_queue(seed: u64, queue: QueueKind) -> Self {
+        let queue = match queue {
+            QueueKind::Wheel => EventQueue::Wheel(TimerWheel::new()),
+            QueueKind::Heap => EventQueue::Heap(HeapQueue {
+                heap: BinaryHeap::new(),
+            }),
+        };
         Simulation {
             actors: Vec::new(),
             kernel: Kernel {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue,
+                batch: Vec::new(),
+                batch_pos: 0,
                 rng: SimRng::new(seed),
                 metrics: Metrics::new(),
                 stopped: false,
@@ -257,29 +590,50 @@ impl<M> Simulation<M> {
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_if_needed();
         while !self.kernel.stopped {
-            let Some(Reverse(ev)) = self.kernel.queue.peek() else {
-                break;
-            };
-            if ev.at > deadline {
-                self.kernel.now = deadline;
-                break;
+            // Deliver the in-progress same-timestamp batch first: new
+            // events landing on the current instant carry higher
+            // sequence numbers than everything batched, so they are
+            // picked up by the next drain, in order.
+            if self.kernel.batch_pos < self.kernel.batch.len() {
+                let pos = self.kernel.batch_pos;
+                self.kernel.batch_pos += 1;
+                let dst = self.kernel.batch[pos].dst;
+                let msg = self.kernel.batch[pos]
+                    .msg
+                    .take()
+                    .expect("batch entry delivered twice");
+                assert!(
+                    dst.0 < self.actors.len(),
+                    "message for unregistered actor {dst:?}"
+                );
+                let mut actor = std::mem::replace(&mut self.actors[dst.0], Box::new(Inert));
+                actor.on_message(
+                    msg,
+                    &mut Context {
+                        kernel: &mut self.kernel,
+                        self_id: dst,
+                    },
+                );
+                self.actors[dst.0] = actor;
+                continue;
             }
-            let Reverse(ev) = self.kernel.queue.pop().expect("peeked event vanished");
-            self.kernel.now = ev.at;
-            assert!(
-                ev.dst.0 < self.actors.len(),
-                "message for unregistered actor {:?}",
-                ev.dst
-            );
-            let mut actor = std::mem::replace(&mut self.actors[ev.dst.0], Box::new(Inert));
-            actor.on_message(
-                ev.msg,
-                &mut Context {
-                    kernel: &mut self.kernel,
-                    self_id: ev.dst,
-                },
-            );
-            self.actors[ev.dst.0] = actor;
+            self.kernel.batch.clear();
+            self.kernel.batch_pos = 0;
+            match self
+                .kernel
+                .queue
+                .pop_batch(deadline, &mut self.kernel.batch)
+            {
+                Some(t) => self.kernel.now = t,
+                None => {
+                    if self.kernel.queue.len() > 0 {
+                        // Events remain past the deadline: park the
+                        // clock there so a later run resumes cleanly.
+                        self.kernel.now = deadline;
+                    }
+                    break;
+                }
+            }
         }
     }
 
@@ -411,14 +765,16 @@ mod tests {
                 ctx.send_in(me, SimDuration::micros(1), 0);
             }
         }
-        let mut sim = Simulation::new(0);
-        sim.add_actor(Box::new(SelfPing));
-        sim.run_until(SimTime::from_nanos(10_500));
-        assert_eq!(sim.metrics().counter("ticks"), 10);
-        assert_eq!(sim.now().as_nanos(), 10_500);
-        // Continuing resumes from the deadline without replaying events.
-        sim.run_until(SimTime::from_nanos(20_500));
-        assert_eq!(sim.metrics().counter("ticks"), 20);
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut sim = Simulation::with_queue(0, kind);
+            sim.add_actor(Box::new(SelfPing));
+            sim.run_until(SimTime::from_nanos(10_500));
+            assert_eq!(sim.metrics().counter("ticks"), 10);
+            assert_eq!(sim.now().as_nanos(), 10_500);
+            // Continuing resumes from the deadline without replaying events.
+            sim.run_until(SimTime::from_nanos(20_500));
+            assert_eq!(sim.metrics().counter("ticks"), 20);
+        }
     }
 
     #[test]
@@ -440,6 +796,32 @@ mod tests {
         sim.run();
         assert!(sim.is_stopped());
         assert_eq!(sim.now().as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn stop_discards_rest_of_same_instant_batch() {
+        // Two messages at the same timestamp: the first stops the
+        // simulation, so the second must not be delivered even though it
+        // was drained into the same dispatch batch.
+        struct Stopper;
+        impl Actor<u32> for Stopper {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                let me = ctx.self_id();
+                ctx.send_in(me, SimDuration::micros(1), 0);
+                ctx.send_in(me, SimDuration::micros(1), 1);
+            }
+            fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+                assert_eq!(msg, 0, "stop must halt the rest of the batch");
+                ctx.stop();
+            }
+        }
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut sim = Simulation::with_queue(0, kind);
+            sim.add_actor(Box::new(Stopper));
+            sim.run();
+            assert!(sim.is_stopped());
+            assert_eq!(sim.now().as_nanos(), 1_000);
+        }
     }
 
     #[test]
@@ -495,5 +877,119 @@ mod tests {
         }
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    /// Delivers `script` hops, each re-armed from the previous one, and
+    /// records each delivery time into the metrics channel.
+    struct Hopper {
+        hops: Vec<u64>,
+        pos: usize,
+    }
+    impl Actor<u32> for Hopper {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            let me = ctx.self_id();
+            ctx.send_in(me, SimDuration::from_nanos(self.hops[0]), 0);
+        }
+        fn on_message(&mut self, _: u32, ctx: &mut Context<'_, u32>) {
+            let now = ctx.now().as_nanos();
+            ctx.metrics().add("hops", 1);
+            ctx.metrics().add("time_sum", now);
+            self.pos += 1;
+            if self.pos < self.hops.len() {
+                let me = ctx.self_id();
+                ctx.send_in(me, SimDuration::from_nanos(self.hops[self.pos]), 0);
+            }
+        }
+    }
+
+    fn hop_signature(kind: QueueKind, hops: &[u64]) -> (u64, u64, u64) {
+        let mut sim = Simulation::with_queue(0, kind);
+        sim.add_actor(Box::new(Hopper {
+            hops: hops.to_vec(),
+            pos: 0,
+        }));
+        sim.run();
+        (
+            sim.metrics().counter("hops"),
+            sim.metrics().counter("time_sum"),
+            sim.now().as_nanos(),
+        )
+    }
+
+    #[test]
+    fn wheel_crosses_epoch_boundaries_like_the_heap() {
+        // Regression for wheel epoch rollover: each hop lands exactly
+        // on or just past a 64^k slot boundary, the carry cases where a
+        // naive delta-based wheel files events into already-passed
+        // slots. The heap oracle defines correct behavior.
+        let spans: &[u64] = &[
+            63,
+            1, // crosses the level-0 window at 64
+            4031,
+            1, // crosses the level-1 window at 4096
+            258_047,
+            1, // crosses the level-2 window at 262144
+            16_513_023,
+            1, // crosses the level-3 window at 16777216
+            (1u64 << 36) - 16_775_232,
+            1, // crosses a level-6 digit
+        ];
+        assert_eq!(
+            hop_signature(QueueKind::Wheel, spans),
+            hop_signature(QueueKind::Heap, spans)
+        );
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_heap() {
+        // Deltas wider than the 2^60 ns wheel horizon must park in the
+        // overflow heap and still dispatch in (time, seq) order.
+        struct Far;
+        impl Actor<u32> for Far {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                let me = ctx.self_id();
+                ctx.send_at(me, SimTime::from_nanos(1u64 << 61), 1);
+                ctx.send_at(me, SimTime::from_nanos((1u64 << 61) + 5), 2);
+                ctx.send_at(me, SimTime::from_nanos(500), 0);
+            }
+            fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+                let n = ctx.metrics().counter("n");
+                assert_eq!(msg as u64, n, "overflow events out of order");
+                ctx.metrics().add("n", 1);
+            }
+        }
+        let mut sim = Simulation::new(0);
+        sim.add_actor(Box::new(Far));
+        sim.run();
+        assert_eq!(sim.metrics().counter("n"), 3);
+        assert_eq!(sim.now().as_nanos(), (1u64 << 61) + 5);
+    }
+
+    #[test]
+    fn clock_saturates_at_the_far_future_horizon() {
+        // Regression for the latent u64 tick overflow: scheduling past
+        // u64::MAX used to wrap (release) or panic (debug) inside
+        // `SimTime + SimDuration`. It now saturates: the event lands at
+        // the horizon and the run terminates cleanly.
+        struct Edge;
+        impl Actor<u32> for Edge {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                let me = ctx.self_id();
+                ctx.send_at(me, SimTime::from_nanos(u64::MAX - 10), 0);
+            }
+            fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+                ctx.metrics().add("n", 1);
+                if msg == 0 {
+                    let me = ctx.self_id();
+                    // now + 100 overflows u64: saturates to u64::MAX.
+                    ctx.send_in(me, SimDuration::from_nanos(100), 1);
+                }
+            }
+        }
+        let mut sim = Simulation::new(0);
+        sim.add_actor(Box::new(Edge));
+        sim.run();
+        assert_eq!(sim.metrics().counter("n"), 2);
+        assert_eq!(sim.now().as_nanos(), u64::MAX);
     }
 }

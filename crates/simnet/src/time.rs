@@ -103,29 +103,34 @@ impl SimDuration {
     }
 }
 
+// Additive clock arithmetic saturates at the u64 horizon rather than
+// wrapping (release) or panicking (debug): long-running simulations arm
+// timers relative to `now` with spans like `run()`'s u64::MAX deadline,
+// and a timer pushed past the horizon should simply never fire early —
+// it parks at the horizon, which `run_until` treats as "the far future".
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -195,6 +200,14 @@ mod tests {
     #[should_panic(expected = "earlier is after self")]
     fn since_panics_on_backwards_time() {
         let _ = SimTime::from_nanos(1).since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn additions_saturate_at_the_horizon() {
+        let t = SimTime::from_nanos(u64::MAX - 5) + SimDuration::from_nanos(100);
+        assert_eq!(t.as_nanos(), u64::MAX);
+        let d = SimDuration::from_nanos(u64::MAX) + SimDuration::from_nanos(1);
+        assert_eq!(d.as_nanos(), u64::MAX);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod openloop;
 pub mod ycsb;
 pub mod ycsbt;
 
 pub use dist::KeyDist;
+pub use openloop::{ArrivalSpec, Arrivals, PoissonGen, TraceGen};
 pub use ycsb::{KvOp, YcsbConfig, YcsbGen};
 pub use ycsbt::{TxnGen, TxnSpec};

@@ -11,6 +11,13 @@
 #
 # results/BENCH_02.json was assembled from two such runs — one at the
 # pre-fast-path commit, one after — joined per bench name.
+#
+# results/BENCH_03.json (open-loop engine + event core) draws its
+# wheel-vs-heap numbers from the des/64k_events_16k_timers_{wheel,heap}
+# pair in one run of this script (both queue kinds are benched on the
+# same commit), its wire numbers from the wire/chain4_* benches, and
+# its latency-under-load curves from
+# `cargo run --release -p prism-harness --bin fig_openloop [--million]`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

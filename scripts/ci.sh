@@ -18,13 +18,17 @@
 #                           rot: every injected fault detected or
 #                           repaired, counter conservation holds, and a
 #                           no-corruption plan stays bit-identical
-#   7. second-seed pass   — fault matrix + chaos gate again under a
+#   7. open-loop smoke    — coordinated-omission regression (stalled
+#                           server: open-loop p99 >> closed-loop p99)
+#                           and bit-exact open-loop sweep replay
+#   8. second-seed pass   — fault matrix + chaos gate + corruption
+#                           matrix + open-loop smoke again under a
 #                           different PRISM_TEST_SEED, so the gates
 #                           don't ossify around one lucky schedule
-#   8. bench smoke        — substrate benches at 50 ms/bench, so a perf
+#   9. bench smoke        — substrate benches at 50 ms/bench, so a perf
 #                           regression that breaks the bench harness (or
 #                           an arena change that deadlocks it) fails CI
-#   9. cargo fmt --check  — skipped with a notice if rustfmt is absent
+#  10. cargo fmt --check  — skipped with a notice if rustfmt is absent
 #
 # The property suites print a PRISM_TEST_SEED on failure; re-run the
 # named test with that env var to reproduce the exact failing input.
@@ -50,9 +54,13 @@ cargo test -q --offline -p prism-harness --test chaos_gate
 echo "== corruption matrix (bit flips / torn writes / rot) =="
 cargo test -q --offline -p prism-harness --test corruption_matrix
 
-echo "== second-seed pass (fault matrix + chaos gate) =="
+echo "== open-loop smoke (CO regression + bit-exact replay) =="
+cargo test -q --offline -p prism-harness --test openloop_smoke
+
+echo "== second-seed pass (fault matrix + chaos gate + corruption matrix + open-loop smoke) =="
 PRISM_TEST_SEED=1806242025 cargo test -q --offline -p prism-harness \
-    --test fault_matrix --test chaos_gate
+    --test fault_matrix --test chaos_gate --test corruption_matrix \
+    --test openloop_smoke
 
 echo "== bench smoke (substrate, 50 ms/bench) =="
 PRISM_BENCH_MS=50 cargo bench -q --offline -p prism-bench --bench substrate

@@ -6,6 +6,7 @@
 //! `prism-testkit` harness; failures print a `PRISM_TEST_SEED` for
 //! exact replay.
 
+use prism_core::builder::ops;
 use prism_core::msg::{Reply, Request, Verb};
 use prism_core::{OpResult, OpStatus};
 use prism_rdma::RdmaError;
@@ -55,6 +56,81 @@ fn arb_reply_member() -> Gen<Reply> {
         .map(|e| Reply::Verb(Err(e))),
         gens::vec(result, 0..4).map(Reply::Chain),
     ])
+}
+
+/// A PRISM chain request with a mix of op shapes, so the streamed chain
+/// encoder (`encode_chain_into` writing straight into the frame) is
+/// exercised against real op layouts, not just the RPC/verb bodies.
+fn arb_chain_request() -> Gen<Request> {
+    let op = gens::one_of(vec![
+        gens::t3(gens::u64s(), gens::u32s(), gens::u32s())
+            .map(|(addr, len, rkey)| ops::read(addr, len, rkey)),
+        gens::t3(gens::u64s(), gens::u32s(), gens::vec(gens::u8s(), 0..16))
+            .map(|(addr, rkey, data)| ops::write(addr, data, rkey)),
+        gens::t4(gens::u64s(), gens::u32s(), gens::u64s(), gens::u64s())
+            .map(|(target, rkey, compare, swap)| ops::cas64(target, rkey, compare, swap)),
+    ]);
+    gens::vec(op, 0..5).map(Request::Chain)
+}
+
+/// The borrowed-frame encoders are byte-identical to the owned path:
+/// `encode_into` after an arbitrary prefix produces exactly
+/// `prefix ++ encode()` for every request and reply shape — including
+/// chains, whose bodies now stream straight into the frame instead of
+/// passing through an intermediate `Vec` — and the appended frame
+/// decodes back to the original message.
+#[test]
+fn borrowed_encoders_match_owned_encoders() {
+    let req_gen = gens::one_of(vec![
+        arb_request_member(),
+        arb_chain_request(),
+        gens::vec(arb_request_member(), 0..4).map(Request::Batch),
+    ]);
+    let gen = gens::t3(req_gen, arb_reply_member(), gens::vec(gens::u8s(), 0..16));
+    for_all(
+        "borrowed_encoders_match_owned_encoders",
+        &Config::with_cases(256),
+        &gen,
+        |(req, reply, prefix)| {
+            let owned = req.encode().expect("owned encode");
+            let mut buf = prefix.clone();
+            req.encode_into(&mut buf).expect("encode_into");
+            assert_eq!(&buf[..prefix.len()], &prefix[..], "prefix clobbered");
+            assert_eq!(&buf[prefix.len()..], &owned[..], "request frames diverge");
+            assert_eq!(&Request::decode(&buf[prefix.len()..]).expect("decode"), req);
+
+            let owned = reply.encode().expect("owned encode");
+            let mut buf = prefix.clone();
+            reply.encode_into(&mut buf).expect("encode_into");
+            assert_eq!(&buf[prefix.len()..], &owned[..], "reply frames diverge");
+            assert_eq!(&Reply::decode(&buf[prefix.len()..]).expect("decode"), reply);
+        },
+    );
+}
+
+/// Every single-byte mutation of a chain-bearing frame surfaces as the
+/// *typed* corrupt error on the borrowed decode path — the CRC trailer
+/// is verified before any body bytes are borrowed, so a damaged frame
+/// can never leak a partially-parsed chain or a generic parse error.
+#[test]
+fn mutated_chain_frames_decode_to_typed_corrupt() {
+    let gen = gens::t3(
+        arb_chain_request(),
+        gens::u64s(),
+        gens::u8s().map(|m| m | 1),
+    );
+    for_all(
+        "mutated_chain_frames_decode_to_typed_corrupt",
+        &Config::with_cases(256),
+        &gen,
+        |(req, pos, mask)| {
+            let mut bytes = req.encode().expect("encode");
+            let at = (*pos as usize) % bytes.len();
+            bytes[at] ^= mask;
+            let err = Request::decode(&bytes).expect_err("mutated frame decoded");
+            assert!(err.is_corrupt(), "expected typed corrupt, got {err:?}");
+        },
+    );
 }
 
 /// Any flat request batch survives encode/decode unchanged.

@@ -1,0 +1,241 @@
+//! Open-loop engine gate: the coordinated-omission regression and the
+//! fixed-seed determinism smoke that `scripts/ci.sh` runs at two seeds.
+//!
+//! The coordinated-omission test is the reason the open-loop engine
+//! exists: stall a server mid-window and the closed-loop driver's tail
+//! barely moves (each blocked client simply stops *offering* the
+//! requests whose latencies would have recorded the stall), while the
+//! open-loop driver — whose arrival instants are fixed in advance and
+//! whose latencies are measured from those intended instants — charges
+//! the full stall to every request that arrived during it.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use prism_core::builder::ops;
+use prism_core::msg::{Reply, Request};
+use prism_core::PrismServer;
+use prism_harness::kv_exp::{self, KvExpConfig};
+use prism_harness::netsim::{
+    run_closed_loop, AdapterStep, Outbound, ProtoAdapter, RecoveryHooks, VerbPath,
+};
+use prism_harness::openloop::{run_open_loop, AdapterFactory, OpenLoopConfig, OpenLoopKnobs};
+use prism_rdma::region::AccessFlags;
+use prism_simnet::fault::{CrashMode, CrashWindow, FaultPlan};
+use prism_simnet::latency::CostModel;
+use prism_simnet::rng::SimRng;
+use prism_simnet::time::{SimDuration, SimTime};
+use prism_workload::ArrivalSpec;
+
+/// CI seed override, as in the fault matrix and chaos gate.
+fn seed() -> u64 {
+    std::env::var("PRISM_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// One chain READ per operation, retrying on any error until it lands —
+/// so an operation that spans a server stall completes *after* it and
+/// carries the stall in its latency, under both drivers.
+struct RetryingRead {
+    addr: u64,
+    rkey: u32,
+}
+
+impl ProtoAdapter for RetryingRead {
+    fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+        self.resume()
+    }
+
+    fn resume(&mut self) -> Vec<Outbound> {
+        vec![Outbound {
+            server: 0,
+            tag: 0,
+            req: Request::Chain(vec![ops::read(self.addr, 512, self.rkey)]),
+            background: false,
+        }]
+    }
+
+    fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        match reply {
+            Reply::Chain(_) => AdapterStep::Done {
+                sends: Vec::new(),
+                client_compute: SimDuration::ZERO,
+                failed: false,
+            },
+            _ => AdapterStep::Retry {
+                sends: Vec::new(),
+                wait: SimDuration::micros(5),
+            },
+        }
+    }
+}
+
+fn stall_server() -> (Arc<PrismServer>, u64, u32) {
+    let s = Arc::new(PrismServer::new(1 << 20));
+    let (addr, rkey) = s.carve_region(4096, 64, AccessFlags::FULL);
+    (s, addr, rkey.0)
+}
+
+/// A 400 µs fail-recover outage in the middle of a 2 ms measurement
+/// window, with a short client timeout so blocked requests keep
+/// retrying into the wall.
+fn stall_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        timeout: SimDuration::micros(25),
+        crashes: vec![CrashWindow {
+            server: 0,
+            from: SimTime::from_nanos(700_000),
+            until: SimTime::from_nanos(1_100_000),
+            mode: CrashMode::Recover,
+        }],
+        ..FaultPlan::default()
+    }
+}
+
+const WARMUP: SimDuration = SimDuration::micros(200);
+const MEASURE: SimDuration = SimDuration::millis(2);
+
+/// The regression itself: same server, same stall, same retrying
+/// adapter; the closed-loop p99 stays near the unloaded RTT while the
+/// open-loop p99 is dominated by the stall. If this ratio collapses,
+/// the engine has started measuring from operation start instead of
+/// intended arrival (or arrivals have become coupled to service times)
+/// — coordinated omission reintroduced.
+#[test]
+fn stalled_server_inflates_open_loop_p99_far_beyond_closed_loop() {
+    let seed = seed();
+    let model = CostModel::testbed();
+    let faults = stall_plan(seed);
+
+    let (s, addr, rkey) = stall_server();
+    let closed = run_closed_loop(
+        &[Arc::clone(&s)],
+        &model,
+        VerbPath::Nic,
+        16,
+        &mut |_| Box::new(RetryingRead { addr, rkey }),
+        WARMUP,
+        MEASURE,
+        seed,
+        &faults,
+    );
+
+    let (s, addr, rkey) = stall_server();
+    let factory: AdapterFactory = Rc::new(RefCell::new(move |_i: usize| {
+        Box::new(RetryingRead { addr, rkey }) as Box<dyn ProtoAdapter>
+    }));
+    let cfg = OpenLoopConfig {
+        arrivals: ArrivalSpec::Poisson {
+            rate_per_sec: 500_000.0,
+        },
+        logical_clients: 1_024,
+        max_inflight: 0,
+        actors: 4,
+        warmup: WARMUP,
+        measure: MEASURE,
+        seed,
+        faults,
+    };
+    let open = run_open_loop(
+        &[s],
+        &model,
+        VerbPath::Nic,
+        &cfg,
+        factory,
+        &RecoveryHooks::default(),
+    );
+
+    assert!(closed.p99_us > 0.0, "closed-loop run produced no samples");
+    assert!(open.completed > 0, "open-loop run produced no samples");
+    // ~20 % of the window's arrivals land inside the stall, so the
+    // open-loop p99 is on the order of the 400 µs outage; the
+    // closed-loop p99 sees at most 16 stall-spanning samples out of
+    // hundreds and stays near the unloaded RTT.
+    assert!(
+        closed.p99_us < 100.0,
+        "closed-loop p99 {} µs unexpectedly saw the stall",
+        closed.p99_us
+    );
+    assert!(
+        open.p99_us > 100.0,
+        "open-loop p99 {} µs failed to record the stall",
+        open.p99_us
+    );
+    assert!(
+        open.p99_us > 10.0 * closed.p99_us,
+        "open-loop p99 {} µs vs closed-loop {} µs: coordinated omission regression",
+        open.p99_us,
+        closed.p99_us
+    );
+}
+
+/// Fixed-seed smoke over the real PRISM-KV system: nonzero completions
+/// at every swept rate, and the whole sweep — every counter and every
+/// quantile — replays bit-exactly. CI runs this at the default seed and
+/// again under `PRISM_TEST_SEED=1806242025`.
+#[test]
+fn kv_open_loop_sweep_replays_bit_exactly() {
+    let mut cfg = KvExpConfig::quick(1.0);
+    cfg.seed ^= seed();
+    let knobs = OpenLoopKnobs::quick();
+    let (_t, a) = kv_exp::open_loop(&cfg, &knobs);
+    let (_t, b) = kv_exp::open_loop(&cfg, &knobs);
+    assert_eq!(a, b, "same seed must replay the sweep bit-exactly");
+    for (rate, r) in &a {
+        assert!(r.completed > 0, "no completions at {rate} ops/s");
+    }
+}
+
+/// Trace-driven arrivals are deterministic by construction: a burst
+/// trace replayed through the engine completes exactly the trace's
+/// arrival count (no arrival lost to striping or slot recycling), twice
+/// over.
+#[test]
+fn trace_replay_completes_every_arrival() {
+    let (s, addr, rkey) = stall_server();
+    let model = CostModel::testbed();
+    // 300 arrivals: a 3 µs-spaced ramp, then a 100-wide instantaneous
+    // burst (gap 0), then sparse stragglers — all inside the window.
+    let mut gaps = vec![3_000u64; 100];
+    gaps.extend(std::iter::repeat(0).take(100));
+    gaps.extend(std::iter::repeat(10_000).take(100));
+    let cfg = OpenLoopConfig {
+        arrivals: ArrivalSpec::Trace { gaps },
+        logical_clients: 64,
+        max_inflight: 0,
+        actors: 4,
+        warmup: SimDuration::ZERO,
+        measure: SimDuration::millis(5),
+        seed: seed(),
+        faults: FaultPlan::default(),
+    };
+    let factory: AdapterFactory = Rc::new(RefCell::new(move |_i: usize| {
+        Box::new(RetryingRead { addr, rkey }) as Box<dyn ProtoAdapter>
+    }));
+    let a = run_open_loop(
+        &[Arc::clone(&s)],
+        &model,
+        VerbPath::Nic,
+        &cfg,
+        Rc::clone(&factory),
+        &RecoveryHooks::default(),
+    );
+    assert_eq!(a.completed, 300, "every trace arrival must complete");
+    assert!(
+        a.backlogged > 0,
+        "the 100-wide burst must overflow 64 slots into the backlog"
+    );
+    let b = run_open_loop(
+        &[s],
+        &model,
+        VerbPath::Nic,
+        &cfg,
+        factory,
+        &RecoveryHooks::default(),
+    );
+    assert_eq!(a, b, "trace replay must be bit-exact");
+}
