@@ -11,15 +11,30 @@
 //! 32 bits, which is what makes the corruption-matrix conservation
 //! check exact for bit-flip faults: an injected flip is detected with
 //! certainty, never probabilistically.
+//!
+//! The hot loop is slice-by-16: sixteen derived tables let one
+//! iteration fold 16 input bytes through two 8-byte little-endian
+//! words, turning the bytewise table walk (one lookup + shift per
+//! byte, a serial dependency through the register every byte) into 16
+//! independent lookups whose XOR reduction the CPU can overlap. The
+//! construction is standard (Intel's slicing-by-8 generalized); the
+//! result is bit-identical to the bytewise recurrence, which the test
+//! suite asserts against a reference implementation over random
+//! lengths and offsets.
 
 use std::sync::OnceLock;
 
 const POLY: u32 = 0xEDB8_8320;
 
-fn table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
+/// `TABLES[0]` is the classic bytewise table; `TABLES[j][b]` is the
+/// CRC of byte `b` followed by `j` zero bytes, so a 16-byte block can
+/// be folded in one step by indexing table `15 - position` per byte.
+const SLICES: usize = 16;
+
+fn tables() -> &'static [[u32; 256]; SLICES] {
+    static TABLES: OnceLock<[[u32; 256]; SLICES]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; SLICES];
         let mut i = 0usize;
         while i < 256 {
             let mut c = i as u32;
@@ -28,8 +43,18 @@ fn table() -> &'static [u32; 256] {
                 c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
                 k += 1;
             }
-            t[i] = c;
+            t[0][i] = c;
             i += 1;
+        }
+        let mut j = 1usize;
+        while j < SLICES {
+            let mut i = 0usize;
+            while i < 256 {
+                let prev = t[j - 1][i];
+                t[j][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+                i += 1;
+            }
+            j += 1;
         }
         t
     })
@@ -43,10 +68,32 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Continue a CRC over another fragment. `state` is the raw register
 /// (pre-xorout); use [`Crc32`] unless you are chaining manually.
 fn crc32_seeded(state: u32, data: &[u8]) -> u32 {
-    let t = table();
+    let t = tables();
     let mut c = state;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = data.chunks_exact(SLICES);
+    for chunk in &mut chunks {
+        // Two 64-bit LE words; the register folds into the low word.
+        let lo = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes")) ^ c as u64;
+        let hi = u64::from_le_bytes(chunk[8..].try_into().expect("8 bytes"));
+        c = t[15][(lo & 0xFF) as usize]
+            ^ t[14][((lo >> 8) & 0xFF) as usize]
+            ^ t[13][((lo >> 16) & 0xFF) as usize]
+            ^ t[12][((lo >> 24) & 0xFF) as usize]
+            ^ t[11][((lo >> 32) & 0xFF) as usize]
+            ^ t[10][((lo >> 40) & 0xFF) as usize]
+            ^ t[9][((lo >> 48) & 0xFF) as usize]
+            ^ t[8][((lo >> 56) & 0xFF) as usize]
+            ^ t[7][(hi & 0xFF) as usize]
+            ^ t[6][((hi >> 8) & 0xFF) as usize]
+            ^ t[5][((hi >> 16) & 0xFF) as usize]
+            ^ t[4][((hi >> 24) & 0xFF) as usize]
+            ^ t[3][((hi >> 32) & 0xFF) as usize]
+            ^ t[2][((hi >> 40) & 0xFF) as usize]
+            ^ t[1][((hi >> 48) & 0xFF) as usize]
+            ^ t[0][((hi >> 56) & 0xFF) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c
 }
@@ -86,11 +133,46 @@ impl Default for Crc32 {
 mod tests {
     use super::*;
 
+    /// The pre-slicing bytewise recurrence, kept as the reference the
+    /// sliced implementation must match bit-for-bit.
+    fn crc32_bytewise(data: &[u8]) -> u32 {
+        let t = &tables()[0];
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        c ^ 0xFFFF_FFFF
+    }
+
     #[test]
     fn known_vectors() {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sliced_matches_bytewise_reference() {
+        // Every length through several 16-byte blocks plus a tail, so
+        // both the folded path and the remainder loop are exercised at
+        // every alignment of the chunk boundary.
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 13) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "sliced CRC diverges from bytewise at len {len}"
+            );
+        }
+        // And across fragment splits, since `Crc32::update` enters the
+        // sliced path with an arbitrary pre-seeded register.
+        for split in [1usize, 7, 15, 16, 17, 100] {
+            let mut inc = Crc32::new();
+            inc.update(&data[..split]).update(&data[split..]);
+            assert_eq!(inc.finish(), crc32_bytewise(&data));
+        }
     }
 
     #[test]

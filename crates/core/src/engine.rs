@@ -266,13 +266,16 @@ impl PrismEngine {
         len: u64,
     ) -> Result<&'a [u8], RdmaError> {
         let len = len as usize;
-        buf[..len].fill(0);
         match data {
             DataArg::Inline(d) => {
+                // Copy what the operand covers and zero-extend only the
+                // tail — the common full-length operand pays no fill.
                 let n = d.len().min(len);
                 buf[..n].copy_from_slice(&d[..n]);
+                buf[n..len].fill(0);
             }
             DataArg::Remote { addr, rkey } => {
+                // The bounded read overwrites the whole span.
                 self.regions
                     .validate(Rkey(*rkey), *addr, len as u64, Access::Read)?;
                 self.arena.read_into(*addr, &mut buf[..len])?;

@@ -8,12 +8,18 @@
 //! server CPU and the (simulated) NIC, deliberately off the regular path.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use prism_rdma::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use prism_rdma::{BufferQueue, RdmaError};
 
 use crate::op::FreeListId;
+
+/// Ids below this resolve through a lock-free dense table on the pop
+/// fast path; higher ids fall back to the locked map. Size classes are
+/// registered once at server setup with small consecutive ids, so in
+/// practice everything is dense.
+const DENSE_IDS: usize = 64;
 
 /// A rejected [`FreeLists::free`]: the address is not a legal member of
 /// the free list, or is already free. In debug builds the same
@@ -63,17 +69,56 @@ impl PoolExtent {
 }
 
 /// All free lists of one server, plus the posting gate.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FreeLists {
     gate: RwLock<()>,
+    /// Source of truth for every registered list.
     queues: RwLock<HashMap<FreeListId, Arc<BufferQueue>>>,
+    /// Lock-free mirror of `queues` for ids below [`DENSE_IDS`]: the
+    /// data plane resolves a size class with one atomic load and an
+    /// index instead of a read lock and a hash probe. Registration is
+    /// append-only and each `Arc` is stable for the server's lifetime
+    /// (amnesia recovery resets queue *contents* in place), so a
+    /// published entry never goes stale.
+    dense: Box<[OnceLock<Arc<BufferQueue>>]>,
     extents: RwLock<HashMap<FreeListId, Vec<PoolExtent>>>,
+}
+
+impl Default for FreeLists {
+    fn default() -> Self {
+        FreeLists {
+            gate: RwLock::new(()),
+            queues: RwLock::new(HashMap::new()),
+            dense: (0..DENSE_IDS).map(|_| OnceLock::new()).collect(),
+            extents: RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 impl FreeLists {
     /// Creates an empty registry.
     pub fn new() -> Self {
         FreeLists::default()
+    }
+
+    /// Fast-path lookup: dense table first, locked map for ids past
+    /// the dense range.
+    #[inline]
+    fn dense_get(&self, id: FreeListId) -> Option<&Arc<BufferQueue>> {
+        self.dense.get(id.0 as usize).and_then(OnceLock::get)
+    }
+
+    /// Slow-path lookup returning a clone for ids outside the dense
+    /// range (or not yet registered → `None`).
+    fn spill_get(&self, id: FreeListId) -> Option<Arc<BufferQueue>> {
+        self.queues.read().get(&id).cloned()
+    }
+
+    fn lookup(&self, id: FreeListId) -> Option<Arc<BufferQueue>> {
+        match self.dense_get(id) {
+            Some(q) => Some(Arc::clone(q)),
+            None => self.spill_get(id),
+        }
     }
 
     /// Registers a free list whose buffers are `buf_len` bytes.
@@ -84,15 +129,19 @@ impl FreeLists {
     /// server setup.
     pub fn register(&self, id: FreeListId, buf_len: u64) {
         let mut queues = self.queues.write();
-        let prev = queues.insert(id, Arc::new(BufferQueue::new(buf_len)));
+        let q = Arc::new(BufferQueue::new(buf_len));
+        let prev = queues.insert(id, Arc::clone(&q));
         assert!(prev.is_none(), "free list {id:?} registered twice");
+        if let Some(slot) = self.dense.get(id.0 as usize) {
+            slot.set(q).expect("dense slot already published");
+        }
     }
 
     /// Rebuilds a free list from scratch after an amnesia restart: the
-    /// old queue (whose contents described pre-crash ownership) is
-    /// dropped and replaced by a fresh one holding exactly `addrs`.
-    /// Takes the exclusive side of the posting gate so no in-flight
-    /// chain can pop from the queue being replaced. Unlike
+    /// queue's contents (which described pre-crash ownership) are
+    /// replaced in place by exactly `addrs`, restarting its posted
+    /// counter. Takes the exclusive side of the posting gate so no
+    /// in-flight chain can pop from the queue being reset. Unlike
     /// [`FreeLists::register`], the id must already exist — recovery
     /// re-initializes, it does not invent size classes.
     ///
@@ -101,11 +150,8 @@ impl FreeLists {
     /// Panics if `id` was never registered.
     pub fn reset(&self, id: FreeListId, addrs: impl IntoIterator<Item = u64>) {
         let _excl = self.gate.write();
-        let mut queues = self.queues.write();
-        let old = queues.get(&id).expect("reset of unregistered free list");
-        let fresh = Arc::new(BufferQueue::new(old.buf_len()));
-        fresh.post_many(addrs);
-        queues.insert(id, fresh);
+        let q = self.lookup(id).expect("reset of unregistered free list");
+        q.reset_in_place(addrs);
     }
 
     /// Acquires the data-plane side of the posting gate. The PRISM engine
@@ -119,8 +165,13 @@ impl FreeLists {
     ///
     /// Caller must hold the read gate (the engine does).
     pub fn pop(&self, id: FreeListId) -> Result<(u64, u64), RdmaError> {
-        let queues = self.queues.read();
-        let q = queues.get(&id).ok_or(RdmaError::UnknownFreeList(id.0))?;
+        // Hot path: one atomic load, an index, and the queue's own
+        // lock — no registry lock, no hash.
+        if let Some(q) = self.dense_get(id) {
+            let addr = q.pop()?;
+            return Ok((addr, q.buf_len()));
+        }
+        let q = self.spill_get(id).ok_or(RdmaError::UnknownFreeList(id.0))?;
         let addr = q.pop()?;
         Ok((addr, q.buf_len()))
     }
@@ -133,8 +184,7 @@ impl FreeLists {
         addrs: impl IntoIterator<Item = u64>,
     ) -> Result<(), RdmaError> {
         let _excl = self.gate.write();
-        let queues = self.queues.read();
-        let q = queues.get(&id).ok_or(RdmaError::UnknownFreeList(id.0))?;
+        let q = self.lookup(id).ok_or(RdmaError::UnknownFreeList(id.0))?;
         q.post_many(addrs);
         Ok(())
     }
@@ -178,8 +228,7 @@ impl FreeLists {
     /// [`FreeLists::post`].
     pub fn free(&self, id: FreeListId, addr: u64) -> Result<(), FreeError> {
         let _excl = self.gate.write();
-        let queues = self.queues.read();
-        let q = queues.get(&id).ok_or(FreeError::Unregistered(id.0))?;
+        let q = self.lookup(id).ok_or(FreeError::Unregistered(id.0))?;
         if let Some(extents) = self.extents.read().get(&id) {
             if !extents.iter().any(|e| e.admits(addr)) {
                 debug_assert!(false, "free of out-of-range buffer {addr:#x} on {id:?}");
@@ -199,41 +248,33 @@ impl FreeLists {
     /// the read side as the in-flight operation whose pop it is undoing,
     /// so taking the write gate here would deadlock.
     pub(crate) fn repush_internal(&self, id: FreeListId, addr: u64) {
-        if let Some(q) = self.queues.read().get(&id) {
+        if let Some(q) = self.lookup(id) {
             q.post(addr);
         }
     }
 
     /// Buffers currently available in `id`.
     pub fn available(&self, id: FreeListId) -> usize {
-        self.queues
-            .read()
-            .get(&id)
-            .map(|q| q.available())
-            .unwrap_or(0)
+        self.lookup(id).map(|q| q.available()).unwrap_or(0)
     }
 
     /// Size class of `id`, if registered.
     pub fn buf_len(&self, id: FreeListId) -> Option<u64> {
-        self.queues.read().get(&id).map(|q| q.buf_len())
+        self.lookup(id).map(|q| q.buf_len())
     }
 
     /// Reposts a buffer while the caller holds [`FreeLists::gate_write`]
     /// (taking the gate again would self-deadlock). Posting is
     /// idempotent, so racing a late client free is harmless.
     pub fn repush_gc(&self, id: FreeListId, addr: u64) {
-        if let Some(q) = self.queues.read().get(&id) {
+        if let Some(q) = self.lookup(id) {
             q.post(addr);
         }
     }
 
     /// Snapshot of `id`'s free addresses (for GC sweeps).
     pub fn snapshot(&self, id: FreeListId) -> Vec<u64> {
-        self.queues
-            .read()
-            .get(&id)
-            .map(|q| q.snapshot())
-            .unwrap_or_default()
+        self.lookup(id).map(|q| q.snapshot()).unwrap_or_default()
     }
 
     /// Acquires the exclusive side of the posting gate: blocks until all

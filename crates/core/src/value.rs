@@ -66,11 +66,25 @@ impl CasMode {
 fn masked_cmp(target: &[u8], data: &[u8], mask: &[u8]) -> Ordering {
     debug_assert_eq!(target.len(), data.len());
     debug_assert!(mask.len() >= target.len());
-    for i in 0..target.len() {
+    // Big-endian u64 comparison is lexicographic byte comparison, so
+    // the 8/16-byte operands of enhanced CAS compare in one or two
+    // word ops instead of a bytewise loop.
+    let n = target.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let m = u64::from_be_bytes(mask[i..i + 8].try_into().expect("8 bytes"));
+        let t = u64::from_be_bytes(target[i..i + 8].try_into().expect("8 bytes")) & m;
+        let d = u64::from_be_bytes(data[i..i + 8].try_into().expect("8 bytes")) & m;
+        match t.cmp(&d) {
+            Ordering::Equal => i += 8,
+            other => return other,
+        }
+    }
+    while i < n {
         let t = target[i] & mask[i];
         let d = data[i] & mask[i];
         match t.cmp(&d) {
-            Ordering::Equal => continue,
+            Ordering::Equal => i += 1,
             other => return other,
         }
     }
@@ -99,8 +113,18 @@ pub fn cas_compare(mode: CasMode, target: &[u8], data: &[u8], mask: &[u8]) -> bo
 /// Applies the swap: `target = (target & !mask) | (data & mask)`.
 pub fn cas_swap(target: &mut [u8], data: &[u8], mask: &[u8]) {
     debug_assert_eq!(target.len(), data.len());
-    for i in 0..target.len() {
+    let n = target.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let m = u64::from_ne_bytes(mask[i..i + 8].try_into().expect("8 bytes"));
+        let t = u64::from_ne_bytes(target[i..i + 8].try_into().expect("8 bytes"));
+        let d = u64::from_ne_bytes(data[i..i + 8].try_into().expect("8 bytes"));
+        target[i..i + 8].copy_from_slice(&((t & !m) | (d & m)).to_ne_bytes());
+        i += 8;
+    }
+    while i < n {
         target[i] = (target[i] & !mask[i]) | (data[i] & mask[i]);
+        i += 1;
     }
 }
 

@@ -95,12 +95,13 @@ fn get_inline(buf: &mut &[u8]) -> Result<Vec<u8>, WireError> {
         return Err(WireError("truncated inline length"));
     }
     let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(WireError("truncated inline data"));
+    // `take` + `to_vec` is one memcpy into an uninitialized allocation;
+    // the previous `vec![0u8; len]` + `copy_to_slice` zero-filled the
+    // buffer first, paying for every payload byte twice.
+    match crate::buf::take(buf, len) {
+        Some(bytes) => Ok(bytes.to_vec()),
+        None => Err(WireError("truncated inline data")),
     }
-    let mut v = vec![0u8; len];
-    buf.copy_to_slice(&mut v);
-    Ok(v)
 }
 
 fn get_data_arg(buf: &mut &[u8], remote: bool) -> Result<DataArg, WireError> {
@@ -357,10 +358,14 @@ pub fn decode_chain(mut buf: &[u8]) -> Result<Vec<PrismOp>, WireError> {
                 if buf.remaining() < 2 * MAX_CAS_LEN {
                     return Err(WireError("truncated CAS masks"));
                 }
-                let mut compare_mask = [0u8; MAX_CAS_LEN];
-                buf.copy_to_slice(&mut compare_mask);
-                let mut swap_mask = [0u8; MAX_CAS_LEN];
-                buf.copy_to_slice(&mut swap_mask);
+                let compare_mask: [u8; MAX_CAS_LEN] = crate::buf::take(&mut buf, MAX_CAS_LEN)
+                    .expect("length checked")
+                    .try_into()
+                    .expect("exact length");
+                let swap_mask: [u8; MAX_CAS_LEN] = crate::buf::take(&mut buf, MAX_CAS_LEN)
+                    .expect("length checked")
+                    .try_into()
+                    .expect("exact length");
                 PrismOp::Cas {
                     mode,
                     target,
@@ -429,11 +434,10 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Vec<OpResult>, WireError> {
         }
         let status = buf.get_u8();
         let len = buf.get_u32_le() as usize;
-        if buf.remaining() < len {
-            return Err(WireError("truncated result data"));
-        }
-        let mut data = vec![0u8; len];
-        buf.copy_to_slice(&mut data);
+        let data = match crate::buf::take(&mut buf, len) {
+            Some(bytes) => bytes.to_vec(),
+            None => return Err(WireError("truncated result data")),
+        };
         let status = match status {
             ST_OK => OpStatus::Ok,
             ST_CAS_FAILED => OpStatus::CasFailed,

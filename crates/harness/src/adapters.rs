@@ -20,6 +20,7 @@ use prism_tx::farm::{FarmClient, FarmOp, FarmOutcome, FarmStep};
 use prism_tx::prism_tx::{TxClient, TxOp, TxOutcome, TxStep};
 use prism_workload::{KeyDist, KvOp, TxnGen, YcsbConfig, YcsbGen};
 
+use crate::cluster::ShardMap;
 use crate::netsim::{AdapterStep, Outbound, ProtoAdapter};
 
 fn tag(seq: u64, phase: u32, idx: u32) -> u64 {
@@ -103,9 +104,19 @@ enum KvMachine {
     Put(PutOp),
 }
 
-/// Closed-loop YCSB client over PRISM-KV.
+/// Closed-loop YCSB client over PRISM-KV, optionally sharded.
+///
+/// With one client and [`ShardMap::single`] this is the original
+/// single-server adapter. With N clients, every operation is routed to
+/// its key's home shard before the state machine starts; the machine
+/// itself is untouched (sharding is pure client-side routing), and the
+/// free batcher already coalesces reclamation per shard.
 pub struct PrismKvAdapter {
-    client: PrismKvClient,
+    clients: Vec<PrismKvClient>,
+    map: ShardMap,
+    /// Home shard of the in-flight op (routing is per-operation; a
+    /// PRISM-KV op's whole chain stays on one shard).
+    shard: usize,
     gen: YcsbGen,
     current: Option<KvMachine>,
     /// The in-flight workload op, kept so a transport timeout can
@@ -116,10 +127,31 @@ pub struct PrismKvAdapter {
 }
 
 impl PrismKvAdapter {
-    /// Creates the adapter.
+    /// Creates the single-server adapter.
     pub fn new(client: PrismKvClient, config: YcsbConfig, rng: SimRng) -> Self {
+        Self::sharded(vec![client], ShardMap::single(), config, rng)
+    }
+
+    /// Creates a routed adapter over one client per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client count does not match the map's shard count.
+    pub fn sharded(
+        clients: Vec<PrismKvClient>,
+        map: ShardMap,
+        config: YcsbConfig,
+        rng: SimRng,
+    ) -> Self {
+        assert_eq!(
+            clients.len(),
+            map.shards(),
+            "one client per shard in shard order"
+        );
         PrismKvAdapter {
-            client,
+            clients,
+            map,
+            shard: 0,
             gen: YcsbGen::new(config, rng),
             current: None,
             op: None,
@@ -130,20 +162,22 @@ impl PrismKvAdapter {
 
     fn issue(&mut self, op: KvOp) -> Vec<Outbound> {
         let key = key_bytes(op.key());
+        self.shard = self.map.shard_of(&key);
+        let client = &self.clients[self.shard];
         let (machine, req) = match op {
             KvOp::Get(_) => {
-                let (m, r) = self.client.get(&key);
+                let (m, r) = client.get(&key);
                 (KvMachine::Get(m), r)
             }
             KvOp::Put(k) => {
                 let value = self.gen.value_for(k);
-                let (m, r) = self.client.put(&key, &value);
+                let (m, r) = client.put(&key, &value);
                 (KvMachine::Put(m), r)
             }
         };
         self.current = Some(machine);
         vec![Outbound {
-            server: 0,
+            server: self.shard,
             tag: 0,
             req,
             background: false,
@@ -152,7 +186,7 @@ impl PrismKvAdapter {
 
     fn bg_sends(&mut self, background: Option<prism_core::msg::Request>) -> Vec<Outbound> {
         background
-            .and_then(|b| self.frees.absorb(0, b))
+            .and_then(|b| self.frees.absorb(self.shard, b))
             .map(|(server, req)| {
                 vec![Outbound {
                     server,
@@ -171,7 +205,7 @@ impl PrismKvAdapter {
                 background,
             } => {
                 let mut sends = vec![Outbound {
-                    server: 0,
+                    server: self.shard,
                     tag: 0,
                     req: request,
                     background: false,
@@ -209,13 +243,14 @@ impl ProtoAdapter for PrismKvAdapter {
         // unanswered may already have published; blindly re-running it
         // could resurrect its value over a newer racing write, so the
         // machine's reissue path re-reads the slot and decides.
+        let client = &self.clients[self.shard];
         let req = match self.current.as_mut() {
-            Some(KvMachine::Get(m)) => m.reissue(&self.client),
-            Some(KvMachine::Put(m)) => m.reissue(&self.client),
+            Some(KvMachine::Get(m)) => m.reissue(client),
+            Some(KvMachine::Put(m)) => m.reissue(client),
             None => return self.issue(self.op.expect("op pending retry")),
         };
         vec![Outbound {
-            server: 0,
+            server: self.shard,
             tag: 0,
             req,
             background: false,
@@ -239,9 +274,10 @@ impl ProtoAdapter for PrismKvAdapter {
             };
         }
         let mut machine = self.current.take().expect("op in flight");
+        let client = &self.clients[self.shard];
         let step = match &mut machine {
-            KvMachine::Get(m) => m.on_reply(&self.client, reply),
-            KvMachine::Put(m) => m.on_reply(&self.client, reply),
+            KvMachine::Get(m) => m.on_reply(client, reply),
+            KvMachine::Put(m) => m.on_reply(client, reply),
         };
         self.current = Some(machine);
         self.step_to_adapter(step)
@@ -369,14 +405,29 @@ impl ProtoAdapter for PilafAdapter {
 // ---------------------------------------------------------------------
 
 /// Closed-loop block-store client over PRISM-RS: 50 % reads / 50 %
-/// writes (§7.4).
+/// writes (§7.4), optionally sharded across replica groups.
+///
+/// With one client and [`ShardMap::single`] this is the original
+/// 3-replica adapter. With S clients, each block routes to its home
+/// *group* and the quorum protocol runs inside that group unchanged.
+/// Flat server indices are group-major (`group * replicas + replica`,
+/// the [`crate::cluster::RsShards`] layout) and reply tags carry the
+/// flat index, so a straggler of a completed op still resolves its
+/// group after the client has moved on to a block elsewhere.
 pub struct PrismRsAdapter {
-    client: RsClient,
+    clients: Vec<RsClient>,
+    map: ShardMap,
+    /// Replicas per group (flat index stride).
+    replicas: usize,
+    /// Home group of the in-flight op.
+    group: usize,
     dist: KeyDist,
     block_size: usize,
     write_fraction: f64,
     seq: u64,
     current: Option<RsOp>,
+    /// Completed-but-outstanding machines by seq; the reply tag's flat
+    /// index names their group, so no group needs to be stored here.
     lingering: HashMap<u64, (RsOp, usize)>,
     outstanding: usize,
     /// The in-flight logical op (block, PUT value or `None` for GET),
@@ -388,10 +439,45 @@ pub struct PrismRsAdapter {
 }
 
 impl PrismRsAdapter {
-    /// Creates the adapter.
+    /// Creates the single-group adapter.
     pub fn new(client: RsClient, dist: KeyDist, block_size: usize, write_fraction: f64) -> Self {
+        Self::sharded(
+            vec![client],
+            ShardMap::single(),
+            dist,
+            block_size,
+            write_fraction,
+        )
+    }
+
+    /// Creates a routed adapter over one client per replica group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client count does not match the map's shard count
+    /// or the groups disagree on replica count.
+    pub fn sharded(
+        clients: Vec<RsClient>,
+        map: ShardMap,
+        dist: KeyDist,
+        block_size: usize,
+        write_fraction: f64,
+    ) -> Self {
+        assert_eq!(
+            clients.len(),
+            map.shards(),
+            "one client per replica group in group order"
+        );
+        let replicas = clients[0].n();
+        assert!(
+            clients.iter().all(|c| c.n() == replicas),
+            "uniform replica count across groups"
+        );
         PrismRsAdapter {
-            client,
+            clients,
+            map,
+            replicas,
+            group: 0,
             dist,
             block_size,
             write_fraction,
@@ -409,9 +495,10 @@ impl PrismRsAdapter {
         self.seq += 1;
         self.outstanding = 0;
         let (block, value) = self.op.clone().expect("op set");
+        self.group = self.map.shard_of_id(block);
         let (op, step) = match value {
-            Some(v) => self.client.put(block, v),
-            None => self.client.get(block),
+            Some(v) => self.clients[self.group].put(block, v),
+            None => self.clients[self.group].get(block),
         };
         self.current = Some(op);
         let (sends, _) = self.absorb(step);
@@ -419,18 +506,19 @@ impl PrismRsAdapter {
     }
 
     fn absorb(&mut self, step: RsStep) -> (Vec<Outbound>, Option<bool>) {
+        let base = self.group * self.replicas;
         let mut sends = Vec::new();
         for (replica, phase, req) in step.send {
             self.outstanding += 1;
             sends.push(Outbound {
-                server: replica,
-                tag: tag(self.seq, phase, replica as u32),
+                server: base + replica,
+                tag: tag(self.seq, phase, (base + replica) as u32),
                 req,
                 background: false,
             });
         }
         for (replica, req) in step.background {
-            if let Some((server, req)) = self.frees.absorb(replica, req) {
+            if let Some((server, req)) = self.frees.absorb(base + replica, req) {
                 sends.push(Outbound {
                     server,
                     tag: 0,
@@ -484,20 +572,24 @@ impl ProtoAdapter for PrismRsAdapter {
         }
         self.seq += 1;
         self.outstanding = 0;
-        let step = op.reissue(&self.client);
+        let step = op.reissue(&self.clients[self.group]);
         self.current = Some(op);
         let (sends, _) = self.absorb(step);
         sends
     }
 
     fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
-        let (seq, phase, replica) = untag(t);
+        let (seq, phase, idx) = untag(t);
+        // The tag carries the flat server index; decompose it so a
+        // straggler from a previous op still lands in its own group.
+        let group = idx as usize / self.replicas;
+        let replica = idx as usize % self.replicas;
         if let Some(inc) = reply.stale_incarnation() {
             // An amnesia-restarted replica fenced our pre-crash rkeys:
             // restamp them with its new incarnation so the operation-
             // level retry reaches it again (§7.2 rejoin is server-side;
             // the client only needs fresh capabilities).
-            self.client.refence(replica as usize, inc);
+            self.clients[group].refence(replica, inc);
         }
         if seq != self.seq || self.current.is_none() {
             // Straggler for a completed op: feed it for reclamation.
@@ -505,13 +597,14 @@ impl ProtoAdapter for PrismRsAdapter {
             let mut sends = Vec::new();
             let mut raw = Vec::new();
             if let Some((op, remaining)) = self.lingering.get_mut(&seq) {
-                let step = op.on_reply(&self.client, phase, replica as usize, reply);
+                let step = op.on_reply(&self.clients[group], phase, replica, reply);
                 raw = step.background;
                 *remaining -= 1;
                 finished = *remaining == 0;
             }
+            let base = group * self.replicas;
             for (r, req) in raw {
-                if let Some((server, req)) = self.frees.absorb(r, req) {
+                if let Some((server, req)) = self.frees.absorb(base + r, req) {
                     sends.push(Outbound {
                         server,
                         tag: 0,
@@ -527,7 +620,7 @@ impl ProtoAdapter for PrismRsAdapter {
         }
         let mut op = self.current.take().expect("op in flight");
         self.outstanding -= 1;
-        let step = op.on_reply(&self.client, phase, replica as usize, reply);
+        let step = op.on_reply(&self.clients[self.group], phase, replica, reply);
         let (sends, done) = self.absorb(step);
         match done {
             Some(failed) => {

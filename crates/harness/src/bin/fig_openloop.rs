@@ -3,12 +3,17 @@
 //! PRISM-TX, with up to 10⁵+ multiplexed logical clients.
 //!
 //! Usage: `cargo run --release -p prism-harness --bin fig_openloop
-//! [--quick] [--csv] [--system kv|rs|tx] [--million]`
+//! [--quick] [--csv] [--system kv|rs|tx] [--million] [--scaling]`
 //!
 //! `--million` runs a single PRISM-KV point with 10⁶ logical clients
 //! multiplexed over the on-NIC connection budget and reports engine
 //! throughput (completed sim-ops per wall-clock second) alongside the
 //! CO-free latency quantiles.
+//!
+//! `--scaling` sweeps PRISM-KV shard counts 1/2/4/8 (the BENCH_04
+//! scale-out curve): per shard count the offered-rate grid scales
+//! with the shard count so the knee stays in frame, and each point
+//! prints a machine-readable `scaling ...` line for results assembly.
 
 use prism_harness::kv_exp::{self, KvExpConfig};
 use prism_harness::openloop::{OpenLoopKnobs, CONNECTION_BUDGET};
@@ -61,6 +66,52 @@ fn main() {
             wall.as_secs_f64(),
             r.completed as f64 / wall.as_secs_f64()
         );
+        return;
+    }
+    if args.iter().any(|a| a == "--scaling") {
+        // Shard-count scaling sweep at 10⁵ logical clients. The
+        // per-server connection budget is respected at every shard
+        // count (each live slot opens one connection per shard, so a
+        // server's table never exceeds the live-slot cap); the offered
+        // grid brackets the expected knee at ~8.2 Mops per shard.
+        let cfg = if quick {
+            KvExpConfig::quick(1.0)
+        } else {
+            KvExpConfig::paper(1.0)
+        };
+        for shards in [1usize, 2, 4, 8] {
+            let mut knobs = if quick {
+                OpenLoopKnobs::quick()
+            } else {
+                OpenLoopKnobs::paper()
+            };
+            if !quick {
+                knobs.rates_per_sec = [2e6, 4e6, 6e6, 8e6, 10e6, 12e6]
+                    .iter()
+                    .map(|r| r * shards as f64)
+                    .collect();
+            }
+            let t0 = std::time::Instant::now();
+            let (t, results) = kv_exp::open_loop_sharded(&cfg, &knobs, shards);
+            let wall = t0.elapsed();
+            emit(&t, csv);
+            for (rate, r) in &results {
+                println!(
+                    "scaling shards={} rate_mops={:.2} tput_mops={:.3} mean_us={:.2} \
+                     p50_us={:.2} p99_us={:.2} p999_us={:.2} completed={} backlogged={}",
+                    shards,
+                    rate / 1e6,
+                    r.tput_ops / 1e6,
+                    r.mean_us,
+                    r.p50_us,
+                    r.p99_us,
+                    r.p999_us,
+                    r.completed,
+                    r.backlogged
+                );
+            }
+            println!("scaling shards={shards} wall_s={:.1}", wall.as_secs_f64());
+        }
         return;
     }
     let knobs = if quick {

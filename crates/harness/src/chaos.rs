@@ -31,6 +31,7 @@ use prism_rs::RsOutcome;
 use prism_simnet::rng::SimRng;
 use prism_simnet::time::{SimDuration, SimTime};
 
+use crate::cluster::ShardMap;
 use crate::netsim::{AdapterStep, Outbound, ProtoAdapter};
 
 /// Transport-retry policy of the chaos adapters (mirrors the
@@ -118,7 +119,13 @@ fn read_nonce(value: &[u8]) -> u64 {
 /// of that it stamps every write with a unique nonce and appends
 /// invoke/complete records to the shared history.
 pub struct ChaosRsAdapter {
-    client: RsClient,
+    clients: Vec<RsClient>,
+    map: ShardMap,
+    /// Replicas per group (flat-index stride, see
+    /// [`crate::cluster::RsShards`]).
+    replicas: usize,
+    /// Home group of the in-flight op.
+    group: usize,
     id: usize,
     n_blocks: u64,
     block_size: usize,
@@ -136,7 +143,7 @@ pub struct ChaosRsAdapter {
 }
 
 impl ChaosRsAdapter {
-    /// Creates the adapter for client `id`.
+    /// Creates the single-group adapter for client `id`.
     pub fn new(
         client: RsClient,
         id: usize,
@@ -145,8 +152,50 @@ impl ChaosRsAdapter {
         write_fraction: f64,
         history: History,
     ) -> Self {
+        Self::sharded(
+            vec![client],
+            ShardMap::single(),
+            id,
+            n_blocks,
+            block_size,
+            write_fraction,
+            history,
+        )
+    }
+
+    /// Creates a routed adapter over one client per replica group:
+    /// every block's quorum protocol runs inside its home group, and
+    /// the recorded history spans the whole cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client count does not match the map's shard count
+    /// or the groups disagree on replica count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sharded(
+        clients: Vec<RsClient>,
+        map: ShardMap,
+        id: usize,
+        n_blocks: u64,
+        block_size: usize,
+        write_fraction: f64,
+        history: History,
+    ) -> Self {
+        assert_eq!(
+            clients.len(),
+            map.shards(),
+            "one client per replica group in group order"
+        );
+        let replicas = clients[0].n();
+        assert!(
+            clients.iter().all(|c| c.n() == replicas),
+            "uniform replica count across groups"
+        );
         ChaosRsAdapter {
-            client,
+            clients,
+            map,
+            replicas,
+            group: 0,
             id,
             n_blocks,
             block_size,
@@ -190,28 +239,30 @@ impl ChaosRsAdapter {
         self.seq += 1;
         self.outstanding = 0;
         let (block, value) = self.op.clone().expect("op set");
+        self.group = self.map.shard_of_id(block);
         let (op, step) = match value {
-            Some(v) => self.client.put(block, v),
-            None => self.client.get(block),
+            Some(v) => self.clients[self.group].put(block, v),
+            None => self.clients[self.group].get(block),
         };
         self.current = Some(op);
         self.absorb(step).0
     }
 
     fn absorb(&mut self, step: prism_rs::prism_rs::RsStep) -> (Vec<Outbound>, Option<RsOutcome>) {
+        let base = self.group * self.replicas;
         let mut sends = Vec::new();
         for (replica, phase, req) in step.send {
             self.outstanding += 1;
             sends.push(Outbound {
-                server: replica,
-                tag: tag(self.seq, phase, replica as u32),
+                server: base + replica,
+                tag: tag(self.seq, phase, (base + replica) as u32),
                 req,
                 background: false,
             });
         }
         for (replica, req) in step.background {
             sends.push(Outbound {
-                server: replica,
+                server: base + replica,
                 tag: 0,
                 req,
                 background: true,
@@ -259,7 +310,7 @@ impl ProtoAdapter for ChaosRsAdapter {
         }
         self.seq += 1;
         self.outstanding = 0;
-        let step = op.reissue(&self.client);
+        let step = op.reissue(&self.clients[self.group]);
         self.current = Some(op);
         self.absorb(step).0
     }
@@ -269,21 +320,26 @@ impl ProtoAdapter for ChaosRsAdapter {
     }
 
     fn on_reply(&mut self, t: u64, reply: Reply) -> AdapterStep {
-        let (seq, phase, replica) = untag(t);
+        let (seq, phase, idx) = untag(t);
+        // The tag carries the flat server index; decompose it so a
+        // straggler from a previous op still lands in its own group.
+        let group = idx as usize / self.replicas;
+        let replica = idx as usize % self.replicas;
         if let Some(inc) = reply.stale_incarnation() {
             // An amnesia-restarted replica fenced our pre-crash rkeys:
             // restamp them so the operation-level retry reaches it.
-            self.client.refence(replica as usize, inc);
+            self.clients[group].refence(replica, inc);
         }
         if seq != self.seq || self.current.is_none() {
             // Straggler for a completed op: feed it for reclamation.
             let mut sends = Vec::new();
             let mut finished = false;
+            let base = group * self.replicas;
             if let Some((op, remaining)) = self.lingering.get_mut(&seq) {
-                let step = op.on_reply(&self.client, phase, replica as usize, reply);
+                let step = op.on_reply(&self.clients[group], phase, replica, reply);
                 for (r, req) in step.background {
                     sends.push(Outbound {
-                        server: r,
+                        server: base + r,
                         tag: 0,
                         req,
                         background: true,
@@ -299,7 +355,7 @@ impl ProtoAdapter for ChaosRsAdapter {
         }
         let mut op = self.current.take().expect("op in flight");
         self.outstanding -= 1;
-        let step = op.on_reply(&self.client, phase, replica as usize, reply);
+        let step = op.on_reply(&self.clients[self.group], phase, replica, reply);
         let (sends, done) = self.absorb(step);
         match done {
             Some(outcome) => {
@@ -362,7 +418,10 @@ enum KvMachine {
 /// up) while stamping writes with unique nonces and recording history.
 /// An absent key reads as nonce 0, so the store needs no preload.
 pub struct ChaosKvAdapter {
-    client: PrismKvClient,
+    clients: Vec<PrismKvClient>,
+    map: ShardMap,
+    /// Home shard of the in-flight op.
+    shard: usize,
     id: usize,
     n_keys: u64,
     value_len: usize,
@@ -377,7 +436,7 @@ pub struct ChaosKvAdapter {
 }
 
 impl ChaosKvAdapter {
-    /// Creates the adapter for client `id`.
+    /// Creates the single-server adapter for client `id`.
     pub fn new(
         client: PrismKvClient,
         id: usize,
@@ -386,8 +445,43 @@ impl ChaosKvAdapter {
         write_fraction: f64,
         history: History,
     ) -> Self {
+        Self::sharded(
+            vec![client],
+            ShardMap::single(),
+            id,
+            n_keys,
+            value_len,
+            write_fraction,
+            history,
+        )
+    }
+
+    /// Creates a routed adapter over one client per shard: operations
+    /// run against each key's home shard while the recorded history
+    /// spans the whole cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client count does not match the map's shard count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sharded(
+        clients: Vec<PrismKvClient>,
+        map: ShardMap,
+        id: usize,
+        n_keys: u64,
+        value_len: usize,
+        write_fraction: f64,
+        history: History,
+    ) -> Self {
+        assert_eq!(
+            clients.len(),
+            map.shards(),
+            "one client per shard in shard order"
+        );
         ChaosKvAdapter {
-            client,
+            clients,
+            map,
+            shard: 0,
             id,
             n_keys,
             value_len,
@@ -427,19 +521,21 @@ impl ChaosKvAdapter {
     fn issue(&mut self) -> Vec<Outbound> {
         let (key, value) = self.op.clone().expect("op set");
         let kb = key_bytes(key);
+        self.shard = self.map.shard_of(&kb);
+        let client = &self.clients[self.shard];
         let (machine, req) = match value {
             Some(v) => {
-                let (m, r) = self.client.put(&kb, &v);
+                let (m, r) = client.put(&kb, &v);
                 (KvMachine::Put(m), r)
             }
             None => {
-                let (m, r) = self.client.get(&kb);
+                let (m, r) = client.get(&kb);
                 (KvMachine::Get(m), r)
             }
         };
         self.current = Some(machine);
         vec![Outbound {
-            server: 0,
+            server: self.shard,
             tag: 0,
             req,
             background: false,
@@ -474,13 +570,14 @@ impl ProtoAdapter for ChaosKvAdapter {
         // its nonce over a newer racing write — exactly the violation
         // the checker below exists to catch — so the machine's reissue
         // path re-reads the slot and decides.
+        let client = &self.clients[self.shard];
         let req = match self.current.as_mut() {
-            Some(KvMachine::Get(m)) => m.reissue(&self.client),
-            Some(KvMachine::Put(m)) => m.reissue(&self.client),
+            Some(KvMachine::Get(m)) => m.reissue(client),
+            Some(KvMachine::Put(m)) => m.reissue(client),
             None => return self.issue(),
         };
         vec![Outbound {
-            server: 0,
+            server: self.shard,
             tag: 0,
             req,
             background: false,
@@ -508,9 +605,10 @@ impl ProtoAdapter for ChaosKvAdapter {
             };
         }
         let mut machine = self.current.take().expect("op in flight");
+        let client = &self.clients[self.shard];
         let step = match &mut machine {
-            KvMachine::Get(m) => m.on_reply(&self.client, reply),
-            KvMachine::Put(m) => m.on_reply(&self.client, reply),
+            KvMachine::Get(m) => m.on_reply(client, reply),
+            KvMachine::Put(m) => m.on_reply(client, reply),
         };
         self.current = Some(machine);
         match step {
@@ -519,13 +617,13 @@ impl ProtoAdapter for ChaosKvAdapter {
                 background,
             } => {
                 let mut sends = vec![Outbound {
-                    server: 0,
+                    server: self.shard,
                     tag: 0,
                     req: request,
                     background: false,
                 }];
                 sends.extend(background.map(|req| Outbound {
-                    server: 0,
+                    server: self.shard,
                     tag: 0,
                     req,
                     background: true,
@@ -540,7 +638,7 @@ impl ProtoAdapter for ChaosKvAdapter {
                 let sends: Vec<Outbound> = background
                     .map(|req| {
                         vec![Outbound {
-                            server: 0,
+                            server: self.shard,
                             tag: 0,
                             req,
                             background: true,

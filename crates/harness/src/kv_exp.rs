@@ -24,6 +24,7 @@ use prism_workload::ycsb::{value_bytes, YcsbConfig};
 use prism_workload::KeyDist;
 
 use crate::adapters::{PilafAdapter, PrismKvAdapter};
+use crate::cluster::KvCluster;
 use crate::netsim::{run_closed_loop, ProtoAdapter, RunResult, VerbPath};
 use crate::openloop::{sweep_rates, AdapterFactory, OpenLoopKnobs, OpenLoopResult};
 use crate::table::{f2, mops, Table};
@@ -285,6 +286,90 @@ pub fn open_loop(cfg: &KvExpConfig, knobs: &OpenLoopKnobs) -> (Table, Vec<(f64, 
     let mut t = Table::new(
         &format!(
             "Open-loop PRISM-KV latency under load ({} logical clients on {} aggregates, {:.0}% reads)",
+            knobs.logical_clients,
+            knobs.actors,
+            cfg.read_fraction * 100.0
+        ),
+        &[
+            "rate_Mops",
+            "tput_Mops",
+            "mean_us",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "backlogged",
+        ],
+    );
+    for (rate, r) in &results {
+        t.row(&[
+            mops(*rate),
+            mops(r.tput_ops),
+            f2(r.mean_us),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            f2(r.p999_us),
+            r.backlogged.to_string(),
+        ]);
+    }
+    (t, results)
+}
+
+/// Sharded open-loop sweep: the same offered-load question asked of an
+/// N-shard [`KvCluster`] instead of one server. Every adapter slot
+/// routes per-key through the cluster's seeded shard map, so each
+/// logical client's stream spreads across all N links and dispatch
+/// pools; per-server connection tables still see at most
+/// `knobs.live_slots()` connections (each live slot opens one
+/// connection per shard), so the on-NIC budget holds at any shard
+/// count without touching the knobs.
+pub fn open_loop_sharded(
+    cfg: &KvExpConfig,
+    knobs: &OpenLoopKnobs,
+    shards: usize,
+) -> (Table, Vec<(f64, OpenLoopResult)>) {
+    let mut prism_cfg = PrismKvConfig::paper(cfg.n_keys, cfg.value_len);
+    // Same spare sizing as the single-server sweep: free batching is
+    // per (live slot, shard), so each shard provisions for every slot.
+    for class in &mut prism_cfg.classes {
+        class.count += 32 * (knobs.live_slots() as u64 + 16);
+    }
+    let seed = cfg.seed;
+    let n_keys = cfg.n_keys;
+    let value_len = cfg.value_len;
+    let read_fraction = cfg.read_fraction;
+    // A fresh cluster per swept rate, preloaded with each key on its
+    // home shard only (see `sweep_rates` on cold connection tables).
+    let results = sweep_rates(
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        knobs,
+        cfg.seed,
+        &cfg.faults,
+        || {
+            let cluster = KvCluster::new(shards, &prism_cfg, seed);
+            cluster.preload(n_keys, value_len);
+            let servers = cluster.servers();
+            let map = cluster.map().clone();
+            let ycsb = YcsbConfig {
+                dist: KeyDist::uniform(n_keys),
+                read_fraction,
+                value_len,
+            };
+            let factory: AdapterFactory = Rc::new(RefCell::new(move |i: usize| {
+                Box::new(PrismKvAdapter::sharded(
+                    cluster.open_clients(),
+                    map.clone(),
+                    ycsb.clone(),
+                    SimRng::new(seed ^ ((i as u64 + 1) * 7919)),
+                )) as Box<dyn ProtoAdapter>
+            }));
+            (servers, factory)
+        },
+    );
+    let mut t = Table::new(
+        &format!(
+            "Open-loop PRISM-KV latency under load ({} shards, {} logical clients on {} aggregates, {:.0}% reads)",
+            shards,
             knobs.logical_clients,
             knobs.actors,
             cfg.read_fraction * 100.0

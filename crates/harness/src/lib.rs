@@ -12,6 +12,9 @@
 //!   [`netsim::ClientActor`] per closed-loop client.
 //! * [`adapters`] — per-system adapters turning each protocol client
 //!   into the common [`netsim::ProtoAdapter`] interface.
+//! * [`cluster`] — the scale-out layer: seeded rendezvous shard maps
+//!   (with epochs in the incarnation-fencing shape) and N-server
+//!   KV/RS topologies the sharded sweeps run against.
 //! * [`micro`] — Figures 1 and 2 plus the §2.1 numbers (closed-form
 //!   from the cost model).
 //! * [`kv_exp`], [`rs_exp`], [`tx_exp`] — the application experiments
@@ -30,6 +33,7 @@
 
 pub mod adapters;
 pub mod chaos;
+pub mod cluster;
 pub mod kv_exp;
 pub mod micro;
 pub mod netsim;

@@ -17,6 +17,7 @@ use prism_simnet::time::SimDuration;
 use prism_workload::KeyDist;
 
 use crate::adapters::{AbdLockAdapter, PrismRsAdapter};
+use crate::cluster::RsShards;
 use crate::netsim::{run_closed_loop, ProtoAdapter, VerbPath};
 use crate::openloop::{sweep_rates, AdapterFactory, OpenLoopKnobs, OpenLoopResult};
 use crate::table::{f2, mops, Table};
@@ -321,6 +322,78 @@ pub fn open_loop(cfg: &RsExpConfig, knobs: &OpenLoopKnobs) -> (Table, Vec<(f64, 
     let mut t = Table::new(
         &format!(
             "Open-loop PRISM-RS latency under load ({} logical clients on {} aggregates, {:.0}% writes, 3 replicas)",
+            knobs.logical_clients,
+            knobs.actors,
+            cfg.write_fraction * 100.0
+        ),
+        &[
+            "rate_Mops",
+            "tput_Mops",
+            "mean_us",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "backlogged",
+        ],
+    );
+    for (rate, r) in &results {
+        t.row(&[
+            mops(*rate),
+            mops(r.tput_ops),
+            f2(r.mean_us),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            f2(r.p999_us),
+            r.backlogged.to_string(),
+        ]);
+    }
+    (t, results)
+}
+
+/// Sharded open-loop sweep: S independent 3-replica groups behind one
+/// seeded shard map ([`crate::cluster::RsShards`]). Each block's
+/// quorum protocol runs entirely inside its home group; the sweep
+/// measures how the replicated store's knee scales with group count
+/// when routing is pure client-side.
+pub fn open_loop_sharded(
+    cfg: &RsExpConfig,
+    knobs: &OpenLoopKnobs,
+    groups: usize,
+) -> (Table, Vec<(f64, OpenLoopResult)>) {
+    let mut rs_config = RsConfig::paper(cfg.n_blocks, cfg.block_size);
+    // Same spare sizing rationale as the KV open-loop sweep: provision
+    // for the live slots, not the logical population.
+    rs_config.spare_buffers += 32 * (knobs.live_slots() as u64 + 16);
+    let seed = cfg.seed;
+    let n_blocks = cfg.n_blocks;
+    let block_size = cfg.block_size as usize;
+    let write_fraction = cfg.write_fraction;
+    let results = sweep_rates(
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        knobs,
+        cfg.seed,
+        &cfg.faults,
+        || {
+            let shards = RsShards::new(groups, 3, &rs_config, seed);
+            let servers = shards.servers();
+            let map = shards.map().clone();
+            let factory: AdapterFactory = Rc::new(RefCell::new(move |_i: usize| {
+                Box::new(PrismRsAdapter::sharded(
+                    shards.open_clients(),
+                    map.clone(),
+                    KeyDist::uniform(n_blocks),
+                    block_size,
+                    write_fraction,
+                )) as Box<dyn ProtoAdapter>
+            }));
+            (servers, factory)
+        },
+    );
+    let mut t = Table::new(
+        &format!(
+            "Open-loop PRISM-RS latency under load ({} groups x 3 replicas, {} logical clients on {} aggregates, {:.0}% writes)",
+            groups,
             knobs.logical_clients,
             knobs.actors,
             cfg.write_fraction * 100.0

@@ -109,6 +109,107 @@ pub fn prism_kv_get_many(
     drive_batched(exec, starts, |m, reply| m.on_reply(client, reply))
 }
 
+/// Cross-shard doorbell-batched PRISM-KV multi-GET.
+///
+/// One logical multi-GET over a sharded cluster: `route` names each
+/// key's home shard, `clients[shard]` is that shard's protocol client,
+/// and `exec(shard, req)` submits one request to that shard. Each
+/// round, every outstanding request is grouped by home shard and posted
+/// as **one [`Request::Batch`] doorbell per involved shard**; the
+/// per-shard completion batches are merged back into key order before
+/// the next round. Per-shard background follow-ups (free notifications)
+/// ride their own shard's next doorbell.
+///
+/// Returns the outcomes in key order, the total doorbells rung
+/// (foreground batches only — the cross-shard fan-out cost), and the
+/// number of rounds (still 1 for uncontended PRISM-KV hits: sharding
+/// widens the fan-out, not the dependency depth).
+pub fn prism_kv_get_many_sharded(
+    clients: &[PrismKvClient],
+    route: impl Fn(&[u8]) -> usize,
+    keys: &[Vec<u8>],
+    mut exec: impl FnMut(usize, Request) -> Reply,
+) -> (Vec<KvOutcome>, u64, u64) {
+    let n = keys.len();
+    let shards = clients.len();
+    let mut machines: Vec<Option<GetOp>> = Vec::with_capacity(n);
+    let mut home: Vec<usize> = Vec::with_capacity(n);
+    let mut pending: Vec<(usize, Request)> = Vec::with_capacity(n);
+    let mut outcomes: Vec<Option<KvOutcome>> = (0..n).map(|_| None).collect();
+    for (i, key) in keys.iter().enumerate() {
+        let shard = route(key);
+        assert!(shard < shards, "route() past the client table");
+        let (m, req) = clients[shard].get(key);
+        machines.push(Some(m));
+        home.push(shard);
+        pending.push((i, req));
+    }
+
+    let mut doorbells = 0u64;
+    let mut rounds = 0u64;
+    while !pending.is_empty() {
+        rounds += 1;
+        // Group this round's work requests by home shard, preserving
+        // key order within each group.
+        let mut groups: Vec<(Vec<usize>, Vec<Request>)> =
+            (0..shards).map(|_| (Vec::new(), Vec::new())).collect();
+        for (i, req) in pending.drain(..) {
+            groups[home[i]].0.push(i);
+            groups[home[i]].1.push(req);
+        }
+        let mut background: Vec<(usize, Vec<Request>)> = Vec::new();
+        for (shard, (order, reqs)) in groups.into_iter().enumerate() {
+            if order.is_empty() {
+                continue;
+            }
+            // One doorbell for this shard's slice of the logical batch.
+            doorbells += 1;
+            let replies = exec(shard, Request::Batch(reqs)).into_batch();
+            assert_eq!(
+                replies.len(),
+                order.len(),
+                "one completion per work request"
+            );
+            let mut bg: Vec<Request> = Vec::new();
+            for (i, reply) in order.into_iter().zip(replies) {
+                let m = machines[i].as_mut().expect("pending machine is live");
+                match m.on_reply(&clients[shard], reply) {
+                    KvStep::Send {
+                        request,
+                        background,
+                    } => {
+                        pending.push((i, request));
+                        bg.extend(background);
+                    }
+                    KvStep::Done {
+                        outcome,
+                        background,
+                    } => {
+                        outcomes[i] = Some(outcome);
+                        machines[i] = None;
+                        bg.extend(background);
+                    }
+                }
+            }
+            if !bg.is_empty() {
+                background.push((shard, bg));
+            }
+        }
+        // Fire-and-forget follow-ups ride each shard's next doorbell.
+        for (shard, bg) in background {
+            exec(shard, Request::Batch(bg));
+        }
+    }
+    (
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every machine completed"))
+            .collect(),
+        doorbells,
+        rounds,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +266,56 @@ mod tests {
         for (i, o) in outcomes.iter().enumerate() {
             assert_eq!(*o, KvOutcome::Value(Some(vec![i as u8; 16])));
         }
+    }
+
+    fn put_local(s: &PrismKvServer, c: &PrismKvClient, key: &[u8], value: &[u8]) {
+        let (mut op, req) = c.put(key, value);
+        let mut reply = execute_local(s.server(), &req);
+        loop {
+            match op.on_reply(c, reply) {
+                KvStep::Send {
+                    request,
+                    background,
+                } => {
+                    if let Some(b) = background {
+                        execute_local(s.server(), &b);
+                    }
+                    reply = execute_local(s.server(), &request);
+                }
+                KvStep::Done { outcome, .. } => {
+                    assert_eq!(outcome, KvOutcome::Written);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_multi_get_rings_one_doorbell_per_shard() {
+        let config = PrismKvConfig::paper(32, 16);
+        let servers: Vec<PrismKvServer> = (0..2).map(|_| PrismKvServer::new(&config)).collect();
+        let clients: Vec<PrismKvClient> = servers.iter().map(|s| s.open_client()).collect();
+        let route = |k: &[u8]| (k[0] & 1) as usize;
+        let keys: Vec<Vec<u8>> = (0..8u64).map(|k| key_bytes(k).to_vec()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            let shard = route(k);
+            put_local(&servers[shard], &clients[shard], k, &[i as u8; 16]);
+        }
+        let (outcomes, doorbells, rounds) =
+            prism_kv_get_many_sharded(&clients, route, &keys, |shard, req| {
+                execute_local(servers[shard].server(), &req)
+            });
+        assert_eq!(rounds, 1, "sharding widens fan-out, not dependency depth");
+        assert_eq!(doorbells, 2, "one doorbell per involved shard, not per key");
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(*o, KvOutcome::Value(Some(vec![i as u8; 16])));
+        }
+        // A batch restricted to one shard's keys rings one doorbell.
+        let even: Vec<Vec<u8>> = keys.iter().filter(|k| route(k) == 0).cloned().collect();
+        let (_, doorbells, _) = prism_kv_get_many_sharded(&clients, route, &even, |shard, req| {
+            execute_local(servers[shard].server(), &req)
+        });
+        assert_eq!(doorbells, 1);
     }
 
     #[test]

@@ -9,9 +9,46 @@
 //! overhead of 2x").
 
 use std::collections::{HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::error::RdmaError;
 use crate::sync::Mutex;
+
+/// Hasher for buffer addresses: a 64-bit finalizer (splitmix-style
+/// avalanche) instead of the default SipHash. Addresses are
+/// server-internal values, not attacker-controlled keys, so the
+/// DoS-resistance SipHash buys is wasted on the ALLOCATE hot path —
+/// the membership probe runs on every pop and post.
+#[derive(Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut x = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+type AddrSet = HashSet<u64, BuildHasherDefault<AddrHasher>>;
+
+#[derive(Debug, Default)]
+struct Inner {
+    fifo: VecDeque<u64>,
+    members: AddrSet,
+    posted_total: u64,
+}
 
 /// A FIFO of equally-sized free buffers registered for ALLOCATE.
 ///
@@ -21,9 +58,8 @@ use crate::sync::Mutex;
 /// notification cannot cause double allocation.
 #[derive(Debug)]
 pub struct BufferQueue {
-    bufs: Mutex<(VecDeque<u64>, HashSet<u64>)>,
+    bufs: Mutex<Inner>,
     buf_len: u64,
-    posted_total: Mutex<u64>,
 }
 
 impl BufferQueue {
@@ -35,9 +71,8 @@ impl BufferQueue {
     pub fn new(buf_len: u64) -> Self {
         assert!(buf_len > 0, "BufferQueue::new: zero buffer length");
         BufferQueue {
-            bufs: Mutex::new((VecDeque::new(), HashSet::new())),
+            bufs: Mutex::new(Inner::default()),
             buf_len,
-            posted_total: Mutex::new(0),
         }
     }
 
@@ -53,58 +88,74 @@ impl BufferQueue {
     /// operations have completed (§3.2).
     pub fn post(&self, addr: u64) {
         let mut q = self.bufs.lock();
-        if q.1.insert(addr) {
-            q.0.push_back(addr);
-            *self.posted_total.lock() += 1;
+        if q.members.insert(addr) {
+            q.fifo.push_back(addr);
+            q.posted_total += 1;
         }
     }
 
     /// Posts many buffers at once (duplicates skipped).
     pub fn post_many(&self, addrs: impl IntoIterator<Item = u64>) {
         let mut q = self.bufs.lock();
-        let mut n = 0u64;
         for a in addrs {
-            if q.1.insert(a) {
-                q.0.push_back(a);
-                n += 1;
+            if q.members.insert(a) {
+                q.fifo.push_back(a);
+                q.posted_total += 1;
             }
         }
-        *self.posted_total.lock() += n;
     }
 
     /// Pops the first free buffer, or fails with Receiver-Not-Ready if the
     /// queue is empty (the NIC's standard flow-control answer, §4.2).
     pub fn pop(&self) -> Result<u64, RdmaError> {
         let mut q = self.bufs.lock();
-        match q.0.pop_front() {
+        match q.fifo.pop_front() {
             Some(addr) => {
-                q.1.remove(&addr);
+                q.members.remove(&addr);
                 Ok(addr)
             }
             None => Err(RdmaError::ReceiverNotReady),
         }
     }
 
+    /// Replaces the queue's contents with exactly `addrs`, restarting
+    /// the posted-total counter — the amnesia-recovery path
+    /// (`FreeLists::reset`) rebuilding a free list whose pre-crash
+    /// contents described ownership that no longer exists. The caller
+    /// must hold the posting gate exclusively so no pop is in flight.
+    pub fn reset_in_place(&self, addrs: impl IntoIterator<Item = u64>) {
+        let mut q = self.bufs.lock();
+        q.fifo.clear();
+        q.members = AddrSet::default();
+        q.posted_total = 0;
+        for a in addrs {
+            if q.members.insert(a) {
+                q.fifo.push_back(a);
+                q.posted_total += 1;
+            }
+        }
+    }
+
     /// Number of buffers currently available.
     pub fn available(&self) -> usize {
-        self.bufs.lock().0.len()
+        self.bufs.lock().fifo.len()
     }
 
     /// Snapshot of the free addresses (for GC sweeps and diagnostics).
     pub fn snapshot(&self) -> Vec<u64> {
-        self.bufs.lock().0.iter().copied().collect()
+        self.bufs.lock().fifo.iter().copied().collect()
     }
 
     /// Whether `addr` is currently free.
     pub fn contains(&self, addr: u64) -> bool {
-        self.bufs.lock().1.contains(&addr)
+        self.bufs.lock().members.contains(&addr)
     }
 
     /// Total buffers ever posted (for the server's refill heuristic:
     /// PRISM-KV's server "periodically checks if more buffers are
     /// needed", §6.1).
     pub fn posted_total(&self) -> u64 {
-        *self.posted_total.lock()
+        self.bufs.lock().posted_total
     }
 }
 
@@ -161,6 +212,18 @@ mod tests {
         q.pop().unwrap();
         assert_eq!(q.available(), 2);
         assert_eq!(q.posted_total(), 3, "posted_total counts posts, not pops");
+    }
+
+    #[test]
+    fn reset_in_place_replaces_contents_and_counter() {
+        let q = BufferQueue::new(64);
+        q.post_many([1, 2, 3]);
+        q.pop().unwrap();
+        q.reset_in_place([0x9000, 0x9040]);
+        assert_eq!(q.available(), 2);
+        assert_eq!(q.posted_total(), 2, "reset restarts the posted counter");
+        assert!(!q.contains(2), "pre-reset members are gone");
+        assert_eq!(q.pop().unwrap(), 0x9000);
     }
 
     #[test]

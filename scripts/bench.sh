@@ -18,6 +18,13 @@
 # same commit), its wire numbers from the wire/chain4_* benches, and
 # its latency-under-load curves from
 # `cargo run --release -p prism-harness --bin fig_openloop [--million]`.
+#
+# results/BENCH_04.json (sharded scale-out, PR 7) draws its shard-count
+# scaling curve (1/2/4/8 shards, aggregate Mops + CO-free tails) from
+# `cargo run --release -p prism-harness --bin fig_openloop -- --scaling`
+# and its satellite before/after numbers (memory/crc32_512,
+# wire/decode_3op_chain, primitive/enhanced_cas_16 and
+# allocate_free_512) from two runs of this script joined per bench name.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

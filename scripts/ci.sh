@@ -11,7 +11,8 @@
 #   4. fault-matrix smoke — KV/RS/TX under loss-only, crash-only, and
 #                           loss+crash fault plans: progress, no panics
 #   5. chaos gate         — fixed-seed chaos schedules (amnesia/client
-#                           crashes, partitions, loss): linearizable
+#                           crashes, partitions, loss), on single-server
+#                           and sharded topologies: linearizable
 #                           histories, recovery protocols fired, replay
 #                           bit-exact
 #   6. corruption matrix  — seeded bit flips, torn writes, and at-rest
@@ -19,8 +20,10 @@
 #                           repaired, counter conservation holds, and a
 #                           no-corruption plan stays bit-identical
 #   7. open-loop smoke    — coordinated-omission regression (stalled
-#                           server: open-loop p99 >> closed-loop p99)
-#                           and bit-exact open-loop sweep replay
+#                           server: open-loop p99 >> closed-loop p99),
+#                           bit-exact open-loop sweep replay, and a
+#                           bit-exact 4-shard sharded sweep replay
+#                           (cluster routing + cross-shard doorbells)
 #   8. second-seed pass   — fault matrix + chaos gate + corruption
 #                           matrix + open-loop smoke again under a
 #                           different PRISM_TEST_SEED, so the gates

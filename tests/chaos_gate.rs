@@ -14,6 +14,7 @@ use std::sync::{Arc, Mutex};
 use prism_core::integrity::IntegrityStats;
 use prism_harness::adapters::PrismTxAdapter;
 use prism_harness::chaos::{check_history, ChaosKvAdapter, ChaosRsAdapter, HistOp};
+use prism_harness::cluster::{KvCluster, RsShards};
 use prism_harness::netsim::{run_closed_loop_with, RecoveryHooks, RunResult, VerbPath};
 use prism_kv::prism_kv::{PrismKvConfig, PrismKvServer};
 use prism_rs::prism_rs::{RsCluster, RsConfig};
@@ -183,6 +184,107 @@ fn rs_amnesia_chaos_stays_linearizable_and_rejoins() {
 }
 
 // ---------------------------------------------------------------------
+// PRISM-RS sharded: amnesia on one shard of a 2-group cluster
+// ---------------------------------------------------------------------
+
+fn rs_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
+    let mut config = RsConfig::paper(BLOCKS, VALUE as u64);
+    config.spare_buffers += 8_192;
+    // Two 3-replica groups behind a seeded shard map: 6 servers flat.
+    let shards = Arc::new(RsShards::new(2, 3, &config, seed));
+    let servers = shards.servers();
+    let history = Arc::new(Mutex::new(Vec::new()));
+    let integrity = Arc::new(IntegrityStats::new());
+    let hooks = RecoveryHooks {
+        on_restart: Some({
+            let shards = Arc::clone(&shards);
+            Arc::new(move |i| {
+                shards.amnesia_restart(i);
+            })
+        }),
+        sweep: None,
+        integrity: Some(Arc::clone(&integrity)),
+    };
+    let spec = ChaosSpec {
+        servers: 6,
+        clients: 6,
+        horizon: HORIZON,
+        server_crashes: 2,
+        amnesia_fraction: 1.0,
+        client_crashes: 1,
+        partitions: 1,
+        drop_prob: 0.01,
+        dup_prob: 0.005,
+        jitter_ns: 1_000,
+        flip_req_prob: 0.01,
+        flip_reply_prob: 0.01,
+        torn_write_prob: 0.05,
+    };
+    let mut plan = FaultPlan::chaos(seed, &spec);
+    plan.timeout = SimDuration::micros(60);
+    let r = run_closed_loop_with(
+        &servers,
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        spec.clients,
+        &mut |i| {
+            Box::new(ChaosRsAdapter::sharded(
+                shards
+                    .open_clients()
+                    .into_iter()
+                    .map(|c| c.with_integrity(Arc::clone(&integrity)))
+                    .collect(),
+                shards.map().clone(),
+                i,
+                BLOCKS,
+                VALUE,
+                0.5,
+                Arc::clone(&history),
+            ))
+        },
+        WARMUP,
+        MEASURE,
+        seed,
+        &plan,
+        &hooks,
+    );
+    let h = history.lock().expect("history lock").clone();
+    (r, h, shards.rejoins(), shards.resyncs())
+}
+
+/// The sharded-topology amnesia gate: a 2-group PRISM-RS cluster takes
+/// amnesia crashes (wiped replica memory) on whichever replicas the
+/// seeded schedule picks, the flat-index restart hook routes each
+/// restart into the right group's rejoin protocol, and the cross-group
+/// history must still pass Wing–Gong. This is the cluster layer's
+/// failure-semantics proof: routing a block store across shard groups
+/// must not weaken any single group's linearizability story.
+#[test]
+fn rs_sharded_amnesia_chaos_stays_linearizable_and_rejoins() {
+    let seed = seed_or(0xC4A0_0004);
+    let (r, history, rejoins, resyncs) = rs_sharded_chaos(seed);
+    fault_line("rs-sharded", &r);
+    assert!(r.tput_ops > 0.0, "no progress under sharded chaos: {r:?}");
+    assert!(r.restarts > 0, "no amnesia window fired: {r:?}");
+    assert!(
+        rejoins > 0 && resyncs > 0,
+        "restarted replicas must rejoin via their group's quorum resync \
+         (rejoins={rejoins}, resyncs={resyncs})"
+    );
+    assert!(!history.is_empty(), "history must be recorded");
+    check_history(&history).expect("sharded RS history must be linearizable");
+
+    let (r2, history2, rejoins2, resyncs2) = rs_sharded_chaos(seed);
+    assert_eq!(
+        metrics_key(&r),
+        metrics_key(&r2),
+        "replay must be bit-exact"
+    );
+    assert_eq!(history, history2, "recorded histories must be bit-exact");
+    assert_eq!((rejoins, resyncs), (rejoins2, resyncs2));
+}
+
+// ---------------------------------------------------------------------
 // PRISM-KV: recover crashes, client crashes, partitions
 // ---------------------------------------------------------------------
 
@@ -263,6 +365,98 @@ fn kv_chaos_stays_linearizable_per_key() {
     check_history(&history).expect("KV history must be linearizable per key");
 
     let (r2, history2) = kv_chaos(seed);
+    assert_eq!(
+        metrics_key(&r),
+        metrics_key(&r2),
+        "replay must be bit-exact"
+    );
+    assert_eq!(history, history2, "recorded histories must be bit-exact");
+}
+
+// ---------------------------------------------------------------------
+// PRISM-KV sharded: recover crashes across a 2-shard cluster
+// ---------------------------------------------------------------------
+
+fn kv_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
+    let mut config = PrismKvConfig::paper(BLOCKS, VALUE);
+    config.classes[0].count += 8_192;
+    let cluster = KvCluster::new(2, &config, seed);
+    let servers = cluster.servers();
+    let history = Arc::new(Mutex::new(Vec::new()));
+    let integrity = Arc::new(IntegrityStats::new());
+    let hooks = RecoveryHooks {
+        integrity: Some(Arc::clone(&integrity)),
+        ..RecoveryHooks::default()
+    };
+    // Recover crashes only, as in the single-server KV gate: KV has no
+    // rejoin protocol, so a wiped shard would have nobody to resync
+    // from (that failure mode belongs to RS, which has one — see the
+    // sharded RS gate above).
+    let spec = ChaosSpec {
+        servers: 2,
+        clients: 4,
+        horizon: HORIZON,
+        server_crashes: 1,
+        amnesia_fraction: 0.0,
+        client_crashes: 1,
+        partitions: 1,
+        drop_prob: 0.01,
+        dup_prob: 0.005,
+        jitter_ns: 1_000,
+        flip_req_prob: 0.01,
+        flip_reply_prob: 0.01,
+        torn_write_prob: 0.05,
+    };
+    let mut plan = FaultPlan::chaos(seed, &spec);
+    plan.timeout = SimDuration::micros(60);
+    let r = run_closed_loop_with(
+        &servers,
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        spec.clients,
+        &mut |i| {
+            Box::new(ChaosKvAdapter::sharded(
+                (0..2)
+                    .map(|s| {
+                        cluster
+                            .shard(s)
+                            .open_client()
+                            .with_integrity(Arc::clone(&integrity))
+                    })
+                    .collect(),
+                cluster.map().clone(),
+                i,
+                BLOCKS,
+                VALUE,
+                0.5,
+                Arc::clone(&history),
+            ))
+        },
+        WARMUP,
+        MEASURE,
+        seed,
+        &plan,
+        &hooks,
+    );
+    let h = history.lock().expect("history lock").clone();
+    (r, h)
+}
+
+/// Per-key linearizability must survive sharding: operations route to
+/// each key's home shard while one shard takes a recover crash and the
+/// transport flips bits. A routing bug that sent a key's PUT and a
+/// later GET to different shards would surface here as a stale read.
+#[test]
+fn kv_sharded_chaos_stays_linearizable_per_key() {
+    let seed = seed_or(0xC4A0_0005);
+    let (r, history) = kv_sharded_chaos(seed);
+    fault_line("kv-sharded", &r);
+    assert!(r.tput_ops > 0.0, "no progress under sharded chaos: {r:?}");
+    assert!(r.crash_drops > 0, "the crash window never bit: {r:?}");
+    assert!(!history.is_empty(), "history must be recorded");
+    check_history(&history).expect("sharded KV history must be linearizable per key");
+
+    let (r2, history2) = kv_sharded_chaos(seed);
     assert_eq!(
         metrics_key(&r),
         metrics_key(&r2),

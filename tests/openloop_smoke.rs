@@ -239,3 +239,25 @@ fn trace_replay_completes_every_arrival() {
     );
     assert_eq!(a, b, "trace replay must be bit-exact");
 }
+
+/// The sharded counterpart of the sweep-replay smoke: a 4-shard
+/// PRISM-KV cluster (seeded rendezvous routing, per-key client-side
+/// placement) swept open-loop twice at the same seed must replay
+/// bit-exactly — shard routing, per-shard preload, and cross-shard
+/// completion merging introduce no nondeterminism. CI runs this at the
+/// default seed and again under `PRISM_TEST_SEED=1806242025`.
+#[test]
+fn sharded_kv_open_loop_sweep_replays_bit_exactly() {
+    let mut cfg = KvExpConfig::quick(1.0);
+    cfg.seed ^= seed();
+    let knobs = OpenLoopKnobs::quick();
+    let (_t, a) = kv_exp::open_loop_sharded(&cfg, &knobs, 4);
+    let (_t, b) = kv_exp::open_loop_sharded(&cfg, &knobs, 4);
+    assert_eq!(a, b, "same seed must replay the sharded sweep bit-exactly");
+    for (rate, r) in &a {
+        assert!(
+            r.completed > 0,
+            "no completions at {rate} ops/s on 4 shards"
+        );
+    }
+}
