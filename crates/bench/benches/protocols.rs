@@ -62,11 +62,8 @@ fn bench_kv(c: &mut Criterion) {
         b.iter(|| {
             let (mut op, req) = lc.get(&key_bytes(7));
             let mut reply = execute_local(pilaf.server(), &req);
-            loop {
-                match op.on_reply(&lc, reply) {
-                    KvStep::Send { request, .. } => reply = execute_local(pilaf.server(), &request),
-                    KvStep::Done { .. } => break,
-                }
+            while let KvStep::Send { request, .. } = op.on_reply(&lc, reply) {
+                reply = execute_local(pilaf.server(), &request);
             }
         });
     });

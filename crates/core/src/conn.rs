@@ -6,10 +6,21 @@
 //! applications" against a 256 KB on-NIC region (§4.2). We model that
 //! region as a carved extent of the arena registered under its own rkey,
 //! sized [`SCRATCH_BYTES`] per connection.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! Slots are **recycled**: closing a connection returns its scratch slot
+//! to a free stack, and each slot carries a generation counter bumped on
+//! close. A handle is only valid while its generation matches the
+//! slot's, so a reply (or a straggling close) addressed to a connection
+//! whose slot has since been reissued is fenced instead of being
+//! delivered to the slot's new tenant — the same stale-handle discipline
+//! the incarnation fence applies to rkeys, scoped to one connection.
+//! Without recycling, any long-lived process that opens connections per
+//! phase (a sweep, a reconfiguration) eventually exhausts the fixed
+//! on-NIC region even though only a handful are ever live at once.
 
 use prism_rdma::region::Rkey;
+use prism_rdma::sync::Mutex;
+use prism_rdma::RdmaError;
 
 /// Scratch bytes per connection. The paper's applications need 32 B; we
 /// provision 64 B so layouts can keep fields line-aligned.
@@ -18,21 +29,40 @@ pub const SCRATCH_BYTES: u64 = 64;
 /// One client connection's handle to the server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Connection {
-    /// Connection id (dense, from 0).
+    /// Connection id (dense, from 0). Ids are reused after close; the
+    /// generation distinguishes tenants of the same slot.
     pub id: u64,
+    /// Generation of the slot when this handle was issued. Stale after
+    /// the connection is closed.
+    pub gen: u64,
     /// Base address of this connection's scratch slot.
     pub scratch_addr: u64,
     /// Rkey of the on-NIC scratch region.
     pub scratch_rkey: Rkey,
 }
 
-/// Allocates connections out of the on-NIC scratch region.
+/// Per-slot bookkeeping guarded by the table lock.
+#[derive(Debug, Default)]
+struct Slots {
+    /// Current generation of each slot ever handed out. Even = slot is
+    /// open under generation `gen`; odd values never occur (close bumps
+    /// straight to the next issue generation on reuse).
+    gens: Vec<u64>,
+    /// Whether the slot is currently open.
+    open: Vec<bool>,
+    /// Closed slots awaiting reuse, LIFO so sweeps that open/close in
+    /// phases keep touching the same hot scratch lines.
+    free: Vec<u64>,
+}
+
+/// Allocates connections out of the on-NIC scratch region, recycling
+/// slots on close.
 #[derive(Debug)]
 pub struct ConnectionTable {
     base: u64,
     capacity: u64,
     rkey: Rkey,
-    next: AtomicU64,
+    slots: Mutex<Slots>,
 }
 
 impl ConnectionTable {
@@ -43,37 +73,104 @@ impl ConnectionTable {
             base,
             capacity: len / SCRATCH_BYTES,
             rkey,
-            next: AtomicU64::new(0),
+            slots: Mutex::new(Slots::default()),
         }
     }
 
-    /// Opens a connection, assigning it the next scratch slot.
+    /// Opens a connection, assigning it the most recently freed scratch
+    /// slot, or the next never-used one if none has been freed.
     ///
     /// # Panics
     ///
-    /// Panics when the scratch region is exhausted. A 256 KB region holds
-    /// 4096 connections at 64 B each — comfortably above the
-    /// recommended concurrent-connection limit the paper cites (§4.2).
+    /// Panics when the scratch region is exhausted — every slot open at
+    /// once. A 256 KB region holds 4096 connections at 64 B each —
+    /// comfortably above the recommended concurrent-connection limit the
+    /// paper cites (§4.2); hitting the panic means connections are being
+    /// leaked rather than closed.
     pub fn open(&self) -> Connection {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
-        assert!(
-            id < self.capacity,
-            "on-NIC scratch exhausted: {id} connections opened, capacity {}",
-            self.capacity
-        );
+        let mut slots = self.slots.lock();
+        let id = match slots.free.pop() {
+            Some(id) => id,
+            None => {
+                let id = slots.gens.len() as u64;
+                assert!(
+                    id < self.capacity,
+                    "on-NIC scratch exhausted: {id} connections open, capacity {}",
+                    self.capacity
+                );
+                slots.gens.push(0);
+                slots.open.push(false);
+                id
+            }
+        };
+        slots.open[id as usize] = true;
+        let gen = slots.gens[id as usize];
         Connection {
             id,
+            gen,
             scratch_addr: self.base + id * SCRATCH_BYTES,
             scratch_rkey: self.rkey,
         }
     }
 
-    /// Connections opened so far.
-    pub fn opened(&self) -> u64 {
-        self.next.load(Ordering::Relaxed)
+    /// Closes a connection, returning its scratch slot to the free
+    /// stack and bumping the slot's generation so the closed handle (and
+    /// any replies still addressed to it) is fenced.
+    ///
+    /// A stale or double close is rejected with
+    /// [`RdmaError::StaleIncarnation`] carrying the slot's generations —
+    /// the handle being closed was already superseded.
+    pub fn close(&self, conn: Connection) -> Result<(), RdmaError> {
+        let mut slots = self.slots.lock();
+        let idx = conn.id as usize;
+        let current = match slots.gens.get(idx) {
+            Some(&g) => g,
+            None => return Err(RdmaError::InvalidRkey(conn.scratch_rkey.0)),
+        };
+        if current != conn.gen || !slots.open[idx] {
+            return Err(RdmaError::StaleIncarnation {
+                seen: conn.gen,
+                current,
+            });
+        }
+        slots.gens[idx] += 1;
+        slots.open[idx] = false;
+        slots.free.push(conn.id);
+        Ok(())
     }
 
-    /// Maximum number of connections.
+    /// Whether `conn` is still the current tenant of its slot. False
+    /// once the connection is closed (even if the slot was reissued) —
+    /// the fence a reply path checks before touching connection scratch.
+    pub fn is_current(&self, conn: Connection) -> bool {
+        let slots = self.slots.lock();
+        let idx = conn.id as usize;
+        idx < slots.gens.len() && slots.open[idx] && slots.gens[idx] == conn.gen
+    }
+
+    /// Closes every open connection — the bulk hangup a sweep uses
+    /// between points. Returns how many were open.
+    pub fn close_all(&self) -> u64 {
+        let mut slots = self.slots.lock();
+        let mut closed = 0;
+        for idx in 0..slots.gens.len() {
+            if slots.open[idx] {
+                slots.gens[idx] += 1;
+                slots.open[idx] = false;
+                slots.free.push(idx as u64);
+                closed += 1;
+            }
+        }
+        closed
+    }
+
+    /// Connections currently open.
+    pub fn opened(&self) -> u64 {
+        let slots = self.slots.lock();
+        slots.open.iter().filter(|&&o| o).count() as u64
+    }
+
+    /// Maximum number of simultaneously open connections.
     pub fn capacity(&self) -> u64 {
         self.capacity
     }
@@ -101,5 +198,63 @@ mod tests {
         let t = ConnectionTable::new(0x1_0000, 64, Rkey(7));
         t.open();
         t.open();
+    }
+
+    #[test]
+    fn closed_slots_are_recycled_with_a_new_generation() {
+        // One slot of capacity: without recycling the second open would
+        // panic; with it, open/close can cycle forever.
+        let t = ConnectionTable::new(0x1_0000, 64, Rkey(7));
+        for round in 0..10u64 {
+            let c = t.open();
+            assert_eq!(c.id, 0);
+            assert_eq!(c.gen, round);
+            assert_eq!(c.scratch_addr, 0x1_0000);
+            t.close(c).unwrap();
+        }
+        assert_eq!(t.opened(), 0);
+    }
+
+    #[test]
+    fn stale_handles_are_fenced() {
+        let t = ConnectionTable::new(0x1_0000, 256, Rkey(7));
+        let a = t.open();
+        t.close(a).unwrap();
+        // Double close is a typed rejection, not a corruption.
+        assert_eq!(
+            t.close(a),
+            Err(RdmaError::StaleIncarnation {
+                seen: 0,
+                current: 1
+            })
+        );
+        // The slot's new tenant is current; the old handle is not.
+        let b = t.open();
+        assert_eq!(b.id, a.id);
+        assert_eq!(b.gen, a.gen + 1);
+        assert!(t.is_current(b));
+        assert!(!t.is_current(a));
+        // Closing the old handle again cannot evict the new tenant.
+        assert!(t.close(a).is_err());
+        assert!(t.is_current(b));
+        t.close(b).unwrap();
+        assert!(!t.is_current(b));
+    }
+
+    #[test]
+    fn close_all_hangs_up_every_open_connection() {
+        let t = ConnectionTable::new(0x1_0000, 256, Rkey(7));
+        let a = t.open();
+        let b = t.open();
+        let c = t.open();
+        t.close(b).unwrap();
+        assert_eq!(t.close_all(), 2);
+        assert_eq!(t.opened(), 0);
+        assert!(!t.is_current(a) && !t.is_current(c));
+        // All three slots are reusable afterwards, plus the fourth.
+        for _ in 0..4 {
+            t.open();
+        }
+        assert_eq!(t.opened(), 4);
     }
 }

@@ -64,7 +64,7 @@ impl PoolExtent {
     fn admits(&self, addr: u64) -> bool {
         addr >= self.base
             && addr < self.base + self.stride * self.count
-            && (addr - self.base) % self.stride == 0
+            && (addr - self.base).is_multiple_of(self.stride)
     }
 }
 

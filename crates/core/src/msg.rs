@@ -206,6 +206,25 @@ impl Reply {
             Reply::Batch(replies) => replies.iter().find_map(Reply::stale_incarnation),
         }
     }
+
+    /// If the reply reports a stale-routed request anywhere
+    /// ([`RdmaError::StaleEpoch`] in a verb error, a chain op NACK, or
+    /// any batch member), the server's current shard-map epoch. The
+    /// routing analog of [`Reply::stale_incarnation`]: clients use it
+    /// as the refetch-and-reroute trigger after a live reshard — the
+    /// shard map they routed with belongs to a dead epoch and the key
+    /// may live on a different server now.
+    pub fn stale_epoch(&self) -> Option<u64> {
+        match self {
+            Reply::Verb(Err(RdmaError::StaleEpoch { current, .. })) => Some(*current),
+            Reply::Verb(_) | Reply::Rpc(_) => None,
+            Reply::Chain(results) => results.iter().find_map(|r| match r.status {
+                OpStatus::Error(RdmaError::StaleEpoch { current, .. }) => Some(current),
+                _ => None,
+            }),
+            Reply::Batch(replies) => replies.iter().find_map(Reply::stale_epoch),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -387,6 +406,40 @@ impl Request {
             return Err(WireError("trailing bytes after request"));
         }
         Ok(req)
+    }
+
+    /// Encodes the request with the client's routing epoch in the wire
+    /// frame: the body is `[epoch u64 LE][request body]`, sealed under
+    /// the same CRC trailer as [`Request::encode`]. The epoch therefore
+    /// sits inside the header-checksum window (it occupies the first
+    /// [`FRAME_TRAILER`]-sized prefix the header CRC covers), so a
+    /// flipped epoch is detected before the server compares it against
+    /// its own. Epoch `0` means "not sharded" — servers skip the fence
+    /// for it. Like the CRC trailer, the epoch word is part of the
+    /// encoded form only; [`Request::wire_len`] is unchanged.
+    pub fn encode_epoch(&self, epoch: u64) -> Result<Vec<u8>, WireError> {
+        let mut buf = Vec::new();
+        let start = buf.len();
+        buf.extend_from_slice(&epoch.to_le_bytes());
+        self.encode_body(&mut buf, false)?;
+        seal_frame_at(&mut buf, start);
+        Ok(buf)
+    }
+
+    /// Decodes an epoch-framed request (see [`Request::encode_epoch`]):
+    /// verifies the frame checksums, then returns the routing epoch and
+    /// the request, rejecting trailing bytes.
+    pub fn decode_epoch(buf: &[u8]) -> Result<(u64, Request), WireError> {
+        let mut buf = open_frame(buf)?;
+        if buf.remaining() < 8 {
+            return Err(WireError("truncated epoch word"));
+        }
+        let epoch = buf.get_u64_le();
+        let req = Request::decode_from(&mut buf, false)?;
+        if buf.remaining() > 0 {
+            return Err(WireError("trailing bytes after request"));
+        }
+        Ok((epoch, req))
     }
 
     fn decode_from(buf: &mut &[u8], in_batch: bool) -> Result<Request, WireError> {
@@ -812,6 +865,39 @@ mod tests {
     }
 
     #[test]
+    fn epoch_framing_round_trips_and_flips_are_detected() {
+        let reqs = [
+            Request::Chain(vec![ops::read(0x10, 8, 1)]),
+            Request::Rpc(vec![1, 2, 3]),
+            Request::Batch(vec![Request::Rpc(vec![]), Request::Rpc(vec![9])]),
+        ];
+        for r in &reqs {
+            for epoch in [0u64, 1, 7, u64::MAX] {
+                let bytes = r.encode_epoch(epoch).unwrap();
+                assert_eq!(Request::decode_epoch(&bytes).unwrap(), (epoch, r.clone()));
+            }
+        }
+        // The epoch word rides inside the checksummed frame: every
+        // single-bit flip — epoch bytes included — is a typed corrupt
+        // error, so a damaged epoch can never masquerade as a stale
+        // (or fresh) route.
+        let bytes = reqs[0].encode_epoch(3).unwrap();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut m = bytes.clone();
+                m[byte] ^= 1 << bit;
+                let err = Request::decode_epoch(&m).expect_err("flip must not decode");
+                assert!(err.is_corrupt(), "flip at {byte}:{bit} gave {err:?}");
+            }
+        }
+        // Trailing bytes are rejected the same way the plain framing
+        // rejects them, and a plain frame is not an epoch frame.
+        let mut extended = reqs[0].encode_epoch(3).unwrap();
+        extended.insert(extended.len() - FRAME_TRAILER, 0);
+        assert!(Request::decode_epoch(&extended).is_err());
+    }
+
+    #[test]
     fn stale_incarnation_is_found_in_any_reply_shape() {
         let stale = prism_rdma::RdmaError::StaleIncarnation {
             seen: 0,
@@ -854,7 +940,7 @@ mod tests {
             status: OpStatus::CasFailed,
             data: vec![],
         };
-        assert!(chain_all_ok(&[ok.clone()]));
+        assert!(chain_all_ok(std::slice::from_ref(&ok)));
         assert!(!chain_all_ok(&[ok, failed]));
     }
 }

@@ -9,6 +9,7 @@
 //! (Pilaf PUTs, FaRM commit phases) and the applications' buffer-reclaim
 //! notifications (§3.2).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use prism_rdma::arena::MemoryArena;
@@ -54,6 +55,9 @@ pub struct PrismServer {
     carver: Mutex<Carver>,
     conns: ConnectionTable,
     rpc: Mutex<Option<Arc<dyn RpcHandler>>>,
+    /// Shard-map epoch this server believes is current. 0 = unsharded
+    /// (no map installed); requests stamped 0 are never epoch-fenced.
+    epoch: AtomicU64,
 }
 
 impl PrismServer {
@@ -84,6 +88,7 @@ impl PrismServer {
             carver: Mutex::new(carver),
             conns,
             rpc: Mutex::new(None),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -152,6 +157,47 @@ impl PrismServer {
         let c = self.conns.open();
         debug_assert_eq!(SCRATCH_BYTES % 8, 0);
         c
+    }
+
+    /// Closes a client connection, recycling its scratch slot. Stale or
+    /// double closes are typed rejections (see
+    /// [`crate::conn::ConnectionTable::close`]).
+    pub fn close_connection(&self, conn: Connection) -> Result<(), RdmaError> {
+        self.conns.close(conn)
+    }
+
+    /// Closes every open connection — the bulk hangup a sweep uses
+    /// between points. Returns how many were open.
+    pub fn close_all_connections(&self) -> u64 {
+        self.conns.close_all()
+    }
+
+    /// Whether `conn` is still the current tenant of its scratch slot.
+    pub fn connection_is_current(&self, conn: Connection) -> bool {
+        self.conns.is_current(conn)
+    }
+
+    /// Connections currently open.
+    pub fn connections_open(&self) -> u64 {
+        self.conns.opened()
+    }
+
+    /// The shard-map epoch this server currently enforces (0 =
+    /// unsharded; see [`PrismServer::install_epoch`]).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Installs a shard-map epoch, monotonically: the epoch only ever
+    /// moves forward, so a straggling installer cannot roll the fence
+    /// back. Returns the epoch in force afterwards.
+    ///
+    /// The migration driver installs the new epoch on every server
+    /// *before* publishing the new map to clients, so a request stamped
+    /// with an epoch **newer** than the server's is impossible in a
+    /// correct deployment — servers only fence requests stamped older.
+    pub fn install_epoch(&self, epoch: u64) -> u64 {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel).max(epoch)
     }
 
     /// Executes a PRISM chain on the data plane.
@@ -258,6 +304,30 @@ mod tests {
             a.scratch_rkey.0,
         )]);
         assert!(r[0].succeeded());
+    }
+
+    #[test]
+    fn connections_recycle_through_close() {
+        let s = PrismServer::new(1 << 20);
+        let a = s.open_connection();
+        s.close_connection(a).unwrap();
+        assert!(!s.connection_is_current(a));
+        let b = s.open_connection();
+        assert_eq!(b.id, a.id, "closed slot is reused");
+        assert_ne!(b.gen, a.gen, "reused slot carries a new generation");
+        assert!(s.close_connection(a).is_err(), "stale close is fenced");
+        assert!(s.connection_is_current(b));
+        assert_eq!(s.close_all_connections(), 1);
+        assert_eq!(s.connections_open(), 0);
+    }
+
+    #[test]
+    fn epoch_installs_are_monotonic() {
+        let s = PrismServer::new(1 << 20);
+        assert_eq!(s.current_epoch(), 0, "servers start unsharded");
+        assert_eq!(s.install_epoch(3), 3);
+        assert_eq!(s.install_epoch(2), 3, "epoch never rolls back");
+        assert_eq!(s.current_epoch(), 3);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use prism_core::msg::{Reply, Request};
+use prism_core::OpStatus;
 use prism_kv::pilaf::{PilafClient, PilafGetOp};
 use prism_kv::prism_kv::{GetOp, PrismKvClient, PutOp};
 use prism_kv::{hash::key_bytes, KvOutcome, KvStep};
@@ -20,7 +21,7 @@ use prism_tx::farm::{FarmClient, FarmOp, FarmOutcome, FarmStep};
 use prism_tx::prism_tx::{TxClient, TxOp, TxOutcome, TxStep};
 use prism_workload::{KeyDist, KvOp, TxnGen, YcsbConfig, YcsbGen};
 
-use crate::cluster::ShardMap;
+use crate::cluster::{MapHandle, ShardMap};
 use crate::netsim::{AdapterStep, Outbound, ProtoAdapter};
 
 fn tag(seq: u64, phase: u32, idx: u32) -> u64 {
@@ -114,6 +115,9 @@ enum KvMachine {
 pub struct PrismKvAdapter {
     clients: Vec<PrismKvClient>,
     map: ShardMap,
+    /// Live shard-map source, when the cluster can reshard mid-run: a
+    /// stale-epoch fence refetches the snapshot from here and reroutes.
+    handle: Option<MapHandle>,
     /// Home shard of the in-flight op (routing is per-operation; a
     /// PRISM-KV op's whole chain stays on one shard).
     shard: usize,
@@ -151,6 +155,36 @@ impl PrismKvAdapter {
         PrismKvAdapter {
             clients,
             map,
+            handle: None,
+            shard: 0,
+            gen: YcsbGen::new(config, rng),
+            current: None,
+            op: None,
+            retries: 0,
+            frees: FreeBatcher::new(),
+        }
+    }
+
+    /// Creates a routed adapter whose map can change under it: the
+    /// cluster's [`MapHandle`] is refetched whenever a server fences a
+    /// request with [`prism_rdma::RdmaError::StaleEpoch`]. Clients must
+    /// cover every shard the map can grow into (standby shards
+    /// included), in flat shard order.
+    pub fn sharded_live(
+        clients: Vec<PrismKvClient>,
+        handle: MapHandle,
+        config: YcsbConfig,
+        rng: SimRng,
+    ) -> Self {
+        let map = handle.snapshot();
+        assert!(
+            clients.len() >= map.shards(),
+            "clients must cover every shard the map can grow into"
+        );
+        PrismKvAdapter {
+            clients,
+            map,
+            handle: Some(handle),
             shard: 0,
             gen: YcsbGen::new(config, rng),
             current: None,
@@ -181,6 +215,7 @@ impl PrismKvAdapter {
             tag: 0,
             req,
             background: false,
+            epoch: self.map.epoch(),
         }]
     }
 
@@ -193,6 +228,7 @@ impl PrismKvAdapter {
                     tag: 0,
                     req,
                     background: true,
+                    epoch: 0,
                 }]
             })
             .unwrap_or_default()
@@ -209,6 +245,7 @@ impl PrismKvAdapter {
                     tag: 0,
                     req: request,
                     background: false,
+                    epoch: self.map.epoch(),
                 }];
                 sends.extend(self.bg_sends(background));
                 AdapterStep::Wait(sends)
@@ -254,10 +291,41 @@ impl ProtoAdapter for PrismKvAdapter {
             tag: 0,
             req,
             background: false,
+            epoch: self.map.epoch(),
         }]
     }
 
     fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        if let Some(current) = reply.stale_epoch() {
+            // The server fenced our request under a newer shard-map
+            // epoch, so it never executed: refetch the map, reroute the
+            // key, and restart the machine from a clean probe at the
+            // key's (possibly new) home shard.
+            if let Some(h) = &self.handle {
+                let m = h.snapshot();
+                if m.epoch() > self.map.epoch() {
+                    self.map = m;
+                }
+            }
+            let op = self.op.expect("op in flight");
+            if self.map.epoch() >= current {
+                self.current = None;
+                return AdapterStep::Wait(self.issue(op));
+            }
+            // The fencing epoch is ahead of anything we can fetch (no
+            // live handle, or the publish has not landed yet): treat it
+            // as a transport failure and retry with backoff.
+            self.current = None;
+            if self.retries >= TRANSPORT_RETRY_BUDGET {
+                self.op = None;
+                return AdapterStep::GiveUp { sends: Vec::new() };
+            }
+            self.retries += 1;
+            return AdapterStep::Retry {
+                sends: Vec::new(),
+                wait: transport_backoff(self.retries),
+            };
+        }
         if matches!(reply, Reply::Verb(Err(_))) {
             // Synthesized timeout from the fault layer (PRISM-KV chains
             // never produce verb errors on their own). The machine is
@@ -282,6 +350,47 @@ impl ProtoAdapter for PrismKvAdapter {
         self.current = Some(machine);
         self.step_to_adapter(step)
     }
+
+    fn on_stale_reply(&mut self, _tag: u64, server: usize, reply: Reply) -> Vec<Outbound> {
+        kv_harvest(server, reply)
+    }
+}
+
+/// Reclamation for a PRISM-KV reply that raced its own timeout: an
+/// install chain is `[write, allocate, CAS, read-back]`, and when the
+/// CAS lost, the read-back leg names the freshly allocated entry whose
+/// only reference died with this reply — the machine reissued through
+/// its resolve path and can never learn the address. Free it directly
+/// (unbatched: harvests are rare and the pool-level regressions want
+/// the free on the wire immediately). A won CAS leaves the buffer live
+/// in the slot, and probe/resolve chains allocate nothing.
+pub(crate) fn kv_harvest(server: usize, reply: Reply) -> Vec<Outbound> {
+    let Some(results) = reply.chain_results() else {
+        return Vec::new();
+    };
+    if results.len() != 4 || !matches!(results[2].status, OpStatus::CasFailed) {
+        return Vec::new();
+    }
+    let Ok(d) = results[3].expect_data() else {
+        return Vec::new();
+    };
+    if d.len() != 8 {
+        return Vec::new();
+    }
+    let new_ptr = u64::from_le_bytes(d.try_into().expect("8 bytes"));
+    if new_ptr == 0 {
+        return Vec::new();
+    }
+    let mut msg = Vec::with_capacity(9);
+    msg.push(0x01);
+    msg.extend_from_slice(&new_ptr.to_le_bytes());
+    vec![Outbound {
+        server,
+        tag: 0,
+        req: Request::Rpc(msg),
+        background: true,
+        epoch: 0,
+    }]
 }
 
 // ---------------------------------------------------------------------
@@ -338,6 +447,7 @@ impl PilafAdapter {
             tag: 0,
             req,
             background: false,
+            epoch: 0,
         }]
     }
 }
@@ -388,6 +498,7 @@ impl ProtoAdapter for PilafAdapter {
                         tag: 0,
                         req: request,
                         background: false,
+                        epoch: 0,
                     }])
                 }
                 KvStep::Done { outcome, .. } => AdapterStep::Done {
@@ -417,6 +528,9 @@ impl ProtoAdapter for PilafAdapter {
 pub struct PrismRsAdapter {
     clients: Vec<RsClient>,
     map: ShardMap,
+    /// Live shard-map source, when the cluster can reshard mid-run: a
+    /// stale-epoch fence refetches the snapshot from here and reroutes.
+    handle: Option<MapHandle>,
     /// Replicas per group (flat index stride).
     replicas: usize,
     /// Home group of the in-flight op.
@@ -476,6 +590,49 @@ impl PrismRsAdapter {
         PrismRsAdapter {
             clients,
             map,
+            handle: None,
+            replicas,
+            group: 0,
+            dist,
+            block_size,
+            write_fraction,
+            seq: 0,
+            current: None,
+            lingering: HashMap::new(),
+            outstanding: 0,
+            op: None,
+            retries: 0,
+            frees: FreeBatcher::new(),
+        }
+    }
+
+    /// Creates a routed adapter whose map can change under it: the
+    /// cluster's [`MapHandle`] is refetched whenever a replica fences a
+    /// request with [`prism_rdma::RdmaError::StaleEpoch`], and the
+    /// in-flight operation is reissued against the block's new home
+    /// group. Clients must cover every group the map can grow into
+    /// (standby groups included), in group order.
+    pub fn sharded_live(
+        clients: Vec<RsClient>,
+        handle: MapHandle,
+        dist: KeyDist,
+        block_size: usize,
+        write_fraction: f64,
+    ) -> Self {
+        let map = handle.snapshot();
+        assert!(
+            clients.len() >= map.shards(),
+            "clients must cover every group the map can grow into"
+        );
+        let replicas = clients[0].n();
+        assert!(
+            clients.iter().all(|c| c.n() == replicas),
+            "uniform replica count across groups"
+        );
+        PrismRsAdapter {
+            clients,
+            map,
+            handle: Some(handle),
             replicas,
             group: 0,
             dist,
@@ -515,6 +672,7 @@ impl PrismRsAdapter {
                 tag: tag(self.seq, phase, (base + replica) as u32),
                 req,
                 background: false,
+                epoch: self.map.epoch(),
             });
         }
         for (replica, req) in step.background {
@@ -524,6 +682,7 @@ impl PrismRsAdapter {
                     tag: 0,
                     req,
                     background: true,
+                    epoch: 0,
                 });
             }
         }
@@ -572,6 +731,10 @@ impl ProtoAdapter for PrismRsAdapter {
         }
         self.seq += 1;
         self.outstanding = 0;
+        // Re-route through the current map: a no-op unless a stale-epoch
+        // fence refreshed it since the attempt started.
+        let (block, _) = self.op.clone().expect("op set");
+        self.group = self.map.shard_of_id(block);
         let step = op.reissue(&self.clients[self.group]);
         self.current = Some(op);
         let (sends, _) = self.absorb(step);
@@ -590,6 +753,57 @@ impl ProtoAdapter for PrismRsAdapter {
             // level retry reaches it again (§7.2 rejoin is server-side;
             // the client only needs fresh capabilities).
             self.clients[group].refence(replica, inc);
+        }
+        if let Some(current_epoch) = reply.stale_epoch() {
+            if seq == self.seq && self.current.is_some() {
+                // A replica fenced this attempt under a newer shard-map
+                // epoch: refetch the map and reissue the same machine
+                // against the block's new home group. The fenced leg
+                // never executed; stragglers of this attempt park under
+                // the old seq, exactly as in resume(). A PUT that
+                // already chose its tag keeps it (RsOp::reissue), so
+                // the cross-group retry cannot resurrect its value over
+                // a later write the new group accepted.
+                if let Some(h) = &self.handle {
+                    let m = h.snapshot();
+                    if m.epoch() > self.map.epoch() {
+                        self.map = m;
+                    }
+                }
+                self.outstanding -= 1;
+                let mut op = self.current.take().expect("op in flight");
+                if self.map.epoch() >= current_epoch {
+                    if self.outstanding > 0 {
+                        self.lingering
+                            .insert(self.seq, (op.clone(), self.outstanding));
+                    }
+                    self.seq += 1;
+                    self.outstanding = 0;
+                    let (block, _) = self.op.clone().expect("op set");
+                    self.group = self.map.shard_of_id(block);
+                    let step = op.reissue(&self.clients[self.group]);
+                    self.current = Some(op);
+                    let (sends, _) = self.absorb(step);
+                    return AdapterStep::Wait(sends);
+                }
+                // The fencing epoch is ahead of anything we can fetch:
+                // fall back to an op-level retry with backoff.
+                if self.retries >= TRANSPORT_RETRY_BUDGET {
+                    if self.outstanding > 0 {
+                        self.lingering.insert(self.seq, (op, self.outstanding));
+                    }
+                    return AdapterStep::GiveUp { sends: Vec::new() };
+                }
+                self.current = Some(op);
+                self.retries += 1;
+                return AdapterStep::Retry {
+                    sends: Vec::new(),
+                    wait: transport_backoff(self.retries),
+                };
+            }
+            // A fence NACK trailing an abandoned attempt falls through
+            // to the straggler path: the machine counts it as a failed
+            // leg, keeping the lingering bookkeeping exact.
         }
         if seq != self.seq || self.current.is_none() {
             // Straggler for a completed op: feed it for reclamation.
@@ -610,6 +824,7 @@ impl ProtoAdapter for PrismRsAdapter {
                         tag: 0,
                         req,
                         background: true,
+                        epoch: 0,
                     });
                 }
             }
@@ -654,6 +869,49 @@ impl ProtoAdapter for PrismRsAdapter {
             }
         }
     }
+
+    fn on_stale_reply(&mut self, _tag: u64, server: usize, reply: Reply) -> Vec<Outbound> {
+        rs_harvest(server, reply)
+    }
+}
+
+/// Reclamation for a PRISM-RS write-phase reply that raced its own
+/// timeout. The chain is `[write, allocate, CAS_GT, read-back]` and the
+/// machine never saw this reply, so the free it would have emitted
+/// ([`RsOp::on_reply`]'s write path) is produced here instead: a lost
+/// CAS orphans the freshly allocated buffer; a won CAS displaces the
+/// buffer previously installed in the metadata entry. Read-phase chains
+/// allocate nothing.
+pub(crate) fn rs_harvest(server: usize, reply: Reply) -> Vec<Outbound> {
+    let Some(results) = reply.chain_results() else {
+        return Vec::new();
+    };
+    if results.len() != 4 {
+        return Vec::new();
+    }
+    let addr = match &results[2].status {
+        OpStatus::Ok if results[2].data.len() == 16 => {
+            u64::from_le_bytes(results[2].data[8..16].try_into().expect("8 bytes"))
+        }
+        OpStatus::CasFailed => match results[3].expect_data() {
+            Ok(d) if d.len() == 8 => u64::from_le_bytes(d.try_into().expect("8 bytes")),
+            _ => 0,
+        },
+        _ => 0,
+    };
+    if addr == 0 {
+        return Vec::new();
+    }
+    let mut msg = Vec::with_capacity(9);
+    msg.push(0x01);
+    msg.extend_from_slice(&addr.to_le_bytes());
+    vec![Outbound {
+        server,
+        tag: 0,
+        req: Request::Rpc(msg),
+        background: true,
+        epoch: 0,
+    }]
 }
 
 // ---------------------------------------------------------------------
@@ -699,6 +957,7 @@ impl AbdLockAdapter {
                 tag: tag(self.seq, phase, replica as u32),
                 req,
                 background: false,
+                epoch: 0,
             })
             .collect();
         let done = step
@@ -708,7 +967,7 @@ impl AbdLockAdapter {
         (sends, done, backoff)
     }
 
-    fn to_step(
+    fn emit_step(
         &mut self,
         sends: Vec<Outbound>,
         done: Option<bool>,
@@ -778,6 +1037,7 @@ impl ProtoAdapter for AbdLockAdapter {
                         tag: tag(seq, p, r as u32),
                         req,
                         background: true,
+                        epoch: 0,
                     });
                 }
             }
@@ -787,7 +1047,7 @@ impl ProtoAdapter for AbdLockAdapter {
         let step = op.on_reply(&mut self.client, phase, replica as usize, reply);
         self.current = Some(op);
         let (sends, done, backoff) = self.absorb(step);
-        self.to_step(sends, done, backoff)
+        self.emit_step(sends, done, backoff)
     }
 }
 
@@ -875,6 +1135,7 @@ impl PrismTxAdapter {
                 tag: tag(self.seq, phase, idx),
                 req,
                 background: false,
+                epoch: 0,
             });
         }
         for (shard, req) in step.background {
@@ -884,6 +1145,7 @@ impl PrismTxAdapter {
                     tag: 0,
                     req,
                     background: true,
+                    epoch: 0,
                 });
             }
         }
@@ -922,6 +1184,7 @@ impl ProtoAdapter for PrismTxAdapter {
                         tag: 0,
                         req,
                         background: true,
+                        epoch: 0,
                     });
                 }
             }
@@ -1035,6 +1298,7 @@ impl FarmAdapter {
                 tag: tag(self.seq, phase, idx),
                 req,
                 background: false,
+                epoch: 0,
             })
             .collect();
         (sends, step.done)

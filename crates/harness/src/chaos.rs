@@ -31,7 +31,8 @@ use prism_rs::RsOutcome;
 use prism_simnet::rng::SimRng;
 use prism_simnet::time::{SimDuration, SimTime};
 
-use crate::cluster::ShardMap;
+use crate::adapters::{kv_harvest, rs_harvest};
+use crate::cluster::{MapHandle, ShardMap};
 use crate::netsim::{AdapterStep, Outbound, ProtoAdapter};
 
 /// Transport-retry policy of the chaos adapters (mirrors the
@@ -121,6 +122,8 @@ fn read_nonce(value: &[u8]) -> u64 {
 pub struct ChaosRsAdapter {
     clients: Vec<RsClient>,
     map: ShardMap,
+    /// Live map source; `None` for a fixed-topology run.
+    handle: Option<MapHandle>,
     /// Replicas per group (flat-index stride, see
     /// [`crate::cluster::RsShards`]).
     replicas: usize,
@@ -194,6 +197,58 @@ impl ChaosRsAdapter {
         ChaosRsAdapter {
             clients,
             map,
+            handle: None,
+            replicas,
+            group: 0,
+            id,
+            n_blocks,
+            block_size,
+            write_fraction,
+            seq: 0,
+            nonce_ctr: 0,
+            now: SimTime::ZERO,
+            current: None,
+            lingering: HashMap::new(),
+            outstanding: 0,
+            op: None,
+            retries: 0,
+            rec: None,
+            history,
+        }
+    }
+
+    /// Creates a routed adapter whose map can change under it: the
+    /// cluster's [`MapHandle`] is refetched whenever a replica fences a
+    /// request with [`prism_rdma::RdmaError::StaleEpoch`], and the
+    /// in-flight operation is reissued against the block's new home
+    /// group — with its history record still open, so the checker sees
+    /// the reroute as ordinary concurrency. Clients must cover every
+    /// group the map can grow into (standby groups included), in group
+    /// order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sharded_live(
+        clients: Vec<RsClient>,
+        handle: MapHandle,
+        id: usize,
+        n_blocks: u64,
+        block_size: usize,
+        write_fraction: f64,
+        history: History,
+    ) -> Self {
+        let map = handle.snapshot();
+        assert!(
+            clients.len() >= map.shards(),
+            "clients must cover every group the map can grow into"
+        );
+        let replicas = clients[0].n();
+        assert!(
+            clients.iter().all(|c| c.n() == replicas),
+            "uniform replica count across groups"
+        );
+        ChaosRsAdapter {
+            clients,
+            map,
+            handle: Some(handle),
             replicas,
             group: 0,
             id,
@@ -258,6 +313,7 @@ impl ChaosRsAdapter {
                 tag: tag(self.seq, phase, (base + replica) as u32),
                 req,
                 background: false,
+                epoch: self.map.epoch(),
             });
         }
         for (replica, req) in step.background {
@@ -266,6 +322,7 @@ impl ChaosRsAdapter {
                 tag: 0,
                 req,
                 background: true,
+                epoch: 0,
             });
         }
         (sends, step.done)
@@ -310,6 +367,10 @@ impl ProtoAdapter for ChaosRsAdapter {
         }
         self.seq += 1;
         self.outstanding = 0;
+        // Re-route through the current map: a no-op unless a stale-epoch
+        // fence refreshed it since the attempt started.
+        let (block, _) = self.op.clone().expect("op set");
+        self.group = self.map.shard_of_id(block);
         let step = op.reissue(&self.clients[self.group]);
         self.current = Some(op);
         self.absorb(step).0
@@ -330,6 +391,56 @@ impl ProtoAdapter for ChaosRsAdapter {
             // restamp them so the operation-level retry reaches it.
             self.clients[group].refence(replica, inc);
         }
+        if let Some(current_epoch) = reply.stale_epoch() {
+            if seq == self.seq && self.current.is_some() {
+                // A replica fenced this attempt under a newer shard-map
+                // epoch: refetch the map and reissue the same machine
+                // (same nonce, same history record — the reroute looks
+                // like ordinary concurrency to the checker) against the
+                // block's new home group. The fenced leg never executed;
+                // stragglers park under the old seq as in resume().
+                if let Some(h) = &self.handle {
+                    let m = h.snapshot();
+                    if m.epoch() > self.map.epoch() {
+                        self.map = m;
+                    }
+                }
+                self.outstanding -= 1;
+                let mut op = self.current.take().expect("op in flight");
+                if self.map.epoch() >= current_epoch {
+                    if self.outstanding > 0 {
+                        self.lingering
+                            .insert(self.seq, (op.clone(), self.outstanding));
+                    }
+                    self.seq += 1;
+                    self.outstanding = 0;
+                    let (block, _) = self.op.clone().expect("op set");
+                    self.group = self.map.shard_of_id(block);
+                    let step = op.reissue(&self.clients[self.group]);
+                    self.current = Some(op);
+                    let (sends, _) = self.absorb(step);
+                    return AdapterStep::Wait(sends);
+                }
+                // The fencing epoch is ahead of anything we can fetch:
+                // fall back to an op-level retry with backoff.
+                if self.retries >= RETRY_BUDGET {
+                    if self.outstanding > 0 {
+                        self.lingering.insert(self.seq, (op, self.outstanding));
+                    }
+                    self.rec = None; // abandoned → uncertain
+                    return AdapterStep::GiveUp { sends: Vec::new() };
+                }
+                self.current = Some(op);
+                self.retries += 1;
+                return AdapterStep::Retry {
+                    sends: Vec::new(),
+                    wait: backoff(self.retries),
+                };
+            }
+            // A fence NACK trailing an abandoned attempt falls through
+            // to the straggler path: the machine counts it as a failed
+            // leg, keeping the lingering bookkeeping exact.
+        }
         if seq != self.seq || self.current.is_none() {
             // Straggler for a completed op: feed it for reclamation.
             let mut sends = Vec::new();
@@ -343,6 +454,7 @@ impl ProtoAdapter for ChaosRsAdapter {
                         tag: 0,
                         req,
                         background: true,
+                        epoch: 0,
                     });
                 }
                 *remaining -= 1;
@@ -404,6 +516,10 @@ impl ProtoAdapter for ChaosRsAdapter {
             }
         }
     }
+
+    fn on_stale_reply(&mut self, _tag: u64, server: usize, reply: Reply) -> Vec<Outbound> {
+        rs_harvest(server, reply)
+    }
 }
 
 enum KvMachine {
@@ -420,6 +536,8 @@ enum KvMachine {
 pub struct ChaosKvAdapter {
     clients: Vec<PrismKvClient>,
     map: ShardMap,
+    /// Live map source; `None` for a fixed-topology run.
+    handle: Option<MapHandle>,
     /// Home shard of the in-flight op.
     shard: usize,
     id: usize,
@@ -481,6 +599,48 @@ impl ChaosKvAdapter {
         ChaosKvAdapter {
             clients,
             map,
+            handle: None,
+            shard: 0,
+            id,
+            n_keys,
+            value_len,
+            write_fraction,
+            nonce_ctr: 0,
+            now: SimTime::ZERO,
+            current: None,
+            op: None,
+            retries: 0,
+            rec: None,
+            history,
+        }
+    }
+
+    /// Creates a routed adapter whose map can change under it: the
+    /// cluster's [`MapHandle`] is refetched whenever a server fences a
+    /// request with [`prism_rdma::RdmaError::StaleEpoch`], and the
+    /// in-flight operation restarts against the key's new home shard —
+    /// with its history record still open, so the checker sees the
+    /// reroute as ordinary concurrency. Clients must cover every shard
+    /// the map can grow into (standby shards included), in shard order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sharded_live(
+        clients: Vec<PrismKvClient>,
+        handle: MapHandle,
+        id: usize,
+        n_keys: u64,
+        value_len: usize,
+        write_fraction: f64,
+        history: History,
+    ) -> Self {
+        let map = handle.snapshot();
+        assert!(
+            clients.len() >= map.shards(),
+            "clients must cover every shard the map can grow into"
+        );
+        ChaosKvAdapter {
+            clients,
+            map,
+            handle: Some(handle),
             shard: 0,
             id,
             n_keys,
@@ -539,6 +699,7 @@ impl ChaosKvAdapter {
             tag: 0,
             req,
             background: false,
+            epoch: self.map.epoch(),
         }]
     }
 }
@@ -581,6 +742,7 @@ impl ProtoAdapter for ChaosKvAdapter {
             tag: 0,
             req,
             background: false,
+            epoch: self.map.epoch(),
         }]
     }
 
@@ -589,6 +751,36 @@ impl ProtoAdapter for ChaosKvAdapter {
     }
 
     fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        if let Some(current) = reply.stale_epoch() {
+            // The server fenced our request under a newer shard-map
+            // epoch, so it never executed: refetch the map, reroute the
+            // key, and restart the machine from a clean probe at the
+            // key's (possibly new) home shard. The history record stays
+            // open — same logical operation, same nonce.
+            if let Some(h) = &self.handle {
+                let m = h.snapshot();
+                if m.epoch() > self.map.epoch() {
+                    self.map = m;
+                }
+            }
+            if self.map.epoch() >= current {
+                self.current = None;
+                return AdapterStep::Wait(self.issue());
+            }
+            // The fencing epoch is ahead of anything we can fetch: fall
+            // back to a transport retry with backoff.
+            self.current = None;
+            if self.retries >= RETRY_BUDGET {
+                self.op = None;
+                self.rec = None; // abandoned → uncertain
+                return AdapterStep::GiveUp { sends: Vec::new() };
+            }
+            self.retries += 1;
+            return AdapterStep::Retry {
+                sends: Vec::new(),
+                wait: backoff(self.retries),
+            };
+        }
         if matches!(reply, Reply::Verb(Err(_))) {
             // Synthesized timeout from the fault layer. The machine is
             // kept: resume() re-arms it in place.
@@ -621,12 +813,14 @@ impl ProtoAdapter for ChaosKvAdapter {
                     tag: 0,
                     req: request,
                     background: false,
+                    epoch: self.map.epoch(),
                 }];
                 sends.extend(background.map(|req| Outbound {
                     server: self.shard,
                     tag: 0,
                     req,
                     background: true,
+                    epoch: 0,
                 }));
                 AdapterStep::Wait(sends)
             }
@@ -642,6 +836,7 @@ impl ProtoAdapter for ChaosKvAdapter {
                             tag: 0,
                             req,
                             background: true,
+                            epoch: 0,
                         }]
                     })
                     .unwrap_or_default();
@@ -671,6 +866,10 @@ impl ProtoAdapter for ChaosKvAdapter {
                 }
             }
         }
+    }
+
+    fn on_stale_reply(&mut self, _tag: u64, server: usize, reply: Reply) -> Vec<Outbound> {
+        kv_harvest(server, reply)
     }
 }
 

@@ -17,10 +17,15 @@
 //!
 //! The map carries an **epoch** in the incarnation-fencing shape of the
 //! RS rejoin protocol (§7.2): resizing returns a new map with `epoch +
-//! 1`, so a future live-resharding protocol can fence requests routed
-//! under a stale map exactly as amnesia-restarted replicas fence stale
-//! rkeys today. Nothing in this PR reshards live — the epoch is carried
-//! end-to-end so the wire shape is already right.
+//! 1`, servers enforce it ([`prism_core::PrismServer::install_epoch`]),
+//! and requests routed under a stale map are fenced with
+//! [`prism_rdma::RdmaError::StaleEpoch`] exactly as amnesia-restarted
+//! replicas fence stale rkeys. Live resharding is the
+//! [`KvCluster::migrate_grow`] / [`RsShards::migrate_grow`] drivers:
+//! grow the map, stream moved keys to their new homes via the normal
+//! chained-READ / CAS-install client machinery, fence the old owners
+//! per moved key, install the new epoch on every server, then publish
+//! the new map through the cluster's shared [`MapHandle`].
 //!
 //! Cross-shard **doorbell batching** lives in
 //! [`prism_kv::batch::prism_kv_get_many_sharded`]: one logical
@@ -29,13 +34,15 @@
 
 use std::sync::Arc;
 
-use prism_core::msg::execute_local;
+use prism_core::msg::{execute_local, Reply, Request};
 use prism_core::PrismServer;
 use prism_kv::batch::prism_kv_get_many_sharded;
 use prism_kv::hash::key_bytes;
-use prism_kv::prism_kv::{PrismKvClient, PrismKvConfig, PrismKvServer};
+use prism_kv::prism_kv::{GetOp, PrismKvClient, PrismKvConfig, PrismKvServer, PutOp};
 use prism_kv::{KvOutcome, KvStep};
-use prism_rs::prism_rs::{RsClient, RsCluster, RsConfig};
+use prism_rdma::sync::Mutex;
+use prism_rs::prism_rs::{drive as rs_drive, RsClient, RsCluster, RsConfig, RsOutcome};
+use prism_rs::tag::Tag;
 use prism_workload::ycsb::value_bytes;
 
 /// 64-bit finalizer (splitmix-style avalanche): turns the raw key hash
@@ -140,6 +147,42 @@ impl ShardMap {
     }
 }
 
+/// The cluster's shared, mutable "current map" cell.
+///
+/// Every routed client holds a clone; the migration driver publishes a
+/// grown map through it, and a client that gets a
+/// [`prism_rdma::RdmaError::StaleEpoch`] NACK refetches its snapshot
+/// here — the moral equivalent of re-reading the map from the
+/// configuration service after a reconfiguration fence.
+#[derive(Debug, Clone)]
+pub struct MapHandle(Arc<Mutex<ShardMap>>);
+
+impl MapHandle {
+    /// Wraps an initial map.
+    pub fn new(map: ShardMap) -> Self {
+        MapHandle(Arc::new(Mutex::new(map)))
+    }
+
+    /// The current map (cheap clone — salts are a small vector).
+    pub fn snapshot(&self) -> ShardMap {
+        self.0.lock().clone()
+    }
+
+    /// The current map's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.0.lock().epoch()
+    }
+
+    /// Publishes a new map. Epochs only move forward; a straggling
+    /// installer cannot roll the routing back.
+    pub fn install(&self, map: ShardMap) {
+        let mut cur = self.0.lock();
+        if map.epoch() > cur.epoch() {
+            *cur = map;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // PRISM-KV cluster
 // ---------------------------------------------------------------------
@@ -151,22 +194,43 @@ impl ShardMap {
 /// PRISM keeps servers passive, so scale-out is pure client routing).
 pub struct KvCluster {
     shards: Vec<PrismKvServer>,
-    map: ShardMap,
+    handle: MapHandle,
 }
 
 impl KvCluster {
     /// Builds `n` identically-configured shards and a map seeded with
     /// `seed`.
     pub fn new(n: usize, config: &PrismKvConfig, seed: u64) -> Self {
+        KvCluster::with_active(n, n, config, seed)
+    }
+
+    /// Builds `total` shards but routes over only the first `active` —
+    /// the pre-provisioned topology a live [`KvCluster::migrate_grow`]
+    /// expands into. Every server (active or standby) learns the map's
+    /// epoch at build time.
+    pub fn with_active(total: usize, active: usize, config: &PrismKvConfig, seed: u64) -> Self {
+        assert!(active >= 1 && active <= total, "active shards out of range");
+        let shards: Vec<PrismKvServer> = (0..total).map(|_| PrismKvServer::new(config)).collect();
+        let map = ShardMap::new(active, seed);
+        for s in &shards {
+            s.server().install_epoch(map.epoch());
+        }
         KvCluster {
-            shards: (0..n).map(|_| PrismKvServer::new(config)).collect(),
-            map: ShardMap::new(n, seed),
+            shards,
+            handle: MapHandle::new(map),
         }
     }
 
-    /// The shard map (clients clone it for local routing).
-    pub fn map(&self) -> &ShardMap {
-        &self.map
+    /// The current shard map (clients clone it for local routing; under
+    /// live resharding, hold the [`KvCluster::map_handle`] instead and
+    /// refetch on a stale-epoch fence).
+    pub fn map(&self) -> ShardMap {
+        self.handle.snapshot()
+    }
+
+    /// The shared current-map cell.
+    pub fn map_handle(&self) -> MapHandle {
+        self.handle.clone()
     }
 
     /// One shard's store.
@@ -190,33 +254,68 @@ impl KvCluster {
     /// shard only (the cluster holds one copy of every key, not N).
     pub fn preload(&self, n_keys: u64, value_len: usize) {
         let clients = self.open_clients();
+        let map = self.map();
         for k in 0..n_keys {
             let key = key_bytes(k);
-            let home = self.map.shard_of(&key);
-            let server = self.shards[home].server();
+            let home = map.shard_of(&key);
             let value = value_bytes(k, 0, value_len);
-            let (mut op, req) = clients[home].put(&key, &value);
-            let mut reply = execute_local(server, &req);
-            loop {
-                match op.on_reply(&clients[home], reply) {
-                    KvStep::Send {
-                        request,
-                        background,
-                    } => {
-                        if let Some(b) = background {
-                            execute_local(server, &b);
-                        }
-                        reply = execute_local(server, &request);
-                    }
-                    KvStep::Done { background, .. } => {
-                        if let Some(b) = background {
-                            execute_local(server, &b);
-                        }
-                        break;
-                    }
-                }
-            }
+            let (op, req) = clients[home].put(&key, &value);
+            drive_kv(self.shards[home].server(), &clients[home], op, req);
         }
+    }
+
+    /// Live 2→N resharding: grows the map over the first `to` shards,
+    /// streams every moved key from its old home to its new one (chained
+    /// PRISM READ out, CAS install in — the ordinary client machinery),
+    /// fences the old owner per moved key with a routed DELETE, installs
+    /// the new epoch on **every** server, and only then publishes the
+    /// new map. Returns `(new_map, moved_keys)`.
+    ///
+    /// Run from the simulation's control plane this whole sequence is
+    /// atomic at one instant, so in-flight requests stamped with the old
+    /// epoch arrive after the flip and are fenced with
+    /// [`prism_rdma::RdmaError::StaleEpoch`]; their clients refetch the
+    /// map through the [`MapHandle`] and reroute.
+    pub fn migrate_grow<'k>(
+        &self,
+        to: usize,
+        keys: impl IntoIterator<Item = &'k [u8]>,
+    ) -> (ShardMap, u64) {
+        assert!(to <= self.shards.len(), "grow beyond provisioned shards");
+        let old = self.map();
+        let new = old.grow(to);
+        let clients = self.open_clients();
+        let mut moved = 0u64;
+        for key in keys {
+            let (from, dest) = (old.shard_of(key), new.shard_of(key));
+            if from == dest {
+                continue;
+            }
+            // Chained READ out of the old home.
+            let (op, req) = clients[from].get(key);
+            let out = drive_kv(self.shards[from].server(), &clients[from], op, req);
+            let value = match out {
+                KvOutcome::Value(Some(v)) => v,
+                KvOutcome::Value(None) => continue, // never written: nothing to move
+                KvOutcome::Failed(why) => panic!("migration read of moved key failed: {why}"),
+                KvOutcome::Written => unreachable!("GET cannot return Written"),
+            };
+            // CAS install into the new home.
+            let (op, req) = clients[dest].put(key, &value);
+            drive_kv(self.shards[dest].server(), &clients[dest], op, req);
+            // Fence the old owner: the key's index slot is cleared, so
+            // even a raw access that bypassed the epoch fence reads
+            // "absent" rather than a stale value; the displaced buffer
+            // is reclaimed through the normal delete path.
+            let (op, req) = clients[from].delete(key);
+            drive_kv(self.shards[from].server(), &clients[from], op, req);
+            moved += 1;
+        }
+        for s in &self.shards {
+            s.server().install_epoch(new.epoch());
+        }
+        self.handle.install(new.clone());
+        (new, moved)
     }
 
     /// Cross-shard doorbell-batched multi-GET: one logical batch fans
@@ -225,13 +324,66 @@ impl KvCluster {
     /// count.
     pub fn get_many(&self, keys: &[Vec<u8>]) -> (Vec<KvOutcome>, u64) {
         let clients = self.open_clients();
+        let map = self.map();
         let (outcomes, doorbells, _rounds) = prism_kv_get_many_sharded(
             &clients,
-            |k| self.map.shard_of(k),
+            |k| map.shard_of(k),
             keys,
             |shard, req| execute_local(self.shards[shard].server(), &req),
         );
         (outcomes, doorbells)
+    }
+}
+
+/// Driver glue: the GET and PUT machines share an `on_reply` shape but
+/// no trait in `prism_kv`; this local trait lets one loop drive both.
+trait KvMachine {
+    fn feed(&mut self, c: &PrismKvClient, reply: Reply) -> KvStep;
+}
+
+impl KvMachine for GetOp {
+    fn feed(&mut self, c: &PrismKvClient, reply: Reply) -> KvStep {
+        self.on_reply(c, reply)
+    }
+}
+
+impl KvMachine for PutOp {
+    fn feed(&mut self, c: &PrismKvClient, reply: Reply) -> KvStep {
+        self.on_reply(c, reply)
+    }
+}
+
+/// Drives one KV op machine to completion against a local server,
+/// executing background frees as they surface (the control-plane analog
+/// of [`prism_rs::prism_rs::drive`]).
+fn drive_kv(
+    server: &Arc<PrismServer>,
+    client: &PrismKvClient,
+    mut op: impl KvMachine,
+    first: Request,
+) -> KvOutcome {
+    let mut reply = execute_local(server, &first);
+    loop {
+        match op.feed(client, reply) {
+            KvStep::Send {
+                request,
+                background,
+            } => {
+                if let Some(b) = background {
+                    execute_local(server, &b);
+                }
+                reply = execute_local(server, &request);
+            }
+            KvStep::Done {
+                outcome,
+                background,
+            } => {
+                if let Some(b) = background {
+                    execute_local(server, &b);
+                }
+                return outcome;
+            }
+        }
     }
 }
 
@@ -249,24 +401,129 @@ impl KvCluster {
 pub struct RsShards {
     groups: Vec<RsCluster>,
     replicas: usize,
-    map: ShardMap,
+    handle: MapHandle,
 }
 
 impl RsShards {
     /// Builds `groups` clusters of `replicas` each.
     pub fn new(groups: usize, replicas: usize, config: &RsConfig, seed: u64) -> Self {
+        RsShards::with_active(groups, groups, replicas, config, seed)
+    }
+
+    /// Builds `total` groups but routes over only the first `active` —
+    /// the pre-provisioned topology a live [`RsShards::migrate_grow`]
+    /// expands into. Flat server indices (`group * replicas + r`) cover
+    /// all `total` groups from the start, so growing never renumbers a
+    /// server. Every replica learns the map's epoch at build time.
+    pub fn with_active(
+        total: usize,
+        active: usize,
+        replicas: usize,
+        config: &RsConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(active >= 1 && active <= total, "active groups out of range");
+        let groups: Vec<RsCluster> = (0..total)
+            .map(|_| RsCluster::new(replicas, config))
+            .collect();
+        let map = ShardMap::new(active, seed);
+        for g in &groups {
+            for r in 0..replicas {
+                g.replica(r).server().install_epoch(map.epoch());
+            }
+        }
         RsShards {
-            groups: (0..groups)
-                .map(|_| RsCluster::new(replicas, config))
-                .collect(),
+            groups,
             replicas,
-            map: ShardMap::new(groups, seed),
+            handle: MapHandle::new(map),
         }
     }
 
-    /// The group-level shard map.
-    pub fn map(&self) -> &ShardMap {
-        &self.map
+    /// The current group-level shard map.
+    pub fn map(&self) -> ShardMap {
+        self.handle.snapshot()
+    }
+
+    /// The shared current-map cell.
+    pub fn map_handle(&self) -> MapHandle {
+        self.handle.clone()
+    }
+
+    /// Live resharding for replicated groups: grows the map over the
+    /// first `to` groups, streams every moved block through the normal
+    /// quorum machinery (chained-READ quorum read from the old group,
+    /// CAS install into the new group), fences the old owners per moved
+    /// block, installs the new epoch on **every** replica of every
+    /// group, then publishes the new map. Returns `(new_map,
+    /// moved_blocks)`.
+    ///
+    /// The per-block fence writes `[Tag::MAX | null addr]` into each
+    /// old-group replica's metadata entry: a straggling writer's
+    /// tag-ordered CAS can never beat `Tag::MAX`, and a straggling
+    /// reader's indirect READ through the null address is a
+    /// [`prism_rdma::RdmaError::BadIndirectTarget`] NACK instead of a
+    /// stale value — defense in depth behind the epoch fence. The
+    /// displaced buffers become unreachable and are reclaimed by each
+    /// old replica's [`prism_rs::prism_rs::PrismRsServer::gc_sweep`].
+    pub fn migrate_grow(&self, to: usize) -> (ShardMap, u64) {
+        assert!(to <= self.groups.len(), "grow beyond provisioned groups");
+        let old = self.map();
+        let new = old.grow(to);
+        let clients: Vec<RsClient> = self.open_clients();
+        let healthy = vec![false; self.replicas];
+        let n_blocks = self.groups[0].replica(0).view().n_blocks;
+        let fence = {
+            let mut m = Vec::with_capacity(16);
+            m.extend_from_slice(&Tag::MAX.to_bytes());
+            m.extend_from_slice(&0u64.to_le_bytes());
+            m
+        };
+        let mut moved = 0u64;
+        let mut fenced_groups: Vec<usize> = Vec::new();
+        for b in 0..n_blocks {
+            let (from, dest) = (old.shard_of_id(b), new.shard_of_id(b));
+            if from == dest {
+                continue;
+            }
+            // Quorum read from the old group (chained indirect READs).
+            let (op, step) = clients[from].get(b);
+            let value = match rs_drive(&self.groups[from], &clients[from], op, step, &healthy) {
+                RsOutcome::Value(v) => v,
+                other => panic!("migration read of moved block {b} failed: {other:?}"),
+            };
+            // CAS install into every replica of the new group.
+            let (op, step) = clients[dest].put(b, value);
+            match rs_drive(&self.groups[dest], &clients[dest], op, step, &healthy) {
+                RsOutcome::Written => {}
+                other => panic!("migration install of moved block {b} failed: {other:?}"),
+            }
+            // Fence the old owners.
+            for r in 0..self.replicas {
+                let replica = self.groups[from].replica(r);
+                replica
+                    .server()
+                    .arena()
+                    .write(replica.view().meta(b), &fence)
+                    .expect("metadata in arena");
+            }
+            if !fenced_groups.contains(&from) {
+                fenced_groups.push(from);
+            }
+            moved += 1;
+        }
+        // Reclaim the buffers the fences orphaned on the old groups.
+        for g in fenced_groups {
+            for r in 0..self.replicas {
+                self.groups[g].replica(r).gc_sweep();
+            }
+        }
+        for g in &self.groups {
+            for r in 0..self.replicas {
+                g.replica(r).server().install_epoch(new.epoch());
+            }
+        }
+        self.handle.install(new.clone());
+        (new, moved)
     }
 
     /// Replicas per group.
@@ -463,5 +720,159 @@ mod tests {
         assert_eq!(shards.group(1).rejoins(), 1);
         assert_eq!(shards.group(0).rejoins(), 0);
         assert_eq!(shards.rejoins(), 1);
+    }
+
+    /// Satellite property test: growing the map under replica groups
+    /// never renumbers a flat server index, and every unmoved block's
+    /// home group keeps the exact same three `group * replicas + r`
+    /// servers across the epoch bump. Swept over many derived seeds and
+    /// several `(active, total, replicas)` shapes — the flat indexing
+    /// is what the reply tags encode, so a single violation would
+    /// misroute stragglers after a grow.
+    #[test]
+    fn grow_keeps_flat_indices_stable_for_unmoved_groups() {
+        let base = seed();
+        for round in 0..16u64 {
+            let seed = mix64(base ^ round);
+            for (active, total, replicas) in [(2usize, 4usize, 3usize), (3, 6, 3), (2, 5, 2)] {
+                let old = ShardMap::new(active, seed);
+                let new = old.grow(total);
+                assert_eq!(new.epoch(), old.epoch() + 1);
+                for b in 0..2_000u64 {
+                    let (from, to) = (old.shard_of_id(b), new.shard_of_id(b));
+                    if from == to {
+                        // Unmoved block: identical flat replica indices
+                        // before and after the bump.
+                        let flat: Vec<usize> = (0..replicas).map(|r| from * replicas + r).collect();
+                        let flat_after: Vec<usize> =
+                            (0..replicas).map(|r| to * replicas + r).collect();
+                        assert_eq!(flat, flat_after);
+                    } else {
+                        assert!(
+                            to >= active,
+                            "seed {seed}: block {b} moved between surviving groups \
+                             {from}->{to}: rendezvous minimal-remap violated"
+                        );
+                    }
+                    assert!(to < total, "home beyond provisioned groups");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kv_migrate_grow_moves_keys_and_fences_old_homes() {
+        let seed = seed();
+        let n_keys = 128u64;
+        let config = PrismKvConfig::paper(n_keys, 64);
+        let cluster = KvCluster::with_active(4, 2, &config, seed);
+        cluster.preload(n_keys, 64);
+
+        let old = cluster.map();
+        assert_eq!(old.shards(), 2);
+        let keys: Vec<[u8; 8]> = (0..n_keys).map(key_bytes).collect();
+        let (new, moved) = cluster.migrate_grow(4, keys.iter().map(|k| k.as_slice()));
+        assert_eq!(new.shards(), 4);
+        assert_eq!(new.epoch(), old.epoch() + 1);
+        assert!(moved > 0, "a 2->4 grow must move some keys");
+        assert_eq!(cluster.map(), new, "handle publishes the grown map");
+        for s in 0..4 {
+            assert_eq!(cluster.shard(s).server().current_epoch(), new.epoch());
+        }
+
+        // Every key reads back its value at its *new* home; moved keys
+        // are fenced (absent) at their old home.
+        let clients = cluster.open_clients();
+        for k in 0..n_keys {
+            let key = key_bytes(k);
+            let home = new.shard_of(&key);
+            let (op, req) = clients[home].get(&key);
+            let out = drive_kv(cluster.shard(home).server(), &clients[home], op, req);
+            assert_eq!(
+                out,
+                KvOutcome::Value(Some(value_bytes(k, 0, 64))),
+                "key {k} must survive the migration at its new home"
+            );
+            let old_home = old.shard_of(&key);
+            if old_home != home {
+                let (op, req) = clients[old_home].get(&key);
+                let out = drive_kv(
+                    cluster.shard(old_home).server(),
+                    &clients[old_home],
+                    op,
+                    req,
+                );
+                assert_eq!(
+                    out,
+                    KvOutcome::Value(None),
+                    "moved key {k} must be fenced (absent) at its old home"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rs_migrate_grow_moves_blocks_and_fences_old_groups() {
+        let seed = seed();
+        let n_blocks = 32u64;
+        let config = RsConfig::paper(n_blocks, 64);
+        let shards = RsShards::with_active(4, 2, 3, &config, seed);
+        assert_eq!(
+            shards.servers().len(),
+            12,
+            "all groups provisioned up front"
+        );
+
+        // Write a distinct value into every block at its initial home.
+        let clients = shards.open_clients();
+        let old = shards.map();
+        for b in 0..n_blocks {
+            let home = old.shard_of_id(b);
+            let (op, step) = clients[home].put(b, vec![b as u8 + 1; 64]);
+            assert_eq!(
+                rs_drive(shards.group(home), &clients[home], op, step, &[false; 3]),
+                RsOutcome::Written
+            );
+        }
+
+        let (new, moved) = shards.migrate_grow(4);
+        assert!(moved > 0, "a 2->4 grow must move some blocks");
+        assert_eq!(shards.map(), new);
+        for g in 0..4 {
+            for r in 0..3 {
+                assert_eq!(
+                    shards.group(g).replica(r).server().current_epoch(),
+                    new.epoch()
+                );
+            }
+        }
+
+        for b in 0..n_blocks {
+            let home = new.shard_of_id(b);
+            let (op, step) = clients[home].get(b);
+            assert_eq!(
+                rs_drive(shards.group(home), &clients[home], op, step, &[false; 3]),
+                RsOutcome::Value(vec![b as u8 + 1; 64]),
+                "block {b} must survive the migration at its new home"
+            );
+            let old_home = old.shard_of_id(b);
+            if old_home != home {
+                // The old owners are fenced: a quorum read through the
+                // nulled metadata cannot return the stale value.
+                let (op, step) = clients[old_home].get(b);
+                let out = rs_drive(
+                    shards.group(old_home),
+                    &clients[old_home],
+                    op,
+                    step,
+                    &[false; 3],
+                );
+                assert_ne!(
+                    out,
+                    RsOutcome::Value(vec![b as u8 + 1; 64]),
+                    "moved block {b} must not be readable at its old group"
+                );
+            }
+        }
     }
 }

@@ -256,31 +256,33 @@ pub fn open_loop(cfg: &KvExpConfig, knobs: &OpenLoopKnobs) -> (Table, Vec<(f64, 
     let n_keys = cfg.n_keys;
     let value_len = cfg.value_len;
     let read_fraction = cfg.read_fraction;
-    // A fresh store per swept rate: each point opens its own
-    // connections against a cold connection table (see `sweep_rates`).
+    // One store for the whole sweep: each point's adapters reopen
+    // connections from the recycled slot pool (see `sweep_rates`).
+    let prism = Rc::new(PrismKvServer::new(&prism_cfg));
+    preload_prism(&prism, n_keys, value_len);
+    let servers = vec![Arc::clone(prism.server())];
+    let ycsb = YcsbConfig {
+        dist: KeyDist::uniform(n_keys),
+        read_fraction,
+        value_len,
+    };
     let results = sweep_rates(
+        &servers,
         &CostModel::testbed(),
         VerbPath::Nic,
         knobs,
         cfg.seed,
         &cfg.faults,
         || {
-            let prism = PrismKvServer::new(&prism_cfg);
-            preload_prism(&prism, n_keys, value_len);
-            let servers = vec![Arc::clone(prism.server())];
-            let ycsb = YcsbConfig {
-                dist: KeyDist::uniform(n_keys),
-                read_fraction,
-                value_len,
-            };
-            let factory: AdapterFactory = Rc::new(RefCell::new(move |i: usize| {
+            let prism = Rc::clone(&prism);
+            let ycsb = ycsb.clone();
+            Rc::new(RefCell::new(move |i: usize| {
                 Box::new(PrismKvAdapter::new(
                     prism.open_client(),
                     ycsb.clone(),
                     SimRng::new(seed ^ ((i as u64 + 1) * 7919)),
                 )) as Box<dyn ProtoAdapter>
-            }));
-            (servers, factory)
+            })) as AdapterFactory
         },
     );
     let mut t = Table::new(
@@ -337,33 +339,36 @@ pub fn open_loop_sharded(
     let n_keys = cfg.n_keys;
     let value_len = cfg.value_len;
     let read_fraction = cfg.read_fraction;
-    // A fresh cluster per swept rate, preloaded with each key on its
-    // home shard only (see `sweep_rates` on cold connection tables).
+    // One cluster for the whole sweep, preloaded with each key on its
+    // home shard only; points reopen recycled connection slots (see
+    // `sweep_rates`).
+    let cluster = Rc::new(KvCluster::new(shards, &prism_cfg, seed));
+    cluster.preload(n_keys, value_len);
+    let servers = cluster.servers();
+    let ycsb = YcsbConfig {
+        dist: KeyDist::uniform(n_keys),
+        read_fraction,
+        value_len,
+    };
     let results = sweep_rates(
+        &servers,
         &CostModel::testbed(),
         VerbPath::Nic,
         knobs,
         cfg.seed,
         &cfg.faults,
         || {
-            let cluster = KvCluster::new(shards, &prism_cfg, seed);
-            cluster.preload(n_keys, value_len);
-            let servers = cluster.servers();
-            let map = cluster.map().clone();
-            let ycsb = YcsbConfig {
-                dist: KeyDist::uniform(n_keys),
-                read_fraction,
-                value_len,
-            };
-            let factory: AdapterFactory = Rc::new(RefCell::new(move |i: usize| {
+            let cluster = Rc::clone(&cluster);
+            let map = cluster.map();
+            let ycsb = ycsb.clone();
+            Rc::new(RefCell::new(move |i: usize| {
                 Box::new(PrismKvAdapter::sharded(
                     cluster.open_clients(),
                     map.clone(),
                     ycsb.clone(),
                     SimRng::new(seed ^ ((i as u64 + 1) * 7919)),
                 )) as Box<dyn ProtoAdapter>
-            }));
-            (servers, factory)
+            })) as AdapterFactory
         },
     );
     let mut t = Table::new(

@@ -44,6 +44,25 @@ pub struct Outbound {
     /// Fire-and-forget: processed by the server, no reply, not part of
     /// operation latency (reclamation traffic).
     pub background: bool,
+    /// The shard-map epoch this request was routed under, carried in
+    /// the wire frame ([`prism_core::msg::Request::encode_epoch`]).
+    /// Servers fence requests stamped older than their installed epoch
+    /// with [`RdmaError::StaleEpoch`]. 0 = unsharded: never fenced.
+    pub epoch: u64,
+}
+
+impl Outbound {
+    /// An unsharded (epoch-0) send — what every pre-cluster adapter
+    /// produces.
+    pub fn new(server: usize, tag: u64, req: Request, background: bool) -> Self {
+        Outbound {
+            server,
+            tag,
+            req,
+            background,
+            epoch: 0,
+        }
+    }
 }
 
 /// What the adapter wants next after a reply.
@@ -109,6 +128,25 @@ pub trait ProtoAdapter {
     /// operation invocations and completions without widening the other
     /// callbacks.
     fn note_time(&mut self, _now: SimTime) {}
+
+    /// Offers a reply that arrived too late to match an outstanding
+    /// attempt — it raced its own timeout, or trails an operation the
+    /// adapter already finished. The actor guarantees **exactly-once**
+    /// delivery per send attempt: a reply is either fed to
+    /// [`ProtoAdapter::on_reply`] or offered here, never both, and
+    /// duplicated deliveries of the same attempt are dropped before
+    /// this hook.
+    ///
+    /// The operation's outcome is already settled, so implementations
+    /// must not change protocol state; the hook exists to *reclaim*
+    /// resources the reply proves exist — e.g. a spare buffer a lost
+    /// write reply would otherwise leak (returned sends should be
+    /// `background`). `server` is the flat index the reply came from,
+    /// so reclamation can be routed back to the allocating shard.
+    /// Default: the reply is discarded.
+    fn on_stale_reply(&mut self, _tag: u64, _server: usize, _reply: Reply) -> Vec<Outbound> {
+        Vec::new()
+    }
 }
 
 /// Messages exchanged between actors.
@@ -134,6 +172,9 @@ pub enum SimMsg {
         /// discards fire-and-forget traffic) without executing — a
         /// damaged frame never reaches the execution engine.
         corrupt: bool,
+        /// The routing epoch the client stamped into the frame (see
+        /// [`Outbound::epoch`]).
+        epoch: u64,
     },
     /// A reply arriving at a client.
     Reply {
@@ -188,6 +229,9 @@ pub enum SimMsg {
     /// inside one of this server's crash windows (the plan validator
     /// enforces the coverage).
     Rot(usize),
+    /// One-shot control-plane event ([`RecoveryHooks::control`]),
+    /// scheduled on server actor 0 and executed synchronously.
+    Control,
     /// Open-loop aggregate self-message: one logical client's intended
     /// arrival instant (see [`crate::openloop`]). The aggregate starts
     /// the operation — or queues its intended time when every slot is
@@ -207,6 +251,9 @@ pub enum SimMsg {
 
 /// Recovery-protocol hooks a run installs on its servers.
 ///
+/// A recovery callback invoked with the server index.
+pub type ServerHook = Arc<dyn Fn(usize) + Send + Sync>;
+
 /// The default has no hooks and schedules zero extra events, so every
 /// existing experiment stays bit-identical to a build without the
 /// recovery layer.
@@ -216,16 +263,24 @@ pub struct RecoveryHooks {
     /// *instead of* the bare [`PrismServer::amnesia_restart`]: the
     /// application-level rejoin (wipe, re-register, quorum resync) runs
     /// here, and completes before any post-restart request is served.
-    pub on_restart: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+    pub on_restart: Option<ServerHook>,
     /// Periodic server-side recovery sweep: `(interval, callback)`.
     /// The callback runs with the server's index every interval of
     /// virtual time, on every server.
-    pub sweep: Option<(SimDuration, Arc<dyn Fn(usize) + Send + Sync>)>,
+    pub sweep: Option<(SimDuration, ServerHook)>,
     /// Value-layer integrity counters shared with the run's protocol
     /// clients (via their `with_integrity` constructors). Reset at the
     /// warmup/measure boundary and folded into the corruption fields of
     /// [`RunResult`] alongside the fabric's frame-level counters.
     pub integrity: Option<Arc<IntegrityStats>>,
+    /// One-shot control-plane event: `(instant, callback)`. The
+    /// callback runs exactly once at the instant, synchronously inside
+    /// the DES (scheduled on server actor 0, drawing no randomness), so
+    /// everything it does — e.g. a live [`crate::cluster`] migration:
+    /// grow, stream, fence, epoch flip, map publish — is atomic with
+    /// respect to every request: traffic sent before the instant
+    /// arrives after it stamped with the old epoch and is fenced.
+    pub control: Option<(SimTime, Arc<dyn Fn() + Send + Sync>)>,
 }
 
 impl std::fmt::Debug for RecoveryHooks {
@@ -234,6 +289,7 @@ impl std::fmt::Debug for RecoveryHooks {
             .field("on_restart", &self.on_restart.is_some())
             .field("sweep_interval", &self.sweep.as_ref().map(|(i, _)| *i))
             .field("integrity", &self.integrity.is_some())
+            .field("control_at", &self.control.as_ref().map(|(t, _)| *t))
             .finish()
     }
 }
@@ -350,7 +406,7 @@ impl ServerActor {
                     let (d, o, p) = self.processing(r);
                     dma = dma.max(d);
                     if let Some(o) = o {
-                        occ = occ + o;
+                        occ += o;
                         occupies = true;
                     }
                     post = post.max(p);
@@ -403,10 +459,16 @@ impl Actor<SimMsg> for ServerActor {
         if let Some((interval, _)) = &self.hooks.sweep {
             ctx.send_in(me, *interval, SimMsg::Sweep);
         }
+        // The control event is global, so exactly one actor schedules it.
+        if self.index == 0 {
+            if let Some((at, _)) = &self.hooks.control {
+                ctx.send_at(me, *at, SimMsg::Control);
+            }
+        }
     }
 
     fn on_message(&mut self, msg: SimMsg, ctx: &mut Context<'_, SimMsg>) {
-        let (from, tag, attempt, req, respond, corrupt) = match msg {
+        let (from, tag, attempt, req, respond, corrupt, epoch) = match msg {
             SimMsg::Req {
                 from,
                 tag,
@@ -414,7 +476,19 @@ impl Actor<SimMsg> for ServerActor {
                 req,
                 respond,
                 corrupt,
-            } => (from, tag, attempt, req, respond, corrupt),
+                epoch,
+            } => (from, tag, attempt, req, respond, corrupt, epoch),
+            SimMsg::Control => {
+                // Control plane, not this host's process: runs even
+                // inside a crash window (the driver is external), draws
+                // no randomness, and completes atomically before the
+                // next data-plane event.
+                if let Some((_, f)) = &self.hooks.control {
+                    f();
+                }
+                ctx.metrics().add("control_events", 1);
+                return;
+            }
             SimMsg::Rot(i) => {
                 // At-rest bit rot: seeded positions inside the event's
                 // byte range flip while the host is down. The positions
@@ -514,6 +588,43 @@ impl Actor<SimMsg> for ServerActor {
             }
             return;
         }
+        // Epoch fencing: a request stamped with an older shard-map
+        // epoch was routed by a client that has not yet learned of a
+        // reshard, so the key it targets may live elsewhere now. The
+        // deterministic NACK (the routing analog of the incarnation
+        // fence) is sent *before* execution — a stale-routed write
+        // must not land, a stale-routed read must not answer.
+        // Epoch 0 marks unsharded traffic and is never fenced.
+        let current_epoch = self.server.current_epoch();
+        if epoch != 0 && epoch < current_epoch {
+            ctx.metrics().add("epoch_fenced", 1);
+            if respond {
+                let rx_done = self
+                    .rx
+                    .transmit(now, req.wire_len() + self.model.header_bytes);
+                let inc = self.server.regions().current_incarnation();
+                let reply = Reply::Verb(Err(RdmaError::StaleEpoch {
+                    seen: epoch,
+                    current: current_epoch,
+                }));
+                let tx_done = self.tx.transmit(
+                    rx_done + self.model.host_dma,
+                    reply.wire_len() + self.model.header_bytes,
+                );
+                ctx.send_at(
+                    from,
+                    tx_done + post_delay(&self.model),
+                    SimMsg::Reply {
+                        tag,
+                        attempt,
+                        server: self.index,
+                        inc,
+                        reply,
+                    },
+                );
+            }
+            return;
+        }
         // Inbound serialization through this host's rx direction
         // (payload plus per-message wire headers).
         let rx_done = self
@@ -552,8 +663,8 @@ impl Actor<SimMsg> for ServerActor {
                     return;
                 }
                 if self.faults.jitter_ns > 0 {
-                    post = post
-                        + SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
+                    post +=
+                        SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
                 }
                 if self.faults.dup_prob > 0.0 && self.fault_rng.gen_bool(self.faults.dup_prob) {
                     ctx.metrics().add("fault_dups", 1);
@@ -695,6 +806,15 @@ pub struct ClientActor {
     /// from it (duplicate delivery, or a reply racing its own timeout)
     /// is dropped before it reaches the adapter.
     outstanding: HashMap<u64, u64>,
+    /// The last attempt per tag whose reply was consumed — fed to the
+    /// adapter, or offered to [`ProtoAdapter::on_stale_reply`]. The
+    /// attempt counter is monotonic, so `(tag, attempt)` names one send
+    /// exactly: a reply matching this map is a duplicate delivery and
+    /// is dropped; a mismatched reply absent from it is a straggler the
+    /// harvest hook sees exactly once. Never cleared (client restarts
+    /// included): a pre-restart attempt harvested twice could double-
+    /// free the buffer its reply carries.
+    last_done: HashMap<u64, u64>,
     attempt_ctr: u64,
     /// Bumped at each client restart; kicks scheduled by a dead epoch
     /// are discarded on delivery.
@@ -731,6 +851,7 @@ impl ClientActor {
             corrupt_rng,
             corrupt_op: false,
             outstanding: HashMap::new(),
+            last_done: HashMap::new(),
             attempt_ctr: 0,
             epoch: 0,
             seen_inc,
@@ -772,24 +893,25 @@ impl ClientActor {
                     continue;
                 }
                 if self.faults.jitter_ns > 0 {
-                    pre = pre
-                        + SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
+                    pre += SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
                 }
                 if self.faults.flip_req_prob > 0.0
                     && self.corrupt_rng.gen_bool(self.faults.flip_req_prob)
                 {
                     // Request-leg corruption, applied to the real
-                    // encoded frame (see the reply-leg twin in
-                    // [`ServerActor`]): flip one seeded bit, verify the
-                    // frame CRCs catch it, and deliver the request
-                    // marked corrupt so the server NACKs it unexecuted.
+                    // encoded frame — epoch word included (see the
+                    // reply-leg twin in [`ServerActor`]): flip one
+                    // seeded bit, verify the frame CRCs catch it, and
+                    // deliver the request marked corrupt so the server
+                    // NACKs it unexecuted. A flipped epoch can thus
+                    // never masquerade as a fresher (or staler) route.
                     ctx.metrics().add("fault_corrupt_injected", 1);
                     ctx.metrics().add("fault_corrupt_detected", 1);
-                    if let Ok(mut bytes) = out.req.encode() {
+                    if let Ok(mut bytes) = out.req.encode_epoch(out.epoch) {
                         let pos = self.corrupt_rng.gen_range(bytes.len() as u64 * 8);
                         bytes[(pos / 8) as usize] ^= 1 << (pos % 8);
                         debug_assert!(
-                            Request::decode(&bytes).is_err(),
+                            Request::decode_epoch(&bytes).is_err(),
                             "a single-bit flip must not survive the frame CRCs"
                         );
                     }
@@ -806,6 +928,7 @@ impl ClientActor {
                     req: out.req,
                     respond: !out.background,
                     corrupt,
+                    epoch: out.epoch,
                 },
             );
         }
@@ -882,7 +1005,7 @@ impl ClientActor {
                     // once. Same seed, same jitter: replay stays
                     // bit-exact.
                     let span = wait.as_nanos().max(2) / 2;
-                    wait = wait + SimDuration::from_nanos(self.fault_rng.gen_range(span));
+                    wait += SimDuration::from_nanos(self.fault_rng.gen_range(span));
                 }
                 let me = ctx.self_id();
                 ctx.send_in(
@@ -992,9 +1115,23 @@ impl Actor<SimMsg> for ClientActor {
                     // against its own timeout, or a stale pre-timeout
                     // reply for a tag the adapter has since reissued.
                     if self.outstanding.get(&tag) != Some(&attempt) {
+                        if self.last_done.get(&tag) == Some(&attempt) {
+                            // True duplicate of a consumed attempt.
+                            return;
+                        }
+                        // First delivery of a straggler: the op it
+                        // belongs to is settled, but the reply may
+                        // prove a server-side allocation exists — offer
+                        // it to the adapter's reclamation hook, exactly
+                        // once.
+                        self.last_done.insert(tag, attempt);
+                        ctx.metrics().add("stale_harvested", 1);
+                        let sends = self.adapter.on_stale_reply(tag, server, reply);
+                        self.dispatch(sends, ctx);
                         return;
                     }
                     self.outstanding.remove(&tag);
+                    self.last_done.insert(tag, attempt);
                 }
                 self.feed_reply(tag, reply, ctx);
             }
@@ -1029,6 +1166,7 @@ impl Actor<SimMsg> for ClientActor {
             SimMsg::Req { .. }
             | SimMsg::Sweep
             | SimMsg::Rot(_)
+            | SimMsg::Control
             | SimMsg::Arrival
             | SimMsg::OlKick { .. } => {
                 unreachable!(
@@ -1069,6 +1207,12 @@ pub struct RunResult {
     pub giveups: u64,
     /// Pre-crash replies rejected by incarnation fencing.
     pub fenced: u64,
+    /// Requests NACKed by shard-map epoch fencing (stale-routed after
+    /// a live reshard).
+    pub epoch_fenced: u64,
+    /// Straggler replies offered to [`ProtoAdapter::on_stale_reply`]
+    /// for resource reclamation (each exactly once).
+    pub stale_harvested: u64,
     /// Server amnesia restarts executed.
     pub restarts: u64,
     /// Client crash-window restarts executed.
@@ -1196,6 +1340,8 @@ pub fn run_closed_loop_with(
         crash_drops: metrics.counter("fault_crash_drops"),
         giveups: metrics.counter("giveups"),
         fenced: metrics.counter("fault_fenced"),
+        epoch_fenced: metrics.counter("epoch_fenced"),
+        stale_harvested: metrics.counter("stale_harvested"),
         restarts: metrics.counter("fault_restarts"),
         client_restarts: metrics.counter("fault_client_restarts"),
         corruptions_injected: metrics.counter("fault_corrupt_injected"),
@@ -1234,6 +1380,7 @@ mod tests {
                 tag: 0,
                 req,
                 background: false,
+                epoch: 0,
             }]
         }
 
@@ -1336,7 +1483,7 @@ mod tests {
         let mut results = Vec::new();
         for &n in &[1usize, 8, 64] {
             let r = run_closed_loop(
-                &[s.clone()],
+                std::slice::from_ref(&s),
                 &model,
                 VerbPath::Nic,
                 n,
@@ -1384,6 +1531,7 @@ mod tests {
                     rkey: self.rkey,
                 }),
                 background: false,
+                epoch: 0,
             }]
         }
     }
@@ -1438,7 +1586,7 @@ mod tests {
             );
         let run = || {
             run_closed_loop(
-                &[s.clone()],
+                std::slice::from_ref(&s),
                 &model,
                 VerbPath::Nic,
                 4,
@@ -1503,7 +1651,7 @@ mod tests {
                 SimTime::from_nanos(2_200_000),
             );
         let r = run_closed_loop(
-            &[s.clone()],
+            std::slice::from_ref(&s),
             &model,
             VerbPath::Nic,
             2,
@@ -1535,7 +1683,7 @@ mod tests {
             );
         let run = || {
             run_closed_loop(
-                &[s.clone()],
+                std::slice::from_ref(&s),
                 &model,
                 VerbPath::Nic,
                 2,
@@ -1581,7 +1729,7 @@ mod tests {
         let (s, addr, rkey) = test_server();
         let model = CostModel::testbed();
         let hw = run_closed_loop(
-            &[s.clone()],
+            std::slice::from_ref(&s),
             &model,
             VerbPath::Nic,
             1,
@@ -1630,7 +1778,7 @@ mod tests {
             .with_flips(0.05, 0.05);
         let run = || {
             run_closed_loop(
-                &[s.clone()],
+                std::slice::from_ref(&s),
                 &model,
                 VerbPath::Nic,
                 4,
@@ -1682,7 +1830,7 @@ mod tests {
         let armed = base.clone().with_flips(0.0, 0.0).with_torn_writes(0.0);
         let run = |faults: &FaultPlan| {
             run_closed_loop(
-                &[s.clone()],
+                std::slice::from_ref(&s),
                 &model,
                 VerbPath::Nic,
                 4,
@@ -1720,7 +1868,7 @@ mod tests {
             )
             .with_rot(0, SimTime::from_nanos(2_100_000), addr, 64, 3);
         let r = run_closed_loop(
-            &[s.clone()],
+            std::slice::from_ref(&s),
             &model,
             VerbPath::Nic,
             2,

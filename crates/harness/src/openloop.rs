@@ -197,6 +197,17 @@ pub struct OpenLoopActor {
     /// Wire tags awaiting a reply under a fault plan, stamped with
     /// their send attempt (see [`ClientActor::outstanding`]).
     outstanding: HashMap<u64, u64>,
+    /// Consumed `(wire tag, attempt)` pairs (see
+    /// [`ClientActor::last_done`]): dedups fault-plan stragglers so each
+    /// stale reply reaches [`ProtoAdapter::on_stale_reply`] exactly
+    /// once. Never cleared.
+    last_done: HashMap<u64, u64>,
+    /// Routes parked by a timeout: wire tag → `(slot, adapter tag)`,
+    /// kept so the real reply, if it straggles in later, can still be
+    /// harvested by the adapter that sent the request. Entries for
+    /// requests the fault plan dropped outright are never consumed;
+    /// like `last_done`, growth is bounded by the timeout count.
+    orphans: HashMap<u64, (u32, u64)>,
     next_tag: u64,
     attempt_ctr: u64,
     /// Highest incarnation seen per server (pre-crash stragglers are
@@ -240,6 +251,8 @@ impl OpenLoopActor {
             corrupt_rng,
             routes: HashMap::new(),
             outstanding: HashMap::new(),
+            last_done: HashMap::new(),
+            orphans: HashMap::new(),
             next_tag: 0,
             attempt_ctr: 0,
             seen_inc,
@@ -332,8 +345,7 @@ impl OpenLoopActor {
                     continue;
                 }
                 if self.faults.jitter_ns > 0 {
-                    pre = pre
-                        + SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
+                    pre += SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
                 }
                 if self.faults.flip_req_prob > 0.0
                     && self.corrupt_rng.gen_bool(self.faults.flip_req_prob)
@@ -343,11 +355,11 @@ impl OpenLoopActor {
                     // the real encoded frame, verify the CRCs catch it.
                     ctx.metrics().add("fault_corrupt_injected", 1);
                     ctx.metrics().add("fault_corrupt_detected", 1);
-                    if let Ok(mut bytes) = out.req.encode() {
+                    if let Ok(mut bytes) = out.req.encode_epoch(out.epoch) {
                         let pos = self.corrupt_rng.gen_range(bytes.len() as u64 * 8);
                         bytes[(pos / 8) as usize] ^= 1 << (pos % 8);
                         debug_assert!(
-                            Request::decode(&bytes).is_err(),
+                            Request::decode_epoch(&bytes).is_err(),
                             "a single-bit flip must not survive the frame CRCs"
                         );
                     }
@@ -364,6 +376,7 @@ impl OpenLoopActor {
                     req: out.req,
                     respond: !out.background,
                     corrupt,
+                    epoch: out.epoch,
                 },
             );
         }
@@ -441,7 +454,7 @@ impl OpenLoopActor {
                     // Seeded retry jitter, same stream discipline as
                     // the closed-loop client.
                     let span = wait.as_nanos().max(2) / 2;
-                    wait = wait + SimDuration::from_nanos(self.fault_rng.gen_range(span));
+                    wait += SimDuration::from_nanos(self.fault_rng.gen_range(span));
                 }
                 ctx.send_in(me, wait, SimMsg::OlKick { slot, resume: true });
             }
@@ -508,9 +521,26 @@ impl Actor<SimMsg> for OpenLoopActor {
                     }
                     self.seen_inc[server] = inc;
                     if self.outstanding.get(&tag) != Some(&attempt) {
+                        // A straggler whose timeout already fired. Hand
+                        // it to the adapter that sent it, exactly once,
+                        // so server-side resources named in the reply
+                        // (an orphaned spare buffer, a displaced block)
+                        // can be reclaimed instead of leaking.
+                        if self.last_done.get(&tag) == Some(&attempt) {
+                            return;
+                        }
+                        self.last_done.insert(tag, attempt);
+                        if let Some((slot, inner)) = self.orphans.remove(&tag) {
+                            ctx.metrics().add("stale_harvested", 1);
+                            let s = &mut self.slots[slot as usize];
+                            s.adapter.note_time(ctx.now());
+                            let sends = s.adapter.on_stale_reply(inner, server, reply);
+                            self.dispatch(slot, sends, ctx);
+                        }
                         return;
                     }
                     self.outstanding.remove(&tag);
+                    self.last_done.insert(tag, attempt);
                 }
                 self.feed_reply(tag, reply, ctx);
             }
@@ -520,12 +550,18 @@ impl Actor<SimMsg> for OpenLoopActor {
                 }
                 self.outstanding.remove(&tag);
                 ctx.metrics().add("timeouts", 1);
+                // Park the route (feed_reply consumes it) so the real
+                // reply, if it eventually lands, is harvested above.
+                if let Some(&route) = self.routes.get(&tag) {
+                    self.orphans.insert(tag, route);
+                }
                 self.feed_reply(tag, Reply::Verb(Err(RdmaError::ReceiverNotReady)), ctx);
             }
             SimMsg::Kick { .. }
             | SimMsg::Restart
             | SimMsg::Req { .. }
             | SimMsg::Sweep
+            | SimMsg::Control
             | SimMsg::Rot(_) => {
                 unreachable!("open-loop aggregates receive only replies and their own timers")
             }
@@ -712,35 +748,39 @@ impl OpenLoopKnobs {
     }
 }
 
-/// Sweeps `run_open_loop` over the knobs' arrival rates, one
-/// [`OpenLoopResult`] per rate, reseeding each point from the base seed
-/// and the rate index.
+/// Sweeps `run_open_loop` over the knobs' arrival rates against ONE
+/// server set, one [`OpenLoopResult`] per rate, reseeding each point
+/// from the base seed and the rate index.
 ///
-/// `make_point` constructs a fresh server set and adapter factory for
-/// every rate. This is not optional thrift: each point can lazily open
-/// up to the in-flight cap's worth of connections, and the on-NIC
-/// connection table ([`crate::netsim`] servers carve 64 B of scratch
-/// per connection out of a fixed 256 KB arena) does not recycle IDs —
-/// sharing one server across a six-point sweep would exhaust the 4096
-/// slots mid-sweep. A fresh system per point also matches how the
-/// paper's testbed runs sweeps: one cold start per offered rate.
+/// The whole sweep reuses the caller's system: each point can lazily
+/// open up to the in-flight cap's worth of connections, and the on-NIC
+/// connection table recycles slots on close, so between points the
+/// sweep simply hangs up every connection
+/// ([`PrismServer::close_all_connections`]) and the next point's
+/// adapters (a fresh factory per point, from `make_factory`) reopen
+/// from the recycled pool. Generation tags fence any reply still
+/// addressed to a hung-up connection. Before slot recycling this
+/// required a cold-started system per point — a six-point sweep at the
+/// 3 500-connection cap would otherwise exhaust the 4096-slot scratch
+/// region mid-sweep.
 pub fn sweep_rates<F>(
+    servers: &[Arc<PrismServer>],
     model: &CostModel,
     verb_path: VerbPath,
     knobs: &OpenLoopKnobs,
     seed: u64,
     faults: &FaultPlan,
-    mut make_point: F,
+    mut make_factory: F,
 ) -> Vec<(f64, OpenLoopResult)>
 where
-    F: FnMut() -> (Vec<Arc<PrismServer>>, AdapterFactory),
+    F: FnMut() -> AdapterFactory,
 {
     knobs
         .rates_per_sec
         .iter()
         .enumerate()
         .map(|(k, &rate)| {
-            let (servers, factory) = make_point();
+            let factory = make_factory();
             let cfg = OpenLoopConfig {
                 arrivals: ArrivalSpec::Poisson { rate_per_sec: rate },
                 logical_clients: knobs.logical_clients,
@@ -751,17 +791,18 @@ where
                 seed: seed ^ ((k as u64 + 1) << 40),
                 faults: faults.clone(),
             };
-            (
-                rate,
-                run_open_loop(
-                    &servers,
-                    model,
-                    verb_path,
-                    &cfg,
-                    factory,
-                    &RecoveryHooks::default(),
-                ),
-            )
+            let point = run_open_loop(
+                servers,
+                model,
+                verb_path,
+                &cfg,
+                factory,
+                &RecoveryHooks::default(),
+            );
+            for s in servers {
+                s.close_all_connections();
+            }
+            (rate, point)
         })
         .collect()
 }
@@ -785,6 +826,7 @@ mod tests {
                 tag: u64::MAX - 1, // full-width tags must round-trip
                 req: Request::Chain(vec![ops::read(self.addr, 512, self.rkey)]),
                 background: false,
+                epoch: 0,
             }]
         }
 

@@ -294,29 +294,30 @@ pub fn open_loop(cfg: &RsExpConfig, knobs: &OpenLoopKnobs) -> (Table, Vec<(f64, 
     let n_blocks = cfg.n_blocks;
     let block_size = cfg.block_size as usize;
     let write_fraction = cfg.write_fraction;
-    // A fresh 3-replica cluster per swept rate: each point opens its
-    // own connections against cold connection tables (see
+    // One 3-replica cluster for the whole sweep: each point's adapters
+    // reopen connections from the recycled slot pool (see
     // `sweep_rates`).
+    let cluster = Rc::new(RsCluster::new(3, &rs_config));
+    let servers: Vec<Arc<prism_core::PrismServer>> = (0..3)
+        .map(|i| Arc::clone(cluster.replica(i).server()))
+        .collect();
     let results = sweep_rates(
+        &servers,
         &CostModel::testbed(),
         VerbPath::Nic,
         knobs,
         cfg.seed,
         &cfg.faults,
         || {
-            let cluster = RsCluster::new(3, &rs_config);
-            let servers: Vec<Arc<prism_core::PrismServer>> = (0..3)
-                .map(|i| Arc::clone(cluster.replica(i).server()))
-                .collect();
-            let factory: AdapterFactory = Rc::new(RefCell::new(move |_i: usize| {
+            let cluster = Rc::clone(&cluster);
+            Rc::new(RefCell::new(move |_i: usize| {
                 Box::new(PrismRsAdapter::new(
                     cluster.open_client(),
                     KeyDist::uniform(n_blocks),
                     block_size,
                     write_fraction,
                 )) as Box<dyn ProtoAdapter>
-            }));
-            (servers, factory)
+            })) as AdapterFactory
         },
     );
     let mut t = Table::new(
@@ -368,17 +369,21 @@ pub fn open_loop_sharded(
     let n_blocks = cfg.n_blocks;
     let block_size = cfg.block_size as usize;
     let write_fraction = cfg.write_fraction;
+    // One sharded cluster for the whole sweep; points reopen recycled
+    // connection slots (see `sweep_rates`).
+    let shards = Rc::new(RsShards::new(groups, 3, &rs_config, seed));
+    let servers = shards.servers();
     let results = sweep_rates(
+        &servers,
         &CostModel::testbed(),
         VerbPath::Nic,
         knobs,
         cfg.seed,
         &cfg.faults,
         || {
-            let shards = RsShards::new(groups, 3, &rs_config, seed);
-            let servers = shards.servers();
-            let map = shards.map().clone();
-            let factory: AdapterFactory = Rc::new(RefCell::new(move |_i: usize| {
+            let shards = Rc::clone(&shards);
+            let map = shards.map();
+            Rc::new(RefCell::new(move |_i: usize| {
                 Box::new(PrismRsAdapter::sharded(
                     shards.open_clients(),
                     map.clone(),
@@ -386,8 +391,7 @@ pub fn open_loop_sharded(
                     block_size,
                     write_fraction,
                 )) as Box<dyn ProtoAdapter>
-            }));
-            (servers, factory)
+            })) as AdapterFactory
         },
     );
     let mut t = Table::new(

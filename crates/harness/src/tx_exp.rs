@@ -332,27 +332,29 @@ pub fn open_loop(cfg: &TxExpConfig, knobs: &OpenLoopKnobs) -> (Table, Vec<(f64, 
     // for the live slots, not the logical population.
     tx_config.spare_buffers += 32 * (knobs.live_slots() as u64 + 16);
     let n_shards = cfg.n_shards;
-    // A fresh sharded cluster per swept rate: each point opens its own
-    // connections against cold connection tables (see `sweep_rates`).
+    // One sharded cluster for the whole sweep: each point's adapters
+    // reopen connections from the recycled slot pool (see
+    // `sweep_rates`).
+    let cluster = Rc::new(TxCluster::new(n_shards, &tx_config));
+    let servers: Vec<Arc<prism_core::PrismServer>> = (0..n_shards)
+        .map(|i| Arc::clone(cluster.shard(i).server()))
+        .collect();
     let results = sweep_rates(
+        &servers,
         &CostModel::testbed(),
         VerbPath::Nic,
         knobs,
         cfg.seed,
         &cfg.faults,
         || {
-            let cluster = TxCluster::new(n_shards, &tx_config);
-            let servers: Vec<Arc<prism_core::PrismServer>> = (0..n_shards)
-                .map(|i| Arc::clone(cluster.shard(i).server()))
-                .collect();
+            let cluster = Rc::clone(&cluster);
             let cfg_for_gen = cfg.clone();
-            let factory: AdapterFactory = Rc::new(RefCell::new(move |i: usize| {
+            Rc::new(RefCell::new(move |i: usize| {
                 Box::new(PrismTxAdapter::new(
                     cluster.open_client(),
                     txn_gen(&cfg_for_gen, 0.0, cfg_for_gen.seed ^ ((i as u64 + 1) * 31)),
                 )) as Box<dyn ProtoAdapter>
-            }));
-            (servers, factory)
+            })) as AdapterFactory
         },
     );
     let mut t = Table::new(

@@ -230,7 +230,7 @@ impl PrismKvServer {
                 for r in handler_ranges.lock().iter() {
                     if addr >= r.base
                         && addr < r.base + r.stride * r.count
-                        && (addr - r.base) % r.stride == 0
+                        && (addr - r.base).is_multiple_of(r.stride)
                     {
                         return freelists.free(r.id, addr).is_ok();
                     }
@@ -378,6 +378,48 @@ impl PrismKvServer {
             }
         }
         (live, corrupt)
+    }
+
+    /// Server-side garbage collection (§3.2's alternative to
+    /// client-driven reclamation): scans the slot array for reachable
+    /// entry buffers and reposts every pool buffer that is neither
+    /// reachable nor already free. Runs under the posting gate's
+    /// exclusive side, so no chain is mid-allocation while it scans;
+    /// install chains allocate and CAS within a single chain, so any
+    /// unreachable buffer at that point is genuinely leaked — a lost
+    /// CAS whose orphan notification died with its client, or a
+    /// displaced entry whose free never arrived. Call it at a quiescent
+    /// point (no reclaim RPCs still in flight) or an in-flight free may
+    /// double-count; the checked free path rejects that free rather
+    /// than corrupting the allocator. Returns the number of buffers
+    /// reclaimed.
+    pub fn gc_sweep(&self) -> usize {
+        let _exclusive = self.server.freelists().gate_write();
+        let arena = self.server.arena();
+        let mut reachable = std::collections::HashSet::new();
+        for i in 0..self.view.capacity {
+            if let Ok(ptr) = arena.read_u64(self.view.slot_addr(i)) {
+                reachable.insert(ptr);
+            }
+        }
+        let mut reclaimed = 0;
+        for &(id, _) in &self.view.classes {
+            let free: std::collections::HashSet<u64> =
+                self.server.freelists().snapshot(id).into_iter().collect();
+            for r in self.ranges.lock().iter().filter(|r| r.id == id) {
+                for j in 0..r.count {
+                    let buf = r.base + j * r.stride;
+                    if !reachable.contains(&buf) && !free.contains(&buf) {
+                        // Safe under the exclusive gate (the repost
+                        // path's own locking is bypassed deliberately:
+                        // we *are* the holder).
+                        self.server.freelists().repush_gc(id, buf);
+                        reclaimed += 1;
+                    }
+                }
+            }
+        }
+        reclaimed
     }
 
     /// Opens a client with its own connection scratch slot.
@@ -724,12 +766,12 @@ impl PutOp {
                 if ptr == 0 {
                     // Empty slot: claim it (compare against the observed
                     // empty word).
-                    return self.to_install(c, slot, slot_word);
+                    return self.enter_install(c, slot, slot_word);
                 }
                 // Occupied: does it hold our key?
                 match &results[1].status {
                     OpStatus::Ok => match entry::decode_key(&results[1].data) {
-                        Some(k) if k == self.key => self.to_install(c, slot, slot_word),
+                        Some(k) if k == self.key => self.enter_install(c, slot, slot_word),
                         // In collisionless mode slot ownership is
                         // deterministic, so a key mismatch (or an
                         // unparsable header) is damage, not another
@@ -739,7 +781,7 @@ impl PutOp {
                         _ if matches!(c.view.scheme, HashScheme::Collisionless) => {
                             c.integrity.note_detected();
                             self.verify_failed = true;
-                            self.to_install(c, slot, slot_word)
+                            self.enter_install(c, slot, slot_word)
                         }
                         _ => self.next_probe(c),
                     },
@@ -890,7 +932,7 @@ impl PutOp {
         ])
     }
 
-    fn to_install(&mut self, c: &PrismKvClient, slot: u64, old: [u8; 16]) -> KvStep {
+    fn enter_install(&mut self, c: &PrismKvClient, slot: u64, old: [u8; 16]) -> KvStep {
         match self.install_request(c, slot, old) {
             Some(req) => {
                 self.state = PutState::Install { slot, old };
@@ -1369,7 +1411,7 @@ mod tests {
         // — it never returns the rotted bytes.
         let (o, rtts) = drive_get(&s, &c, &key);
         assert_eq!(o, KvOutcome::Failed("persistent entry CRC mismatch"));
-        assert_eq!(rtts as u32, 1 + MAX_CRC_RETRIES, "bounded re-read budget");
+        assert_eq!(rtts, 1 + MAX_CRC_RETRIES, "bounded re-read budget");
         assert_eq!(c.integrity().detected(), (MAX_CRC_RETRIES + 1) as u64);
         assert_eq!(c.integrity().aborted(), 1);
         let (_, corrupt) = s.scrub();

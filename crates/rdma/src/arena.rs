@@ -147,7 +147,7 @@ impl MemoryArena {
     /// seqlock read protocol; loads are relaxed and validated afterwards.
     #[inline]
     fn copy_out(&self, off: usize, out: &mut [u8]) {
-        if off % 8 == 0 {
+        if off.is_multiple_of(8) {
             // Word-aligned fast path: one load per word, no per-byte
             // offset arithmetic. This is the shape of every line-sized
             // transfer, so it dominates READ throughput. The zip keeps
@@ -182,7 +182,7 @@ impl MemoryArena {
     /// because the lock excludes every other writer of the line.
     #[inline]
     fn copy_in(&self, off: usize, data: &[u8]) {
-        if off % 8 == 0 {
+        if off.is_multiple_of(8) {
             // Word-aligned fast path, mirroring `copy_out`.
             let words = &self.words[off / 8..off / 8 + data.len().div_ceil(8)];
             let mut chunks = data.chunks_exact(8);

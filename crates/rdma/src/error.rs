@@ -76,6 +76,19 @@ pub enum RdmaError {
     /// corruption — clients treat it like a lost message and retry;
     /// it never carries partial data.
     Corrupt,
+    /// The request was routed under an older shard-map epoch: the
+    /// cluster resharded since the client fetched its map, so the key
+    /// the request targets may live on a different server now. The
+    /// routing analog of [`RdmaError::StaleIncarnation`]: instead of
+    /// silently serving (or mutating) a possibly-moved key, the server
+    /// fences the request with a deterministic NACK and the client
+    /// recovers by refetching the shard map and rerouting.
+    StaleEpoch {
+        /// Epoch the request was stamped with.
+        seen: u64,
+        /// The server's current shard-map epoch.
+        current: u64,
+    },
 }
 
 impl fmt::Display for RdmaError {
@@ -113,6 +126,12 @@ impl fmt::Display for RdmaError {
                 )
             }
             RdmaError::Corrupt => write!(f, "frame failed integrity check (CRC mismatch)"),
+            RdmaError::StaleEpoch { seen, current } => {
+                write!(
+                    f,
+                    "request routed under shard-map epoch {seen} fenced (server is at epoch {current})"
+                )
+            }
         }
     }
 }
@@ -140,6 +159,7 @@ impl RdmaError {
             RdmaError::BadIndirectTarget(addr) => (9, addr, 0, 0),
             RdmaError::StaleIncarnation { seen, current } => (10, seen, current, 0),
             RdmaError::Corrupt => (11, 0, 0, 0),
+            RdmaError::StaleEpoch { seen, current } => (12, seen, current, 0),
         };
         let mut out = [0u8; ERROR_WIRE_LEN];
         out[0] = code;
@@ -177,6 +197,10 @@ impl RdmaError {
                 current: b,
             },
             11 => RdmaError::Corrupt,
+            12 => RdmaError::StaleEpoch {
+                seen: a,
+                current: b,
+            },
             _ => return None,
         })
     }
@@ -231,6 +255,10 @@ mod tests {
                 current: 5,
             },
             RdmaError::Corrupt,
+            RdmaError::StaleEpoch {
+                seen: 1,
+                current: 3,
+            },
         ];
         for e in all {
             assert_eq!(RdmaError::from_wire(&e.to_wire()), Some(e));

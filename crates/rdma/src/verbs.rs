@@ -104,7 +104,7 @@ impl RdmaNic {
     }
 
     fn check_atomic_target(&self, rkey: Rkey, addr: u64) -> Result<(), RdmaError> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(RdmaError::Misaligned { addr, required: 8 });
         }
         self.regions.validate(rkey, addr, 8, Access::Atomic)

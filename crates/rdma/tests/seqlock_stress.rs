@@ -26,11 +26,11 @@ fn concurrent_single_line_writes_never_tear() {
     // Each case picks the contended offset/length inside one line and
     // the writer count; threads then hammer that span.
     let cases = gens::t3(
-        gens::range_usize(0..LINE as usize),
-        gens::range_usize(1..LINE as usize + 1),
+        gens::range_usize(0..LINE),
+        gens::range_usize(1..LINE + 1),
         gens::range_usize(2..5),
     )
-    .filter(|(off, len, _)| off + len <= LINE as usize)
+    .filter(|(off, len, _)| off + len <= LINE)
     .map(|(off, len, writers)| (off, len.max(2), writers));
 
     for_all(

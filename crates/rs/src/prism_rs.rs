@@ -188,7 +188,8 @@ impl PrismRsServer {
         let pool_end = pool_base + pool_len;
         server.set_rpc_handler(Arc::new(move |req: &[u8]| {
             let free_one = |addr: u64| -> bool {
-                if addr >= pool_base && addr < pool_end && (addr - pool_base) % stride == 0 {
+                if addr >= pool_base && addr < pool_end && (addr - pool_base).is_multiple_of(stride)
+                {
                     freelists
                         .post(freelist, [addr])
                         .expect("freelist registered");
@@ -354,7 +355,12 @@ impl RsCluster {
             // their own checksum are never adopted: a rotted peer buffer
             // cannot poison the rejoiner.
             let mut best_tag = Tag::ZERO;
-            let mut best_val = vec![0u8; r.view.block_size as usize];
+            // `None` = the peers' winning entry is a migration fence
+            // (`[Tag::MAX | null addr]`, see the harness's live
+            // resharding): there is no buffer to copy, and the rejoined
+            // replica must keep refusing the block, so the fence itself
+            // is what gets adopted.
+            let mut best_val = Some(vec![0u8; r.view.block_size as usize]);
             for (j, peer) in self.replicas.iter().enumerate() {
                 if j == i {
                     continue;
@@ -368,6 +374,11 @@ impl RsCluster {
                 let tag = Tag::from_bytes(&meta[..8]);
                 if tag > best_tag {
                     let addr = u64::from_le_bytes(meta[8..16].try_into().expect("8 bytes"));
+                    if addr == 0 {
+                        best_tag = tag;
+                        best_val = None;
+                        continue;
+                    }
                     let buf = peer
                         .server
                         .arena()
@@ -377,22 +388,27 @@ impl RsCluster {
                         continue;
                     }
                     best_tag = tag;
-                    best_val = buf[BUF_HDR as usize..].to_vec();
+                    best_val = Some(buf[BUF_HDR as usize..].to_vec());
                 }
             }
-            let buf = r.pool_base + b * r.stride;
-            r.server
-                .arena()
-                .write(buf, &encode_block(best_tag, &best_val))
-                .expect("buffer in arena");
             let mut meta = Vec::with_capacity(META as usize);
             meta.extend_from_slice(&best_tag.to_bytes());
-            meta.extend_from_slice(&buf.to_le_bytes());
+            match &best_val {
+                Some(val) => {
+                    let buf = r.pool_base + b * r.stride;
+                    r.server
+                        .arena()
+                        .write(buf, &encode_block(best_tag, val))
+                        .expect("buffer in arena");
+                    meta.extend_from_slice(&buf.to_le_bytes());
+                }
+                None => meta.extend_from_slice(&0u64.to_le_bytes()),
+            }
             r.server
                 .arena()
                 .write(r.view.meta(b), &meta)
                 .expect("metadata in arena");
-            if best_tag > Tag::ZERO {
+            if best_tag > Tag::ZERO && best_val.is_some() {
                 self.resyncs.fetch_add(1, Relaxed);
             }
         }
@@ -422,6 +438,12 @@ impl RsCluster {
                 .read(v.meta(b), META)
                 .expect("metadata in arena");
             let addr = u64::from_le_bytes(meta[8..16].try_into().expect("8 bytes"));
+            if addr == 0 {
+                // Migration fence: the block moved groups; there is no
+                // buffer here to verify or repair.
+                ok += 1;
+                continue;
+            }
             let buf = r
                 .server
                 .arena()
@@ -447,6 +469,9 @@ impl RsCluster {
                     continue;
                 }
                 let paddr = u64::from_le_bytes(pmeta[8..16].try_into().expect("8 bytes"));
+                if paddr == 0 {
+                    continue;
+                }
                 let pbuf = peer
                     .server
                     .arena()

@@ -19,6 +19,15 @@ impl Tag {
     /// The initial tag of every register.
     pub const ZERO: Tag = Tag { ts: 0, id: 0 };
 
+    /// The largest representable tag — the migration fence value. No
+    /// writer ever produces it ([`Tag::successor`] from it would
+    /// overflow), so a metadata entry holding `MAX` permanently wins
+    /// every tag-ordered CAS: the block is fenced at its old owner.
+    pub const MAX: Tag = Tag {
+        ts: (1 << 48) - 1,
+        id: u16::MAX,
+    };
+
     /// Packs into the u64 whose numeric order equals tag order.
     ///
     /// # Panics
@@ -120,5 +129,17 @@ mod tests {
     #[should_panic(expected = "timestamp overflow")]
     fn overflow_guard() {
         Tag { ts: 1 << 48, id: 0 }.pack();
+    }
+
+    #[test]
+    fn fence_tag_is_the_numeric_maximum() {
+        assert_eq!(Tag::MAX.pack(), u64::MAX);
+        let biggest_producible = Tag {
+            ts: (1 << 48) - 2,
+            id: u16::MAX,
+        }
+        .successor(u16::MAX - 1);
+        assert!(Tag::MAX > biggest_producible);
+        assert_eq!(Tag::from_bytes(&Tag::MAX.to_bytes()), Tag::MAX);
     }
 }

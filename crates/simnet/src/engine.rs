@@ -354,7 +354,10 @@ impl<M> HeapQueue<M> {
     }
 }
 
-/// The kernel's event queue: timer wheel or heap oracle.
+/// The kernel's event queue: timer wheel or heap oracle. One queue
+/// exists per engine, so the wheel's inline level arrays (the size gap
+/// clippy flags) cost a few KB once, not per event.
+#[allow(clippy::large_enum_variant)]
 enum EventQueue<M> {
     Wheel(TimerWheel<M>),
     Heap(HeapQueue<M>),

@@ -153,7 +153,7 @@ impl Metrics {
     pub fn record(&mut self, name: &str, d: SimDuration) {
         self.histograms
             .entry(name.to_string())
-            .or_insert_with(Histogram::new)
+            .or_default()
             .record(d);
     }
 

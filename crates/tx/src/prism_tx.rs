@@ -203,7 +203,8 @@ impl TxServer {
         let pool_end = pool_base + pool_len;
         server.set_rpc_handler(Arc::new(move |req: &[u8]| {
             let free_one = |addr: u64| -> bool {
-                if addr >= pool_base && addr < pool_end && (addr - pool_base) % stride == 0 {
+                if addr >= pool_base && addr < pool_end && (addr - pool_base).is_multiple_of(stride)
+                {
                     freelists
                         .post(freelist, [addr])
                         .expect("freelist registered");
@@ -1205,8 +1206,8 @@ pub fn run_rmw(
             };
             let reply = execute_local(cluster.shard(shard).server(), &req);
             let s = op.on_reply(client, phase, idx, reply);
-            if s.done.is_some() {
-                return (s.done.expect("just checked"), attempt);
+            if let Some(done) = s.done {
+                return (done, attempt);
             }
             queue.extend(s.send);
             awaiting = s.awaiting_writes;

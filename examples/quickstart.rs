@@ -73,7 +73,7 @@ fn main() {
         field_mask(0, 8),
         full_mask(16),
     );
-    let r = server.execute_chain(&[install_newer.clone()]);
+    let r = server.execute_chain(std::slice::from_ref(&install_newer));
     println!("CAS v1 -> v2   -> {:?}", r[0].status);
     let r = server.execute_chain(&[install_newer]);
     println!(

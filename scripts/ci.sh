@@ -15,6 +15,11 @@
 #                           and sharded topologies: linearizable
 #                           histories, recovery protocols fired, replay
 #                           bit-exact
+#   5b. migration gate    — live 2→4 reshard fired mid-chaos-run by a
+#                           control event: linearizable through the
+#                           move, zero lost / duplicate blocks, replay
+#                           bit-exact (run explicitly so a filter change
+#                           in the chaos suite can't silently drop it)
 #   6. corruption matrix  — seeded bit flips, torn writes, and at-rest
 #                           rot: every injected fault detected or
 #                           repaired, counter conservation holds, and a
@@ -24,14 +29,17 @@
 #                           bit-exact open-loop sweep replay, and a
 #                           bit-exact 4-shard sharded sweep replay
 #                           (cluster routing + cross-shard doorbells)
-#   8. second-seed pass   — fault matrix + chaos gate + corruption
-#                           matrix + open-loop smoke again under a
-#                           different PRISM_TEST_SEED, so the gates
-#                           don't ossify around one lucky schedule
+#   8. second-seed pass   — fault matrix + chaos gate (incl. migration
+#                           gate) + corruption matrix + open-loop smoke
+#                           again under a different PRISM_TEST_SEED, so
+#                           the gates don't ossify around one lucky
+#                           schedule
 #   9. bench smoke        — substrate benches at 50 ms/bench, so a perf
 #                           regression that breaks the bench harness (or
 #                           an arena change that deadlocks it) fails CI
 #  10. cargo fmt --check  — skipped with a notice if rustfmt is absent
+#  11. cargo clippy       — -D warnings; skipped with a notice if
+#                           clippy is not installed
 #
 # The property suites print a PRISM_TEST_SEED on failure; re-run the
 # named test with that env var to reproduce the exact failing input.
@@ -54,6 +62,10 @@ cargo test -q --offline -p prism-harness --test fault_matrix
 echo "== chaos gate (fixed-seed linearizability under amnesia) =="
 cargo test -q --offline -p prism-harness --test chaos_gate
 
+echo "== migration gate (live 2->4 reshard under chaos) =="
+cargo test -q --offline -p prism-harness --test chaos_gate \
+    rs_migration_chaos_stays_linearizable_through_live_reshard
+
 echo "== corruption matrix (bit flips / torn writes / rot) =="
 cargo test -q --offline -p prism-harness --test corruption_matrix
 
@@ -65,6 +77,11 @@ PRISM_TEST_SEED=1806242025 cargo test -q --offline -p prism-harness \
     --test fault_matrix --test chaos_gate --test corruption_matrix \
     --test openloop_smoke
 
+echo "== migration gate, second seed =="
+PRISM_TEST_SEED=1806242025 cargo test -q --offline -p prism-harness \
+    --test chaos_gate \
+    rs_migration_chaos_stays_linearizable_through_live_reshard
+
 echo "== bench smoke (substrate, 50 ms/bench) =="
 PRISM_BENCH_MS=50 cargo bench -q --offline -p prism-bench --bench substrate
 
@@ -73,6 +90,13 @@ if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
 else
     echo "== fmt skipped (rustfmt not installed) =="
+fi
+
+if command -v cargo-clippy >/dev/null 2>&1; then
+    echo "== clippy (-D warnings) =="
+    cargo clippy -q --offline --all-targets -- -D warnings
+else
+    echo "== clippy skipped (clippy not installed) =="
 fi
 
 echo "ci.sh: all checks passed"

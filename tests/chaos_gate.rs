@@ -13,15 +13,16 @@ use std::sync::{Arc, Mutex};
 
 use prism_core::integrity::IntegrityStats;
 use prism_harness::adapters::PrismTxAdapter;
-use prism_harness::chaos::{check_history, ChaosKvAdapter, ChaosRsAdapter, HistOp};
+use prism_harness::chaos::{check_history, ChaosKvAdapter, ChaosRsAdapter, HistKind, HistOp};
 use prism_harness::cluster::{KvCluster, RsShards};
 use prism_harness::netsim::{run_closed_loop_with, RecoveryHooks, RunResult, VerbPath};
 use prism_kv::prism_kv::{PrismKvConfig, PrismKvServer};
-use prism_rs::prism_rs::{RsCluster, RsConfig};
+use prism_rs::prism_rs::{drive as rs_drive, RsCluster, RsConfig};
+use prism_rs::RsOutcome;
 use prism_simnet::fault::{ChaosSpec, FaultPlan};
 use prism_simnet::latency::CostModel;
 use prism_simnet::rng::SimRng;
-use prism_simnet::time::SimDuration;
+use prism_simnet::time::{SimDuration, SimTime};
 use prism_tx::prism_tx::{TxCluster, TxConfig};
 use prism_workload::{KeyDist, TxnGen};
 
@@ -66,7 +67,7 @@ fn fault_line(system: &str, r: &RunResult) {
     );
 }
 
-fn metrics_key(r: &RunResult) -> [u64; 14] {
+fn metrics_key(r: &RunResult) -> [u64; 16] {
     [
         r.tput_ops as u64,
         r.failed,
@@ -76,6 +77,8 @@ fn metrics_key(r: &RunResult) -> [u64; 14] {
         r.retries,
         r.giveups,
         r.fenced,
+        r.epoch_fenced,
+        r.stale_harvested,
         r.restarts,
         r.client_restarts,
         r.corruptions_injected,
@@ -90,8 +93,11 @@ fn metrics_key(r: &RunResult) -> [u64; 14] {
 // ---------------------------------------------------------------------
 
 fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
-    let mut config = RsConfig::paper(BLOCKS, VALUE as u64);
-    config.spare_buffers += 8_192;
+    // No extra spare-buffer provisioning: replies lost on the return leg
+    // are harvested for their orphaned allocations when they finally
+    // straggle in (`on_stale_reply`), so the paper's pool sizing holds
+    // even under sustained loss.
+    let config = RsConfig::paper(BLOCKS, VALUE as u64);
     let cluster = Arc::new(RsCluster::new(3, &config));
     let servers: Vec<_> = (0..3)
         .map(|i| Arc::clone(cluster.replica(i).server()))
@@ -107,6 +113,7 @@ fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         }),
         sweep: None,
         integrity: Some(Arc::clone(&integrity)),
+        control: None,
     };
     let spec = ChaosSpec {
         servers: 3,
@@ -188,8 +195,7 @@ fn rs_amnesia_chaos_stays_linearizable_and_rejoins() {
 // ---------------------------------------------------------------------
 
 fn rs_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
-    let mut config = RsConfig::paper(BLOCKS, VALUE as u64);
-    config.spare_buffers += 8_192;
+    let config = RsConfig::paper(BLOCKS, VALUE as u64);
     // Two 3-replica groups behind a seeded shard map: 6 servers flat.
     let shards = Arc::new(RsShards::new(2, 3, &config, seed));
     let servers = shards.servers();
@@ -204,6 +210,7 @@ fn rs_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         }),
         sweep: None,
         integrity: Some(Arc::clone(&integrity)),
+        control: None,
     };
     let spec = ChaosSpec {
         servers: 6,
@@ -285,14 +292,197 @@ fn rs_sharded_amnesia_chaos_stays_linearizable_and_rejoins() {
 }
 
 // ---------------------------------------------------------------------
+// PRISM-RS live resharding: a 2→4 grow lands mid-chaos
+// ---------------------------------------------------------------------
+
+/// Post-run direct reads (control-plane path, epoch-unstamped) used for
+/// the lost/duplicate-key audit after a live migration.
+fn rs_read_direct(
+    shards: &RsShards,
+    clients: &[prism_rs::RsClient],
+    g: usize,
+    b: u64,
+) -> RsOutcome {
+    let healthy = vec![false; shards.replicas()];
+    let (op, step) = clients[g].get(b);
+    rs_drive(shards.group(g), &clients[g], op, step, &healthy)
+}
+
+#[allow(clippy::type_complexity)]
+fn rs_migration_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64, Option<(u64, u64)>) {
+    let config = RsConfig::paper(BLOCKS, VALUE as u64);
+    // Four provisioned 3-replica groups, two active: 12 servers flat.
+    // Mid-run the control plane grows the map over all four.
+    let shards = Arc::new(RsShards::with_active(4, 2, 3, &config, seed));
+    let servers = shards.servers();
+    let history = Arc::new(Mutex::new(Vec::new()));
+    let integrity = Arc::new(IntegrityStats::new());
+    // `(new epoch, moved blocks)` once the migration has run.
+    let migration: Arc<Mutex<Option<(u64, u64)>>> = Arc::new(Mutex::new(None));
+    let hooks = RecoveryHooks {
+        on_restart: Some({
+            let shards = Arc::clone(&shards);
+            Arc::new(move |i| {
+                shards.amnesia_restart(i);
+            })
+        }),
+        sweep: None,
+        integrity: Some(Arc::clone(&integrity)),
+        // Fire the live 2→4 grow mid-measurement: stream moved blocks,
+        // fence old owners, flip the epoch, publish the map — atomically
+        // at one instant, while amnesia crashes and loss keep firing
+        // around it.
+        control: Some((SimTime::from_nanos(1_600_000), {
+            let shards = Arc::clone(&shards);
+            let migration = Arc::clone(&migration);
+            Arc::new(move || {
+                let (new_map, moved) = shards.migrate_grow(4);
+                *migration.lock().expect("migration lock") = Some((new_map.epoch(), moved));
+            })
+        })),
+    };
+    let spec = ChaosSpec {
+        servers: 12,
+        clients: 6,
+        horizon: HORIZON,
+        server_crashes: 2,
+        amnesia_fraction: 1.0,
+        client_crashes: 1,
+        partitions: 1,
+        drop_prob: 0.01,
+        dup_prob: 0.005,
+        jitter_ns: 1_000,
+        flip_req_prob: 0.01,
+        flip_reply_prob: 0.01,
+        torn_write_prob: 0.05,
+    };
+    let mut plan = FaultPlan::chaos(seed, &spec);
+    plan.timeout = SimDuration::micros(60);
+    let r = run_closed_loop_with(
+        &servers,
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        spec.clients,
+        &mut |i| {
+            Box::new(ChaosRsAdapter::sharded_live(
+                shards
+                    .open_clients()
+                    .into_iter()
+                    .map(|c| c.with_integrity(Arc::clone(&integrity)))
+                    .collect(),
+                shards.map_handle(),
+                i,
+                BLOCKS,
+                VALUE,
+                0.5,
+                Arc::clone(&history),
+            ))
+        },
+        WARMUP,
+        MEASURE,
+        seed,
+        &plan,
+        &hooks,
+    );
+    // Lost/duplicate-key audit, folded into the recorded history so the
+    // Wing–Gong checker vouches for the final values too. Every block
+    // must be readable at its post-migration home (nothing lost), and a
+    // moved block's old group must refuse to serve it (no duplicate
+    // owner behind the epoch fence).
+    let old_map = prism_harness::cluster::ShardMap::new(2, seed);
+    let new_map = shards.map();
+    let clients = shards.open_clients();
+    {
+        let mut h = history.lock().expect("history lock");
+        for b in 0..BLOCKS {
+            let home = new_map.shard_of_id(b);
+            match rs_read_direct(&shards, &clients, home, b) {
+                RsOutcome::Value(v) => h.push(HistOp {
+                    client: 999,
+                    key: b,
+                    invoke: SimTime::from_nanos(3_000_000 + b),
+                    complete: Some(SimTime::from_nanos(3_100_000 + b)),
+                    kind: HistKind::Get {
+                        nonce: u64::from_le_bytes(v[..8].try_into().expect("8 bytes")),
+                    },
+                }),
+                other => panic!("block {b} lost after migration: {other:?}"),
+            }
+            let old_home = old_map.shard_of_id(b);
+            if old_home != home {
+                assert!(
+                    !matches!(
+                        rs_read_direct(&shards, &clients, old_home, b),
+                        RsOutcome::Value(_)
+                    ),
+                    "moved block {b} still served by its fenced old group {old_home}"
+                );
+            }
+        }
+    }
+    let h = history.lock().expect("history lock").clone();
+    let m = *migration.lock().expect("migration lock");
+    (r, h, shards.rejoins(), shards.resyncs(), m)
+}
+
+/// The tentpole gate: linearizability through a live 2→4 reshard. Mid-
+/// run, the control plane streams moved blocks to their new home
+/// groups, fences the old owners, and flips the epoch; servers NACK
+/// stale-routed requests, clients refetch the map and reroute their
+/// in-flight machines; amnesia crashes and loss keep firing throughout.
+/// The gate demands that the epoch fence visibly fired, that the
+/// cross-epoch history (final values included) passes Wing–Gong, that
+/// no block was lost or kept a duplicate owner, and that the same seed
+/// replays bit-exactly.
+#[test]
+fn rs_migration_chaos_stays_linearizable_through_live_reshard() {
+    let seed = seed_or(0xC4A0_0006);
+    let (r, history, rejoins, resyncs, migration) = rs_migration_chaos(seed);
+    fault_line("rs-migration", &r);
+    let (epoch, moved) = migration.expect("the control-plane migration must have run");
+    println!(
+        "rs-migration: epoch={epoch} moved={moved} epoch_fenced={}",
+        r.epoch_fenced
+    );
+    assert!(r.tput_ops > 0.0, "no progress under migration chaos: {r:?}");
+    assert_eq!(epoch, 2, "one grow bumps the seed map's epoch 1 → 2");
+    assert!(moved > 0, "a 2→4 grow over {BLOCKS} blocks must move some");
+    assert!(
+        r.epoch_fenced > 0,
+        "stale-routed requests must be fenced by the epoch check: {r:?}"
+    );
+    assert!(r.restarts > 0, "no amnesia window fired: {r:?}");
+    // Resyncs are seed-dependent here: with twelve servers the crash
+    // schedule may land on standby-group replicas holding no written
+    // blocks, which rejoin without copying anything. Rejoining itself
+    // is mandatory; the resync count only has to replay bit-exactly.
+    assert!(
+        rejoins > 0,
+        "restarted replicas must rejoin (rejoins={rejoins})"
+    );
+    assert!(!history.is_empty(), "history must be recorded");
+    check_history(&history).expect("history must stay linearizable through the live reshard");
+
+    let (r2, history2, rejoins2, resyncs2, migration2) = rs_migration_chaos(seed);
+    assert_eq!(
+        metrics_key(&r),
+        metrics_key(&r2),
+        "replay must be bit-exact"
+    );
+    assert_eq!(history, history2, "recorded histories must be bit-exact");
+    assert_eq!((rejoins, resyncs), (rejoins2, resyncs2));
+    assert_eq!(migration, migration2);
+}
+
+// ---------------------------------------------------------------------
 // PRISM-KV: recover crashes, client crashes, partitions
 // ---------------------------------------------------------------------
 
 fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
-    let mut config = PrismKvConfig::paper(BLOCKS, VALUE);
-    // Lost replies leak buffers until their frees are resent; give the
-    // faulted store headroom.
-    config.classes[0].count += 8_192;
+    // No extra buffer headroom: a reply lost on the return leg is
+    // harvested for its orphaned allocation when it straggles in
+    // (`on_stale_reply`), so lost replies no longer leak buffers.
+    let config = PrismKvConfig::paper(BLOCKS, VALUE);
     let server = PrismKvServer::new(&config);
     let servers = vec![Arc::clone(server.server())];
     let history = Arc::new(Mutex::new(Vec::new()));
@@ -378,8 +568,7 @@ fn kv_chaos_stays_linearizable_per_key() {
 // ---------------------------------------------------------------------
 
 fn kv_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
-    let mut config = PrismKvConfig::paper(BLOCKS, VALUE);
-    config.classes[0].count += 8_192;
+    let config = PrismKvConfig::paper(BLOCKS, VALUE);
     let cluster = KvCluster::new(2, &config, seed);
     let servers = cluster.servers();
     let history = Arc::new(Mutex::new(Vec::new()));
@@ -471,6 +660,10 @@ fn kv_sharded_chaos_stays_linearizable_per_key() {
 
 fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
     let mut config = TxConfig::paper(64, VALUE as u64);
+    // Unlike the KV/RS gates (whose lost-reply leaks are now harvested
+    // via `on_stale_reply`), TX headroom here covers buffers held by
+    // *dangling prepares* of crashed clients — live protocol state
+    // until the cooperative-termination sweep reclaims it, not a leak.
     config.spare_buffers += 8_192;
     let cluster = Arc::new(TxCluster::new(1, &config));
     let servers = vec![Arc::clone(cluster.shard(0).server())];
@@ -484,6 +677,7 @@ fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
             })
         })),
         integrity: Some(Arc::clone(&integrity)),
+        control: None,
     };
     // No server crash windows, so torn writes cannot be scheduled here;
     // both frame legs still see flips.

@@ -202,6 +202,77 @@ fn rs_pool_exhaustion_fails_clean_under_heavy_loss() {
     );
 }
 
+/// Regression for the loss-driven buffer spiral: under sustained reply
+/// loss, PRISM-KV's pool level must stay *bounded by the fault counts*
+/// — every missing buffer is either live in a slot, leaked by one lost
+/// reply, or held by a frozen in-flight op — rather than spiraling with
+/// run length as the old "provision more spares" workaround assumed.
+/// And the leak is recoverable: one server-side [`PrismKvServer::
+/// gc_sweep`] walks slots vs pools and restores the level to exactly
+/// `count − live`.
+#[test]
+fn kv_long_loss_leak_is_bounded_and_gc_sweep_restores_the_pool() {
+    let seed = seed();
+    let config = PrismKvConfig::paper(KEYS, VALUE);
+    let server = PrismKvServer::new(&config);
+    kv_exp::preload_prism(&server, KEYS, VALUE);
+    let servers = vec![Arc::clone(server.server())];
+    // Four measurement windows of two-sided loss: long enough that an
+    // unbounded per-op leak would visibly outrun the drop count.
+    let plan = FaultPlan::seeded(seed)
+        .with_timeout(SimDuration::micros(60))
+        .with_loss(0.10, 0.10);
+    let clients = 4u64;
+    let r = run_closed_loop(
+        &servers,
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        clients as usize,
+        &mut |i| {
+            Box::new(PrismKvAdapter::new(
+                server.open_client(),
+                YcsbConfig {
+                    dist: KeyDist::uniform(KEYS),
+                    read_fraction: 0.5,
+                    value_len: VALUE,
+                },
+                SimRng::new(seed ^ ((i as u64 + 1) * 7)),
+            ))
+        },
+        WARMUP,
+        SimDuration::from_nanos(4 * 1_200_000),
+        seed,
+        &plan,
+    );
+    assert!(r.drops > 0, "loss never bit: {r:?}");
+    assert!(r.tput_ops > 0.0, "no progress under long loss: {r:?}");
+
+    let (id, _) = server.view().classes[0];
+    let count = config.classes[0].count;
+    let (live, _) = server.scrub();
+    let available = server.server().freelists().available(id) as u64;
+    let leaked = count - live - available;
+    // Bounded: at most one buffer per dropped/timed-out reply plus one
+    // per client frozen mid-op at the horizon — never "per operation".
+    assert!(
+        leaked <= r.drops + r.timeouts + clients,
+        "leak must be bounded by fault counts, not run length: \
+         leaked={leaked} drops={} timeouts={}",
+        r.drops,
+        r.timeouts
+    );
+
+    // Detect-and-repair: the sweep finds exactly the leaked buffers and
+    // the pool returns to its no-leak level.
+    let reclaimed = server.gc_sweep() as u64;
+    assert_eq!(reclaimed, leaked, "gc must reclaim exactly the leak");
+    assert_eq!(
+        server.server().freelists().available(id) as u64,
+        count - live,
+        "after gc every buffer is either live in a slot or free"
+    );
+}
+
 #[test]
 fn tx_survives_the_fault_matrix() {
     let seed = seed();

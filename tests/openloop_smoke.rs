@@ -55,6 +55,7 @@ impl ProtoAdapter for RetryingRead {
             tag: 0,
             req: Request::Chain(vec![ops::read(self.addr, 512, self.rkey)]),
             background: false,
+            epoch: 0,
         }]
     }
 
@@ -201,8 +202,8 @@ fn trace_replay_completes_every_arrival() {
     // 300 arrivals: a 3 µs-spaced ramp, then a 100-wide instantaneous
     // burst (gap 0), then sparse stragglers — all inside the window.
     let mut gaps = vec![3_000u64; 100];
-    gaps.extend(std::iter::repeat(0).take(100));
-    gaps.extend(std::iter::repeat(10_000).take(100));
+    gaps.extend(std::iter::repeat_n(0, 100));
+    gaps.extend(std::iter::repeat_n(10_000, 100));
     let cfg = OpenLoopConfig {
         arrivals: ArrivalSpec::Trace { gaps },
         logical_clients: 64,
@@ -238,6 +239,55 @@ fn trace_replay_completes_every_arrival() {
         &RecoveryHooks::default(),
     );
     assert_eq!(a, b, "trace replay must be bit-exact");
+}
+
+/// The connection-recycling contract behind [`sweep_rates`]: one system
+/// serves every swept rate. Each point's adapters open a connection per
+/// live slot, and the sweep hangs all of them up between points
+/// ([`prism_core::PrismServer::close_all_connections`]), so the
+/// recycled slots absorb the next point's opens. Three points × 1 500
+/// connections = 4 500 opens against a 4 096-slot scratch table — the
+/// sweep only completes because slots are freed and reused; before
+/// recycling this forced a cold-started system per point.
+#[test]
+fn rate_sweep_reuses_one_system_through_recycled_connections() {
+    use prism_harness::openloop::sweep_rates;
+    let (s, addr, rkey) = stall_server();
+    let knobs = OpenLoopKnobs {
+        rates_per_sec: vec![1e5, 2e5, 3e5],
+        logical_clients: 1_500,
+        max_inflight: 0,
+        actors: 4,
+        warmup: SimDuration::micros(100),
+        measure: SimDuration::millis(1),
+    };
+    let server = Arc::clone(&s);
+    let results = sweep_rates(
+        &[Arc::clone(&s)],
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        &knobs,
+        seed(),
+        &FaultPlan::default(),
+        || {
+            let server = Arc::clone(&server);
+            Rc::new(RefCell::new(move |_i: usize| {
+                // One on-NIC scratch slot per live adapter slot, held
+                // until the sweep hangs up between points.
+                let _conn = server.open_connection();
+                Box::new(RetryingRead { addr, rkey }) as Box<dyn ProtoAdapter>
+            })) as AdapterFactory
+        },
+    );
+    assert_eq!(results.len(), 3, "every swept rate must produce a point");
+    for (rate, r) in &results {
+        assert!(r.completed > 0, "no completions at {rate} ops/s");
+    }
+    assert_eq!(
+        s.connections_open(),
+        0,
+        "the sweep must hang up every connection it opened"
+    );
 }
 
 /// The sharded counterpart of the sweep-replay smoke: a 4-shard

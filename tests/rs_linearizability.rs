@@ -30,12 +30,7 @@ struct Event {
 /// values, initial value 0. Exponential in the worst case; histories
 /// here are small (tens of events per register).
 fn is_linearizable(history: &[Event]) -> bool {
-    fn search(
-        pending: &mut Vec<Event>,
-        state: u8,
-        done: &mut Vec<bool>,
-        history: &[Event],
-    ) -> bool {
+    fn search(state: u8, done: &mut Vec<bool>, history: &[Event]) -> bool {
         if done.iter().all(|&d| d) {
             return true;
         }
@@ -64,7 +59,7 @@ fn is_linearizable(history: &[Event]) -> bool {
                 OpKind::Write(v) => v,
             };
             done[i] = true;
-            if search(pending, next_state, done, history) {
+            if search(next_state, done, history) {
                 return true;
             }
             done[i] = false;
@@ -72,7 +67,7 @@ fn is_linearizable(history: &[Event]) -> bool {
         false
     }
     let mut done = vec![false; history.len()];
-    search(&mut Vec::new(), 0, &mut done, history)
+    search(0, &mut done, history)
 }
 
 #[test]
@@ -161,7 +156,7 @@ fn concurrent_history_is_linearizable() {
                 std::thread::spawn(move || {
                     let client = cluster.open_client();
                     for i in 0..8u8 {
-                        let write = (t + i + seed as u8) % 2 == 0;
+                        let write = (t + i + seed as u8).is_multiple_of(2);
                         let start = clock.fetch_add(1, Ordering::SeqCst);
                         let kind = if write {
                             let v = t * 10 + i + 1;
