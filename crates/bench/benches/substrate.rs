@@ -245,6 +245,50 @@ fn bench_verbs(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_recovery(c: &mut Criterion) {
+    use prism_rs::prism_rs::{drive, RsCluster, RsConfig};
+    use prism_rs::RsOutcome;
+
+    const BLOCKS: u64 = 64;
+    const VALUE: usize = 64;
+
+    let mut g = c.benchmark_group("recovery");
+    let config = RsConfig::paper(BLOCKS, VALUE as u64);
+    let cluster = RsCluster::new(3, &config);
+    let client = cluster.open_client();
+    for b in 0..BLOCKS {
+        let v: Vec<u8> = (0..VALUE)
+            .map(|i| (b as u8).wrapping_add(i as u8))
+            .collect();
+        let (op, step) = client.put(b, v);
+        assert_eq!(
+            drive(&cluster, &client, op, step, &[false; 3]),
+            RsOutcome::Written
+        );
+    }
+
+    g.bench_function("replay_vs_resync_intact_log", |b| {
+        // The new recovery path: an amnesia restart replays the local
+        // segment log and the delta probe fetches nothing — the whole
+        // block set comes back without touching a peer buffer.
+        b.iter(|| {
+            std::hint::black_box(cluster.amnesia_restart(1));
+        });
+    });
+    g.bench_function("replay_vs_resync_wiped_disk", |b| {
+        // The pre-durability baseline: every restart was this — no
+        // local log, every block fetched from a peer quorum. The wipe
+        // inside the loop keeps each iteration a cold, full resync
+        // (rejoin re-logs what it adopts, which would otherwise turn
+        // iteration two into a replay).
+        b.iter(|| {
+            cluster.replica(1).store().wipe();
+            std::hint::black_box(cluster.amnesia_restart(1));
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_des,
@@ -252,6 +296,7 @@ criterion_group!(
     bench_wire,
     bench_workload,
     bench_memory,
-    bench_verbs
+    bench_verbs,
+    bench_recovery
 );
 criterion_main!(benches);

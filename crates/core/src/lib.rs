@@ -80,5 +80,5 @@ pub mod wire;
 pub use builder::ChainBuilder;
 pub use engine::{OpResult, OpStatus, PrismEngine};
 pub use op::{DataArg, FreeListId, PrismOp, Redirect};
-pub use server::PrismServer;
+pub use server::{ChainObserver, PrismServer};
 pub use value::CasMode;

@@ -42,6 +42,16 @@ where
     }
 }
 
+/// Observer invoked after every executed chain, with the ops and their
+/// results. This is the durability tap: a store layer watches for
+/// successful installs (the CAS linearization points of KV PUTs and RS
+/// writes) and logs them to its local segment log. The observer runs
+/// after the engine under no engine locks, so it may read the arena.
+pub trait ChainObserver: Send + Sync {
+    /// Called once per executed chain, after the engine has run it.
+    fn on_chain(&self, server: &PrismServer, chain: &[PrismOp], results: &[OpResult]);
+}
+
 /// On-NIC scratch region size (§4.2: 256 KB on ConnectX-5).
 const ONNIC_SCRATCH: u64 = 256 * 1024;
 
@@ -55,6 +65,7 @@ pub struct PrismServer {
     carver: Mutex<Carver>,
     conns: ConnectionTable,
     rpc: Mutex<Option<Arc<dyn RpcHandler>>>,
+    observer: Mutex<Option<Arc<dyn ChainObserver>>>,
     /// Shard-map epoch this server believes is current. 0 = unsharded
     /// (no map installed); requests stamped 0 are never epoch-fenced.
     epoch: AtomicU64,
@@ -88,6 +99,7 @@ impl PrismServer {
             carver: Mutex::new(carver),
             conns,
             rpc: Mutex::new(None),
+            observer: Mutex::new(None),
             epoch: AtomicU64::new(0),
         }
     }
@@ -202,14 +214,30 @@ impl PrismServer {
 
     /// Executes a PRISM chain on the data plane.
     pub fn execute_chain(&self, chain: &[PrismOp]) -> Vec<OpResult> {
-        self.engine.execute_chain(chain)
+        let results = self.engine.execute_chain(chain);
+        self.notify_observer(chain, &results);
+        results
     }
 
     /// Executes a PRISM chain into a reusable results vector — the
     /// zero-alloc fast path (see
     /// [`crate::engine::PrismEngine::execute_chain_into`]).
     pub fn execute_chain_into(&self, chain: &[PrismOp], results: &mut Vec<OpResult>) {
-        self.engine.execute_chain_into(chain, results)
+        self.engine.execute_chain_into(chain, results);
+        self.notify_observer(chain, results);
+    }
+
+    fn notify_observer(&self, chain: &[PrismOp], results: &[OpResult]) {
+        let observer = self.observer.lock().clone();
+        if let Some(obs) = observer {
+            obs.on_chain(self, chain, results);
+        }
+    }
+
+    /// Installs the chain observer (the durable-store tap). One observer
+    /// per server; installing again replaces it.
+    pub fn set_chain_observer(&self, observer: Arc<dyn ChainObserver>) {
+        *self.observer.lock() = Some(observer);
     }
 
     /// Models a **fail-stop-amnesia** restart: the host loses all of its

@@ -296,6 +296,24 @@ impl ProtoAdapter for PrismKvAdapter {
     }
 
     fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        if let Some(inc) = reply.stale_incarnation() {
+            // An amnesia-restarted shard fenced our pre-crash rkeys:
+            // restamp them with its new incarnation (the rejoin replay
+            // is server-side; the client only needs fresh capabilities)
+            // and re-arm the same machine — the fenced request never
+            // executed.
+            self.clients[self.shard].refence(inc);
+            if self.retries >= TRANSPORT_RETRY_BUDGET {
+                self.current = None;
+                self.op = None;
+                return AdapterStep::GiveUp { sends: Vec::new() };
+            }
+            self.retries += 1;
+            return AdapterStep::Retry {
+                sends: Vec::new(),
+                wait: transport_backoff(self.retries),
+            };
+        }
         if let Some(current) = reply.stale_epoch() {
             // The server fenced our request under a newer shard-map
             // epoch, so it never executed: refetch the map, reroute the

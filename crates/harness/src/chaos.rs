@@ -751,6 +751,25 @@ impl ProtoAdapter for ChaosKvAdapter {
     }
 
     fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+        if let Some(inc) = reply.stale_incarnation() {
+            // An amnesia-restarted shard fenced our pre-crash rkeys:
+            // restamp them with its new incarnation (the rejoin replay
+            // is server-side; the client only needs fresh capabilities)
+            // and re-arm the same machine via resume() — the fenced
+            // request never executed, and the history record stays open.
+            self.clients[self.shard].refence(inc);
+            if self.retries >= RETRY_BUDGET {
+                self.current = None;
+                self.op = None;
+                self.rec = None; // abandoned → uncertain
+                return AdapterStep::GiveUp { sends: Vec::new() };
+            }
+            self.retries += 1;
+            return AdapterStep::Retry {
+                sends: Vec::new(),
+                wait: backoff(self.retries),
+            };
+        }
         if let Some(current) = reply.stale_epoch() {
             // The server fenced our request under a newer shard-map
             // epoch, so it never executed: refetch the map, reroute the

@@ -43,6 +43,7 @@ use prism_kv::{KvOutcome, KvStep};
 use prism_rdma::sync::Mutex;
 use prism_rs::prism_rs::{drive as rs_drive, RsClient, RsCluster, RsConfig, RsOutcome};
 use prism_rs::tag::Tag;
+use prism_store::DurableStats;
 use prism_workload::ycsb::value_bytes;
 
 /// 64-bit finalizer (splitmix-style avalanche): turns the raw key hash
@@ -195,6 +196,7 @@ impl MapHandle {
 pub struct KvCluster {
     shards: Vec<PrismKvServer>,
     handle: MapHandle,
+    durable: Arc<DurableStats>,
 }
 
 impl KvCluster {
@@ -210,7 +212,14 @@ impl KvCluster {
     /// epoch at build time.
     pub fn with_active(total: usize, active: usize, config: &PrismKvConfig, seed: u64) -> Self {
         assert!(active >= 1 && active <= total, "active shards out of range");
-        let shards: Vec<PrismKvServer> = (0..total).map(|_| PrismKvServer::new(config)).collect();
+        let durable = Arc::new(DurableStats::new());
+        let shards: Vec<PrismKvServer> = (0..total)
+            .map(|_| {
+                let mut s = PrismKvServer::new(config);
+                s.set_durable_stats(Arc::clone(&durable));
+                s
+            })
+            .collect();
         let map = ShardMap::new(active, seed);
         for s in &shards {
             s.server().install_epoch(map.epoch());
@@ -218,7 +227,20 @@ impl KvCluster {
         KvCluster {
             shards,
             handle: MapHandle::new(map),
+            durable,
         }
+    }
+
+    /// The cluster's durable-recovery counters (shared by every shard;
+    /// the harness folds these into `RunResult`).
+    pub fn durable_stats(&self) -> &Arc<DurableStats> {
+        &self.durable
+    }
+
+    /// Amnesia-restarts shard `i` and replays its segment log (the
+    /// chaos gate's restart hook). Returns the shard's new incarnation.
+    pub fn amnesia_restart(&self, i: usize) -> u64 {
+        self.shards[i].amnesia_restart()
     }
 
     /// The current shard map (clients clone it for local routing; under
@@ -402,6 +424,7 @@ pub struct RsShards {
     groups: Vec<RsCluster>,
     replicas: usize,
     handle: MapHandle,
+    durable: Arc<DurableStats>,
 }
 
 impl RsShards {
@@ -423,8 +446,13 @@ impl RsShards {
         seed: u64,
     ) -> Self {
         assert!(active >= 1 && active <= total, "active groups out of range");
+        let durable = Arc::new(DurableStats::new());
         let groups: Vec<RsCluster> = (0..total)
-            .map(|_| RsCluster::new(replicas, config))
+            .map(|_| {
+                let mut c = RsCluster::new(replicas, config);
+                c.set_durable_stats(Arc::clone(&durable));
+                c
+            })
             .collect();
         let map = ShardMap::new(active, seed);
         for g in &groups {
@@ -436,7 +464,14 @@ impl RsShards {
             groups,
             replicas,
             handle: MapHandle::new(map),
+            durable,
         }
+    }
+
+    /// The shard set's durable-recovery counters (shared by every
+    /// group; the harness folds these into `RunResult`).
+    pub fn durable_stats(&self) -> &Arc<DurableStats> {
+        &self.durable
     }
 
     /// The current group-level shard map.
@@ -497,7 +532,12 @@ impl RsShards {
                 RsOutcome::Written => {}
                 other => panic!("migration install of moved block {b} failed: {other:?}"),
             }
-            // Fence the old owners.
+            // Fence the old owners — in memory and in the log. The
+            // arena write is a direct control-plane poke the chain
+            // observer never sees, so the durable fence record is
+            // logged explicitly: without it, an old owner's amnesia
+            // replay would resurrect the moved block from its pre-fence
+            // install records.
             for r in 0..self.replicas {
                 let replica = self.groups[from].replica(r);
                 replica
@@ -505,6 +545,7 @@ impl RsShards {
                     .arena()
                     .write(replica.view().meta(b), &fence)
                     .expect("metadata in arena");
+                replica.log_fence(b, new.epoch());
             }
             if !fenced_groups.contains(&from) {
                 fenced_groups.push(from);

@@ -31,6 +31,7 @@ use prism_simnet::latency::CostModel;
 use prism_simnet::resources::{LinkShaper, ServiceCenter};
 use prism_simnet::rng::SimRng;
 use prism_simnet::time::{SimDuration, SimTime};
+use prism_store::DurableStats;
 
 /// One message a protocol adapter wants sent.
 #[derive(Debug)]
@@ -229,6 +230,12 @@ pub enum SimMsg {
     /// inside one of this server's crash windows (the plan validator
     /// enforces the coverage).
     Rot(usize),
+    /// Server self-message carrying an index into the plan's
+    /// [`prism_simnet::fault::DiskRotEvent`] list: at-rest bit rot on
+    /// this server's durable segment log. Unlike memory rot it needs no
+    /// crash window — disks decay while the host is up — and it only
+    /// bites when the server later replays the damaged log.
+    DiskRot(usize),
     /// One-shot control-plane event ([`RecoveryHooks::control`]),
     /// scheduled on server actor 0 and executed synchronously.
     Control,
@@ -253,6 +260,15 @@ pub enum SimMsg {
 ///
 /// A recovery callback invoked with the server index.
 pub type ServerHook = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// A disk-tear callback invoked with the server index and a dedicated
+/// randomness stream (tear-point draws must never touch the request
+/// schedule's RNGs).
+pub type DiskHook = Arc<dyn Fn(usize, &mut SimRng) + Send + Sync>;
+
+/// A disk-rot callback: server index, the event's seeded stream, and
+/// the number of bits to flip.
+pub type DiskRotHook = Arc<dyn Fn(usize, &mut SimRng, u32) + Send + Sync>;
 
 /// The default has no hooks and schedules zero extra events, so every
 /// existing experiment stays bit-identical to a build without the
@@ -281,6 +297,20 @@ pub struct RecoveryHooks {
     /// respect to every request: traffic sent before the instant
     /// arrives after it stamped with the old epoch and is fenced.
     pub control: Option<(SimTime, Arc<dyn Fn() + Send + Sync>)>,
+    /// Tears the server's durable segment log at an amnesia-window
+    /// close, when the plan's `disk_torn_prob` fires: invoked with the
+    /// server index and the actor's dedicated disk-fault stream,
+    /// *before* `on_restart`, so the rejoin replays the damaged log.
+    pub disk_tear: Option<DiskHook>,
+    /// Applies at-rest rot to the server's segment log for one
+    /// [`prism_simnet::fault::DiskRotEvent`]: invoked with the server
+    /// index, the event's own seeded stream, and the bit count.
+    pub disk_rot: Option<DiskRotHook>,
+    /// Durable-recovery counters shared with the run's clusters (via
+    /// their `durable_stats` accessors). Reset at the warmup/measure
+    /// boundary and folded into the replay/delta-resync fields of
+    /// [`RunResult`].
+    pub durable: Option<Arc<DurableStats>>,
 }
 
 impl std::fmt::Debug for RecoveryHooks {
@@ -290,6 +320,9 @@ impl std::fmt::Debug for RecoveryHooks {
             .field("sweep_interval", &self.sweep.as_ref().map(|(i, _)| *i))
             .field("integrity", &self.integrity.is_some())
             .field("control_at", &self.control.as_ref().map(|(t, _)| *t))
+            .field("disk_tear", &self.disk_tear.is_some())
+            .field("disk_rot", &self.disk_rot.is_some())
+            .field("durable", &self.durable.is_some())
             .finish()
     }
 }
@@ -325,6 +358,10 @@ pub struct ServerActor {
     /// gets its own stream on top: arming the corruption modes must not
     /// perturb where an existing plan's drops and jitter land.
     corrupt_rng: SimRng,
+    /// Disk-fault randomness (tear fire/point draws) on its own stream
+    /// again: arming the durable-tier faults must not perturb where the
+    /// memory-level corruption of an existing plan lands.
+    disk_rng: SimRng,
     hooks: RecoveryHooks,
 }
 
@@ -344,6 +381,7 @@ impl ServerActor {
         let cores = ServiceCenter::new(model.server_cores);
         let fault_rng = SimRng::new(faults.seed ^ 0x5E7E_C7ED ^ ((index as u64 + 1) << 24));
         let corrupt_rng = SimRng::new(faults.seed ^ 0xB17F_0B17 ^ ((index as u64 + 1) << 24));
+        let disk_rng = SimRng::new(faults.seed ^ 0xD15C_7EA2 ^ ((index as u64 + 1) << 24));
         ServerActor {
             server,
             model,
@@ -355,6 +393,7 @@ impl ServerActor {
             faults,
             fault_rng,
             corrupt_rng,
+            disk_rng,
             hooks,
         }
     }
@@ -456,6 +495,11 @@ impl Actor<SimMsg> for ServerActor {
                 ctx.send_at(me, ev.at, SimMsg::Rot(i));
             }
         }
+        for (i, ev) in self.faults.disk_rot.iter().enumerate() {
+            if ev.server == self.index {
+                ctx.send_at(me, ev.at, SimMsg::DiskRot(i));
+            }
+        }
         if let Some((interval, _)) = &self.hooks.sweep {
             ctx.send_in(me, *interval, SimMsg::Sweep);
         }
@@ -507,6 +551,20 @@ impl Actor<SimMsg> for ServerActor {
                 ctx.metrics().add("fault_corrupt_injected", 1);
                 return;
             }
+            SimMsg::DiskRot(i) => {
+                // At-rest rot on the durable segment log: bit positions
+                // come from a per-event stream, so request traffic never
+                // perturbs where the rot lands. The damage is latent —
+                // it only bites when a later amnesia replay hits the
+                // corrupt frame and the CRC rejects it.
+                let bits = self.faults.disk_rot[i].bits;
+                let mut rng = SimRng::new(self.faults.seed ^ 0xD15C_0707 ^ ((i as u64 + 1) << 8));
+                if let Some(f) = &self.hooks.disk_rot {
+                    f(self.index, &mut rng, bits);
+                    ctx.metrics().add("fault_disk_rot_events", 1);
+                }
+                return;
+            }
             SimMsg::Restart => {
                 // The amnesia window closed: the host reboots empty
                 // under a bumped incarnation. The rejoin hook (if any)
@@ -516,6 +574,18 @@ impl Actor<SimMsg> for ServerActor {
                 // crash window still covers this instant: the wipe is
                 // what the overlapping window's requests must not see
                 // surviving.
+                //
+                // Disk tears fire first: the crash that took the host
+                // down also cut whatever the log was flushing mid-write,
+                // and the rejoin below must replay the *damaged* log.
+                if self.faults.disk_torn_prob > 0.0
+                    && self.disk_rng.gen_bool(self.faults.disk_torn_prob)
+                {
+                    if let Some(f) = &self.hooks.disk_tear {
+                        f(self.index, &mut self.disk_rng);
+                        ctx.metrics().add("fault_disk_tears", 1);
+                    }
+                }
                 ctx.metrics().add("fault_restarts", 1);
                 match &self.hooks.on_restart {
                     Some(f) => f(self.index),
@@ -1166,6 +1236,7 @@ impl Actor<SimMsg> for ClientActor {
             SimMsg::Req { .. }
             | SimMsg::Sweep
             | SimMsg::Rot(_)
+            | SimMsg::DiskRot(_)
             | SimMsg::Control
             | SimMsg::Arrival
             | SimMsg::OlKick { .. } => {
@@ -1231,6 +1302,18 @@ pub struct RunResult {
     /// Corruption incidents that ended in a clean typed failure — an
     /// abort, never a silently wrong answer.
     pub aborted_corrupt: u64,
+    /// Records recovered from local segment logs by amnesia replays
+    /// (via [`RecoveryHooks::durable`]).
+    pub replayed: u64,
+    /// Blocks fetched from peers during delta resync — only those newer
+    /// than the replayed high-water mark. With intact logs this is a
+    /// small fraction of what a full resync would have moved.
+    pub delta_resynced: u64,
+    /// Segment tails truncated at a torn or rotted frame during replay.
+    pub segments_truncated: u64,
+    /// Amnesia-window closes at which the fault fabric tore the
+    /// server's unsynced log tail.
+    pub disk_tears: u64,
 }
 
 /// Runs a closed-loop experiment: `n_clients` clients over the given
@@ -1314,12 +1397,20 @@ pub fn run_closed_loop_with(
         // Value-layer counters cover the same window as the metrics.
         integrity.reset();
     }
+    if let Some(durable) = &hooks.durable {
+        durable.reset();
+    }
     sim.run_for(measure);
     let metrics = sim.metrics();
     let (val_detected, val_repaired, val_aborted) = hooks
         .integrity
         .as_ref()
         .map(|s| (s.detected(), s.repaired(), s.aborted()))
+        .unwrap_or((0, 0, 0));
+    let (replayed, delta_resynced, segments_truncated) = hooks
+        .durable
+        .as_ref()
+        .map(|d| (d.replayed(), d.delta_resynced(), d.segments_truncated()))
         .unwrap_or((0, 0, 0));
     let ops = metrics.counter("ops");
     let (mean, p99) = metrics
@@ -1348,6 +1439,10 @@ pub fn run_closed_loop_with(
         corruptions_detected: metrics.counter("fault_corrupt_detected") + val_detected,
         corruptions_repaired: metrics.counter("fault_corrupt_repaired") + val_repaired,
         aborted_corrupt: metrics.counter("fault_corrupt_aborted") + val_aborted,
+        replayed,
+        delta_resynced,
+        segments_truncated,
+        disk_tears: metrics.counter("fault_disk_tears"),
     }
 }
 

@@ -562,7 +562,8 @@ impl Actor<SimMsg> for OpenLoopActor {
             | SimMsg::Req { .. }
             | SimMsg::Sweep
             | SimMsg::Control
-            | SimMsg::Rot(_) => {
+            | SimMsg::Rot(_)
+            | SimMsg::DiskRot(_) => {
                 unreachable!("open-loop aggregates receive only replies and their own timers")
             }
         }
@@ -645,6 +646,9 @@ pub fn run_open_loop(
     sim.metrics_mut().reset();
     if let Some(integrity) = &hooks.integrity {
         integrity.reset();
+    }
+    if let Some(durable) = &hooks.durable {
+        durable.reset();
     }
     sim.run_for(cfg.measure);
     let metrics = sim.metrics();

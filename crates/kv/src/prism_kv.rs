@@ -33,9 +33,10 @@ use prism_core::integrity::IntegrityStats;
 use prism_core::msg::{Reply, Request};
 use prism_core::op::{full_mask, DataArg, FreeListId, Redirect};
 use prism_core::value::CasMode;
-use prism_core::{OpResult, OpStatus, PrismServer};
-use prism_rdma::region::AccessFlags;
+use prism_core::{ChainObserver, OpResult, OpStatus, PrismOp, PrismServer};
+use prism_rdma::region::{AccessFlags, Rkey};
 use prism_rdma::RdmaError;
+use prism_store::{DurableStats, Record, SegmentStore, SimDisk};
 
 use crate::entry;
 use crate::hash::HashScheme;
@@ -134,6 +135,75 @@ impl KvView {
 const RPC_FREE: u8 = 0x01;
 const RPC_FREE_BATCH: u8 = 0x04;
 
+/// Chain observer installed on every KV server: watches for the
+/// slot-install CAS (the linearization point of a PUT or DELETE landing
+/// in the table) and appends the installed entry image to the server's
+/// segment log. KV shards are single-copy — there is no peer quorum to
+/// heal a lost tail from — so every record is followed by an fsync
+/// barrier: the log is a write-ahead journal, and a crash can never take
+/// an acknowledged update with it.
+struct KvDurableTap {
+    store: Arc<SegmentStore>,
+    table_addr: u64,
+    capacity: u64,
+    max_entry_len: u64,
+}
+
+impl ChainObserver for KvDurableTap {
+    fn on_chain(&self, server: &PrismServer, chain: &[PrismOp], results: &[OpResult]) {
+        for (op, res) in chain.iter().zip(results) {
+            let PrismOp::Cas {
+                mode: CasMode::Eq,
+                target,
+                len: 16,
+                ..
+            } = op
+            else {
+                continue;
+            };
+            let table_end = self.table_addr + self.capacity * SLOT;
+            if *target < self.table_addr || *target >= table_end || res.status != OpStatus::Ok {
+                continue;
+            }
+            // The CAS succeeded: the slot now holds the new (ptr, bound).
+            // A null pointer is a DELETE (logged as an empty payload); an
+            // install is logged as the raw slot word followed by the full
+            // entry image. The image carries its own checksum so replay
+            // can re-verify it independently of the segment framing; the
+            // slot word makes replay *address-preserving*, which is what
+            // keeps in-flight client CAS machines sound across a restart
+            // (a relocated entry would change the slot word with no
+            // writer, and a resolving PUT would misread that as a racing
+            // write that displaced it).
+            let Ok(slot) = server.arena().read(*target, SLOT) else {
+                continue;
+            };
+            let ptr = u64::from_le_bytes(slot[..8].try_into().expect("8 bytes"));
+            let bound = u64::from_le_bytes(slot[8..16].try_into().expect("8 bytes"));
+            let payload = if ptr == 0 {
+                Vec::new()
+            } else {
+                match server.arena().read(ptr, bound.min(self.max_entry_len)) {
+                    Ok(bytes) => {
+                        let mut p = Vec::with_capacity(SLOT as usize + bytes.len());
+                        p.extend_from_slice(&slot);
+                        p.extend_from_slice(&bytes);
+                        p
+                    }
+                    Err(_) => continue,
+                }
+            };
+            self.store.append(&Record {
+                epoch: server.current_epoch(),
+                inc: server.regions().current_incarnation(),
+                key: (*target - self.table_addr) / SLOT,
+                payload,
+            });
+            self.store.barrier();
+        }
+    }
+}
+
 /// The PRISM-KV server: a [`PrismServer`] with the store's layout,
 /// free lists, and reclaim RPC installed.
 pub struct PrismKvServer {
@@ -149,6 +219,9 @@ pub struct PrismKvServer {
     /// `(base, len)` of the initial buffer pools — the live-value
     /// memory the fault fabric targets with bit rot.
     pools: (u64, u64),
+    disk: Arc<SimDisk>,
+    store: Arc<SegmentStore>,
+    durable: Arc<DurableStats>,
 }
 
 /// Per-class refill bookkeeping for [`PrismKvServer::maybe_refill`].
@@ -269,6 +342,19 @@ impl PrismKvServer {
             })
             .collect();
         let headroom_base = data_base + table_len + pools_len;
+
+        // Durable tier: a private simulated disk holding the shard's
+        // write-ahead segment log, fed by a chain observer at the
+        // slot-install CAS.
+        let disk = Arc::new(SimDisk::new());
+        let store = Arc::new(SegmentStore::new(Arc::clone(&disk), "kv"));
+        server.set_chain_observer(Arc::new(KvDurableTap {
+            store: Arc::clone(&store),
+            table_addr,
+            capacity: config.capacity,
+            max_entry_len: config.max_entry_len as u64,
+        }));
+
         PrismKvServer {
             server,
             refill: prism_rdma::sync::Mutex::new(refill),
@@ -283,6 +369,9 @@ impl PrismKvServer {
                 max_entry_len: config.max_entry_len,
                 classes,
             },
+            disk,
+            store,
+            durable: Arc::new(DurableStats::new()),
         }
     }
 
@@ -350,6 +439,135 @@ impl PrismKvServer {
     /// actually observe.
     pub fn value_pool_range(&self) -> (u64, u64) {
         self.pools
+    }
+
+    /// The simulated disk backing this shard's segment log (where the
+    /// fault fabric's torn writes and at-rest rot land).
+    pub fn disk(&self) -> &Arc<SimDisk> {
+        &self.disk
+    }
+
+    /// The shard's durable segment log.
+    pub fn store(&self) -> &Arc<SegmentStore> {
+        &self.store
+    }
+
+    /// This shard's durable-recovery counters.
+    pub fn durable_stats(&self) -> &Arc<DurableStats> {
+        &self.durable
+    }
+
+    /// Shares an external durable-stats sink (e.g. the cluster's)
+    /// instead of the shard's private one.
+    pub fn set_durable_stats(&mut self, stats: Arc<DurableStats>) {
+        self.durable = stats;
+    }
+
+    /// Fails the shard with **amnesia** and rejoins it: the host wipes
+    /// and fences ([`PrismServer::amnesia_restart`]), the allocator is
+    /// reset, and the segment log is replayed — last record wins per
+    /// slot — to rebuild the table. KV shards are single-copy, so
+    /// replay *is* the whole recovery: the log is write-ahead (every
+    /// install barriers before the client sees its ack), which is what
+    /// makes that sound. Replay validates every frame by CRC, truncates
+    /// the first torn/corrupt tail, and drops any entry image whose own
+    /// checksum fails — damage is detected, never served.
+    ///
+    /// Replay is **address-preserving**: each surviving record carries
+    /// the slot word it installed, the entry is rewritten at its
+    /// original buffer address, and those addresses are withheld from
+    /// the allocator reset. The rebuilt heap is therefore bit-identical
+    /// to the pre-crash durable state, so a client CAS machine that
+    /// straddled the restart resumes against exactly the slot words it
+    /// snapshotted — a relocated entry would change a slot word with no
+    /// writer, which an in-doubt PUT's resolve read must otherwise
+    /// misread as a racing writer displacing it (losing the acked
+    /// update). Returns the shard's new incarnation.
+    pub fn amnesia_restart(&self) -> u64 {
+        let inc = self.server.amnesia_restart();
+
+        // Replay the log, folding last-record-wins per slot: an empty
+        // payload is a DELETE (the slot stays null — this is also what
+        // keeps keys fenced by a `migrate_grow` from resurrecting), and
+        // an install record is the slot word plus the entry image. The
+        // entry carries its own checksum; a payload the segment CRC
+        // passed but the entry check rejects (e.g. rot landed between
+        // the two on a real disk) is dropped, not installed.
+        let replay = self.store.replay();
+        self.durable
+            .add_segments_truncated(replay.segments_truncated);
+        let mut last: std::collections::BTreeMap<u64, &[u8]> = std::collections::BTreeMap::new();
+        for rec in &replay.records {
+            if rec.key < self.view.capacity {
+                last.insert(rec.key, &rec.payload);
+            }
+        }
+        let mut live: Vec<(u64, u64, u64, &[u8])> = Vec::new();
+        for (&slot, payload) in &last {
+            if payload.len() <= SLOT as usize {
+                continue; // deleted (empty) or malformed (short)
+            }
+            let ptr = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            let bound = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+            let image = &payload[SLOT as usize..];
+            if ptr == 0 || entry::decode_verified(image).is_err() {
+                continue;
+            }
+            live.push((slot, ptr, bound, image));
+        }
+
+        // Allocator reset, minus the replayed buffers: the initial class
+        // pools go back on their free lists except addresses live
+        // entries still occupy, refill extents are forgotten, and the
+        // headroom rewinds — skipping past any live entry that had been
+        // installed in carved-extent space, so a future refill cannot
+        // carve over it. The pre-crash queue contents described
+        // ownership that no longer exists.
+        {
+            let live_ptrs: std::collections::HashSet<u64> =
+                live.iter().map(|&(_, p, _, _)| p).collect();
+            let mut ranges = self.ranges.lock();
+            ranges.truncate(self.view.classes.len());
+            for r in ranges.iter() {
+                self.server.freelists().reset(
+                    r.id,
+                    (0..r.count)
+                        .map(|j| r.base + j * r.stride)
+                        .filter(|a| !live_ptrs.contains(a)),
+                );
+            }
+            let mut hr = self.headroom.lock();
+            hr.0 = self.pools.0 + self.pools.1;
+            for &(_, p, _, image) in &live {
+                if p >= hr.0 {
+                    let stride = self
+                        .view
+                        .class_for(image.len() as u64)
+                        .and_then(|id| ranges.iter().find(|r| r.id == id).map(|r| r.stride))
+                        .unwrap_or(image.len() as u64);
+                    hr.0 = hr.0.max((p + stride).next_multiple_of(64));
+                }
+            }
+        }
+
+        let mut replayed = 0u64;
+        let arena = self.server.arena();
+        for (slot, ptr, bound, image) in live {
+            if arena.write(ptr, image).is_err() {
+                continue; // pointer outside the arena: damage, not data
+            }
+            let mut sw = Vec::with_capacity(SLOT as usize);
+            sw.extend_from_slice(&ptr.to_le_bytes());
+            sw.extend_from_slice(&bound.to_le_bytes());
+            arena
+                .write(self.view.slot_addr(slot), &sw)
+                .expect("slot in arena");
+            replayed += 1;
+        }
+        self.durable.add_replayed(replayed);
+        // Recovery is control-plane: everything it rewrote is synced.
+        self.store.barrier();
+        inc
     }
 
     /// Walks every occupied slot and verifies its entry checksum
@@ -422,13 +640,19 @@ impl PrismKvServer {
         reclaimed
     }
 
-    /// Opens a client with its own connection scratch slot.
+    /// Opens a client with its own connection scratch slot. Rkeys are
+    /// stamped with the server's *current* incarnation (the handshake a
+    /// real deployment performs at connection setup), so clients opened
+    /// after an amnesia rejoin address the new fence, not the wiped one.
     pub fn open_client(&self) -> PrismKvClient {
         let conn = self.server.open_connection();
+        let inc = self.server.regions().current_incarnation();
+        let mut view = self.view.clone();
+        view.data_rkey = Rkey(view.data_rkey).restamped(inc).0;
         PrismKvClient {
-            view: self.view.clone(),
+            view,
             scratch_addr: conn.scratch_addr,
-            scratch_rkey: conn.scratch_rkey.0,
+            scratch_rkey: conn.scratch_rkey.restamped(inc).0,
             integrity: Arc::new(IntegrityStats::new()),
             next_version: Arc::new(AtomicU32::new(0)),
         }
@@ -470,6 +694,17 @@ impl PrismKvClient {
     /// This client's corruption counters.
     pub fn integrity(&self) -> &Arc<IntegrityStats> {
         &self.integrity
+    }
+
+    /// Adopts the shard's new incarnation after an amnesia rejoin: the
+    /// client's cached rkeys are restamped in place
+    /// ([`prism_rdma::region::Rkey::restamped`]). This is the
+    /// control-plane re-handshake — no data moves; only the incarnation
+    /// stamp differs. Called by the driver when a reply carries a
+    /// stale-incarnation fence.
+    pub fn refence(&mut self, inc: u64) {
+        self.view.data_rkey = Rkey(self.view.data_rkey).restamped(inc).0;
+        self.scratch_rkey = Rkey(self.scratch_rkey).restamped(inc).0;
     }
 
     /// Starts a GET; returns the machine and its first request.
@@ -1481,5 +1716,104 @@ mod tests {
             KvOutcome::Value(Some(v)) => assert_eq!(v.len(), 32),
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    /// Amnesia restart replays the write-ahead segment log: every
+    /// acknowledged PUT survives, overwrites replay to their final
+    /// value, and DELETEs stay deleted — with zero network resync,
+    /// because a KV shard's log is its only copy.
+    #[test]
+    fn amnesia_restart_replays_the_segment_log() {
+        let cfg = PrismKvConfig::paper(16, 32);
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        for k in 0..8u64 {
+            let key = crate::hash::key_bytes(k);
+            assert_eq!(
+                drive_put(&s, &c, &key, &[k as u8; 32]).0,
+                KvOutcome::Written
+            );
+        }
+        // Overwrite one, delete another: replay must fold to the final
+        // state, not any intermediate.
+        let key2 = crate::hash::key_bytes(2);
+        assert_eq!(drive_put(&s, &c, &key2, &[0xAA; 32]).0, KvOutcome::Written);
+        let key5 = crate::hash::key_bytes(5);
+        let (mut op, req) = c.delete(&key5);
+        let mut reply = execute_local(s.server(), &req);
+        loop {
+            match op.on_reply(&c, reply) {
+                KvStep::Send {
+                    request,
+                    background,
+                } => {
+                    send_bg(&s, background);
+                    reply = execute_local(s.server(), &request);
+                }
+                KvStep::Done { background, .. } => {
+                    send_bg(&s, background);
+                    break;
+                }
+            }
+        }
+
+        let inc = s.amnesia_restart();
+        assert_eq!(inc, 1);
+        assert!(s.durable_stats().replayed() > 0, "replay rebuilt the table");
+
+        // A pre-crash client is fenced (stale incarnation), then works
+        // after the control-plane refence.
+        let (_stale, req) = c.get(&crate::hash::key_bytes(0));
+        let reply = execute_local(s.server(), &req);
+        assert_eq!(reply.stale_incarnation(), Some(inc));
+        let mut c = c.clone();
+        c.refence(inc);
+
+        for k in 0..8u64 {
+            let key = crate::hash::key_bytes(k);
+            let want = match k {
+                2 => KvOutcome::Value(Some(vec![0xAA; 32])),
+                5 => KvOutcome::Value(None),
+                _ => KvOutcome::Value(Some(vec![k as u8; 32])),
+            };
+            assert_eq!(drive_get(&s, &c, &key).0, want, "key {k} after replay");
+        }
+        assert_eq!(s.scrub().1, 0, "nothing replayed is corrupt");
+    }
+
+    /// At-rest rot on the segment log is detected by CRC at replay:
+    /// damaged records are dropped (the key reads absent or older), and
+    /// nothing corrupt is ever installed where a GET could see it.
+    #[test]
+    fn amnesia_restart_survives_rotted_segments_without_serving_damage() {
+        use prism_simnet::rng::SimRng;
+        let cfg = PrismKvConfig::paper(16, 32);
+        let s = PrismKvServer::new(&cfg);
+        let c = s.open_client();
+        for k in 0..8u64 {
+            let key = crate::hash::key_bytes(k);
+            assert_eq!(
+                drive_put(&s, &c, &key, &[k as u8; 32]).0,
+                KvOutcome::Written
+            );
+        }
+        let mut rng = SimRng::new(7);
+        assert!(s.disk().rot(&mut rng, 24) > 0, "rot landed on the log");
+
+        let inc = s.amnesia_restart();
+        let mut c = c.clone();
+        c.refence(inc);
+        for k in 0..8u64 {
+            let key = crate::hash::key_bytes(k);
+            match drive_get(&s, &c, &key).0 {
+                // Either the record survived (bits missed its frame) or
+                // it was dropped at a CRC check and the key is absent —
+                // never a third, silently-wrong outcome.
+                KvOutcome::Value(Some(v)) => assert_eq!(v, vec![k as u8; 32]),
+                KvOutcome::Value(None) => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(s.scrub().1, 0, "nothing corrupt was installed");
     }
 }

@@ -30,6 +30,7 @@
 //! least as large — which satisfies the ABD write-phase obligation just
 //! as an install does.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use prism_core::builder::ops;
@@ -37,9 +38,11 @@ use prism_core::crc::Crc32;
 use prism_core::integrity::IntegrityStats;
 use prism_core::msg::{Reply, Request};
 use prism_core::op::{field_mask, full_mask, DataArg, FreeListId, Redirect};
+use prism_core::server::ChainObserver;
 use prism_core::value::CasMode;
-use prism_core::{OpStatus, PrismServer};
+use prism_core::{OpResult, OpStatus, PrismOp, PrismServer};
 use prism_rdma::region::AccessFlags;
+use prism_store::{DurableStats, Record, SegmentStore, SimDisk};
 
 use crate::tag::Tag;
 
@@ -129,6 +132,70 @@ impl RsView {
     }
 }
 
+/// Records between fsync barriers on the durable log. Coarse on
+/// purpose: a crash tear can cost up to `RS_BARRIER_EVERY - 1` acked
+/// installs of local log, which is safe for RS — every completed write
+/// lives on a quorum, so whatever the tear cut is healed by the delta
+/// resync. KV, which has no peers, syncs every record instead.
+const RS_BARRIER_EVERY: u64 = 8;
+
+/// Chain observer installed on every RS replica: watches for the
+/// write-phase CAS install (the linearization point of a PUT's write
+/// leg landing on this replica) and appends the installed block image
+/// to the replica's segment log. Replay after an amnesia restart folds
+/// these records back before any delta resync.
+struct RsDurableTap {
+    store: Arc<SegmentStore>,
+    meta_addr: u64,
+    n_blocks: u64,
+    buf_len: u64,
+    appended: AtomicU64,
+}
+
+impl ChainObserver for RsDurableTap {
+    fn on_chain(&self, server: &PrismServer, chain: &[PrismOp], results: &[OpResult]) {
+        for (op, res) in chain.iter().zip(results) {
+            let PrismOp::Cas {
+                mode: CasMode::Lt,
+                target,
+                len: 16,
+                ..
+            } = op
+            else {
+                continue;
+            };
+            let meta_end = self.meta_addr + self.n_blocks * META;
+            if *target < self.meta_addr || *target >= meta_end || res.status != OpStatus::Ok {
+                continue;
+            }
+            // The CAS succeeded: the metadata entry now points at the
+            // freshly installed buffer. Log the buffer image — it is
+            // self-verifying ([tag | crc | pad | value]), so replay can
+            // re-check it independently of the segment framing.
+            let Ok(meta) = server.arena().read(*target, META) else {
+                continue;
+            };
+            let addr = u64::from_le_bytes(meta[8..16].try_into().expect("8 bytes"));
+            if addr == 0 {
+                continue; // fences are logged explicitly by the migrator
+            }
+            let Ok(buf) = server.arena().read(addr, self.buf_len) else {
+                continue;
+            };
+            self.store.append(&Record {
+                epoch: server.current_epoch(),
+                inc: server.regions().current_incarnation(),
+                key: (*target - self.meta_addr) / META,
+                payload: buf,
+            });
+            let n = self.appended.fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(RS_BARRIER_EVERY) {
+                self.store.barrier();
+            }
+        }
+    }
+}
+
 /// One PRISM-RS replica.
 pub struct PrismRsServer {
     server: Arc<PrismServer>,
@@ -136,6 +203,8 @@ pub struct PrismRsServer {
     stride: u64,
     count: u64,
     view: RsView,
+    disk: Arc<SimDisk>,
+    store: Arc<SegmentStore>,
 }
 
 impl PrismRsServer {
@@ -219,6 +288,18 @@ impl PrismRsServer {
             vec![0xFF]
         }));
 
+        // Durable tier: a private simulated disk holding the replica's
+        // segment log, fed by a chain observer at the install CAS.
+        let disk = Arc::new(SimDisk::new());
+        let store = Arc::new(SegmentStore::new(Arc::clone(&disk), "rs"));
+        server.set_chain_observer(Arc::new(RsDurableTap {
+            store: Arc::clone(&store),
+            meta_addr,
+            n_blocks: config.n_blocks,
+            buf_len,
+            appended: AtomicU64::new(0),
+        }));
+
         PrismRsServer {
             server,
             pool_base,
@@ -231,6 +312,8 @@ impl PrismRsServer {
                 block_size: config.block_size,
                 freelist,
             },
+            disk,
+            store,
         }
     }
 
@@ -287,6 +370,32 @@ impl PrismRsServer {
     pub fn pool_range(&self) -> (u64, u64) {
         (self.pool_base, self.stride * self.count)
     }
+
+    /// The replica's simulated disk (where crash tears and disk rot
+    /// land).
+    pub fn disk(&self) -> &Arc<SimDisk> {
+        &self.disk
+    }
+
+    /// The replica's durable segment log.
+    pub fn store(&self) -> &Arc<SegmentStore> {
+        &self.store
+    }
+
+    /// Logs a migration fence for `block` durably: an empty-payload
+    /// record meaning "this block's home moved at `epoch`". Replay
+    /// treats it as `Tag::MAX` — nothing logged earlier (and nothing
+    /// stale-epoch) can resurrect the fenced block. Synced immediately:
+    /// fences are control-plane writes and must survive any tear.
+    pub fn log_fence(&self, block: u64, epoch: u64) {
+        self.store.append(&Record {
+            epoch,
+            inc: self.server.regions().current_incarnation(),
+            key: block,
+            payload: Vec::new(),
+        });
+        self.store.barrier();
+    }
 }
 
 impl std::fmt::Debug for PrismRsServer {
@@ -304,6 +413,7 @@ pub struct RsCluster {
     rejoins: std::sync::atomic::AtomicU64,
     resyncs: std::sync::atomic::AtomicU64,
     scrub_repairs: std::sync::atomic::AtomicU64,
+    durable: Arc<DurableStats>,
 }
 
 impl RsCluster {
@@ -320,7 +430,20 @@ impl RsCluster {
             rejoins: std::sync::atomic::AtomicU64::new(0),
             resyncs: std::sync::atomic::AtomicU64::new(0),
             scrub_repairs: std::sync::atomic::AtomicU64::new(0),
+            durable: Arc::new(DurableStats::new()),
         }
+    }
+
+    /// The group's durable-recovery counters (replayed / delta-resynced
+    /// / truncated segments). The harness folds these into `RunResult`.
+    pub fn durable_stats(&self) -> &Arc<DurableStats> {
+        &self.durable
+    }
+
+    /// Shares an external durable-stats sink (e.g. the shard set's)
+    /// instead of the group's private one.
+    pub fn set_durable_stats(&mut self, stats: Arc<DurableStats>) {
+        self.durable = stats;
     }
 
     /// Fails replica `i` with **amnesia** and rejoins it (§7.2): the
@@ -350,17 +473,60 @@ impl RsCluster {
             r.view.freelist,
             (r.view.n_blocks..r.count).map(|j| r.pool_base + j * r.stride),
         );
-        for b in 0..r.view.n_blocks {
-            // Read-repair from the surviving peers. Copies that fail
-            // their own checksum are never adopted: a rotted peer buffer
-            // cannot poison the rejoiner.
-            let mut best_tag = Tag::ZERO;
-            // `None` = the peers' winning entry is a migration fence
-            // (`[Tag::MAX | null addr]`, see the harness's live
-            // resharding): there is no buffer to copy, and the rejoined
-            // replica must keep refusing the block, so the fence itself
-            // is what gets adopted.
-            let mut best_val = Some(vec![0u8; r.view.block_size as usize]);
+
+        // Phase 1 — local replay. The segment log survives the crash
+        // (minus whatever a disk tear or rot took); replay validates
+        // every frame by CRC, truncates the first torn/corrupt tail,
+        // and folds the survivors last-tag-wins per block. A corrupt
+        // frame is *never* applied — whatever it covered is healed from
+        // peers below.
+        let replay = r.store.replay();
+        self.durable
+            .add_segments_truncated(replay.segments_truncated);
+        let nb = r.view.n_blocks as usize;
+        // Per-block recovered state: `(tag, Some(value))`, or
+        // `(Tag::MAX, None)` for a migration fence (empty-payload
+        // record: the block's home moved, nothing may resurrect it).
+        let mut local: Vec<(Tag, Option<Vec<u8>>)> =
+            vec![(Tag::ZERO, Some(vec![0u8; r.view.block_size as usize])); nb];
+        let mut replayed = 0u64;
+        for rec in &replay.records {
+            let Some(slot) = local.get_mut(rec.key as usize) else {
+                continue;
+            };
+            if rec.payload.is_empty() {
+                // Fence record from a migrate_grow: permanently wins.
+                // Anything logged for this block before (or after, at a
+                // stale epoch) cannot beat Tag::MAX, so fenced data
+                // never resurrects through replay.
+                *slot = (Tag::MAX, None);
+                replayed += 1;
+                continue;
+            }
+            // The block image carries its own tag-bound checksum; a
+            // payload the segment CRC passed but the image check
+            // rejects (e.g. rot landed between the two on a real disk)
+            // is dropped, not installed.
+            if !block_crc_ok(&rec.payload) {
+                continue;
+            }
+            let tag = Tag::from_bytes(&rec.payload[..8]);
+            if tag > slot.0 {
+                *slot = (tag, Some(rec.payload[BUF_HDR as usize..].to_vec()));
+                replayed += 1;
+            }
+        }
+        self.durable.add_replayed(replayed);
+
+        // Phase 2 — delta resync. Probe every peer's 16-byte metadata
+        // entry (cheap tag traffic), but fetch the full buffer only for
+        // blocks where a peer is *ahead* of the replayed high-water
+        // mark. With an intact log this is the handful of writes that
+        // landed after the last barrier — orders of magnitude less
+        // traffic than the old full resync, which fetched every block.
+        for b in 0..nb as u64 {
+            let (mut best_tag, mut best_val) = local[b as usize].clone();
+            let mut from_peer = false;
             for (j, peer) in self.replicas.iter().enumerate() {
                 if j == i {
                     continue;
@@ -377,8 +543,12 @@ impl RsCluster {
                     if addr == 0 {
                         best_tag = tag;
                         best_val = None;
+                        from_peer = true;
                         continue;
                     }
+                    // Copies that fail their own checksum are never
+                    // adopted: a rotted peer buffer cannot poison the
+                    // rejoiner.
                     let buf = peer
                         .server
                         .arena()
@@ -389,6 +559,7 @@ impl RsCluster {
                     }
                     best_tag = tag;
                     best_val = Some(buf[BUF_HDR as usize..].to_vec());
+                    from_peer = true;
                 }
             }
             let mut meta = Vec::with_capacity(META as usize);
@@ -408,10 +579,27 @@ impl RsCluster {
                 .arena()
                 .write(r.view.meta(b), &meta)
                 .expect("metadata in arena");
-            if best_tag > Tag::ZERO && best_val.is_some() {
-                self.resyncs.fetch_add(1, Relaxed);
+            if from_peer {
+                self.durable.add_delta_resynced(1);
+                // Log what was adopted so the *next* replay starts from
+                // here instead of refetching it.
+                let payload = match &best_val {
+                    Some(val) => encode_block(best_tag, val),
+                    None => Vec::new(), // fence adopted from peers
+                };
+                r.store.append(&Record {
+                    epoch: r.server.current_epoch(),
+                    inc,
+                    key: b,
+                    payload,
+                });
+                if best_tag > Tag::ZERO && best_val.is_some() {
+                    self.resyncs.fetch_add(1, Relaxed);
+                }
             }
         }
+        // Recovery is control-plane: everything it wrote is synced.
+        r.store.barrier();
         self.rejoins.fetch_add(1, Relaxed);
         inc
     }
@@ -1368,11 +1556,21 @@ mod tests {
             put(&cl, &c, 3, val.clone(), &[false; 3]),
             RsOutcome::Written
         );
-        // Replica 1 loses its memory and rejoins.
+        // Replica 1 loses its memory and rejoins. Its segment log
+        // survived the crash, so the write comes back by *replay* — the
+        // delta resync finds no peer ahead and fetches nothing.
         let inc = cl.amnesia_restart(1);
         assert_eq!(inc, 1);
         assert_eq!(cl.rejoins(), 1);
-        assert!(cl.resyncs() > 0, "the written block must be repaired");
+        assert!(
+            cl.durable_stats().replayed() > 0,
+            "the written block must replay from the local log"
+        );
+        assert_eq!(
+            cl.resyncs(),
+            0,
+            "an intact log leaves nothing for the network resync to fetch"
+        );
         // The rejoined replica's own memory holds the value again.
         let v = cl.replica(1).view().clone();
         let meta = cl.replica(1).server().arena().read(v.meta(3), 16).unwrap();
@@ -1404,6 +1602,15 @@ mod tests {
             drive(&cl, &c3, op, step, &[false; 3]),
             RsOutcome::Value(vec![7u8; 64])
         );
+        // A wiped disk (fresh replacement replica) falls back to the
+        // full network resync: the written block is fetched from peers.
+        cl.replica(1).store().wipe();
+        cl.amnesia_restart(1);
+        assert!(
+            cl.resyncs() > 0,
+            "with no local log the block must be repaired from peers"
+        );
+        assert!(cl.durable_stats().delta_resynced() > 0);
     }
 
     #[test]

@@ -132,6 +132,24 @@ pub struct RotEvent {
     pub bits: u32,
 }
 
+/// A scheduled at-rest *disk* bit-rot event: at `at`, `bits` seeded
+/// single-bit flips land somewhere on `server`'s simulated disk.
+///
+/// Unlike memory rot ([`RotEvent`]), disk rot is not confined to crash
+/// windows — segment files are at rest the moment they are written, and
+/// media decay does not wait for an outage. The damage stays latent
+/// until the next amnesia replay, where the segment CRCs detect it and
+/// the torn/corrupt tail is truncated and healed from replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRotEvent {
+    /// Index of the affected server.
+    pub server: usize,
+    /// When the rot lands.
+    pub at: SimTime,
+    /// How many seeded single-bit flips to scatter over the disk.
+    pub bits: u32,
+}
+
 /// A deterministic fault schedule for one simulation run.
 ///
 /// The [`Default`] plan is a no-op: nothing is dropped, duplicated,
@@ -179,6 +197,14 @@ pub struct FaultPlan {
     pub torn_write_prob: f64,
     /// Scheduled at-rest bit-rot events (each inside a crash window).
     pub rot: Vec<RotEvent>,
+    /// Probability that an amnesia crash tears the server's simulated
+    /// disk: a seeded suffix of each file's *unsynced* tail is dropped
+    /// before the restart replays the log. Draws from a dedicated
+    /// per-server RNG stream; requires at least one amnesia window.
+    pub disk_torn_prob: f64,
+    /// Scheduled at-rest disk bit-rot events (each on its own RNG
+    /// stream, so zero-knob plans stay bit-identical).
+    pub disk_rot: Vec<DiskRotEvent>,
 }
 
 impl FaultPlan {
@@ -299,6 +325,30 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the disk-tear probability for amnesia restarts: with this
+    /// probability the crash drops a seeded suffix of every file's
+    /// unsynced tail before the restart replays the log.
+    /// [`validate`](Self::validate) rejects a plan that arms this
+    /// without any amnesia window — it could never fire.
+    pub fn with_disk_torn_writes(mut self, disk_torn_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&disk_torn_prob),
+            "disk_torn_prob out of range"
+        );
+        self.disk_torn_prob = disk_torn_prob;
+        self
+    }
+
+    /// Adds an at-rest disk rot event: `bits` seeded bit flips land on
+    /// `server`'s simulated disk at time `at`. Disk rot needs no crash
+    /// window — segment files are at rest whenever they are not being
+    /// appended, and the damage stays latent until the next replay.
+    pub fn with_disk_rot(mut self, server: usize, at: SimTime, bits: u32) -> Self {
+        assert!(bits > 0, "disk rot event with zero bit flips");
+        self.disk_rot.push(DiskRotEvent { server, at, bits });
+        self
+    }
+
     /// Adds a partition window between `client` and `server`.
     pub fn with_partition(
         mut self,
@@ -329,6 +379,16 @@ impl FaultPlan {
             && self.partitions.is_empty()
             && self.client_crashes.is_empty()
             && !self.injects_corruption()
+            && !self.injects_disk_faults()
+    }
+
+    /// Whether the plan injects disk faults (crash tears of unsynced
+    /// segment tails, or at-rest disk rot). When false, the harness
+    /// creates no disk-fault RNG streams, so pre-existing plans replay
+    /// the exact draw sequences they had before the durable tier
+    /// existed.
+    pub fn injects_disk_faults(&self) -> bool {
+        self.disk_torn_prob > 0.0 || !self.disk_rot.is_empty()
     }
 
     /// Whether the plan injects any corruption (in-flight flips, torn
@@ -431,6 +491,17 @@ impl FaultPlan {
                 r.server
             );
         }
+        assert!(
+            self.disk_torn_prob == 0.0 || self.crashes.iter().any(|w| w.mode == CrashMode::Amnesia),
+            "disk tears armed but no amnesia window is scheduled — they could never fire"
+        );
+        for r in &self.disk_rot {
+            assert!(
+                r.server < n_servers,
+                "disk rot event names server {} but the run has {n_servers}",
+                r.server
+            );
+        }
     }
 
     /// Generates a composed chaos schedule from a seed: `spec.horizon`
@@ -485,6 +556,19 @@ impl FaultPlan {
         if !plan.crashes.is_empty() {
             plan.torn_write_prob = spec.torn_write_prob;
         }
+        // Disk tears fire at amnesia restarts; arm them only when the
+        // drawn schedule has one (a straight copy, no draws).
+        if plan.crashes.iter().any(|w| w.mode == CrashMode::Amnesia) {
+            plan.disk_torn_prob = spec.disk_torn_prob;
+        }
+        // Disk rot draws come last, so specs that leave the knob zero
+        // generate byte-identical plans to the pre-durability fabric.
+        for _ in 0..spec.disk_rot_events {
+            let server = rng.gen_range(spec.servers as u64) as usize;
+            let at = SimTime::from_nanos(lo + rng.gen_range(hi - lo));
+            let bits = 1 + rng.gen_range(3) as u32;
+            plan = plan.with_disk_rot(server, at, bits);
+        }
         plan.validate(spec.servers, spec.clients);
         plan
     }
@@ -521,6 +605,11 @@ pub struct ChaosSpec {
     /// Torn-write probability for WRITEs hitting crashed servers (only
     /// takes effect when the schedule includes server crashes).
     pub torn_write_prob: f64,
+    /// Disk-tear probability for amnesia restarts (only takes effect
+    /// when the drawn schedule includes an amnesia window).
+    pub disk_torn_prob: f64,
+    /// Number of at-rest disk bit-rot events to schedule.
+    pub disk_rot_events: usize,
 }
 
 #[cfg(test)]
@@ -657,6 +746,40 @@ mod tests {
     }
 
     #[test]
+    fn disk_faults_arm_the_plan() {
+        let t = SimTime::from_nanos;
+        let p = FaultPlan::seeded(1)
+            .with_amnesia_crash(0, t(10), t(20))
+            .with_disk_torn_writes(0.5);
+        assert!(!p.is_noop() && p.injects_disk_faults());
+        assert!(!p.injects_corruption(), "disk faults are their own class");
+        p.validate(1, 1);
+        let p = FaultPlan::seeded(1).with_disk_rot(0, t(30), 2);
+        assert!(!p.is_noop() && p.injects_disk_faults());
+        // Disk rot needs no crash window: the damage is at rest.
+        p.validate(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk tears armed but no amnesia window")]
+    fn disk_tears_require_an_amnesia_window() {
+        let t = SimTime::from_nanos;
+        // A recover window is not enough: recover restarts never replay.
+        FaultPlan::seeded(1)
+            .with_crash(0, t(10), t(20))
+            .with_disk_torn_writes(0.5)
+            .validate(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk rot event names server 7")]
+    fn disk_rot_on_unknown_server_rejected() {
+        FaultPlan::seeded(1)
+            .with_disk_rot(7, SimTime::from_nanos(5), 1)
+            .validate(2, 2);
+    }
+
+    #[test]
     #[should_panic(expected = "outside every crash window")]
     fn rot_outside_crash_windows_rejected() {
         let t = SimTime::from_nanos;
@@ -766,6 +889,8 @@ mod tests {
                 flip_req_prob: 0.002,
                 flip_reply_prob: 0.002,
                 torn_write_prob: 0.5,
+                disk_torn_prob: 0.5,
+                disk_rot_events: knobs as usize,
             };
             let a = FaultPlan::chaos(seed, &spec);
             let b = FaultPlan::chaos(seed, &spec);
@@ -776,16 +901,30 @@ mod tests {
                 if a.crashes.is_empty() { 0.0 } else { 0.5 },
                 "torn writes only armed when a crash window exists"
             );
-            // Corruption knobs draw nothing: zeroing them reproduces the
-            // exact same windows.
+            assert_eq!(
+                a.disk_torn_prob,
+                if a.crashes.iter().any(|w| w.mode == CrashMode::Amnesia) {
+                    0.5
+                } else {
+                    0.0
+                },
+                "disk tears only armed when an amnesia window exists"
+            );
+            assert_eq!(a.disk_rot.len(), spec.disk_rot_events);
+            // Corruption and disk knobs draw nothing (disk rot draws
+            // come last): zeroing them reproduces the exact same
+            // windows.
             let mut clean_spec = spec.clone();
             clean_spec.flip_req_prob = 0.0;
             clean_spec.flip_reply_prob = 0.0;
             clean_spec.torn_write_prob = 0.0;
+            clean_spec.disk_torn_prob = 0.0;
+            clean_spec.disk_rot_events = 0;
             let clean = FaultPlan::chaos(seed, &clean_spec);
             assert_eq!(clean.crashes, a.crashes);
             assert_eq!(clean.partitions, a.partitions);
             assert_eq!(clean.client_crashes, a.client_crashes);
+            assert!(clean.disk_rot.is_empty() && clean.disk_torn_prob == 0.0);
             assert_eq!(a.crashes.len(), spec.server_crashes);
             assert_eq!(a.client_crashes.len(), spec.client_crashes);
             assert_eq!(a.partitions.len(), spec.partitions);

@@ -1,0 +1,307 @@
+//! On-disk formats: segment header, record frames, and the manifest.
+//!
+//! Every file begins with a fixed 20-byte header — magic (8 B ASCII
+//! tag), version (u16 LE), flags (u16 LE), reserved (u32 LE), then a
+//! CRC32 over those 16 bytes — so a damaged header is detected before
+//! any record is trusted. Records are length-prefixed and carry their
+//! own CRC over the entire frame body, so a torn tail or a rotted bit
+//! surfaces as a typed [`StoreError`], never as silently-wrong bytes.
+//!
+//! ```text
+//! segment file            record frame (repeated after header)
+//! +------------------+    +-------------------------------------+
+//! | magic    8 B     |    | len       u32 LE   payload length   |
+//! | version  u16 LE  |    | epoch     u64 LE                    |
+//! | flags    u16 LE  |    | inc       u64 LE   incarnation      |
+//! | reserved u32 LE  |    | key       u64 LE   slot / block id  |
+//! | hdr_crc  u32 LE  |    | payload   len B                     |
+//! +------------------+    | crc       u32 LE   over all above   |
+//! | record frames …  |    +-------------------------------------+
+//! ```
+//!
+//! The manifest (`PRSMMAN1`) shares the header, then holds a count and
+//! `(seq, len, records)` per sealed segment, closed by a CRC over the
+//! entry table.
+
+use prism_core::crc::crc32;
+
+/// Magic tag opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"PRSMSEG1";
+/// Magic tag opening the manifest.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"PRSMMAN1";
+/// Current format version for both file kinds.
+pub const VERSION: u16 = 1;
+/// Fixed header length (magic + version + flags + reserved + CRC).
+pub const HEADER_LEN: usize = 20;
+/// Record frame overhead: len + epoch + inc + key prefix plus the CRC.
+pub const FRAME_OVERHEAD: usize = 4 + 8 + 8 + 8 + 4;
+/// Ceiling on a record payload; a corrupted length field past this is
+/// rejected as [`StoreError::RecordOverrun`] instead of driving a huge
+/// allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Typed decode failure. Every way a header, record, or manifest can be
+/// damaged maps to one of these — decode never panics and never accepts
+/// bytes whose CRC disagrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// Fewer than [`HEADER_LEN`] bytes where a header must be.
+    HeaderTruncated,
+    /// The 8-byte magic tag does not match the expected file kind.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion { seen: u16 },
+    /// Flags word carries bits this version does not define.
+    BadFlags { seen: u16 },
+    /// Header CRC mismatch.
+    HeaderCorrupt { seen: u32, want: u32 },
+    /// A record frame runs past the end of the segment (torn write).
+    RecordTruncated,
+    /// A record length field exceeds [`MAX_PAYLOAD`].
+    RecordOverrun { len: u32 },
+    /// Record CRC mismatch (bit rot or a tear inside the frame).
+    RecordCorrupt { seen: u32, want: u32 },
+    /// The manifest ends before its declared entry table.
+    ManifestTruncated,
+    /// Manifest entry-table CRC mismatch.
+    ManifestCorrupt { seen: u32, want: u32 },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::HeaderTruncated => write!(f, "file shorter than its header"),
+            StoreError::BadMagic => write!(f, "magic tag mismatch"),
+            StoreError::BadVersion { seen } => write!(f, "unknown format version {seen}"),
+            StoreError::BadFlags { seen } => write!(f, "undefined flag bits {seen:#06x}"),
+            StoreError::HeaderCorrupt { seen, want } => {
+                write!(f, "header crc {seen:#010x} != {want:#010x}")
+            }
+            StoreError::RecordTruncated => write!(f, "record frame torn at end of segment"),
+            StoreError::RecordOverrun { len } => {
+                write!(f, "record length {len} exceeds payload ceiling")
+            }
+            StoreError::RecordCorrupt { seen, want } => {
+                write!(f, "record crc {seen:#010x} != {want:#010x}")
+            }
+            StoreError::ManifestTruncated => write!(f, "manifest shorter than its entry table"),
+            StoreError::ManifestCorrupt { seen, want } => {
+                write!(f, "manifest crc {seen:#010x} != {want:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One durable record: the unit of replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Cluster epoch in force when the record was appended; replay uses
+    /// it to fence entries whose home moved in a reshard.
+    pub epoch: u64,
+    /// Server incarnation that wrote the record.
+    pub inc: u64,
+    /// Application key: KV slot index or RS block index.
+    pub key: u64,
+    /// Application payload (self-verifying entry or block image; empty
+    /// payloads are tombstones/fences by caller convention).
+    pub payload: Vec<u8>,
+}
+
+/// Manifest entry for one sealed (immutable, fully synced) segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealedSeg {
+    pub seq: u32,
+    pub len: u64,
+    pub records: u32,
+}
+
+/// Encodes a file header for the given magic tag.
+pub fn encode_header(magic: &[u8; 8]) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(magic);
+    h[8..10].copy_from_slice(&VERSION.to_le_bytes());
+    // flags (2 B) and reserved (4 B) stay zero in version 1.
+    let crc = crc32(&h[..16]);
+    h[16..20].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Validates a file header against the expected magic tag.
+pub fn decode_header(bytes: &[u8], magic: &[u8; 8]) -> Result<(), StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::HeaderTruncated);
+    }
+    let want = crc32(&bytes[..16]);
+    let seen = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    if seen != want {
+        return Err(StoreError::HeaderCorrupt { seen, want });
+    }
+    if &bytes[..8] != magic {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::BadVersion { seen: version });
+    }
+    let flags = u16::from_le_bytes(bytes[10..12].try_into().unwrap());
+    if flags != 0 {
+        return Err(StoreError::BadFlags { seen: flags });
+    }
+    Ok(())
+}
+
+/// Appends one record frame to `out`.
+pub fn encode_record_into(rec: &Record, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&(rec.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&rec.epoch.to_le_bytes());
+    out.extend_from_slice(&rec.inc.to_le_bytes());
+    out.extend_from_slice(&rec.key.to_le_bytes());
+    out.extend_from_slice(&rec.payload);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes one record frame from the front of `bytes`, returning the
+/// record and the number of bytes consumed.
+pub fn decode_record(bytes: &[u8]) -> Result<(Record, usize), StoreError> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(StoreError::RecordTruncated);
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(StoreError::RecordOverrun { len });
+    }
+    let total = FRAME_OVERHEAD + len as usize;
+    if bytes.len() < total {
+        return Err(StoreError::RecordTruncated);
+    }
+    let body = total - 4;
+    let want = crc32(&bytes[..body]);
+    let seen = u32::from_le_bytes(bytes[body..total].try_into().unwrap());
+    if seen != want {
+        return Err(StoreError::RecordCorrupt { seen, want });
+    }
+    Ok((
+        Record {
+            epoch: u64::from_le_bytes(bytes[4..12].try_into().unwrap()),
+            inc: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+            key: u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+            payload: bytes[28..body].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Encodes the full manifest file (header + entry table + table CRC).
+pub fn encode_manifest(sealed: &[SealedSeg]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 8 + sealed.len() * 16);
+    out.extend_from_slice(&encode_header(MANIFEST_MAGIC));
+    let table_start = out.len();
+    out.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
+    for s in sealed {
+        out.extend_from_slice(&s.seq.to_le_bytes());
+        out.extend_from_slice(&s.len.to_le_bytes());
+        out.extend_from_slice(&s.records.to_le_bytes());
+    }
+    let crc = crc32(&out[table_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes a full manifest file.
+pub fn decode_manifest(bytes: &[u8]) -> Result<Vec<SealedSeg>, StoreError> {
+    decode_header(bytes, MANIFEST_MAGIC)?;
+    let rest = &bytes[HEADER_LEN..];
+    if rest.len() < 8 {
+        return Err(StoreError::ManifestTruncated);
+    }
+    let count = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let table = 4 + count * 16;
+    if rest.len() < table + 4 {
+        return Err(StoreError::ManifestTruncated);
+    }
+    let want = crc32(&rest[..table]);
+    let seen = u32::from_le_bytes(rest[table..table + 4].try_into().unwrap());
+    if seen != want {
+        return Err(StoreError::ManifestCorrupt { seen, want });
+    }
+    let mut sealed = Vec::with_capacity(count);
+    for i in 0..count {
+        let e = &rest[4 + i * 16..4 + (i + 1) * 16];
+        sealed.push(SealedSeg {
+            seq: u32::from_le_bytes(e[0..4].try_into().unwrap()),
+            len: u64::from_le_bytes(e[4..12].try_into().unwrap()),
+            records: u32::from_le_bytes(e[12..16].try_into().unwrap()),
+        });
+    }
+    Ok(sealed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrips() {
+        let rec = Record {
+            epoch: 3,
+            inc: 7,
+            key: 42,
+            payload: vec![9u8; 65],
+        };
+        let mut buf = Vec::new();
+        encode_record_into(&rec, &mut buf);
+        let (back, used) = decode_record(&buf).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn header_roundtrips_and_rejects_wrong_magic() {
+        let h = encode_header(SEGMENT_MAGIC);
+        assert_eq!(decode_header(&h, SEGMENT_MAGIC), Ok(()));
+        assert_eq!(decode_header(&h, MANIFEST_MAGIC), Err(StoreError::BadMagic));
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let sealed = vec![
+            SealedSeg {
+                seq: 0,
+                len: 4096,
+                records: 31,
+            },
+            SealedSeg {
+                seq: 1,
+                len: 4100,
+                records: 32,
+            },
+        ];
+        let bytes = encode_manifest(&sealed);
+        assert_eq!(decode_manifest(&bytes).unwrap(), sealed);
+    }
+
+    #[test]
+    fn truncated_record_is_typed_not_panic() {
+        let rec = Record {
+            epoch: 1,
+            inc: 1,
+            key: 1,
+            payload: vec![5; 40],
+        };
+        let mut buf = Vec::new();
+        encode_record_into(&rec, &mut buf);
+        for cut in 0..buf.len() {
+            let err = decode_record(&buf[..cut]).unwrap_err();
+            assert!(matches!(
+                err,
+                StoreError::RecordTruncated
+                    | StoreError::RecordCorrupt { .. }
+                    | StoreError::RecordOverrun { .. }
+            ));
+        }
+    }
+}

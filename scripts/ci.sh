@@ -24,16 +24,23 @@
 #                           rot: every injected fault detected or
 #                           repaired, counter conservation holds, and a
 #                           no-corruption plan stays bit-identical
+#   6b. durability gate   — segment-log recovery economics: intact-log
+#                           delta resync strictly below wiped-disk full
+#                           resync, torn tails truncated and healed,
+#                           rotted frames never served, KV write-ahead
+#                           tears provably empty; plus the segment
+#                           format fuzz (mutated/truncated frames decode
+#                           to typed errors, never panic or pass)
 #   7. open-loop smoke    — coordinated-omission regression (stalled
 #                           server: open-loop p99 >> closed-loop p99),
 #                           bit-exact open-loop sweep replay, and a
 #                           bit-exact 4-shard sharded sweep replay
 #                           (cluster routing + cross-shard doorbells)
 #   8. second-seed pass   — fault matrix + chaos gate (incl. migration
-#                           gate) + corruption matrix + open-loop smoke
-#                           again under a different PRISM_TEST_SEED, so
-#                           the gates don't ossify around one lucky
-#                           schedule
+#                           gate) + corruption matrix + durability gate
+#                           + store properties + open-loop smoke again
+#                           under a different PRISM_TEST_SEED, so the
+#                           gates don't ossify around one lucky schedule
 #   9. bench smoke        — substrate benches at 50 ms/bench, so a perf
 #                           regression that breaks the bench harness (or
 #                           an arena change that deadlocks it) fails CI
@@ -69,12 +76,17 @@ cargo test -q --offline -p prism-harness --test chaos_gate \
 echo "== corruption matrix (bit flips / torn writes / rot) =="
 cargo test -q --offline -p prism-harness --test corruption_matrix
 
+echo "== durability gate (segment replay vs delta resync) =="
+cargo test -q --offline -p prism-harness --test durability_gate \
+    --test store_properties
+
 echo "== open-loop smoke (CO regression + bit-exact replay) =="
 cargo test -q --offline -p prism-harness --test openloop_smoke
 
-echo "== second-seed pass (fault matrix + chaos gate + corruption matrix + open-loop smoke) =="
+echo "== second-seed pass (fault matrix + chaos gate + corruption matrix + durability gate + store properties + open-loop smoke) =="
 PRISM_TEST_SEED=1806242025 cargo test -q --offline -p prism-harness \
     --test fault_matrix --test chaos_gate --test corruption_matrix \
+    --test durability_gate --test store_properties \
     --test openloop_smoke
 
 echo "== migration gate, second seed =="

@@ -1,13 +1,15 @@
 //! Chaos gate: seeded fault schedules (amnesia and recover crashes,
 //! client crashes, partitions, loss, duplication, jitter, and data
-//! corruption — bit flips on both legs plus torn writes into crash
-//! windows) drive the real protocol stacks while complete operation
-//! histories are recorded. The gate then demands proof, not survival:
-//! histories must be linearizable, the recovery protocols must visibly
-//! fire (quorum resyncs, cooperative-termination reclaims), corruption
-//! must be caught by the CRC layers rather than surface as wrong
-//! answers, nothing may stay stuck, and the same seed must reproduce
-//! bit-identical results.
+//! corruption — bit flips on both legs, torn writes into crash
+//! windows, plus disk faults against the durable segment tier: torn
+//! log tails on crash and at-rest bit rot in sealed segments) drive
+//! the real protocol stacks while complete operation histories are
+//! recorded. The gate then demands proof, not survival: histories must
+//! be linearizable, the recovery protocols must visibly fire (local
+//! segment replay, delta quorum resyncs, cooperative-termination
+//! reclaims), corruption must be caught by the CRC layers rather than
+//! surface as wrong answers, nothing may stay stuck, and the same seed
+//! must reproduce bit-identical results.
 
 use std::sync::{Arc, Mutex};
 
@@ -48,7 +50,7 @@ fn fault_line(system: &str, r: &RunResult) {
     println!(
         "{system}-chaos: tput={:.0}ops/s failed={} drops={} dups={} timeouts={} \
          retries={} giveups={} fenced={} crash_drops={} restarts={} client_restarts={} \
-         corrupt={}/{}det rep={} abort={}",
+         corrupt={}/{}det rep={} abort={} replayed={} delta={} trunc={} tears={}",
         r.tput_ops,
         r.failed,
         r.drops,
@@ -64,10 +66,14 @@ fn fault_line(system: &str, r: &RunResult) {
         r.corruptions_detected,
         r.corruptions_repaired,
         r.aborted_corrupt,
+        r.replayed,
+        r.delta_resynced,
+        r.segments_truncated,
+        r.disk_tears,
     );
 }
 
-fn metrics_key(r: &RunResult) -> [u64; 16] {
+fn metrics_key(r: &RunResult) -> [u64; 20] {
     [
         r.tput_ops as u64,
         r.failed,
@@ -85,6 +91,10 @@ fn metrics_key(r: &RunResult) -> [u64; 16] {
         r.corruptions_detected,
         r.corruptions_repaired,
         r.aborted_corrupt,
+        r.replayed,
+        r.delta_resynced,
+        r.segments_truncated,
+        r.disk_tears,
     ]
 }
 
@@ -114,6 +124,23 @@ fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         sweep: None,
         integrity: Some(Arc::clone(&integrity)),
         control: None,
+        // Durable-tier faults: crash-window tears cut the unsynced log
+        // tail right before the rejoin replays it, and scheduled rot
+        // flips bits in sealed segments at rest. Replay must detect
+        // both by CRC and heal the difference from peers.
+        disk_tear: Some({
+            let cluster = Arc::clone(&cluster);
+            Arc::new(move |i, rng| {
+                cluster.replica(i).disk().tear_tail(rng);
+            })
+        }),
+        disk_rot: Some({
+            let cluster = Arc::clone(&cluster);
+            Arc::new(move |i, rng, bits| {
+                cluster.replica(i).disk().rot(rng, bits);
+            })
+        }),
+        durable: Some(Arc::clone(cluster.durable_stats())),
     };
     let spec = ChaosSpec {
         servers: 3,
@@ -129,6 +156,8 @@ fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         flip_req_prob: 0.01,
         flip_reply_prob: 0.01,
         torn_write_prob: 0.05,
+        disk_torn_prob: 0.9,
+        disk_rot_events: 2,
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -167,6 +196,14 @@ fn rs_amnesia_chaos_stays_linearizable_and_rejoins() {
     assert!(
         rejoins > 0 && resyncs > 0,
         "restarted replica must rejoin via quorum resync (rejoins={rejoins}, resyncs={resyncs})"
+    );
+    assert!(
+        r.replayed > 0,
+        "a rejoining replica must fold records back from its local segment log: {r:?}"
+    );
+    assert!(
+        r.disk_tears > 0,
+        "the crash-window tear fault was enabled but never fired: {r:?}"
     );
     assert!(!history.is_empty(), "history must be recorded");
     assert!(
@@ -211,6 +248,31 @@ fn rs_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         sweep: None,
         integrity: Some(Arc::clone(&integrity)),
         control: None,
+        // Flat-index disk faults: server `i` is replica `i % replicas`
+        // of group `i / replicas`, same routing as the restart hook.
+        disk_tear: Some({
+            let shards = Arc::clone(&shards);
+            Arc::new(move |i, rng| {
+                let reps = shards.replicas();
+                shards
+                    .group(i / reps)
+                    .replica(i % reps)
+                    .disk()
+                    .tear_tail(rng);
+            })
+        }),
+        disk_rot: Some({
+            let shards = Arc::clone(&shards);
+            Arc::new(move |i, rng, bits| {
+                let reps = shards.replicas();
+                shards
+                    .group(i / reps)
+                    .replica(i % reps)
+                    .disk()
+                    .rot(rng, bits);
+            })
+        }),
+        durable: Some(Arc::clone(shards.durable_stats())),
     };
     let spec = ChaosSpec {
         servers: 6,
@@ -226,6 +288,8 @@ fn rs_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         flip_req_prob: 0.01,
         flip_reply_prob: 0.01,
         torn_write_prob: 0.05,
+        disk_torn_prob: 0.9,
+        disk_rot_events: 2,
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -277,6 +341,10 @@ fn rs_sharded_amnesia_chaos_stays_linearizable_and_rejoins() {
         rejoins > 0 && resyncs > 0,
         "restarted replicas must rejoin via their group's quorum resync \
          (rejoins={rejoins}, resyncs={resyncs})"
+    );
+    assert!(
+        r.replayed > 0,
+        "a rejoining replica must fold records back from its local segment log: {r:?}"
     );
     assert!(!history.is_empty(), "history must be recorded");
     check_history(&history).expect("sharded RS history must be linearizable");
@@ -340,6 +408,34 @@ fn rs_migration_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64, Option<(u
                 *migration.lock().expect("migration lock") = Some((new_map.epoch(), moved));
             })
         })),
+        // Same flat-index disk faults as the sharded gate. Replay after
+        // a post-migration amnesia crash is the regression of record
+        // for fence durability: a moved block's tombstone must outlive
+        // the restart, or the old group would resurrect it from its log
+        // and serve behind the epoch fence.
+        disk_tear: Some({
+            let shards = Arc::clone(&shards);
+            Arc::new(move |i, rng| {
+                let reps = shards.replicas();
+                shards
+                    .group(i / reps)
+                    .replica(i % reps)
+                    .disk()
+                    .tear_tail(rng);
+            })
+        }),
+        disk_rot: Some({
+            let shards = Arc::clone(&shards);
+            Arc::new(move |i, rng, bits| {
+                let reps = shards.replicas();
+                shards
+                    .group(i / reps)
+                    .replica(i % reps)
+                    .disk()
+                    .rot(rng, bits);
+            })
+        }),
+        durable: Some(Arc::clone(shards.durable_stats())),
     };
     let spec = ChaosSpec {
         servers: 12,
@@ -355,6 +451,8 @@ fn rs_migration_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64, Option<(u
         flip_req_prob: 0.01,
         flip_reply_prob: 0.01,
         torn_write_prob: 0.05,
+        disk_torn_prob: 0.9,
+        disk_rot_events: 2,
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -483,23 +581,43 @@ fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
     // harvested for its orphaned allocation when it straggles in
     // (`on_stale_reply`), so lost replies no longer leak buffers.
     let config = PrismKvConfig::paper(BLOCKS, VALUE);
-    let server = PrismKvServer::new(&config);
+    let server = Arc::new(PrismKvServer::new(&config));
     let servers = vec![Arc::clone(server.server())];
     let history = Arc::new(Mutex::new(Vec::new()));
     let integrity = Arc::new(IntegrityStats::new());
+    // Amnesia is now survivable for single-copy KV: every acknowledged
+    // write sat behind a synced segment append (the durable tap runs
+    // inside the execute path, before the ack), so a wiped server
+    // replays its own log instead of needing peers. Clients observe the
+    // bumped rkey incarnation, refence, and retry. Crash-window disk
+    // tears are provably harmless here — nothing unsynced exists to
+    // tear — which the gate asserts via `segments_truncated == 0`.
     let hooks = RecoveryHooks {
+        on_restart: Some({
+            let server = Arc::clone(&server);
+            Arc::new(move |_i| {
+                server.amnesia_restart();
+            })
+        }),
+        disk_tear: Some({
+            let server = Arc::clone(&server);
+            Arc::new(move |_i, rng| {
+                server.disk().tear_tail(rng);
+            })
+        }),
+        durable: Some(Arc::clone(server.durable_stats())),
         integrity: Some(Arc::clone(&integrity)),
         ..RecoveryHooks::default()
     };
-    // No amnesia here: KV clients hold raw rkeys with no rejoin
-    // protocol, so a wiped single-server store has nobody to resync
-    // from. Recover crashes keep memory across the window.
+    // No at-rest rot: a single-copy store has no replica to heal a
+    // rotted acknowledged record from, so that fault class belongs to
+    // RS (see the gates above). Tears are fair game — see the hook.
     let spec = ChaosSpec {
         servers: 1,
         clients: 4,
         horizon: HORIZON,
         server_crashes: 1,
-        amnesia_fraction: 0.0,
+        amnesia_fraction: 1.0,
         client_crashes: 1,
         partitions: 1,
         drop_prob: 0.01,
@@ -508,6 +626,8 @@ fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
         flip_req_prob: 0.01,
         flip_reply_prob: 0.01,
         torn_write_prob: 0.05,
+        disk_torn_prob: 0.9,
+        disk_rot_events: 0,
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -543,6 +663,16 @@ fn kv_chaos_stays_linearizable_per_key() {
     fault_line("kv", &r);
     assert!(r.tput_ops > 0.0, "no progress under chaos: {r:?}");
     assert!(r.crash_drops > 0, "the crash window never bit: {r:?}");
+    assert!(r.restarts > 0, "no amnesia window fired: {r:?}");
+    assert!(
+        r.replayed > 0,
+        "the wiped server must rebuild its table from the segment log: {r:?}"
+    );
+    assert_eq!(
+        r.segments_truncated, 0,
+        "KV syncs every acknowledged append, so crash-window tears must \
+         find nothing to cut: {r:?}"
+    );
     assert!(!history.is_empty(), "history must be recorded");
     assert!(
         r.corruptions_injected > 0,
@@ -569,24 +699,37 @@ fn kv_chaos_stays_linearizable_per_key() {
 
 fn kv_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
     let config = PrismKvConfig::paper(BLOCKS, VALUE);
-    let cluster = KvCluster::new(2, &config, seed);
+    let cluster = Arc::new(KvCluster::new(2, &config, seed));
     let servers = cluster.servers();
     let history = Arc::new(Mutex::new(Vec::new()));
     let integrity = Arc::new(IntegrityStats::new());
+    // Amnesia crashes land on whichever shard the schedule picks; each
+    // wiped shard replays its own segment log (single-copy KV needs no
+    // peers — acknowledged writes are write-through to the synced log),
+    // and routed clients refence against the bumped incarnation.
     let hooks = RecoveryHooks {
+        on_restart: Some({
+            let cluster = Arc::clone(&cluster);
+            Arc::new(move |i| {
+                cluster.amnesia_restart(i);
+            })
+        }),
+        disk_tear: Some({
+            let cluster = Arc::clone(&cluster);
+            Arc::new(move |i, rng| {
+                cluster.shard(i).disk().tear_tail(rng);
+            })
+        }),
+        durable: Some(Arc::clone(cluster.durable_stats())),
         integrity: Some(Arc::clone(&integrity)),
         ..RecoveryHooks::default()
     };
-    // Recover crashes only, as in the single-server KV gate: KV has no
-    // rejoin protocol, so a wiped shard would have nobody to resync
-    // from (that failure mode belongs to RS, which has one — see the
-    // sharded RS gate above).
     let spec = ChaosSpec {
         servers: 2,
         clients: 4,
         horizon: HORIZON,
         server_crashes: 1,
-        amnesia_fraction: 0.0,
+        amnesia_fraction: 1.0,
         client_crashes: 1,
         partitions: 1,
         drop_prob: 0.01,
@@ -595,6 +738,8 @@ fn kv_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
         flip_req_prob: 0.01,
         flip_reply_prob: 0.01,
         torn_write_prob: 0.05,
+        disk_torn_prob: 0.9,
+        disk_rot_events: 0,
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -642,6 +787,16 @@ fn kv_sharded_chaos_stays_linearizable_per_key() {
     fault_line("kv-sharded", &r);
     assert!(r.tput_ops > 0.0, "no progress under sharded chaos: {r:?}");
     assert!(r.crash_drops > 0, "the crash window never bit: {r:?}");
+    assert!(r.restarts > 0, "no amnesia window fired: {r:?}");
+    assert!(
+        r.replayed > 0,
+        "a wiped shard must rebuild its table from the segment log: {r:?}"
+    );
+    assert_eq!(
+        r.segments_truncated, 0,
+        "KV syncs every acknowledged append, so crash-window tears must \
+         find nothing to cut: {r:?}"
+    );
     assert!(!history.is_empty(), "history must be recorded");
     check_history(&history).expect("sharded KV history must be linearizable per key");
 
@@ -678,9 +833,11 @@ fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
         })),
         integrity: Some(Arc::clone(&integrity)),
         control: None,
+        ..RecoveryHooks::default()
     };
     // No server crash windows, so torn writes cannot be scheduled here;
-    // both frame legs still see flips.
+    // both frame legs still see flips. TX keeps no durable tier yet, so
+    // both disk fault classes stay off.
     let spec = ChaosSpec {
         servers: 1,
         clients: 6,
@@ -695,6 +852,8 @@ fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
         flip_req_prob: 0.01,
         flip_reply_prob: 0.01,
         torn_write_prob: 0.0,
+        disk_torn_prob: 0.0,
+        disk_rot_events: 0,
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
