@@ -372,6 +372,24 @@ impl ProtoAdapter for PrismKvAdapter {
     fn on_stale_reply(&mut self, _tag: u64, server: usize, reply: Reply) -> Vec<Outbound> {
         kv_harvest(server, reply)
     }
+
+    fn hedge_eligible(&self, _tag: u64) -> bool {
+        // Only GETs hedge: every leg of a GET machine (probe, resolve)
+        // is an idempotent read, so racing two copies is safe. A PUT's
+        // install chain allocates and CASes — duplicating it would
+        // double-publish.
+        matches!(self.current, Some(KvMachine::Get(_)))
+    }
+
+    fn abandon(&mut self) -> Vec<Outbound> {
+        // Deadline shed: drop the op on the floor. KV machines hold at
+        // most one request in flight and harvesting of raced replies is
+        // stateless (`kv_harvest`), so there is nothing to park.
+        self.current = None;
+        self.op = None;
+        self.retries = 0;
+        Vec::new()
+    }
 }
 
 /// Reclamation for a PRISM-KV reply that raced its own timeout: an
@@ -526,6 +544,19 @@ impl ProtoAdapter for PilafAdapter {
                 },
             },
         }
+    }
+
+    fn hedge_eligible(&self, _tag: u64) -> bool {
+        // Pilaf GETs are pure one-sided READs (idempotent); PUT RPCs
+        // mutate and must not race a copy of themselves.
+        matches!(self.current, Some(PilafMachine::Get(_)))
+    }
+
+    fn abandon(&mut self) -> Vec<Outbound> {
+        self.current = None;
+        self.op = None;
+        self.retries = 0;
+        Vec::new()
     }
 }
 
@@ -891,6 +922,31 @@ impl ProtoAdapter for PrismRsAdapter {
     fn on_stale_reply(&mut self, _tag: u64, server: usize, reply: Reply) -> Vec<Outbound> {
         rs_harvest(server, reply)
     }
+
+    fn hedge_eligible(&self, t: u64) -> bool {
+        // Quorum-read legs hedge: a GET's phases are all reads, so the
+        // loser of the race is just one more straggler for the machine
+        // (read chains allocate nothing, so the harvest is a no-op).
+        // PUT legs allocate and CAS; only the leg's own reissue path
+        // may duplicate them. The tag gate keeps a straggler-epoch tag
+        // from hedging after the op has moved on.
+        untag(t).0 == self.seq && self.current.is_some() && matches!(self.op, Some((_, None)))
+    }
+
+    fn abandon(&mut self) -> Vec<Outbound> {
+        // Deadline shed mid-quorum: park the machine exactly as a
+        // reissue would, so stragglers of the abandoned attempt still
+        // resolve against it and their reclamation traffic lands.
+        if let Some(op) = self.current.take() {
+            if self.outstanding > 0 {
+                self.lingering.insert(self.seq, (op, self.outstanding));
+            }
+        }
+        self.outstanding = 0;
+        self.op = None;
+        self.retries = 0;
+        Vec::new()
+    }
 }
 
 /// Reclamation for a PRISM-RS write-phase reply that raced its own
@@ -1250,6 +1306,18 @@ impl ProtoAdapter for PrismTxAdapter {
                 AdapterStep::Wait(sends)
             }
         }
+    }
+
+    fn abandon(&mut self) -> Vec<Outbound> {
+        // PRISM-TX retries aborts through Backoff (never Retry), so the
+        // deadline shed cannot fire today; parking keeps the straggler
+        // bookkeeping exact if that ever changes.
+        if let Some(op) = self.current.take() {
+            self.park(op);
+        }
+        self.outstanding = 0;
+        self.consecutive_aborts = 0;
+        Vec::new()
     }
 }
 

@@ -1,0 +1,122 @@
+//! Hedged-vs-unhedged tail curves with one degraded shard — the
+//! BENCH_06 experiment. A two-shard PRISM-KV cluster serves a GET-only
+//! closed loop under background loss and delivery jitter while shard 1
+//! is stretched by a gray straggler window of increasing severity
+//! (1x = healthy, then 2x/4x/8x). Each severity runs twice on the same
+//! seed: once with the tail policy off (fixed timeouts, no hedging) and
+//! once with adaptive timeouts + hedged reads armed. The unhedged tail
+//! pins to the fixed timeout as soon as the straggler bites; the hedged
+//! tail stays within a small multiple of the healthy baseline because a
+//! copy issued after the tracked p99 covers the slow shard, and every
+//! losing copy is harvested through the stale-reply path.
+//!
+//! Usage: `cargo run --release -p prism-harness --bin fig_hedge
+//! [--quick] [--seed <n>]`
+//!
+//! Each point prints a machine-readable `hedge ...` line for results
+//! assembly (results/BENCH_06.json).
+
+use std::sync::{Arc, Mutex};
+
+use prism_harness::chaos::ChaosKvAdapter;
+use prism_harness::cluster::KvCluster;
+use prism_harness::netsim::{run_closed_loop, RunResult, VerbPath};
+use prism_kv::prism_kv::PrismKvConfig;
+use prism_simnet::fault::{FaultPlan, TailPolicy};
+use prism_simnet::latency::CostModel;
+use prism_simnet::time::{SimDuration, SimTime};
+
+const BLOCKS: u64 = 8;
+const VALUE: usize = 64;
+
+fn tail_run(
+    seed: u64,
+    factor: u32,
+    tail: TailPolicy,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> RunResult {
+    let config = PrismKvConfig::paper(BLOCKS, VALUE);
+    let cluster = Arc::new(KvCluster::new(2, &config, seed));
+    let servers = cluster.servers();
+    let history = Arc::new(Mutex::new(Vec::new()));
+    let horizon = warmup + measure + SimDuration::micros(400);
+    // Loss gives hedging its opening (a dropped leg otherwise waits out
+    // the fixed timeout); jitter keeps some live primaries past the
+    // tracked p99 so hedge races — and loser harvesting — are real.
+    let mut plan = FaultPlan::seeded(seed)
+        .with_loss(0.05, 0.0)
+        .with_jitter(8_000)
+        .with_tail_policy(tail);
+    if factor >= 2 {
+        plan = plan.with_slowdown(1, SimTime::ZERO, SimTime::ZERO + horizon, factor);
+    }
+    plan.timeout = SimDuration::micros(60);
+    run_closed_loop(
+        &servers,
+        &CostModel::testbed(),
+        VerbPath::Nic,
+        4,
+        &mut |i| {
+            Box::new(ChaosKvAdapter::sharded(
+                (0..2).map(|s| cluster.shard(s).open_client()).collect(),
+                cluster.map().clone(),
+                i,
+                BLOCKS,
+                VALUE,
+                0.0,
+                Arc::clone(&history),
+            ))
+        },
+        warmup,
+        measure,
+        seed,
+        &plan,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x64A9_0003u64);
+    let (warmup, measure) = if quick {
+        (SimDuration::micros(400), SimDuration::micros(2_400))
+    } else {
+        (SimDuration::millis(1), SimDuration::millis(10))
+    };
+    let hedged_policy = TailPolicy {
+        adaptive_timeout: true,
+        hedge: true,
+        admission_ns: 0,
+        retry_deadline: SimDuration::ZERO,
+    };
+    println!(
+        "fig_hedge: 2-shard KV, GET-only, loss=0.05 jitter=8us timeout=60us, \
+         shard 1 straggling (seed={seed:#x})"
+    );
+    for factor in [1u32, 2, 4, 8] {
+        for (mode, tail) in [
+            ("unhedged", TailPolicy::default()),
+            ("hedged", hedged_policy.clone()),
+        ] {
+            let r = tail_run(seed, factor, tail, warmup, measure);
+            println!(
+                "hedge factor={factor} mode={mode} tput_ops={:.0} mean_us={:.2} \
+                 p99_us={:.2} timeouts={} retries={} hedges={} wins={} stale={}",
+                r.tput_ops,
+                r.mean_us,
+                r.p99_us,
+                r.timeouts,
+                r.retries,
+                r.hedges,
+                r.hedge_wins,
+                r.stale_harvested,
+            );
+        }
+    }
+}

@@ -520,6 +520,30 @@ impl ProtoAdapter for ChaosRsAdapter {
     fn on_stale_reply(&mut self, _tag: u64, server: usize, reply: Reply) -> Vec<Outbound> {
         rs_harvest(server, reply)
     }
+
+    fn hedge_eligible(&self, t: u64) -> bool {
+        // Quorum-read legs only (see PrismRsAdapter::hedge_eligible):
+        // all GET phases are idempotent reads, so the race's loser is
+        // just one more straggler.
+        untag(t).0 == self.seq && self.current.is_some() && matches!(self.op, Some((_, None)))
+    }
+
+    fn abandon(&mut self) -> Vec<Outbound> {
+        // Deadline shed mid-quorum: park the machine exactly as a
+        // reissue would (stragglers still resolve and reclaim), and
+        // leave the history record open — a shed PUT may have partially
+        // executed, so the checker must treat it as uncertain.
+        if let Some(op) = self.current.take() {
+            if self.outstanding > 0 {
+                self.lingering.insert(self.seq, (op, self.outstanding));
+            }
+        }
+        self.outstanding = 0;
+        self.op = None;
+        self.retries = 0;
+        self.rec = None;
+        Vec::new()
+    }
 }
 
 enum KvMachine {
@@ -889,6 +913,23 @@ impl ProtoAdapter for ChaosKvAdapter {
 
     fn on_stale_reply(&mut self, _tag: u64, server: usize, reply: Reply) -> Vec<Outbound> {
         kv_harvest(server, reply)
+    }
+
+    fn hedge_eligible(&self, _tag: u64) -> bool {
+        // GET machines only (see PrismKvAdapter::hedge_eligible): every
+        // GET leg is an idempotent read; PUT chains allocate and CAS.
+        matches!(self.current, Some(KvMachine::Get(_)))
+    }
+
+    fn abandon(&mut self) -> Vec<Outbound> {
+        // Deadline shed: drop the machine (KV holds one request in
+        // flight; raced-reply harvesting is stateless) and leave the
+        // history record open — a shed PUT is uncertain.
+        self.current = None;
+        self.op = None;
+        self.retries = 0;
+        self.rec = None;
+        Vec::new()
     }
 }
 

@@ -26,6 +26,7 @@ use prism_core::op::{DataArg, PrismOp};
 use prism_core::PrismServer;
 use prism_rdma::RdmaError;
 use prism_simnet::engine::{Actor, ActorId, Context, Simulation};
+use prism_simnet::estimator::RttEstimator;
 use prism_simnet::fault::FaultPlan;
 use prism_simnet::latency::CostModel;
 use prism_simnet::resources::{LinkShaper, ServiceCenter};
@@ -148,6 +149,27 @@ pub trait ProtoAdapter {
     fn on_stale_reply(&mut self, _tag: u64, _server: usize, _reply: Reply) -> Vec<Outbound> {
         Vec::new()
     }
+
+    /// Whether the outstanding send behind `tag` may be hedged: a
+    /// byte-identical copy issued while the first is still in flight,
+    /// first reply home wins. Only idempotent reads qualify — a hedged
+    /// write or ALLOCATE would execute twice. Default: nothing is
+    /// eligible, so arming the hedge policy is a per-adapter opt-in.
+    fn hedge_eligible(&self, _tag: u64) -> bool {
+        false
+    }
+
+    /// Abandons the operation in flight (deadline shed): the client
+    /// actor invokes this instead of honoring a [`AdapterStep::Retry`]
+    /// once the op has burned its retry deadline. Implementations must
+    /// park any still-outstanding sends exactly as a reissue would, so
+    /// their stragglers still reach [`ProtoAdapter::on_stale_reply`]
+    /// and reclaim what they carry — an unparked abandon would leak the
+    /// buffers of in-flight writes. Returns trailing reclamation sends;
+    /// the adapter must be ready for `start` afterwards.
+    fn abandon(&mut self) -> Vec<Outbound> {
+        Vec::new()
+    }
 }
 
 /// Messages exchanged between actors.
@@ -213,6 +235,19 @@ pub enum SimMsg {
         tag: u64,
         /// Send-attempt stamp; a reissued tag gets a fresh stamp, so a
         /// stale timer for an earlier attempt is ignored.
+        attempt: u64,
+    },
+    /// Client self-message armed at send time when the plan's tail
+    /// policy hedges: if the tagged primary attempt is still
+    /// outstanding when this fires, the client re-issues a
+    /// byte-identical copy under a fresh attempt stamp. First reply
+    /// home settles the op; the slower copy becomes a straggler the
+    /// harvest hook reclaims.
+    Hedge {
+        /// The hedged request's routing tag.
+        tag: u64,
+        /// The *primary* attempt this timer was armed for; a reissued
+        /// tag gets a fresh stamp, so a stale hedge timer is ignored.
         attempt: u64,
     },
     /// Self-message scheduled at the closing edge of a crash window.
@@ -703,6 +738,53 @@ impl Actor<SimMsg> for ServerActor {
         // Processing: DMA, then (for software paths) a FIFO dispatch-core
         // occupancy, then post-execution slack.
         let (dma, occupancy, post) = self.processing(&req);
+        // Gray-failure slowdown: a covering window stretches this host's
+        // processing — DMA, core occupancy, dispatch slack — by the
+        // window's factor. The host stays alive and correct, it is just
+        // slow; the stretched occupancy is also what backs convoys up
+        // behind a straggling server. Pure schedule data, no RNG draw,
+        // so window-free plans stay bit-identical.
+        let slow = self.faults.slowdown_factor(self.index, now);
+        let (dma, occupancy, post) = if slow > 1 {
+            ctx.metrics().add("fault_slowdown_hits", 1);
+            (dma * slow, occupancy.map(|o| o * slow), post * slow)
+        } else {
+            (dma, occupancy, post)
+        };
+        // Admission control: when the plan bounds the dispatch queue, a
+        // request whose queueing delay would exceed the bound is refused
+        // with a typed Busy NACK *before* execution and without
+        // consuming a core — a degraded server fails fast instead of
+        // building a convoy. Hardware-path verbs never queue on cores
+        // and are never refused.
+        if self.faults.tail.admission_ns > 0 && respond {
+            if let Some(_occ) = occupancy {
+                let wait = self.cores.would_wait(rx_done + dma);
+                if wait.as_nanos() > self.faults.tail.admission_ns {
+                    ctx.metrics().add("busy_nacks", 1);
+                    let inc = self.server.regions().current_incarnation();
+                    let reply = Reply::Verb(Err(RdmaError::Busy {
+                        wait_ns: wait.as_nanos(),
+                    }));
+                    let tx_done = self.tx.transmit(
+                        rx_done + self.model.host_dma,
+                        reply.wire_len() + self.model.header_bytes,
+                    );
+                    ctx.send_at(
+                        from,
+                        tx_done + post_delay(&self.model),
+                        SimMsg::Reply {
+                            tag,
+                            attempt,
+                            server: self.index,
+                            inc,
+                            reply,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
         let proc_done = match occupancy {
             Some(occ) => self.cores.admit(rx_done + dma, occ) + post,
             None => rx_done + dma + post,
@@ -892,6 +974,25 @@ pub struct ClientActor {
     /// Highest incarnation stamp seen per server; older-stamped replies
     /// are fenced (see [`SimMsg::Reply`]).
     seen_inc: Vec<u64>,
+    /// Windowed-quantile RTT tracker feeding the adaptive timeout,
+    /// hedge delay, and backoff when the plan's tail policy arms them.
+    /// Only live completions feed it — a timed-out attempt contributes
+    /// no sample (Karn's rule), so retransmission ambiguity never
+    /// poisons the estimate.
+    estimator: RttEstimator,
+    /// Send instant per `(tag, attempt)`, kept while the tail policy is
+    /// active so completions can be turned into RTT samples.
+    sent_at: HashMap<(u64, u64), SimTime>,
+    /// The hedge copy in flight per tag (its attempt stamp). At most
+    /// one hedge per primary: two copies of an idempotent read are a
+    /// tail fix, N copies are an outage amplifier.
+    hedged: HashMap<u64, u64>,
+    /// The request behind each hedge-eligible outstanding tag, so the
+    /// hedge timer can re-issue a byte-identical copy.
+    hedge_req: HashMap<u64, (usize, Request, u64)>,
+    /// Consecutive transport retries of the op in flight (reset at op
+    /// start), driving the adaptive backoff schedule.
+    op_retries: u32,
 }
 
 impl ClientActor {
@@ -925,83 +1026,161 @@ impl ClientActor {
             attempt_ctr: 0,
             epoch: 0,
             seen_inc,
+            estimator: RttEstimator::p99(),
+            sent_at: HashMap::new(),
+            hedged: HashMap::new(),
+            hedge_req: HashMap::new(),
+            op_retries: 0,
         }
+    }
+
+    /// Whether the tail policy needs RTT samples.
+    fn tail_tracks_rtt(&self) -> bool {
+        self.faults.tail.adaptive_timeout || self.faults.tail.hedge
+    }
+
+    /// The per-request timeout: the plan's fixed value, or — under the
+    /// adaptive policy — four times the tracked p99, clamped between
+    /// two unloaded fixed-path round trips and eight fixed timeouts.
+    fn effective_timeout(&self) -> SimDuration {
+        if !self.faults.tail.adaptive_timeout {
+            return self.faults.timeout;
+        }
+        let rt = pre_delay(&self.model) + post_delay(&self.model);
+        self.estimator
+            .timeout(4, rt * 2, self.faults.timeout * 8, self.faults.timeout)
+    }
+
+    /// How long a hedge-eligible read stays solo before its copy is
+    /// issued: the tracked p99 (i.e. once the first copy is
+    /// statistically in the tail), floored at one unloaded fixed-path
+    /// round trip; half the fixed timeout until the window warms up.
+    fn hedge_delay(&self) -> SimDuration {
+        let rt = pre_delay(&self.model) + post_delay(&self.model);
+        let fallback = SimDuration::from_nanos(self.faults.timeout.as_nanos() / 2);
+        self.estimator.hedge_delay(rt, fallback)
     }
 
     fn dispatch(&mut self, sends: Vec<Outbound>, ctx: &mut Context<'_, SimMsg>) {
         let me = ctx.self_id();
         let armed = !self.faults.is_noop();
         for out in sends {
-            let dst = self.servers[out.server];
-            let mut pre = pre_delay(&self.model);
             let mut attempt = 0;
-            let mut corrupt = false;
-            if armed {
+            if armed && !out.background {
                 // Arm the timeout before deciding the request's fate: a
                 // dropped or partitioned request must still time out.
-                if !out.background {
-                    self.attempt_ctr += 1;
-                    attempt = self.attempt_ctr;
-                    self.outstanding.insert(out.tag, attempt);
+                self.attempt_ctr += 1;
+                attempt = self.attempt_ctr;
+                self.outstanding.insert(out.tag, attempt);
+                let pre = pre_delay(&self.model);
+                ctx.send_in(
+                    me,
+                    pre + self.effective_timeout(),
+                    SimMsg::Timeout {
+                        tag: out.tag,
+                        attempt,
+                    },
+                );
+                if self.faults.tail.hedge && self.adapter.hedge_eligible(out.tag) {
+                    // Keep a byte-identical copy to re-issue if the
+                    // first lands in the tail.
+                    self.hedge_req
+                        .insert(out.tag, (out.server, out.req.clone(), out.epoch));
                     ctx.send_in(
                         me,
-                        pre + self.faults.timeout,
-                        SimMsg::Timeout {
+                        pre + self.hedge_delay(),
+                        SimMsg::Hedge {
                             tag: out.tag,
                             attempt,
                         },
                     );
                 }
-                // Partitions sever the request leg only: replies already
-                // in flight when a partition begins still deliver.
-                if self.faults.partitioned(self.index, out.server, ctx.now()) {
-                    ctx.metrics().add("fault_drops", 1);
-                    continue;
-                }
-                if self.faults.drop_prob > 0.0 && self.fault_rng.gen_bool(self.faults.drop_prob) {
-                    ctx.metrics().add("fault_drops", 1);
-                    continue;
-                }
-                if self.faults.jitter_ns > 0 {
-                    pre += SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
-                }
-                if self.faults.flip_req_prob > 0.0
-                    && self.corrupt_rng.gen_bool(self.faults.flip_req_prob)
-                {
-                    // Request-leg corruption, applied to the real
-                    // encoded frame — epoch word included (see the
-                    // reply-leg twin in [`ServerActor`]): flip one
-                    // seeded bit, verify the frame CRCs catch it, and
-                    // deliver the request marked corrupt so the server
-                    // NACKs it unexecuted. A flipped epoch can thus
-                    // never masquerade as a fresher (or staler) route.
-                    ctx.metrics().add("fault_corrupt_injected", 1);
-                    ctx.metrics().add("fault_corrupt_detected", 1);
-                    if let Ok(mut bytes) = out.req.encode_epoch(out.epoch) {
-                        let pos = self.corrupt_rng.gen_range(bytes.len() as u64 * 8);
-                        bytes[(pos / 8) as usize] ^= 1 << (pos % 8);
-                        debug_assert!(
-                            Request::decode_epoch(&bytes).is_err(),
-                            "a single-bit flip must not survive the frame CRCs"
-                        );
-                    }
-                    corrupt = true;
-                }
             }
-            ctx.send_in(
-                dst,
-                pre,
-                SimMsg::Req {
-                    from: me,
-                    tag: out.tag,
-                    attempt,
-                    req: out.req,
-                    respond: !out.background,
-                    corrupt,
-                    epoch: out.epoch,
-                },
+            self.transmit(
+                out.server,
+                out.tag,
+                attempt,
+                out.req,
+                out.epoch,
+                !out.background,
+                ctx,
             );
         }
+    }
+
+    /// Sends one request copy through the (possibly faulty) fabric:
+    /// partitions, drops, jitter, and request-leg flips decide its fate
+    /// exactly as before; hedge copies take the same gauntlet as
+    /// primaries.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit(
+        &mut self,
+        server: usize,
+        tag: u64,
+        attempt: u64,
+        req: Request,
+        epoch: u64,
+        respond: bool,
+        ctx: &mut Context<'_, SimMsg>,
+    ) {
+        let me = ctx.self_id();
+        let dst = self.servers[server];
+        let mut pre = pre_delay(&self.model);
+        let mut corrupt = false;
+        if !self.faults.is_noop() {
+            if respond && self.tail_tracks_rtt() {
+                self.sent_at.insert((tag, attempt), ctx.now());
+            }
+            // Partitions (asymmetric ones included, plus flap-window
+            // down phases) sever the request leg here: replies already
+            // in flight when a partition begins still deliver.
+            if self.faults.partitioned(self.index, server, ctx.now()) {
+                ctx.metrics().add("fault_drops", 1);
+                return;
+            }
+            if self.faults.drop_prob > 0.0 && self.fault_rng.gen_bool(self.faults.drop_prob) {
+                ctx.metrics().add("fault_drops", 1);
+                return;
+            }
+            if self.faults.jitter_ns > 0 {
+                pre += SimDuration::from_nanos(self.fault_rng.gen_range(self.faults.jitter_ns));
+            }
+            if self.faults.flip_req_prob > 0.0
+                && self.corrupt_rng.gen_bool(self.faults.flip_req_prob)
+            {
+                // Request-leg corruption, applied to the real
+                // encoded frame — epoch word included (see the
+                // reply-leg twin in [`ServerActor`]): flip one
+                // seeded bit, verify the frame CRCs catch it, and
+                // deliver the request marked corrupt so the server
+                // NACKs it unexecuted. A flipped epoch can thus
+                // never masquerade as a fresher (or staler) route.
+                ctx.metrics().add("fault_corrupt_injected", 1);
+                ctx.metrics().add("fault_corrupt_detected", 1);
+                if let Ok(mut bytes) = req.encode_epoch(epoch) {
+                    let pos = self.corrupt_rng.gen_range(bytes.len() as u64 * 8);
+                    bytes[(pos / 8) as usize] ^= 1 << (pos % 8);
+                    debug_assert!(
+                        Request::decode_epoch(&bytes).is_err(),
+                        "a single-bit flip must not survive the frame CRCs"
+                    );
+                }
+                corrupt = true;
+            }
+        }
+        ctx.send_in(
+            dst,
+            pre,
+            SimMsg::Req {
+                from: me,
+                tag,
+                attempt,
+                req,
+                respond,
+                corrupt,
+                epoch,
+            },
+        );
     }
 
     /// Routes a reply (real or synthesized) through the adapter and
@@ -1067,7 +1246,42 @@ impl ClientActor {
             }
             AdapterStep::Retry { sends, mut wait } => {
                 self.dispatch(sends, ctx);
+                let deadline = self.faults.tail.retry_deadline;
+                if deadline > SimDuration::ZERO && ctx.now().since(self.op_start) >= deadline {
+                    // Deadline-aware retry budget: the op has already
+                    // burned its deadline on lost round trips, so shed
+                    // it instead of joining the retry storm. The
+                    // adapter parks its outstanding stragglers (so
+                    // their replies still reclaim resources) and the
+                    // client moves on to fresh work.
+                    let sends = self.adapter.abandon();
+                    self.dispatch(sends, ctx);
+                    if self.corrupt_op {
+                        self.corrupt_op = false;
+                        ctx.metrics().add("fault_corrupt_aborted", 1);
+                    }
+                    ctx.metrics().add("shed", 1);
+                    ctx.metrics().add("failed", 1);
+                    let me = ctx.self_id();
+                    let now = ctx.now();
+                    ctx.send_at(
+                        me,
+                        now,
+                        SimMsg::Kick {
+                            resume: false,
+                            epoch,
+                        },
+                    );
+                    return;
+                }
                 ctx.metrics().add("retries", 1);
+                self.op_retries += 1;
+                if self.faults.tail.adaptive_timeout {
+                    // The adaptive schedule replaces the adapter's fixed
+                    // backoff once the RTT window is warm: the wait
+                    // scales with what the fabric actually measures.
+                    wait = self.estimator.backoff(self.op_retries, wait);
+                }
                 if !self.faults.is_noop() {
                     // Seeded jitter from the dedicated fault stream
                     // desynchronizes the retry storm that forms when a
@@ -1151,6 +1365,7 @@ impl Actor<SimMsg> for ClientActor {
                     // Backoff waits stay inside the op's latency.
                     self.op_start = ctx.now();
                     self.corrupt_op = false;
+                    self.op_retries = 0;
                 }
                 self.adapter.note_time(ctx.now());
                 let sends = if resume {
@@ -1168,6 +1383,20 @@ impl Actor<SimMsg> for ClientActor {
                 reply,
             } => {
                 if !self.faults.is_noop() {
+                    // Asymmetric partitions and flap-window down phases
+                    // sever the server→client leg at delivery time: the
+                    // request executed (the linearization point is
+                    // server-side), but this client never hears the
+                    // answer — the one-way-link version of the "did it
+                    // happen?" ambiguity. Checked before fencing and
+                    // dedup: a reply that never arrives touches no
+                    // client state.
+                    if self.faults.injects_gray()
+                        && self.faults.reply_partitioned(self.index, server, ctx.now())
+                    {
+                        ctx.metrics().add("fault_drops", 1);
+                        return;
+                    }
                     // Incarnation fencing: once this client has seen a
                     // reply from incarnation k of a server, any reply
                     // stamped older is a pre-crash straggler describing
@@ -1180,11 +1409,14 @@ impl Actor<SimMsg> for ClientActor {
                     }
                     self.seen_inc[server] = inc;
                     // Under a fault plan every reply must match the
-                    // exact outstanding attempt. A mismatch is a
+                    // exact outstanding attempt — the primary's or, for
+                    // a hedged tag, the copy's. A mismatch is a
                     // duplicate delivery, a reply that lost the race
                     // against its own timeout, or a stale pre-timeout
                     // reply for a tag the adapter has since reissued.
-                    if self.outstanding.get(&tag) != Some(&attempt) {
+                    let primary = self.outstanding.get(&tag).copied();
+                    let hedge = self.hedged.get(&tag).copied();
+                    if primary != Some(attempt) && hedge != Some(attempt) {
                         if self.last_done.get(&tag) == Some(&attempt) {
                             // True duplicate of a consumed attempt.
                             return;
@@ -1193,30 +1425,96 @@ impl Actor<SimMsg> for ClientActor {
                         // belongs to is settled, but the reply may
                         // prove a server-side allocation exists — offer
                         // it to the adapter's reclamation hook, exactly
-                        // once.
+                        // once. Hedge losers land here too: whichever
+                        // copy arrives second is harvested, never fed.
                         self.last_done.insert(tag, attempt);
                         ctx.metrics().add("stale_harvested", 1);
                         let sends = self.adapter.on_stale_reply(tag, server, reply);
                         self.dispatch(sends, ctx);
                         return;
                     }
+                    // First copy home settles the op. The slower copy
+                    // (if one is in flight) is deliberately *not*
+                    // recorded as done: its arrival must take the
+                    // straggler path above so reclamation still lands.
+                    if hedge == Some(attempt) {
+                        ctx.metrics().add("hedge_wins", 1);
+                    }
                     self.outstanding.remove(&tag);
+                    self.hedged.remove(&tag);
+                    self.hedge_req.remove(&tag);
                     self.last_done.insert(tag, attempt);
+                    if self.tail_tracks_rtt() {
+                        if let Some(sent) = self.sent_at.remove(&(tag, attempt)) {
+                            self.estimator.observe(ctx.now().since(sent));
+                        }
+                        // The loser never becomes a sample (Karn's
+                        // rule); drop its entry to keep the map bounded.
+                        for a in [primary, hedge].into_iter().flatten() {
+                            self.sent_at.remove(&(tag, a));
+                        }
+                    }
                 }
                 self.feed_reply(tag, reply, ctx);
             }
             SimMsg::Timeout { tag, attempt } => {
-                if self.outstanding.get(&tag) != Some(&attempt) {
-                    // The reply arrived first (or the tag was reissued);
-                    // this timer is stale.
+                if self.outstanding.get(&tag) == Some(&attempt) {
+                    self.sent_at.remove(&(tag, attempt));
+                    // Primary copy timed out. With a hedge copy still
+                    // in flight the op is not dead: promote the copy to
+                    // primary — its own timer, armed at hedge send,
+                    // decides its fate — and stay silent toward the
+                    // adapter.
+                    if let Some(h) = self.hedged.remove(&tag) {
+                        self.outstanding.insert(tag, h);
+                        return;
+                    }
+                    self.outstanding.remove(&tag);
+                    self.hedge_req.remove(&tag);
+                    ctx.metrics().add("timeouts", 1);
+                    // Synthesize the transport-level failure the protocol
+                    // machines already understand: the same stand-in their
+                    // sequential drivers use for a crashed replica.
+                    self.feed_reply(tag, Reply::Verb(Err(RdmaError::ReceiverNotReady)), ctx);
                     return;
                 }
-                self.outstanding.remove(&tag);
-                ctx.metrics().add("timeouts", 1);
-                // Synthesize the transport-level failure the protocol
-                // machines already understand: the same stand-in their
-                // sequential drivers use for a crashed replica.
-                self.feed_reply(tag, Reply::Verb(Err(RdmaError::ReceiverNotReady)), ctx);
+                if self.hedged.get(&tag) == Some(&attempt) {
+                    // The hedge copy timed out while the primary is
+                    // still outstanding (and still has a live timer):
+                    // forget the copy, keep waiting on the primary.
+                    self.hedged.remove(&tag);
+                    self.sent_at.remove(&(tag, attempt));
+                }
+                // Otherwise the reply arrived first (or the tag was
+                // reissued); this timer is stale.
+            }
+            SimMsg::Hedge { tag, attempt } => {
+                // Fire only while the exact primary attempt this timer
+                // was armed for is still outstanding, and at most once
+                // per primary.
+                if self.outstanding.get(&tag) != Some(&attempt) || self.hedged.contains_key(&tag) {
+                    return;
+                }
+                let Some((server, req, epoch)) = self
+                    .hedge_req
+                    .get(&tag)
+                    .map(|(s, r, e)| (*s, r.clone(), *e))
+                else {
+                    return;
+                };
+                ctx.metrics().add("hedges", 1);
+                self.attempt_ctr += 1;
+                let copy = self.attempt_ctr;
+                self.hedged.insert(tag, copy);
+                // The copy gets its own timeout and takes the same
+                // faulty fabric as any primary send.
+                let me = ctx.self_id();
+                ctx.send_in(
+                    me,
+                    pre_delay(&self.model) + self.effective_timeout(),
+                    SimMsg::Timeout { tag, attempt: copy },
+                );
+                self.transmit(server, tag, copy, req, epoch, true, ctx);
             }
             SimMsg::Restart => {
                 // Rebooted with amnesia: every in-flight operation is
@@ -1227,6 +1525,13 @@ impl Actor<SimMsg> for ClientActor {
                 self.epoch += 1;
                 self.outstanding.clear();
                 self.corrupt_op = false;
+                // Hedge copies and send-time samples die with the
+                // process; their stragglers take the harvest path.
+                // `last_done` survives (see its invariant).
+                self.hedged.clear();
+                self.hedge_req.clear();
+                self.sent_at.clear();
+                self.op_retries = 0;
                 ctx.metrics().add("fault_client_restarts", 1);
                 self.op_start = ctx.now();
                 self.adapter.note_time(ctx.now());
@@ -1314,6 +1619,21 @@ pub struct RunResult {
     /// Amnesia-window closes at which the fault fabric tore the
     /// server's unsynced log tail.
     pub disk_tears: u64,
+    /// Hedge copies issued for tail-eligible reads under the plan's
+    /// tail policy.
+    pub hedges: u64,
+    /// Operations settled by the hedge copy arriving first (the
+    /// primary became a harvested straggler).
+    pub hedge_wins: u64,
+    /// Operations shed by the deadline-aware retry budget instead of
+    /// retried (also counted in `failed`).
+    pub shed: u64,
+    /// Requests refused by server-side admission control with a typed
+    /// `Busy` NACK (overload protection).
+    pub busy_nacks: u64,
+    /// Requests whose server-side processing was stretched by an
+    /// active gray-failure slowdown window.
+    pub slowdown_windows: u64,
 }
 
 /// Runs a closed-loop experiment: `n_clients` clients over the given
@@ -1443,6 +1763,11 @@ pub fn run_closed_loop_with(
         delta_resynced,
         segments_truncated,
         disk_tears: metrics.counter("fault_disk_tears"),
+        hedges: metrics.counter("hedges"),
+        hedge_wins: metrics.counter("hedge_wins"),
+        shed: metrics.counter("shed"),
+        busy_nacks: metrics.counter("busy_nacks"),
+        slowdown_windows: metrics.counter("fault_slowdown_hits"),
     }
 }
 
@@ -1947,6 +2272,322 @@ mod tests {
         );
         assert_eq!(b.corruptions_injected, 0);
         assert_eq!(b.corruptions_detected, 0);
+    }
+
+    #[test]
+    fn zeroed_gray_knobs_leave_a_fault_run_bit_identical() {
+        // Gray faults are pure schedule data (no delivery-time RNG) and
+        // the tail policy draws nothing, so arming the machinery with
+        // windows that never cover the run — and a default-off policy —
+        // must not move a single event of an existing fault run.
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let base = FaultPlan::seeded(11)
+            .with_loss(0.05, 0.02)
+            .with_jitter(2_000)
+            .with_timeout(SimDuration::micros(50));
+        let far = SimTime::from_nanos(50_000_000); // past the 6 ms horizon
+        let far_end = SimTime::from_nanos(51_000_000);
+        let armed = base
+            .clone()
+            .with_tail_policy(prism_simnet::fault::TailPolicy::default())
+            .with_slowdown(0, far, far_end, 8)
+            .with_reply_partition(0, 0, far, far_end)
+            .with_flap(
+                0,
+                0,
+                far,
+                far_end,
+                SimDuration::micros(40),
+                SimDuration::micros(10),
+            );
+        assert!(armed.injects_gray());
+        let run = |faults: &FaultPlan| {
+            run_closed_loop(
+                std::slice::from_ref(&s),
+                &model,
+                VerbPath::Nic,
+                4,
+                &mut |_| faulty_read(addr, rkey),
+                SimDuration::millis(1),
+                SimDuration::millis(5),
+                3,
+                faults,
+            )
+        };
+        let a = run(&base);
+        let b = run(&armed);
+        assert_eq!(a.tput_ops, b.tput_ops);
+        assert_eq!(a.mean_us, b.mean_us);
+        assert_eq!(a.p99_us, b.p99_us);
+        assert_eq!(
+            (a.failed, a.drops, a.dups, a.timeouts, a.retries, a.giveups),
+            (b.failed, b.drops, b.dups, b.timeouts, b.retries, b.giveups)
+        );
+        assert_eq!(
+            (
+                b.hedges,
+                b.hedge_wins,
+                b.shed,
+                b.busy_nacks,
+                b.slowdown_windows
+            ),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn slowdown_window_stretches_latency_and_counts() {
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let run = |faults: &FaultPlan| {
+            run_closed_loop(
+                std::slice::from_ref(&s),
+                &model,
+                VerbPath::Nic,
+                1,
+                &mut |_| {
+                    Box::new(ReadAdapter {
+                        addr,
+                        rkey,
+                        chain: false,
+                    }) as Box<dyn ProtoAdapter>
+                },
+                SimDuration::millis(1),
+                SimDuration::millis(5),
+                5,
+                faults,
+            )
+        };
+        let healthy = run(&FaultPlan::seeded(5).with_timeout(SimDuration::micros(300)));
+        let gray = FaultPlan::seeded(5)
+            .with_timeout(SimDuration::micros(300))
+            .with_slowdown(
+                0,
+                SimTime::from_nanos(1_000_000),
+                SimTime::from_nanos(6_000_000),
+                8,
+            );
+        let a = run(&gray);
+        assert!(
+            a.slowdown_windows > 0,
+            "requests inside the window must be counted"
+        );
+        assert!(
+            a.mean_us > healthy.mean_us * 2.0,
+            "an 8x slowdown must visibly stretch latency ({} vs {})",
+            a.mean_us,
+            healthy.mean_us
+        );
+        assert_eq!(a.timeouts, 0, "the 300 µs timeout out-waits the slowdown");
+        let b = run(&gray);
+        assert_eq!(a.tput_ops, b.tput_ops);
+        assert_eq!(a.slowdown_windows, b.slowdown_windows);
+    }
+
+    #[test]
+    fn admission_bound_busy_nacks_a_convoy_behind_a_straggler() {
+        // A 32x straggler on the software path backs a convoy up behind
+        // its dispatch cores; the admission bound refuses the overflow
+        // with typed Busy NACKs instead of letting the queue build.
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let tail = prism_simnet::fault::TailPolicy {
+            admission_ns: 5_000,
+            ..Default::default()
+        };
+        let faults = FaultPlan::seeded(7)
+            .with_timeout(SimDuration::micros(400))
+            .with_slowdown(
+                0,
+                SimTime::from_nanos(1_000_000),
+                SimTime::from_nanos(5_000_000),
+                32,
+            )
+            .with_tail_policy(tail);
+        let run = || {
+            run_closed_loop(
+                std::slice::from_ref(&s),
+                &model,
+                VerbPath::Cpu,
+                24,
+                &mut |_| faulty_read(addr, rkey),
+                SimDuration::millis(1),
+                SimDuration::millis(5),
+                9,
+                &faults,
+            )
+        };
+        let a = run();
+        assert!(a.busy_nacks > 0, "the convoy must be refused admission");
+        assert!(a.tput_ops > 0.0, "ops still complete around the NACKs");
+        let b = run();
+        assert_eq!(a.tput_ops, b.tput_ops);
+        assert_eq!(a.busy_nacks, b.busy_nacks);
+    }
+
+    /// Retries lost round trips forever — the shape that needs a
+    /// deadline budget to stop.
+    struct RetryForever {
+        addr: u64,
+        rkey: u32,
+    }
+    impl ProtoAdapter for RetryForever {
+        fn start(&mut self, _rng: &mut SimRng) -> Vec<Outbound> {
+            vec![Outbound::new(
+                0,
+                0,
+                Request::Verb(prism_core::msg::Verb::Read {
+                    addr: self.addr,
+                    len: 512,
+                    rkey: self.rkey,
+                }),
+                false,
+            )]
+        }
+        fn resume(&mut self) -> Vec<Outbound> {
+            self.start(&mut SimRng::new(0))
+        }
+        fn on_reply(&mut self, _tag: u64, reply: Reply) -> AdapterStep {
+            if matches!(reply, Reply::Verb(Ok(_))) {
+                AdapterStep::Done {
+                    sends: Vec::new(),
+                    client_compute: SimDuration::ZERO,
+                    failed: false,
+                }
+            } else {
+                AdapterStep::Retry {
+                    sends: Vec::new(),
+                    wait: SimDuration::micros(20),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retry_deadline_sheds_partitioned_ops() {
+        // Client 0 is partitioned for the whole run and its adapter
+        // would retry forever; the deadline budget sheds each op after
+        // 150 µs instead. The unpartitioned client keeps completing.
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let tail = prism_simnet::fault::TailPolicy {
+            retry_deadline: SimDuration::micros(150),
+            ..Default::default()
+        };
+        let faults = FaultPlan::seeded(8)
+            .with_timeout(SimDuration::micros(50))
+            .with_partition(0, 0, SimTime::ZERO, SimTime::from_nanos(6_000_000))
+            .with_tail_policy(tail);
+        let run = || {
+            run_closed_loop(
+                std::slice::from_ref(&s),
+                &model,
+                VerbPath::Nic,
+                2,
+                &mut |_| Box::new(RetryForever { addr, rkey }) as Box<dyn ProtoAdapter>,
+                SimDuration::millis(1),
+                SimDuration::millis(5),
+                6,
+                &faults,
+            )
+        };
+        let a = run();
+        assert!(
+            a.shed > 0,
+            "deadlined ops must be shed, not retried forever"
+        );
+        assert!(a.failed >= a.shed, "every shed op is also a failure");
+        assert!(a.tput_ops > 0.0, "the healthy client keeps completing");
+        let b = run();
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.tput_ops, b.tput_ops);
+    }
+
+    /// A read client that opts its tag into hedging.
+    struct HedgedRead {
+        inner: FaultyRead,
+    }
+    impl ProtoAdapter for HedgedRead {
+        fn start(&mut self, rng: &mut SimRng) -> Vec<Outbound> {
+            self.inner.start(rng)
+        }
+        fn resume(&mut self) -> Vec<Outbound> {
+            self.inner.resume()
+        }
+        fn on_reply(&mut self, tag: u64, reply: Reply) -> AdapterStep {
+            self.inner.on_reply(tag, reply)
+        }
+        fn hedge_eligible(&self, _tag: u64) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn hedged_reads_win_races_and_cut_timeouts() {
+        // 30% request-leg loss: unhedged, every lost request burns a
+        // full timeout. Hedged, the copy usually survives and answers
+        // while the primary's timer is still pending — timeouts drop by
+        // an order of magnitude and `hedge_wins` records the races.
+        let (s, addr, rkey) = test_server();
+        let model = CostModel::testbed();
+        let base = FaultPlan::seeded(5)
+            .with_loss(0.3, 0.0)
+            .with_timeout(SimDuration::micros(60));
+        let hedged_plan = base
+            .clone()
+            .with_tail_policy(prism_simnet::fault::TailPolicy {
+                hedge: true,
+                adaptive_timeout: true,
+                ..Default::default()
+            });
+        let run = |faults: &FaultPlan| {
+            run_closed_loop(
+                std::slice::from_ref(&s),
+                &model,
+                VerbPath::Nic,
+                4,
+                &mut |_| {
+                    Box::new(HedgedRead {
+                        inner: FaultyRead {
+                            addr,
+                            rkey,
+                            attempts: 0,
+                        },
+                    }) as Box<dyn ProtoAdapter>
+                },
+                SimDuration::millis(1),
+                SimDuration::millis(5),
+                3,
+                faults,
+            )
+        };
+        let unhedged = run(&base);
+        let hedged = run(&hedged_plan);
+        assert!(hedged.hedges > 0, "hedge copies must be issued");
+        assert!(hedged.hedge_wins > 0, "some copies must win the race");
+        // The adaptive timeout also shortens the recovery path, so the
+        // hedged run completes far more ops in the same window; compare
+        // the per-op timeout *rate*, not raw counts. A timeout now needs
+        // BOTH copies lost (9% vs 30%), so the achievable cut is bounded
+        // at 3.3×; demand at least 2×.
+        let rate = |r: &RunResult| r.timeouts as f64 / r.tput_ops.max(1.0);
+        assert!(
+            rate(&hedged) * 2.0 < rate(&unhedged),
+            "hedging must cut the per-op timeout rate sharply ({:.2e} vs {:.2e})",
+            rate(&hedged),
+            rate(&unhedged)
+        );
+        assert!(
+            hedged.tput_ops > unhedged.tput_ops,
+            "fewer burned timeouts means more completed ops"
+        );
+        let again = run(&hedged_plan);
+        assert_eq!(hedged.tput_ops, again.tput_ops);
+        assert_eq!(
+            (hedged.hedges, hedged.hedge_wins, hedged.stale_harvested),
+            (again.hedges, again.hedge_wins, again.stale_harvested)
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ use prism_core::msg::{Reply, Request};
 use prism_core::PrismServer;
 use prism_rdma::RdmaError;
 use prism_simnet::engine::{Actor, ActorId, Context, Simulation};
+use prism_simnet::estimator::RttEstimator;
 use prism_simnet::fault::FaultPlan;
 use prism_simnet::latency::CostModel;
 use prism_simnet::rng::SimRng;
@@ -153,6 +154,12 @@ pub struct OpenLoopResult {
     pub backlogged: u64,
     /// Messages the fault plan dropped.
     pub drops: u64,
+    /// Operations abandoned against their retry-deadline budget
+    /// (overload shedding; counted in `failed` too).
+    pub shed: u64,
+    /// Requests the servers refused at admission (typed `Busy` NACKs,
+    /// counted at issuance so dropped NACK replies still count).
+    pub busy_nacks: u64,
 }
 
 /// One multiplexed logical client currently (or lately) in flight.
@@ -162,8 +169,16 @@ struct Slot {
     /// latency clock's origin, which predates the operation's actual
     /// start whenever the arrival had to queue.
     intended: SimTime,
+    /// When the operation actually started (slot acquired). The
+    /// deadline-aware retry budget clocks from here, not from
+    /// `intended`: backlog queueing is the load's fault, not the op's,
+    /// and must not trigger sheds by itself.
+    started: SimTime,
     /// See [`ClientActor`]'s field of the same name.
     corrupt_op: bool,
+    /// Consecutive transport retries of the op in flight, driving the
+    /// adaptive backoff schedule.
+    op_retries: u32,
 }
 
 /// An aggregate open-loop actor: owns this partition's arrival stream
@@ -213,6 +228,15 @@ pub struct OpenLoopActor {
     /// Highest incarnation seen per server (pre-crash stragglers are
     /// fenced, as in the closed-loop client).
     seen_inc: Vec<u64>,
+    /// Windowed-quantile RTT tracker shared by this aggregate's slots,
+    /// feeding the adaptive timeout and backoff when the plan's tail
+    /// policy arms them. (Hedging is a closed-loop client policy; the
+    /// aggregate's overload story is admission control + shedding.)
+    estimator: RttEstimator,
+    /// Send instant per `(wire tag, attempt)` while the adaptive policy
+    /// is active; live completions become RTT samples, timed-out
+    /// attempts never do (Karn's rule).
+    sent_at: HashMap<(u64, u64), SimTime>,
 }
 
 impl OpenLoopActor {
@@ -256,7 +280,19 @@ impl OpenLoopActor {
             next_tag: 0,
             attempt_ctr: 0,
             seen_inc,
+            estimator: RttEstimator::p99(),
+            sent_at: HashMap::new(),
         }
+    }
+
+    /// The per-request timeout (see `ClientActor::effective_timeout`).
+    fn effective_timeout(&self) -> SimDuration {
+        if !self.faults.tail.adaptive_timeout {
+            return self.faults.timeout;
+        }
+        let rt = pre_delay(&self.model) + crate::netsim::post_delay(&self.model);
+        self.estimator
+            .timeout(4, rt * 2, self.faults.timeout * 8, self.faults.timeout)
     }
 
     fn schedule_next_arrival(&mut self, ctx: &mut Context<'_, SimMsg>) {
@@ -277,7 +313,9 @@ impl OpenLoopActor {
             self.slots.push(Slot {
                 adapter,
                 intended: SimTime::ZERO,
+                started: SimTime::ZERO,
                 corrupt_op: false,
+                op_retries: 0,
             });
             return Some(id as u32);
         }
@@ -288,7 +326,9 @@ impl OpenLoopActor {
     fn start_op(&mut self, slot: u32, intended: SimTime, ctx: &mut Context<'_, SimMsg>) {
         let s = &mut self.slots[slot as usize];
         s.intended = intended;
+        s.started = ctx.now();
         s.corrupt_op = false;
+        s.op_retries = 0;
         s.adapter.note_time(ctx.now());
         let sends = self.slots[slot as usize].adapter.start(&mut self.rng);
         self.dispatch(slot, sends, ctx);
@@ -329,12 +369,15 @@ impl OpenLoopActor {
                     self.outstanding.insert(wire_tag, attempt);
                     ctx.send_in(
                         me,
-                        pre + self.faults.timeout,
+                        pre + self.effective_timeout(),
                         SimMsg::Timeout {
                             tag: wire_tag,
                             attempt,
                         },
                     );
+                    if self.faults.tail.adaptive_timeout {
+                        self.sent_at.insert((wire_tag, attempt), ctx.now());
+                    }
                 }
                 if self.faults.partitioned(self.index, out.server, ctx.now()) {
                     ctx.metrics().add("fault_drops", 1);
@@ -449,7 +492,33 @@ impl OpenLoopActor {
             }
             AdapterStep::Retry { sends, mut wait } => {
                 self.dispatch(slot, sends, ctx);
+                // Deadline-aware load shedding, clocked from the op's
+                // *actual* start (`started`, not `intended`): an open
+                // rate pushing the backlog out does not make ops exceed
+                // their retry budget before they even begin.
+                let deadline = self.faults.tail.retry_deadline;
+                if deadline > SimDuration::ZERO
+                    && ctx.now().since(self.slots[slot as usize].started) >= deadline
+                {
+                    let sends = self.slots[slot as usize].adapter.abandon();
+                    self.dispatch(slot, sends, ctx);
+                    let s = &mut self.slots[slot as usize];
+                    if s.corrupt_op {
+                        s.corrupt_op = false;
+                        ctx.metrics().add("fault_corrupt_aborted", 1);
+                    }
+                    ctx.metrics().add("shed", 1);
+                    ctx.metrics().add("failed", 1);
+                    self.release_slot(slot, ctx);
+                    return;
+                }
                 ctx.metrics().add("retries", 1);
+                self.slots[slot as usize].op_retries += 1;
+                if self.faults.tail.adaptive_timeout {
+                    wait = self
+                        .estimator
+                        .backoff(self.slots[slot as usize].op_retries, wait);
+                }
                 if !self.faults.is_noop() {
                     // Seeded retry jitter, same stream discipline as
                     // the closed-loop client.
@@ -515,6 +584,15 @@ impl Actor<SimMsg> for OpenLoopActor {
                 reply,
             } => {
                 if !self.faults.is_noop() {
+                    // Asymmetric (reply-leg) partition: the request got
+                    // through but the answer cannot. Checked before
+                    // fencing/dedup so the dropped reply leaves no trace.
+                    if self.faults.injects_gray()
+                        && self.faults.reply_partitioned(self.index, server, ctx.now())
+                    {
+                        ctx.metrics().add("fault_drops", 1);
+                        return;
+                    }
                     if inc < self.seen_inc[server] {
                         ctx.metrics().add("fault_fenced", 1);
                         return;
@@ -541,6 +619,13 @@ impl Actor<SimMsg> for OpenLoopActor {
                     }
                     self.outstanding.remove(&tag);
                     self.last_done.insert(tag, attempt);
+                    // Only live completions feed the estimator (Karn's
+                    // rule): timed-out attempts had their sample dropped.
+                    if self.faults.tail.adaptive_timeout {
+                        if let Some(sent) = self.sent_at.remove(&(tag, attempt)) {
+                            self.estimator.observe(ctx.now().since(sent));
+                        }
+                    }
                 }
                 self.feed_reply(tag, reply, ctx);
             }
@@ -549,6 +634,7 @@ impl Actor<SimMsg> for OpenLoopActor {
                     return;
                 }
                 self.outstanding.remove(&tag);
+                self.sent_at.remove(&(tag, attempt));
                 ctx.metrics().add("timeouts", 1);
                 // Park the route (feed_reply consumes it) so the real
                 // reply, if it eventually lands, is harvested above.
@@ -563,7 +649,8 @@ impl Actor<SimMsg> for OpenLoopActor {
             | SimMsg::Sweep
             | SimMsg::Control
             | SimMsg::Rot(_)
-            | SimMsg::DiskRot(_) => {
+            | SimMsg::DiskRot(_)
+            | SimMsg::Hedge { .. } => {
                 unreachable!("open-loop aggregates receive only replies and their own timers")
             }
         }
@@ -682,6 +769,8 @@ pub fn run_open_loop(
         giveups: metrics.counter("giveups"),
         backlogged: metrics.counter("ol_backlogged"),
         drops: metrics.counter("fault_drops"),
+        shed: metrics.counter("shed"),
+        busy_nacks: metrics.counter("busy_nacks"),
     }
 }
 

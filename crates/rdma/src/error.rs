@@ -89,6 +89,16 @@ pub enum RdmaError {
         /// The server's current shard-map epoch.
         current: u64,
     },
+    /// The server refused admission: its dispatch queue was already
+    /// deep enough that this request's queueing delay would exceed the
+    /// configured admission bound. Overload protection for gray
+    /// failures — a degraded server NACKs the overflow immediately
+    /// instead of building a convoy, and clients shed load (give the
+    /// op up against its deadline budget) instead of retry-storming.
+    Busy {
+        /// The queueing delay this request would have seen, in ns.
+        wait_ns: u64,
+    },
 }
 
 impl fmt::Display for RdmaError {
@@ -132,6 +142,12 @@ impl fmt::Display for RdmaError {
                     "request routed under shard-map epoch {seen} fenced (server is at epoch {current})"
                 )
             }
+            RdmaError::Busy { wait_ns } => {
+                write!(
+                    f,
+                    "admission refused (queueing delay would be {wait_ns} ns)"
+                )
+            }
         }
     }
 }
@@ -160,6 +176,7 @@ impl RdmaError {
             RdmaError::StaleIncarnation { seen, current } => (10, seen, current, 0),
             RdmaError::Corrupt => (11, 0, 0, 0),
             RdmaError::StaleEpoch { seen, current } => (12, seen, current, 0),
+            RdmaError::Busy { wait_ns } => (13, wait_ns, 0, 0),
         };
         let mut out = [0u8; ERROR_WIRE_LEN];
         out[0] = code;
@@ -201,6 +218,7 @@ impl RdmaError {
                 seen: a,
                 current: b,
             },
+            13 => RdmaError::Busy { wait_ns: a },
             _ => return None,
         })
     }
@@ -259,6 +277,7 @@ mod tests {
                 seen: 1,
                 current: 3,
             },
+            RdmaError::Busy { wait_ns: 12_345 },
         ];
         for e in all {
             assert_eq!(RdmaError::from_wire(&e.to_wire()), Some(e));

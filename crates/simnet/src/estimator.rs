@@ -1,0 +1,253 @@
+//! Adaptive timeout estimation: a windowed quantile tracker over
+//! observed round-trip times.
+//!
+//! The fixed exponential retry schedule (`8 µs << n`, capped at 64 µs)
+//! is wrong across the simnet's fabric tiers: at rack scale it waits an
+//! order of magnitude too long, at DC scale it fires before a healthy
+//! reply can possibly arrive. The [`RttEstimator`] replaces it with a
+//! timeout derived from what the client actually measured — a high
+//! quantile of the last `cap` RTT samples, scaled by a safety
+//! multiplier and clamped to a sane band.
+//!
+//! The tracker is deliberately boring: a fixed-capacity ring of `u64`
+//! nanosecond samples and an exact order-statistic quantile computed by
+//! sorting a copy on demand. No RNG, no floating point in the estimate
+//! path, no decay constants — two clients observing the same sample
+//! sequence produce bit-identical estimates, which is what lets
+//! adaptive-timeout runs replay exactly under `PRISM_TEST_SEED`.
+
+use crate::time::SimDuration;
+
+/// Windowed quantile tracker over observed round-trip times.
+///
+/// The estimate is an exact order statistic of the current window
+/// (index `(len - 1) * num / den` of the sorted samples), so it is
+/// always one of the observed values — never above the window maximum,
+/// never below the minimum — and shifting every sample by a constant
+/// shifts the estimate by exactly that constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RttEstimator {
+    window: Vec<u64>,
+    next: usize,
+    cap: usize,
+    /// Quantile numerator/denominator (e.g. 99/100 for p99).
+    num: u32,
+    den: u32,
+}
+
+impl RttEstimator {
+    /// Default window capacity: large enough to hold a stable tail,
+    /// small enough to track a regime change within a few hundred ops.
+    pub const DEFAULT_CAP: usize = 256;
+
+    /// Samples required before the estimator trusts itself; below this
+    /// it reports `None` and callers fall back to the fixed schedule.
+    pub const MIN_SAMPLES: usize = 16;
+
+    /// Creates a tracker for the `num/den` quantile over the last
+    /// `cap` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero or the quantile is not in `(0, 1]`.
+    pub fn new(cap: usize, num: u32, den: u32) -> Self {
+        assert!(cap > 0, "estimator window must hold at least one sample");
+        assert!(num > 0 && num <= den, "quantile must be in (0, 1]");
+        RttEstimator {
+            window: Vec::with_capacity(cap),
+            next: 0,
+            cap,
+            num,
+            den,
+        }
+    }
+
+    /// A p99 tracker over the default window.
+    pub fn p99() -> Self {
+        Self::new(Self::DEFAULT_CAP, 99, 100)
+    }
+
+    /// Records one observed round trip.
+    pub fn observe(&mut self, rtt: SimDuration) {
+        let ns = rtt.as_nanos();
+        if self.window.len() < self.cap {
+            self.window.push(ns);
+        } else {
+            self.window[self.next] = ns;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// Number of samples currently in the window.
+    pub fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The tracked quantile of the current window, or `None` while
+    /// fewer than [`Self::MIN_SAMPLES`] samples have been observed.
+    pub fn quantile(&self) -> Option<SimDuration> {
+        if self.window.len() < Self::MIN_SAMPLES {
+            return None;
+        }
+        Some(SimDuration::from_nanos(self.quantile_raw()))
+    }
+
+    /// The tracked quantile with no warm-up gate (used by the property
+    /// tests; empty windows return zero).
+    pub fn quantile_ungated(&self) -> SimDuration {
+        if self.window.is_empty() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.quantile_raw())
+    }
+
+    fn quantile_raw(&self) -> u64 {
+        let mut sorted = self.window.clone();
+        sorted.sort_unstable();
+        let idx = (sorted.len() - 1) * self.num as usize / self.den as usize;
+        sorted[idx]
+    }
+
+    /// The adaptive per-request timeout: `mult ×` the tracked quantile,
+    /// clamped to `[floor, ceil]`; `fallback` until the window warms up.
+    /// The floor keeps a briefly-fast window from firing timeouts into
+    /// healthy tail latency; the ceiling keeps one gray window from
+    /// poisoning the timeout for the rest of the run.
+    pub fn timeout(
+        &self,
+        mult: u32,
+        floor: SimDuration,
+        ceil: SimDuration,
+        fallback: SimDuration,
+    ) -> SimDuration {
+        match self.quantile() {
+            Some(q) => SimDuration::from_nanos(
+                (q.as_nanos().saturating_mul(mult as u64))
+                    .clamp(floor.as_nanos(), ceil.as_nanos().max(floor.as_nanos())),
+            ),
+            None => fallback,
+        }
+    }
+
+    /// The hedge delay: issue the second copy of an eligible read once
+    /// the first has been outstanding for the tracked quantile (i.e.
+    /// once it is statistically in the tail), clamped below by `floor`.
+    /// `fallback` until the window warms up.
+    pub fn hedge_delay(&self, floor: SimDuration, fallback: SimDuration) -> SimDuration {
+        match self.quantile() {
+            Some(q) => SimDuration::from_nanos(q.as_nanos().max(floor.as_nanos())),
+            None => fallback,
+        }
+    }
+
+    /// Adaptive retry backoff: the tracked quantile doubled per retry
+    /// (capped at 8 doublings), falling back to the fixed schedule
+    /// until the window warms up. Backoff scaling with the observed
+    /// RTT is what keeps the retry schedule meaningful across fabric
+    /// tiers — a fixed 8 µs base is several RTTs at rack scale and a
+    /// fraction of one across a simulated DC.
+    pub fn backoff(&self, retry: u32, fallback: SimDuration) -> SimDuration {
+        match self.quantile() {
+            Some(q) => {
+                let exp = retry.saturating_sub(1).min(8);
+                SimDuration::from_nanos(q.as_nanos().saturating_mul(1u64 << exp))
+            }
+            None => fallback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_an_observed_order_statistic() {
+        let mut e = RttEstimator::new(8, 1, 2);
+        for ns in [50, 10, 40, 20, 30] {
+            e.observe(SimDuration::from_nanos(ns));
+        }
+        // Sorted window [10,20,30,40,50]; index (5-1)*1/2 = 2 → 30.
+        assert_eq!(e.quantile_ungated().as_nanos(), 30);
+    }
+
+    #[test]
+    fn window_evicts_oldest_sample() {
+        let mut e = RttEstimator::new(4, 1, 1);
+        for ns in [100, 1, 1, 1, 1] {
+            e.observe(SimDuration::from_nanos(ns));
+        }
+        // The 100 ns outlier fell out of the 4-sample window.
+        assert_eq!(e.quantile_ungated().as_nanos(), 1);
+        assert_eq!(e.samples(), 4);
+    }
+
+    #[test]
+    fn timeout_falls_back_until_warm_and_clamps_after() {
+        let mut e = RttEstimator::p99();
+        let fallback = SimDuration::micros(60);
+        let floor = SimDuration::micros(2);
+        let ceil = SimDuration::micros(500);
+        assert_eq!(e.timeout(4, floor, ceil, fallback), fallback);
+        for _ in 0..RttEstimator::MIN_SAMPLES {
+            e.observe(SimDuration::from_nanos(1_000));
+        }
+        // 4 × 1 µs = 4 µs, inside the band.
+        assert_eq!(e.timeout(4, floor, ceil, fallback).as_nanos(), 4_000);
+        // A tiny quantile clamps up to the floor.
+        assert_eq!(e.timeout(1, floor, ceil, fallback), floor);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn zero_quantile_rejected() {
+        let _ = RttEstimator::new(8, 0, 100);
+    }
+
+    // Satellite: quantile-tracker bounds. The estimate is always an
+    // element of the live window (so within observed [min, max]),
+    // bit-identical across two trackers fed the same samples (the
+    // prop_check harness itself replays failures under
+    // PRISM_TEST_SEED), and shifting every sample by a constant shifts
+    // the estimate by exactly that constant — the monotone-under-shift
+    // law an order statistic must satisfy.
+    prism_testkit::prop_check!(
+        estimator_bounds_and_shift_monotonicity,
+        cases = 128,
+        prism_testkit::gens::t2(
+            prism_testkit::gens::vec(prism_testkit::gens::range_u64(1..1_000_000), 1..300),
+            prism_testkit::gens::range_u64(0..100_000),
+        ),
+        |&(ref samples, shift): &(Vec<u64>, u64)| {
+            const CAP: usize = 64;
+            let mut a = RttEstimator::new(CAP, 99, 100);
+            let mut b = RttEstimator::new(CAP, 99, 100);
+            let mut shifted = RttEstimator::new(CAP, 99, 100);
+            for &s in samples {
+                a.observe(SimDuration::from_nanos(s));
+                b.observe(SimDuration::from_nanos(s));
+                shifted.observe(SimDuration::from_nanos(s + shift));
+            }
+            assert_eq!(a, b, "same samples must produce identical trackers");
+            let q = a.quantile_ungated().as_nanos();
+            assert_eq!(q, b.quantile_ungated().as_nanos());
+            // The live window is the last CAP samples (ring eviction).
+            let live = &samples[samples.len().saturating_sub(CAP)..];
+            assert!(live.contains(&q), "estimate must be an observed sample");
+            let min = *live.iter().min().expect("nonempty");
+            let max = *live.iter().max().expect("nonempty");
+            assert!(q >= min && q <= max, "estimate outside observed range");
+            assert_eq!(
+                shifted.quantile_ungated().as_nanos(),
+                q + shift,
+                "constant shift of the input must shift the estimate exactly"
+            );
+            // The derived timeout is monotone in the estimate: the
+            // shifted tracker can never produce a smaller timeout.
+            let floor = SimDuration::ZERO;
+            let ceil = SimDuration::from_nanos(u64::MAX / 8);
+            let fb = SimDuration::micros(60);
+            assert!(shifted.timeout(4, floor, ceil, fb) >= a.timeout(4, floor, ceil, fb));
+        }
+    );
+}

@@ -110,6 +110,95 @@ impl ClientCrashWindow {
     }
 }
 
+/// A scheduled gray-failure slowdown: while `[from, until)` covers
+/// `server`, every message it processes or emits takes `factor`× its
+/// normal service and propagation time. The server stays alive — it
+/// answers everything, just late — which is exactly the failure class
+/// binary crash detection cannot see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowdownWindow {
+    /// Index of the degraded server (experiment server-list order).
+    pub server: usize,
+    /// Start of the degradation (inclusive).
+    pub from: SimTime,
+    /// End of the degradation (exclusive).
+    pub until: SimTime,
+    /// Latency multiplier applied to the server's processing and reply
+    /// path while the window is active (≥ 2).
+    pub factor: u32,
+}
+
+impl SlowdownWindow {
+    /// Whether this window covers `server` at time `at`.
+    pub fn covers(&self, server: usize, at: SimTime) -> bool {
+        self.server == server && at >= self.from && at < self.until
+    }
+}
+
+/// A flapping link: within `[from, until)` the `client`↔`server` link
+/// cycles deterministically — up for `up`, then down for the remainder
+/// of each `period`, starting from `from`. Both legs are severed during
+/// the down phase. The schedule is pure data (no RNG draws at delivery
+/// time), so zero-knob plans stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlapWindow {
+    /// Index of the flapping client (experiment client order).
+    pub client: usize,
+    /// Index of the server at the other end of the link.
+    pub server: usize,
+    /// Start of the flapping regime (inclusive).
+    pub from: SimTime,
+    /// End of the flapping regime (exclusive).
+    pub until: SimTime,
+    /// Full up+down cycle length.
+    pub period: SimDuration,
+    /// Up-phase length at the start of each cycle (`< period`).
+    pub up: SimDuration,
+}
+
+impl FlapWindow {
+    /// Whether the link is in a down phase for this pair at time `at`.
+    pub fn down(&self, client: usize, server: usize, at: SimTime) -> bool {
+        if self.client != client || self.server != server || at < self.from || at >= self.until {
+            return false;
+        }
+        let phase = (at.as_nanos() - self.from.as_nanos()) % self.period.as_nanos().max(1);
+        phase >= self.up.as_nanos()
+    }
+}
+
+/// Client/server tail-tolerance policy: the mitigation half of the
+/// gray-failure story. Every knob is opt-in (default off) because each
+/// one changes event timing — arming any of them forfeits bit-identity
+/// with policy-free runs, exactly like arming a fault.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TailPolicy {
+    /// Adaptive per-request timeout: a windowed-quantile RTT estimate
+    /// replaces the fixed plan timeout once enough samples accumulate,
+    /// so the timeout tracks the fabric tier instead of a constant.
+    pub adaptive_timeout: bool,
+    /// Hedge idempotent reads: re-issue a still-outstanding eligible
+    /// request after an adaptive-p99 delay; the losing reply is
+    /// harvested through the stale-reply path, so nothing leaks.
+    pub hedge: bool,
+    /// Server-side admission bound: a request whose queueing delay
+    /// would exceed this many nanoseconds is refused with a typed
+    /// `Busy` NACK instead of joining the convoy. `0` disables.
+    pub admission_ns: u64,
+    /// Deadline-aware retry budget: once an operation has been in
+    /// flight this long, further transport retries are shed (the op is
+    /// abandoned and counted) instead of joining a retry storm.
+    /// `ZERO` disables.
+    pub retry_deadline: SimDuration,
+}
+
+impl TailPolicy {
+    /// Whether every knob is at its default (policy disabled).
+    pub fn is_off(&self) -> bool {
+        *self == TailPolicy::default()
+    }
+}
+
 /// A scheduled at-rest bit-rot event: at `at`, `bits` seeded single-bit
 /// flips land inside `[addr, addr + len)` of `server`'s arena.
 ///
@@ -205,6 +294,17 @@ pub struct FaultPlan {
     /// Scheduled at-rest disk bit-rot events (each on its own RNG
     /// stream, so zero-knob plans stay bit-identical).
     pub disk_rot: Vec<DiskRotEvent>,
+    /// Scheduled gray-failure slowdown windows (server alive but slow).
+    pub slowdowns: Vec<SlowdownWindow>,
+    /// Scheduled one-way partitions severing only the server→client
+    /// *reply* leg (requests execute; the answers vanish). The symmetric
+    /// request-leg class stays in [`FaultPlan::partitions`].
+    pub reply_partitions: Vec<Partition>,
+    /// Scheduled flapping links (deterministic duty-cycle up/down).
+    pub flaps: Vec<FlapWindow>,
+    /// Tail-tolerance policy (adaptive timeouts, hedging, admission
+    /// control, deadline shedding). Defaults to fully off.
+    pub tail: TailPolicy,
 }
 
 impl FaultPlan {
@@ -349,6 +449,82 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a gray-failure slowdown window: while it covers `server`,
+    /// every message the server processes or emits is stretched by
+    /// `factor`×.
+    pub fn with_slowdown(
+        mut self,
+        server: usize,
+        from: SimTime,
+        until: SimTime,
+        factor: u32,
+    ) -> Self {
+        assert!(from < until, "empty slowdown window");
+        assert!(factor >= 2, "slowdown factor below 2 is not a slowdown");
+        self.slowdowns.push(SlowdownWindow {
+            server,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Adds a one-way partition severing only the server→client reply
+    /// leg within `[from, until)`: requests still arrive and execute,
+    /// but the answers vanish — the asymmetric half of the gray model.
+    pub fn with_reply_partition(
+        mut self,
+        client: usize,
+        server: usize,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(from < until, "empty reply-partition window");
+        self.reply_partitions.push(Partition {
+            client,
+            server,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a flapping link for the `client`↔`server` pair: within
+    /// `[from, until)` the link cycles up for `up` then down for the
+    /// rest of each `period`, severing both legs during down phases.
+    pub fn with_flap(
+        mut self,
+        client: usize,
+        server: usize,
+        from: SimTime,
+        until: SimTime,
+        period: SimDuration,
+        up: SimDuration,
+    ) -> Self {
+        assert!(from < until, "empty flap window");
+        assert!(period > SimDuration::ZERO, "flap period must be positive");
+        assert!(up < period, "flap up phase must leave a down phase");
+        self.flaps.push(FlapWindow {
+            client,
+            server,
+            from,
+            until,
+            period,
+            up,
+        });
+        self
+    }
+
+    /// Installs the tail-tolerance policy (adaptive timeouts, hedging,
+    /// admission control, deadline shedding). Any non-default knob arms
+    /// the fault layer: policies change event timing, so a policy run
+    /// can never be bit-identical to a policy-free one.
+    pub fn with_tail_policy(mut self, tail: TailPolicy) -> Self {
+        self.tail = tail;
+        self
+    }
+
     /// Adds a partition window between `client` and `server`.
     pub fn with_partition(
         mut self,
@@ -380,6 +556,17 @@ impl FaultPlan {
             && self.client_crashes.is_empty()
             && !self.injects_corruption()
             && !self.injects_disk_faults()
+            && !self.injects_gray()
+            && self.tail.is_off()
+    }
+
+    /// Whether the plan injects gray failures (slowdown windows,
+    /// reply-leg partitions, or flapping links). All three classes are
+    /// pure schedule data consulted at delivery time — no RNG draws —
+    /// so plans without them replay the exact draw sequences they had
+    /// before the gray class existed.
+    pub fn injects_gray(&self) -> bool {
+        !self.slowdowns.is_empty() || !self.reply_partitions.is_empty() || !self.flaps.is_empty()
     }
 
     /// Whether the plan injects disk faults (crash tears of unsynced
@@ -408,9 +595,31 @@ impl FaultPlan {
         self.crashes.iter().any(|w| w.covers(server, at))
     }
 
-    /// Whether `client`→`server` is severed at `at`.
+    /// Whether `client`→`server` is severed at `at`. Flap down phases
+    /// sever the request leg exactly like a symmetric partition.
     pub fn partitioned(&self, client: usize, server: usize, at: SimTime) -> bool {
         self.partitions.iter().any(|p| p.covers(client, server, at))
+            || self.flaps.iter().any(|f| f.down(client, server, at))
+    }
+
+    /// Whether the `server`→`client` reply leg is severed at `at`
+    /// (one-way partition, or a flap down phase).
+    pub fn reply_partitioned(&self, client: usize, server: usize, at: SimTime) -> bool {
+        self.reply_partitions
+            .iter()
+            .any(|p| p.covers(client, server, at))
+            || self.flaps.iter().any(|f| f.down(client, server, at))
+    }
+
+    /// Latency multiplier for `server` at `at`: the largest factor of
+    /// any covering slowdown window, or 1 when healthy.
+    pub fn slowdown_factor(&self, server: usize, at: SimTime) -> u64 {
+        self.slowdowns
+            .iter()
+            .filter(|w| w.covers(server, at))
+            .map(|w| w.factor as u64)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Whether `client` is inside any client crash window at `at`.
@@ -502,6 +711,37 @@ impl FaultPlan {
                 r.server
             );
         }
+        for w in &self.slowdowns {
+            assert!(
+                w.server < n_servers,
+                "slowdown window names server {} but the run has {n_servers}",
+                w.server
+            );
+        }
+        for p in &self.reply_partitions {
+            assert!(
+                p.server < n_servers,
+                "reply partition names server {} but the run has {n_servers}",
+                p.server
+            );
+            assert!(
+                p.client < n_clients,
+                "reply partition names client {} but the run has {n_clients}",
+                p.client
+            );
+        }
+        for f in &self.flaps {
+            assert!(
+                f.server < n_servers,
+                "flap window names server {} but the run has {n_servers}",
+                f.server
+            );
+            assert!(
+                f.client < n_clients,
+                "flap window names client {} but the run has {n_clients}",
+                f.client
+            );
+        }
     }
 
     /// Generates a composed chaos schedule from a seed: `spec.horizon`
@@ -561,14 +801,46 @@ impl FaultPlan {
         if plan.crashes.iter().any(|w| w.mode == CrashMode::Amnesia) {
             plan.disk_torn_prob = spec.disk_torn_prob;
         }
-        // Disk rot draws come last, so specs that leave the knob zero
-        // generate byte-identical plans to the pre-durability fabric.
+        // Disk rot draws come after the crash/partition classes, so
+        // specs that leave the knob zero generate byte-identical plans
+        // to the pre-durability fabric.
         for _ in 0..spec.disk_rot_events {
             let server = rng.gen_range(spec.servers as u64) as usize;
             let at = SimTime::from_nanos(lo + rng.gen_range(hi - lo));
             let bits = 1 + rng.gen_range(3) as u32;
             plan = plan.with_disk_rot(server, at, bits);
         }
+        // Gray-failure draws come last of all (the newest class draws
+        // after every older one, per the standing convention), so
+        // zero-knob specs reproduce the exact plans the pre-gray
+        // fabric generated.
+        for _ in 0..spec.slowdowns {
+            let server = rng.gen_range(spec.servers as u64) as usize;
+            let (from, until) = window(&mut rng);
+            plan = plan.with_slowdown(server, from, until, spec.slowdown_factor.max(2));
+        }
+        for _ in 0..spec.reply_partitions {
+            let client = rng.gen_range(spec.clients as u64) as usize;
+            let server = rng.gen_range(spec.servers as u64) as usize;
+            let (from, until) = window(&mut rng);
+            plan = plan.with_reply_partition(client, server, from, until);
+        }
+        for _ in 0..spec.flaps {
+            let client = rng.gen_range(spec.clients as u64) as usize;
+            let server = rng.gen_range(spec.servers as u64) as usize;
+            let (from, until) = window(&mut rng);
+            let period = (horizon / 128).max(2) + rng.gen_range((horizon / 64).max(1));
+            plan = plan.with_flap(
+                client,
+                server,
+                from,
+                until,
+                SimDuration::from_nanos(period),
+                SimDuration::from_nanos(period / 2),
+            );
+        }
+        // The tail policy copies straight across: pure config, no draws.
+        plan.tail = spec.tail.clone();
         plan.validate(spec.servers, spec.clients);
         plan
     }
@@ -610,6 +882,16 @@ pub struct ChaosSpec {
     pub disk_torn_prob: f64,
     /// Number of at-rest disk bit-rot events to schedule.
     pub disk_rot_events: usize,
+    /// Number of gray slowdown windows to schedule.
+    pub slowdowns: usize,
+    /// Latency multiplier for drawn slowdown windows (clamped to ≥ 2).
+    pub slowdown_factor: u32,
+    /// Number of one-way (reply-leg) partition windows to schedule.
+    pub reply_partitions: usize,
+    /// Number of flapping-link windows to schedule.
+    pub flaps: usize,
+    /// Tail-tolerance policy copied onto the generated plan.
+    pub tail: TailPolicy,
 }
 
 #[cfg(test)]
@@ -891,6 +1173,16 @@ mod tests {
                 torn_write_prob: 0.5,
                 disk_torn_prob: 0.5,
                 disk_rot_events: knobs as usize,
+                slowdowns: knobs as usize,
+                slowdown_factor: 8,
+                reply_partitions: knobs as usize,
+                flaps: knobs as usize,
+                tail: TailPolicy {
+                    adaptive_timeout: true,
+                    hedge: true,
+                    admission_ns: 50_000,
+                    retry_deadline: SimDuration::micros(300),
+                },
             };
             let a = FaultPlan::chaos(seed, &spec);
             let b = FaultPlan::chaos(seed, &spec);
@@ -920,14 +1212,36 @@ mod tests {
             clean_spec.torn_write_prob = 0.0;
             clean_spec.disk_torn_prob = 0.0;
             clean_spec.disk_rot_events = 0;
+            clean_spec.slowdowns = 0;
+            clean_spec.reply_partitions = 0;
+            clean_spec.flaps = 0;
+            clean_spec.tail = TailPolicy::default();
             let clean = FaultPlan::chaos(seed, &clean_spec);
             assert_eq!(clean.crashes, a.crashes);
             assert_eq!(clean.partitions, a.partitions);
             assert_eq!(clean.client_crashes, a.client_crashes);
             assert!(clean.disk_rot.is_empty() && clean.disk_torn_prob == 0.0);
+            assert!(!clean.injects_gray() && clean.tail.is_off());
+            // Gray draws come last: zeroing only the gray knobs leaves
+            // every older class (disk rot included) byte-identical.
+            let mut gray_free = spec.clone();
+            gray_free.slowdowns = 0;
+            gray_free.reply_partitions = 0;
+            gray_free.flaps = 0;
+            gray_free.tail = TailPolicy::default();
+            let gf = FaultPlan::chaos(seed, &gray_free);
+            assert_eq!(gf.crashes, a.crashes);
+            assert_eq!(gf.partitions, a.partitions);
+            assert_eq!(gf.client_crashes, a.client_crashes);
+            assert_eq!(gf.disk_rot, a.disk_rot);
+            assert!(!gf.injects_gray());
             assert_eq!(a.crashes.len(), spec.server_crashes);
             assert_eq!(a.client_crashes.len(), spec.client_crashes);
             assert_eq!(a.partitions.len(), spec.partitions);
+            assert_eq!(a.slowdowns.len(), spec.slowdowns);
+            assert_eq!(a.reply_partitions.len(), spec.reply_partitions);
+            assert_eq!(a.flaps.len(), spec.flaps);
+            assert_eq!(a.tail, spec.tail);
             let horizon = spec.horizon.as_nanos();
             for w in &a.crashes {
                 assert!(w.from < w.until && w.until.as_nanos() < horizon);
@@ -938,6 +1252,121 @@ mod tests {
             for p in &a.partitions {
                 assert!(p.from < p.until && p.until.as_nanos() < horizon);
             }
+            for w in &a.slowdowns {
+                assert!(w.from < w.until && w.until.as_nanos() < horizon);
+                assert!(w.factor >= 2);
+            }
+            for p in &a.reply_partitions {
+                assert!(p.from < p.until && p.until.as_nanos() < horizon);
+            }
+            for f in &a.flaps {
+                assert!(f.from < f.until && f.until.as_nanos() < horizon);
+                assert!(f.up < f.period);
+            }
         }
     );
+
+    #[test]
+    fn gray_windows_arm_the_plan() {
+        let t = SimTime::from_nanos;
+        let p = FaultPlan::seeded(5).with_slowdown(1, t(100), t(200), 8);
+        assert!(!p.is_noop() && p.injects_gray());
+        assert_eq!(p.slowdown_factor(1, t(99)), 1);
+        assert_eq!(p.slowdown_factor(1, t(100)), 8);
+        assert_eq!(p.slowdown_factor(1, t(199)), 8);
+        assert_eq!(p.slowdown_factor(1, t(200)), 1);
+        assert_eq!(p.slowdown_factor(0, t(150)), 1);
+        // Overlapping windows take the worst factor.
+        let p = p.with_slowdown(1, t(150), t(180), 16);
+        assert_eq!(p.slowdown_factor(1, t(160)), 16);
+        assert_eq!(p.slowdown_factor(1, t(190)), 8);
+        p.validate(2, 1);
+
+        let p = FaultPlan::seeded(5).with_reply_partition(2, 0, t(10), t(50));
+        assert!(!p.is_noop() && p.injects_gray());
+        assert!(p.reply_partitioned(2, 0, t(10)));
+        assert!(p.reply_partitioned(2, 0, t(49)));
+        assert!(!p.reply_partitioned(2, 0, t(50)));
+        // The request leg stays up: that is what makes it one-way.
+        assert!(!p.partitioned(2, 0, t(20)));
+        p.validate(1, 3);
+    }
+
+    #[test]
+    fn flap_duty_cycle_is_deterministic() {
+        let t = SimTime::from_nanos;
+        let p = FaultPlan::seeded(5).with_flap(
+            0,
+            1,
+            t(100),
+            t(300),
+            SimDuration::from_nanos(40),
+            SimDuration::from_nanos(10),
+        );
+        assert!(!p.is_noop() && p.injects_gray());
+        // Cycle 1: up [100,110), down [110,140). Both legs sever in the
+        // down phase.
+        for (at, down) in [(100, false), (109, false), (110, true), (139, true)] {
+            assert_eq!(p.partitioned(0, 1, t(at)), down, "req leg at t={at}");
+            assert_eq!(
+                p.reply_partitioned(0, 1, t(at)),
+                down,
+                "reply leg at t={at}"
+            );
+        }
+        // Cycle 2 repeats the pattern; outside the window the link is up.
+        assert!(!p.partitioned(0, 1, t(140)));
+        assert!(p.partitioned(0, 1, t(150)));
+        assert!(!p.partitioned(0, 1, t(300)));
+        assert!(!p.partitioned(1, 1, t(115)), "other client unaffected");
+        p.validate(2, 1);
+    }
+
+    #[test]
+    fn tail_policy_arms_the_plan() {
+        let mut p = FaultPlan::seeded(5);
+        assert!(p.is_noop());
+        p.tail.adaptive_timeout = true;
+        assert!(!p.is_noop(), "adaptive timeouts change event timing");
+        let p = FaultPlan::seeded(5).with_tail_policy(TailPolicy {
+            hedge: true,
+            ..TailPolicy::default()
+        });
+        assert!(!p.is_noop() && !p.injects_gray());
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor below 2")]
+    fn unit_slowdown_factor_rejected() {
+        let _ = FaultPlan::seeded(1).with_slowdown(0, SimTime::ZERO, SimTime::from_nanos(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "flap up phase must leave a down phase")]
+    fn flap_without_down_phase_rejected() {
+        let _ = FaultPlan::seeded(1).with_flap(
+            0,
+            0,
+            SimTime::ZERO,
+            SimTime::from_nanos(100),
+            SimDuration::from_nanos(10),
+            SimDuration::from_nanos(10),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown window names server 4")]
+    fn slowdown_on_unknown_server_rejected() {
+        FaultPlan::seeded(1)
+            .with_slowdown(4, SimTime::ZERO, SimTime::from_nanos(1), 4)
+            .validate(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reply partition names client 9")]
+    fn reply_partition_on_unknown_client_rejected() {
+        FaultPlan::seeded(1)
+            .with_reply_partition(9, 0, SimTime::ZERO, SimTime::from_nanos(1))
+            .validate(2, 4);
+    }
 }

@@ -20,7 +20,10 @@
 //! * [`metrics`] — latency histograms and throughput counters.
 //! * [`rng`] — seeded, deterministic random number generation.
 //! * [`fault`] — seeded fault plans (loss, duplication, jitter,
-//!   crash/restart windows, partitions) for adversarial runs.
+//!   crash/restart windows, partitions, gray failures) for adversarial
+//!   runs.
+//! * [`estimator`] — windowed-quantile RTT tracking for adaptive
+//!   timeouts, hedging delays, and backoff.
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod estimator;
 pub mod fault;
 pub mod latency;
 pub mod metrics;

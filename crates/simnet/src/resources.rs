@@ -108,6 +108,19 @@ impl ServiceCenter {
         done
     }
 
+    /// The queueing delay a job arriving at `now` would see before a
+    /// worker picks it up, without admitting it. Zero when a worker is
+    /// idle. Admission control peeks at this to decide whether to NACK
+    /// a request instead of letting it join a convoy.
+    pub fn would_wait(&self, now: SimTime) -> SimDuration {
+        let Reverse(free) = *self.free_at.peek().expect("worker heap never empty");
+        if free <= now {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(free.as_nanos() - now.as_nanos())
+        }
+    }
+
     /// Number of workers in the pool.
     pub fn workers(&self) -> usize {
         self.workers
@@ -178,6 +191,22 @@ mod tests {
         assert_eq!(a.as_nanos(), 10_000);
         assert_eq!(b.as_nanos(), 10_000, "two workers run in parallel");
         assert_eq!(c.as_nanos(), 20_000, "third job waits for a worker");
+    }
+
+    #[test]
+    fn would_wait_peeks_without_admitting() {
+        let mut sc = ServiceCenter::new(1);
+        assert_eq!(sc.would_wait(SimTime::ZERO), SimDuration::ZERO);
+        sc.admit(SimTime::ZERO, SimDuration::micros(10));
+        // The lone worker is busy until t=10 µs; a job arriving at t=4 µs
+        // would wait 6 µs. Peeking does not change the heap.
+        let at = SimTime::from_nanos(4_000);
+        assert_eq!(sc.would_wait(at).as_nanos(), 6_000);
+        assert_eq!(sc.would_wait(at).as_nanos(), 6_000);
+        assert_eq!(
+            sc.would_wait(SimTime::from_nanos(20_000)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

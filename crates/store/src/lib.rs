@@ -30,5 +30,5 @@ pub mod segment;
 pub mod store;
 
 pub use disk::SimDisk;
-pub use segment::{Record, SealedSeg, StoreError};
+pub use segment::{Manifest, Record, SealedSeg, StoreError};
 pub use store::{DurableStats, Replay, SegmentStore};

@@ -20,8 +20,12 @@
 //! ```
 //!
 //! The manifest (`PRSMMAN1`) shares the header, then holds a count and
-//! `(seq, len, records)` per sealed segment, closed by a CRC over the
-//! entry table.
+//! `(seq, len, records)` per sealed segment, a checkpoint sequence
+//! number (segments below it are fully covered by a checkpoint fold
+//! and replay skips decoding them), all closed by a CRC over the entry
+//! table. Manifests written before the checkpoint field existed are
+//! exactly four bytes shorter; decode accepts both lengths, reading
+//! the legacy form as checkpoint 0 (nothing covered).
 
 use prism_core::crc::crc32;
 
@@ -117,6 +121,18 @@ pub struct SealedSeg {
     pub records: u32,
 }
 
+/// Decoded manifest contents: the sealed-segment table plus the
+/// checkpoint watermark.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Sealed segments, in sequence order.
+    pub sealed: Vec<SealedSeg>,
+    /// Segments with `seq < checkpoint` are fully covered by a
+    /// checkpoint fold (written into segment `checkpoint` itself) and
+    /// replay may skip decoding them. Zero means nothing is covered.
+    pub checkpoint: u32,
+}
+
 /// Encodes a file header for the given magic tag.
 pub fn encode_header(magic: &[u8; 8]) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
@@ -195,9 +211,10 @@ pub fn decode_record(bytes: &[u8]) -> Result<(Record, usize), StoreError> {
     ))
 }
 
-/// Encodes the full manifest file (header + entry table + table CRC).
-pub fn encode_manifest(sealed: &[SealedSeg]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + 8 + sealed.len() * 16);
+/// Encodes the full manifest file (header + entry table + checkpoint +
+/// table CRC, the CRC covering the checkpoint field too).
+pub fn encode_manifest(sealed: &[SealedSeg], checkpoint: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 12 + sealed.len() * 16);
     out.extend_from_slice(&encode_header(MANIFEST_MAGIC));
     let table_start = out.len();
     out.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
@@ -206,13 +223,17 @@ pub fn encode_manifest(sealed: &[SealedSeg]) -> Vec<u8> {
         out.extend_from_slice(&s.len.to_le_bytes());
         out.extend_from_slice(&s.records.to_le_bytes());
     }
+    out.extend_from_slice(&checkpoint.to_le_bytes());
     let crc = crc32(&out[table_start..]);
     out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
-/// Decodes a full manifest file.
-pub fn decode_manifest(bytes: &[u8]) -> Result<Vec<SealedSeg>, StoreError> {
+/// Decodes a full manifest file. Accepts both the current layout
+/// (entry table + checkpoint + CRC) and the pre-checkpoint legacy
+/// layout (entry table + CRC, exactly four bytes shorter), which reads
+/// as checkpoint 0; any other length is a typed truncation error.
+pub fn decode_manifest(bytes: &[u8]) -> Result<Manifest, StoreError> {
     decode_header(bytes, MANIFEST_MAGIC)?;
     let rest = &bytes[HEADER_LEN..];
     if rest.len() < 8 {
@@ -220,11 +241,15 @@ pub fn decode_manifest(bytes: &[u8]) -> Result<Vec<SealedSeg>, StoreError> {
     }
     let count = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
     let table = 4 + count * 16;
-    if rest.len() < table + 4 {
+    let body = if rest.len() == table + 8 {
+        table + 4 // current layout: checkpoint rides inside the CRC
+    } else if rest.len() == table + 4 {
+        table // legacy layout: no checkpoint field
+    } else {
         return Err(StoreError::ManifestTruncated);
-    }
-    let want = crc32(&rest[..table]);
-    let seen = u32::from_le_bytes(rest[table..table + 4].try_into().unwrap());
+    };
+    let want = crc32(&rest[..body]);
+    let seen = u32::from_le_bytes(rest[body..body + 4].try_into().unwrap());
     if seen != want {
         return Err(StoreError::ManifestCorrupt { seen, want });
     }
@@ -237,7 +262,12 @@ pub fn decode_manifest(bytes: &[u8]) -> Result<Vec<SealedSeg>, StoreError> {
             records: u32::from_le_bytes(e[12..16].try_into().unwrap()),
         });
     }
-    Ok(sealed)
+    let checkpoint = if body == table {
+        0
+    } else {
+        u32::from_le_bytes(rest[table..table + 4].try_into().unwrap())
+    };
+    Ok(Manifest { sealed, checkpoint })
 }
 
 #[cfg(test)]
@@ -280,8 +310,34 @@ mod tests {
                 records: 32,
             },
         ];
-        let bytes = encode_manifest(&sealed);
-        assert_eq!(decode_manifest(&bytes).unwrap(), sealed);
+        let bytes = encode_manifest(&sealed, 2);
+        let m = decode_manifest(&bytes).unwrap();
+        assert_eq!(m.sealed, sealed);
+        assert_eq!(m.checkpoint, 2);
+    }
+
+    #[test]
+    fn legacy_manifest_without_checkpoint_still_decodes() {
+        // A pre-checkpoint manifest: entry table closed directly by the
+        // CRC, no checkpoint word. Current decode must read it as
+        // checkpoint 0 so old disks replay in full.
+        let sealed = [SealedSeg {
+            seq: 3,
+            len: 512,
+            records: 7,
+        }];
+        let mut out = Vec::new();
+        out.extend_from_slice(&encode_header(MANIFEST_MAGIC));
+        let table_start = out.len();
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&sealed[0].seq.to_le_bytes());
+        out.extend_from_slice(&sealed[0].len.to_le_bytes());
+        out.extend_from_slice(&sealed[0].records.to_le_bytes());
+        let crc = crc32(&out[table_start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        let m = decode_manifest(&out).unwrap();
+        assert_eq!(m.sealed, sealed);
+        assert_eq!(m.checkpoint, 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::{Arc, Mutex};
 use crate::disk::SimDisk;
 use crate::segment::{
     decode_header, decode_manifest, decode_record, encode_header, encode_manifest,
-    encode_record_into, Record, SealedSeg, HEADER_LEN, SEGMENT_MAGIC,
+    encode_record_into, Manifest, Record, SealedSeg, HEADER_LEN, SEGMENT_MAGIC,
 };
 
 /// Default segment size ceiling; an append past it seals the active
@@ -72,6 +72,10 @@ pub struct Replay {
     /// False when the manifest itself failed to decode; replay then
     /// rebuilds it from the segment files found on disk.
     pub manifest_ok: bool,
+    /// Sealed segments skipped wholesale because the manifest's
+    /// checkpoint covers them — their records live in the checkpoint
+    /// fold, so decoding them would be pure waste.
+    pub segments_skipped: u64,
 }
 
 struct Inner {
@@ -79,6 +83,9 @@ struct Inner {
     active_len: usize,
     active_records: u32,
     sealed: Vec<SealedSeg>,
+    /// Segments below this sequence are covered by a checkpoint fold
+    /// (see [`SegmentStore::checkpoint`]); replay skips decoding them.
+    checkpoint: u32,
 }
 
 /// Append-only log of CRC-framed segments for one server, on a shared
@@ -108,12 +115,13 @@ impl SegmentStore {
                 active_len: HEADER_LEN,
                 active_records: 0,
                 sealed: Vec::new(),
+                checkpoint: 0,
             }),
         };
         store.create_segment(0);
         store
             .disk
-            .write_sync(&store.manifest_name(), &encode_manifest(&[]));
+            .write_sync(&store.manifest_name(), &encode_manifest(&[], 0));
         store
     }
 
@@ -155,8 +163,10 @@ impl SegmentStore {
                 records: inner.active_records,
             };
             inner.sealed.push(sealed);
-            self.disk
-                .write_sync(&self.manifest_name(), &encode_manifest(&inner.sealed));
+            self.disk.write_sync(
+                &self.manifest_name(),
+                &encode_manifest(&inner.sealed, inner.checkpoint),
+            );
             inner.active_seq += 1;
             inner.active_len = HEADER_LEN;
             inner.active_records = 0;
@@ -183,23 +193,39 @@ impl SegmentStore {
     /// surviving segment.
     pub fn replay(&self) -> Replay {
         let mut inner = self.inner.lock().unwrap();
+        let manifest: Option<Manifest> = self
+            .disk
+            .read(&self.manifest_name())
+            .and_then(|b| decode_manifest(&b).ok());
         let mut out = Replay {
-            manifest_ok: self
-                .disk
-                .read(&self.manifest_name())
-                .is_some_and(|b| decode_manifest(&b).is_ok()),
+            manifest_ok: manifest.is_some(),
             ..Replay::default()
         };
+        // The checkpoint watermark is only trusted from an intact
+        // manifest: with the manifest gone, everything is rescanned
+        // (the fold supersedes covered records under last-wins anyway,
+        // so a full scan is slower, never wrong).
+        let manifest = manifest.unwrap_or_default();
         let seg_prefix = format!("{}/seg-", self.prefix);
         let names = self.disk.list(&seg_prefix);
         let mut survivors: Vec<SealedSeg> = Vec::new();
         for (i, name) in names.iter().enumerate() {
-            let bytes = self.disk.read(name).unwrap_or_default();
             let seq = name
                 .strip_prefix(&seg_prefix)
                 .and_then(|s| s.strip_suffix(".log"))
                 .and_then(|s| s.parse::<u32>().ok())
                 .unwrap_or(i as u32);
+            if seq < manifest.checkpoint {
+                if let Some(e) = manifest.sealed.iter().find(|e| e.seq == seq) {
+                    // Covered by the checkpoint fold: skip decoding.
+                    out.segments_skipped += 1;
+                    survivors.push(*e);
+                    continue;
+                }
+                // A covered segment the manifest does not list (it
+                // should): fall through to the full scan.
+            }
+            let bytes = self.disk.read(name).unwrap_or_default();
             if let Err(_e) = decode_header(&bytes, SEGMENT_MAGIC) {
                 // Unreadable identity: nothing in this segment can be
                 // trusted. Reset it to an empty, well-formed segment.
@@ -256,13 +282,57 @@ impl SegmentStore {
             self.disk.sync(&self.segment_name(s.seq));
         }
         self.disk.sync(&self.segment_name(active.seq));
-        self.disk
-            .write_sync(&self.manifest_name(), &encode_manifest(&survivors));
+        self.disk.write_sync(
+            &self.manifest_name(),
+            &encode_manifest(&survivors, manifest.checkpoint),
+        );
         inner.active_seq = active.seq;
         inner.active_len = active.len as usize;
         inner.active_records = active.records;
         inner.sealed = survivors;
+        inner.checkpoint = manifest.checkpoint;
         out
+    }
+
+    /// Takes a checkpoint: seals the active segment, writes `fold` —
+    /// the caller's compact full-state image (latest record per live
+    /// key) — into a fresh segment, syncs it, and only then advances
+    /// the manifest's checkpoint watermark past every older segment.
+    /// From then on [`SegmentStore::replay`] skips decoding the covered
+    /// segments entirely: the fold supersedes their records under the
+    /// last-wins fold, so replay cost is bounded by live state plus the
+    /// appends since the last checkpoint instead of log history. The
+    /// ordering makes the cut crash-safe — a crash before the manifest
+    /// write leaves the old watermark and a full (correct) replay; rot
+    /// inside the fold is caught by the frame CRCs and healed from
+    /// replicas like any other damaged segment.
+    pub fn checkpoint(&self, fold: &[Record]) {
+        let mut inner = self.inner.lock().unwrap();
+        // Seal the active segment as-is.
+        let name = self.segment_name(inner.active_seq);
+        self.disk.sync(&name);
+        let sealed = SealedSeg {
+            seq: inner.active_seq,
+            len: inner.active_len as u64,
+            records: inner.active_records,
+        };
+        inner.sealed.push(sealed);
+        // Write the fold into the next segment and make it durable.
+        let seq = inner.active_seq + 1;
+        self.create_segment(seq);
+        let name = self.segment_name(seq);
+        let mut bytes = Vec::new();
+        for rec in fold {
+            encode_record_into(rec, &mut bytes);
+        }
+        self.disk.append(&name, &bytes);
+        self.disk.sync(&name);
+        inner.active_seq = seq;
+        inner.active_len = HEADER_LEN + bytes.len();
+        inner.active_records = fold.len() as u32;
+        inner.checkpoint = seq;
+        self.disk
+            .write_sync(&self.manifest_name(), &encode_manifest(&inner.sealed, seq));
     }
 
     /// Drops every file of this store and reopens it empty — the
@@ -276,9 +346,10 @@ impl SegmentStore {
         inner.active_len = HEADER_LEN;
         inner.active_records = 0;
         inner.sealed.clear();
+        inner.checkpoint = 0;
         self.create_segment(0);
         self.disk
-            .write_sync(&self.manifest_name(), &encode_manifest(&[]));
+            .write_sync(&self.manifest_name(), &encode_manifest(&[], 0));
     }
 
     /// Sealed-segment manifest as currently tracked (for tests).
@@ -380,6 +451,73 @@ mod tests {
         s.barrier();
         let replay = s.replay();
         assert_eq!(replay.records.len(), 10);
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_preserves_state() {
+        let s = store();
+        for i in 0..40 {
+            s.append(&rec(i % 8, i as u8));
+        }
+        s.barrier();
+        let full = s.replay();
+        assert_eq!(full.records.len(), 40);
+        assert_eq!(full.segments_skipped, 0);
+        // Fold: latest record per key (what a caller would checkpoint).
+        let mut latest: std::collections::BTreeMap<u64, Record> = Default::default();
+        for r in &full.records {
+            latest.insert(r.key, r.clone());
+        }
+        let fold: Vec<Record> = latest.into_values().collect();
+        s.checkpoint(&fold);
+        let after = s.replay();
+        assert!(
+            after.segments_skipped > 0,
+            "covered segments must be skipped"
+        );
+        assert_eq!(
+            after.records.len(),
+            fold.len(),
+            "replay decodes only the fold, not the covered history"
+        );
+        // The fold carries the same final state the full log did.
+        let mut from_fold: std::collections::BTreeMap<u64, &Record> = Default::default();
+        for r in &after.records {
+            from_fold.insert(r.key, r);
+        }
+        for r in &full.records {
+            assert_eq!(from_fold[&r.key].payload.len(), r.payload.len());
+        }
+        // Appends continue past the checkpoint and replay picks them up.
+        s.append(&rec(100, 5));
+        s.barrier();
+        let more = s.replay();
+        assert_eq!(more.records.len(), fold.len() + 1);
+        assert!(more.segments_skipped >= after.segments_skipped);
+    }
+
+    #[test]
+    fn lost_manifest_falls_back_to_full_scan_not_data_loss() {
+        let s = store();
+        for i in 0..30 {
+            s.append(&rec(i, 1));
+        }
+        s.barrier();
+        let fold: Vec<Record> = s.replay().records;
+        s.checkpoint(&fold);
+        // Destroy the manifest: the checkpoint watermark is gone, so
+        // replay rescans everything — slower, but the last-wins fold
+        // still lands on the same state because the fold segment sorts
+        // after every covered segment.
+        s.disk().remove(&format!("{}/manifest", "s0"));
+        let r = s.replay();
+        assert!(!r.manifest_ok);
+        assert_eq!(r.segments_skipped, 0, "no manifest, no skipping");
+        assert!(
+            r.records.len() >= 2 * fold.len(),
+            "full history rescanned ({} records)",
+            r.records.len()
+        );
     }
 
     #[test]

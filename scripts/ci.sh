@@ -36,11 +36,19 @@
 #                           bit-exact open-loop sweep replay, and a
 #                           bit-exact 4-shard sharded sweep replay
 #                           (cluster routing + cross-shard doorbells)
+#   7b. gray gate         — gray failures (stragglers, reply-leg
+#                           partitions, flapping links) vs the
+#                           tail-tolerance stack: linearizable hedged
+#                           and unhedged, hedged p99 bounded under one
+#                           straggling shard, goodput held at 2x past
+#                           the knee, zero-knob plans bit-identical to
+#                           the pre-gray golden schedule
 #   8. second-seed pass   — fault matrix + chaos gate (incl. migration
 #                           gate) + corruption matrix + durability gate
-#                           + store properties + open-loop smoke again
-#                           under a different PRISM_TEST_SEED, so the
-#                           gates don't ossify around one lucky schedule
+#                           + store properties + open-loop smoke + gray
+#                           gate again under a different
+#                           PRISM_TEST_SEED, so the gates don't ossify
+#                           around one lucky schedule
 #   9. bench smoke        — substrate benches at 50 ms/bench, so a perf
 #                           regression that breaks the bench harness (or
 #                           an arena change that deadlocks it) fails CI
@@ -83,11 +91,14 @@ cargo test -q --offline -p prism-harness --test durability_gate \
 echo "== open-loop smoke (CO regression + bit-exact replay) =="
 cargo test -q --offline -p prism-harness --test openloop_smoke
 
-echo "== second-seed pass (fault matrix + chaos gate + corruption matrix + durability gate + store properties + open-loop smoke) =="
+echo "== gray gate (stragglers / hedging / shedding / zero-knob identity) =="
+cargo test -q --offline -p prism-harness --test gray_gate
+
+echo "== second-seed pass (fault matrix + chaos gate + corruption matrix + durability gate + store properties + open-loop smoke + gray gate) =="
 PRISM_TEST_SEED=1806242025 cargo test -q --offline -p prism-harness \
     --test fault_matrix --test chaos_gate --test corruption_matrix \
     --test durability_gate --test store_properties \
-    --test openloop_smoke
+    --test openloop_smoke --test gray_gate
 
 echo "== migration gate, second seed =="
 PRISM_TEST_SEED=1806242025 cargo test -q --offline -p prism-harness \

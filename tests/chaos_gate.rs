@@ -21,7 +21,7 @@ use prism_harness::netsim::{run_closed_loop_with, RecoveryHooks, RunResult, Verb
 use prism_kv::prism_kv::{PrismKvConfig, PrismKvServer};
 use prism_rs::prism_rs::{drive as rs_drive, RsCluster, RsConfig};
 use prism_rs::RsOutcome;
-use prism_simnet::fault::{ChaosSpec, FaultPlan};
+use prism_simnet::fault::{ChaosSpec, FaultPlan, TailPolicy};
 use prism_simnet::latency::CostModel;
 use prism_simnet::rng::SimRng;
 use prism_simnet::time::{SimDuration, SimTime};
@@ -158,6 +158,11 @@ fn rs_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         torn_write_prob: 0.05,
         disk_torn_prob: 0.9,
         disk_rot_events: 2,
+        slowdowns: 0,
+        slowdown_factor: 0,
+        reply_partitions: 0,
+        flaps: 0,
+        tail: TailPolicy::default(),
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -290,6 +295,11 @@ fn rs_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64) {
         torn_write_prob: 0.05,
         disk_torn_prob: 0.9,
         disk_rot_events: 2,
+        slowdowns: 0,
+        slowdown_factor: 0,
+        reply_partitions: 0,
+        flaps: 0,
+        tail: TailPolicy::default(),
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -453,6 +463,11 @@ fn rs_migration_chaos(seed: u64) -> (RunResult, Vec<HistOp>, u64, u64, Option<(u
         torn_write_prob: 0.05,
         disk_torn_prob: 0.9,
         disk_rot_events: 2,
+        slowdowns: 0,
+        slowdown_factor: 0,
+        reply_partitions: 0,
+        flaps: 0,
+        tail: TailPolicy::default(),
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -628,6 +643,11 @@ fn kv_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
         torn_write_prob: 0.05,
         disk_torn_prob: 0.9,
         disk_rot_events: 0,
+        slowdowns: 0,
+        slowdown_factor: 0,
+        reply_partitions: 0,
+        flaps: 0,
+        tail: TailPolicy::default(),
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -740,6 +760,11 @@ fn kv_sharded_chaos(seed: u64) -> (RunResult, Vec<HistOp>) {
         torn_write_prob: 0.05,
         disk_torn_prob: 0.9,
         disk_rot_events: 0,
+        slowdowns: 0,
+        slowdown_factor: 0,
+        reply_partitions: 0,
+        flaps: 0,
+        tail: TailPolicy::default(),
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);
@@ -854,6 +879,11 @@ fn tx_chaos(seed: u64) -> (RunResult, u64, u64) {
         torn_write_prob: 0.0,
         disk_torn_prob: 0.0,
         disk_rot_events: 0,
+        slowdowns: 0,
+        slowdown_factor: 0,
+        reply_partitions: 0,
+        flaps: 0,
+        tail: TailPolicy::default(),
     };
     let mut plan = FaultPlan::chaos(seed, &spec);
     plan.timeout = SimDuration::micros(60);

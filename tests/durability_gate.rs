@@ -221,6 +221,93 @@ fn rotted_segments_are_never_served_and_heal_from_peers() {
 }
 
 // ---------------------------------------------------------------------
+// Checkpointing: replay cost stops growing with log length
+// ---------------------------------------------------------------------
+
+/// Appends `rounds` batches of updates over a small hot key set,
+/// checkpointing the last-wins fold after each batch when asked.
+/// Returns `(decoded_records, segments_skipped)` for the final replay —
+/// the two numbers that define replay cost.
+fn replay_cost(seed: u64, rounds: u64, checkpointed: bool) -> (usize, u64) {
+    use prism_store::{Record, SegmentStore, SimDisk};
+    use std::collections::BTreeMap;
+    let disk = Arc::new(SimDisk::new());
+    // Small limit so every round seals segments — checkpoints have
+    // sealed history to cover.
+    let store = SegmentStore::with_limit(disk, "ckpt", 1024);
+    let mut rng = SimRng::new(seed ^ 0xC4EC_0001);
+    let mut latest: BTreeMap<u64, Record> = BTreeMap::new();
+    for _ in 0..rounds {
+        for _ in 0..24 {
+            let rec = Record {
+                epoch: 1,
+                inc: 1,
+                key: rng.next_u64() % 8,
+                payload: (0..VALUE).map(|_| rng.next_u64() as u8).collect(),
+            };
+            store.append(&rec);
+            latest.insert(rec.key, rec);
+        }
+        store.barrier();
+        if checkpointed {
+            let fold: Vec<Record> = latest.values().cloned().collect();
+            store.checkpoint(&fold);
+        }
+    }
+    let r = store.replay();
+    // Replay must land on the same last-wins state either way.
+    let mut folded: BTreeMap<u64, &Record> = BTreeMap::new();
+    for rec in &r.records {
+        folded.insert(rec.key, rec);
+    }
+    assert_eq!(folded.len(), latest.len(), "replay state must match");
+    for (k, want) in &latest {
+        assert_eq!(folded[k].payload, want.payload, "key {k} diverged");
+    }
+    (r.records.len(), r.segments_skipped)
+}
+
+#[test]
+fn checkpointed_replay_cost_stops_growing_with_log_length() {
+    let seed = seed_or(0xD04A_0005);
+    // Without checkpoints, replay decodes the whole history: cost is
+    // linear in rounds.
+    let (short_plain, _) = replay_cost(seed, 4, false);
+    let (long_plain, _) = replay_cost(seed, 16, false);
+    assert!(
+        long_plain >= short_plain * 3,
+        "un-checkpointed replay must grow with the log \
+         ({short_plain} -> {long_plain})"
+    );
+    // With checkpoints, the manifest watermark lets replay skip every
+    // covered segment: cost is bounded by fold size + one round's tail,
+    // independent of how many rounds ran before.
+    let (short_ck, _) = replay_cost(seed, 4, true);
+    let (long_ck, skipped) = replay_cost(seed, 16, true);
+    println!(
+        "durability-ckpt: plain {short_plain}->{long_plain} \
+         checkpointed {short_ck}->{long_ck} skipped={skipped}"
+    );
+    assert!(skipped > 0, "the watermark must actually skip segments");
+    assert!(
+        long_ck <= short_ck + 8,
+        "checkpointed replay cost must stop growing \
+         ({short_ck} -> {long_ck})"
+    );
+    assert!(
+        long_ck < long_plain / 3,
+        "the headline regression: checkpointing must cut long-log replay \
+         cost sharply ({long_ck} vs {long_plain})"
+    );
+    // Same seed, fresh run: bit-exact.
+    assert_eq!(
+        replay_cost(seed, 16, true),
+        (long_ck, skipped),
+        "replay must be bit-exact"
+    );
+}
+
+// ---------------------------------------------------------------------
 // KV: the write-ahead barrier discipline makes tears empty
 // ---------------------------------------------------------------------
 

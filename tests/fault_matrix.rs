@@ -1,8 +1,12 @@
 //! Fault-matrix smoke: every protocol family (KV, RS, TX) survives the
-//! three canonical fault mixes — loss-only, crash-only, and
-//! loss-plus-crash — making progress without panics while the injected
-//! faults visibly bite. Windows are short fixed spans: the matrix is a
-//! gate, not a benchmark.
+//! canonical fault mixes — loss-only, crash-only, loss-plus-crash, a
+//! gray straggler window, and the full loss+crash+straggler stack —
+//! making progress without panics while the injected faults visibly
+//! bite. The straggler column runs with every tail-tolerance policy
+//! disabled: a 4x-slowed server must be survivable on correctness
+//! alone, hedging is an optimization (see `gray_gate`), never a
+//! crutch. Windows are short fixed spans: the matrix is a gate, not a
+//! benchmark.
 
 use std::sync::Arc;
 
@@ -37,29 +41,47 @@ struct Mix {
     label: &'static str,
     loss: bool,
     crash: bool,
+    straggler: bool,
 }
 
-const MATRIX: [Mix; 3] = [
+const MATRIX: [Mix; 5] = [
     Mix {
         label: "loss-only",
         loss: true,
         crash: false,
+        straggler: false,
     },
     Mix {
         label: "crash-only",
         loss: false,
         crash: true,
+        straggler: false,
     },
     Mix {
         label: "loss+crash",
         loss: true,
         crash: true,
+        straggler: false,
+    },
+    Mix {
+        label: "straggler-only",
+        loss: false,
+        crash: false,
+        straggler: true,
+    },
+    Mix {
+        label: "loss+crash+straggler",
+        loss: true,
+        crash: true,
+        straggler: true,
     },
 ];
 
 /// Builds the plan for one cell. `crash_server` picks the victim so
-/// quorum systems can keep a majority alive.
-fn plan(mix: Mix, crash_server: usize, seed: u64) -> FaultPlan {
+/// quorum systems can keep a majority alive; `slow_server` takes the
+/// 4x straggler window (kept off the crash victim so both gray and
+/// fail-stop faults are live at once in the combined cell).
+fn plan(mix: Mix, crash_server: usize, slow_server: usize, seed: u64) -> FaultPlan {
     let mut p = FaultPlan::seeded(seed).with_timeout(SimDuration::micros(60));
     if mix.loss {
         p = p.with_loss(0.02, 0.01);
@@ -69,6 +91,14 @@ fn plan(mix: Mix, crash_server: usize, seed: u64) -> FaultPlan {
             crash_server,
             SimTime::from_nanos(400_000),
             SimTime::from_nanos(800_000),
+        );
+    }
+    if mix.straggler {
+        p = p.with_slowdown(
+            slow_server,
+            SimTime::from_nanos(300_000),
+            SimTime::from_nanos(1_000_000),
+            4,
         );
     }
     p
@@ -87,6 +117,18 @@ fn check(system: &str, mix: Mix, r: &RunResult) {
         assert!(
             r.crash_drops > 0,
             "{system}/{}: crash window never bit: {r:?}",
+            mix.label
+        );
+    }
+    if mix.straggler {
+        assert!(
+            r.slowdown_windows > 0,
+            "{system}/{}: straggler window never bit: {r:?}",
+            mix.label
+        );
+        assert_eq!(
+            r.hedges, 0,
+            "{system}/{}: the matrix runs policy-free",
             mix.label
         );
     }
@@ -122,7 +164,7 @@ fn kv_survives_the_fault_matrix() {
             WARMUP,
             MEASURE,
             seed,
-            &plan(mix, 0, seed),
+            &plan(mix, 0, 0, seed),
         );
         check("kv", mix, &r);
     }
@@ -154,7 +196,7 @@ fn rs_survives_the_fault_matrix() {
             WARMUP,
             MEASURE,
             seed,
-            &plan(mix, 1, seed),
+            &plan(mix, 1, 2, seed),
         );
         check("rs", mix, &r);
     }
@@ -300,7 +342,7 @@ fn tx_survives_the_fault_matrix() {
             WARMUP,
             MEASURE,
             seed,
-            &plan(mix, 0, seed),
+            &plan(mix, 0, 0, seed),
         );
         check("tx", mix, &r);
     }

@@ -143,17 +143,16 @@ fn mutated_headers_decode_to_typed_errors() {
 fn mutated_manifests_decode_to_typed_errors() {
     let seg = gens::t3(gens::u32s(), gens::range_u64(0..(1 << 20)), gens::u32s())
         .map(|(seq, len, records)| SealedSeg { seq, len, records });
-    let gen = gens::t3(gens::vec(seg, 0..6), gens::u64s(), arb_mask());
+    let gen = gens::t4(gens::vec(seg, 0..6), gens::u32s(), gens::u64s(), arb_mask());
     for_all(
         "mutated_manifests_decode_to_typed_errors",
         &Config::with_cases(256),
         &gen,
-        |(sealed, pos, mask)| {
-            let bytes = encode_manifest(sealed);
-            assert_eq!(
-                &decode_manifest(&bytes).expect("intact manifest must decode"),
-                sealed
-            );
+        |(sealed, checkpoint, pos, mask)| {
+            let bytes = encode_manifest(sealed, *checkpoint);
+            let m = decode_manifest(&bytes).expect("intact manifest must decode");
+            assert_eq!(&m.sealed, sealed);
+            assert_eq!(m.checkpoint, *checkpoint);
             let mut mutated = bytes.clone();
             let at = (*pos as usize) % mutated.len();
             mutated[at] ^= mask;
